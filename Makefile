@@ -1,0 +1,28 @@
+# Convenience targets for the reproduction.
+
+.PHONY: install test bench paper examples clean
+
+install:
+	pip install -e . || python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+paper:
+	python -m repro.bench
+
+examples:
+	python examples/quickstart.py
+	python examples/biological_rag.py
+	python examples/embedding_campaign.py
+	python examples/distributed_scaling.py
+	python examples/chunked_retrieval.py
+	python examples/architecture_comparison.py
+	python examples/reproduce_paper.py
+
+clean:
+	find . -name __pycache__ -type d -exec rm -rf {} +
+	rm -rf .pytest_cache .hypothesis src/repro.egg-info

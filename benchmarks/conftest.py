@@ -1,0 +1,66 @@
+"""Shared fixtures for the benchmark suite.
+
+The paper-reproduction benches time the experiment harness (cheap,
+model-driven); the micro benches time the *real* vector database at
+laptop scale.  Both run under ``pytest benchmarks/ --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Collection,
+    CollectionConfig,
+    Distance,
+    OptimizerConfig,
+    PointStruct,
+    VectorParams,
+)
+
+BENCH_DIM = 64
+BENCH_POINTS = 2_000
+
+
+@pytest.fixture(scope="module")
+def bench_points() -> list[PointStruct]:
+    rng = np.random.default_rng(7)
+    vectors = rng.normal(size=(BENCH_POINTS, BENCH_DIM)).astype(np.float32)
+    return [
+        PointStruct(id=i, vector=vectors[i], payload={"bucket": i % 10})
+        for i in range(BENCH_POINTS)
+    ]
+
+
+@pytest.fixture(scope="module")
+def flat_collection(bench_points) -> Collection:
+    """A populated, unindexed (exact-scan) collection."""
+    config = CollectionConfig(
+        "bench-flat",
+        VectorParams(size=BENCH_DIM, distance=Distance.COSINE),
+        optimizer=OptimizerConfig(indexing_threshold=0),
+    )
+    collection = Collection(config)
+    collection.upsert(bench_points)
+    return collection
+
+
+@pytest.fixture(scope="module")
+def hnsw_collection(bench_points) -> Collection:
+    """The same data behind a built HNSW index."""
+    config = CollectionConfig(
+        "bench-hnsw",
+        VectorParams(size=BENCH_DIM, distance=Distance.COSINE),
+        optimizer=OptimizerConfig(indexing_threshold=0),
+    )
+    collection = Collection(config)
+    collection.upsert(bench_points)
+    collection.build_index("hnsw")
+    return collection
+
+
+@pytest.fixture(scope="module")
+def query_vectors() -> np.ndarray:
+    rng = np.random.default_rng(11)
+    return rng.normal(size=(64, BENCH_DIM)).astype(np.float32)

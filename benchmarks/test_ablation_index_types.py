@@ -1,0 +1,61 @@
+"""Ablation: index-type trade-offs (§2.1's taxonomy, on the real engine).
+
+Flat (exact) vs HNSW (graph) vs IVF (inverted file) vs KD-tree (tree):
+query latency under identical data, plus the recall each achieves against
+the exact baseline — the accuracy/latency trade-off §2.1 describes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import CollectionConfig, Distance, VectorParams
+from repro.core.index import FlatIndex, HnswIndex, IvfIndex, KdTreeIndex
+from repro.core.storage import VectorArena
+
+DIM = 32
+N = 3_000
+K = 10
+
+_rng = np.random.default_rng(17)
+_DATA = _rng.normal(size=(N, DIM)).astype(np.float32)
+_DATA /= np.linalg.norm(_DATA, axis=1, keepdims=True)
+_QUERY = _DATA[42] + 0.05 * _rng.normal(size=DIM).astype(np.float32)
+_CONFIG = CollectionConfig("abl-index", VectorParams(size=DIM, distance=Distance.COSINE))
+
+
+def _arena() -> VectorArena:
+    arena = VectorArena(DIM)
+    arena.extend(_DATA)
+    return arena
+
+
+@pytest.fixture(scope="module")
+def built_indexes():
+    arena = _arena()
+    offsets = np.arange(N, dtype=np.int64)
+    flat = FlatIndex(arena, Distance.COSINE)
+    flat.build(_DATA, offsets)
+    hnsw = HnswIndex(arena, Distance.COSINE, _CONFIG.hnsw)
+    hnsw.build(_DATA, offsets)
+    ivf = IvfIndex(arena, Distance.COSINE, _CONFIG.ivf)
+    ivf.build(_DATA, offsets)
+    kd = KdTreeIndex(arena, Distance.COSINE)
+    kd.build(_DATA, offsets)
+    return {"flat": flat, "hnsw": hnsw, "ivf": ivf, "kdtree": kd}
+
+
+@pytest.mark.parametrize("kind", ["flat", "hnsw", "ivf", "kdtree"])
+def test_index_query_latency(benchmark, built_indexes, kind):
+    index = built_indexes[kind]
+    offsets, scores = benchmark(index.search, _QUERY, K)
+    assert len(offsets) == K
+
+
+@pytest.mark.parametrize("kind,floor", [("hnsw", 0.9), ("ivf", 0.5)])
+def test_index_recall_vs_exact(built_indexes, kind, floor):
+    exact_ids = set(built_indexes["flat"].search(_QUERY, K)[0].tolist())
+    approx_ids = set(built_indexes[kind].search(_QUERY, K)[0].tolist())
+    recall = len(exact_ids & approx_ids) / K
+    assert recall >= floor, f"{kind} recall {recall} below {floor}"

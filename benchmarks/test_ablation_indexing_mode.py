@@ -1,0 +1,68 @@
+"""Ablation: deferred (bulk) vs incremental indexing.
+
+Qdrant's bulk-upload guidance (mimicked in §3.3) is to disable indexing
+during upload and rebuild once at the end.  This bench measures both
+orders on the real engine: insert-then-build vs insert-with-live-index.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import (
+    Collection,
+    CollectionConfig,
+    Distance,
+    OptimizerConfig,
+    PointStruct,
+    VectorParams,
+)
+
+DIM = 48
+N = 1_200
+
+
+def _points() -> list[PointStruct]:
+    rng = np.random.default_rng(5)
+    return [PointStruct(id=i, vector=rng.normal(size=DIM)) for i in range(N)]
+
+
+def test_deferred_indexing(benchmark):
+    """indexing_threshold=0: plain inserts, one deferred build."""
+    points = _points()
+
+    def run():
+        col = Collection(
+            CollectionConfig(
+                "deferred",
+                VectorParams(size=DIM, distance=Distance.COSINE),
+                optimizer=OptimizerConfig(indexing_threshold=0),
+            )
+        )
+        for start in range(0, N, 64):
+            col.upsert(points[start : start + 64])
+        col.build_index("hnsw")
+        return col
+
+    col = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert col.indexed_vectors_count == N
+
+
+def test_incremental_indexing(benchmark):
+    """Low threshold: the optimizer indexes early; later inserts extend HNSW."""
+    points = _points()
+
+    def run():
+        col = Collection(
+            CollectionConfig(
+                "incremental",
+                VectorParams(size=DIM, distance=Distance.COSINE),
+                optimizer=OptimizerConfig(indexing_threshold=256),
+            )
+        )
+        for start in range(0, N, 64):
+            col.upsert(points[start : start + 64])
+        return col
+
+    col = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert col.indexed_vectors_count > 0

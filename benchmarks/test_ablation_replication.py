@@ -1,0 +1,112 @@
+"""Ablation: replication factor — write amplification vs availability.
+
+Table 1 lists shard replication as universal across the surveyed systems;
+this ablation measures its cost on the real engine: bytes written per
+point scale with the replication factor (measured at the transport), while
+read availability under a worker failure requires RF >= 2.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CollectionConfig,
+    Distance,
+    OptimizerConfig,
+    PointStruct,
+    SearchRequest,
+    VectorParams,
+)
+from repro.core.cluster import Cluster
+from repro.core.errors import NoReplicaAvailableError
+from repro.core.transport import (
+    FaultInjectingTransport,
+    InstrumentedTransport,
+    LocalTransport,
+)
+from repro.core.worker import Worker
+
+DIM = 32
+N = 200
+
+
+def _cluster(rf: int):
+    inner = LocalTransport()
+    transport = InstrumentedTransport(inner)
+    cluster = Cluster(transport)
+    for i in range(3):
+        cluster.add_worker(Worker(f"w{i}"))
+    cluster.create_collection(
+        CollectionConfig(
+            "c", VectorParams(size=DIM, distance=Distance.COSINE),
+            optimizer=OptimizerConfig(indexing_threshold=0),
+            replication_factor=rf,
+        )
+    )
+    return cluster, transport
+
+
+def _points():
+    rng = np.random.default_rng(5)
+    return [PointStruct(id=i, vector=rng.normal(size=DIM)) for i in range(N)]
+
+
+@pytest.mark.parametrize("rf", [1, 2, 3])
+def test_upload_write_amplification(benchmark, rf):
+    points = _points()
+
+    def run():
+        cluster, transport = _cluster(rf)
+        transport.stats.reset()
+        cluster.upsert("c", points)
+        return transport.stats.bytes_sent
+
+    bytes_sent = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert bytes_sent > 0
+
+
+def test_amplification_scales_with_rf():
+    sent = {}
+    for rf in (1, 2, 3):
+        cluster, transport = _cluster(rf)
+        transport.stats.reset()
+        cluster.upsert("c", _points())
+        sent[rf] = transport.stats.bytes_sent
+    assert sent[2] == pytest.approx(2 * sent[1], rel=0.05)
+    assert sent[3] == pytest.approx(3 * sent[1], rel=0.05)
+
+
+def test_availability_requires_rf2():
+    # RF=1: one dead worker breaks search
+    inner = LocalTransport()
+    t1 = FaultInjectingTransport(inner)
+    c1 = Cluster(t1)
+    for i in range(3):
+        c1.add_worker(Worker(f"w{i}"))
+    c1.create_collection(
+        CollectionConfig(
+            "c", VectorParams(size=DIM, distance=Distance.COSINE),
+            optimizer=OptimizerConfig(indexing_threshold=0), replication_factor=1,
+        )
+    )
+    c1.upsert("c", _points())
+    t1.fail_worker("w1")
+    with pytest.raises(NoReplicaAvailableError):
+        c1.search("c", SearchRequest(vector=np.ones(DIM), limit=5))
+
+    # RF=2: same failure is absorbed
+    inner2 = LocalTransport()
+    t2 = FaultInjectingTransport(inner2)
+    c2 = Cluster(t2)
+    for i in range(3):
+        c2.add_worker(Worker(f"w{i}"))
+    c2.create_collection(
+        CollectionConfig(
+            "c", VectorParams(size=DIM, distance=Distance.COSINE),
+            optimizer=OptimizerConfig(indexing_threshold=0), replication_factor=2,
+        )
+    )
+    c2.upsert("c", _points())
+    t2.fail_worker("w1")
+    hits = c2.search("c", SearchRequest(vector=np.ones(DIM), limit=5))
+    assert len(hits) == 5

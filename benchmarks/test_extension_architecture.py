@@ -1,0 +1,60 @@
+"""Extension bench: stateful vs compute/storage-separated scaling (§2.2).
+
+Quantifies the paper's qualitative discussion: how expensive is elastic
+scale-out for a stateful design (data movement + index reconstruction) vs
+a stateless one (cache warm-up from durable storage), on the paper's 80 GB
+dataset over Slingshot-class links.
+"""
+
+import pytest
+
+from repro.perfmodel.architecture import ScaleOutCostModel
+
+
+def test_scale_out_grid(benchmark):
+    model = ScaleOutCostModel()
+
+    def sweep():
+        return {
+            (w, w2): (
+                model.stateful_cost(w, w2).total_s,
+                model.stateless_cost(w, w2).total_s,
+            )
+            for (w, w2) in [(4, 8), (8, 16), (16, 32), (4, 32)]
+        }
+
+    grid = benchmark(sweep)
+    for (w, w2), (stateful, stateless) in grid.items():
+        assert stateful > stateless, (w, w2)
+
+
+def test_index_rebuild_dominates_stateful_cost():
+    """§2.2's 'reconstruction of impacted indexes': on modern fabrics the
+    wire transfer is minutes while the rebuild is the real bill."""
+    model = ScaleOutCostModel()
+    cost = model.stateful_cost(4, 8)
+    assert cost.index_rebuild_s > 5 * cost.transfer_s
+
+
+def test_separation_advantage_is_large():
+    model = ScaleOutCostModel()
+    # doubling the cluster: separation wins by an order of magnitude+
+    assert model.advantage(4, 8) > 10.0
+    assert model.advantage(16, 32) > 10.0
+
+
+def test_static_workload_amortization():
+    """§2.2's counterpoint: with rare scaling and a steady-state penalty,
+    stateful can still be the right call."""
+    model = ScaleOutCostModel()
+    saved = (model.stateful_cost(4, 8).total_s
+             - model.stateless_cost(4, 8).total_s)
+    # if the stateless design costs one hour of extra latency per lifetime,
+    # break-even needs at least this many scale events
+    events = model.amortization_events(4, 8, steady_state_penalty_s=10 * saved)
+    assert events == pytest.approx(10.0)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        ScaleOutCostModel().stateful_cost(8, 8)

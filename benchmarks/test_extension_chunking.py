@@ -1,0 +1,84 @@
+"""Extension bench: chunking (§3.1 future work).
+
+Quantifies the paper's prediction that chunking "would likely improve
+retrieval quality but increase the number of entities in the database,
+stressing performance further": measures the entity multiplication on the
+real corpus and its projected cost through the calibrated insertion and
+index-build models.
+"""
+
+import numpy as np
+import pytest
+
+from repro.embed.chunking import FixedSizeChunker, chunk_corpus_points
+from repro.embed.model import HashingEmbedder
+from repro.perfmodel.calibration import DATASET
+from repro.perfmodel.indexing import IndexBuildModel
+from repro.perfmodel.insertion import WorkerScalingModel
+from repro.workloads.pes2o import Pes2oCorpus
+
+
+def entity_multiplier(chunk_size: int, n_sample: int = 300) -> float:
+    """Chunks per paper, estimated from the corpus length distribution."""
+    corpus = Pes2oCorpus(n_sample, seed=9)
+    chunker = FixedSizeChunker(size=chunk_size, overlap=chunk_size // 10)
+    chunks = sum(chunker.expected_chunks(c) for c in corpus.char_counts())
+    return chunks / n_sample
+
+
+def test_chunking_cost_projection(benchmark):
+    def project():
+        insertion = WorkerScalingModel()
+        indexing = IndexBuildModel()
+        rows = {}
+        for chunk_size in (1_000, 2_000, 4_000, 8_000):
+            mult = entity_multiplier(chunk_size)
+            n_entities = DATASET.total_papers * mult
+            gib = n_entities * DATASET.bytes_per_vector / 1024**3
+            rows[chunk_size] = {
+                "multiplier": mult,
+                "entities": n_entities,
+                "insert_32w_s": insertion.time_s(32) * mult,
+                "index_32w_s": indexing.time_s(32) * mult**indexing.cal.beta,
+            }
+        return rows
+
+    rows = benchmark.pedantic(project, rounds=1, iterations=1)
+    # the paper's prediction, quantified: smaller chunks => more entities
+    mults = [rows[s]["multiplier"] for s in (1_000, 2_000, 4_000, 8_000)]
+    assert mults == sorted(mults, reverse=True)
+    assert mults[0] > 20.0   # 1 kchar chunks: >20x the entities
+    assert mults[-1] > 3.0
+    # index cost grows superlinearly in the multiplier (beta > 1)
+    assert rows[1_000]["index_32w_s"] / rows[8_000]["index_32w_s"] > (
+        rows[1_000]["multiplier"] / rows[8_000]["multiplier"]
+    )
+
+
+def test_chunking_improves_self_retrieval_granularity():
+    """Retrieval-quality side of the trade-off: with chunking, a passage
+    query pins the exact source region, not just the paper."""
+    embedder = HashingEmbedder(dim=128)
+    corpus = Pes2oCorpus(8, seed=10)
+    from repro.core import (
+        Collection, CollectionConfig, Distance, OptimizerConfig,
+        SearchRequest, VectorParams,
+    )
+
+    col = Collection(
+        CollectionConfig(
+            "chunks", VectorParams(size=128, distance=Distance.COSINE),
+            optimizer=OptimizerConfig(indexing_threshold=0),
+        )
+    )
+    chunker = FixedSizeChunker(size=3_000, overlap=300)
+    col.upsert(list(chunk_corpus_points(corpus, embedder, chunker)))
+
+    # a passage from deep inside paper 4
+    passage = corpus.paper(4).text[9_000:11_500]
+    hits = col.search(
+        SearchRequest(vector=embedder.encode(passage), limit=3, with_payload=True)
+    )
+    assert hits[0].payload["paper_id"] == 4
+    # the matched chunk is near the passage's location, not chunk 0
+    assert hits[0].payload["chunk_index"] >= 2

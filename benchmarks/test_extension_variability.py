@@ -1,0 +1,56 @@
+"""Extension bench: runtime variability (§4 future work).
+
+Monte-Carlo variability layer over the calibrated models, anchored to the
+one spread the paper reports (Table 2's ±113.92 s over 2417.84 s).
+"""
+
+import pytest
+
+from repro.perfmodel.insertion import WorkerScalingModel
+from repro.perfmodel.query import QueryScalingModel
+from repro.perfmodel.variability import (
+    PAPER_EMBEDDING_CV,
+    NoiseModel,
+    VariabilityStudy,
+)
+
+
+def test_paper_cv_value():
+    assert PAPER_EMBEDDING_CV == pytest.approx(113.92 / 2417.84, rel=1e-6)
+    assert 0.04 < PAPER_EMBEDDING_CV < 0.06
+
+
+def test_variability_across_worker_counts(benchmark):
+    insertion = WorkerScalingModel()
+    study = VariabilityStudy(NoiseModel(seed=1), trials=500)
+
+    def run():
+        return study.compare(
+            {f"W={w}": (lambda w=w: insertion.time_s(w)) for w in (1, 4, 8, 16, 32)}
+        )
+
+    stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    for label, s in stats.items():
+        # reproduces the paper's CV within Monte-Carlo error
+        assert s.cv == pytest.approx(PAPER_EMBEDDING_CV, rel=0.25), label
+        assert s.p99 > s.p50
+        # means track the deterministic model
+        base = float(label.split("=")[1])
+        assert s.mean == pytest.approx(insertion.time_s(int(base)), rel=0.02)
+
+
+def test_straggler_tail_inflates_p99_not_p50():
+    query = QueryScalingModel()
+    base = lambda: query.time_s(4, 79.0)
+    clean = VariabilityStudy(NoiseModel(seed=2), trials=1000).run(base)
+    noisy = VariabilityStudy(
+        NoiseModel(seed=2, straggler_prob=0.05, straggler_factor=2.0), trials=1000
+    ).run(base)
+    assert noisy.tail_ratio > clean.tail_ratio * 1.3
+    assert noisy.p50 == pytest.approx(clean.p50, rel=0.05)
+
+
+def test_zero_cv_is_deterministic():
+    study = VariabilityStudy(NoiseModel(cv=0.0), trials=10)
+    stats = study.run(lambda: 100.0)
+    assert stats.std == 0.0 and stats.mean == 100.0

@@ -1,0 +1,11 @@
+"""Bench target for Figure 2 (insertion batch-size and concurrency tuning)."""
+
+from repro.bench.experiments import figure2_insertion_tuning
+
+
+def test_figure2(benchmark):
+    result = benchmark(figure2_insertion_tuning.run)
+    assert result.all_checks_pass, result.render()
+    batch_rows = [r for r in result.rows if r[0] == "batch-size"]
+    conc_rows = [r for r in result.rows if r[0] == "parallel-requests"]
+    assert len(batch_rows) >= 8 and len(conc_rows) >= 6

@@ -1,0 +1,10 @@
+"""Bench target for Figure 3 (index build scaling), incl. DES machine sim."""
+
+from repro.bench.experiments import figure3_index_build
+
+
+def test_figure3(benchmark):
+    result = benchmark.pedantic(figure3_index_build.run, rounds=1, iterations=1)
+    assert result.all_checks_pass, result.render()
+    # one row per dataset size, one column per worker count (+label)
+    assert all(len(row) == 6 for row in result.rows)

@@ -1,0 +1,8 @@
+"""Bench target for Figure 4 (query batch-size and concurrency tuning)."""
+
+from repro.bench.experiments import figure4_query_tuning
+
+
+def test_figure4(benchmark):
+    result = benchmark(figure4_query_tuning.run)
+    assert result.all_checks_pass, result.render()

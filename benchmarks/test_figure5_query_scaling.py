@@ -1,0 +1,8 @@
+"""Bench target for Figure 5 (distributed query scaling)."""
+
+from repro.bench.experiments import figure5_query_scaling
+
+
+def test_figure5(benchmark):
+    result = benchmark(figure5_query_scaling.run)
+    assert result.all_checks_pass, result.render()

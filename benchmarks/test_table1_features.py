@@ -1,0 +1,9 @@
+"""Bench target for Table 1 (feature comparison)."""
+
+from repro.bench.experiments import table1_features
+
+
+def test_table1(benchmark):
+    result = benchmark(table1_features.run)
+    assert result.all_checks_pass, result.render()
+    assert len(result.rows) == 5  # five systems surveyed

@@ -1,0 +1,10 @@
+"""Bench target for Table 2 (embedding-generation phase breakdown)."""
+
+from repro.bench.experiments import table2_embedding
+
+
+def test_table2(benchmark):
+    result = benchmark.pedantic(table2_embedding.run, rounds=1, iterations=1)
+    assert result.all_checks_pass, result.render()
+    phases = {row[0] for row in result.rows}
+    assert phases == {"Model Loading", "I/O", "Inference"}

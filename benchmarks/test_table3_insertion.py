@@ -1,0 +1,9 @@
+"""Bench target for Table 3 (full-dataset insertion scaling), incl. DES sim."""
+
+from repro.bench.experiments import table3_insertion_scaling
+
+
+def test_table3(benchmark):
+    result = benchmark.pedantic(table3_insertion_scaling.run, rounds=1, iterations=1)
+    assert result.all_checks_pass, result.render()
+    assert [row[0] for row in result.rows] == [1, 4, 8, 16, 32]

@@ -1,0 +1,9 @@
+"""Bench target for the end-to-end workflow timeline synthesis."""
+
+from repro.bench.experiments import workflow_end_to_end
+
+
+def test_workflow(benchmark):
+    result = benchmark(workflow_end_to_end.run)
+    assert result.all_checks_pass, result.render()
+    assert [row[0] for row in result.rows] == [1, 4, 8, 16, 32]

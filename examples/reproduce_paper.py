@@ -1,0 +1,24 @@
+"""Regenerate every table and figure of the paper in one run.
+
+Equivalent to ``python -m repro.bench`` but also prints a compact summary
+of which shape checks passed.
+
+Run:  python examples/reproduce_paper.py
+"""
+
+from repro.bench import run_all
+
+
+def main() -> None:
+    results = run_all()
+    for result in results.values():
+        print(result.render())
+        print()
+    total = sum(len(r.checks) for r in results.values())
+    passed = sum(sum(r.checks.values()) for r in results.values())
+    print(f"=== {passed}/{total} shape checks pass across "
+          f"{len(results)} experiments ===")
+
+
+if __name__ == "__main__":
+    main()

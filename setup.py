@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The execution environment has no network access and no ``wheel`` package, so
+PEP 660 editable installs fail; ``pip install -e . --no-use-pep517
+--no-build-isolation`` goes through this file instead.  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,25 @@
+"""repro — reproduction of "Exploring Distributed Vector Databases
+Performance on HPC Platforms: A Study with Qdrant" (SC'25 workshop).
+
+Subpackages
+-----------
+* :mod:`repro.core` — a Qdrant-like distributed vector database (the study
+  object), built from scratch: storage, HNSW/IVF-PQ/flat/KD-tree indexes,
+  sharding, stateful workers, broadcast–reduce search, and sync / asyncio /
+  multiprocessing clients.
+* :mod:`repro.sim` — discrete-event simulation engine, network models
+  (Dragonfly), and a PBS-like batch scheduler.
+* :mod:`repro.hpc` — Polaris-like machine models (nodes, CPUs, GPUs).
+* :mod:`repro.embed` — the embedding-generation pipeline of §3.1: hashing
+  text encoder standing in for Qwen3-Embedding-4B, GPU cost/OOM model,
+  batching heuristic, and the adaptive orchestrator.
+* :mod:`repro.workloads` — synthetic peS2o corpus and BV-BRC term workload.
+* :mod:`repro.perfmodel` — calibrated performance models mapping operation
+  counts to Polaris-scale runtimes.
+* :mod:`repro.bench` — the experiment harness that regenerates every table
+  and figure of the paper's evaluation.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,15 @@
+"""Benchmark harness regenerating every table and figure of the paper."""
+
+from .harness import EXPERIMENTS, SYNTHESES, run_all, run_experiment
+from .report import ExperimentResult, format_duration, pct_delta, render_table
+
+__all__ = [
+    "EXPERIMENTS",
+    "SYNTHESES",
+    "run_all",
+    "run_experiment",
+    "ExperimentResult",
+    "render_table",
+    "format_duration",
+    "pct_delta",
+]

@@ -1,0 +1,55 @@
+"""CLI: regenerate every table and figure of the paper's evaluation.
+
+Usage::
+
+    python -m repro.bench                 # all experiments, rendered tables
+    python -m repro.bench table3          # one experiment
+    python -m repro.bench --json          # machine-readable results
+    python -m repro.bench --json figure5  # one experiment as JSON
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+from .harness import EXPERIMENTS, SYNTHESES, run_experiment
+
+
+def _to_json(result) -> dict:
+    return {
+        "experiment_id": result.experiment_id,
+        "title": result.title,
+        "headers": result.headers,
+        "rows": [[str(c) for c in row] for row in result.rows],
+        "checks": result.checks,
+        "notes": result.notes,
+        "all_checks_pass": result.all_checks_pass,
+    }
+
+
+def main(argv: list[str]) -> int:
+    as_json = "--json" in argv
+    targets = [a for a in argv if not a.startswith("--")] or (
+        list(EXPERIMENTS) + list(SYNTHESES)
+    )
+    failed = 0
+    json_out = []
+    for eid in targets:
+        result = run_experiment(eid)
+        if as_json:
+            json_out.append(_to_json(result))
+        else:
+            print(result.render())
+            print()
+        if not result.all_checks_pass:
+            failed += 1
+    if as_json:
+        print(json.dumps(json_out, indent=2))
+    if failed:
+        print(f"{failed} experiment(s) had failing shape checks", file=sys.stderr)
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,23 @@
+"""One module per table/figure of the paper's evaluation section."""
+
+from . import (
+    figure2_insertion_tuning,
+    figure3_index_build,
+    figure4_query_tuning,
+    figure5_query_scaling,
+    table1_features,
+    table2_embedding,
+    table3_insertion_scaling,
+    workflow_end_to_end,
+)
+
+__all__ = [
+    "table1_features",
+    "table2_embedding",
+    "figure2_insertion_tuning",
+    "table3_insertion_scaling",
+    "figure3_index_build",
+    "figure4_query_tuning",
+    "figure5_query_scaling",
+    "workflow_end_to_end",
+]

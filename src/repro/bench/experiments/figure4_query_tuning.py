@@ -1,0 +1,65 @@
+"""Figure 4: query tuning on a 1 GB dataset, single Qdrant worker.
+
+Batch-size sweep plus concurrent-request sweep, including §3.4's measured
+per-batch await times (30.7/76.4/170 ms at 2/4/8 in-flight requests).
+"""
+
+from __future__ import annotations
+
+from ...perfmodel.calibration import QUERY
+from ...perfmodel.query import QueryBatchModel, QueryConcurrencyModel
+from ..report import ExperimentResult
+
+__all__ = ["run", "QUERY_BATCH_SIZES", "QUERY_CONCURRENCIES"]
+
+QUERY_BATCH_SIZES = (1, 2, 4, 8, 16, 32, 64, 128)
+QUERY_CONCURRENCIES = (1, 2, 4, 8, 16)
+
+
+def run() -> ExperimentResult:
+    batch_model = QueryBatchModel()
+    conc_model = QueryConcurrencyModel()
+
+    rows: list[list] = []
+    batch_sweep = batch_model.sweep(QUERY_BATCH_SIZES)
+    for b, t in batch_sweep.items():
+        rows.append(["batch-size", b, f"{t:.1f}", "-"])
+    conc_sweep = conc_model.sweep(QUERY_CONCURRENCIES)
+    for c, t in conc_sweep.items():
+        rows.append(["parallel-requests", c, f"{t:.1f}", f"{conc_model.await_ms(c):.1f}"])
+
+    result = ExperimentResult(
+        experiment_id="figure4",
+        title="Query running time, 1 GB dataset, single-worker cluster "
+        "(batch-size and parallel-request sweeps)",
+        headers=["sweep", "value", "time (s)", "await/batch (ms)"],
+        rows=rows,
+    )
+    result.check(
+        "T(batch=1) ≈ 139 s",
+        abs(batch_sweep[1] - QUERY.t_1gb_qbatch1_s) / QUERY.t_1gb_qbatch1_s < 0.02,
+    )
+    result.check(
+        "T(batch=16) ≈ 73 s",
+        abs(batch_sweep[16] - QUERY.t_1gb_qbatch16_s) / QUERY.t_1gb_qbatch16_s < 0.02,
+    )
+    result.check(
+        "batch benefit plateaus past 16",
+        batch_model.marginal_benefit(16) < 0.05 * (batch_sweep[1] - batch_sweep[16]),
+    )
+    result.check("concurrency optimum at 2", conc_model.optimal_concurrency() == 2)
+    result.check(
+        "await/batch ≈ 30.7 / 76.4 / 170 ms at c=2/4/8",
+        abs(conc_model.await_ms(2) - 30.7) < 0.5
+        and abs(conc_model.await_ms(4) - 76.4) / 76.4 < 0.08
+        and abs(conc_model.await_ms(8) - 170.0) / 170.0 < 0.08,
+    )
+    result.check(
+        "runtime grows past concurrency 2 (worker saturated)",
+        conc_sweep[4] > conc_sweep[2] and conc_sweep[8] > conc_sweep[4],
+    )
+    result.notes.append(
+        "per-batch await grows superlinearly past 2 in-flight requests: the single "
+        "worker's resources are saturated (§3.4)"
+    )
+    return result

@@ -1,0 +1,77 @@
+"""Figure 5: query time versus dataset size per worker count.
+
+Broadcast–reduce model over the BV-BRC workload.  Shape checks assert the
+paper's three findings: distribution helps only past ~30 GB, maximum
+speedup ≈3.57× at the full dataset, and worker counts beyond 4 give only
+marginal further improvement.
+"""
+
+from __future__ import annotations
+
+from ...perfmodel.calibration import QUERY
+from ...perfmodel.query import QueryScalingModel
+from ...workloads.datasets import PAPER_SIZES_GIB
+from ..report import ExperimentResult, format_duration
+from ..simscale import simulate_query_phase
+
+__all__ = ["run", "WORKER_COUNTS"]
+
+WORKER_COUNTS = (1, 4, 8, 16, 32)
+
+
+def run(*, with_sim: bool = True) -> ExperimentResult:
+    model = QueryScalingModel()
+    grid = model.sweep(WORKER_COUNTS, PAPER_SIZES_GIB)
+    rows = []
+    for size in PAPER_SIZES_GIB:
+        rows.append(
+            [f"{size:.0f} GiB"] + [format_duration(grid[w][size]) for w in WORKER_COUNTS]
+        )
+
+    result = ExperimentResult(
+        experiment_id="figure5",
+        title="Query time vs dataset size for varying numbers of Qdrant workers "
+        f"({QUERY.n_queries} BV-BRC term queries)",
+        headers=["Dataset"] + [f"W={w}" for w in WORKER_COUNTS],
+        rows=rows,
+    )
+    full = PAPER_SIZES_GIB[-1]
+    speedups = {w: model.speedup(w, full) for w in WORKER_COUNTS[1:]}
+    result.check(
+        "no benefit from distribution below ~30 GiB",
+        all(model.speedup(w, 10.0) < 1.0 for w in WORKER_COUNTS[1:])
+        and all(model.speedup(w, 20.0) < 1.0 for w in WORKER_COUNTS[1:]),
+    )
+    crossovers = {w: model.crossover_gib(w) for w in WORKER_COUNTS[1:]}
+    result.check(
+        "crossover near 30 GiB for every worker count",
+        all(25.0 < c < 35.0 for c in crossovers.values()),
+    )
+    result.check(
+        "max speedup ≈ 3.57x at full dataset",
+        abs(max(speedups.values()) - QUERY.max_speedup) < 0.15,
+    )
+    result.check(
+        "beyond 4 workers only marginal improvement",
+        speedups[4] > 2.0 and (speedups[32] - speedups[4]) < 0.45 * speedups[4],
+    )
+    result.check(
+        "speedup monotone in workers at full size",
+        speedups[4] < speedups[8] < speedups[16] < speedups[32],
+    )
+    result.notes.append(
+        "speedups at 80 GiB: "
+        + ", ".join(f"W={w}: {s:.2f}x" for w, s in speedups.items())
+    )
+    result.notes.append(
+        "crossover sizes (GiB): "
+        + ", ".join(f"W={w}: {c:.1f}" for w, c in crossovers.items())
+    )
+    if with_sim:
+        dev = max(
+            abs(simulate_query_phase(w, dataset_gib=full) - model.time_s(w, full))
+            / model.time_s(w, full)
+            for w in WORKER_COUNTS
+        )
+        result.check("DES broadcast-reduce simulation matches model within 2%", dev < 0.02)
+    return result

@@ -1,0 +1,34 @@
+"""Table 1: distributed vector database feature comparison."""
+
+from __future__ import annotations
+
+from ...systems import FEATURE_COLUMNS, feature_matrix, systems_with
+from ..report import ExperimentResult
+
+__all__ = ["run"]
+
+
+def run() -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="table1",
+        title="Feature comparison of state-of-the-art distributed vector databases",
+        headers=["System"] + [name for name, _ in FEATURE_COLUMNS],
+        rows=feature_matrix(),
+    )
+    # §2.2's claims about the table
+    result.check(
+        "only Vespa and Milvus separate compute/storage",
+        systems_with("compute_storage_separation") == ["Vespa", "Milvus"],
+    )
+    result.check(
+        "Vald, Weaviate, Milvus support GPU indexing AND GPU ANN",
+        set(systems_with("gpu_indexing")) & set(systems_with("gpu_ann"))
+        == {"Vald", "Weaviate", "Milvus"},
+    )
+    result.check(
+        "all systems support parallel read/write and replication",
+        len(systems_with("parallel_read_write")) == 5
+        and len(systems_with("shard_replication")) == 5,
+    )
+    result.notes.append("symbols: + yes, x no, ~ paid-cloud-only")
+    return result

@@ -1,0 +1,58 @@
+"""Table 2: mean embedding-generation runtime breakdown.
+
+Runs the §3.1 pipeline (closed-form job executor over the synthetic
+corpus) for a sample of jobs and compares the mean model-load / I/O /
+inference phases to the paper's 28.17 / 7.49 / 2381.97 s.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...embed.pipeline import job_report
+from ...perfmodel.calibration import EMBEDDING
+from ...workloads.pes2o import Pes2oCorpus
+from ..report import ExperimentResult, pct_delta
+
+__all__ = ["run"]
+
+
+def run(*, n_jobs: int = 8, seed: int = 2023) -> ExperimentResult:
+    corpus = Pes2oCorpus(n_jobs * EMBEDDING.papers_per_job, seed=seed)
+    reports = []
+    for j in range(n_jobs):
+        start = j * EMBEDDING.papers_per_job
+        chars = corpus.char_counts(start, start + EMBEDDING.papers_per_job)
+        reports.append(job_report(chars, n_gpus=EMBEDDING.gpus_per_node))
+
+    load = float(np.mean([r.model_load_s for r in reports]))
+    io = float(np.mean([r.io_s for r in reports]))
+    inference = float(np.mean([r.inference_s for r in reports]))
+    total = load + io + inference
+    frac = inference / total
+    seq_rate = float(np.mean([r.sequential_rate for r in reports]))
+
+    result = ExperimentResult(
+        experiment_id="table2",
+        title=f"Mean embedding generation runtime (s) across N={n_jobs} jobs of "
+        f"~{EMBEDDING.papers_per_job} papers",
+        headers=["Phase", "Paper (s)", "Measured (s)", "delta"],
+        rows=[
+            ["Model Loading", f"{EMBEDDING.model_load_s:.2f}", f"{load:.2f}",
+             pct_delta(load, EMBEDDING.model_load_s)],
+            ["I/O", f"{EMBEDDING.io_s:.2f}", f"{io:.2f}", pct_delta(io, EMBEDDING.io_s)],
+            ["Inference", f"{EMBEDDING.inference_s:.2f}", f"{inference:.2f}",
+             pct_delta(inference, EMBEDDING.inference_s)],
+        ],
+    )
+    result.check("inference dominates (~98.5% of total)", abs(frac - EMBEDDING.inference_fraction) < 0.02)
+    result.check("inference within 15% of paper", abs(inference - EMBEDDING.inference_s) / EMBEDDING.inference_s < 0.15)
+    result.check("model load within 15% of paper", abs(load - EMBEDDING.model_load_s) / EMBEDDING.model_load_s < 0.15)
+    result.check("I/O within 15% of paper", abs(io - EMBEDDING.io_s) / EMBEDDING.io_s < 0.15)
+    result.check(
+        "sequential-fallback rate < 0.10% of papers",
+        seq_rate < EMBEDDING.sequential_fallback_rate,
+    )
+    result.notes.append(f"inference fraction = {frac:.4f} (paper: 0.985)")
+    result.notes.append(f"sequential fallback rate = {seq_rate:.5f} (paper: <0.001)")
+    return result

@@ -1,0 +1,68 @@
+"""Table 3: full-dataset (~80 GB) insertion time vs number of workers.
+
+Generated two ways and cross-checked:
+
+* closed-form :class:`~repro.perfmodel.insertion.WorkerScalingModel`;
+* a discrete-event simulation of the multiprocessing-client pipeline on
+  the Polaris machine model (:mod:`repro.bench.simscale`), which must agree
+  with the closed form within a few percent.
+"""
+
+from __future__ import annotations
+
+from ...perfmodel.calibration import INSERTION
+from ...perfmodel.insertion import WorkerScalingModel
+from ..report import ExperimentResult, format_duration, pct_delta
+from ..simscale import simulate_insertion
+
+__all__ = ["run", "WORKER_COUNTS"]
+
+WORKER_COUNTS = (1, 4, 8, 16, 32)
+
+
+def run(*, with_sim: bool = True) -> ExperimentResult:
+    model = WorkerScalingModel()
+    rows = []
+    max_dev = 0.0
+    sim_dev = 0.0
+    for workers, paper_h in zip(INSERTION.table3_workers, INSERTION.table3_hours):
+        t_model = model.time_s(workers)
+        paper_s = paper_h * 3600.0
+        max_dev = max(max_dev, abs(t_model - paper_s) / paper_s)
+        row = [
+            workers,
+            format_duration(paper_s),
+            format_duration(t_model),
+            pct_delta(t_model, paper_s),
+        ]
+        if with_sim:
+            t_sim = simulate_insertion(workers)
+            sim_dev = max(sim_dev, abs(t_sim - t_model) / t_model)
+            row.append(format_duration(t_sim))
+        rows.append(row)
+
+    headers = ["Workers", "Paper", "Model", "delta"]
+    if with_sim:
+        headers.append("DES sim")
+    result = ExperimentResult(
+        experiment_id="table3",
+        title="Full dataset (~80 GB) insertion time vs number of Qdrant workers",
+        headers=headers,
+        rows=rows,
+    )
+    result.check("all worker counts within 5% of paper", max_dev < 0.05)
+    result.check(
+        "monotone speedup with diminishing efficiency",
+        all(
+            model.time_s(a) > model.time_s(b)
+            for a, b in zip(WORKER_COUNTS, WORKER_COUNTS[1:])
+        )
+        and model.efficiency(32) < model.efficiency(4),
+    )
+    speedup32 = model.speedup(32)
+    result.check("32-worker speedup ~22-23x (paper: 8.22h -> 21.67m = 22.8x)",
+                 20.0 < speedup32 < 25.0)
+    if with_sim:
+        result.check("DES simulation agrees with closed form within 5%", sim_dev < 0.05)
+    result.notes.append(f"speedup at 32 workers: {speedup32:.1f}x, efficiency {model.efficiency(32):.2f}")
+    return result

@@ -1,0 +1,89 @@
+"""End-to-end workflow timeline (synthesis, not a single paper artifact).
+
+Chains the paper's four phases at full scale — embedding generation
+(§3.1), data insertion (§3.2), deferred index build (§3.3), and the
+BV-BRC query workload (§3.4) — into one timeline per worker count,
+answering the question the paper's conclusion gestures at: *where does the
+wall-clock of the whole scientific workflow actually go?*
+
+Embedding-generation wall time depends on queue capacity, not on the
+Qdrant worker count; we charge the campaign at the paper's observed
+per-job time with 20 concurrent queue nodes (a typical allocation share),
+and note the node-hours separately.
+"""
+
+from __future__ import annotations
+
+from ...perfmodel.calibration import DATASET, EMBEDDING
+from ...perfmodel.embedding import EmbeddingJobModel
+from ...perfmodel.indexing import IndexBuildModel
+from ...perfmodel.insertion import WorkerScalingModel
+from ...perfmodel.query import QueryScalingModel
+from ..report import ExperimentResult, format_duration
+
+__all__ = ["run", "WORKER_COUNTS", "QUEUE_NODES"]
+
+WORKER_COUNTS = (1, 4, 8, 16, 32)
+#: concurrent single-node embedding jobs (queue allocation assumption)
+QUEUE_NODES = 20
+
+
+def run() -> ExperimentResult:
+    embed_model = EmbeddingJobModel()
+    insertion = WorkerScalingModel()
+    indexing = IndexBuildModel()
+    query = QueryScalingModel()
+
+    n_jobs = embed_model.campaign_jobs(DATASET.total_papers)
+    job_s = embed_model.job_times().total_s
+    embed_wall_s = -(-n_jobs // QUEUE_NODES) * job_s
+    embed_node_hours = n_jobs * job_s / 3600.0
+
+    full = DATASET.total_gib
+    rows = []
+    totals = {}
+    for w in WORKER_COUNTS:
+        insert_s = insertion.time_s(w)
+        index_s = indexing.time_s(w)
+        query_s = query.time_s(w, full)
+        total = embed_wall_s + insert_s + index_s + query_s
+        totals[w] = (insert_s, index_s, query_s, total)
+        rows.append([
+            w,
+            format_duration(embed_wall_s),
+            format_duration(insert_s),
+            format_duration(index_s),
+            format_duration(query_s),
+            format_duration(total),
+        ])
+
+    result = ExperimentResult(
+        experiment_id="workflow",
+        title="End-to-end §3 workflow timeline at full scale "
+        f"({DATASET.total_papers:,} papers, {DATASET.n_query_terms:,} queries)",
+        headers=["Workers", "Embed (wall)", "Insert", "Index build", "Query", "Total"],
+        rows=rows,
+    )
+    result.check(
+        "embedding campaign dominates at high worker counts",
+        embed_wall_s > sum(totals[32][:3]),
+    )
+    result.check(
+        "database phases shrink 32x workers vs 1 by >5x",
+        sum(totals[1][:3]) / sum(totals[32][:3]) > 5.0,
+    )
+    result.check(
+        "total workflow monotone in workers",
+        all(totals[a][3] >= totals[b][3] for a, b in zip(WORKER_COUNTS, WORKER_COUNTS[1:])),
+    )
+    result.notes.append(
+        f"embedding campaign: {n_jobs} single-node jobs x "
+        f"{format_duration(job_s)} = {embed_node_hours:,.0f} node-hours; "
+        f"wall time assumes {QUEUE_NODES} concurrent queue nodes"
+    )
+    result.notes.append(
+        "with 32 workers the database phases fall below the embedding "
+        "campaign's wall time — §4's 'insertion could bottleneck continual "
+        "workloads' concern applies to re-ingest cycles, not the one-shot build"
+    )
+    return result

@@ -1,0 +1,59 @@
+"""Experiment harness: one entry point per table/figure of the paper.
+
+``python -m repro.bench`` runs every experiment and prints the regenerated
+tables/series with their shape checks.  Individual experiments are plain
+functions returning :class:`~repro.bench.report.ExperimentResult`, so
+pytest-benchmark targets and EXPERIMENTS.md generation share the same code
+path.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .experiments import (
+    figure2_insertion_tuning,
+    figure3_index_build,
+    figure4_query_tuning,
+    figure5_query_scaling,
+    table1_features,
+    table2_embedding,
+    table3_insertion_scaling,
+    workflow_end_to_end,
+)
+from .report import ExperimentResult
+
+__all__ = ["EXPERIMENTS", "SYNTHESES", "run_experiment", "run_all"]
+
+#: one entry per table/figure of the paper's evaluation
+EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
+    "table1": table1_features.run,
+    "table2": table2_embedding.run,
+    "figure2": figure2_insertion_tuning.run,
+    "table3": table3_insertion_scaling.run,
+    "figure3": figure3_index_build.run,
+    "figure4": figure4_query_tuning.run,
+    "figure5": figure5_query_scaling.run,
+}
+
+#: synthesis experiments that combine phases (beyond single paper artifacts)
+SYNTHESES: dict[str, Callable[[], ExperimentResult]] = {
+    "workflow": workflow_end_to_end.run,
+}
+
+
+def run_experiment(experiment_id: str) -> ExperimentResult:
+    runner = EXPERIMENTS.get(experiment_id) or SYNTHESES.get(experiment_id)
+    if runner is None:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; available: "
+            f"{sorted(EXPERIMENTS) + sorted(SYNTHESES)}"
+        )
+    return runner()
+
+
+def run_all(*, include_syntheses: bool = True) -> dict[str, ExperimentResult]:
+    targets = dict(EXPERIMENTS)
+    if include_syntheses:
+        targets.update(SYNTHESES)
+    return {eid: run_experiment(eid) for eid in targets}

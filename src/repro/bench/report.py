@@ -1,0 +1,75 @@
+"""Result containers and plain-text rendering for the experiment harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+__all__ = ["ExperimentResult", "render_table", "format_duration", "pct_delta"]
+
+
+def format_duration(seconds: float) -> str:
+    """Human-scale duration: '468.0 s', '35.9 m', '8.22 h'."""
+    if seconds != seconds:  # NaN
+        return "-"
+    if seconds < 600.0:
+        return f"{seconds:.1f} s"
+    if seconds < 2.5 * 3600.0:
+        return f"{seconds / 60.0:.2f} m"
+    return f"{seconds / 3600.0:.2f} h"
+
+
+def pct_delta(measured: float, reference: float) -> str:
+    """Signed percentage deviation of measured from reference."""
+    if reference == 0:
+        return "-"
+    return f"{100.0 * (measured - reference) / reference:+.1f}%"
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence], *, min_width: int = 6
+                 ) -> str:
+    """Monospace table with column alignment."""
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [max(min_width, len(h)) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(cells):
+        return " | ".join(c.ljust(w) for c, w in zip(cells, widths))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [fmt(headers), sep]
+    lines.extend(fmt(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+@dataclass
+class ExperimentResult:
+    """Output of one table/figure reproduction."""
+
+    experiment_id: str          # e.g. "table3", "figure2a"
+    title: str
+    headers: list[str]
+    rows: list[list] = field(default_factory=list)
+    #: Shape-level findings checked against the paper (name -> passed).
+    checks: dict[str, bool] = field(default_factory=dict)
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def all_checks_pass(self) -> bool:
+        return all(self.checks.values())
+
+    def check(self, name: str, passed: bool) -> bool:
+        self.checks[name] = bool(passed)
+        return bool(passed)
+
+    def render(self) -> str:
+        parts = [f"== {self.experiment_id}: {self.title} ==",
+                 render_table(self.headers, self.rows)]
+        if self.checks:
+            parts.append("checks:")
+            parts.extend(
+                f"  [{'PASS' if ok else 'FAIL'}] {name}" for name, ok in self.checks.items()
+            )
+        if self.notes:
+            parts.extend(f"note: {n}" for n in self.notes)
+        return "\n".join(parts)

@@ -1,0 +1,111 @@
+"""Columnar batch wire format (Qdrant's ``Batch`` object).
+
+§3.2 profiles "converting the batch into a Qdrant batch object — a CPU
+task" at 45.64 ms per 32-point batch.  The batch object is columnar: ids
+as one array, vectors as one matrix, payloads as one list — so the server
+can ingest it with a single vectorized append instead of per-point work.
+
+:func:`Batch.from_points` is the conversion the paper measures;
+:meth:`Batch.validate` performs the structural checks a server would run
+on receipt.  ``Worker.upsert_batch_columnar`` (and
+``Collection.upsert_columnar``) consume it directly, keeping the whole
+hot path inside numpy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+from .errors import BadRequestError, DimensionMismatchError
+from .types import PointStruct
+
+__all__ = ["Batch"]
+
+
+@dataclass
+class Batch:
+    """Columnar point batch: parallel arrays of ids, vectors, payloads."""
+
+    ids: np.ndarray                  # (n,) int64
+    vectors: np.ndarray              # (n, dim) float32
+    payloads: list[Mapping[str, Any] | None]
+
+    def __len__(self) -> int:
+        return int(self.ids.shape[0])
+
+    @property
+    def dim(self) -> int:
+        return int(self.vectors.shape[1])
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.ids.nbytes + self.vectors.nbytes)
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def from_points(cls, points: Sequence[PointStruct]) -> "Batch":
+        """The conversion step the paper profiles (§3.2)."""
+        if not points:
+            raise BadRequestError("cannot build an empty batch")
+        ids = np.asarray([p.id for p in points], dtype=np.int64)
+        vectors = np.stack([p.as_array() for p in points])
+        payloads = [dict(p.payload) if p.payload is not None else None for p in points]
+        return cls(ids=ids, vectors=np.ascontiguousarray(vectors), payloads=payloads)
+
+    @classmethod
+    def from_arrays(
+        cls,
+        ids,
+        vectors,
+        payloads: Sequence[Mapping[str, Any] | None] | None = None,
+    ) -> "Batch":
+        """Zero-copy-ish construction from pre-assembled arrays."""
+        ids = np.asarray(ids, dtype=np.int64)
+        vectors = np.ascontiguousarray(vectors, dtype=np.float32)
+        if payloads is None:
+            payloads = [None] * len(ids)
+        batch = cls(ids=ids, vectors=vectors, payloads=list(payloads))
+        batch.validate()
+        return batch
+
+    # -- validation / conversion ----------------------------------------------
+
+    def validate(self, *, expected_dim: int | None = None) -> None:
+        """Server-side structural checks."""
+        if self.ids.ndim != 1:
+            raise BadRequestError("ids must be a 1-D array")
+        if self.vectors.ndim != 2:
+            raise BadRequestError("vectors must be a 2-D matrix")
+        n = len(self)
+        if self.vectors.shape[0] != n or len(self.payloads) != n:
+            raise BadRequestError(
+                f"column length mismatch: {n} ids, {self.vectors.shape[0]} "
+                f"vectors, {len(self.payloads)} payloads"
+            )
+        if len(np.unique(self.ids)) != n:
+            raise BadRequestError("batch contains duplicate point ids")
+        if expected_dim is not None and self.dim != expected_dim:
+            raise DimensionMismatchError(expected_dim, self.dim)
+
+    def to_points(self) -> list[PointStruct]:
+        """Row-wise view (compatibility with the per-point API)."""
+        return [
+            PointStruct(id=int(pid), vector=self.vectors[i], payload=self.payloads[i])
+            for i, pid in enumerate(self.ids)
+        ]
+
+    def split(self, parts: Mapping[int, np.ndarray]) -> dict[int, "Batch"]:
+        """Partition by row-index groups (used by shard routing)."""
+        out = {}
+        for key, rows in parts.items():
+            rows = np.asarray(rows, dtype=np.int64)
+            out[key] = Batch(
+                ids=self.ids[rows],
+                vectors=self.vectors[rows],
+                payloads=[self.payloads[int(r)] for r in rows],
+            )
+        return out

@@ -1,0 +1,557 @@
+"""Cluster coordinator: sharded, replicated, stateful distributed search.
+
+Implements the distributed architecture the paper evaluates (§2.1, Figure 1
+approach 1):
+
+* data is **sharded** by point-id hash (:class:`~repro.core.router.ShardRouter`)
+  and each shard lives on the **stateful workers** assigned by a
+  :class:`~repro.core.router.PlacementPlan` (with optional replication);
+* a non-predicated search is **broadcast** to all workers holding shards.
+  As in Qdrant, the client contacts one *entry worker*, which fans the
+  query out, gathers per-shard partial results, and **reduces** them into
+  the global top-k (footnote 4 of the paper);
+* adding/removing workers triggers shard **rebalancing** — the expensive
+  data movement §2.2 attributes to stateful designs.
+
+The coordinator here plays the role of Qdrant's internal cluster state
+machine (driven by Raft in the real system); consensus is out of scope for
+the paper's runtime study, so membership changes are applied synchronously.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+from .errors import (
+    ClusterConfigError,
+    CollectionExistsError,
+    CollectionNotFoundError,
+    NoReplicaAvailableError,
+    TransportError,
+    WorkerUnavailableError,
+)
+from .router import PlacementPlan, ShardMove, ShardRouter
+from .transport import LocalTransport, Transport
+from .types import (
+    CollectionConfig,
+    CollectionInfo,
+    PointId,
+    PointStruct,
+    Record,
+    ScoredPoint,
+    SearchRequest,
+    UpdateResult,
+)
+from .worker import Worker
+
+__all__ = ["Cluster", "ClusterCollectionState"]
+
+
+class ClusterCollectionState:
+    """Routing + placement state for one distributed collection."""
+
+    def __init__(self, config: CollectionConfig, plan: PlacementPlan):
+        self.config = config
+        self.plan = plan
+        self.router = ShardRouter(plan.shard_number)
+
+
+class Cluster:
+    """Coordinates workers and distributed collections."""
+
+    def __init__(self, transport: Transport | None = None):
+        self.transport = transport or LocalTransport()
+        self._workers: dict[str, Worker] = {}
+        self._collections: dict[str, ClusterCollectionState] = {}
+        self._aliases: dict[str, str] = {}
+        self._rr_counter = 0  # round-robin entry-worker selection
+
+    # -- membership -------------------------------------------------------------
+
+    @classmethod
+    def with_workers(
+        cls,
+        n_workers: int,
+        *,
+        workers_per_node: int = 4,
+        transport: Transport | None = None,
+    ) -> "Cluster":
+        """Convenience: a cluster of ``n_workers``, packed 4 per node as on
+        Polaris (§3.2: "four Qdrant workers per machine")."""
+        cluster = cls(transport)
+        for i in range(n_workers):
+            cluster.add_worker(Worker(f"worker-{i}", node_id=f"node-{i // workers_per_node}"))
+        return cluster
+
+    def add_worker(self, worker: Worker, *, rebalance: bool = False) -> list[ShardMove]:
+        """Register a worker; optionally rebalance existing collections onto it."""
+        if worker.worker_id in self._workers:
+            raise ClusterConfigError(f"worker {worker.worker_id!r} already registered")
+        self._workers[worker.worker_id] = worker
+        if isinstance(self.transport, LocalTransport):
+            self.transport.register(worker.worker_id, worker)
+        else:
+            base = getattr(self.transport, "inner", None)
+            if isinstance(base, LocalTransport):
+                base.register(worker.worker_id, worker)
+        moves: list[ShardMove] = []
+        if rebalance:
+            for name in self._collections:
+                moves.extend(self._rebalance_collection(name))
+        return moves
+
+    def remove_worker(self, worker_id: str, *, rebalance: bool = True) -> list[ShardMove]:
+        """Deregister a worker, moving its shard replicas elsewhere."""
+        if worker_id not in self._workers:
+            raise WorkerUnavailableError(worker_id)
+        # Refuse before mutating anything if the remaining workers cannot
+        # honour some collection's replication factor.
+        remaining = len(self._workers) - 1
+        for name, state in self._collections.items():
+            if state.plan.replication_factor > remaining:
+                raise ClusterConfigError(
+                    f"removing {worker_id!r} would leave {remaining} workers, "
+                    f"below collection {name!r}'s replication factor "
+                    f"{state.plan.replication_factor}"
+                )
+        # Export shard data before the worker disappears (graceful leave).
+        exports: dict[tuple[str, int], list[PointStruct]] = {}
+        if rebalance:
+            for name, state in self._collections.items():
+                for shard_id in state.plan.shards_on(worker_id):
+                    try:
+                        exports[(name, shard_id)] = self.transport.call(
+                            worker_id, "transfer_shard_out", name, shard_id
+                        )
+                    except TransportError:
+                        exports[(name, shard_id)] = []
+        del self._workers[worker_id]
+        if isinstance(self.transport, LocalTransport):
+            self.transport.deregister(worker_id)
+        else:
+            base = getattr(self.transport, "inner", None)
+            if isinstance(base, LocalTransport):
+                base.deregister(worker_id)
+        moves: list[ShardMove] = []
+        if rebalance:
+            for name in self._collections:
+                moves.extend(self._rebalance_collection(name, exports))
+        return moves
+
+    def _rebalance_collection(
+        self,
+        name: str,
+        exports: Mapping[tuple[str, int], list[PointStruct]] | None = None,
+    ) -> list[ShardMove]:
+        state = self._collections[name]
+        new_plan, moves = state.plan.rebalance(list(self._workers))
+        for move in moves:
+            target_worker = move.target
+            if not self.transport.call(target_worker, "has_shard", name, move.shard_id):
+                points: list[PointStruct]
+                if exports and (name, move.shard_id) in exports:
+                    points = exports[(name, move.shard_id)]
+                elif move.source is not None and move.source in self._workers:
+                    points = self.transport.call(
+                        move.source, "transfer_shard_out", name, move.shard_id
+                    )
+                else:
+                    # Pull from any surviving replica.
+                    points = []
+                    for holder in new_plan.workers_for(move.shard_id):
+                        if holder != target_worker and holder in self._workers:
+                            points = self.transport.call(
+                                holder, "transfer_shard_out", name, move.shard_id
+                            )
+                            break
+                self.transport.call(
+                    target_worker, "transfer_shard_in", name, move.shard_id,
+                    state.config, points,
+                )
+        state.plan = new_plan
+        return moves
+
+    @property
+    def worker_ids(self) -> list[str]:
+        return list(self._workers)
+
+    @property
+    def worker_count(self) -> int:
+        return len(self._workers)
+
+    def workers(self) -> list[Worker]:
+        return list(self._workers.values())
+
+    def node_ids(self) -> list[str]:
+        seen: dict[str, None] = {}
+        for w in self._workers.values():
+            if w.node_id is not None:
+                seen.setdefault(w.node_id, None)
+        return list(seen)
+
+    # -- collections ------------------------------------------------------------------
+
+    def create_collection(self, config: CollectionConfig) -> ClusterCollectionState:
+        """Create a sharded collection across the current workers.
+
+        ``config.shard_number=None`` yields one shard per worker — Qdrant's
+        default, and the configuration the paper benchmarks.
+        """
+        if config.name in self._collections:
+            raise CollectionExistsError(config.name)
+        if not self._workers:
+            raise ClusterConfigError("cannot create a collection on an empty cluster")
+        shard_number = config.shard_number or len(self._workers)
+        plan = PlacementPlan(
+            worker_ids=list(self._workers),
+            shard_number=shard_number,
+            replication_factor=config.replication_factor,
+        )
+        state = ClusterCollectionState(config, plan)
+        for shard_id, holders in plan.assignments.items():
+            for worker_id in holders:
+                self.transport.call(worker_id, "create_shard", config.name, shard_id, config)
+        self._collections[config.name] = state
+        return state
+
+    def drop_collection(self, name: str) -> None:
+        name, state = self._resolve(name)
+        self._aliases = {a: c for a, c in self._aliases.items() if c != name}
+        for shard_id, holders in state.plan.assignments.items():
+            for worker_id in holders:
+                if worker_id in self._workers:
+                    self.transport.call(worker_id, "drop_shard", name, shard_id)
+        del self._collections[name]
+
+    def _state(self, name: str) -> ClusterCollectionState:
+        try:
+            return self._collections[self._aliases.get(name, name)]
+        except KeyError:
+            raise CollectionNotFoundError(name) from None
+
+    def _resolve(self, name: str) -> tuple[str, ClusterCollectionState]:
+        """Alias-resolved canonical collection name plus its state."""
+        canonical = self._aliases.get(name, name)
+        return canonical, self._state(canonical)
+
+    def collection_names(self) -> list[str]:
+        return list(self._collections)
+
+    # -- aliases -----------------------------------------------------------------
+
+    def create_alias(self, alias: str, collection: str) -> None:
+        """Point an alias at a collection (Qdrant alias semantics: aliases
+        let callers switch the backing collection atomically)."""
+        if alias in self._collections:
+            raise CollectionExistsError(alias)
+        if collection not in self._collections:
+            raise CollectionNotFoundError(collection)
+        self._aliases[alias] = collection
+
+    def delete_alias(self, alias: str) -> None:
+        self._aliases.pop(alias, None)
+
+    def aliases(self) -> dict[str, str]:
+        return dict(self._aliases)
+
+    def placement(self, name: str) -> PlacementPlan:
+        return self._state(name).plan
+
+    # -- writes ---------------------------------------------------------------------------
+
+    def upsert(self, name: str, points: Sequence[PointStruct]) -> UpdateResult:
+        """Route points to their shards and write to every replica."""
+        name, state = self._resolve(name)
+        by_shard = state.router.partition([p.id for p in points])
+        by_id = {p.id: p for p in points}
+        result: UpdateResult | None = None
+        for shard_id, pids in by_shard.items():
+            shard_points = [by_id[pid] for pid in pids]
+            for worker_id in state.plan.workers_for(shard_id):
+                result = self.transport.call(
+                    worker_id, "upsert", name, shard_id, shard_points
+                )
+        return result or UpdateResult(0)
+
+    def upsert_columnar(self, name: str, batch) -> UpdateResult:
+        """Columnar upsert: split the batch by shard, one RPC per replica."""
+        name, state = self._resolve(name)
+        import numpy as np
+
+        shard_rows: dict[int, list[int]] = {}
+        for row, pid in enumerate(batch.ids):
+            shard_rows.setdefault(state.router.shard_for(int(pid)), []).append(row)
+        sub_batches = batch.split({s: np.asarray(r) for s, r in shard_rows.items()})
+        result: UpdateResult | None = None
+        for shard_id, sub in sub_batches.items():
+            for worker_id in state.plan.workers_for(shard_id):
+                result = self.transport.call(
+                    worker_id, "upsert_columnar", name, shard_id, sub
+                )
+        return result or UpdateResult(0)
+
+    def delete(self, name: str, point_ids: Sequence[PointId]) -> None:
+        name, state = self._resolve(name)
+        for shard_id, pids in state.router.partition(point_ids).items():
+            for worker_id in state.plan.workers_for(shard_id):
+                self.transport.call(worker_id, "delete", name, shard_id, pids)
+
+    def set_payload(self, name: str, point_id: PointId, payload: Mapping[str, Any] | None) -> None:
+        name, state = self._resolve(name)
+        shard_id = state.router.shard_for(point_id)
+        for worker_id in state.plan.workers_for(shard_id):
+            self.transport.call(worker_id, "set_payload", name, shard_id, point_id, payload)
+
+    # -- reads -------------------------------------------------------------------------------
+
+    def _entry_worker(self) -> str:
+        """Round-robin choice of the worker a client contacts (§3.4)."""
+        if not self._workers:
+            raise ClusterConfigError("cluster has no workers")
+        ids = list(self._workers)
+        worker = ids[self._rr_counter % len(ids)]
+        self._rr_counter += 1
+        return worker
+
+    def _live_holder(self, state: ClusterCollectionState, shard_id: int) -> str:
+        """A reachable replica holder for the shard, preferring the primary."""
+        for worker_id in state.plan.workers_for(shard_id):
+            if worker_id in self._workers and self.transport.is_reachable(worker_id):
+                return worker_id
+        raise NoReplicaAvailableError(shard_id)
+
+    def _shard_assignment(self, state: ClusterCollectionState) -> dict[str, list[int]]:
+        """worker -> shards it will search, each shard served by one live replica."""
+        assignment: dict[str, list[int]] = {}
+        for shard_id in range(state.plan.shard_number):
+            holder = self._live_holder(state, shard_id)
+            assignment.setdefault(holder, []).append(shard_id)
+        return assignment
+
+    def _predicated_shards(self, state: ClusterCollectionState, request: SearchRequest
+                           ) -> set[int] | None:
+        """Shard prefiltering for predicated queries (§2.1 footnote 4).
+
+        When the filter pins the result to specific point ids (a HasId
+        must-condition), only the shards owning those ids need to be
+        searched; the broadcast collapses to a targeted fan-out.  Returns
+        ``None`` when no narrowing applies (the non-predicated case, where
+        all systems broadcast).
+        """
+        flt = request.filter
+        ids: frozenset | None = None
+        from .filters import Filter, HasId
+
+        if isinstance(flt, HasId):
+            ids = flt.ids
+        elif isinstance(flt, Filter):
+            for cond in flt.must:
+                if isinstance(cond, HasId):
+                    ids = cond.ids
+                    break
+        if ids is None:
+            return None
+        return {state.router.shard_for(pid) for pid in ids}
+
+    def search(self, name: str, request: SearchRequest) -> list[ScoredPoint]:
+        """Broadcast–reduce distributed search (one query)."""
+        name, state = self._resolve(name)
+        assignment = self._shard_assignment(state)
+        only_shards = self._predicated_shards(state, request)
+        partials: list[list[ScoredPoint]] = []
+        # The entry worker fans out; transport-wise each worker is one call.
+        for worker_id, shard_ids in assignment.items():
+            if only_shards is not None:
+                shard_ids = [s for s in shard_ids if s in only_shards]
+                if not shard_ids:
+                    continue
+            partials.append(
+                self.transport.call(worker_id, "search", name, shard_ids, request)
+            )
+        return self._reduce(state, partials, request.limit)
+
+    def recommend(self, name: str, request) -> list[ScoredPoint]:
+        """Distributed recommend: resolve examples, search, merge."""
+        from .recommend import recommend as _recommend
+
+        cluster = self
+
+        class _Bound:
+            distance = self._state(name).config.vectors.distance
+
+            @staticmethod
+            def search(req: SearchRequest):
+                return cluster.search(name, req)
+
+            @staticmethod
+            def retrieve(point_id, *, with_vector=True, with_payload=False):
+                return cluster.retrieve(
+                    name, point_id, with_vector=with_vector, with_payload=with_payload
+                )
+
+        return _recommend(_Bound, request)
+
+    def search_groups(
+        self,
+        name: str,
+        request: SearchRequest,
+        *,
+        group_by: str,
+        group_size: int = 1,
+        limit: int | None = None,
+    ):
+        """Distributed grouped search: broadcast wide, group at the reducer."""
+        limit = limit if limit is not None else request.limit
+        wide = SearchRequest(
+            vector=request.vector,
+            limit=max(limit * group_size * 4, request.limit),
+            filter=request.filter,
+            params=request.params,
+            with_payload=True,
+            with_vector=request.with_vector,
+            score_threshold=request.score_threshold,
+        )
+        hits = self.search(name, wide)
+        groups: dict[Any, list[ScoredPoint]] = {}
+        order: list[Any] = []
+        for hit in hits:
+            key = (hit.payload or {}).get(group_by)
+            if key is None:
+                continue
+            bucket = groups.setdefault(key, [])
+            if not bucket:
+                order.append(key)
+            if len(bucket) < group_size:
+                bucket.append(hit)
+        return [(key, groups[key]) for key in order[:limit]]
+
+    def delete_by_filter(self, name: str, flt) -> int:
+        """Delete matching points on every shard; returns the total removed."""
+        name, state = self._resolve(name)
+        total = 0
+        for shard_id, holders in state.plan.assignments.items():
+            # collect victims from one replica, then delete on all replicas
+            holder = self._live_holder(state, shard_id)
+            page, _ = self.transport.call(
+                holder, "scroll", name, shard_id, limit=10**9, flt=flt,
+                with_payload=False, with_vector=False,
+            )
+            victims = [r.id for r in page]
+            if not victims:
+                continue
+            for worker_id in holders:
+                if worker_id in self._workers:
+                    self.transport.call(worker_id, "delete", name, shard_id, victims)
+            total += len(victims)
+        return total
+
+    def search_batch(self, name: str, requests: Sequence[SearchRequest]
+                     ) -> list[list[ScoredPoint]]:
+        """Broadcast–reduce for a batch of queries (one fan-out per worker)."""
+        name, state = self._resolve(name)
+        assignment = self._shard_assignment(state)
+        per_worker: list[list[list[ScoredPoint]]] = []
+        for worker_id, shard_ids in assignment.items():
+            per_worker.append(
+                self.transport.call(worker_id, "search_batch", name, shard_ids, list(requests))
+            )
+        out: list[list[ScoredPoint]] = []
+        for qi, request in enumerate(requests):
+            partials = [worker_hits[qi] for worker_hits in per_worker]
+            out.append(self._reduce(state, partials, request.limit))
+        return out
+
+    @staticmethod
+    def _reduce(state: ClusterCollectionState, partials: list[list[ScoredPoint]],
+                limit: int) -> list[ScoredPoint]:
+        distance = state.config.vectors.distance
+        merged: dict[PointId, ScoredPoint] = {}
+        for hits in partials:
+            for hit in hits:
+                prev = merged.get(hit.id)
+                if prev is None or distance.is_better(hit.score, prev.score):
+                    merged[hit.id] = hit
+        ordered = sorted(
+            merged.values(), key=lambda h: h.score, reverse=distance.higher_is_better
+        )
+        return ordered[:limit]
+
+    def retrieve(self, name: str, point_id: PointId, *, with_vector: bool = False,
+                 with_payload: bool = True) -> Record:
+        name, state = self._resolve(name)
+        shard_id = state.router.shard_for(point_id)
+        worker_id = self._live_holder(state, shard_id)
+        return self.transport.call(
+            worker_id, "retrieve", name, shard_id, point_id,
+            with_vector=with_vector, with_payload=with_payload,
+        )
+
+    def count(self, name: str) -> int:
+        """Total live points (each shard counted at one replica)."""
+        name, state = self._resolve(name)
+        total = 0
+        for shard_id in range(state.plan.shard_number):
+            worker_id = self._live_holder(state, shard_id)
+            total += self.transport.call(worker_id, "count", name, shard_id)
+        return total
+
+    def scroll(self, name: str, *, limit: int = 100, offset_id: PointId | None = None,
+               flt=None, with_payload: bool = True, with_vector: bool = False
+               ) -> tuple[list[Record], PointId | None]:
+        """Global scroll in ascending id order across all shards."""
+        name, state = self._resolve(name)
+        records: list[Record] = []
+        for shard_id in range(state.plan.shard_number):
+            worker_id = self._live_holder(state, shard_id)
+            page, _ = self.transport.call(
+                worker_id, "scroll", name, shard_id,
+                offset_id=offset_id, limit=limit + 1, flt=flt,
+                with_payload=with_payload, with_vector=with_vector,
+            )
+            records.extend(page)
+        records.sort(key=lambda r: r.id)
+        if len(records) > limit:
+            return records[:limit], records[limit].id
+        return records, None
+
+    # -- maintenance -----------------------------------------------------------------------------
+
+    def build_index(self, name: str, kind: str = "hnsw") -> dict[str, list[int]]:
+        """Deferred index build on every shard replica (§3.3).
+
+        Returns ``worker -> [vectors indexed per shard]`` so callers (and
+        the perf model) can see the per-worker build sizes.
+        """
+        name, state = self._resolve(name)
+        built: dict[str, list[int]] = {}
+        for shard_id, holders in state.plan.assignments.items():
+            for worker_id in holders:
+                if worker_id not in self._workers:
+                    continue
+                report = self.transport.call(worker_id, "build_index", name, shard_id, kind)
+                built.setdefault(worker_id, []).extend(n for _, n in report.index_builds)
+        return built
+
+    def optimize(self, name: str) -> None:
+        name, state = self._resolve(name)
+        for shard_id, holders in state.plan.assignments.items():
+            for worker_id in holders:
+                if worker_id in self._workers:
+                    self.transport.call(worker_id, "optimize", name, shard_id)
+
+    def create_payload_index(self, name: str, key: str, *, kind: str = "keyword") -> None:
+        name, state = self._resolve(name)
+        for shard_id, holders in state.plan.assignments.items():
+            for worker_id in holders:
+                if worker_id in self._workers:
+                    self.transport.call(
+                        worker_id, "create_payload_index", name, shard_id, key, kind=kind
+                    )
+
+    def info(self, name: str) -> list[CollectionInfo]:
+        name, state = self._resolve(name)
+        infos = []
+        for shard_id in range(state.plan.shard_number):
+            worker_id = self._live_holder(state, shard_id)
+            infos.append(self.transport.call(worker_id, "info", name, shard_id))
+        return infos

@@ -1,0 +1,111 @@
+"""Distributed snapshots.
+
+Saves a cluster collection as one snapshot directory per shard plus a
+manifest, and restores it into any cluster — including one with a
+*different* worker count, in which case points are re-sharded on load
+(restore-time repartitioning; the offline variant of the §2.2 rebalancing
+discussion).
+
+Layout::
+
+    <dir>/
+      manifest.json          collection config, shard count, point totals
+      shard-0/ … shard-N/    per-shard repro.core.snapshot directories
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from .cluster import Cluster
+from .collection import Collection
+from .errors import SnapshotError
+from .snapshot import _config_from_dict, _config_to_dict, load_snapshot, save_snapshot
+from .types import CollectionConfig, PointStruct
+
+__all__ = ["save_cluster_snapshot", "load_cluster_snapshot"]
+
+_FORMAT_VERSION = 1
+
+
+def save_cluster_snapshot(cluster: Cluster, name: str, directory: str) -> str:
+    """Snapshot every shard of a cluster collection (one replica each)."""
+    state = cluster._state(name)  # noqa: SLF001 - same package
+    canonical = cluster._aliases.get(name, name)  # noqa: SLF001
+    os.makedirs(directory, exist_ok=True)
+    totals = {}
+    for shard_id in range(state.plan.shard_number):
+        holder = cluster._live_holder(state, shard_id)  # noqa: SLF001
+        worker = cluster._workers[holder]  # noqa: SLF001
+        shard_collection: Collection = worker._shards[(canonical, shard_id)]  # noqa: SLF001
+        shard_dir = os.path.join(directory, f"shard-{shard_id}")
+        save_snapshot(shard_collection, shard_dir)
+        totals[str(shard_id)] = len(shard_collection)
+    manifest = {
+        "format_version": _FORMAT_VERSION,
+        "collection": canonical,
+        "shard_number": state.plan.shard_number,
+        "points_per_shard": totals,
+        "config": _config_to_dict(state.config),
+    }
+    with open(os.path.join(directory, "manifest.json"), "w") as fh:
+        json.dump(manifest, fh, indent=2)
+    return directory
+
+
+def load_cluster_snapshot(
+    cluster: Cluster,
+    directory: str,
+    *,
+    name: str | None = None,
+    batch_size: int = 2048,
+) -> str:
+    """Restore a cluster snapshot into ``cluster`` (re-sharding as needed).
+
+    The target cluster may have any worker count; points are routed by the
+    new collection's router, so a 4-shard snapshot restores cleanly onto an
+    8-worker cluster.  Returns the collection name created.
+    """
+    manifest_path = os.path.join(directory, "manifest.json")
+    if not os.path.exists(manifest_path):
+        raise SnapshotError(f"no cluster snapshot at {directory!r} (missing manifest.json)")
+    with open(manifest_path) as fh:
+        manifest = json.load(fh)
+    if manifest.get("format_version") != _FORMAT_VERSION:
+        raise SnapshotError(
+            f"unsupported cluster snapshot version {manifest.get('format_version')!r}"
+        )
+    config: CollectionConfig = _config_from_dict(manifest["config"])
+    target_name = name or manifest["collection"]
+    config = config.with_(name=target_name, shard_number=None)
+    cluster.create_collection(config)
+
+    expected = 0
+    for shard_id in range(manifest["shard_number"]):
+        shard_dir = os.path.join(directory, f"shard-{shard_id}")
+        shard_collection = load_snapshot(shard_dir)
+        declared = manifest["points_per_shard"].get(str(shard_id))
+        if declared is not None and declared != len(shard_collection):
+            raise SnapshotError(
+                f"shard {shard_id}: manifest declares {declared} points, "
+                f"snapshot holds {len(shard_collection)}"
+            )
+        expected += len(shard_collection)
+        batch: list[PointStruct] = []
+        for seg in shard_collection.segments:
+            for record in seg.iter_points(with_vector=True):
+                batch.append(
+                    PointStruct(id=record.id, vector=record.vector, payload=record.payload)
+                )
+                if len(batch) >= batch_size:
+                    cluster.upsert(target_name, batch)
+                    batch = []
+        if batch:
+            cluster.upsert(target_name, batch)
+    actual = cluster.count(target_name)
+    if actual != expected:
+        raise SnapshotError(
+            f"restore incomplete: expected {expected} points, cluster holds {actual}"
+        )
+    return target_name

@@ -1,0 +1,490 @@
+"""Collection: the user-facing container of points.
+
+A collection is a list of :class:`~repro.core.segment.Segment` objects plus
+a :class:`~repro.core.optimizer.SegmentOptimizer` and an optional WAL.  A
+standalone collection is what a single Qdrant worker serves for one shard;
+the cluster layer (:mod:`repro.core.cluster`) composes many of them.
+
+Write path: operations are logged to the WAL (when enabled), applied to the
+current appendable segment, and the optimizer runs opportunistically.  With
+``indexing_threshold=0`` (bulk mode, §3.3) segments stay plain until
+:meth:`build_index` is called explicitly, which seals all appendable
+segments and builds one HNSW per segment — the "complete index rebuild" the
+paper measures in Figure 3.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+from .errors import PointNotFoundError
+from .filters import Condition
+from .optimizer import OptimizerReport, SegmentOptimizer
+from .segment import Segment
+from .types import (
+    CollectionConfig,
+    CollectionInfo,
+    CollectionStatus,
+    PointId,
+    PointStruct,
+    Record,
+    ScoredPoint,
+    SearchParams,
+    SearchRequest,
+    UpdateResult,
+    UpdateStatus,
+)
+from .wal import WriteAheadLog
+
+__all__ = ["Collection"]
+
+
+class Collection:
+    """A searchable set of points with one consistent vector configuration."""
+
+    def __init__(self, config: CollectionConfig, *, directory: str | None = None):
+        self.config = config
+        self._directory = directory
+        # Mutations are serialized per collection (as Qdrant serializes
+        # writes per shard); concurrent clients may share a collection.
+        self._write_lock = threading.RLock()
+        self._segments: list[Segment] = [Segment(config, directory=directory)]
+        self._optimizer = SegmentOptimizer(config)
+        self._operation_counter = 0
+        self._last_report = OptimizerReport()
+        self._wal: WriteAheadLog | None = None
+        if config.wal.enabled:
+            path = config.wal.path or os.path.join(directory or ".", f"{config.name}.wal")
+            self._wal = WriteAheadLog(path, sync_every_write=config.wal.sync_every_write)
+            self._replay_wal()
+
+    # -- WAL -------------------------------------------------------------------
+
+    def _replay_wal(self) -> None:
+        assert self._wal is not None
+        for record in self._wal.replay():
+            if record.op == "upsert":
+                points = [
+                    PointStruct(id=pid, vector=np.asarray(vec, dtype=np.float32), payload=pl)
+                    for pid, vec, pl in record.data
+                ]
+                self._apply_upsert(points)
+            elif record.op == "delete":
+                for pid in record.data:
+                    self._apply_delete(pid)
+            elif record.op == "set_payload":
+                pid, payload = record.data
+                self._apply_set_payload(pid, payload)
+
+    def _log(self, op: str, data) -> None:
+        if self._wal is not None:
+            self._wal.append(op, data)
+
+    def checkpoint(self) -> None:
+        """Truncate the WAL (callers must have snapshotted first)."""
+        if self._wal is not None:
+            self._wal.truncate()
+
+    # -- introspection ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return sum(len(s) for s in self._segments)
+
+    @property
+    def segments(self) -> list[Segment]:
+        return list(self._segments)
+
+    @property
+    def indexed_vectors_count(self) -> int:
+        return sum(len(s) for s in self._segments if s.is_indexed)
+
+    @property
+    def last_optimizer_report(self) -> OptimizerReport:
+        return self._last_report
+
+    def info(self) -> CollectionInfo:
+        unindexed = [
+            s for s in self._segments
+            if not s.is_indexed and len(s) >= max(1, self.config.optimizer.indexing_threshold)
+        ]
+        status = CollectionStatus.GREEN
+        if self.config.optimizer.indexing_threshold > 0 and unindexed:
+            status = CollectionStatus.YELLOW
+        return CollectionInfo(
+            name=self.config.name,
+            status=status,
+            points_count=len(self),
+            indexed_vectors_count=self.indexed_vectors_count,
+            segments_count=len(self._segments),
+            config=self.config,
+        )
+
+    def contains(self, point_id: PointId) -> bool:
+        return any(s.contains(point_id) for s in self._segments)
+
+    # -- write path ------------------------------------------------------------------
+
+    def _appendable_segment(self) -> Segment:
+        for seg in reversed(self._segments):
+            if not seg.is_sealed:
+                return seg
+        seg = Segment(self.config, directory=self._directory)
+        self._segments.append(seg)
+        return seg
+
+    def _apply_upsert(self, points: Sequence[PointStruct]) -> None:
+        # An id may already live in an older (possibly sealed) segment; a
+        # re-upsert there must tombstone the old copy first.
+        fresh: list[PointStruct] = []
+        target = self._appendable_segment()
+        for p in points:
+            placed = False
+            for seg in self._segments:
+                if seg.contains(p.id):
+                    if seg is target and not seg.is_sealed:
+                        seg.upsert(p)
+                        placed = True
+                    else:
+                        seg.delete(p.id)
+                    break
+            if not placed:
+                fresh.append(p)
+        # Append fresh points, splitting across segments at max_segment_size.
+        max_size = self.config.optimizer.max_segment_size
+        while fresh:
+            if max_size is None:
+                target.upsert_batch(fresh)
+                fresh = []
+            else:
+                room = max_size - len(target)
+                if room <= 0:
+                    target.seal()
+                    target = self._appendable_segment()
+                    continue
+                target.upsert_batch(fresh[:room])
+                fresh = fresh[room:]
+                if len(target) >= max_size:
+                    target.seal()
+
+    def upsert(self, points: Sequence[PointStruct] | PointStruct) -> UpdateResult:
+        """Insert or overwrite points; runs the optimizer afterwards."""
+        if isinstance(points, PointStruct):
+            points = [points]
+        with self._write_lock:
+            self._log(
+                "upsert",
+                [(p.id, p.as_array().tolist(), dict(p.payload) if p.payload else None)
+                 for p in points],
+            )
+            self._apply_upsert(points)
+            self._maybe_optimize()
+            self._operation_counter += 1
+            return UpdateResult(self._operation_counter, UpdateStatus.COMPLETED)
+
+    def upsert_columnar(self, batch) -> UpdateResult:
+        """Columnar fast-path upsert (Qdrant ``Batch`` semantics).
+
+        Fresh ids take one vectorized append per segment; ids that already
+        exist anywhere fall back to the per-point overwrite path.
+        """
+        from .batch import Batch
+
+        if not isinstance(batch, Batch):
+            raise TypeError("upsert_columnar expects a core.batch.Batch")
+        batch.validate(expected_dim=self.config.vectors.size)
+        with self._write_lock:
+            self._log(
+                "upsert",
+                [
+                    (int(pid), batch.vectors[i].tolist(), batch.payloads[i])
+                    for i, pid in enumerate(batch.ids)
+                ],
+            )
+            existing_rows = [
+                i for i, pid in enumerate(batch.ids) if self.contains(int(pid))
+            ]
+            if existing_rows:
+                self._apply_upsert(
+                    [
+                        PointStruct(
+                            id=int(batch.ids[i]),
+                            vector=batch.vectors[i],
+                            payload=batch.payloads[i],
+                        )
+                        for i in existing_rows
+                    ]
+                )
+            fresh_mask = np.ones(len(batch), dtype=bool)
+            fresh_mask[existing_rows] = False
+            if fresh_mask.any():
+                rows = np.nonzero(fresh_mask)[0]
+                target = self._appendable_segment()
+                target.upsert_columnar(
+                    batch.ids[rows],
+                    batch.vectors[rows],
+                    [batch.payloads[int(r)] for r in rows],
+                )
+                max_size = self.config.optimizer.max_segment_size
+                if max_size is not None and len(target) >= max_size:
+                    target.seal()
+            self._maybe_optimize()
+            self._operation_counter += 1
+            return UpdateResult(self._operation_counter, UpdateStatus.COMPLETED)
+
+    def _apply_delete(self, point_id: PointId) -> bool:
+        for seg in self._segments:
+            if seg.contains(point_id):
+                seg.delete(point_id)
+                return True
+        return False
+
+    def delete(self, point_ids: Sequence[PointId] | PointId) -> UpdateResult:
+        if isinstance(point_ids, int):
+            point_ids = [point_ids]
+        with self._write_lock:
+            self._log("delete", list(point_ids))
+            for pid in point_ids:
+                if not self._apply_delete(pid):
+                    raise PointNotFoundError(pid)
+            self._maybe_optimize()
+            self._operation_counter += 1
+            return UpdateResult(self._operation_counter, UpdateStatus.COMPLETED)
+
+    def _apply_set_payload(self, point_id: PointId, payload: Mapping[str, Any] | None) -> None:
+        for seg in self._segments:
+            if seg.contains(point_id):
+                seg.set_payload(point_id, payload)
+                return
+        raise PointNotFoundError(point_id)
+
+    def set_payload(self, point_id: PointId, payload: Mapping[str, Any] | None) -> UpdateResult:
+        with self._write_lock:
+            self._log("set_payload", (point_id, dict(payload) if payload else None))
+            self._apply_set_payload(point_id, payload)
+            self._operation_counter += 1
+            return UpdateResult(self._operation_counter, UpdateStatus.COMPLETED)
+
+    def create_payload_index(self, key: str, *, kind: str = "keyword") -> None:
+        """Create a secondary payload index on every segment."""
+        for seg in self._segments:
+            if kind == "keyword":
+                seg.payload_store.create_keyword_index(key)
+            elif kind == "numeric":
+                seg.payload_store.create_numeric_index(key)
+            else:
+                raise ValueError(f"unknown payload index kind {kind!r}")
+
+    # -- maintenance ---------------------------------------------------------------------
+
+    def _maybe_optimize(self) -> None:
+        self._segments, self._last_report = self._optimizer.run(self._segments)
+
+    def optimize(self) -> OptimizerReport:
+        """Force a full optimizer pass."""
+        self._segments, self._last_report = self._optimizer.run(self._segments)
+        return self._last_report
+
+    def build_index(self, kind: str = "hnsw") -> OptimizerReport:
+        """Seal all segments and build an ANN index over each (bulk path).
+
+        This is the deferred "complete index rebuild" of §3.3.  Returns a
+        report whose ``index_builds`` lists each (segment, size) build.
+        """
+        report = OptimizerReport()
+        for seg in self._segments:
+            if len(seg) == 0:
+                continue
+            seg.seal()
+            seg.build_index(kind)
+            report.segments_indexed += 1
+            report.vectors_indexed += len(seg)
+            report.index_builds.append((seg.segment_id, len(seg)))
+        self._last_report = report
+        return report
+
+    def enable_quantization(self) -> None:
+        for seg in self._segments:
+            if len(seg):
+                seg.enable_quantization()
+
+    # -- read path -----------------------------------------------------------------------
+
+    def retrieve(
+        self, point_id: PointId, *, with_vector: bool = False, with_payload: bool = True
+    ) -> Record:
+        for seg in self._segments:
+            if seg.contains(point_id):
+                return seg.retrieve(point_id, with_vector=with_vector, with_payload=with_payload)
+        raise PointNotFoundError(point_id)
+
+    def scroll(
+        self,
+        *,
+        offset_id: PointId | None = None,
+        limit: int = 100,
+        flt: Condition | None = None,
+        with_payload: bool = True,
+        with_vector: bool = False,
+    ) -> tuple[list[Record], PointId | None]:
+        """Paginate over all segments in ascending id order."""
+        pages = []
+        for seg in self._segments:
+            page, _ = seg.scroll(
+                offset_id=offset_id,
+                limit=limit + 1,
+                flt=flt,
+                with_payload=with_payload,
+                with_vector=with_vector,
+            )
+            pages.extend(page)
+        pages.sort(key=lambda r: r.id)
+        if len(pages) > limit:
+            return pages[:limit], pages[limit].id
+        return pages, None
+
+    def search(self, request: SearchRequest) -> list[ScoredPoint]:
+        """Top-k search merged across all segments."""
+        query = request.as_array()
+        params = request.params or SearchParams()
+        per_segment: list[list[ScoredPoint]] = []
+        for seg in self._segments:
+            if len(seg) == 0:
+                continue
+            per_segment.append(
+                seg.search(
+                    query,
+                    request.limit,
+                    flt=request.filter,
+                    exact=params.exact,
+                    ef=params.hnsw_ef,
+                    nprobe=params.ivf_nprobe,
+                    with_payload=request.with_payload,
+                    with_vector=request.with_vector,
+                    score_threshold=request.score_threshold,
+                )
+            )
+        return self._merge_hits(per_segment, request.limit)
+
+    def _merge_hits(
+        self, per_segment: list[list[ScoredPoint]], limit: int
+    ) -> list[ScoredPoint]:
+        distance = self.config.vectors.distance
+        merged: dict[PointId, ScoredPoint] = {}
+        for hits in per_segment:
+            for hit in hits:
+                prev = merged.get(hit.id)
+                if prev is None or distance.is_better(hit.score, prev.score):
+                    merged[hit.id] = hit
+        ordered = sorted(
+            merged.values(),
+            key=lambda h: h.score,
+            reverse=distance.higher_is_better,
+        )
+        return ordered[:limit]
+
+    @property
+    def distance(self):
+        return self.config.vectors.distance
+
+    def recommend(self, request) -> list[ScoredPoint]:
+        """Positive/negative-example search (Qdrant's recommend API)."""
+        from .recommend import recommend as _recommend
+
+        return _recommend(self, request)
+
+    def search_groups(
+        self,
+        request: SearchRequest,
+        *,
+        group_by: str,
+        group_size: int = 1,
+        limit: int | None = None,
+    ) -> list[tuple[Any, list[ScoredPoint]]]:
+        """Search, then collapse hits by a payload key (Qdrant's groups API).
+
+        Returns up to ``limit`` (group key, top ``group_size`` hits) pairs,
+        ordered by each group's best score.  The primary use here is
+        chunked corpora: chunk-level hits grouped by ``paper_id`` yield
+        paper-level results (§3.1's chunking future work).
+        """
+        limit = limit if limit is not None else request.limit
+        # over-fetch so enough distinct groups surface
+        wide = SearchRequest(
+            vector=request.vector,
+            limit=max(limit * group_size * 4, request.limit),
+            filter=request.filter,
+            params=request.params,
+            with_payload=True,
+            with_vector=request.with_vector,
+            score_threshold=request.score_threshold,
+        )
+        hits = self.search(wide)
+        groups: dict[Any, list[ScoredPoint]] = {}
+        order: list[Any] = []
+        for hit in hits:
+            key = (hit.payload or {}).get(group_by)
+            if key is None:
+                continue
+            bucket = groups.setdefault(key, [])
+            if not bucket:
+                order.append(key)
+            if len(bucket) < group_size:
+                bucket.append(hit)
+        return [(key, groups[key]) for key in order[:limit]]
+
+    def count(self, flt: Condition | None = None) -> int:
+        """Number of live points, optionally restricted by a filter."""
+        if flt is None:
+            return len(self)
+        total = 0
+        for seg in self._segments:
+            for pid in seg.point_ids():
+                if seg.payload_store.evaluate(flt, pid):
+                    total += 1
+        return total
+
+    def delete_by_filter(self, flt: Condition) -> int:
+        """Delete every point matching the filter; returns the count."""
+        victims: list[PointId] = []
+        for seg in self._segments:
+            for pid in seg.point_ids():
+                if seg.payload_store.evaluate(flt, pid):
+                    victims.append(pid)
+        if victims:
+            self.delete(victims)
+        return len(victims)
+
+    def search_batch(self, requests: Sequence[SearchRequest]) -> list[list[ScoredPoint]]:
+        """Batched search. Homogeneous unfiltered batches share one GEMM per segment."""
+        simple = all(
+            r.filter is None
+            and not r.with_payload
+            and not r.with_vector
+            and r.score_threshold is None
+            and not (r.params and (r.params.exact or r.params.hnsw_ef or r.params.ivf_nprobe))
+            for r in requests
+        )
+        all_flat = all(not s.is_indexed and not s.is_quantized for s in self._segments)
+        if simple and all_flat and requests:
+            limit = max(r.limit for r in requests)
+            queries = np.stack([r.as_array() for r in requests])
+            per_query: list[list[list[ScoredPoint]]] = [[] for _ in requests]
+            for seg in self._segments:
+                if len(seg) == 0:
+                    continue
+                seg_hits = seg.search_batch(queries, limit)
+                for qi, hits in enumerate(seg_hits):
+                    per_query[qi].append(hits)
+            return [
+                self._merge_hits(hits, requests[qi].limit)
+                for qi, hits in enumerate(per_query)
+            ]
+        return [self.search(r) for r in requests]
+
+    def close(self) -> None:
+        if self._wal is not None:
+            self._wal.close()

@@ -1,0 +1,186 @@
+"""Payload filter DSL.
+
+A small, composable subset of Qdrant's filtering language sufficient for
+predicated search (§2.1 footnote 4): field conditions (:class:`FieldMatch`,
+:class:`FieldRange`, :class:`FieldIn`, :class:`HasId`) combined with boolean
+clauses (:class:`Filter` with ``must`` / ``should`` / ``must_not``).
+
+Filters evaluate against a payload mapping and are used for *prefiltering*:
+the segment computes the set of admissible offsets before (flat) or during
+(HNSW, via a visit predicate) the vector search.
+
+Keys may be dotted paths (``"meta.year"``) navigating nested mappings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping, Sequence
+
+__all__ = [
+    "Condition",
+    "FieldMatch",
+    "FieldRange",
+    "FieldIn",
+    "HasId",
+    "IsEmpty",
+    "Filter",
+    "matches",
+]
+
+_MISSING = object()
+
+
+def _lookup(payload: Mapping[str, Any] | None, key: str):
+    """Resolve a dotted path in a nested mapping; returns ``_MISSING`` if absent."""
+    if payload is None:
+        return _MISSING
+    node: Any = payload
+    for part in key.split("."):
+        if isinstance(node, Mapping) and part in node:
+            node = node[part]
+        else:
+            return _MISSING
+    return node
+
+
+class Condition:
+    """Base class for all filter conditions."""
+
+    def evaluate(self, point_id: int, payload: Mapping[str, Any] | None) -> bool:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class FieldMatch(Condition):
+    """``payload[key] == value`` (or membership, when the stored value is a list)."""
+
+    key: str
+    value: Any
+
+    def evaluate(self, point_id, payload) -> bool:
+        got = _lookup(payload, self.key)
+        if got is _MISSING:
+            return False
+        if isinstance(got, (list, tuple, set)) and not isinstance(self.value, (list, tuple, set)):
+            return self.value in got
+        return got == self.value
+
+
+@dataclass(frozen=True)
+class FieldRange(Condition):
+    """Numeric range test with optional open/closed bounds."""
+
+    key: str
+    gte: float | None = None
+    gt: float | None = None
+    lte: float | None = None
+    lt: float | None = None
+
+    def __post_init__(self):
+        if all(b is None for b in (self.gte, self.gt, self.lte, self.lt)):
+            raise ValueError("FieldRange requires at least one bound")
+
+    def evaluate(self, point_id, payload) -> bool:
+        got = _lookup(payload, self.key)
+        if got is _MISSING or not isinstance(got, (int, float)) or isinstance(got, bool):
+            return False
+        if self.gte is not None and not got >= self.gte:
+            return False
+        if self.gt is not None and not got > self.gt:
+            return False
+        if self.lte is not None and not got <= self.lte:
+            return False
+        if self.lt is not None and not got < self.lt:
+            return False
+        return True
+
+
+@dataclass(frozen=True)
+class FieldIn(Condition):
+    """``payload[key]`` is one of the given values."""
+
+    key: str
+    values: tuple
+
+    def __init__(self, key: str, values: Iterable[Any]):
+        object.__setattr__(self, "key", key)
+        object.__setattr__(self, "values", tuple(values))
+
+    def evaluate(self, point_id, payload) -> bool:
+        got = _lookup(payload, self.key)
+        return got is not _MISSING and got in self.values
+
+
+@dataclass(frozen=True)
+class HasId(Condition):
+    """Point id is one of the given ids."""
+
+    ids: frozenset
+
+    def __init__(self, ids: Iterable[int]):
+        object.__setattr__(self, "ids", frozenset(ids))
+
+    def evaluate(self, point_id, payload) -> bool:
+        return point_id in self.ids
+
+
+@dataclass(frozen=True)
+class IsEmpty(Condition):
+    """The key is absent, None, or an empty container."""
+
+    key: str
+
+    def evaluate(self, point_id, payload) -> bool:
+        got = _lookup(payload, self.key)
+        if got is _MISSING or got is None:
+            return True
+        if isinstance(got, (list, tuple, set, str, dict)):
+            return len(got) == 0
+        return False
+
+
+@dataclass(frozen=True)
+class Filter(Condition):
+    """Boolean combination of conditions.
+
+    * every ``must`` condition holds, AND
+    * at least one ``should`` condition holds (if any are given), AND
+    * no ``must_not`` condition holds.
+
+    Nested :class:`Filter` objects are themselves conditions, so arbitrary
+    boolean trees can be expressed.
+    """
+
+    must: tuple = field(default=())
+    should: tuple = field(default=())
+    must_not: tuple = field(default=())
+
+    def __init__(
+        self,
+        must: Sequence[Condition] = (),
+        should: Sequence[Condition] = (),
+        must_not: Sequence[Condition] = (),
+    ):
+        object.__setattr__(self, "must", tuple(must))
+        object.__setattr__(self, "should", tuple(should))
+        object.__setattr__(self, "must_not", tuple(must_not))
+
+    def is_trivial(self) -> bool:
+        return not (self.must or self.should or self.must_not)
+
+    def evaluate(self, point_id, payload) -> bool:
+        for cond in self.must:
+            if not cond.evaluate(point_id, payload):
+                return False
+        for cond in self.must_not:
+            if cond.evaluate(point_id, payload):
+                return False
+        if self.should:
+            return any(cond.evaluate(point_id, payload) for cond in self.should)
+        return True
+
+
+def matches(flt: Condition | None, point_id: int, payload: Mapping[str, Any] | None) -> bool:
+    """Evaluate an optional filter; ``None`` admits everything."""
+    return True if flt is None else flt.evaluate(point_id, payload)

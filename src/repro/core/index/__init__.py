@@ -1,0 +1,52 @@
+"""ANN index implementations.
+
+* :class:`FlatIndex` — exact scan baseline.
+* :class:`HnswIndex` — layered graph index (Qdrant's default; §3.3).
+* :class:`IvfIndex` — inverted file, optionally product-quantized.
+* :class:`KdTreeIndex` — tree baseline from §2.1's taxonomy.
+* :class:`ProductQuantizer` — standalone PQ codec.
+
+:func:`make_index` builds an index by name from a collection config.
+"""
+
+from __future__ import annotations
+
+from ..storage import VectorArena
+from ..types import CollectionConfig, Distance
+from .base import IndexStats, OffsetPredicate, VectorIndex
+from .flat import FlatIndex
+from .hnsw import HnswIndex
+from .ivf import IvfIndex
+from .kdtree import KdTreeIndex
+from .kmeans import kmeans
+from .pq import ProductQuantizer
+
+__all__ = [
+    "VectorIndex",
+    "IndexStats",
+    "OffsetPredicate",
+    "FlatIndex",
+    "HnswIndex",
+    "IvfIndex",
+    "KdTreeIndex",
+    "ProductQuantizer",
+    "kmeans",
+    "make_index",
+    "INDEX_KINDS",
+]
+
+INDEX_KINDS = ("flat", "hnsw", "ivf", "kdtree")
+
+
+def make_index(kind: str, arena: VectorArena, config: CollectionConfig):
+    """Construct an index of the given kind bound to ``arena``."""
+    distance: Distance = config.vectors.distance
+    if kind == "flat":
+        return FlatIndex(arena, distance)
+    if kind == "hnsw":
+        return HnswIndex(arena, distance, config.hnsw)
+    if kind == "ivf":
+        return IvfIndex(arena, distance, config.ivf)
+    if kind == "kdtree":
+        return KdTreeIndex(arena, distance)
+    raise ValueError(f"unknown index kind {kind!r}; expected one of {INDEX_KINDS}")

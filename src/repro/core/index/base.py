@@ -1,0 +1,78 @@
+"""Index interface.
+
+All ANN indexes operate on *arena offsets* (dense ints), not external point
+ids — the segment translates between the two.  An index is built over a
+vector matrix view and supports incremental ``add`` (HNSW, flat) or requires
+a full ``build`` (IVF, KD-tree); ``supports_incremental_add`` advertises
+which.  ``search`` may take an optional offset predicate implementing
+filtered search.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol, runtime_checkable
+
+import numpy as np
+
+from ..types import Distance
+
+__all__ = ["VectorIndex", "OffsetPredicate", "IndexStats"]
+
+#: Predicate over arena offsets: True means the offset is admissible.
+OffsetPredicate = Callable[[int], bool]
+
+
+class IndexStats:
+    """Counters an index maintains for introspection and cost accounting.
+
+    ``distance_computations`` is the basis for the performance model: the
+    simulator charges CPU time proportional to it.
+    """
+
+    __slots__ = ("distance_computations", "hops", "inserts")
+
+    def __init__(self):
+        self.distance_computations = 0
+        self.hops = 0
+        self.inserts = 0
+
+    def reset(self) -> None:
+        self.distance_computations = 0
+        self.hops = 0
+        self.inserts = 0
+
+
+@runtime_checkable
+class VectorIndex(Protocol):
+    """Protocol implemented by every index in :mod:`repro.core.index`."""
+
+    distance: Distance
+    stats: IndexStats
+
+    @property
+    def size(self) -> int:
+        """Number of offsets currently in the index."""
+        ...
+
+    @property
+    def supports_incremental_add(self) -> bool:
+        ...
+
+    def add(self, offset: int, vector: np.ndarray) -> None:
+        """Insert one vector under the given arena offset."""
+        ...
+
+    def build(self, vectors: np.ndarray, offsets: np.ndarray) -> None:
+        """(Re)build the index over the given rows in one pass."""
+        ...
+
+    def search(
+        self,
+        query: np.ndarray,
+        k: int,
+        *,
+        predicate: OffsetPredicate | None = None,
+        **params,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(offsets, scores)`` of the top-k matches, best first."""
+        ...

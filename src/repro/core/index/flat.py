@@ -1,0 +1,104 @@
+"""Flat (exact brute-force) index.
+
+The baseline every ANN index is measured against: a full scan with the
+vectorized kernels from :mod:`repro.core.distances`.  Qdrant serves small or
+not-yet-optimized segments exactly this way, which is why the optimizer's
+``indexing_threshold`` exists.
+
+The flat index does not copy vectors; it holds a reference to the arena and
+the set of member offsets, so memory cost is O(members).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import distances
+from ..storage import VectorArena
+from ..types import Distance
+from .base import IndexStats, OffsetPredicate
+
+__all__ = ["FlatIndex"]
+
+
+class FlatIndex:
+    """Exact scan over a subset of arena offsets."""
+
+    def __init__(self, arena: VectorArena, distance: Distance):
+        self._arena = arena
+        self.distance = distance
+        self.stats = IndexStats()
+        self._offsets: list[int] = []
+        self._offsets_arr: np.ndarray | None = None  # cache, invalidated on add
+
+    @property
+    def size(self) -> int:
+        return len(self._offsets)
+
+    @property
+    def supports_incremental_add(self) -> bool:
+        return True
+
+    def add(self, offset: int, vector: np.ndarray) -> None:
+        self._offsets.append(int(offset))
+        self._offsets_arr = None
+        self.stats.inserts += 1
+
+    def build(self, vectors: np.ndarray, offsets: np.ndarray) -> None:
+        self._offsets = [int(o) for o in offsets]
+        self._offsets_arr = None
+        self.stats.inserts += len(self._offsets)
+
+    def remove(self, offset: int) -> None:
+        """Drop an offset (flat supports true deletes, not just tombstones)."""
+        self._offsets.remove(int(offset))
+        self._offsets_arr = None
+
+    def _member_offsets(self) -> np.ndarray:
+        if self._offsets_arr is None:
+            self._offsets_arr = np.asarray(self._offsets, dtype=np.int64)
+        return self._offsets_arr
+
+    def search(
+        self,
+        query: np.ndarray,
+        k: int,
+        *,
+        predicate: OffsetPredicate | None = None,
+        **params,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        offsets = self._member_offsets()
+        if predicate is not None:
+            keep = np.fromiter(
+                (predicate(int(o)) for o in offsets), count=len(offsets), dtype=bool
+            )
+            offsets = offsets[keep]
+        if offsets.size == 0:
+            return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float32)
+        matrix = self._arena.take(offsets)
+        scores = distances.score_batch(matrix, query, self.distance)
+        self.stats.distance_computations += int(offsets.size)
+        idx, top_scores = distances.top_k(scores, k, self.distance)
+        return offsets[idx], top_scores
+
+    def search_batch(
+        self, queries: np.ndarray, k: int, *, predicate: OffsetPredicate | None = None
+    ) -> list[tuple[np.ndarray, np.ndarray]]:
+        """Batched exact search: one GEMM for the whole query batch."""
+        offsets = self._member_offsets()
+        if predicate is not None:
+            keep = np.fromiter(
+                (predicate(int(o)) for o in offsets), count=len(offsets), dtype=bool
+            )
+            offsets = offsets[keep]
+        if offsets.size == 0:
+            empty = (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float32))
+            return [empty for _ in range(len(queries))]
+        matrix = self._arena.take(offsets)
+        all_scores = distances.score_pairwise(matrix, queries, self.distance)
+        self.stats.distance_computations += int(offsets.size) * len(queries)
+        out = []
+        for row in all_scores:
+            idx, top_scores = distances.top_k(row, k, self.distance)
+            out.append((offsets[idx], top_scores))
+        return out

@@ -1,0 +1,175 @@
+"""KD-tree index (Bentley, 1975 — reference [4] of the paper).
+
+Included as the tree-based baseline from §2.1's index taxonomy.  KD-trees
+are exact in low dimension but degrade toward brute force as dimensionality
+grows (the curse of dimensionality) — the ablation bench uses this index to
+demonstrate *why* graph indexes win for embedding workloads.
+
+The tree is median-split on the widest-spread coordinate, built over arena
+offsets.  Search supports both exact backtracking (``exact=True``) and a
+bounded-leaf approximate mode that visits at most ``max_leaves`` buckets.
+Internally uses squared Euclidean distance; for cosine collections the
+stored vectors are unit-norm, so the L2 ranking equals the cosine ranking
+(``|x-q|^2 = 2 - 2 cos`` for unit vectors), and scores are converted back.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..storage import VectorArena
+from ..types import Distance
+from .base import IndexStats, OffsetPredicate
+
+__all__ = ["KdTreeIndex"]
+
+_LEAF_SIZE = 32
+
+
+@dataclass
+class _Node:
+    axis: int = -1
+    threshold: float = 0.0
+    left: "_Node | None" = None
+    right: "_Node | None" = None
+    # Leaf payload: arena offsets in this bucket.
+    offsets: np.ndarray | None = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.offsets is not None
+
+
+class KdTreeIndex:
+    """Median-split KD-tree over a :class:`VectorArena`."""
+
+    def __init__(self, arena: VectorArena, distance: Distance, *, leaf_size: int = _LEAF_SIZE):
+        if distance is Distance.DOT:
+            # Inner product is not a metric; KD-tree pruning bounds do not
+            # apply. (COSINE works because storage is unit-normalised.)
+            raise ValueError("KdTreeIndex supports EUCLID and COSINE only")
+        self._arena = arena
+        self.distance = distance
+        self.stats = IndexStats()
+        self._root: _Node | None = None
+        self._size = 0
+        self._leaf_size = leaf_size
+        self._query_norm_needed = distance is Distance.COSINE
+
+    @property
+    def size(self) -> int:
+        return self._size
+
+    @property
+    def supports_incremental_add(self) -> bool:
+        return False
+
+    def add(self, offset: int, vector: np.ndarray) -> None:
+        raise NotImplementedError("KD-tree requires a full build; use build()")
+
+    def build(self, vectors: np.ndarray, offsets: np.ndarray) -> None:
+        vectors = np.ascontiguousarray(vectors, dtype=np.float32)
+        offsets = np.asarray(offsets, dtype=np.int64)
+        self._root = self._build_node(vectors, offsets)
+        self._size = len(offsets)
+        self.stats.inserts += len(offsets)
+
+    def _build_node(self, vectors: np.ndarray, offsets: np.ndarray) -> _Node:
+        if len(offsets) <= self._leaf_size:
+            return _Node(offsets=offsets)
+        spreads = vectors.max(axis=0) - vectors.min(axis=0)
+        axis = int(np.argmax(spreads))
+        if spreads[axis] <= 0:
+            return _Node(offsets=offsets)  # all points identical on every axis
+        order = np.argsort(vectors[:, axis], kind="stable")
+        mid = len(order) // 2
+        threshold = float(vectors[order[mid], axis])
+        left_idx, right_idx = order[:mid], order[mid:]
+        return _Node(
+            axis=axis,
+            threshold=threshold,
+            left=self._build_node(vectors[left_idx], offsets[left_idx]),
+            right=self._build_node(vectors[right_idx], offsets[right_idx]),
+        )
+
+    def depth(self) -> int:
+        def walk(node: _Node | None) -> int:
+            if node is None or node.is_leaf:
+                return 1
+            return 1 + max(walk(node.left), walk(node.right))
+
+        return 0 if self._root is None else walk(self._root)
+
+    # -- search ---------------------------------------------------------------
+
+    def search(
+        self,
+        query: np.ndarray,
+        k: int,
+        *,
+        predicate: OffsetPredicate | None = None,
+        exact: bool = True,
+        max_leaves: int = 64,
+        **params,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        if self._root is None or k <= 0:
+            return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float32)
+        query = np.ascontiguousarray(query, dtype=np.float32)
+        if self._query_norm_needed:
+            norm = float(np.linalg.norm(query))
+            if norm > 0:
+                query = query / np.float32(norm)
+
+        # Best-first traversal over nodes keyed by lower-bound distance.
+        best: list[tuple[float, int]] = []  # max-heap of (-d2, offset)
+        frontier: list[tuple[float, int, _Node]] = [(0.0, 0, self._root)]
+        counter = 1
+        leaves_visited = 0
+        while frontier:
+            bound, _, node = heapq.heappop(frontier)
+            if len(best) >= k and bound > -best[0][0]:
+                # The frontier is a min-heap on the lower bound, so every
+                # remaining node is at least this far away: done.
+                break
+            if node.is_leaf:
+                leaves_visited += 1
+                offsets = node.offsets
+                if predicate is not None:
+                    keep = np.fromiter(
+                        (predicate(int(o)) for o in offsets), count=len(offsets), dtype=bool
+                    )
+                    offsets = offsets[keep]
+                if len(offsets):
+                    matrix = self._arena.take(offsets)
+                    diff = matrix - query
+                    d2 = np.einsum("ij,ij->i", diff, diff)
+                    self.stats.distance_computations += len(offsets)
+                    for dist, off in zip(d2, offsets):
+                        item = (-float(dist), int(off))
+                        if len(best) < k:
+                            heapq.heappush(best, item)
+                        elif item > best[0]:
+                            heapq.heapreplace(best, item)
+                if not exact and leaves_visited >= max_leaves:
+                    break
+                continue
+            q_axis = float(query[node.axis])
+            gap = q_axis - node.threshold
+            near, far = (node.left, node.right) if gap < 0 else (node.right, node.left)
+            heapq.heappush(frontier, (bound, counter, near))
+            counter += 1
+            far_bound = max(bound, gap * gap)
+            heapq.heappush(frontier, (far_bound, counter, far))
+            counter += 1
+            self.stats.hops += 1
+
+        best.sort(reverse=True)  # ascending distance
+        offsets = np.asarray([o for _, o in best], dtype=np.int64)
+        d2 = np.asarray([-d for d, _ in best], dtype=np.float32)
+        if self.distance is Distance.EUCLID:
+            return offsets, d2
+        # unit vectors: cos = 1 - d2/2; dot on normalised storage likewise
+        return offsets, (1.0 - d2 / 2.0).astype(np.float32)

@@ -1,0 +1,89 @@
+"""Mini-batch-free, fully vectorized Lloyd k-means.
+
+Shared by the IVF index (coarse quantizer) and product quantization (per
+sub-space codebooks).  Deterministic given a seed; uses k-means++ style
+seeding and runs entirely on BLAS-backed numpy operations — there is no
+per-point Python loop in the assignment or update steps.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["kmeans", "assign_clusters"]
+
+
+def _kmeans_pp_init(data: np.ndarray, k: int, rng: np.random.Generator) -> np.ndarray:
+    """k-means++ seeding: spread initial centroids by D^2 sampling."""
+    n = data.shape[0]
+    centroids = np.empty((k, data.shape[1]), dtype=np.float32)
+    first = int(rng.integers(n))
+    centroids[0] = data[first]
+    # Squared distance of every point to its closest chosen centroid so far.
+    d2 = np.sum((data - centroids[0]) ** 2, axis=1)
+    for i in range(1, k):
+        total = float(d2.sum())
+        if total <= 0.0:
+            # All remaining points coincide with a centroid; fill randomly.
+            centroids[i:] = data[rng.integers(n, size=k - i)]
+            break
+        probs = d2 / total
+        chosen = int(rng.choice(n, p=probs))
+        centroids[i] = data[chosen]
+        np.minimum(d2, np.sum((data - centroids[i]) ** 2, axis=1), out=d2)
+    return centroids
+
+
+def assign_clusters(data: np.ndarray, centroids: np.ndarray) -> np.ndarray:
+    """Index of the nearest centroid for each row of ``data``.
+
+    Uses the ``|x-c|^2 = |x|^2 - 2 x.c + |c|^2`` expansion; the ``|x|^2``
+    term is constant per row and omitted from the argmin.
+    """
+    cross = data @ centroids.T
+    c_sq = np.einsum("ij,ij->i", centroids, centroids)
+    return np.argmin(c_sq[None, :] - 2.0 * cross, axis=1)
+
+
+def kmeans(
+    data: np.ndarray,
+    k: int,
+    *,
+    max_iter: int = 25,
+    tol: float = 1e-4,
+    seed: int = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Lloyd's algorithm; returns ``(centroids, assignments)``.
+
+    ``k`` is clamped to the number of distinct training rows available.
+    Empty clusters are re-seeded from the points farthest from their current
+    centroid, so exactly ``k`` non-degenerate centroids are returned.
+    """
+    data = np.ascontiguousarray(data, dtype=np.float32)
+    n = data.shape[0]
+    if n == 0:
+        raise ValueError("cannot run k-means on empty data")
+    k = min(k, n)
+    rng = np.random.default_rng(seed)
+    centroids = _kmeans_pp_init(data, k, rng)
+    assignments = assign_clusters(data, centroids)
+
+    for _ in range(max_iter):
+        # Vectorized centroid update: sum points per cluster via np.add.at.
+        sums = np.zeros((k, data.shape[1]), dtype=np.float64)
+        np.add.at(sums, assignments, data)
+        counts = np.bincount(assignments, minlength=k).astype(np.float64)
+        empty = counts == 0
+        if empty.any():
+            # Re-seed empty clusters at the points with largest residual.
+            d2 = np.sum((data - centroids[assignments]) ** 2, axis=1)
+            far = np.argsort(d2)[::-1][: int(empty.sum())]
+            sums[empty] = data[far]
+            counts[empty] = 1.0
+        new_centroids = (sums / counts[:, None]).astype(np.float32)
+        shift = float(np.max(np.sum((new_centroids - centroids) ** 2, axis=1)))
+        centroids = new_centroids
+        assignments = assign_clusters(data, centroids)
+        if shift <= tol:
+            break
+    return centroids, assignments

@@ -1,0 +1,125 @@
+"""Parallel multi-client upload pool.
+
+The deployment of §3.2's distributed experiment: "we employ multiprocessing
+to assign one client to each Qdrant worker", all clients running on a
+single compute node.  The paper's §4 lesson is that this beats asyncio for
+insertion because batch conversion is CPU-bound.
+
+:class:`ParallelClientPool` models that layout: the point stream is
+pre-partitioned by the collection's shard router so each client only
+produces batches for its own worker's shards, then all clients run
+concurrently (one thread per client here — with a real gRPC server the
+conversion would also be parallel across OS processes; the perf model
+accounts for the client node's core count when extrapolating to Polaris).
+
+For CPU-parallel conversion on a real multi-core machine, the pool can also
+run with ``use_processes=True``, in which case conversion happens in worker
+processes and only the converted batches flow back to the coordinating
+thread for upload (the cluster object itself is not picklable/shared).
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from .client import chunk
+from .cluster import Cluster
+from .types import PointStruct
+
+__all__ = ["ParallelClientPool", "ParallelUploadReport", "convert_batch_worker"]
+
+
+def convert_batch_worker(batch: list[tuple[int, list[float], dict | None]]
+                         ) -> list[PointStruct]:
+    """Top-level conversion function (picklable for process pools)."""
+    return [
+        PointStruct(id=pid, vector=np.asarray(vec, dtype=np.float32), payload=payload)
+        for pid, vec, payload in batch
+    ]
+
+
+@dataclass
+class ParallelUploadReport:
+    """Outcome of a pool upload."""
+
+    total_s: float
+    points: int
+    clients: int
+    batches_per_client: dict[str, int] = field(default_factory=dict)
+    per_client_s: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def throughput_pps(self) -> float:
+        return self.points / self.total_s if self.total_s > 0 else float("inf")
+
+
+class ParallelClientPool:
+    """One upload client per worker, running concurrently."""
+
+    def __init__(self, cluster: Cluster, collection: str, *, use_processes: bool = False):
+        self.cluster = cluster
+        self.collection = collection
+        self.use_processes = use_processes
+
+    def _partition_by_worker(self, points: Sequence[PointStruct]
+                             ) -> dict[str, list[PointStruct]]:
+        """Split the stream so each client feeds its own worker's primary shards."""
+        state = self.cluster._state(self.collection)  # noqa: SLF001 - same package
+        by_worker: dict[str, list[PointStruct]] = {}
+        for p in points:
+            shard_id = state.router.shard_for(p.id)
+            primary = state.plan.primary_for(shard_id)
+            by_worker.setdefault(primary, []).append(p)
+        return by_worker
+
+    def upload(self, points: Sequence[PointStruct], *, batch_size: int = 32
+               ) -> ParallelUploadReport:
+        """Upload the full point stream with one concurrent client per worker."""
+        by_worker = self._partition_by_worker(points)
+        report = ParallelUploadReport(total_s=0.0, points=len(points), clients=len(by_worker))
+
+        def client_run(worker_id: str, worker_points: list[PointStruct]) -> tuple[str, int, float]:
+            t0 = time.perf_counter()
+            n_batches = 0
+            if self.use_processes:
+                raw = [
+                    (p.id, p.as_array().tolist(), dict(p.payload) if p.payload else None)
+                    for p in worker_points
+                ]
+                with ProcessPoolExecutor(max_workers=1) as pool:
+                    for batch in chunk(raw, batch_size):
+                        wire = pool.submit(convert_batch_worker, list(batch)).result()
+                        self.cluster.upsert(self.collection, wire)
+                        n_batches += 1
+            else:
+                for batch in chunk(worker_points, batch_size):
+                    wire = [
+                        PointStruct(
+                            id=p.id,
+                            vector=np.ascontiguousarray(p.as_array()),
+                            payload=dict(p.payload) if p.payload else None,
+                        )
+                        for p in batch
+                    ]
+                    self.cluster.upsert(self.collection, wire)
+                    n_batches += 1
+            return worker_id, n_batches, time.perf_counter() - t0
+
+        start = time.perf_counter()
+        if len(by_worker) == 1:
+            outcomes = [client_run(*next(iter(by_worker.items())))]
+        else:
+            with ThreadPoolExecutor(max_workers=len(by_worker)) as pool:
+                outcomes = list(
+                    pool.map(lambda kv: client_run(kv[0], kv[1]), by_worker.items())
+                )
+        report.total_s = time.perf_counter() - start
+        for worker_id, n_batches, elapsed in outcomes:
+            report.batches_per_client[worker_id] = n_batches
+            report.per_client_s[worker_id] = elapsed
+        return report

@@ -1,0 +1,230 @@
+"""Named vectors: multiple embeddings per point (Qdrant's named vectors).
+
+A :class:`MultiVectorCollection` stores, for each point, one vector per
+*named space* (e.g. a ``"title"`` embedding and a ``"body"`` embedding,
+possibly with different dimensionalities or metrics), plus a single shared
+payload.  Searches specify which space to use via ``using=...``; fusion
+search combines ranks across spaces (reciprocal rank fusion, as used by
+hybrid-search setups in the RAG systems the paper's intro cites).
+
+Internally one :class:`~repro.core.collection.Collection` per space holds
+the vectors; the payload lives in a designated *primary* space and is not
+duplicated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+from .collection import Collection
+from .errors import BadRequestError, PointNotFoundError
+from .types import (
+    CollectionConfig,
+    OptimizerConfig,
+    PointId,
+    PointStruct,
+    Record,
+    ScoredPoint,
+    SearchRequest,
+    VectorParams,
+)
+
+__all__ = ["MultiVectorPoint", "MultiVectorCollection", "rrf_fuse"]
+
+
+@dataclass
+class MultiVectorPoint:
+    """A point carrying one vector per named space."""
+
+    id: PointId
+    vectors: Mapping[str, np.ndarray | Sequence[float]]
+    payload: Mapping[str, Any] | None = None
+
+
+def rrf_fuse(
+    rankings: Mapping[str, list[ScoredPoint]],
+    *,
+    k: int = 60,
+    limit: int = 10,
+    weights: Mapping[str, float] | None = None,
+) -> list[ScoredPoint]:
+    """Reciprocal rank fusion: score(id) = Σ_space w / (k + rank).
+
+    The standard parameter-light way to combine rankings from
+    incommensurable scoring spaces.
+    """
+    fused: dict[PointId, float] = {}
+    best_hit: dict[PointId, ScoredPoint] = {}
+    for space, hits in rankings.items():
+        w = (weights or {}).get(space, 1.0)
+        for rank, hit in enumerate(hits, start=1):
+            fused[hit.id] = fused.get(hit.id, 0.0) + w / (k + rank)
+            if hit.id not in best_hit:
+                best_hit[hit.id] = hit
+    ordered = sorted(fused.items(), key=lambda kv: kv[1], reverse=True)[:limit]
+    out = []
+    for pid, score in ordered:
+        hit = best_hit[pid]
+        out.append(ScoredPoint(id=pid, score=score, payload=hit.payload))
+    return out
+
+
+class MultiVectorCollection:
+    """A collection with several named vector spaces per point."""
+
+    def __init__(
+        self,
+        name: str,
+        spaces: Mapping[str, VectorParams],
+        *,
+        optimizer: OptimizerConfig | None = None,
+    ):
+        if not spaces:
+            raise BadRequestError("need at least one named vector space")
+        self.name = name
+        self.spaces = dict(spaces)
+        self._primary = next(iter(self.spaces))
+        opt = optimizer or OptimizerConfig(indexing_threshold=0)
+        self._collections: dict[str, Collection] = {
+            space: Collection(
+                CollectionConfig(f"{name}.{space}", params, optimizer=opt)
+            )
+            for space, params in self.spaces.items()
+        }
+
+    # -- introspection -------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._collections[self._primary])
+
+    @property
+    def space_names(self) -> list[str]:
+        return list(self.spaces)
+
+    def _space(self, using: str) -> Collection:
+        try:
+            return self._collections[using]
+        except KeyError:
+            raise BadRequestError(
+                f"unknown vector space {using!r}; have {self.space_names}"
+            ) from None
+
+    # -- writes ----------------------------------------------------------------
+
+    def upsert(self, points: Sequence[MultiVectorPoint]) -> None:
+        """Insert points; every point must carry every space's vector."""
+        for p in points:
+            missing = set(self.spaces) - set(p.vectors)
+            if missing:
+                raise BadRequestError(
+                    f"point {p.id} is missing vectors for spaces {sorted(missing)}"
+                )
+        for space, collection in self._collections.items():
+            collection.upsert(
+                [
+                    PointStruct(
+                        id=p.id,
+                        vector=np.asarray(p.vectors[space], dtype=np.float32),
+                        payload=dict(p.payload) if (p.payload and space == self._primary) else None,
+                    )
+                    for p in points
+                ]
+            )
+
+    def delete(self, point_ids: Sequence[PointId]) -> None:
+        for collection in self._collections.values():
+            collection.delete(list(point_ids))
+
+    def set_payload(self, point_id: PointId, payload: Mapping[str, Any] | None) -> None:
+        self._collections[self._primary].set_payload(point_id, payload)
+
+    def build_index(self, kind: str = "hnsw") -> None:
+        for collection in self._collections.values():
+            collection.build_index(kind)
+
+    # -- reads -------------------------------------------------------------------
+
+    def retrieve(self, point_id: PointId, *, with_vectors: bool = False) -> Record:
+        primary = self._collections[self._primary].retrieve(
+            point_id, with_vector=with_vectors, with_payload=True
+        )
+        if not with_vectors:
+            return primary
+        vectors = {self._primary: primary.vector}
+        for space, collection in self._collections.items():
+            if space == self._primary:
+                continue
+            vectors[space] = collection.retrieve(point_id, with_vector=True).vector
+        record = Record(id=point_id, payload=primary.payload, vector=None)
+        record.vectors = vectors  # type: ignore[attr-defined]
+        return record
+
+    def search(
+        self,
+        vector,
+        *,
+        using: str,
+        limit: int = 10,
+        filter=None,
+        with_payload: bool = False,
+    ) -> list[ScoredPoint]:
+        """Top-k search in one named space.
+
+        Filters evaluate against the shared payload, which lives in the
+        primary space; for non-primary spaces the filter is applied by id
+        lookup after an over-fetched search.
+        """
+        collection = self._space(using)
+        if using == self._primary or filter is None:
+            hits = collection.search(
+                SearchRequest(vector=vector, limit=limit, filter=filter,
+                              with_payload=False)
+            )
+        else:
+            primary = self._collections[self._primary]
+            wide = collection.search(SearchRequest(vector=vector, limit=4 * limit))
+            hits = []
+            for h in wide:
+                for seg in primary.segments:
+                    if seg.contains(h.id):
+                        if seg.payload_store.evaluate(filter, h.id):
+                            hits.append(h)
+                        break
+                if len(hits) == limit:
+                    break
+        hits = hits[:limit]
+        if with_payload:
+            primary = self._collections[self._primary]
+            for h in hits:
+                try:
+                    h.payload = primary.retrieve(h.id).payload
+                except PointNotFoundError:
+                    h.payload = None
+        return hits
+
+    def search_fused(
+        self,
+        vectors: Mapping[str, Any],
+        *,
+        limit: int = 10,
+        weights: Mapping[str, float] | None = None,
+        with_payload: bool = False,
+        rrf_k: int = 60,
+    ) -> list[ScoredPoint]:
+        """Reciprocal-rank-fusion search across several spaces at once."""
+        rankings = {
+            space: self.search(vec, using=space, limit=4 * limit)
+            for space, vec in vectors.items()
+        }
+        fused = rrf_fuse(rankings, k=rrf_k, limit=limit, weights=weights)
+        if with_payload:
+            primary = self._collections[self._primary]
+            for h in fused:
+                try:
+                    h.payload = primary.retrieve(h.id).payload
+                except PointNotFoundError:
+                    h.payload = None
+        return fused

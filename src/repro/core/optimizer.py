@@ -1,0 +1,112 @@
+"""Segment optimizer.
+
+Runs the background maintenance Qdrant performs after inserts, in an
+explicit, synchronous form so tests and the simulator can drive it
+deterministically:
+
+* **indexing** — seal any appendable segment that crossed the collection's
+  ``indexing_threshold`` and build an HNSW index over it.  With
+  ``indexing_threshold == 0`` this is disabled; the paper's §3.3 bulk-load
+  scenario then triggers one big deferred build via
+  ``Collection.build_index``.
+* **merging** — coalesce many small appendable segments into one, keeping
+  the segment count bounded (``max_segments``).
+* **vacuum** — rewrite segments whose tombstone ratio exceeds
+  ``vacuum_min_deleted_ratio``.
+
+Each pass returns an :class:`OptimizerReport` describing the work done; the
+performance model consumes these counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .segment import Segment
+from .types import CollectionConfig
+
+__all__ = ["OptimizerReport", "SegmentOptimizer"]
+
+
+@dataclass
+class OptimizerReport:
+    """Work performed by one optimizer pass."""
+
+    segments_indexed: int = 0
+    segments_merged: int = 0
+    segments_vacuumed: int = 0
+    vectors_indexed: int = 0
+    #: (segment_id, vector_count) for every index build — the perf model
+    #: charges superlinear CPU cost per build from these.
+    index_builds: list[tuple[int, int]] = field(default_factory=list)
+
+    @property
+    def did_work(self) -> bool:
+        return bool(self.segments_indexed or self.segments_merged or self.segments_vacuumed)
+
+
+class SegmentOptimizer:
+    """Synchronous optimizer over a collection's segment list."""
+
+    def __init__(self, config: CollectionConfig):
+        self.config = config
+
+    def run(self, segments: list[Segment]) -> tuple[list[Segment], OptimizerReport]:
+        """Run vacuum, merge, then indexing; returns the new segment list."""
+        report = OptimizerReport()
+        segments = self._vacuum(segments, report)
+        segments = self._merge(segments, report)
+        segments = self._build_indexes(segments, report)
+        return segments, report
+
+    # -- passes ----------------------------------------------------------------
+
+    def _vacuum(self, segments: list[Segment], report: OptimizerReport) -> list[Segment]:
+        threshold = self.config.optimizer.vacuum_min_deleted_ratio
+        out = []
+        for seg in segments:
+            if seg.deleted_ratio > threshold and len(seg) > 0:
+                fresh = seg.vacuum()
+                report.segments_vacuumed += 1
+                out.append(fresh)
+            elif seg.deleted_ratio > threshold and len(seg) == 0:
+                report.segments_vacuumed += 1  # drop fully-deleted segment
+            else:
+                out.append(seg)
+        return out
+
+    def _merge(self, segments: list[Segment], report: OptimizerReport) -> list[Segment]:
+        opt = self.config.optimizer
+        small = [
+            s for s in segments
+            if not s.is_indexed and not s.is_sealed and len(s) < opt.merge_threshold
+        ]
+        if len(segments) <= opt.max_segments or len(small) < 2:
+            return segments
+        keep = [s for s in segments if s not in small]
+        merged = Segment(self.config)
+        total = sum(len(s) for s in small)
+        if total:
+            for seg in small:
+                for record in seg.iter_points(with_vector=True):
+                    from .types import PointStruct
+
+                    merged.upsert(
+                        PointStruct(id=record.id, vector=record.vector, payload=record.payload)
+                    )
+        report.segments_merged += len(small)
+        keep.append(merged)
+        return keep
+
+    def _build_indexes(self, segments: list[Segment], report: OptimizerReport) -> list[Segment]:
+        threshold = self.config.optimizer.indexing_threshold
+        if threshold <= 0:
+            return segments  # bulk-upload mode: indexing deferred
+        for seg in segments:
+            if not seg.is_indexed and len(seg) >= threshold:
+                seg.seal()
+                seg.build_index("hnsw")
+                report.segments_indexed += 1
+                report.vectors_indexed += len(seg)
+                report.index_builds.append((seg.segment_id, len(seg)))
+        return segments

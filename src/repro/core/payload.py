@@ -1,0 +1,208 @@
+"""Payload (metadata) storage and secondary indexes.
+
+:class:`PayloadStore` keeps one JSON-like mapping per point id and supports
+the filter DSL in :mod:`repro.core.filters`.  For frequently filtered keys a
+:class:`KeywordIndex` or :class:`NumericIndex` can be created, turning filter
+evaluation from a per-point predicate into a set intersection — this is the
+*prefiltering* technique discussed in §2.1 footnote 4 of the paper.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Iterable, Mapping
+
+from .filters import Condition, FieldIn, FieldMatch, FieldRange, Filter, HasId, matches
+from .types import PointId
+
+__all__ = ["PayloadStore", "KeywordIndex", "NumericIndex"]
+
+
+class KeywordIndex:
+    """Inverted index: value -> set of point ids (for exact-match filters)."""
+
+    def __init__(self, key: str):
+        self.key = key
+        self._postings: dict[Any, set[PointId]] = {}
+
+    def add(self, point_id: PointId, value: Any) -> None:
+        values = value if isinstance(value, (list, tuple, set)) else (value,)
+        for v in values:
+            self._postings.setdefault(v, set()).add(point_id)
+
+    def remove(self, point_id: PointId, value: Any) -> None:
+        values = value if isinstance(value, (list, tuple, set)) else (value,)
+        for v in values:
+            postings = self._postings.get(v)
+            if postings is not None:
+                postings.discard(point_id)
+                if not postings:
+                    del self._postings[v]
+
+    def lookup(self, value: Any) -> set[PointId]:
+        return self._postings.get(value, set())
+
+    def lookup_many(self, values: Iterable[Any]) -> set[PointId]:
+        out: set[PointId] = set()
+        for v in values:
+            out |= self.lookup(v)
+        return out
+
+    def cardinality(self, value: Any) -> int:
+        return len(self._postings.get(value, ()))
+
+
+class NumericIndex:
+    """Sorted (value, id) pairs supporting range lookups via bisect."""
+
+    def __init__(self, key: str):
+        self.key = key
+        self._pairs: list[tuple[float, PointId]] = []
+        self._dirty = False
+
+    def add(self, point_id: PointId, value: Any) -> None:
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            return
+        self._pairs.append((float(value), point_id))
+        self._dirty = True
+
+    def remove(self, point_id: PointId, value: Any) -> None:
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            return
+        try:
+            self._pairs.remove((float(value), point_id))
+        except ValueError:
+            pass
+
+    def _ensure_sorted(self) -> None:
+        if self._dirty:
+            self._pairs.sort()
+            self._dirty = False
+
+    def range(
+        self,
+        gte: float | None = None,
+        gt: float | None = None,
+        lte: float | None = None,
+        lt: float | None = None,
+    ) -> set[PointId]:
+        self._ensure_sorted()
+        keys = [p[0] for p in self._pairs]
+        lo = 0
+        hi = len(keys)
+        if gte is not None:
+            lo = max(lo, bisect.bisect_left(keys, gte))
+        if gt is not None:
+            lo = max(lo, bisect.bisect_right(keys, gt))
+        if lte is not None:
+            hi = min(hi, bisect.bisect_right(keys, lte))
+        if lt is not None:
+            hi = min(hi, bisect.bisect_left(keys, lt))
+        return {pid for _, pid in self._pairs[lo:hi]}
+
+
+class PayloadStore:
+    """Per-point payload mappings plus optional per-key secondary indexes."""
+
+    def __init__(self):
+        self._payloads: dict[PointId, Mapping[str, Any] | None] = {}
+        self._keyword_indexes: dict[str, KeywordIndex] = {}
+        self._numeric_indexes: dict[str, NumericIndex] = {}
+
+    def __len__(self) -> int:
+        return len(self._payloads)
+
+    def __contains__(self, point_id: PointId) -> bool:
+        return point_id in self._payloads
+
+    # -- index management --------------------------------------------------
+
+    def create_keyword_index(self, key: str) -> None:
+        if key in self._keyword_indexes:
+            return
+        index = KeywordIndex(key)
+        for pid, payload in self._payloads.items():
+            if payload and key in payload:
+                index.add(pid, payload[key])
+        self._keyword_indexes[key] = index
+
+    def create_numeric_index(self, key: str) -> None:
+        if key in self._numeric_indexes:
+            return
+        index = NumericIndex(key)
+        for pid, payload in self._payloads.items():
+            if payload and key in payload:
+                index.add(pid, payload[key])
+        self._numeric_indexes[key] = index
+
+    @property
+    def indexed_keys(self) -> set[str]:
+        return set(self._keyword_indexes) | set(self._numeric_indexes)
+
+    # -- mutation -----------------------------------------------------------
+
+    def set(self, point_id: PointId, payload: Mapping[str, Any] | None) -> None:
+        old = self._payloads.get(point_id)
+        if old:
+            self._deindex(point_id, old)
+        self._payloads[point_id] = dict(payload) if payload is not None else None
+        if payload:
+            self._index(point_id, payload)
+
+    def delete(self, point_id: PointId) -> None:
+        old = self._payloads.pop(point_id, None)
+        if old:
+            self._deindex(point_id, old)
+
+    def _index(self, point_id: PointId, payload: Mapping[str, Any]) -> None:
+        for key, index in self._keyword_indexes.items():
+            if key in payload:
+                index.add(point_id, payload[key])
+        for key, index in self._numeric_indexes.items():
+            if key in payload:
+                index.add(point_id, payload[key])
+
+    def _deindex(self, point_id: PointId, payload: Mapping[str, Any]) -> None:
+        for key, index in self._keyword_indexes.items():
+            if key in payload:
+                index.remove(point_id, payload[key])
+        for key, index in self._numeric_indexes.items():
+            if key in payload:
+                index.remove(point_id, payload[key])
+
+    # -- access --------------------------------------------------------------
+
+    def get(self, point_id: PointId) -> Mapping[str, Any] | None:
+        return self._payloads.get(point_id)
+
+    def evaluate(self, flt: Condition | None, point_id: PointId) -> bool:
+        return matches(flt, point_id, self._payloads.get(point_id))
+
+    # -- prefiltering ----------------------------------------------------------
+
+    def prefilter_candidates(self, flt: Condition | None) -> set[PointId] | None:
+        """Return the candidate id set implied by indexed ``must`` conditions.
+
+        ``None`` means "no index could narrow the filter" — the caller must
+        fall back to per-point evaluation.  The returned set is a *superset*
+        of matching ids when only some conditions are indexed; callers must
+        still verify each candidate with :meth:`evaluate`.
+        """
+        if flt is None:
+            return None
+        if isinstance(flt, HasId):
+            return set(flt.ids)
+        if isinstance(flt, FieldMatch) and flt.key in self._keyword_indexes:
+            return set(self._keyword_indexes[flt.key].lookup(flt.value))
+        if isinstance(flt, FieldIn) and flt.key in self._keyword_indexes:
+            return set(self._keyword_indexes[flt.key].lookup_many(flt.values))
+        if isinstance(flt, FieldRange) and flt.key in self._numeric_indexes:
+            return self._numeric_indexes[flt.key].range(flt.gte, flt.gt, flt.lte, flt.lt)
+        if isinstance(flt, Filter):
+            candidate: set[PointId] | None = None
+            for cond in flt.must:
+                sub = self.prefilter_candidates(cond)
+                if sub is not None:
+                    candidate = sub if candidate is None else candidate & sub
+            return candidate
+        return None

@@ -1,0 +1,156 @@
+"""Recommendation API (Qdrant's ``recommend`` endpoint).
+
+Given sets of *positive* and *negative* example points (by id or raw
+vector), build a target query vector and search with it.  Two strategies,
+mirroring Qdrant:
+
+* ``average_vector`` (default): ``avg(positives) + (avg(positives) -
+  avg(negatives))`` — the classic Rocchio update.  Reduces to a plain
+  average when there are no negatives.
+* ``best_score``: score every candidate against each example and combine
+  ``max(sim to positives) - max(sim to negatives)``.  More faithful for
+  multi-modal positives but requires scoring against all examples; here it
+  is implemented via a rescoring pass over an over-fetched candidate set.
+
+RAG workflows use this to expand a seed paper into "more like this, less
+like that" context retrieval — one of the downstream uses the paper's
+intro motivates.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from . import distances
+from .errors import BadRequestError
+from .types import Distance, PointId, ScoredPoint, SearchRequest
+
+__all__ = ["RecommendRequest", "build_recommend_vector", "rescore_best_score", "recommend"]
+
+
+class RecommendRequest:
+    """Positive/negative examples plus standard search knobs."""
+
+    def __init__(
+        self,
+        positive: Sequence[PointId | np.ndarray] = (),
+        negative: Sequence[PointId | np.ndarray] = (),
+        *,
+        limit: int = 10,
+        strategy: str = "average_vector",
+        filter=None,
+        with_payload: bool = False,
+    ):
+        if not positive:
+            raise BadRequestError("recommend requires at least one positive example")
+        if strategy not in ("average_vector", "best_score"):
+            raise BadRequestError(f"unknown recommend strategy {strategy!r}")
+        self.positive = list(positive)
+        self.negative = list(negative)
+        self.limit = limit
+        self.strategy = strategy
+        self.filter = filter
+        self.with_payload = with_payload
+
+    def example_ids(self) -> set[PointId]:
+        """Ids referenced as examples (excluded from results)."""
+        return {e for e in self.positive + self.negative if isinstance(e, (int, np.integer))}
+
+
+def _resolve(examples, lookup) -> np.ndarray:
+    """Map ids/vectors to a (n, dim) matrix using ``lookup(point_id)``."""
+    vectors = []
+    for ex in examples:
+        if isinstance(ex, (int, np.integer)):
+            vectors.append(np.asarray(lookup(int(ex)), dtype=np.float32))
+        else:
+            vectors.append(np.asarray(ex, dtype=np.float32))
+    return np.stack(vectors)
+
+
+def build_recommend_vector(request: RecommendRequest, lookup) -> np.ndarray:
+    """The Rocchio-style target vector for ``average_vector`` strategy."""
+    pos = _resolve(request.positive, lookup).mean(axis=0)
+    if request.negative:
+        neg = _resolve(request.negative, lookup).mean(axis=0)
+        return pos + (pos - neg)
+    return pos
+
+
+def rescore_best_score(
+    candidates: list[ScoredPoint],
+    candidate_vectors: np.ndarray,
+    request: RecommendRequest,
+    lookup,
+    distance: Distance,
+) -> list[ScoredPoint]:
+    """Re-rank candidates by max-positive minus max-negative similarity."""
+    pos = _resolve(request.positive, lookup)
+    pos_scores = distances.score_pairwise(candidate_vectors, pos, distance).max(axis=0)
+    if request.negative:
+        neg = _resolve(request.negative, lookup)
+        neg_scores = distances.score_pairwise(candidate_vectors, neg, distance).max(axis=0)
+    else:
+        neg_scores = np.zeros_like(pos_scores)
+    if distance.higher_is_better:
+        combined = pos_scores - neg_scores
+        order = np.argsort(combined)[::-1]
+    else:
+        combined = pos_scores - neg_scores  # lower distance to pos is better
+        order = np.argsort(combined)
+    out = []
+    for idx in order[: request.limit]:
+        hit = candidates[int(idx)]
+        hit.score = float(combined[idx])
+        out.append(hit)
+    return out
+
+
+def recommend(searchable, request: RecommendRequest) -> list[ScoredPoint]:
+    """Run a recommendation against anything with ``search``/``retrieve``.
+
+    ``searchable`` is a :class:`~repro.core.collection.Collection` or a
+    bound cluster adapter exposing ``search(SearchRequest)`` and
+    ``retrieve(point_id, with_vector=True)``.
+    """
+    def lookup(point_id: PointId):
+        record = searchable.retrieve(point_id, with_vector=True)
+        return record.vector
+
+    exclude = request.example_ids()
+    overfetch = request.limit + len(exclude)
+
+    if request.strategy == "average_vector":
+        target = build_recommend_vector(request, lookup)
+        hits = searchable.search(
+            SearchRequest(
+                vector=target,
+                limit=overfetch,
+                filter=request.filter,
+                with_payload=request.with_payload,
+            )
+        )
+        return [h for h in hits if h.id not in exclude][: request.limit]
+
+    # best_score: over-fetch by average vector, then rescore candidates.
+    target = build_recommend_vector(request, lookup)
+    candidates = searchable.search(
+        SearchRequest(
+            vector=target,
+            limit=max(4 * request.limit, overfetch),
+            filter=request.filter,
+            with_payload=request.with_payload,
+            with_vector=True,
+        )
+    )
+    candidates = [h for h in candidates if h.id not in exclude]
+    if not candidates:
+        return []
+    matrix = np.stack([h.vector for h in candidates])
+    distance = getattr(searchable, "distance", None) or Distance.COSINE
+    reranked = rescore_best_score(candidates, matrix, request, lookup, distance)
+    for h in reranked:
+        h.vector = None  # strip the over-fetched vectors from the response
+    return reranked

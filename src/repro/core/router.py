@@ -1,0 +1,160 @@
+"""Shard routing and placement.
+
+Two cooperating pieces:
+
+* :class:`ShardRouter` — deterministic point-id → shard mapping.  Qdrant
+  hashes the point id into one of ``shard_number`` shards; we use the
+  64-bit splitmix finalizer so the mapping is uniform, stable across runs,
+  and independent of Python's salted ``hash``.
+* :class:`PlacementPlan` — shard → worker assignment with replication.
+  Shards are spread round-robin over workers; replicas land on distinct
+  workers.  ``rebalance`` computes the minimal set of shard movements when
+  workers join or leave — the "expensive repartitioning" §2.2 discusses for
+  stateful architectures (the cost is charged by the perf model).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .errors import ClusterConfigError
+from .types import PointId
+
+__all__ = ["splitmix64", "ShardRouter", "PlacementPlan", "ShardMove"]
+
+
+def splitmix64(x: int) -> int:
+    """SplitMix64 finalizer: a fast, well-mixed 64-bit integer hash."""
+    x = (x + 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & 0xFFFFFFFFFFFFFFFF
+    return x ^ (x >> 31)
+
+
+class ShardRouter:
+    """Stable hash routing of point ids to shards."""
+
+    def __init__(self, shard_number: int):
+        if shard_number < 1:
+            raise ClusterConfigError(f"shard_number must be >= 1, got {shard_number}")
+        self.shard_number = shard_number
+
+    def shard_for(self, point_id: PointId) -> int:
+        return splitmix64(int(point_id)) % self.shard_number
+
+    def partition(self, point_ids) -> dict[int, list[PointId]]:
+        """Group ids by shard, preserving input order within each shard."""
+        out: dict[int, list[PointId]] = {}
+        for pid in point_ids:
+            out.setdefault(self.shard_for(pid), []).append(pid)
+        return out
+
+
+@dataclass(frozen=True)
+class ShardMove:
+    """One shard replica relocation produced by a rebalance."""
+
+    shard_id: int
+    source: str | None   # None for a newly created replica with no donor
+    target: str
+
+
+@dataclass
+class PlacementPlan:
+    """Assignment of shard replicas to workers.
+
+    ``assignments[shard_id]`` is the ordered list of worker ids holding that
+    shard; index 0 is the primary replica.
+    """
+
+    worker_ids: list[str]
+    shard_number: int
+    replication_factor: int = 1
+    assignments: dict[int, list[str]] = field(default_factory=dict)
+
+    def __post_init__(self):
+        if not self.worker_ids:
+            raise ClusterConfigError("placement requires at least one worker")
+        if self.replication_factor > len(self.worker_ids):
+            raise ClusterConfigError(
+                f"replication_factor {self.replication_factor} exceeds "
+                f"worker count {len(self.worker_ids)}"
+            )
+        if not self.assignments:
+            self.assignments = self._initial_assignments()
+
+    def _initial_assignments(self) -> dict[int, list[str]]:
+        n = len(self.worker_ids)
+        return {
+            shard: [self.worker_ids[(shard + r) % n] for r in range(self.replication_factor)]
+            for shard in range(self.shard_number)
+        }
+
+    # -- queries ------------------------------------------------------------
+
+    def workers_for(self, shard_id: int) -> list[str]:
+        return list(self.assignments[shard_id])
+
+    def primary_for(self, shard_id: int) -> str:
+        return self.assignments[shard_id][0]
+
+    def shards_on(self, worker_id: str) -> list[int]:
+        return sorted(
+            shard for shard, workers in self.assignments.items() if worker_id in workers
+        )
+
+    def replica_count(self, shard_id: int) -> int:
+        return len(self.assignments[shard_id])
+
+    def load(self) -> dict[str, int]:
+        """Shard-replica count per worker (balance diagnostic)."""
+        counts = {w: 0 for w in self.worker_ids}
+        for workers in self.assignments.values():
+            for w in workers:
+                counts[w] += 1
+        return counts
+
+    # -- rebalancing ------------------------------------------------------------
+
+    def rebalance(self, new_worker_ids: list[str]) -> tuple["PlacementPlan", list[ShardMove]]:
+        """Produce a plan for a changed worker set, minimising data movement.
+
+        Replicas on surviving workers stay put; replicas on departed workers
+        (and the deficit created by their loss) are re-assigned to the
+        least-loaded new workers.  Returns the new plan and the moves.
+        """
+        if self.replication_factor > len(new_worker_ids):
+            raise ClusterConfigError(
+                "not enough workers to honour the replication factor after rebalance"
+            )
+        survivors = set(new_worker_ids)
+        load = {w: 0 for w in new_worker_ids}
+        new_assignments: dict[int, list[str]] = {}
+        # First pass: keep what we can, count load.
+        for shard in range(self.shard_number):
+            kept = [w for w in self.assignments.get(shard, []) if w in survivors]
+            new_assignments[shard] = kept
+            for w in kept:
+                load[w] += 1
+        moves: list[ShardMove] = []
+        # Second pass: fill deficits from least-loaded workers.
+        for shard in range(self.shard_number):
+            current = new_assignments[shard]
+            donors = [w for w in self.assignments.get(shard, []) if w not in survivors]
+            while len(current) < self.replication_factor:
+                candidates = sorted(
+                    (w for w in new_worker_ids if w not in current),
+                    key=lambda w: (load[w], w),
+                )
+                target = candidates[0]
+                source = current[0] if current else (donors[0] if donors else None)
+                current.append(target)
+                load[target] += 1
+                moves.append(ShardMove(shard_id=shard, source=source, target=target))
+        plan = PlacementPlan(
+            worker_ids=list(new_worker_ids),
+            shard_number=self.shard_number,
+            replication_factor=self.replication_factor,
+            assignments=new_assignments,
+        )
+        return plan, moves

@@ -1,0 +1,421 @@
+"""Segments: the unit of storage and search inside a shard.
+
+A segment owns a :class:`~repro.core.storage.VectorArena`, an
+:class:`~repro.core.storage.IdTracker`, a payload store, and zero or one ANN
+index.  Mirroring Qdrant's design:
+
+* a fresh segment is **appendable** and served by exact scan (flat);
+* the optimizer **seals** segments and builds an ANN index over them once
+  they cross the collection's ``indexing_threshold``;
+* deletes are tombstones everywhere; a **vacuum** rewrite reclaims space.
+
+For COSINE collections, vectors are L2-normalised on write so scoring
+reduces to dot products throughout the stack.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Iterable, Iterator, Mapping
+
+import numpy as np
+
+from . import distances
+from .errors import DimensionMismatchError, PointNotFoundError, SegmentSealedError
+from .filters import Condition
+from .index import FlatIndex, make_index
+from .index.base import OffsetPredicate
+from .payload import PayloadStore
+from .quantization import ScalarQuantizer
+from .storage import IdTracker, VectorArena
+from .types import CollectionConfig, Distance, PointId, PointStruct, Record, ScoredPoint
+
+__all__ = ["Segment"]
+
+_segment_ids = itertools.count()
+
+
+class Segment:
+    """One storage + search unit; a shard holds one or more of these."""
+
+    def __init__(self, config: CollectionConfig, *, directory: str | None = None):
+        self.segment_id = next(_segment_ids)
+        self.config = config
+        self._dim = config.vectors.size
+        self._distance = config.vectors.distance
+        self._arena = VectorArena(
+            self._dim, on_disk=config.vectors.on_disk, directory=directory
+        )
+        self._ids = IdTracker()
+        self._payloads = PayloadStore()
+        self._index = None  # ANN index (built by optimizer / build_index)
+        self._index_kind: str | None = None
+        self._sealed = False
+        self._quantizer: ScalarQuantizer | None = None
+        self._qcodes: np.ndarray | None = None
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def dim(self) -> int:
+        return self._dim
+
+    @property
+    def distance(self) -> Distance:
+        return self._distance
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    @property
+    def is_sealed(self) -> bool:
+        return self._sealed
+
+    @property
+    def is_indexed(self) -> bool:
+        return self._index is not None
+
+    @property
+    def index_kind(self) -> str | None:
+        return self._index_kind
+
+    @property
+    def index(self):
+        return self._index
+
+    @property
+    def deleted_ratio(self) -> float:
+        total = self._ids.total_offsets
+        return 0.0 if total == 0 else self._ids.deleted_count / total
+
+    @property
+    def nbytes(self) -> int:
+        return self._arena.nbytes
+
+    @property
+    def payload_store(self) -> PayloadStore:
+        return self._payloads
+
+    def contains(self, point_id: PointId) -> bool:
+        return self._ids.contains(point_id)
+
+    def point_ids(self) -> list[PointId]:
+        return self._ids.live_ids()
+
+    # -- write path -----------------------------------------------------------
+
+    def _prepare_vector(self, vector: np.ndarray) -> np.ndarray:
+        vec = np.asarray(vector, dtype=np.float32)
+        if vec.shape != (self._dim,):
+            raise DimensionMismatchError(self._dim, int(vec.shape[-1]) if vec.ndim else 0)
+        if self._distance is Distance.COSINE:
+            vec = distances.normalize(vec)
+        return vec
+
+    def upsert(self, point: PointStruct) -> None:
+        """Insert or overwrite a single point."""
+        if self._sealed:
+            raise SegmentSealedError(f"segment {self.segment_id} is sealed")
+        vec = self._prepare_vector(point.as_array())
+        if self._ids.contains(point.id):
+            offset = self._ids.offset_of(point.id)
+            self._arena.overwrite(offset, vec)
+        else:
+            offset = self._arena.append(vec)
+            self._ids.register(point.id, offset)
+            if self._index is not None and self._index.supports_incremental_add:
+                self._index.add(offset, vec)
+        self._payloads.set(point.id, point.payload)
+
+    def upsert_batch(self, points: Iterable[PointStruct]) -> int:
+        """Insert a batch; returns the number of points written.
+
+        New points are appended with one vectorized arena extend; existing
+        ids fall back to per-point overwrite.
+        """
+        if self._sealed:
+            raise SegmentSealedError(f"segment {self.segment_id} is sealed")
+        points = list(points)
+        fresh = [p for p in points if not self._ids.contains(p.id)]
+        existing = [p for p in points if self._ids.contains(p.id)]
+        if fresh:
+            mat = np.stack([p.as_array() for p in fresh])
+            if mat.shape[1] != self._dim:
+                raise DimensionMismatchError(self._dim, mat.shape[1])
+            if self._distance is Distance.COSINE:
+                mat = distances.normalize_batch(mat)
+            offsets = self._arena.extend(mat)
+            self._ids.register_batch([p.id for p in fresh], offsets)
+            for p, off in zip(fresh, offsets):
+                self._payloads.set(p.id, p.payload)
+                if self._index is not None and self._index.supports_incremental_add:
+                    self._index.add(int(off), mat[int(off) - int(offsets[0])])
+        for p in existing:
+            self.upsert(p)
+        return len(points)
+
+    def upsert_columnar(self, ids: np.ndarray, vectors: np.ndarray,
+                        payloads: list) -> int:
+        """Vectorized append of *fresh* ids from a columnar batch.
+
+        All ids must be new to this segment (the collection routes
+        overwrites through the per-point path first).  One normalisation
+        pass and one arena extend cover the whole batch.
+        """
+        if self._sealed:
+            raise SegmentSealedError(f"segment {self.segment_id} is sealed")
+        vectors = np.ascontiguousarray(vectors, dtype=np.float32)
+        if vectors.ndim != 2 or vectors.shape[1] != self._dim:
+            raise DimensionMismatchError(self._dim, vectors.shape[-1] if vectors.ndim else 0)
+        if self._distance is Distance.COSINE:
+            vectors = distances.normalize_batch(vectors)
+        offsets = self._arena.extend(vectors)
+        self._ids.register_batch([int(i) for i in ids], offsets)
+        for pid, payload in zip(ids, payloads):
+            self._payloads.set(int(pid), payload)
+        if self._index is not None and self._index.supports_incremental_add:
+            for off, vec in zip(offsets, vectors):
+                self._index.add(int(off), vec)
+        return len(offsets)
+
+    def delete(self, point_id: PointId) -> None:
+        """Tombstone a point (space reclaimed on vacuum)."""
+        offset = self._ids.mark_deleted(point_id)
+        self._payloads.delete(point_id)
+        if isinstance(self._index, FlatIndex):
+            try:
+                self._index.remove(offset)
+            except ValueError:
+                pass
+
+    def set_payload(self, point_id: PointId, payload: Mapping[str, Any] | None) -> None:
+        if not self._ids.contains(point_id):
+            raise PointNotFoundError(point_id)
+        self._payloads.set(point_id, payload)
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def seal(self) -> None:
+        """Make the segment immutable (precedes index build / merge)."""
+        self._sealed = True
+
+    def build_index(self, kind: str = "hnsw") -> None:
+        """Build an ANN index over all live vectors (deferred-index path)."""
+        index = make_index(kind, self._arena, self.config)
+        live = self._ids.live_offsets()
+        index.build(self._arena.take(live), live)
+        self._index = index
+        self._index_kind = kind
+
+    def drop_index(self) -> None:
+        self._index = None
+        self._index_kind = None
+
+    def enable_quantization(self) -> None:
+        """Train the scalar quantizer and encode all live vectors."""
+        qc = self.config.quantization
+        live = self._ids.live_offsets()
+        if live.size == 0:
+            raise ValueError("cannot quantize an empty segment")
+        quantizer = ScalarQuantizer(qc.quantile)
+        vectors = self._arena.take(live)
+        quantizer.train(vectors)
+        self._quantizer = quantizer
+        self._qcodes = quantizer.encode(self._arena.view())
+
+    @property
+    def is_quantized(self) -> bool:
+        return self._quantizer is not None
+
+    def vacuum(self) -> "Segment":
+        """Rewrite into a fresh appendable segment without tombstones."""
+        fresh = Segment(self.config)
+        live = self._ids.live_offsets()
+        if live.size:
+            mat = self._arena.take(live)
+            points = [
+                PointStruct(
+                    id=self._ids.id_at(int(off)),
+                    vector=mat[i],
+                    payload=self._payloads.get(self._ids.id_at(int(off))),
+                )
+                for i, off in enumerate(live)
+            ]
+            fresh.upsert_batch(points)
+        for key in self._payloads.indexed_keys:
+            # carry over secondary indexes
+            fresh.payload_store.create_keyword_index(key)
+        return fresh
+
+    # -- read path ---------------------------------------------------------------
+
+    def retrieve(
+        self, point_id: PointId, *, with_vector: bool = False, with_payload: bool = True
+    ) -> Record:
+        offset = self._ids.offset_of(point_id)
+        return Record(
+            id=point_id,
+            payload=self._payloads.get(point_id) if with_payload else None,
+            vector=self._arena.get(offset).copy() if with_vector else None,
+        )
+
+    def scroll(
+        self,
+        *,
+        offset_id: PointId | None = None,
+        limit: int = 100,
+        flt: Condition | None = None,
+        with_payload: bool = True,
+        with_vector: bool = False,
+    ) -> tuple[list[Record], PointId | None]:
+        """Paginate points in ascending id order; returns (page, next_id)."""
+        ids = sorted(self._ids.live_ids())
+        if offset_id is not None:
+            ids = [i for i in ids if i >= offset_id]
+        out: list[Record] = []
+        for pid in ids:
+            if flt is not None and not self._payloads.evaluate(flt, pid):
+                continue
+            if len(out) == limit:
+                return out, pid
+            out.append(self.retrieve(pid, with_vector=with_vector, with_payload=with_payload))
+        return out, None
+
+    def iter_points(self, *, with_vector: bool = True) -> Iterator[Record]:
+        for pid in self._ids.live_ids():
+            yield self.retrieve(pid, with_vector=with_vector)
+
+    # -- search ---------------------------------------------------------------------
+
+    def _offset_predicate(self, flt: Condition | None) -> OffsetPredicate | None:
+        """Compose the deletion bitmap with an optional payload filter.
+
+        Uses the payload store's prefilter (secondary indexes) when it can
+        narrow the candidate set — Qdrant-style prefiltering.
+        """
+        has_deleted = self._ids.deleted_count > 0
+        if flt is None:
+            if not has_deleted:
+                return None
+            return lambda off: not self._ids.is_deleted(off)
+
+        candidates = self._payloads.prefilter_candidates(flt)
+        ids = self._ids
+        payloads = self._payloads
+        if candidates is not None:
+            def predicate(off: int) -> bool:
+                if ids.is_deleted(off):
+                    return False
+                pid = ids.id_at(off)
+                return pid in candidates and payloads.evaluate(flt, pid)
+        else:
+            def predicate(off: int) -> bool:
+                if ids.is_deleted(off):
+                    return False
+                return payloads.evaluate(flt, ids.id_at(off))
+        return predicate
+
+    def _quantized_scan(self, query: np.ndarray, k: int, predicate) -> tuple[np.ndarray, np.ndarray]:
+        """Approximate scan over int8 codes, then exact rescore of top-4k."""
+        assert self._quantizer is not None and self._qcodes is not None
+        live = self._ids.live_offsets()
+        if predicate is not None:
+            live = np.asarray([o for o in live if predicate(int(o))], dtype=np.int64)
+        if live.size == 0:
+            return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float32)
+        approx = self._quantizer.decode(self._qcodes[live])
+        scores = distances.score_batch(approx, query, self._distance)
+        refine_k = min(live.size, max(k, 4 * k))
+        idx, _ = distances.top_k(scores, refine_k, self._distance)
+        cand = live[idx]
+        if self.config.quantization.rescore:
+            exact = distances.score_batch(self._arena.take(cand), query, self._distance)
+            idx2, top = distances.top_k(exact, k, self._distance)
+            return cand[idx2], top
+        return cand[:k], scores[idx][:k]
+
+    def search(
+        self,
+        query: np.ndarray,
+        k: int,
+        *,
+        flt: Condition | None = None,
+        exact: bool = False,
+        ef: int | None = None,
+        nprobe: int | None = None,
+        with_payload: bool = False,
+        with_vector: bool = False,
+        score_threshold: float | None = None,
+    ) -> list[ScoredPoint]:
+        """Top-k search over this segment, honouring filters and tombstones."""
+        query = np.asarray(query, dtype=np.float32)
+        if query.shape != (self._dim,):
+            raise DimensionMismatchError(self._dim, int(query.shape[-1]) if query.ndim else 0)
+        if self._distance is Distance.COSINE:
+            query = distances.normalize(query)
+        predicate = self._offset_predicate(flt)
+
+        if self._index is not None and not exact:
+            offsets, scores = self._index.search(
+                query, k, predicate=predicate, ef=ef, nprobe=nprobe
+            )
+        elif self._quantizer is not None and not exact:
+            offsets, scores = self._quantized_scan(query, k, predicate)
+        else:
+            offsets, scores = self._flat_scan(query, k, predicate)
+
+        out: list[ScoredPoint] = []
+        for off, score in zip(offsets, scores):
+            score = float(score)
+            if score_threshold is not None:
+                if self._distance.higher_is_better and score < score_threshold:
+                    continue
+                if not self._distance.higher_is_better and score > score_threshold:
+                    continue
+            pid = self._ids.id_at(int(off))
+            out.append(
+                ScoredPoint(
+                    id=pid,
+                    score=score,
+                    payload=self._payloads.get(pid) if with_payload else None,
+                    vector=self._arena.get(int(off)).copy() if with_vector else None,
+                )
+            )
+        return out
+
+    def _flat_scan(self, query, k, predicate) -> tuple[np.ndarray, np.ndarray]:
+        live = self._ids.live_offsets()
+        if predicate is not None:
+            live = np.asarray(
+                [o for o in live if predicate(int(o))], dtype=np.int64
+            )
+        if live.size == 0:
+            return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float32)
+        matrix = self._arena.take(live)
+        scores = distances.score_batch(matrix, query, self._distance)
+        idx, top = distances.top_k(scores, k, self._distance)
+        return live[idx], top
+
+    def search_batch(
+        self, queries: np.ndarray, k: int, *, flt: Condition | None = None, **kwargs
+    ) -> list[list[ScoredPoint]]:
+        """Batched search; exact path uses one GEMM for the whole batch."""
+        queries = np.asarray(queries, dtype=np.float32)
+        if self._index is None and self._quantizer is None and flt is None and not kwargs:
+            # fast exact path
+            if self._distance is Distance.COSINE:
+                queries = distances.normalize_batch(queries)
+            live = self._ids.live_offsets()
+            if live.size == 0:
+                return [[] for _ in range(len(queries))]
+            matrix = self._arena.take(live)
+            all_scores = distances.score_pairwise(matrix, queries, self._distance)
+            out = []
+            for row in all_scores:
+                idx, top = distances.top_k(row, k, self._distance)
+                out.append(
+                    [ScoredPoint(id=self._ids.id_at(int(live[i])), score=float(s))
+                     for i, s in zip(idx, top)]
+                )
+            return out
+        return [self.search(q, k, flt=flt, **kwargs) for q in queries]

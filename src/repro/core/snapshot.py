@@ -1,0 +1,125 @@
+"""Collection snapshots: durable save/restore to a directory.
+
+A snapshot is a directory containing::
+
+    meta.json       collection config + manifest
+    vectors.npy     (n, dim) float32 matrix of live vectors
+    ids.npy         (n,) int64 external point ids
+    payloads.pkl    list of payload mappings (aligned with ids)
+
+Restoring produces a fresh collection with a single appendable segment; any
+ANN index is rebuilt on demand (indexes are derived data, as in Qdrant,
+whose snapshot restore also re-optimizes).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import pickle
+
+import numpy as np
+
+from .collection import Collection
+from .errors import SnapshotError
+from .types import (
+    CollectionConfig,
+    Distance,
+    HnswConfig,
+    IvfConfig,
+    OptimizerConfig,
+    PointStruct,
+    QuantizationConfig,
+    VectorParams,
+    WalConfig,
+)
+
+__all__ = ["save_snapshot", "load_snapshot"]
+
+_FORMAT_VERSION = 1
+
+
+def _config_to_dict(config: CollectionConfig) -> dict:
+    d = dataclasses.asdict(config)
+    d["vectors"]["distance"] = config.vectors.distance.value
+    return d
+
+
+def _config_from_dict(d: dict) -> CollectionConfig:
+    vectors = dict(d["vectors"])
+    vectors["distance"] = Distance(vectors["distance"])
+    return CollectionConfig(
+        name=d["name"],
+        vectors=VectorParams(**vectors),
+        hnsw=HnswConfig(**d["hnsw"]),
+        ivf=IvfConfig(**d["ivf"]),
+        optimizer=OptimizerConfig(**d["optimizer"]),
+        quantization=QuantizationConfig(**d["quantization"]),
+        wal=WalConfig(**d["wal"]),
+        shard_number=d.get("shard_number"),
+        replication_factor=d.get("replication_factor", 1),
+    )
+
+
+def save_snapshot(collection: Collection, directory: str) -> str:
+    """Write a snapshot of ``collection`` into ``directory``; returns the path."""
+    os.makedirs(directory, exist_ok=True)
+    ids: list[int] = []
+    vectors: list[np.ndarray] = []
+    payloads: list = []
+    for seg in collection.segments:
+        for record in seg.iter_points(with_vector=True):
+            ids.append(record.id)
+            vectors.append(record.vector)
+            payloads.append(record.payload)
+    n = len(ids)
+    dim = collection.config.vectors.size
+    matrix = np.stack(vectors) if n else np.empty((0, dim), dtype=np.float32)
+    np.save(os.path.join(directory, "vectors.npy"), matrix)
+    np.save(os.path.join(directory, "ids.npy"), np.asarray(ids, dtype=np.int64))
+    with open(os.path.join(directory, "payloads.pkl"), "wb") as fh:
+        pickle.dump(payloads, fh, protocol=pickle.HIGHEST_PROTOCOL)
+    meta = {
+        "format_version": _FORMAT_VERSION,
+        "points_count": n,
+        "config": _config_to_dict(collection.config),
+    }
+    with open(os.path.join(directory, "meta.json"), "w") as fh:
+        json.dump(meta, fh, indent=2)
+    return directory
+
+
+def load_snapshot(directory: str, *, batch_size: int = 4096) -> Collection:
+    """Restore a collection from a snapshot directory."""
+    meta_path = os.path.join(directory, "meta.json")
+    if not os.path.exists(meta_path):
+        raise SnapshotError(f"no snapshot at {directory!r} (missing meta.json)")
+    with open(meta_path) as fh:
+        meta = json.load(fh)
+    if meta.get("format_version") != _FORMAT_VERSION:
+        raise SnapshotError(f"unsupported snapshot version {meta.get('format_version')!r}")
+    config = _config_from_dict(meta["config"])
+    # WAL state does not survive a snapshot restore; start clean.
+    config = config.with_(wal=WalConfig(enabled=False))
+    try:
+        vectors = np.load(os.path.join(directory, "vectors.npy"))
+        ids = np.load(os.path.join(directory, "ids.npy"))
+        with open(os.path.join(directory, "payloads.pkl"), "rb") as fh:
+            payloads = pickle.load(fh)
+    except (OSError, ValueError) as exc:
+        raise SnapshotError(f"snapshot at {directory!r} is unreadable: {exc}") from exc
+    if not (len(vectors) == len(ids) == len(payloads) == meta["points_count"]):
+        raise SnapshotError(
+            f"snapshot manifest mismatch: meta={meta['points_count']} "
+            f"vectors={len(vectors)} ids={len(ids)} payloads={len(payloads)}"
+        )
+    collection = Collection(config)
+    for start in range(0, len(ids), batch_size):
+        end = start + batch_size
+        batch = [
+            PointStruct(id=int(pid), vector=vec, payload=pl)
+            for pid, vec, pl in zip(ids[start:end], vectors[start:end], payloads[start:end])
+        ]
+        collection.upsert(batch)
+    return collection

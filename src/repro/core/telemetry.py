@@ -1,0 +1,129 @@
+"""Cluster telemetry.
+
+Aggregates the counters workers and indexes already maintain into one
+snapshot — the software-side equivalent of the profiling the paper leans
+on (§3.2's per-batch decomposition, §3.3's CPU saturation): vectors
+inserted, batches received, searches served, index builds with sizes, and
+distance computations per worker.
+
+``TelemetrySnapshot.diff`` supports before/after measurement around a
+workload phase, which is how the benches use it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .cluster import Cluster
+
+__all__ = ["WorkerTelemetry", "TelemetrySnapshot", "collect"]
+
+
+@dataclass(frozen=True)
+class WorkerTelemetry:
+    """One worker's counters at a point in time."""
+
+    worker_id: str
+    node_id: str | None
+    vectors_inserted: int
+    batches_received: int
+    searches_served: int
+    queries_served: int
+    index_builds: tuple[tuple[str, int, int], ...]
+    distance_computations: int
+    indexed_vectors: int
+    points: int
+
+    def minus(self, earlier: "WorkerTelemetry") -> "WorkerTelemetry":
+        return WorkerTelemetry(
+            worker_id=self.worker_id,
+            node_id=self.node_id,
+            vectors_inserted=self.vectors_inserted - earlier.vectors_inserted,
+            batches_received=self.batches_received - earlier.batches_received,
+            searches_served=self.searches_served - earlier.searches_served,
+            queries_served=self.queries_served - earlier.queries_served,
+            index_builds=self.index_builds[len(earlier.index_builds):],
+            distance_computations=self.distance_computations - earlier.distance_computations,
+            indexed_vectors=self.indexed_vectors - earlier.indexed_vectors,
+            points=self.points - earlier.points,
+        )
+
+
+@dataclass
+class TelemetrySnapshot:
+    """All workers' counters, plus cluster-level aggregates."""
+
+    workers: dict[str, WorkerTelemetry] = field(default_factory=dict)
+
+    @property
+    def total_vectors_inserted(self) -> int:
+        return sum(w.vectors_inserted for w in self.workers.values())
+
+    @property
+    def total_searches(self) -> int:
+        return sum(w.searches_served for w in self.workers.values())
+
+    @property
+    def total_queries(self) -> int:
+        return sum(w.queries_served for w in self.workers.values())
+
+    @property
+    def total_distance_computations(self) -> int:
+        return sum(w.distance_computations for w in self.workers.values())
+
+    @property
+    def total_points(self) -> int:
+        return sum(w.points for w in self.workers.values())
+
+    def per_node(self) -> dict[str, int]:
+        """Points hosted per compute node (placement-balance diagnostic)."""
+        out: dict[str, int] = {}
+        for w in self.workers.values():
+            key = w.node_id or w.worker_id
+            out[key] = out.get(key, 0) + w.points
+        return out
+
+    def imbalance(self) -> float:
+        """max/mean point load across workers (1.0 = perfectly balanced)."""
+        loads = [w.points for w in self.workers.values()]
+        if not loads or sum(loads) == 0:
+            return 1.0
+        return max(loads) / (sum(loads) / len(loads))
+
+    def diff(self, earlier: "TelemetrySnapshot") -> "TelemetrySnapshot":
+        """Counters accumulated since ``earlier`` (matching workers only)."""
+        out = TelemetrySnapshot()
+        for wid, now in self.workers.items():
+            if wid in earlier.workers:
+                out.workers[wid] = now.minus(earlier.workers[wid])
+            else:
+                out.workers[wid] = now
+        return out
+
+
+def collect(cluster: Cluster) -> TelemetrySnapshot:
+    """Snapshot the counters of every worker in the cluster."""
+    snapshot = TelemetrySnapshot()
+    for worker in cluster.workers():
+        distance_computations = 0
+        indexed = 0
+        points = 0
+        for collection in worker._shards.values():  # noqa: SLF001 - same package
+            points += len(collection)
+            for seg in collection.segments:
+                if seg.index is not None:
+                    distance_computations += seg.index.stats.distance_computations
+                    indexed += len(seg)
+        snapshot.workers[worker.worker_id] = WorkerTelemetry(
+            worker_id=worker.worker_id,
+            node_id=worker.node_id,
+            vectors_inserted=worker.stats.vectors_inserted,
+            batches_received=worker.stats.batches_received,
+            searches_served=worker.stats.searches_served,
+            queries_served=worker.stats.queries_served,
+            index_builds=tuple(worker.stats.index_builds),
+            distance_computations=distance_computations,
+            indexed_vectors=indexed,
+            points=points,
+        )
+    return snapshot

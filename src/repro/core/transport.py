@@ -1,0 +1,193 @@
+"""Worker transports.
+
+The cluster addresses workers through a :class:`Transport`, which hides
+whether the worker is an in-process object (unit tests, examples), an
+object behind injected latency/failures (integration tests, the perf
+model's communication accounting), or a simulated remote process.
+
+A transport call is ``call(worker_id, method, *args, **kwargs)``.  The
+:class:`InstrumentedTransport` records per-call byte and call counts, which
+the performance model converts into Slingshot network time.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from .errors import TransportError, WorkerUnavailableError
+
+__all__ = [
+    "Transport",
+    "LocalTransport",
+    "InstrumentedTransport",
+    "FaultInjectingTransport",
+    "estimate_payload_bytes",
+    "TransportStats",
+]
+
+
+def estimate_payload_bytes(obj: Any) -> int:
+    """Rough wire size of a request/response object.
+
+    numpy arrays count their buffer; containers recurse; scalars and strings
+    use their natural sizes.  This is the quantity the performance model
+    multiplies by link bandwidth, so only relative accuracy matters.
+    """
+    if obj is None:
+        return 0
+    if isinstance(obj, np.ndarray):
+        return int(obj.nbytes)
+    if isinstance(obj, (bytes, bytearray)):
+        return len(obj)
+    if isinstance(obj, str):
+        return len(obj.encode("utf-8", errors="ignore"))
+    if isinstance(obj, bool):
+        return 1
+    if isinstance(obj, (int, float)):
+        return 8
+    if isinstance(obj, dict):
+        return sum(estimate_payload_bytes(k) + estimate_payload_bytes(v) for k, v in obj.items())
+    if isinstance(obj, (list, tuple, set)):
+        return sum(estimate_payload_bytes(x) for x in obj)
+    if hasattr(obj, "__dict__"):
+        return estimate_payload_bytes(vars(obj))
+    return 16
+
+
+class Transport:
+    """Abstract worker transport."""
+
+    def call(self, worker_id: str, method: str, *args, **kwargs):
+        raise NotImplementedError
+
+    def is_reachable(self, worker_id: str) -> bool:
+        raise NotImplementedError
+
+
+class LocalTransport(Transport):
+    """Direct in-process dispatch to registered worker objects."""
+
+    def __init__(self):
+        self._workers: dict[str, Any] = {}
+        self._lock = threading.Lock()
+
+    def register(self, worker_id: str, worker: Any) -> None:
+        with self._lock:
+            self._workers[worker_id] = worker
+
+    def deregister(self, worker_id: str) -> None:
+        with self._lock:
+            self._workers.pop(worker_id, None)
+
+    def worker_ids(self) -> list[str]:
+        with self._lock:
+            return list(self._workers)
+
+    def is_reachable(self, worker_id: str) -> bool:
+        with self._lock:
+            return worker_id in self._workers
+
+    def call(self, worker_id: str, method: str, *args, **kwargs):
+        with self._lock:
+            worker = self._workers.get(worker_id)
+        if worker is None:
+            raise WorkerUnavailableError(worker_id)
+        fn = getattr(worker, method, None)
+        if fn is None or not callable(fn):
+            raise TransportError(f"worker {worker_id!r} has no method {method!r}")
+        return fn(*args, **kwargs)
+
+
+@dataclass
+class TransportStats:
+    """Accumulated communication counters."""
+
+    calls: int = 0
+    bytes_sent: int = 0
+    bytes_received: int = 0
+    calls_by_method: dict[str, int] = field(default_factory=dict)
+    bytes_by_method: dict[str, int] = field(default_factory=dict)
+
+    def record(self, method: str, sent: int, received: int) -> None:
+        self.calls += 1
+        self.bytes_sent += sent
+        self.bytes_received += received
+        self.calls_by_method[method] = self.calls_by_method.get(method, 0) + 1
+        self.bytes_by_method[method] = self.bytes_by_method.get(method, 0) + sent + received
+
+    def reset(self) -> None:
+        self.calls = 0
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.calls_by_method.clear()
+        self.bytes_by_method.clear()
+
+
+class InstrumentedTransport(Transport):
+    """Wraps another transport, recording bytes/calls and optional latency.
+
+    ``latency_s`` adds a real ``time.sleep`` per call — useful in tests that
+    need to observe overlap between concurrent requests (the asyncio client
+    experiments).  Set it to 0 (default) for pure accounting.
+    """
+
+    def __init__(self, inner: Transport, *, latency_s: float = 0.0):
+        self.inner = inner
+        self.latency_s = latency_s
+        self.stats = TransportStats()
+
+    def is_reachable(self, worker_id: str) -> bool:
+        return self.inner.is_reachable(worker_id)
+
+    def call(self, worker_id: str, method: str, *args, **kwargs):
+        sent = estimate_payload_bytes(args) + estimate_payload_bytes(kwargs)
+        if self.latency_s > 0:
+            time.sleep(self.latency_s)
+        result = self.inner.call(worker_id, method, *args, **kwargs)
+        received = estimate_payload_bytes(result)
+        self.stats.record(method, sent, received)
+        return result
+
+
+class FaultInjectingTransport(Transport):
+    """Deterministic fault injection for failure-handling tests.
+
+    ``fail_workers`` makes specific workers unreachable; ``fail_every``
+    raises on every Nth call (N>=2), exercising retry paths.
+    """
+
+    def __init__(
+        self,
+        inner: Transport,
+        *,
+        fail_workers: set[str] | None = None,
+        fail_every: int | None = None,
+    ):
+        if fail_every is not None and fail_every < 2:
+            raise ValueError("fail_every must be >= 2 (1 would fail every call)")
+        self.inner = inner
+        self.fail_workers = set(fail_workers or ())
+        self.fail_every = fail_every
+        self._counter = 0
+
+    def fail_worker(self, worker_id: str) -> None:
+        self.fail_workers.add(worker_id)
+
+    def heal_worker(self, worker_id: str) -> None:
+        self.fail_workers.discard(worker_id)
+
+    def is_reachable(self, worker_id: str) -> bool:
+        return worker_id not in self.fail_workers and self.inner.is_reachable(worker_id)
+
+    def call(self, worker_id: str, method: str, *args, **kwargs):
+        if worker_id in self.fail_workers:
+            raise WorkerUnavailableError(worker_id)
+        self._counter += 1
+        if self.fail_every is not None and self._counter % self.fail_every == 0:
+            raise TransportError(f"injected fault on call #{self._counter} ({method})")
+        return self.inner.call(worker_id, method, *args, **kwargs)

@@ -1,0 +1,301 @@
+"""Public value types for the :mod:`repro.core` vector database.
+
+These types form the wire-level vocabulary shared by clients, workers and the
+cluster coordinator: points (:class:`PointStruct`), search requests/results
+(:class:`SearchRequest`, :class:`ScoredPoint`), and the configuration records
+that define a collection (:class:`VectorParams`, :class:`HnswConfig`,
+:class:`OptimizerConfig`, :class:`CollectionConfig`).
+
+The defaults mirror Qdrant's: cosine distance, HNSW with ``m=16`` and
+``ef_construct=100``, and an optimizer ``indexing_threshold`` below which
+segments are served by exact scan instead of an ANN index.  Setting
+``indexing_threshold=0`` disables automatic indexing entirely — the
+bulk-upload configuration the paper mimics in §3.3, where the index is built
+in one deferred pass after all data has been inserted.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field, replace
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+__all__ = [
+    "PointId",
+    "Distance",
+    "VectorParams",
+    "HnswConfig",
+    "IvfConfig",
+    "QuantizationConfig",
+    "OptimizerConfig",
+    "WalConfig",
+    "CollectionConfig",
+    "PointStruct",
+    "Record",
+    "ScoredPoint",
+    "SearchRequest",
+    "SearchParams",
+    "UpdateResult",
+    "UpdateStatus",
+    "CollectionInfo",
+    "CollectionStatus",
+]
+
+#: Point identifiers are non-negative integers (Qdrant also allows UUIDs; an
+#: integer keyspace is sufficient for this study and keeps storage dense).
+PointId = int
+
+
+class Distance(str, enum.Enum):
+    """Similarity metric used by a collection.
+
+    ``COSINE`` and ``DOT`` are *similarities* (higher is better) while
+    ``EUCLID`` is a *distance* (lower is better).  :meth:`higher_is_better`
+    abstracts the difference for result merging.
+    """
+
+    COSINE = "Cosine"
+    DOT = "Dot"
+    EUCLID = "Euclid"
+
+    @property
+    def higher_is_better(self) -> bool:
+        return self in (Distance.COSINE, Distance.DOT)
+
+    def worst_score(self) -> float:
+        """A score strictly worse than any real score under this metric."""
+        return -math.inf if self.higher_is_better else math.inf
+
+    def is_better(self, a: float, b: float) -> bool:
+        """True if score ``a`` ranks strictly ahead of score ``b``."""
+        return a > b if self.higher_is_better else a < b
+
+
+@dataclass(frozen=True)
+class VectorParams:
+    """Shape and metric of the dense vectors stored in a collection."""
+
+    size: int
+    distance: Distance = Distance.COSINE
+    #: If true, vectors are L2-normalised on insert (required for COSINE to
+    #: reduce to dot product; Qdrant does the same internally).
+    on_disk: bool = False
+
+    def __post_init__(self):
+        if self.size <= 0:
+            raise ValueError(f"vector size must be positive, got {self.size}")
+
+
+@dataclass(frozen=True)
+class HnswConfig:
+    """Parameters for HNSW graph construction (Qdrant defaults)."""
+
+    m: int = 16
+    ef_construct: int = 100
+    #: Minimal ef used at search time when the request does not override it.
+    ef_search: int = 64
+    #: Maximum layer cap; ``None`` derives it from the dataset size.
+    max_level: int | None = None
+    #: Seed for level assignment, making builds reproducible.
+    seed: int = 0x5EED
+
+    def __post_init__(self):
+        if self.m < 2:
+            raise ValueError("HNSW m must be >= 2")
+        if self.ef_construct < self.m:
+            raise ValueError("ef_construct must be >= m")
+
+
+@dataclass(frozen=True)
+class IvfConfig:
+    """Parameters for the IVF (inverted file) index."""
+
+    n_lists: int = 64
+    n_probe: int = 8
+    #: Train k-means on at most this many vectors (sampled).
+    train_size: int = 16384
+    #: Optional product quantization of residuals.
+    pq_m: int | None = None
+    pq_bits: int = 8
+    seed: int = 0x1F5
+
+
+@dataclass(frozen=True)
+class QuantizationConfig:
+    """Scalar int8 quantization of stored vectors (Qdrant 'scalar' mode)."""
+
+    enabled: bool = False
+    #: Quantile used to clip outliers before computing the affine range.
+    quantile: float = 0.99
+    #: Keep the original float vectors for exact rescoring.
+    always_ram: bool = True
+    rescore: bool = True
+
+
+@dataclass(frozen=True)
+class OptimizerConfig:
+    """Controls background segment optimization.
+
+    ``indexing_threshold`` is the number of vectors in a segment above which
+    the optimizer converts the plain segment into an HNSW-indexed one.  Zero
+    disables automatic indexing (bulk-upload mode); the index must then be
+    built explicitly via ``Collection.build_index()``.
+    """
+
+    indexing_threshold: int = 20_000
+    #: Target maximum number of appendable segments before a merge.
+    max_segments: int = 8
+    #: Segments smaller than this are candidates for merging.
+    merge_threshold: int = 1024
+    #: Hard cap on vectors per segment (split when exceeded).
+    max_segment_size: int | None = None
+    #: Fraction of deleted points in a sealed segment that triggers vacuum.
+    vacuum_min_deleted_ratio: float = 0.2
+
+
+@dataclass(frozen=True)
+class WalConfig:
+    """Write-ahead-log behaviour for a collection."""
+
+    enabled: bool = False
+    #: Directory for WAL files; required when enabled.
+    path: str | None = None
+    #: fsync on every append (durability vs throughput trade-off).
+    sync_every_write: bool = False
+    capacity_bytes: int = 64 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class CollectionConfig:
+    """Complete configuration of a collection."""
+
+    name: str
+    vectors: VectorParams
+    hnsw: HnswConfig = field(default_factory=HnswConfig)
+    ivf: IvfConfig = field(default_factory=IvfConfig)
+    optimizer: OptimizerConfig = field(default_factory=OptimizerConfig)
+    quantization: QuantizationConfig = field(default_factory=QuantizationConfig)
+    wal: WalConfig = field(default_factory=WalConfig)
+    #: Number of shards a cluster splits this collection into.  ``None``
+    #: means one shard per worker (Qdrant's default behaviour).
+    shard_number: int | None = None
+    replication_factor: int = 1
+
+    def __post_init__(self):
+        if not self.name:
+            raise ValueError("collection name must be non-empty")
+        if self.replication_factor < 1:
+            raise ValueError("replication_factor must be >= 1")
+        if self.shard_number is not None and self.shard_number < 1:
+            raise ValueError("shard_number must be >= 1")
+
+    def with_(self, **kwargs) -> "CollectionConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **kwargs)
+
+
+@dataclass
+class PointStruct:
+    """A point to be upserted: id, vector and optional JSON-like payload."""
+
+    id: PointId
+    vector: np.ndarray | Sequence[float]
+    payload: Mapping[str, Any] | None = None
+
+    def as_array(self, dtype=np.float32) -> np.ndarray:
+        vec = np.asarray(self.vector, dtype=dtype)
+        if vec.ndim != 1:
+            raise ValueError(f"point {self.id}: vector must be 1-D, got shape {vec.shape}")
+        return vec
+
+
+@dataclass
+class Record:
+    """A stored point returned by retrieve/scroll (no score)."""
+
+    id: PointId
+    payload: Mapping[str, Any] | None = None
+    vector: np.ndarray | None = None
+
+
+@dataclass(order=False)
+class ScoredPoint:
+    """One search hit."""
+
+    id: PointId
+    score: float
+    payload: Mapping[str, Any] | None = None
+    vector: np.ndarray | None = None
+    #: Shard the hit came from (filled in by the cluster layer; useful for
+    #: diagnosing broadcast–reduce behaviour).
+    shard_id: int | None = None
+
+    def __repr__(self):  # keep vectors out of reprs — they are long
+        return f"ScoredPoint(id={self.id}, score={self.score:.6f}, shard={self.shard_id})"
+
+
+@dataclass(frozen=True)
+class SearchParams:
+    """Per-request search knobs."""
+
+    #: HNSW beam width; ``None`` uses the collection's ``ef_search``.
+    hnsw_ef: int | None = None
+    #: Force exact (flat scan) search, bypassing any ANN index.
+    exact: bool = False
+    #: IVF probes override.
+    ivf_nprobe: int | None = None
+    #: Skip the exact-rescore pass when quantization is enabled.
+    quantization_rescore: bool | None = None
+
+
+@dataclass
+class SearchRequest:
+    """A top-``limit`` nearest-neighbour query."""
+
+    vector: np.ndarray | Sequence[float]
+    limit: int = 10
+    filter: Any = None  # repro.core.filters.Filter | None (kept loose to avoid cycle)
+    params: SearchParams = field(default_factory=SearchParams)
+    with_payload: bool = False
+    with_vector: bool = False
+    score_threshold: float | None = None
+
+    def as_array(self, dtype=np.float32) -> np.ndarray:
+        vec = np.asarray(self.vector, dtype=dtype)
+        if vec.ndim != 1:
+            raise ValueError(f"query vector must be 1-D, got shape {vec.shape}")
+        return vec
+
+
+class UpdateStatus(str, enum.Enum):
+    ACKNOWLEDGED = "acknowledged"
+    COMPLETED = "completed"
+
+
+@dataclass
+class UpdateResult:
+    """Outcome of a mutating operation (upsert/delete)."""
+
+    operation_id: int
+    status: UpdateStatus = UpdateStatus.COMPLETED
+
+
+class CollectionStatus(str, enum.Enum):
+    GREEN = "green"     # all segments optimized / indexed
+    YELLOW = "yellow"   # optimization pending
+    RED = "red"         # an error occurred
+
+
+@dataclass
+class CollectionInfo:
+    """Summary returned by ``get_collection`` style calls."""
+
+    name: str
+    status: CollectionStatus
+    points_count: int
+    indexed_vectors_count: int
+    segments_count: int
+    config: CollectionConfig

@@ -1,0 +1,140 @@
+"""Write-ahead log.
+
+A simple length-prefixed, checksummed record log used by collections for
+durability of mutating operations (upsert / delete / set-payload).  Records
+are framed as::
+
+    magic(4) | seq(8) | crc32(4) | length(4) | payload(length)
+
+where ``payload`` is a pickled operation record.  On replay, records are
+validated in order; a torn tail (partial final record, e.g. after a crash)
+is tolerated and truncated, while corruption *within* the log raises
+:class:`~repro.core.errors.WALCorruptionError`.
+
+The WAL is deliberately synchronous and single-writer — each shard owns one
+log, matching Qdrant's per-shard WAL.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+from .errors import WALCorruptionError
+
+__all__ = ["WalRecord", "WriteAheadLog"]
+
+_MAGIC = b"RWAL"
+_HEADER = struct.Struct("<4sQII")  # magic, seq, crc32, length
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One logged operation."""
+
+    seq: int
+    op: str           # "upsert" | "delete" | "set_payload" | "checkpoint"
+    data: Any         # op-specific payload (ids, vectors as lists, payloads)
+
+
+class WriteAheadLog:
+    """Append-only operation log with CRC validation and crash-safe replay."""
+
+    def __init__(self, path: str, *, sync_every_write: bool = False):
+        self._path = path
+        self._sync = sync_every_write
+        self._next_seq = 0
+        os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+        # Recover the sequence counter from any existing log.
+        if os.path.exists(path):
+            for record in self.replay():
+                self._next_seq = record.seq + 1
+        self._fh = open(path, "ab")
+
+    @property
+    def path(self) -> str:
+        return self._path
+
+    @property
+    def next_seq(self) -> int:
+        return self._next_seq
+
+    def append(self, op: str, data: Any) -> WalRecord:
+        """Durably append one operation; returns the stamped record."""
+        record = WalRecord(seq=self._next_seq, op=op, data=data)
+        payload = pickle.dumps((record.op, record.data), protocol=pickle.HIGHEST_PROTOCOL)
+        crc = zlib.crc32(payload) & 0xFFFFFFFF
+        self._fh.write(_HEADER.pack(_MAGIC, record.seq, crc, len(payload)))
+        self._fh.write(payload)
+        self._fh.flush()
+        if self._sync:
+            os.fsync(self._fh.fileno())
+        self._next_seq += 1
+        return record
+
+    def replay(self) -> Iterator[WalRecord]:
+        """Yield all valid records from the start of the log.
+
+        A truncated final record (torn write) ends iteration silently after
+        trimming the file; any other inconsistency raises
+        :class:`WALCorruptionError`.
+        """
+        if not os.path.exists(self._path):
+            return
+        with open(self._path, "rb") as fh:
+            data = fh.read()
+        pos = 0
+        expected_seq: int | None = None
+        valid_end = 0
+        while pos < len(data):
+            if len(data) - pos < _HEADER.size:
+                break  # torn header
+            magic, seq, crc, length = _HEADER.unpack_from(data, pos)
+            if magic != _MAGIC:
+                raise WALCorruptionError(f"bad magic at offset {pos}")
+            body_start = pos + _HEADER.size
+            if len(data) - body_start < length:
+                break  # torn body
+            payload = data[body_start : body_start + length]
+            if (zlib.crc32(payload) & 0xFFFFFFFF) != crc:
+                raise WALCorruptionError(f"checksum mismatch at offset {pos} (seq {seq})")
+            if expected_seq is not None and seq != expected_seq:
+                raise WALCorruptionError(f"sequence gap: expected {expected_seq}, got {seq}")
+            expected_seq = seq + 1
+            try:
+                op, op_data = pickle.loads(payload)
+            except Exception as exc:  # pragma: no cover - crc should catch this
+                raise WALCorruptionError(f"undecodable record at offset {pos}") from exc
+            yield WalRecord(seq=seq, op=op, data=op_data)
+            pos = body_start + length
+            valid_end = pos
+        if valid_end < len(data):
+            # Trim the torn tail so subsequent appends produce a clean log.
+            with open(self._path, "r+b") as fh:
+                fh.truncate(valid_end)
+
+    def truncate(self) -> None:
+        """Discard all records (after a successful snapshot/checkpoint)."""
+        self._fh.close()
+        with open(self._path, "wb"):
+            pass
+        self._fh = open(self._path, "ab")
+
+    def size_bytes(self) -> int:
+        self._fh.flush()
+        return os.path.getsize(self._path)
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.flush()
+            self._fh.close()
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,210 @@
+"""Stateful worker.
+
+A worker is architecture 1 of Figure 1 in the paper: it *owns* a set of
+shards — each shard being a full :class:`~repro.core.collection.Collection`
+— and performs the compute for them.  Workers expose a flat RPC-style
+method surface (called through a :class:`~repro.core.transport.Transport`):
+
+* shard lifecycle: ``create_shard`` / ``drop_shard`` / ``transfer_shard_out``
+* writes: ``upsert`` / ``delete`` / ``set_payload``
+* reads: ``search`` / ``search_batch`` / ``retrieve`` / ``scroll`` / ``count``
+* maintenance: ``build_index`` / ``optimize`` / ``info``
+
+Workers also keep CPU-work counters (vectors inserted, distance
+computations, index build sizes) that the performance model reads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+from .collection import Collection
+from .errors import BadRequestError, CollectionNotFoundError
+from .filters import Condition
+from .optimizer import OptimizerReport
+from .types import (
+    CollectionConfig,
+    PointId,
+    PointStruct,
+    Record,
+    ScoredPoint,
+    SearchRequest,
+)
+
+__all__ = ["Worker", "WorkerStats"]
+
+
+@dataclass
+class WorkerStats:
+    """CPU-work counters the perf model charges time for."""
+
+    vectors_inserted: int = 0
+    batches_received: int = 0
+    searches_served: int = 0
+    queries_served: int = 0
+    index_builds: list[tuple[str, int, int]] = field(default_factory=list)
+    #: (collection, shard, n_vectors) per build
+
+    def reset(self) -> None:
+        self.vectors_inserted = 0
+        self.batches_received = 0
+        self.searches_served = 0
+        self.queries_served = 0
+        self.index_builds.clear()
+
+
+class Worker:
+    """One stateful vector-database worker process (in-process model)."""
+
+    def __init__(self, worker_id: str, *, node_id: str | None = None):
+        self.worker_id = worker_id
+        #: Compute node hosting this worker (4 per node on Polaris, §3.2).
+        self.node_id = node_id
+        self.stats = WorkerStats()
+        # (collection_name, shard_id) -> Collection
+        self._shards: dict[tuple[str, int], Collection] = {}
+
+    # -- shard lifecycle -----------------------------------------------------
+
+    def create_shard(self, collection: str, shard_id: int, config: CollectionConfig) -> None:
+        key = (collection, shard_id)
+        if key in self._shards:
+            raise BadRequestError(
+                f"shard {shard_id} of {collection!r} already exists on {self.worker_id}"
+            )
+        shard_config = config.with_(name=f"{collection}#shard{shard_id}")
+        self._shards[key] = Collection(shard_config)
+
+    def drop_shard(self, collection: str, shard_id: int) -> None:
+        self._shards.pop((collection, shard_id), None)
+
+    def has_shard(self, collection: str, shard_id: int) -> bool:
+        return (collection, shard_id) in self._shards
+
+    def shard_ids(self, collection: str) -> list[int]:
+        return sorted(s for (c, s) in self._shards if c == collection)
+
+    def _shard(self, collection: str, shard_id: int) -> Collection:
+        try:
+            return self._shards[(collection, shard_id)]
+        except KeyError:
+            raise CollectionNotFoundError(f"{collection}#shard{shard_id}") from None
+
+    def transfer_shard_out(self, collection: str, shard_id: int) -> list[PointStruct]:
+        """Export all points of a shard (used during rebalancing)."""
+        shard = self._shard(collection, shard_id)
+        points = []
+        for seg in shard.segments:
+            for record in seg.iter_points(with_vector=True):
+                points.append(
+                    PointStruct(id=record.id, vector=record.vector, payload=record.payload)
+                )
+        return points
+
+    def transfer_shard_in(
+        self, collection: str, shard_id: int, config: CollectionConfig,
+        points: list[PointStruct],
+    ) -> int:
+        """Import a shard's points (target side of a rebalance move)."""
+        if not self.has_shard(collection, shard_id):
+            self.create_shard(collection, shard_id, config)
+        if points:
+            self._shard(collection, shard_id).upsert(points)
+            self.stats.vectors_inserted += len(points)
+        return len(points)
+
+    # -- writes -------------------------------------------------------------
+
+    def upsert(self, collection: str, shard_id: int, points: Sequence[PointStruct]):
+        result = self._shard(collection, shard_id).upsert(list(points))
+        self.stats.vectors_inserted += len(points)
+        self.stats.batches_received += 1
+        return result
+
+    def upsert_columnar(self, collection: str, shard_id: int, batch):
+        """Columnar upsert of a routed sub-batch."""
+        result = self._shard(collection, shard_id).upsert_columnar(batch)
+        self.stats.vectors_inserted += len(batch)
+        self.stats.batches_received += 1
+        return result
+
+    def delete(self, collection: str, shard_id: int, point_ids: Sequence[PointId]):
+        return self._shard(collection, shard_id).delete(list(point_ids))
+
+    def set_payload(
+        self, collection: str, shard_id: int, point_id: PointId,
+        payload: Mapping[str, Any] | None,
+    ):
+        return self._shard(collection, shard_id).set_payload(point_id, payload)
+
+    # -- reads ----------------------------------------------------------------
+
+    def search(self, collection: str, shard_ids: Sequence[int], request: SearchRequest
+               ) -> list[ScoredPoint]:
+        """Search the given local shards and return merged local hits."""
+        self.stats.searches_served += 1
+        self.stats.queries_served += 1
+        hits: list[ScoredPoint] = []
+        for shard_id in shard_ids:
+            shard_hits = self._shard(collection, shard_id).search(request)
+            for h in shard_hits:
+                h.shard_id = shard_id
+            hits.extend(shard_hits)
+        return hits
+
+    def search_batch(
+        self, collection: str, shard_ids: Sequence[int], requests: Sequence[SearchRequest]
+    ) -> list[list[ScoredPoint]]:
+        self.stats.searches_served += 1
+        self.stats.queries_served += len(requests)
+        out: list[list[ScoredPoint]] = [[] for _ in requests]
+        for shard_id in shard_ids:
+            shard = self._shard(collection, shard_id)
+            for qi, hits in enumerate(shard.search_batch(list(requests))):
+                for h in hits:
+                    h.shard_id = shard_id
+                out[qi].extend(hits)
+        return out
+
+    def retrieve(self, collection: str, shard_id: int, point_id: PointId,
+                 *, with_vector: bool = False, with_payload: bool = True) -> Record:
+        return self._shard(collection, shard_id).retrieve(
+            point_id, with_vector=with_vector, with_payload=with_payload
+        )
+
+    def scroll(self, collection: str, shard_id: int, *, offset_id=None, limit: int = 100,
+               flt: Condition | None = None, with_payload: bool = True,
+               with_vector: bool = False):
+        return self._shard(collection, shard_id).scroll(
+            offset_id=offset_id, limit=limit, flt=flt,
+            with_payload=with_payload, with_vector=with_vector,
+        )
+
+    def count(self, collection: str, shard_id: int) -> int:
+        return len(self._shard(collection, shard_id))
+
+    def contains(self, collection: str, shard_id: int, point_id: PointId) -> bool:
+        return self._shard(collection, shard_id).contains(point_id)
+
+    # -- maintenance -------------------------------------------------------------
+
+    def build_index(self, collection: str, shard_id: int, kind: str = "hnsw"
+                    ) -> OptimizerReport:
+        report = self._shard(collection, shard_id).build_index(kind)
+        for _, n in report.index_builds:
+            self.stats.index_builds.append((collection, shard_id, n))
+        return report
+
+    def optimize(self, collection: str, shard_id: int) -> OptimizerReport:
+        return self._shard(collection, shard_id).optimize()
+
+    def create_payload_index(self, collection: str, shard_id: int, key: str,
+                             *, kind: str = "keyword") -> None:
+        self._shard(collection, shard_id).create_payload_index(key, kind=kind)
+
+    def info(self, collection: str, shard_id: int):
+        return self._shard(collection, shard_id).info()
+
+    def ping(self) -> str:
+        return self.worker_id

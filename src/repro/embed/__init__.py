@@ -1,0 +1,35 @@
+"""Embedding-generation pipeline (§3.1 of the paper).
+
+* :class:`HashingEmbedder` — deterministic text encoder standing in for
+  Qwen3-Embedding-4B (2560-d output).
+* :class:`SimGpu` — A100 cost/memory model with padded-batch OOM.
+* :func:`heuristic_batches` — the 150 kchar / 8-paper batching heuristic.
+* :func:`job_report` / :func:`run_job_sim` — one embedding job (Table 2).
+* :class:`Orchestrator` — the adaptive multi-queue campaign driver.
+"""
+
+from .batching import BatchingConfig, batch_char_totals, heuristic_batches
+from .gpu import CHARS_PER_TOKEN, GpuOutOfMemoryError, SimGpu
+from .model import QWEN3_EMBEDDING_4B, HashingEmbedder, ModelSpec, tokenize
+from .orchestrator import CampaignReport, Orchestrator, OrchestratorConfig
+from .pipeline import IO_BANDWIDTH_BPS, JobReport, job_report, run_job_sim
+
+__all__ = [
+    "HashingEmbedder",
+    "ModelSpec",
+    "QWEN3_EMBEDDING_4B",
+    "tokenize",
+    "SimGpu",
+    "GpuOutOfMemoryError",
+    "CHARS_PER_TOKEN",
+    "BatchingConfig",
+    "heuristic_batches",
+    "batch_char_totals",
+    "JobReport",
+    "job_report",
+    "run_job_sim",
+    "IO_BANDWIDTH_BPS",
+    "Orchestrator",
+    "OrchestratorConfig",
+    "CampaignReport",
+]

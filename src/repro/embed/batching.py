@@ -1,0 +1,72 @@
+"""The §3.1 batching heuristic.
+
+"Each GPU uses a simple heuristic — based on limits for total characters
+and the number of papers per batch — to determine how many papers to
+process in each batch. … we define each batch as 4,000 papers and set the
+total batch character limit and maximum batch size to 150,000 and 8,
+respectively."
+
+:func:`heuristic_batches` greedily packs a document stream into
+micro-batches such that each batch holds at most ``max_papers`` documents
+and at most ``char_limit`` total characters; a single document longer than
+the limit forms its own (oversized) batch rather than being truncated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from ..perfmodel.calibration import EMBEDDING
+
+__all__ = ["BatchingConfig", "heuristic_batches", "batch_char_totals"]
+
+
+@dataclass(frozen=True)
+class BatchingConfig:
+    """Heuristic limits (paper defaults)."""
+
+    char_limit: int = EMBEDDING.batch_char_limit      # 150,000
+    max_papers: int = EMBEDDING.batch_max_papers      # 8
+
+    def __post_init__(self):
+        if self.char_limit < 1 or self.max_papers < 1:
+            raise ValueError("limits must be positive")
+
+
+def heuristic_batches(
+    char_counts: Iterable[int], config: BatchingConfig | None = None
+) -> Iterator[list[int]]:
+    """Greedily pack documents (given by character count) into micro-batches.
+
+    Yields lists of character counts.  Documents are taken in stream order
+    (no reordering — the pipeline processes papers as they arrive).  A
+    document exceeding ``char_limit`` on its own is emitted as a singleton
+    batch.
+    """
+    cfg = config or BatchingConfig()
+    current: list[int] = []
+    current_chars = 0
+    for chars in char_counts:
+        if chars < 0:
+            raise ValueError("character counts must be non-negative")
+        overflow = current and (
+            len(current) >= cfg.max_papers or current_chars + chars > cfg.char_limit
+        )
+        if overflow:
+            yield current
+            current = []
+            current_chars = 0
+        current.append(chars)
+        current_chars += chars
+        if current_chars >= cfg.char_limit or len(current) >= cfg.max_papers:
+            yield current
+            current = []
+            current_chars = 0
+    if current:
+        yield current
+
+
+def batch_char_totals(batches: Sequence[Sequence[int]]) -> list[int]:
+    """Total characters per batch (diagnostic)."""
+    return [sum(b) for b in batches]

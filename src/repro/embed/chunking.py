@@ -1,0 +1,151 @@
+"""Document chunking — the paper's §3.1 future-work item.
+
+"In future work we could apply chunking techniques, which would likely
+improve retrieval quality but increase the number of entities in the
+database, stressing performance further."
+
+Two chunkers (after Smith & Troynikov's evaluation, reference [40]):
+
+* :class:`FixedSizeChunker` — fixed character windows with overlap.
+* :class:`SentenceChunker` — greedy sentence packing up to a budget.
+
+:func:`chunk_corpus_points` turns a corpus into *chunk-level* database
+points (ids encode ``paper_id * stride + chunk_index``), letting the
+chunking ablation quantify exactly the trade-off the paper predicts: the
+entity count multiplies, and with it insertion and index-build cost, while
+query-time grounding gets finer-grained.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..core.types import PointStruct
+from .model import HashingEmbedder
+
+__all__ = [
+    "Chunk",
+    "FixedSizeChunker",
+    "SentenceChunker",
+    "chunk_corpus_points",
+    "CHUNK_ID_STRIDE",
+]
+
+#: chunk point-id = paper_id * CHUNK_ID_STRIDE + chunk_index
+CHUNK_ID_STRIDE = 1_000
+
+_SENTENCE_RE = re.compile(r"[^.!?]+[.!?]?")
+
+
+@dataclass(frozen=True)
+class Chunk:
+    """One chunk of a source document."""
+
+    doc_id: int
+    index: int
+    text: str
+
+    @property
+    def point_id(self) -> int:
+        return self.doc_id * CHUNK_ID_STRIDE + self.index
+
+    @property
+    def n_chars(self) -> int:
+        return len(self.text)
+
+
+class FixedSizeChunker:
+    """Fixed-width character windows with overlap."""
+
+    def __init__(self, size: int = 2_000, overlap: int = 200):
+        if size < 1:
+            raise ValueError("chunk size must be positive")
+        if not 0 <= overlap < size:
+            raise ValueError("overlap must be in [0, size)")
+        self.size = size
+        self.overlap = overlap
+
+    def chunk(self, doc_id: int, text: str) -> Iterator[Chunk]:
+        if not text:
+            return
+        step = self.size - self.overlap
+        index = 0
+        for start in range(0, len(text), step):
+            piece = text[start : start + self.size]
+            if not piece:
+                break
+            yield Chunk(doc_id=doc_id, index=index, text=piece)
+            index += 1
+            if start + self.size >= len(text):
+                break
+
+    def expected_chunks(self, n_chars: int) -> int:
+        """Chunk count for a document of ``n_chars`` (cost-model helper)."""
+        if n_chars <= 0:
+            return 0
+        if n_chars <= self.size:
+            return 1
+        step = self.size - self.overlap
+        return 1 + -(-(n_chars - self.size) // step)
+
+
+class SentenceChunker:
+    """Greedy sentence packing up to ``budget`` characters per chunk.
+
+    Sentences longer than the budget are emitted whole (never split
+    mid-sentence — the retrieval-quality rationale for sentence chunking).
+    """
+
+    def __init__(self, budget: int = 2_000):
+        if budget < 1:
+            raise ValueError("budget must be positive")
+        self.budget = budget
+
+    def chunk(self, doc_id: int, text: str) -> Iterator[Chunk]:
+        current: list[str] = []
+        current_len = 0
+        index = 0
+        for match in _SENTENCE_RE.finditer(text):
+            sentence = match.group().strip()
+            if not sentence:
+                continue
+            if current and current_len + len(sentence) + 1 > self.budget:
+                yield Chunk(doc_id=doc_id, index=index, text=" ".join(current))
+                index += 1
+                current = []
+                current_len = 0
+            current.append(sentence)
+            current_len += len(sentence) + 1
+        if current:
+            yield Chunk(doc_id=doc_id, index=index, text=" ".join(current))
+
+
+def chunk_corpus_points(
+    corpus,
+    embedder: HashingEmbedder,
+    chunker,
+    *,
+    max_papers: int | None = None,
+) -> Iterator[PointStruct]:
+    """Stream chunk-level points for a :class:`~repro.workloads.pes2o.Pes2oCorpus`.
+
+    Each point's payload records its source paper and chunk index, so the
+    grouped-search API can collapse chunk hits back to papers.
+    """
+    n = len(corpus) if max_papers is None else min(max_papers, len(corpus))
+    for paper_index in range(n):
+        paper = corpus.paper(paper_index)
+        for chunk in chunker.chunk(paper.paper_id, paper.text):
+            if chunk.index >= CHUNK_ID_STRIDE:
+                break  # id space exhausted; drop pathological tails
+            yield PointStruct(
+                id=chunk.point_id,
+                vector=embedder.encode(chunk.text),
+                payload={
+                    "paper_id": paper.paper_id,
+                    "chunk_index": chunk.index,
+                    "title": paper.title,
+                },
+            )

@@ -1,0 +1,112 @@
+"""Embedding models.
+
+Two cooperating pieces replace Qwen3-Embedding-4B (§3.1):
+
+* :class:`HashingEmbedder` — a real, deterministic text encoder.  Tokens
+  are feature-hashed into a ``dim``-dimensional vector with signed buckets
+  (the classic hashing trick), then L2-normalised.  Texts that share
+  vocabulary land near each other in cosine space, so retrieval behaves
+  qualitatively like a learned embedder — enough to give the runtime study
+  semantically non-trivial queries and to let the examples demonstrate
+  actual retrieval.
+* :class:`ModelSpec` — the cost-model view of the real model (parameter
+  count, embedding dim, bytes of weights), consumed by the GPU simulator
+  in :mod:`repro.embed.gpu`.
+
+The default dimension is 2560 — Qwen3-Embedding-4B's output size, which is
+what makes the 8.29 M-paper corpus ≈80 GB.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import re
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ModelSpec", "QWEN3_EMBEDDING_4B", "HashingEmbedder", "tokenize"]
+
+_TOKEN_RE = re.compile(r"[a-z0-9]+")
+
+
+def tokenize(text: str) -> list[str]:
+    """Lowercase alphanumeric tokenization (shared by embedder and corpus)."""
+    return _TOKEN_RE.findall(text.lower())
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """Static description of an embedding model for the cost model."""
+
+    name: str
+    n_params: float
+    embedding_dim: int
+    bytes_per_param: int = 2  # bf16 weights
+
+    @property
+    def weight_bytes(self) -> float:
+        return self.n_params * self.bytes_per_param
+
+    def flops_per_token(self) -> float:
+        """Dense transformer forward pass ≈ 2 FLOPs per parameter per token."""
+        return 2.0 * self.n_params
+
+
+QWEN3_EMBEDDING_4B = ModelSpec(name="Qwen3-Embedding-4B", n_params=4e9, embedding_dim=2560)
+
+
+class HashingEmbedder:
+    """Deterministic feature-hashing text encoder.
+
+    Each token is hashed (BLAKE2b, keyed by ``seed``) to a bucket and a
+    sign; token counts accumulate into the buckets and the result is
+    L2-normalised.  Bigrams can be mixed in to sharpen phrase locality.
+    """
+
+    def __init__(self, dim: int = 2560, *, seed: int = 0, use_bigrams: bool = True):
+        if dim < 2:
+            raise ValueError("dim must be >= 2")
+        self.dim = dim
+        self.seed = seed
+        self.use_bigrams = use_bigrams
+        self._salt = seed.to_bytes(8, "little", signed=False)
+        # memoised token -> (bucket, sign); vocabulary is small in practice
+        self._cache: dict[str, tuple[int, float]] = {}
+
+    def _slot(self, token: str) -> tuple[int, float]:
+        cached = self._cache.get(token)
+        if cached is not None:
+            return cached
+        digest = hashlib.blake2b(token.encode("utf-8"), digest_size=8, salt=self._salt).digest()
+        value = int.from_bytes(digest, "little")
+        slot = (value >> 1) % self.dim, (1.0 if value & 1 else -1.0)
+        if len(self._cache) < 1_000_000:
+            self._cache[token] = slot
+        return slot
+
+    def encode(self, text: str) -> np.ndarray:
+        """Embed one text; returns a unit-norm float32 vector."""
+        vec = np.zeros(self.dim, dtype=np.float32)
+        tokens = tokenize(text)
+        for tok in tokens:
+            bucket, sign = self._slot(tok)
+            vec[bucket] += sign
+        if self.use_bigrams:
+            for a, b in zip(tokens, tokens[1:]):
+                bucket, sign = self._slot(a + "_" + b)
+                vec[bucket] += 0.5 * sign
+        norm = float(np.linalg.norm(vec))
+        if norm > 0:
+            vec /= np.float32(norm)
+        return vec
+
+    def encode_batch(self, texts: list[str]) -> np.ndarray:
+        """Embed a batch; returns an ``(n, dim)`` float32 matrix."""
+        if not texts:
+            return np.empty((0, self.dim), dtype=np.float32)
+        return np.stack([self.encode(t) for t in texts])
+
+    def similarity(self, a: str, b: str) -> float:
+        """Cosine similarity of two texts (unit vectors: plain dot)."""
+        return float(self.encode(a) @ self.encode(b))

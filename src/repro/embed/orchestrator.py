@@ -1,0 +1,207 @@
+"""Adaptive embedding-campaign orchestrator (§3.1).
+
+"We design an adaptive pipeline overseen by an orchestrator.  Based on
+user-controlled parameters, the orchestrator batches the input text into
+single-node jobs to minimize queue wait time and monitors a user-defined
+set of queues.  As availability within a queue opens, the orchestrator
+submits the next batch.  The orchestrator can be paused and resumed as
+needed, with the flexibility to adjust target queues and the number of
+jobs per queue."
+
+:class:`Orchestrator` is a DES process over a
+:class:`~repro.sim.scheduler.PbsScheduler`: it slices the corpus into
+``papers_per_job`` chunks, keeps at most ``max_jobs_per_queue`` of its jobs
+in each target queue, prefers the queue with the most free nodes, and
+supports pause/resume and retargeting mid-campaign.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..sim.engine import Environment
+from ..sim.scheduler import Job, PbsScheduler, WalltimeExceeded
+from .pipeline import JobReport, job_report
+
+__all__ = ["OrchestratorConfig", "CampaignReport", "Orchestrator"]
+
+
+@dataclass(frozen=True)
+class OrchestratorConfig:
+    papers_per_job: int = 4_000
+    max_jobs_per_queue: int = 2
+    #: Seconds between queue polls.
+    poll_interval_s: float = 30.0
+    #: Walltime requested per job.
+    walltime_s: float = 6 * 3600.0
+    #: Resubmissions allowed per chunk after a walltime kill.
+    max_retries: int = 2
+
+
+@dataclass
+class CampaignReport:
+    """Aggregate outcome of an embedding campaign."""
+
+    jobs_submitted: int = 0
+    jobs_completed: int = 0
+    jobs_killed: int = 0
+    chunks_abandoned: int = 0
+    papers_embedded: int = 0
+    total_oom_batches: int = 0
+    total_sequential_papers: int = 0
+    job_reports: list[JobReport] = field(default_factory=list)
+    makespan_s: float = 0.0
+
+    @property
+    def sequential_rate(self) -> float:
+        return (
+            self.total_sequential_papers / self.papers_embedded
+            if self.papers_embedded
+            else 0.0
+        )
+
+
+class Orchestrator:
+    """Drives an embedding campaign through the batch queues."""
+
+    def __init__(
+        self,
+        env: Environment,
+        scheduler: PbsScheduler,
+        char_counts: list[int],
+        *,
+        target_queues: list[str],
+        config: OrchestratorConfig | None = None,
+    ):
+        if not target_queues:
+            raise ValueError("need at least one target queue")
+        self.env = env
+        self.scheduler = scheduler
+        self.config = config or OrchestratorConfig()
+        self._chunks = self._slice(char_counts, self.config.papers_per_job)
+        self._next_chunk = 0
+        #: chunks re-queued after a walltime kill: (chunk_index, retries_left)
+        self._retry_queue: list[tuple[int, int]] = []
+        self.target_queues = list(target_queues)
+        self.report = CampaignReport()
+        self._paused = False
+        self._inflight: dict[int, str] = {}  # job_id -> queue name
+        self._process = env.process(self._run())
+
+    @staticmethod
+    def _slice(char_counts: list[int], per_job: int) -> list[list[int]]:
+        return [char_counts[i : i + per_job] for i in range(0, len(char_counts), per_job)]
+
+    # -- control surface -----------------------------------------------------
+
+    def pause(self) -> None:
+        """Stop submitting new jobs (running jobs continue)."""
+        self._paused = True
+
+    def resume(self) -> None:
+        self._paused = False
+
+    def retarget(self, queues: list[str]) -> None:
+        """Change the set of queues considered for future submissions."""
+        if not queues:
+            raise ValueError("need at least one target queue")
+        self.target_queues = list(queues)
+
+    @property
+    def done(self) -> bool:
+        return (
+            self._next_chunk >= len(self._chunks)
+            and not self._retry_queue
+            and not self._inflight
+        )
+
+    @property
+    def process(self):
+        return self._process
+
+    @property
+    def pending_chunks(self) -> int:
+        return len(self._chunks) - self._next_chunk
+
+    # -- internals --------------------------------------------------------------
+
+    def _jobs_in_queue(self, queue_name: str) -> int:
+        return sum(1 for q in self._inflight.values() if q == queue_name)
+
+    def _pick_queue(self) -> str | None:
+        """Queue with room under our cap, preferring the most free nodes."""
+        candidates = [
+            name
+            for name in self.target_queues
+            if self._jobs_in_queue(name) < self.config.max_jobs_per_queue
+        ]
+        if not candidates:
+            return None
+        return max(candidates, key=lambda n: self.scheduler.queue(n).available_nodes())
+
+    def _make_body(self, chunk: list[int]):
+        def body(env, job):
+            report = job_report(chunk)
+            yield env.timeout(report.total_s)
+            return report
+
+        return body
+
+    def _next_work(self) -> tuple[int, int] | None:
+        """Next (chunk_index, retries_left): retries first, then fresh work."""
+        if self._retry_queue:
+            return self._retry_queue.pop(0)
+        if self._next_chunk < len(self._chunks):
+            idx = self._next_chunk
+            self._next_chunk += 1
+            return idx, self.config.max_retries
+        return None
+
+    def _submit(self, chunk_index: int, retries_left: int, queue_name: str) -> None:
+        chunk = self._chunks[chunk_index]
+        job = Job(
+            nodes=1,
+            walltime_s=self.config.walltime_s,
+            body=self._make_body(chunk),
+            name=f"embed-{chunk_index}",
+        )
+        self.scheduler.submit(queue_name, job)
+        self._inflight[job.job_id] = queue_name
+        self.report.jobs_submitted += 1
+        self.env.process(self._watch(job, chunk_index, retries_left))
+
+    def _run(self):
+        while not self.done:
+            if not self._paused:
+                while True:
+                    queue_name = self._pick_queue()
+                    if queue_name is None:
+                        break
+                    work = self._next_work()
+                    if work is None:
+                        break
+                    self._submit(work[0], work[1], queue_name)
+            yield self.env.timeout(self.config.poll_interval_s)
+        self.report.makespan_s = self.env.now
+        return self.report
+
+    def _watch(self, job: Job, chunk_index: int, retries_left: int):
+        assert job.done_event is not None
+        try:
+            result = yield job.done_event
+        except WalltimeExceeded:
+            # killed by the scheduler: requeue the chunk (bounded retries)
+            self._inflight.pop(job.job_id, None)
+            self.report.jobs_killed += 1
+            if retries_left > 0:
+                self._retry_queue.append((chunk_index, retries_left - 1))
+            else:
+                self.report.chunks_abandoned += 1
+            return
+        self._inflight.pop(job.job_id, None)
+        self.report.jobs_completed += 1
+        self.report.papers_embedded += len(self._chunks[chunk_index])
+        if isinstance(result, JobReport):
+            self.report.job_reports.append(result)
+            self.report.total_oom_batches += result.oom_batches
+            self.report.total_sequential_papers += result.sequential_papers

@@ -1,0 +1,14 @@
+"""HPC machine models (Polaris-like nodes on a Dragonfly fabric)."""
+
+from .node import A100_40GB, POLARIS_NODE, GpuSpec, NodeSpec, SimNode
+from .polaris import WORKERS_PER_NODE, PolarisMachine
+
+__all__ = [
+    "GpuSpec",
+    "NodeSpec",
+    "SimNode",
+    "A100_40GB",
+    "POLARIS_NODE",
+    "PolarisMachine",
+    "WORKERS_PER_NODE",
+]

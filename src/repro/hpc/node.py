@@ -1,0 +1,128 @@
+"""Compute-node models.
+
+:class:`NodeSpec` is the static hardware description; :class:`SimNode`
+instantiates it on a DES environment with contended resources: a CPU-core
+:class:`~repro.sim.resources.Resource`, a memory
+:class:`~repro.sim.resources.Container`, and one slot resource per GPU.
+
+A Polaris node (§3): 32-core AMD EPYC Milan 7543P @ 2.8 GHz, 512 GB DDR4,
+4× NVIDIA A100 40 GB.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..sim.engine import Environment
+from ..sim.resources import Container, Resource
+
+__all__ = ["GpuSpec", "NodeSpec", "SimNode", "POLARIS_NODE", "A100_40GB"]
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """Static GPU description."""
+
+    name: str
+    memory_bytes: int
+    #: Dense fp16/bf16 throughput used by the embedding cost model.
+    flops: float
+
+    @property
+    def memory_gb(self) -> float:
+        return self.memory_bytes / 1e9
+
+
+A100_40GB = GpuSpec(name="A100-40GB", memory_bytes=40_000_000_000, flops=312e12)
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """Static compute-node description."""
+
+    name: str
+    cpu_cores: int
+    cpu_ghz: float
+    memory_bytes: int
+    gpus: tuple[GpuSpec, ...] = ()
+
+    @property
+    def memory_gb(self) -> float:
+        return self.memory_bytes / 1e9
+
+    @property
+    def gpu_count(self) -> int:
+        return len(self.gpus)
+
+
+POLARIS_NODE = NodeSpec(
+    name="polaris",
+    cpu_cores=32,
+    cpu_ghz=2.8,
+    memory_bytes=512_000_000_000,
+    gpus=(A100_40GB,) * 4,
+)
+
+
+@dataclass
+class SimNode:
+    """A node instantiated on a simulation environment."""
+
+    env: Environment
+    spec: NodeSpec
+    node_id: str
+    #: Network terminal index for this node (set by the machine model).
+    terminal: int = 0
+    cores: Container = field(init=False)
+    memory: Container = field(init=False)
+    gpu_slots: list[Resource] = field(init=False)
+
+    def __post_init__(self):
+        # Cores are a Container so a compute task acquires its whole core
+        # set atomically (a per-core Resource would let two wide tasks
+        # interleave partial acquisitions and deadlock).
+        self.cores = Container(
+            self.env, capacity=float(self.spec.cpu_cores), init=float(self.spec.cpu_cores)
+        )
+        self.memory = Container(self.env, capacity=float(self.spec.memory_bytes))
+        self.gpu_slots = [Resource(self.env, capacity=1) for _ in self.spec.gpus]
+        self._busy_integral = 0.0
+        self._busy_cores = 0
+        self._last_change = self.env.now
+
+    def _account(self, delta_cores: int) -> None:
+        now = self.env.now
+        self._busy_integral += self._busy_cores * (now - self._last_change)
+        self._last_change = now
+        self._busy_cores += delta_cores
+
+    def compute(self, core_seconds: float, *, parallelism: int | None = None):
+        """A process consuming ``core_seconds`` of CPU work.
+
+        The work is spread over ``parallelism`` cores (default: all cores),
+        acquired atomically from the shared pool — co-located workers
+        contend naturally, which is the §3.3 effect (one index build
+        already saturates the node).
+        """
+
+        def _proc():
+            width = min(parallelism or self.spec.cpu_cores, self.spec.cpu_cores)
+            per_core = core_seconds / width
+            yield self.cores.get(float(width))
+            self._account(+width)
+            try:
+                yield self.env.timeout(per_core)
+            finally:
+                self._account(-width)
+                yield self.cores.put(float(width))
+            return per_core
+
+        return self.env.process(_proc())
+
+    def cpu_utilization(self) -> float:
+        """Mean fraction of cores busy since t=0."""
+        self._account(0)
+        elapsed = self.env.now
+        if elapsed <= 0:
+            return 0.0
+        return self._busy_integral / (elapsed * self.spec.cpu_cores)

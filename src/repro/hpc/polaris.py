@@ -1,0 +1,74 @@
+"""Polaris machine model.
+
+Bundles :class:`~repro.hpc.node.SimNode` instances with a Dragonfly
+:class:`~repro.sim.network.SimNetwork` into a small machine object that the
+paper-scale experiments deploy simulated Qdrant workers onto.
+
+The real Polaris has 560 nodes; experiments here allocate only what the
+paper used (≤ 8 server nodes + 1 client node), but the model accepts any
+count that fits the topology.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..sim.engine import Environment
+from ..sim.network import DragonflyTopology, SimNetwork
+from .node import POLARIS_NODE, NodeSpec, SimNode
+
+__all__ = ["PolarisMachine", "WORKERS_PER_NODE"]
+
+#: §3.2: "four Qdrant workers per machine".
+WORKERS_PER_NODE = 4
+
+
+@dataclass
+class PolarisMachine:
+    """A simulated allocation of Polaris nodes on a Dragonfly fabric."""
+
+    env: Environment
+    n_nodes: int
+    node_spec: NodeSpec = POLARIS_NODE
+    topology: DragonflyTopology = field(default_factory=DragonflyTopology)
+    nodes: list[SimNode] = field(init=False)
+    network: SimNetwork = field(init=False)
+
+    def __post_init__(self):
+        if self.n_nodes < 1:
+            raise ValueError("need at least one node")
+        if self.n_nodes > self.topology.n_terminals:
+            raise ValueError(
+                f"{self.n_nodes} nodes exceed the topology's "
+                f"{self.topology.n_terminals} terminals"
+            )
+        self.network = SimNetwork(self.env, self.topology)
+        self.nodes = [
+            SimNode(self.env, self.node_spec, node_id=f"node-{i}", terminal=i)
+            for i in range(self.n_nodes)
+        ]
+
+    def node(self, index: int) -> SimNode:
+        return self.nodes[index]
+
+    def node_for_worker(self, worker_index: int, *, workers_per_node: int = WORKERS_PER_NODE
+                        ) -> SimNode:
+        """Placement rule of §3.2: pack workers four per node."""
+        node_index = worker_index // workers_per_node
+        if node_index >= len(self.nodes):
+            raise ValueError(
+                f"worker {worker_index} needs node {node_index}, "
+                f"but only {len(self.nodes)} nodes are allocated"
+            )
+        return self.nodes[node_index]
+
+    def transfer(self, src_node: int, dst_node: int, size_bytes: float):
+        """Network transfer process between two nodes."""
+        return self.network.transfer(
+            self.nodes[src_node].terminal, self.nodes[dst_node].terminal, size_bytes
+        )
+
+    @staticmethod
+    def nodes_for_workers(n_workers: int, *, workers_per_node: int = WORKERS_PER_NODE) -> int:
+        """Number of server nodes hosting ``n_workers`` (ceil division)."""
+        return -(-n_workers // workers_per_node)

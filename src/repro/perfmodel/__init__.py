@@ -1,0 +1,61 @@
+"""Calibrated performance models.
+
+Maps operation counts (vectors, batches, queries, shard sizes) to
+Polaris-scale wall-clock time.  Every constant is anchored to a number the
+paper reports; see :mod:`repro.perfmodel.calibration` for the provenance of
+each and the derivations of the fitted parameters.
+"""
+
+from .amdahl import amdahl_speedup, max_async_speedup, serial_fraction
+from .calibration import (
+    DATASET,
+    EMBEDDING,
+    INDEXING,
+    INSERTION,
+    QUERY,
+    DatasetScale,
+    EmbeddingCalibration,
+    GiB,
+    IndexingCalibration,
+    InsertionCalibration,
+    QueryCalibration,
+)
+from .architecture import ScaleOutCost, ScaleOutCostModel
+from .embedding import EmbeddingJobModel, JobPhaseTimes
+from .gpu_indexing import GpuIndexBuildModel
+from .indexing import IndexBuildModel
+from .insertion import BatchSizeModel, ConcurrencyModel, WorkerScalingModel
+from .query import QueryBatchModel, QueryConcurrencyModel, QueryScalingModel
+from .variability import NoiseModel, TrialStats, VariabilityStudy
+
+__all__ = [
+    "DATASET",
+    "EMBEDDING",
+    "INSERTION",
+    "INDEXING",
+    "QUERY",
+    "GiB",
+    "DatasetScale",
+    "EmbeddingCalibration",
+    "InsertionCalibration",
+    "IndexingCalibration",
+    "QueryCalibration",
+    "amdahl_speedup",
+    "max_async_speedup",
+    "serial_fraction",
+    "EmbeddingJobModel",
+    "JobPhaseTimes",
+    "IndexBuildModel",
+    "BatchSizeModel",
+    "ConcurrencyModel",
+    "WorkerScalingModel",
+    "QueryBatchModel",
+    "QueryConcurrencyModel",
+    "QueryScalingModel",
+    "GpuIndexBuildModel",
+    "NoiseModel",
+    "TrialStats",
+    "VariabilityStudy",
+    "ScaleOutCost",
+    "ScaleOutCostModel",
+]

@@ -1,0 +1,40 @@
+"""Amdahl's-law helpers for the client-concurrency analysis (§3.2).
+
+The paper observes that with Python's asyncio, the CPU-bound conversion of
+points into batch objects is serialized on the event loop; only the awaited
+upload RPC can overlap.  The achievable speedup from ``c`` concurrent
+requests is therefore bounded by Amdahl's law with serial fraction
+``t_cpu / (t_cpu + t_rpc)``.
+"""
+
+from __future__ import annotations
+
+__all__ = ["amdahl_speedup", "max_async_speedup", "serial_fraction"]
+
+
+def serial_fraction(t_serial: float, t_parallel: float) -> float:
+    """Fraction of per-item time that cannot overlap."""
+    total = t_serial + t_parallel
+    if total <= 0:
+        raise ValueError("times must be positive")
+    return t_serial / total
+
+
+def amdahl_speedup(serial_frac: float, n: float) -> float:
+    """Classic Amdahl speedup with ``n``-way parallelism of the parallel part."""
+    if not 0.0 <= serial_frac <= 1.0:
+        raise ValueError(f"serial fraction must be in [0,1], got {serial_frac}")
+    if n < 1:
+        raise ValueError("parallelism must be >= 1")
+    return 1.0 / (serial_frac + (1.0 - serial_frac) / n)
+
+
+def max_async_speedup(t_cpu: float, t_rpc: float) -> float:
+    """Limit of :func:`amdahl_speedup` as concurrency → ∞.
+
+    With the paper's measured 45.64 ms conversion and 14.86 ms RPC this is
+    (45.64 + 14.86) / 45.64 ≈ 1.33 — reported as "a maximum of 1.31×".
+    """
+    if t_cpu <= 0:
+        raise ValueError("CPU time must be positive")
+    return (t_cpu + t_rpc) / t_cpu

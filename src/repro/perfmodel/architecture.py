@@ -1,0 +1,114 @@
+"""Stateful vs stateless (compute/storage-separated) scaling cost — §2.2.
+
+"The ability to scale compute independently of state allows the workflow
+to add more workers without repartitioning persisted data — traditionally
+an expensive process that requires both data transfer and the
+reconstruction of impacted indexes."
+
+This model quantifies that sentence for the paper's dataset on the Polaris
+fabric, for an elastic scale-out event W → W′ workers:
+
+* **stateful** (Qdrant/Vald/Weaviate, Figure 1 approach 1): a fraction
+  ``(W′−W)/W′`` of the data moves to the new workers (consistent
+  re-sharding moves the minimum), at the Slingshot per-NIC bandwidth with
+  ``min(W, W′−W)`` concurrent donor/recipient pairs; every moved shard's
+  index is rebuilt on arrival (the superlinear §3.3 build cost).
+* **stateless** (Vespa/Milvus, approach 2): new workers pull their shard
+  *and its prebuilt index* from the durable storage layer (object store /
+  parallel FS) at ``object_store_Bps`` per worker; no rebuild.
+
+The trade-off flips with the workload: for a static corpus the rebalance
+is paid once and stateful wins steady-state (§2.2: "for relatively static
+query and update patterns, there is little need to rapidly scale"); for
+dynamic/skewed workloads the repeated scaling cost dominates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sim.network import SLINGSHOT11, LinkModel
+from .calibration import DATASET, DatasetScale
+from .indexing import IndexBuildModel
+
+__all__ = ["ScaleOutCostModel", "ScaleOutCost"]
+
+
+@dataclass(frozen=True)
+class ScaleOutCost:
+    """Breakdown of one W → W′ scale-out event (seconds)."""
+
+    transfer_s: float
+    index_rebuild_s: float
+
+    @property
+    def total_s(self) -> float:
+        return self.transfer_s + self.index_rebuild_s
+
+
+@dataclass(frozen=True)
+class ScaleOutCostModel:
+    data: DatasetScale = DATASET
+    index_model: IndexBuildModel = IndexBuildModel()
+    nic: LinkModel = SLINGSHOT11
+    #: per-worker read bandwidth from the durable storage layer; object
+    #: stores / parallel FS streams are typically a fraction of NIC speed
+    object_store_Bps: float = 5e9
+    #: graph index adds ~50 % to the bytes a stateless worker must fetch
+    index_overhead: float = 1.5
+
+    def _moved_vectors(self, old_workers: int, new_workers: int) -> float:
+        if new_workers <= old_workers:
+            raise ValueError("scale-out requires new_workers > old_workers")
+        moved_fraction = (new_workers - old_workers) / new_workers
+        return self.data.total_papers * moved_fraction
+
+    def stateful_cost(self, old_workers: int, new_workers: int) -> ScaleOutCost:
+        """Rebalance: move data to the new workers and rebuild their indexes."""
+        moved = self._moved_vectors(old_workers, new_workers)
+        moved_bytes = moved * self.data.bytes_per_vector
+        pairs = min(old_workers, new_workers - old_workers)
+        transfer = moved_bytes / (self.nic.bandwidth_Bps * pairs)
+        # each new worker rebuilds its received shard; builds run in
+        # parallel across the new workers (each saturating its node share)
+        per_worker_vectors = moved / (new_workers - old_workers)
+        rebuild = self.index_model.shard_build_s(per_worker_vectors)
+        if new_workers > self.data.workers_per_node:
+            rebuild *= self.index_model.cal.kappa_pack
+        return ScaleOutCost(transfer_s=transfer, index_rebuild_s=rebuild)
+
+    def stateless_cost(self, old_workers: int, new_workers: int) -> ScaleOutCost:
+        """Cache warm-up: new workers stream shard + prebuilt index."""
+        moved = self._moved_vectors(old_workers, new_workers)
+        per_worker_bytes = (
+            moved / (new_workers - old_workers)
+            * self.data.bytes_per_vector
+            * self.index_overhead
+        )
+        # all new workers fetch concurrently from the storage layer
+        transfer = per_worker_bytes / self.object_store_Bps
+        return ScaleOutCost(transfer_s=transfer, index_rebuild_s=0.0)
+
+    def advantage(self, old_workers: int, new_workers: int) -> float:
+        """stateful_total / stateless_total — how much separation wins."""
+        return (
+            self.stateful_cost(old_workers, new_workers).total_s
+            / self.stateless_cost(old_workers, new_workers).total_s
+        )
+
+    def amortization_events(self, old_workers: int, new_workers: int,
+                            *, steady_state_penalty_s: float) -> float:
+        """Scale events per corpus lifetime at which stateless breaks even,
+        if the stateless design pays ``steady_state_penalty_s`` extra per
+        lifetime (e.g. cache-miss latency on cold shards).
+
+        Below this rate, §2.2's "static patterns" argument favours
+        stateful; above it, separation wins.
+        """
+        saved_per_event = (
+            self.stateful_cost(old_workers, new_workers).total_s
+            - self.stateless_cost(old_workers, new_workers).total_s
+        )
+        if saved_per_event <= 0:
+            return float("inf")
+        return steady_state_penalty_s / saved_per_event

@@ -1,0 +1,347 @@
+"""Calibration constants: every number the paper reports, in one place.
+
+Each constant is traced to the sentence or table of the paper it comes
+from.  The performance models in this package are parameterised by these
+values; the calibration tests assert that the models reproduce the paper's
+headline numbers within stated tolerances.
+
+Scale facts (§3, §3.1, §3.2)
+----------------------------
+* peS2o full-text corpus: **8,293,485** papers → one embedding each.
+* Qwen3-Embedding-4B output dimension: **2560** (so the float32 dataset is
+  8,293,485 × 2560 × 4 B ≈ 79.1 GiB — the paper's "≈80 GB").
+* BV-BRC query workload: **22,723** genome-related terms.
+
+Derived constants marked ``fitted:`` are solved from the paper's anchor
+numbers; the derivations are spelled out inline so they can be re-checked
+(and are re-checked by ``tests/perfmodel/test_calibration.py``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = [
+    "DATASET",
+    "EMBEDDING",
+    "INSERTION",
+    "INDEXING",
+    "QUERY",
+    "DatasetScale",
+    "EmbeddingCalibration",
+    "InsertionCalibration",
+    "IndexingCalibration",
+    "QueryCalibration",
+    "GiB",
+]
+
+GiB = 1024**3
+
+
+@dataclass(frozen=True)
+class DatasetScale:
+    """Workload scale facts."""
+
+    total_papers: int = 8_293_485
+    embedding_dim: int = 2560
+    bytes_per_component: int = 4  # float32
+    n_query_terms: int = 22_723
+    workers_per_node: int = 4          # §3.2 deployment
+    client_node_cores: int = 32        # all clients share one Polaris node
+
+    @property
+    def bytes_per_vector(self) -> int:
+        return self.embedding_dim * self.bytes_per_component
+
+    @property
+    def total_bytes(self) -> int:
+        return self.total_papers * self.bytes_per_vector
+
+    @property
+    def total_gib(self) -> float:
+        return self.total_bytes / GiB
+
+    def vectors_for_gib(self, gib: float) -> int:
+        """Vector count of a ``gib``-GiB subset (the paper's 1 GB subset)."""
+        return int(gib * GiB / self.bytes_per_vector)
+
+
+DATASET = DatasetScale()
+#: The paper's "1 GB subset" used in Figures 2 and 4.
+_N_1GB = DATASET.vectors_for_gib(1.0)  # = 104,857
+
+
+@dataclass(frozen=True)
+class EmbeddingCalibration:
+    """§3.1 / Table 2: embedding-generation phase means (seconds per job).
+
+    Each job processes ≈4,000 papers on one Polaris node (4 A100s);
+    N = 2,079 jobs covered the corpus.
+    """
+
+    papers_per_job: int = 4_000
+    n_jobs: int = 2_079
+    gpus_per_node: int = 4
+    model_load_s: float = 28.17       # Table 2, "Model Loading"
+    io_s: float = 7.49                # Table 2, "I/O"
+    inference_s: float = 2_381.97     # Table 2, "Inference"
+    total_mean_s: float = 2_417.84    # §3.1 text
+    total_std_s: float = 113.92       # §3.1 text
+    inference_fraction: float = 0.985 # §3.1: inference is 98.5 % of runtime
+    # batching heuristic (§3.1)
+    batch_char_limit: int = 150_000
+    batch_max_papers: int = 8
+    sequential_fallback_rate: float = 0.001  # "<0.10 % of papers"
+
+    @property
+    def inference_s_per_paper_per_gpu(self) -> float:
+        """Seconds of A100 time per paper: 2381.97 s × 4 GPUs / 4000 papers."""
+        return self.inference_s * self.gpus_per_node / self.papers_per_job
+
+    @property
+    def io_s_per_paper(self) -> float:
+        return self.io_s / self.papers_per_job
+
+
+EMBEDDING = EmbeddingCalibration()
+
+
+@dataclass(frozen=True)
+class InsertionCalibration:
+    """§3.2 / Figure 2 / Table 3: insertion phase.
+
+    Figure 2 (1 GB, one worker, concurrency 1), batch-size curve::
+
+        T(b) = N · (a/b + c + d·b)     [seconds; N = 104,857 vectors]
+
+    with the minimum at b* = sqrt(a/d) = 32 and anchors T(1) = 468 s,
+    T(32) = 381 s.  Solving (see module docstring) gives the fitted a, c, d
+    below.
+
+    Figure 2 concurrency curve (asyncio, batch 32): per-batch conversion is
+    CPU-bound at 45.64 ms vs a 14.86 ms insertion RPC, capping asyncio
+    speedup at (45.64+14.86)/45.64 = 1.326× ("1.31×" in the paper).  The
+    concurrency sweep is modelled as::
+
+        T(c) = N_b · (t_cpu + t_rpc · (1 + kappa·(c-1)^2) / c)
+
+    with T(1) = 381 s and T(2) = 367 s fixing kappa.
+
+    Table 3 (full ≈80 GB, W workers, one multiprocessing client per
+    worker, all clients on one node)::
+
+        T(W) = (N_total / W) · t_vec · (1 + client_contention·(W-1))
+    """
+
+    # anchors straight from the paper
+    t_1gb_batch1_s: float = 468.0
+    t_1gb_batch32_s: float = 381.0
+    optimal_batch_size: int = 32
+    t_1gb_conc1_s: float = 381.0
+    t_1gb_conc2_s: float = 367.0
+    optimal_concurrency: int = 2
+    convert_ms_per_batch: float = 45.64   # §3.2 profiling, batch 32
+    rpc_ms_per_batch: float = 14.86       # §3.2 profiling, batch 32
+    amdahl_cap: float = 1.31              # §3.2 text
+    table3_hours: tuple = (8.22, 2.11, 1.14, 35.92 / 60.0, 21.67 / 60.0)
+    table3_workers: tuple = (1, 4, 8, 16, 32)
+
+    # fitted: batch-size curve T(b) = N (a/b + c + d b); minimum at sqrt(a/d)=32,
+    # T(1)=468, T(32)=381 with N=104,857 vectors.
+    #   a + c + d            = 468/N
+    #   a/32 + c + 32 d      = 381/N
+    #   a                    = 1024 d
+    # => d = (468-381)/(N*961), a = 1024 d, c = 468/N - a - d
+    @property
+    def batch_curve(self) -> tuple[float, float, float]:
+        n = float(_N_1GB)
+        d = (self.t_1gb_batch1_s - self.t_1gb_batch32_s) / (n * 961.0)
+        a = 1024.0 * d
+        c = self.t_1gb_batch1_s / n - a - d
+        return a, c, d
+
+    # fitted: concurrency curve uses the *measured* per-batch split scaled to
+    # the observed total: per-batch T(1) = 381/N_b with N_b = ceil(N/32);
+    # conversion:RPC ratio kept at 45.64:14.86.
+    @property
+    def conc_t_cpu_s(self) -> float:
+        n_b = math.ceil(_N_1GB / self.optimal_batch_size)
+        per_batch = self.t_1gb_conc1_s / n_b
+        ratio = self.convert_ms_per_batch / (self.convert_ms_per_batch + self.rpc_ms_per_batch)
+        return per_batch * ratio
+
+    @property
+    def conc_t_rpc_s(self) -> float:
+        n_b = math.ceil(_N_1GB / self.optimal_batch_size)
+        per_batch = self.t_1gb_conc1_s / n_b
+        ratio = self.rpc_ms_per_batch / (self.convert_ms_per_batch + self.rpc_ms_per_batch)
+        return per_batch * ratio
+
+    @property
+    def conc_kappa(self) -> float:
+        """Server-contention coefficient fixed by T(2) = 367 s."""
+        n_b = math.ceil(_N_1GB / self.optimal_batch_size)
+        t_cpu, t_rpc = self.conc_t_cpu_s, self.conc_t_rpc_s
+        per_batch_target = self.t_1gb_conc2_s / n_b
+        # per_batch_target = t_cpu + t_rpc (1 + kappa) / 2
+        return (per_batch_target - t_cpu) * 2.0 / t_rpc - 1.0
+
+    # fitted: Table 3 per-vector cost and client-node contention
+    @property
+    def t_vec_s(self) -> float:
+        """Per-vector insertion cost at W=1: 8.22 h / 8,293,485 vectors."""
+        return self.table3_hours[0] * 3600.0 / DATASET.total_papers
+
+    #: fitted: linear client-node contention; least-squares over the W=4..32
+    #: Table 3 anchors gives ≈0.013 per extra client (all clients share one
+    #: 32-core node, and 4 workers share each server node).
+    client_contention: float = 0.013
+
+
+INSERTION = InsertionCalibration()
+
+
+@dataclass(frozen=True)
+class IndexingCalibration:
+    """§3.3 / Figure 3: deferred HNSW build.
+
+    Model: per-shard build cost  f(n) = c · n^beta  with the whole node's
+    cores; packing p workers per node serialises their builds (every build
+    alone saturates the node — §3.3 profiling: 90–97 % CPU), plus a
+    co-location contention factor kappa_pack for cache/membw interference::
+
+        T(W) = min(W, 4) · f(N/W) · (kappa_pack if W > 1 else 1)
+
+    The paper's two speedup anchors fix beta and kappa_pack:
+
+    * speedup(4)  = 4^beta / (4·kappa_pack)  = 1.27
+    * speedup(32) = 32^beta / (4·kappa_pack) = 21.32
+
+    dividing: (32/4)^beta = 21.32/1.27 → beta = log8(16.787) = 1.3551,
+    then kappa_pack = 4^beta / (4·1.27) = 1.2917.
+
+    The absolute scale is NOT reported by the paper; we anchor the
+    single-worker 80 GB build at 6.0 hours (a plausible figure for an
+    8.3 M × 2560-d HNSW build on a 32-core node; documented assumption).
+    """
+
+    speedup_4: float = 1.27
+    speedup_32: float = 21.32
+    single_worker_80gb_hours: float = 6.0
+    cpu_utilization_single_worker: tuple = (0.90, 0.97)  # §3.3 profiling
+
+    @property
+    def beta(self) -> float:
+        return math.log(self.speedup_32 / self.speedup_4) / math.log(8.0)
+
+    @property
+    def kappa_pack(self) -> float:
+        return 4.0**self.beta / (4.0 * self.speedup_4)
+
+    @property
+    def cost_scale(self) -> float:
+        """c in f(n) = c n^beta, anchored at the 80 GB single-worker build."""
+        return self.single_worker_80gb_hours * 3600.0 / DATASET.total_papers**self.beta
+
+
+INDEXING = IndexingCalibration()
+
+
+@dataclass(frozen=True)
+class QueryCalibration:
+    """§3.4 / Figures 4 and 5: query phase.
+
+    Figure 4 batch-size curve (1 GB, one worker)::
+
+        T(b) = N_q · (a/b + c)
+
+    anchored at T(1) = 139 s and T(16) = 73 s with N_q = 22,723 queries.
+
+    Figure 4 concurrency: per-batch await time L(c) = L2 · (c/2)^1.25 ms,
+    anchored at the measured 30.7 / 76.4 / 170 ms for c = 2/4/8; total
+    runtime T(c>=2) = T(2) · (c/2)^0.25 (throughput = c/L(c)), and
+    T(1) = mu1 · T(2) for the no-overlap single-request case.
+
+    Figure 5 per-query server cost on a shard of n vectors::
+
+        t_s(n) = p·n + q·n^2
+
+    The quadratic term models memory-hierarchy pressure as the shard
+    outgrows cache/page-cache locality.  Broadcast–reduce communication for
+    W workers is fixed by requiring every W-curve to cross the 1-worker
+    curve at the paper's ≈30 GB::
+
+        comm(W) = p·n30·(1 - 1/W) + q·n30²·(1 - 1/W²)
+
+    and the remaining DOF (q/p) is fixed by the paper's max speedup of
+    3.57× at 80 GB with 32 workers.
+    """
+
+    t_1gb_qbatch1_s: float = 139.0
+    t_1gb_qbatch16_s: float = 73.0
+    optimal_query_batch: int = 16
+    optimal_query_concurrency: int = 2
+    await_ms_c2: float = 30.7   # §3.4 text
+    await_ms_c4: float = 76.4
+    await_ms_c8: float = 170.0
+    await_exponent: float = 1.25     # fitted to the three await anchors
+    runtime_exponent: float = 0.25   # throughput bound c/L(c) => (c/2)^0.25
+    mu1: float = 1.08                # T(1)/T(2), no-overlap penalty
+    crossover_gib: float = 30.0      # §3.4: benefit only past ~30 GB
+    max_speedup: float = 3.57        # §3.4 text
+    max_speedup_workers: int = 32
+
+    @property
+    def n_queries(self) -> int:
+        return DATASET.n_query_terms
+
+    @property
+    def batch_curve(self) -> tuple[float, float]:
+        """(a, c) of T(b) = N_q (a/b + c), from the two Figure 4 anchors."""
+        nq = float(self.n_queries)
+        t1 = self.t_1gb_qbatch1_s / nq
+        t16 = self.t_1gb_qbatch16_s / nq
+        a = (t1 - t16) * 16.0 / 15.0
+        c = t1 - a
+        return a, c
+
+    # fitted Figure 5 shape: with k = 30/80 and b_over_a = q n80^2 / (p n80),
+    # the 3.57x anchor gives b_over_a ≈ 0.8256 (derivation in DESIGN.md).
+    @property
+    def shard_cost_ratio(self) -> float:
+        """q·n80² / (p·n80): quadratic share of per-query cost at 80 GB."""
+        w = float(self.max_speedup_workers)
+        k = self.crossover_gib / DATASET.total_gib
+        s = self.max_speedup
+        # speedup = (a+b) / (a/W + b/W^2 + a k (1-1/W) + b k^2 (1-1/W^2))
+        # solve for b/a:
+        ca = 1.0 / w + k * (1.0 - 1.0 / w)
+        cb = 1.0 / w**2 + k**2 * (1.0 - 1.0 / w**2)
+        # (a + b) = s (ca a + cb b)  =>  b (1 - s cb) = a (s ca - 1)
+        return (s * ca - 1.0) / (1.0 - s * cb)
+
+    @property
+    def shard_cost_coeffs(self) -> tuple[float, float]:
+        """(p, q) of t_s(n) = p n + q n², anchored to Figure 4's 1 GB cost.
+
+        Per-query server cost at 1 GB equals the c term of the batch curve
+        minus the client per-query overhead a/b at the optimal batch.
+        """
+        _, c = self.batch_curve
+        n1 = float(_N_1GB)
+        n80 = float(DATASET.total_papers)
+        ratio = self.shard_cost_ratio  # = q n80^2/(p n80)
+        # t_s(n1) = p n1 + q n1^2 = c  with q = ratio * p / n80
+        p = c / (n1 + ratio * n1**2 / n80)
+        q = ratio * p / n80
+        return p, q
+
+    @property
+    def client_overhead_s(self) -> float:
+        """Per-query client-side overhead at the optimal batch size."""
+        a, _ = self.batch_curve
+        return a / self.optimal_query_batch
+
+
+QUERY = QueryCalibration()

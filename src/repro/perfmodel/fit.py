@@ -1,0 +1,110 @@
+"""Numerical re-derivation of the fitted calibration constants.
+
+Every fitted constant in :mod:`repro.perfmodel.calibration` has a
+closed-form derivation from the paper's anchors.  This module re-derives
+them *numerically* (scipy root-finding / least squares over the anchor
+equations), providing an independent check that the algebra is right —
+``tests/perfmodel/test_fit.py`` asserts closed-form and numerical fits
+agree to high precision, and the least-squares client-contention fit shows
+how ``client_contention`` was obtained from Table 3.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import optimize
+
+from .calibration import DATASET, INDEXING, INSERTION, QUERY
+
+__all__ = [
+    "fit_insertion_batch_curve",
+    "fit_client_contention",
+    "fit_indexing_exponents",
+    "fit_query_await_exponent",
+    "fit_shard_cost_ratio",
+]
+
+
+def fit_insertion_batch_curve() -> tuple[float, float, float]:
+    """Solve (a, c, d) of T(b) = N(a/b + c + d·b) from the three conditions
+    T(1)=468, T(32)=381, argmin T = 32 (i.e. a = 1024 d)."""
+    n = float(DATASET.vectors_for_gib(1.0))
+
+    def equations(x):
+        a, c, d = x
+        return [
+            n * (a + c + d) - INSERTION.t_1gb_batch1_s,
+            n * (a / 32 + c + 32 * d) - INSERTION.t_1gb_batch32_s,
+            a - 1024.0 * d,
+        ]
+
+    solution = optimize.fsolve(equations, x0=[1e-3, 3e-3, 1e-6], full_output=False)
+    return tuple(float(v) for v in solution)
+
+
+def fit_client_contention() -> float:
+    """Least-squares gamma of T(W) = (N/W)·t_vec·(1 + gamma·(W-1)) over the
+    Table 3 anchors (W in {4, 8, 16, 32}; W=1 defines t_vec exactly)."""
+    t_vec = INSERTION.t_vec_s
+    n = DATASET.total_papers
+
+    workers = np.asarray(INSERTION.table3_workers[1:], dtype=float)
+    target_s = np.asarray(INSERTION.table3_hours[1:], dtype=float) * 3600.0
+
+    def residuals(gamma):
+        model = (n / workers) * t_vec * (1.0 + gamma[0] * (workers - 1.0))
+        return (model - target_s) / target_s
+
+    result = optimize.least_squares(residuals, x0=[0.01])
+    return float(result.x[0])
+
+
+def fit_indexing_exponents() -> tuple[float, float]:
+    """Solve (beta, kappa_pack) from the two Figure 3 speedup anchors::
+
+        4^beta  / (4 kappa) = 1.27
+        32^beta / (4 kappa) = 21.32
+    """
+
+    def equations(x):
+        beta, kappa = x
+        return [
+            4.0**beta / (4.0 * kappa) - INDEXING.speedup_4,
+            32.0**beta / (4.0 * kappa) - INDEXING.speedup_32,
+        ]
+
+    beta, kappa = optimize.fsolve(equations, x0=[1.3, 1.3])
+    return float(beta), float(kappa)
+
+
+def fit_query_await_exponent() -> float:
+    """Least-squares p of L(c) = L2·(c/2)^p over the three §3.4 await
+    anchors (30.7, 76.4, 170 ms at c = 2, 4, 8)."""
+    cs = np.asarray([2.0, 4.0, 8.0])
+    ls = np.asarray([QUERY.await_ms_c2, QUERY.await_ms_c4, QUERY.await_ms_c8])
+
+    def residuals(p):
+        model = QUERY.await_ms_c2 * (cs / 2.0) ** p[0]
+        return (model - ls) / ls
+
+    result = optimize.least_squares(residuals, x0=[1.0])
+    return float(result.x[0])
+
+
+def fit_shard_cost_ratio() -> float:
+    """Solve b/a of the Figure 5 speedup equation numerically::
+
+        (a+b) = s·(ca·a + cb·b)   with s = 3.57, W = 32, k = 30/80
+    """
+    w = float(QUERY.max_speedup_workers)
+    k = QUERY.crossover_gib / DATASET.total_gib
+    s = QUERY.max_speedup
+    ca = 1.0 / w + k * (1.0 - 1.0 / w)
+    cb = 1.0 / w**2 + k**2 * (1.0 - 1.0 / w**2)
+
+    def equation(r):
+        # with a = 1, b = r
+        return (1.0 + r[0]) - s * (ca + cb * r[0])
+
+    (ratio,) = optimize.fsolve(equation, x0=[1.0])
+    return float(ratio)

@@ -1,0 +1,63 @@
+"""Index-build time model (§3.3, Figure 3).
+
+Per-shard deferred HNSW build cost is superlinear in shard size,
+``f(n) = c·n^β`` (β ≈ 1.36, fixed by the paper's two speedup anchors).  A
+build saturates its node's CPU on its own (§3.3 profiling: 90–97 %), so
+packing ``p`` workers on one node serialises their builds and adds a
+co-location contention factor κ_pack::
+
+    T(S, W) = p(W) · f(n_shard) · (κ_pack if W > 1 else 1)
+
+with ``p(W) = min(W, 4)`` under the paper's 4-workers-per-node placement
+and ``n_shard = vectors(S)/W``.  The model reproduces the paper's
+speedups: 1.27× at 4 workers, 21.32× at 32.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .calibration import DATASET, INDEXING, DatasetScale, IndexingCalibration
+
+__all__ = ["IndexBuildModel"]
+
+
+@dataclass(frozen=True)
+class IndexBuildModel:
+    cal: IndexingCalibration = INDEXING
+    data: DatasetScale = DATASET
+
+    def shard_build_s(self, n_vectors: float) -> float:
+        """f(n): one shard's build time with a full node to itself."""
+        if n_vectors < 0:
+            raise ValueError("vector count must be non-negative")
+        return self.cal.cost_scale * float(n_vectors) ** self.cal.beta
+
+    def workers_per_node(self, workers: int) -> int:
+        return min(workers, self.data.workers_per_node)
+
+    def time_s(self, workers: int, *, dataset_gib: float | None = None) -> float:
+        """Wall-clock build time for the whole collection."""
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        n = (
+            self.data.total_papers
+            if dataset_gib is None
+            else self.data.vectors_for_gib(dataset_gib)
+        )
+        per_shard = self.shard_build_s(n / workers)
+        pack = self.workers_per_node(workers)
+        contention = self.cal.kappa_pack if workers > 1 else 1.0
+        return pack * per_shard * contention
+
+    def speedup(self, workers: int, *, dataset_gib: float | None = None) -> float:
+        return self.time_s(1, dataset_gib=dataset_gib) / self.time_s(
+            workers, dataset_gib=dataset_gib
+        )
+
+    def sweep(self, worker_counts, dataset_gibs) -> dict[int, dict[float, float]]:
+        """Figure 3 grid: worker count → {dataset GiB → build seconds}."""
+        return {
+            w: {s: self.time_s(w, dataset_gib=s) for s in dataset_gibs}
+            for w in worker_counts
+        }

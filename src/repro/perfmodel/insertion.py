@@ -1,0 +1,118 @@
+"""Insertion-time models (§3.2: Figure 2 and Table 3).
+
+Three models, all parameterised by
+:mod:`repro.perfmodel.calibration.INSERTION`:
+
+* :class:`BatchSizeModel` — single worker, single client, concurrency 1;
+  sweeps the upload batch size (Figure 2, left).
+* :class:`ConcurrencyModel` — asyncio client at the optimal batch size;
+  sweeps in-flight requests (Figure 2, right), exhibiting the Amdahl
+  ceiling and server-saturation growth.
+* :class:`WorkerScalingModel` — full-dataset upload with one
+  multiprocessing client per worker (Table 3).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .calibration import DATASET, INSERTION, DatasetScale, InsertionCalibration
+
+__all__ = ["BatchSizeModel", "ConcurrencyModel", "WorkerScalingModel"]
+
+
+@dataclass(frozen=True)
+class BatchSizeModel:
+    """T(b) = N · (a/b + c + d·b).
+
+    ``a`` is the per-request overhead (amortised by batching), ``c`` the
+    per-vector server cost, and ``d·b`` the superlinear penalty of building
+    and serializing very large batch objects — which is why the curve turns
+    back up past the optimum (§3.2: "gradually degrading at larger batch
+    sizes").
+    """
+
+    cal: InsertionCalibration = INSERTION
+    data: DatasetScale = DATASET
+
+    def time_s(self, batch_size: int, *, dataset_gib: float = 1.0) -> float:
+        if batch_size < 1:
+            raise ValueError("batch size must be >= 1")
+        n = self.data.vectors_for_gib(dataset_gib)
+        a, c, d = self.cal.batch_curve
+        return n * (a / batch_size + c + d * batch_size)
+
+    def optimal_batch_size(self, *, search: range = range(1, 1025)) -> int:
+        return min(search, key=self.time_s)
+
+    def sweep(self, batch_sizes) -> dict[int, float]:
+        return {b: self.time_s(b) for b in batch_sizes}
+
+
+@dataclass(frozen=True)
+class ConcurrencyModel:
+    """T(c) = N_b · (t_cpu + t_rpc·(1 + κ(c-1)²)/c) at the optimal batch.
+
+    ``t_cpu`` (conversion) is serialized on the asyncio event loop; the RPC
+    part overlaps across ``c`` requests but its service time inflates as
+    the single worker saturates (κ).  The asymptotic best case with κ = 0
+    is the Amdahl bound of §3.2.
+    """
+
+    cal: InsertionCalibration = INSERTION
+    data: DatasetScale = DATASET
+
+    def n_batches(self, *, dataset_gib: float = 1.0) -> int:
+        return math.ceil(self.data.vectors_for_gib(dataset_gib) / self.cal.optimal_batch_size)
+
+    def time_s(self, concurrency: int, *, dataset_gib: float = 1.0) -> float:
+        if concurrency < 1:
+            raise ValueError("concurrency must be >= 1")
+        n_b = self.n_batches(dataset_gib=dataset_gib)
+        t_cpu, t_rpc, kappa = self.cal.conc_t_cpu_s, self.cal.conc_t_rpc_s, self.cal.conc_kappa
+        inflated = t_rpc * (1.0 + kappa * (concurrency - 1) ** 2)
+        return n_b * (t_cpu + inflated / concurrency)
+
+    def optimal_concurrency(self, *, search: range = range(1, 65)) -> int:
+        return min(search, key=self.time_s)
+
+    def ideal_speedup_limit(self) -> float:
+        """Amdahl ceiling: (t_cpu + t_rpc)/t_cpu (≈1.33, reported 1.31×)."""
+        return (self.cal.conc_t_cpu_s + self.cal.conc_t_rpc_s) / self.cal.conc_t_cpu_s
+
+    def sweep(self, concurrencies) -> dict[int, float]:
+        return {c: self.time_s(c) for c in concurrencies}
+
+
+@dataclass(frozen=True)
+class WorkerScalingModel:
+    """T(W) = (N/W) · t_vec · (1 + γ·(W−1))  — Table 3.
+
+    W multiprocessing clients (one per worker) share the single client
+    node; γ captures the per-extra-client contention on that node plus the
+    4-workers-per-node server co-location.
+    """
+
+    cal: InsertionCalibration = INSERTION
+    data: DatasetScale = DATASET
+
+    def time_s(self, workers: int, *, dataset_gib: float | None = None) -> float:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        n = (
+            self.data.total_papers
+            if dataset_gib is None
+            else self.data.vectors_for_gib(dataset_gib)
+        )
+        contention = 1.0 + self.cal.client_contention * (workers - 1)
+        return (n / workers) * self.cal.t_vec_s * contention
+
+    def speedup(self, workers: int) -> float:
+        return self.time_s(1) / self.time_s(workers)
+
+    def efficiency(self, workers: int) -> float:
+        return self.speedup(workers) / workers
+
+    def sweep(self, worker_counts) -> dict[int, float]:
+        return {w: self.time_s(w) for w in worker_counts}

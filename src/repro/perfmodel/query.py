@@ -1,0 +1,135 @@
+"""Query-time models (§3.4: Figures 4 and 5).
+
+* :class:`QueryBatchModel` — batch-size sweep on 1 GB / one worker.
+* :class:`QueryConcurrencyModel` — in-flight batch sweep, including the
+  measured growth of per-batch await time (30.7 → 76.4 → 170 ms for
+  c = 2/4/8).
+* :class:`QueryScalingModel` — Figure 5: broadcast–reduce over W workers
+  for a dataset of S GiB.  Per-query cost::
+
+      t(S, W) = χ + comm(W)·[W>1] + t_s(n(S)/W)
+      t_s(n)  = p·n + q·n²
+
+  calibrated so (i) the 1 GB single-worker cost matches Figure 4, (ii)
+  every W-curve crosses the single-worker curve at ≈30 GiB, and (iii) the
+  maximum speedup at the full ≈80 GiB is 3.57× — with >4 workers giving
+  only marginal gains, exactly the paper's findings.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .calibration import DATASET, QUERY, DatasetScale, QueryCalibration
+
+__all__ = ["QueryBatchModel", "QueryConcurrencyModel", "QueryScalingModel"]
+
+
+@dataclass(frozen=True)
+class QueryBatchModel:
+    """T(b) = N_q · (a/b + c)  — Figure 4, batch-size panel."""
+
+    cal: QueryCalibration = QUERY
+    data: DatasetScale = DATASET
+
+    def time_s(self, batch_size: int, *, n_queries: int | None = None) -> float:
+        if batch_size < 1:
+            raise ValueError("batch size must be >= 1")
+        nq = n_queries if n_queries is not None else self.cal.n_queries
+        a, c = self.cal.batch_curve
+        return nq * (a / batch_size + c)
+
+    def marginal_benefit(self, batch_size: int) -> float:
+        """T(b) − T(2b): how much doubling the batch still saves."""
+        return self.time_s(batch_size) - self.time_s(2 * batch_size)
+
+    def sweep(self, batch_sizes) -> dict[int, float]:
+        return {b: self.time_s(b) for b in batch_sizes}
+
+
+@dataclass(frozen=True)
+class QueryConcurrencyModel:
+    """Figure 4, concurrency panel + §3.4's await-time measurements."""
+
+    cal: QueryCalibration = QUERY
+
+    def await_ms(self, concurrency: int) -> float:
+        """Mean per-batch call time: L(c) = L2 · (c/2)^1.25."""
+        if concurrency < 1:
+            raise ValueError("concurrency must be >= 1")
+        return self.cal.await_ms_c2 * (concurrency / 2.0) ** self.cal.await_exponent
+
+    def time_s(self, concurrency: int) -> float:
+        """Total workload runtime at the optimal batch size."""
+        t2 = self.cal.t_1gb_qbatch16_s
+        if concurrency == 1:
+            return self.cal.mu1 * t2  # no overlap of client work with awaits
+        return t2 * (concurrency / 2.0) ** self.cal.runtime_exponent
+
+    def optimal_concurrency(self, *, search: range = range(1, 33)) -> int:
+        return min(search, key=self.time_s)
+
+    def sweep(self, concurrencies) -> dict[int, float]:
+        return {c: self.time_s(c) for c in concurrencies}
+
+
+@dataclass(frozen=True)
+class QueryScalingModel:
+    """Figure 5: query runtime vs dataset size for each worker count."""
+
+    cal: QueryCalibration = QUERY
+    data: DatasetScale = DATASET
+
+    def shard_search_s(self, n_vectors: float) -> float:
+        """t_s(n) = p·n + q·n²: per-query search cost on one shard."""
+        p, q = self.cal.shard_cost_coeffs
+        return p * n_vectors + q * n_vectors * n_vectors
+
+    def comm_s(self, workers: int) -> float:
+        """Broadcast–reduce overhead per query for W workers."""
+        if workers <= 1:
+            return 0.0
+        p, q = self.cal.shard_cost_coeffs
+        n30 = self.data.vectors_for_gib(self.cal.crossover_gib)
+        return p * n30 * (1.0 - 1.0 / workers) + q * n30 * n30 * (
+            1.0 - 1.0 / workers**2
+        )
+
+    def per_query_s(self, workers: int, dataset_gib: float) -> float:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        n = self.data.vectors_for_gib(dataset_gib)
+        return (
+            self.cal.client_overhead_s
+            + self.comm_s(workers)
+            + self.shard_search_s(n / workers)
+        )
+
+    def time_s(self, workers: int, dataset_gib: float, *, n_queries: int | None = None
+               ) -> float:
+        nq = n_queries if n_queries is not None else self.cal.n_queries
+        return nq * self.per_query_s(workers, dataset_gib)
+
+    def speedup(self, workers: int, dataset_gib: float) -> float:
+        return self.time_s(1, dataset_gib) / self.time_s(workers, dataset_gib)
+
+    def crossover_gib(self, workers: int, *, lo: float = 0.1, hi: float = 100.0) -> float:
+        """Dataset size where W workers first beat a single worker."""
+        if workers <= 1:
+            raise ValueError("crossover needs workers > 1")
+        if self.speedup(workers, hi) <= 1.0:
+            return math.inf
+        for _ in range(64):
+            mid = 0.5 * (lo + hi)
+            if self.speedup(workers, mid) > 1.0:
+                hi = mid
+            else:
+                lo = mid
+        return hi
+
+    def sweep(self, worker_counts, dataset_gibs) -> dict[int, dict[float, float]]:
+        """Figure 5 grid: worker count → {dataset GiB → total seconds}."""
+        return {
+            w: {s: self.time_s(w, s) for s in dataset_gibs} for w in worker_counts
+        }

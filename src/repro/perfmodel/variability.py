@@ -1,0 +1,126 @@
+"""Runtime-variability study — the paper's §4 future-work item.
+
+"In this study we did not focus on runtime variability or reproducibility.
+Future work could investigate the performance variability."
+
+This module adds a stochastic layer over any deterministic time model:
+each run draws a multiplicative log-normal noise factor whose coefficient
+of variation defaults to the one observable number the paper gives —
+Table 2's embedding-job spread (113.92 s std over a 2417.84 s mean,
+CV ≈ 4.7 %) — plus an optional heavy-tail "straggler" mixture modelling
+shared-fabric interference on a production machine.
+
+:class:`VariabilityStudy` runs N trials of a callable time model and
+reports mean / std / CV / percentiles, giving the reproduction a concrete
+answer to the question the paper defers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from .calibration import EMBEDDING
+
+__all__ = ["NoiseModel", "TrialStats", "VariabilityStudy"]
+
+#: Table 2: 113.92 / 2417.84
+PAPER_EMBEDDING_CV = EMBEDDING.total_std_s / EMBEDDING.total_mean_s
+
+
+@dataclass(frozen=True)
+class NoiseModel:
+    """Multiplicative log-normal noise with an optional straggler tail."""
+
+    cv: float = PAPER_EMBEDDING_CV
+    #: probability a run is a straggler (hit by interference)
+    straggler_prob: float = 0.0
+    #: multiplicative slowdown of a straggler run
+    straggler_factor: float = 1.5
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.cv < 0:
+            raise ValueError("cv must be non-negative")
+        if not 0.0 <= self.straggler_prob < 1.0:
+            raise ValueError("straggler_prob must be in [0, 1)")
+        if self.straggler_factor < 1.0:
+            raise ValueError("straggler_factor must be >= 1")
+
+    def sample_factors(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """n multiplicative noise factors with mean ~1 (before stragglers)."""
+        if self.cv == 0.0:
+            base = np.ones(n)
+        else:
+            # lognormal with unit mean: mu = -sigma^2/2, sigma^2 = ln(1+cv^2)
+            sigma2 = np.log1p(self.cv**2)
+            base = rng.lognormal(mean=-sigma2 / 2.0, sigma=np.sqrt(sigma2), size=n)
+        if self.straggler_prob > 0.0:
+            hit = rng.random(n) < self.straggler_prob
+            base = np.where(hit, base * self.straggler_factor, base)
+        return base
+
+
+@dataclass
+class TrialStats:
+    """Summary of N noisy trials of one configuration."""
+
+    samples: np.ndarray
+    label: str = ""
+
+    @property
+    def n(self) -> int:
+        return int(self.samples.size)
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self.samples))
+
+    @property
+    def std(self) -> float:
+        return float(np.std(self.samples, ddof=1)) if self.n > 1 else 0.0
+
+    @property
+    def cv(self) -> float:
+        return self.std / self.mean if self.mean else 0.0
+
+    def percentile(self, q: float) -> float:
+        return float(np.percentile(self.samples, q))
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(50)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(99)
+
+    @property
+    def tail_ratio(self) -> float:
+        """p99 / p50 — the reproducibility metric users feel."""
+        return self.p99 / self.p50 if self.p50 else 0.0
+
+
+class VariabilityStudy:
+    """Monte-Carlo variability wrapper around deterministic time models."""
+
+    def __init__(self, noise: NoiseModel | None = None, *, trials: int = 200):
+        if trials < 2:
+            raise ValueError("need at least 2 trials")
+        self.noise = noise or NoiseModel()
+        self.trials = trials
+
+    def run(self, time_model: Callable[[], float], *, label: str = "") -> TrialStats:
+        """Sample ``trials`` noisy executions of ``time_model()``."""
+        rng = np.random.default_rng(self.noise.seed)
+        base = float(time_model())
+        if base < 0:
+            raise ValueError("time model returned a negative duration")
+        factors = self.noise.sample_factors(self.trials, rng)
+        return TrialStats(samples=base * factors, label=label)
+
+    def compare(self, models: dict[str, Callable[[], float]]) -> dict[str, TrialStats]:
+        """Run several configurations under identical noise seeds."""
+        return {label: self.run(fn, label=label) for label, fn in models.items()}

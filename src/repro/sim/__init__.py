@@ -1,0 +1,41 @@
+"""Discrete-event simulation substrate.
+
+* :mod:`repro.sim.engine` — the event loop (environments, processes,
+  timeouts, conditions).
+* :mod:`repro.sim.resources` — contended resources (cores, memory,
+  queues).
+* :mod:`repro.sim.network` — alpha–beta links, Dragonfly topology, and
+  NIC-contention transfers.
+* :mod:`repro.sim.scheduler` — PBS-like batch queues with EASY backfill.
+"""
+
+from .engine import AllOf, AnyOf, Environment, Event, Interrupt, Process, SimulationError, Timeout
+from .network import SLINGSHOT11, DragonflyTopology, LinkModel, Route, SimNetwork
+from .resources import Container, PriorityResource, Request, Resource, Store
+from .scheduler import Job, JobState, PbsScheduler, Queue, WalltimeExceeded
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "AllOf",
+    "AnyOf",
+    "Interrupt",
+    "SimulationError",
+    "Resource",
+    "PriorityResource",
+    "Request",
+    "Container",
+    "Store",
+    "LinkModel",
+    "SLINGSHOT11",
+    "DragonflyTopology",
+    "Route",
+    "SimNetwork",
+    "Job",
+    "JobState",
+    "Queue",
+    "PbsScheduler",
+    "WalltimeExceeded",
+]

@@ -1,0 +1,367 @@
+"""Discrete-event simulation engine.
+
+A compact, deterministic, SimPy-style engine: simulation *processes* are
+Python generators that ``yield`` events; the :class:`Environment` advances a
+virtual clock from event to event.  This is the substrate under the HPC
+platform models (:mod:`repro.sim.network`, :mod:`repro.sim.scheduler`,
+:mod:`repro.hpc`) and the paper-scale performance experiments.
+
+Semantics
+---------
+* Events fire in (time, priority, sequence) order — ties broken by creation
+  sequence, making every simulation fully deterministic.
+* A process yields an :class:`Event` (e.g. a :class:`Timeout`, a resource
+  request, or another process) and resumes when it fires; the event's value
+  becomes the value of the ``yield`` expression.
+* Failed events (``event.fail(exc)``) raise inside the waiting process,
+  supporting failure-injection experiments.
+* :class:`AllOf` / :class:`AnyOf` compose events (barrier / first-of).
+
+Example
+-------
+::
+
+    env = Environment()
+
+    def worker(env, name):
+        yield env.timeout(2.0)
+        return name
+
+    def main(env):
+        results = yield AllOf(env, [env.process(worker(env, i)) for i in range(4)])
+        return results
+
+    proc = env.process(main(env))
+    env.run()
+    assert env.now == 2.0
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "AllOf",
+    "AnyOf",
+    "Interrupt",
+    "SimulationError",
+]
+
+
+class SimulationError(Exception):
+    """Raised for engine misuse (yielding non-events, running dead envs)."""
+
+
+class Interrupt(Exception):
+    """Raised inside a process that another process interrupted."""
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+_PENDING = object()
+
+
+class Event:
+    """A one-shot occurrence in simulated time.
+
+    States: *pending* (created) → *triggered* (scheduled with a value) →
+    *processed* (callbacks ran).  ``succeed``/``fail`` trigger immediately
+    at the current simulation time.
+    """
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: list[Callable[[Event], None]] = []
+        self._value: Any = _PENDING
+        self._ok: bool | None = None
+        self._processed = False
+
+    # -- state ------------------------------------------------------------
+
+    @property
+    def triggered(self) -> bool:
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        if self._ok is None:
+            raise SimulationError("event has not been triggered yet")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if self._value is _PENDING:
+            raise SimulationError("event has not been triggered yet")
+        return self._value
+
+    # -- triggering ----------------------------------------------------------
+
+    def succeed(self, value: Any = None, *, priority: int = 1) -> "Event":
+        if self.triggered:
+            raise SimulationError("event already triggered")
+        self._ok = True
+        self._value = value
+        self.env._schedule(self, delay=0.0, priority=priority)
+        return self
+
+    def fail(self, exception: BaseException, *, priority: int = 1) -> "Event":
+        if self.triggered:
+            raise SimulationError("event already triggered")
+        if not isinstance(exception, BaseException):
+            raise SimulationError(f"fail() needs an exception, got {exception!r}")
+        self._ok = False
+        self._value = exception
+        self.env._schedule(self, delay=0.0, priority=priority)
+        return self
+
+
+class Timeout(Event):
+    """An event that fires after a fixed delay."""
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env._schedule(self, delay=delay, priority=1)
+
+
+class Initialize(Event):
+    """Internal: starts a process at creation time."""
+
+    def __init__(self, env: "Environment", process: "Process"):
+        super().__init__(env)
+        self.callbacks.append(process._resume)
+        self._ok = True
+        self._value = None
+        env._schedule(self, delay=0.0, priority=0)
+
+
+class Process(Event):
+    """A running generator; also an event that fires when it returns."""
+
+    def __init__(self, env: "Environment", generator: Generator):
+        if not hasattr(generator, "send"):
+            raise SimulationError(f"process requires a generator, got {generator!r}")
+        super().__init__(env)
+        self._generator = generator
+        self._target: Event | None = None
+        Initialize(env, self)
+
+    @property
+    def is_alive(self) -> bool:
+        return self._value is _PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Raise :class:`Interrupt` inside this process at the current time."""
+        if not self.is_alive:
+            return
+        event = Event(self.env)
+        event._ok = False
+        event._value = Interrupt(cause)
+        event.callbacks.append(self._resume)
+        self.env._schedule(event, delay=0.0, priority=0)
+
+    def _resume(self, event: Event) -> None:
+        if not self.is_alive:
+            return
+        # Detach from the event we were waiting on (interrupt case).
+        if self._target is not None and self._target is not event:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._target = None
+        self.env._active_process = self
+        try:
+            if event._ok:
+                next_event = self._generator.send(event._value)
+            else:
+                next_event = self._generator.throw(event._value)
+        except StopIteration as stop:
+            self.env._active_process = None
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            self.env._active_process = None
+            if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+                raise
+            self.fail(exc)
+            return
+        self.env._active_process = None
+        if not isinstance(next_event, Event):
+            raise SimulationError(
+                f"process yielded {next_event!r}; processes must yield Event objects"
+            )
+        if next_event.processed:
+            # Already fired: resume immediately (next scheduling slot).
+            immediate = Event(self.env)
+            immediate._ok = next_event._ok
+            immediate._value = next_event._value
+            immediate.callbacks.append(self._resume)
+            self.env._schedule(immediate, delay=0.0, priority=0)
+            self._target = immediate
+        else:
+            next_event.callbacks.append(self._resume)
+            self._target = next_event
+
+
+class _Condition(Event):
+    """Base for AllOf/AnyOf.
+
+    A child event counts as *done* only once it is ``processed`` (its
+    callbacks have run) — NOT merely ``triggered``: a :class:`Timeout`
+    carries its value from creation, so keying on ``triggered`` would make
+    conditions fire before any time passes.
+    """
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        self.events = list(events)
+        for e in self.events:
+            if e.env is not env:
+                raise SimulationError("all events must belong to the same environment")
+        self._pending = 0
+        if not self.events:
+            self.succeed({})
+            return
+        initially_done: list[Event] = []
+        for e in self.events:
+            if e.processed:
+                initially_done.append(e)
+            else:
+                self._pending += 1
+                e.callbacks.append(self._observe)
+        for e in initially_done:
+            self._observe(e)
+
+    def _observe(self, event: Event) -> None:
+        raise NotImplementedError
+
+    def _results(self) -> dict[Event, Any]:
+        return {e: e._value for e in self.events if e.processed and e._ok}
+
+
+class AllOf(_Condition):
+    """Fires when every child event has fired (barrier)."""
+
+    def _observe(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            self.fail(event._value)
+            return
+        if all(e.processed for e in self.events):
+            self.succeed(self._results())
+
+
+class AnyOf(_Condition):
+    """Fires when the first child event fires."""
+
+    def _observe(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            self.fail(event._value)
+        else:
+            self.succeed(self._results())
+
+
+class Environment:
+    """The event loop and virtual clock."""
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._seq = itertools.count()
+        self._active_process: Process | None = None
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    @property
+    def active_process(self) -> Process | None:
+        return self._active_process
+
+    # -- event factories ---------------------------------------------------
+
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator) -> Process:
+        return Process(self, generator)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- scheduling ------------------------------------------------------------
+
+    def _schedule(self, event: Event, *, delay: float, priority: int) -> None:
+        heapq.heappush(self._queue, (self._now + delay, priority, next(self._seq), event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or +inf if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process one event."""
+        if not self._queue:
+            raise SimulationError("no more events")
+        when, _, _, event = heapq.heappop(self._queue)
+        self._now = when
+        event._processed = True
+        callbacks, event.callbacks = event.callbacks, []
+        for callback in callbacks:
+            callback(event)
+
+    def run(self, until: "float | Event | None" = None) -> Any:
+        """Run until the queue drains, a deadline passes, or an event fires.
+
+        * ``until=None`` — drain all events; returns None.
+        * ``until=<float>`` — advance the clock to exactly that time.
+        * ``until=<Event>`` — run until the event fires; returns its value
+          (or raises its failure exception).
+        """
+        if until is None:
+            while self._queue:
+                self.step()
+            return None
+        if isinstance(until, Event):
+            stop = until
+            while not stop.processed:
+                if not self._queue:
+                    raise SimulationError(
+                        "event queue drained before the awaited event fired (deadlock?)"
+                    )
+                self.step()
+            if stop._ok:
+                return stop._value
+            raise stop._value
+        deadline = float(until)
+        if deadline < self._now:
+            raise SimulationError(f"cannot run backwards: now={self._now}, until={deadline}")
+        while self._queue and self._queue[0][0] <= deadline:
+            self.step()
+        self._now = deadline
+        return None

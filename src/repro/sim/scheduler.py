@@ -1,0 +1,198 @@
+"""PBS-like batch queue simulator.
+
+Models the ALCF job queues the §3.1 embedding orchestrator submits to: each
+:class:`Queue` owns a number of nodes and runs jobs FIFO with EASY
+backfill (a later job may start early if it cannot delay the queue head's
+reservation).  Jobs request a node count and a walltime; a job whose actual
+runtime exceeds its walltime is killed, like a real PBS.
+
+The orchestrator (:mod:`repro.embed.orchestrator`) uses
+:meth:`Queue.available_nodes` to decide when to submit the next batch job —
+the paper's "as availability within a queue opens, the orchestrator submits
+the next batch".
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+from .engine import Environment, Event
+
+__all__ = ["Job", "JobState", "Queue", "PbsScheduler", "WalltimeExceeded"]
+
+_job_ids = itertools.count(1)
+
+
+class WalltimeExceeded(Exception):
+    """The job ran past its requested walltime and was killed."""
+
+
+class JobState:
+    QUEUED = "queued"
+    RUNNING = "running"
+    COMPLETED = "completed"
+    KILLED = "killed"
+
+
+@dataclass
+class Job:
+    """One batch job."""
+
+    nodes: int
+    walltime_s: float
+    #: body(env, job) -> generator run when the job starts; if None the job
+    #: simply occupies its nodes for ``runtime_s``.
+    body: Callable | None = None
+    runtime_s: float | None = None
+    name: str = ""
+    job_id: int = field(default_factory=lambda: next(_job_ids))
+    state: str = JobState.QUEUED
+    submit_time: float | None = None
+    start_time: float | None = None
+    end_time: float | None = None
+    result: object = None
+    done_event: Event | None = None
+
+    @property
+    def queue_wait_s(self) -> float | None:
+        if self.submit_time is None or self.start_time is None:
+            return None
+        return self.start_time - self.submit_time
+
+    def expected_runtime(self) -> float:
+        return self.runtime_s if self.runtime_s is not None else self.walltime_s
+
+
+class Queue:
+    """One scheduling queue with a fixed node pool and EASY backfill."""
+
+    def __init__(self, env: Environment, name: str, nodes: int):
+        if nodes < 1:
+            raise ValueError("queue must own at least one node")
+        self.env = env
+        self.name = name
+        self.total_nodes = nodes
+        self.free_nodes = nodes
+        self.pending: list[Job] = []
+        self.running: list[Job] = []
+        self.history: list[Job] = []
+
+    def available_nodes(self) -> int:
+        return self.free_nodes
+
+    def submit(self, job: Job) -> Job:
+        if job.nodes > self.total_nodes:
+            raise ValueError(
+                f"job {job.job_id} requests {job.nodes} nodes; queue "
+                f"{self.name!r} has only {self.total_nodes}"
+            )
+        job.submit_time = self.env.now
+        job.done_event = Event(self.env)
+        self.pending.append(job)
+        self._schedule()
+        return job
+
+    # -- scheduling core ----------------------------------------------------
+
+    def _schedule(self) -> None:
+        """FIFO with EASY backfill."""
+        if not self.pending:
+            return
+        started = True
+        while started and self.pending:
+            started = False
+            head = self.pending[0]
+            if head.nodes <= self.free_nodes:
+                self.pending.pop(0)
+                self._start(head)
+                started = True
+                continue
+            # Backfill: reserve the head's start, then start any later job
+            # that fits now and finishes before the reservation.
+            reservation = self._head_reservation_time(head)
+            for job in list(self.pending[1:]):
+                if job.nodes <= self.free_nodes and (
+                    self.env.now + job.expected_runtime() <= reservation
+                ):
+                    self.pending.remove(job)
+                    self._start(job)
+                    started = True
+                    break
+
+    def _head_reservation_time(self, head: Job) -> float:
+        """Earliest time enough nodes free up for the queue head."""
+        needed = head.nodes - self.free_nodes
+        # Walk running jobs in end-time order (walltime bounds each end),
+        # accumulating freed nodes until the head fits.
+        by_end = sorted(
+            self.running,
+            key=lambda j: (j.start_time or 0.0) + min(j.expected_runtime(), j.walltime_s),
+        )
+        freed_nodes = 0
+        for job in by_end:
+            freed_nodes += job.nodes
+            if freed_nodes >= needed:
+                return (job.start_time or 0.0) + min(job.expected_runtime(), job.walltime_s)
+        return float("inf")
+
+    def _start(self, job: Job) -> None:
+        job.state = JobState.RUNNING
+        job.start_time = self.env.now
+        self.free_nodes -= job.nodes
+        self.running.append(job)
+        self.env.process(self._run(job))
+
+    def _run(self, job: Job):
+        killed = False
+        try:
+            if job.body is not None:
+                body_proc = self.env.process(job.body(self.env, job))
+                timer = self.env.timeout(job.walltime_s)
+                result = yield self.env.any_of([body_proc, timer])
+                if body_proc in result:
+                    job.result = result[body_proc]
+                else:
+                    killed = True
+                    body_proc.interrupt(WalltimeExceeded())
+            else:
+                runtime = min(job.expected_runtime(), job.walltime_s)
+                killed = job.expected_runtime() > job.walltime_s
+                yield self.env.timeout(runtime)
+        finally:
+            job.end_time = self.env.now
+            job.state = JobState.KILLED if killed else JobState.COMPLETED
+            self.free_nodes += job.nodes
+            self.running.remove(job)
+            self.history.append(job)
+            assert job.done_event is not None
+            if killed:
+                job.done_event.fail(WalltimeExceeded(f"job {job.job_id}"))
+            else:
+                job.done_event.succeed(job.result)
+            self._schedule()
+
+
+class PbsScheduler:
+    """A set of named queues (e.g. 'debug', 'prod', 'preemptable')."""
+
+    def __init__(self, env: Environment):
+        self.env = env
+        self.queues: dict[str, Queue] = {}
+
+    def add_queue(self, name: str, nodes: int) -> Queue:
+        if name in self.queues:
+            raise ValueError(f"queue {name!r} already exists")
+        queue = Queue(self.env, name, nodes)
+        self.queues[name] = queue
+        return queue
+
+    def queue(self, name: str) -> Queue:
+        return self.queues[name]
+
+    def submit(self, queue_name: str, job: Job) -> Job:
+        return self.queues[queue_name].submit(job)
+
+    def total_free_nodes(self) -> int:
+        return sum(q.free_nodes for q in self.queues.values())

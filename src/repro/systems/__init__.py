@@ -1,0 +1,12 @@
+"""Qualitative system survey data (Table 1)."""
+
+from .features import FEATURE_COLUMNS, SYSTEMS, Support, SystemFeatures, feature_matrix, systems_with
+
+__all__ = [
+    "Support",
+    "SystemFeatures",
+    "SYSTEMS",
+    "FEATURE_COLUMNS",
+    "feature_matrix",
+    "systems_with",
+]

@@ -1,0 +1,124 @@
+"""Table 1: feature comparison of distributed vector databases.
+
+The paper's Table 1 is a qualitative survey; we encode it as data so the
+bench harness can regenerate the table, and so tests can assert the claims
+§2.2 makes about it (e.g. "only a subset — Vespa and Milvus — support
+compute-storage separation").
+
+``PARTIAL`` marks features available only in the paid cloud offering of
+the respective system (the paper's half-filled marks).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["Support", "SystemFeatures", "SYSTEMS", "feature_matrix", "FEATURE_COLUMNS"]
+
+
+class Support(enum.Enum):
+    YES = "yes"
+    NO = "no"
+    PARTIAL = "paid-cloud-only"
+
+    @property
+    def symbol(self) -> str:
+        return {"yes": "+", "no": "x", "paid-cloud-only": "~"}[self.value]
+
+    def __bool__(self) -> bool:
+        return self is not Support.NO
+
+
+@dataclass(frozen=True)
+class SystemFeatures:
+    """One row of Table 1."""
+
+    name: str
+    parallel_read_write: Support
+    compute_storage_separation: Support
+    load_balanced_autoscaling: Support
+    shard_replication: Support
+    gpu_indexing: Support
+    gpu_ann: Support
+    #: Sharding architecture of Figure 1: "stateful" or "stateless".
+    architecture: str = "stateful"
+
+
+SYSTEMS: tuple[SystemFeatures, ...] = (
+    SystemFeatures(
+        name="Vespa",
+        parallel_read_write=Support.YES,
+        compute_storage_separation=Support.YES,
+        load_balanced_autoscaling=Support.PARTIAL,
+        shard_replication=Support.YES,
+        gpu_indexing=Support.NO,
+        gpu_ann=Support.NO,
+        architecture="stateless",
+    ),
+    SystemFeatures(
+        name="Vald",
+        parallel_read_write=Support.YES,
+        compute_storage_separation=Support.NO,
+        load_balanced_autoscaling=Support.YES,
+        shard_replication=Support.YES,
+        gpu_indexing=Support.YES,
+        gpu_ann=Support.YES,
+        architecture="stateful",
+    ),
+    SystemFeatures(
+        name="Weaviate",
+        parallel_read_write=Support.YES,
+        compute_storage_separation=Support.NO,
+        load_balanced_autoscaling=Support.YES,
+        shard_replication=Support.YES,
+        gpu_indexing=Support.YES,
+        gpu_ann=Support.YES,
+        architecture="stateful",
+    ),
+    SystemFeatures(
+        name="Qdrant",
+        parallel_read_write=Support.YES,
+        compute_storage_separation=Support.NO,
+        load_balanced_autoscaling=Support.PARTIAL,
+        shard_replication=Support.YES,
+        gpu_indexing=Support.YES,
+        gpu_ann=Support.NO,
+        architecture="stateful",
+    ),
+    SystemFeatures(
+        name="Milvus",
+        parallel_read_write=Support.YES,
+        compute_storage_separation=Support.YES,
+        load_balanced_autoscaling=Support.YES,
+        shard_replication=Support.YES,
+        gpu_indexing=Support.YES,
+        gpu_ann=Support.YES,
+        architecture="stateless",
+    ),
+)
+
+FEATURE_COLUMNS = (
+    ("Parallel Read/Write", "parallel_read_write"),
+    ("Compute/Storage Separation", "compute_storage_separation"),
+    ("Load Balanced Autoscaling", "load_balanced_autoscaling"),
+    ("Shard Replication", "shard_replication"),
+    ("GPU Indexing", "gpu_indexing"),
+    ("GPU ANN", "gpu_ann"),
+)
+
+
+def feature_matrix() -> list[list[str]]:
+    """Table 1 as rows of symbols (header row not included)."""
+    rows = []
+    for system in SYSTEMS:
+        row = [system.name]
+        for _, attr in FEATURE_COLUMNS:
+            row.append(getattr(system, attr).symbol)
+        rows.append(row)
+    return rows
+
+
+def systems_with(feature: str) -> list[str]:
+    """Names of systems supporting a feature (incl. paid-cloud-only)."""
+    return [s.name for s in SYSTEMS if bool(getattr(s, feature))]

@@ -1,0 +1,28 @@
+"""Synthetic workloads standing in for peS2o and BV-BRC (see DESIGN.md)."""
+
+from .bvbrc import BvBrcTerms
+from .datasets import (
+    PAPER_SIZES_GIB,
+    EmbeddedCorpus,
+    gib_to_vectors,
+    vectors_to_gib,
+)
+from .pes2o import Paper, Pes2oCorpus
+from .queries import EmbeddedQuery, QueryWorkload
+from .vocabulary import BIOLOGY_TERMS, FILLER_WORDS, GENOME_ELEMENTS, TOPICS
+
+__all__ = [
+    "Pes2oCorpus",
+    "Paper",
+    "BvBrcTerms",
+    "QueryWorkload",
+    "EmbeddedQuery",
+    "EmbeddedCorpus",
+    "gib_to_vectors",
+    "vectors_to_gib",
+    "PAPER_SIZES_GIB",
+    "TOPICS",
+    "BIOLOGY_TERMS",
+    "FILLER_WORDS",
+    "GENOME_ELEMENTS",
+]

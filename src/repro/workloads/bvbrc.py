@@ -1,0 +1,59 @@
+"""Synthetic BV-BRC term workload.
+
+The paper's query workload is "a small subset of 22,723 terms related to
+genomes available through BV-BRC"; each term becomes one similarity query
+against the paper corpus.  :class:`BvBrcTerms` generates a deterministic
+stand-in: genome-flavoured compound terms built from the shared biology
+vocabulary plus organism-style designators (e.g. strain identifiers), so
+terms look like ``"influenza spike glycoprotein strain A-3142"``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from ..perfmodel.calibration import DATASET
+from .vocabulary import BIOLOGY_TERMS, GENOME_ELEMENTS, TOPICS
+
+__all__ = ["BvBrcTerms"]
+
+_GENUS = [
+    "Escherichia", "Salmonella", "Mycobacterium", "Staphylococcus",
+    "Streptococcus", "Klebsiella", "Pseudomonas", "Vibrio", "Bacillus",
+    "Clostridium", "Helicobacter", "Listeria", "Yersinia", "Brucella",
+]
+
+
+class BvBrcTerms:
+    """Deterministic, index-addressable genome-term workload."""
+
+    def __init__(self, n_terms: int | None = None, *, seed: int = 31):
+        self.n_terms = n_terms if n_terms is not None else DATASET.n_query_terms
+        if self.n_terms < 0:
+            raise ValueError("n_terms must be non-negative")
+        self.seed = seed
+
+    def __len__(self) -> int:
+        return self.n_terms
+
+    def term(self, index: int) -> str:
+        """The ``index``-th query term (stable across runs)."""
+        if not 0 <= index < self.n_terms:
+            raise IndexError(f"term index {index} out of range [0, {self.n_terms})")
+        rng = np.random.default_rng((self.seed, index))
+        topic = TOPICS[int(rng.integers(len(TOPICS)))]
+        words = rng.choice(BIOLOGY_TERMS[topic], size=2, replace=False)
+        element = GENOME_ELEMENTS[int(rng.integers(len(GENOME_ELEMENTS)))]
+        genus = _GENUS[int(rng.integers(len(_GENUS)))]
+        strain = f"{chr(65 + int(rng.integers(26)))}-{int(rng.integers(100, 9999))}"
+        return f"{genus} {words[0]} {words[1]} {element} strain {strain}"
+
+    def terms(self, start: int = 0, stop: int | None = None) -> list[str]:
+        stop = self.n_terms if stop is None else min(stop, self.n_terms)
+        return [self.term(i) for i in range(start, stop)]
+
+    def __iter__(self) -> Iterator[str]:
+        for i in range(self.n_terms):
+            yield self.term(i)

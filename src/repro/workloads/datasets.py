@@ -1,0 +1,74 @@
+"""Dataset-scale helpers and embedded-corpus construction.
+
+Bridges the synthetic corpus to the vector database: embed papers into
+points, compute GiB↔vector conversions at the paper's dimensionality, and
+build the small *real* datasets the tests/examples insert (the 80 GB runs
+exist only inside the performance model).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from ..core.types import PointStruct
+from ..embed.model import HashingEmbedder
+from ..perfmodel.calibration import DATASET, GiB
+from .pes2o import Pes2oCorpus
+
+__all__ = ["gib_to_vectors", "vectors_to_gib", "EmbeddedCorpus", "PAPER_SIZES_GIB"]
+
+#: Dataset sizes (GiB) used as the x-axis of Figures 3 and 5.
+PAPER_SIZES_GIB = (1.0, 5.0, 10.0, 20.0, 30.0, 40.0, 60.0, DATASET.total_gib)
+
+
+def gib_to_vectors(gib: float, *, dim: int = DATASET.embedding_dim) -> int:
+    """Vector count of a ``gib``-GiB float32 dataset at dimension ``dim``."""
+    return int(gib * GiB / (dim * DATASET.bytes_per_component))
+
+
+def vectors_to_gib(n: int, *, dim: int = DATASET.embedding_dim) -> float:
+    return n * dim * DATASET.bytes_per_component / GiB
+
+
+@dataclass
+class EmbeddedCorpus:
+    """A corpus embedded into database points (small-scale, real)."""
+
+    corpus: Pes2oCorpus
+    embedder: HashingEmbedder
+
+    def point(self, index: int) -> PointStruct:
+        paper = self.corpus.paper(index)
+        return PointStruct(
+            id=paper.paper_id,
+            vector=self.embedder.encode(paper.text),
+            payload={
+                "title": paper.title,
+                "topics": [str(t) for t in paper.topics],
+                "n_chars": paper.n_chars,
+            },
+        )
+
+    def points(self, indices: Sequence[int] | None = None) -> list[PointStruct]:
+        idx = range(len(self.corpus)) if indices is None else indices
+        return [self.point(int(i)) for i in idx]
+
+    def iter_points(self, batch_size: int = 256) -> Iterator[list[PointStruct]]:
+        """Stream points in batches (memory-bounded ingestion)."""
+        batch: list[PointStruct] = []
+        for i in range(len(self.corpus)):
+            batch.append(self.point(i))
+            if len(batch) >= batch_size:
+                yield batch
+                batch = []
+        if batch:
+            yield batch
+
+    def matrix(self, indices: Sequence[int] | None = None) -> np.ndarray:
+        pts = self.points(indices)
+        if not pts:
+            return np.empty((0, self.embedder.dim), dtype=np.float32)
+        return np.stack([p.as_array() for p in pts])

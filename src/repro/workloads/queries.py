@@ -1,0 +1,53 @@
+"""Query-workload construction.
+
+Turns BV-BRC terms into embedded search requests against a corpus
+collection — the end-to-end workload of §3.4 ("Each term is used to
+generate a query that searches the papers … for data related to the
+term").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..embed.model import HashingEmbedder
+from .bvbrc import BvBrcTerms
+
+__all__ = ["QueryWorkload", "EmbeddedQuery"]
+
+
+@dataclass(frozen=True)
+class EmbeddedQuery:
+    """One term query ready for the vector database."""
+
+    term_id: int
+    term: str
+    vector: np.ndarray
+
+
+class QueryWorkload:
+    """Embeds a term list into query vectors (lazily, in batches)."""
+
+    def __init__(self, terms: BvBrcTerms, embedder: HashingEmbedder):
+        self.terms = terms
+        self.embedder = embedder
+
+    def __len__(self) -> int:
+        return len(self.terms)
+
+    def query(self, index: int) -> EmbeddedQuery:
+        term = self.terms.term(index)
+        return EmbeddedQuery(term_id=index, term=term, vector=self.embedder.encode(term))
+
+    def queries(self, start: int = 0, stop: int | None = None) -> list[EmbeddedQuery]:
+        stop = len(self.terms) if stop is None else min(stop, len(self.terms))
+        return [self.query(i) for i in range(start, stop)]
+
+    def vectors(self, start: int = 0, stop: int | None = None) -> np.ndarray:
+        """Query vectors as one ``(n, dim)`` matrix."""
+        qs = self.queries(start, stop)
+        if not qs:
+            return np.empty((0, self.embedder.dim), dtype=np.float32)
+        return np.stack([q.vector for q in qs])

@@ -1,0 +1,176 @@
+"""Dataset release bundles.
+
+The paper's third contribution: "We publish a scientific embedding dataset
+and query workload for future use" (Zenodo DOI 10.5281/zenodo.17101276).
+This module produces and consumes the equivalent artifact for this
+reproduction: a self-describing directory bundle holding
+
+* ``embeddings.npy``   — (n, dim) float32 matrix
+* ``paper_meta.jsonl`` — one JSON record per paper (id, title, topics, chars)
+* ``queries.npy``      — (q, dim) float32 query matrix
+* ``query_terms.jsonl``— one JSON record per term (id, text)
+* ``bundle.json``      — manifest: counts, dim, embedder seed, checksums
+
+so downstream users can re-run the insertion/query experiments without the
+generator code.  Checksums (SHA-256 of the raw arrays) guard against
+truncated downloads — the failure mode release artifacts actually have.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+
+import numpy as np
+
+from ..embed.model import HashingEmbedder
+from .bvbrc import BvBrcTerms
+from .pes2o import Pes2oCorpus
+
+__all__ = ["export_bundle", "load_bundle", "BundleError", "DatasetBundle"]
+
+_FORMAT_VERSION = 1
+
+
+class BundleError(RuntimeError):
+    """The bundle is missing, inconsistent, or corrupted."""
+
+
+def _sha256(arr: np.ndarray) -> str:
+    return hashlib.sha256(np.ascontiguousarray(arr).tobytes()).hexdigest()
+
+
+class DatasetBundle:
+    """A loaded release bundle."""
+
+    def __init__(self, embeddings, paper_meta, queries, query_terms, manifest):
+        self.embeddings: np.ndarray = embeddings
+        self.paper_meta: list[dict] = paper_meta
+        self.queries: np.ndarray = queries
+        self.query_terms: list[dict] = query_terms
+        self.manifest: dict = manifest
+
+    @property
+    def n_papers(self) -> int:
+        return int(self.embeddings.shape[0])
+
+    @property
+    def n_queries(self) -> int:
+        return int(self.queries.shape[0])
+
+    @property
+    def dim(self) -> int:
+        return int(self.embeddings.shape[1])
+
+    def points(self):
+        """Yield database-ready points from the bundle."""
+        from ..core.types import PointStruct
+
+        for meta, vec in zip(self.paper_meta, self.embeddings):
+            yield PointStruct(
+                id=meta["paper_id"],
+                vector=vec,
+                payload={"title": meta["title"], "topics": meta["topics"]},
+            )
+
+
+def export_bundle(
+    directory: str,
+    *,
+    n_papers: int,
+    n_queries: int,
+    dim: int = 256,
+    corpus_seed: int = 2023,
+    embedder_seed: int = 0,
+) -> str:
+    """Generate and write a release bundle; returns the directory path."""
+    os.makedirs(directory, exist_ok=True)
+    embedder = HashingEmbedder(dim=dim, seed=embedder_seed)
+    corpus = Pes2oCorpus(n_papers, seed=corpus_seed)
+    terms = BvBrcTerms(n_queries)
+
+    embeddings = np.empty((n_papers, dim), dtype=np.float32)
+    paper_meta = []
+    for i in range(n_papers):
+        paper = corpus.paper(i)
+        embeddings[i] = embedder.encode(paper.text)
+        paper_meta.append(
+            {
+                "paper_id": paper.paper_id,
+                "title": paper.title,
+                "topics": list(paper.topics),
+                "n_chars": paper.n_chars,
+            }
+        )
+    queries = np.empty((n_queries, dim), dtype=np.float32)
+    query_terms = []
+    for i in range(n_queries):
+        term = terms.term(i)
+        queries[i] = embedder.encode(term)
+        query_terms.append({"term_id": i, "term": term})
+
+    np.save(os.path.join(directory, "embeddings.npy"), embeddings)
+    np.save(os.path.join(directory, "queries.npy"), queries)
+    with open(os.path.join(directory, "paper_meta.jsonl"), "w") as fh:
+        for rec in paper_meta:
+            fh.write(json.dumps(rec) + "\n")
+    with open(os.path.join(directory, "query_terms.jsonl"), "w") as fh:
+        for rec in query_terms:
+            fh.write(json.dumps(rec) + "\n")
+    manifest = {
+        "format_version": _FORMAT_VERSION,
+        "n_papers": n_papers,
+        "n_queries": n_queries,
+        "dim": dim,
+        "corpus_seed": corpus_seed,
+        "embedder_seed": embedder_seed,
+        "embedder": "HashingEmbedder",
+        "checksums": {
+            "embeddings": _sha256(embeddings),
+            "queries": _sha256(queries),
+        },
+    }
+    with open(os.path.join(directory, "bundle.json"), "w") as fh:
+        json.dump(manifest, fh, indent=2)
+    return directory
+
+
+def load_bundle(directory: str, *, verify: bool = True) -> DatasetBundle:
+    """Load a bundle, verifying counts and checksums."""
+    manifest_path = os.path.join(directory, "bundle.json")
+    if not os.path.exists(manifest_path):
+        raise BundleError(f"no bundle at {directory!r} (missing bundle.json)")
+    with open(manifest_path) as fh:
+        manifest = json.load(fh)
+    if manifest.get("format_version") != _FORMAT_VERSION:
+        raise BundleError(f"unsupported bundle version {manifest.get('format_version')!r}")
+    try:
+        embeddings = np.load(os.path.join(directory, "embeddings.npy"))
+        queries = np.load(os.path.join(directory, "queries.npy"))
+        paper_meta = [
+            json.loads(line)
+            for line in open(os.path.join(directory, "paper_meta.jsonl"))
+        ]
+        query_terms = [
+            json.loads(line)
+            for line in open(os.path.join(directory, "query_terms.jsonl"))
+        ]
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        raise BundleError(f"bundle at {directory!r} is unreadable: {exc}") from exc
+
+    if embeddings.shape != (manifest["n_papers"], manifest["dim"]):
+        raise BundleError(
+            f"embeddings shape {embeddings.shape} does not match manifest "
+            f"({manifest['n_papers']}, {manifest['dim']})"
+        )
+    if queries.shape[0] != manifest["n_queries"] or len(query_terms) != manifest["n_queries"]:
+        raise BundleError("query count mismatch between arrays, terms, and manifest")
+    if len(paper_meta) != manifest["n_papers"]:
+        raise BundleError("paper metadata count does not match manifest")
+    if verify:
+        if _sha256(embeddings) != manifest["checksums"]["embeddings"]:
+            raise BundleError("embeddings checksum mismatch (truncated download?)")
+        if _sha256(queries) != manifest["checksums"]["queries"]:
+            raise BundleError("queries checksum mismatch (truncated download?)")
+    return DatasetBundle(embeddings, paper_meta, queries, query_terms, manifest)

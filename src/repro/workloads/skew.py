@@ -1,0 +1,74 @@
+"""Skewed query workloads.
+
+§2.2 of the paper: "recent work [Quake] showed that real-world workloads
+(e.g., Wikipedia) often exhibit dynamic and skewed access/update patterns,
+highlighting the advantages of compute-storage separation."
+
+:class:`SkewedQueryWorkload` generates term queries whose *topic* follows a
+Zipf distribution, so query load concentrates on a few topics — and, once
+embedded, on the shards holding topically similar papers.  The skew
+ablation bench uses this to quantify per-worker load imbalance in the
+stateful architecture, the phenomenon that motivates the §2.2 discussion.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .vocabulary import BIOLOGY_TERMS, TOPICS
+
+__all__ = ["zipf_weights", "SkewedQueryWorkload"]
+
+
+def zipf_weights(n: int, s: float) -> np.ndarray:
+    """Normalised Zipf weights: w_i ∝ 1/(i+1)^s; s=0 is uniform."""
+    if n < 1:
+        raise ValueError("need at least one category")
+    if s < 0:
+        raise ValueError("skew exponent must be non-negative")
+    ranks = np.arange(1, n + 1, dtype=float)
+    weights = ranks**-s
+    return weights / weights.sum()
+
+
+class SkewedQueryWorkload:
+    """Topic-skewed term queries (Zipf over topics)."""
+
+    def __init__(self, n_queries: int, *, skew: float = 1.0, seed: int = 7):
+        if n_queries < 0:
+            raise ValueError("n_queries must be non-negative")
+        self.n_queries = n_queries
+        self.skew = skew
+        self.seed = seed
+        self._weights = zipf_weights(len(TOPICS), skew)
+
+    def __len__(self) -> int:
+        return self.n_queries
+
+    def topic_of(self, index: int) -> str:
+        rng = np.random.default_rng((self.seed, index))
+        return str(TOPICS[int(rng.choice(len(TOPICS), p=self._weights))])
+
+    def term(self, index: int) -> str:
+        """A query term biased toward the drawn topic's vocabulary."""
+        if not 0 <= index < self.n_queries:
+            raise IndexError(f"query index {index} out of range")
+        rng = np.random.default_rng((self.seed, index))
+        topic = str(TOPICS[int(rng.choice(len(TOPICS), p=self._weights))])
+        words = rng.choice(BIOLOGY_TERMS[topic], size=3, replace=False)
+        return " ".join(str(w) for w in words)
+
+    def terms(self) -> list[str]:
+        return [self.term(i) for i in range(self.n_queries)]
+
+    def topic_histogram(self) -> dict[str, int]:
+        counts: dict[str, int] = {t: 0 for t in TOPICS}
+        for i in range(self.n_queries):
+            counts[self.topic_of(i)] += 1
+        return counts
+
+    def imbalance(self) -> float:
+        """max/mean topic frequency — grows with the skew exponent."""
+        counts = list(self.topic_histogram().values())
+        mean = sum(counts) / len(counts)
+        return max(counts) / mean if mean else 1.0

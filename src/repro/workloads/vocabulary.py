@@ -1,0 +1,92 @@
+"""Shared biology vocabulary for the synthetic corpus and term workload.
+
+The BV-BRC workload (§3) queries genome-related terms against a paper
+corpus; for retrieval to be meaningful, the synthetic papers and the
+synthetic terms must draw from overlapping vocabulary.  This module is the
+single source of that vocabulary: topic-bucketed domain terms plus a pool
+of generic scientific filler words.
+"""
+
+from __future__ import annotations
+
+__all__ = ["TOPICS", "BIOLOGY_TERMS", "FILLER_WORDS", "GENOME_ELEMENTS"]
+
+TOPICS = (
+    "genomics",
+    "virology",
+    "bacteriology",
+    "immunology",
+    "proteomics",
+    "epidemiology",
+    "phylogenetics",
+    "metabolomics",
+)
+
+BIOLOGY_TERMS: dict[str, list[str]] = {
+    "genomics": [
+        "genome", "chromosome", "plasmid", "annotation", "assembly", "contig",
+        "scaffold", "locus", "allele", "exon", "intron", "promoter", "operon",
+        "transcriptome", "nucleotide", "codon", "sequencing", "variant",
+        "mutation", "polymorphism", "crispr", "transposon",
+    ],
+    "virology": [
+        "virus", "virion", "capsid", "envelope", "bacteriophage", "provirus",
+        "retrovirus", "coronavirus", "influenza", "replication", "lysogeny",
+        "lytic", "viral", "titer", "serotype", "spike", "glycoprotein",
+        "reassortment", "quasispecies", "zoonotic",
+    ],
+    "bacteriology": [
+        "bacteria", "bacterium", "biofilm", "flagellum", "pilus", "gram",
+        "pathogen", "commensal", "microbiome", "sporulation", "peptidoglycan",
+        "lipopolysaccharide", "antibiotic", "resistance", "betalactamase",
+        "efflux", "virulence", "toxin", "secretion", "quorum",
+    ],
+    "immunology": [
+        "antibody", "antigen", "epitope", "lymphocyte", "macrophage",
+        "cytokine", "interferon", "interleukin", "complement", "vaccine",
+        "adjuvant", "immunity", "tolerance", "inflammation", "histocompatibility",
+        "receptor", "neutralizing", "memory", "innate", "adaptive",
+    ],
+    "proteomics": [
+        "protein", "proteome", "peptide", "enzyme", "kinase", "protease",
+        "folding", "chaperone", "domain", "motif", "structure", "crystallography",
+        "spectrometry", "phosphorylation", "glycosylation", "ubiquitin",
+        "interaction", "complex", "binding", "substrate",
+    ],
+    "epidemiology": [
+        "outbreak", "epidemic", "pandemic", "incidence", "prevalence",
+        "transmission", "reproduction", "surveillance", "cohort", "casecontrol",
+        "exposure", "quarantine", "vector", "reservoir", "endemic",
+        "seroprevalence", "contact", "tracing", "mortality", "morbidity",
+    ],
+    "phylogenetics": [
+        "phylogeny", "clade", "taxon", "lineage", "divergence", "homology",
+        "ortholog", "paralog", "alignment", "substitution", "bootstrap",
+        "cladogram", "ancestor", "speciation", "taxonomy", "molecular",
+        "evolution", "selection", "drift", "tree",
+    ],
+    "metabolomics": [
+        "metabolite", "metabolism", "glycolysis", "respiration", "fermentation",
+        "pathway", "flux", "substrate", "cofactor", "atp", "nadh",
+        "biosynthesis", "catabolism", "anabolism", "lipid", "carbohydrate",
+        "aminoacid", "citrate", "oxidation", "reduction",
+    ],
+}
+
+GENOME_ELEMENTS = [
+    "gene", "operon", "regulon", "island", "cassette", "integron", "repeat",
+    "terminator", "riboswitch", "sirna", "trna", "rrna", "mrna", "orf",
+]
+
+FILLER_WORDS = [
+    "the", "of", "and", "in", "to", "a", "is", "that", "for", "with", "as",
+    "we", "results", "using", "analysis", "study", "data", "method", "model",
+    "observed", "measured", "significant", "between", "within", "across",
+    "approach", "performance", "evaluation", "experiment", "sample",
+    "control", "figure", "table", "shown", "reported", "previously",
+    "however", "therefore", "furthermore", "moreover", "these", "findings",
+    "suggest", "indicate", "demonstrate", "compared", "relative", "increase",
+    "decrease", "level", "rate", "time", "value", "mean", "standard",
+    "deviation", "distribution", "population", "system", "process",
+    "function", "effect", "response", "condition", "treatment", "group",
+]

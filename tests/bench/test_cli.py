@@ -1,0 +1,26 @@
+"""CLI (`python -m repro.bench`) tests."""
+
+import json
+
+import pytest
+
+from repro.bench.__main__ import main
+
+
+def test_single_experiment(capsys):
+    assert main(["table1"]) == 0
+    out = capsys.readouterr().out
+    assert "table1" in out and "PASS" in out
+
+
+def test_json_output(capsys):
+    assert main(["--json", "table1", "figure4"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert [e["experiment_id"] for e in payload] == ["table1", "figure4"]
+    assert all(e["all_checks_pass"] for e in payload)
+    assert payload[0]["rows"]
+
+
+def test_unknown_experiment():
+    with pytest.raises(KeyError):
+        main(["tableXX"])

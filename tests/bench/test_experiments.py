@@ -1,0 +1,33 @@
+"""Every table/figure experiment must regenerate with all shape checks green."""
+
+import pytest
+
+from repro.bench import EXPERIMENTS, run_experiment
+from repro.bench.report import ExperimentResult
+
+
+@pytest.mark.parametrize("experiment_id", sorted(EXPERIMENTS))
+def test_experiment_checks_pass(experiment_id):
+    result = run_experiment(experiment_id)
+    assert isinstance(result, ExperimentResult)
+    assert result.rows, "experiment produced no rows"
+    failing = [name for name, ok in result.checks.items() if not ok]
+    assert not failing, f"{experiment_id} failing checks: {failing}\n{result.render()}"
+
+
+def test_unknown_experiment():
+    with pytest.raises(KeyError):
+        run_experiment("table99")
+
+
+def test_all_seven_paper_artifacts_covered():
+    """The paper's evaluation has 3 tables and 4 figures (fig 1 is schematic)."""
+    assert set(EXPERIMENTS) == {
+        "table1", "table2", "table3", "figure2", "figure3", "figure4", "figure5",
+    }
+
+
+def test_render_is_printable():
+    result = run_experiment("table1")
+    text = result.render()
+    assert "table1" in text and "PASS" in text

@@ -1,0 +1,49 @@
+"""Table 1 system-survey data tests (§2.2 claims)."""
+
+from repro.systems import SYSTEMS, Support, feature_matrix, systems_with
+
+
+class TestSupport:
+    def test_symbols(self):
+        assert Support.YES.symbol == "+"
+        assert Support.NO.symbol == "x"
+        assert Support.PARTIAL.symbol == "~"
+
+    def test_truthiness(self):
+        assert Support.YES and Support.PARTIAL
+        assert not Support.NO
+
+
+class TestSurvey:
+    def test_five_systems(self):
+        assert [s.name for s in SYSTEMS] == ["Vespa", "Vald", "Weaviate", "Qdrant", "Milvus"]
+
+    def test_compute_storage_separation_claim(self):
+        """§2.2: 'only a subset — Vespa and Milvus — support compute-storage
+        separation'."""
+        assert systems_with("compute_storage_separation") == ["Vespa", "Milvus"]
+
+    def test_gpu_claim(self):
+        """§2.2: 'only Vald, Weaviate, and Milvus support both GPU-accelerated
+        indexing and ANN search'."""
+        both = set(systems_with("gpu_indexing")) & set(systems_with("gpu_ann"))
+        assert both == {"Vald", "Weaviate", "Milvus"}
+
+    def test_qdrant_row_matches_table1(self):
+        qdrant = next(s for s in SYSTEMS if s.name == "Qdrant")
+        assert qdrant.parallel_read_write is Support.YES
+        assert qdrant.compute_storage_separation is Support.NO
+        assert qdrant.gpu_indexing is Support.YES
+        assert qdrant.gpu_ann is Support.NO
+        assert qdrant.architecture == "stateful"
+
+    def test_architectures_match_figure1(self):
+        """Stateful: Qdrant, Vald, Weaviate; stateless: Vespa, Milvus (§2.1)."""
+        stateful = {s.name for s in SYSTEMS if s.architecture == "stateful"}
+        assert stateful == {"Qdrant", "Vald", "Weaviate"}
+
+    def test_matrix_shape(self):
+        rows = feature_matrix()
+        assert len(rows) == 5 and all(len(r) == 7 for r in rows)
+        symbols = {cell for row in rows for cell in row[1:]}
+        assert symbols <= {"+", "x", "~"}

@@ -1,0 +1,53 @@
+"""Report rendering helpers."""
+
+import math
+
+from repro.bench.report import ExperimentResult, format_duration, pct_delta, render_table
+
+
+class TestFormatDuration:
+    def test_seconds(self):
+        assert format_duration(42.0) == "42.0 s"
+
+    def test_minutes(self):
+        assert format_duration(1800.0) == "30.00 m"
+
+    def test_hours(self):
+        assert format_duration(3600.0 * 8.22) == "8.22 h"
+
+    def test_nan(self):
+        assert format_duration(float("nan")) == "-"
+
+
+class TestPctDelta:
+    def test_signed(self):
+        assert pct_delta(110, 100) == "+10.0%"
+        assert pct_delta(90, 100) == "-10.0%"
+
+    def test_zero_reference(self):
+        assert pct_delta(1, 0) == "-"
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        out = render_table(["a", "bbbb"], [["x", 1], ["yyyyyy", 22]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert all(len(l) == len(lines[0]) for l in lines)
+
+    def test_contains_cells(self):
+        out = render_table(["h"], [["cell"]])
+        assert "cell" in out and "h" in out
+
+
+class TestExperimentResult:
+    def test_checks(self):
+        r = ExperimentResult("x", "t", ["h"])
+        assert r.check("ok", True)
+        assert not r.check("bad", 0)
+        assert not r.all_checks_pass
+        assert r.checks == {"ok": True, "bad": False}
+
+    def test_render_includes_notes(self):
+        r = ExperimentResult("x", "t", ["h"], rows=[["v"]], notes=["hello note"])
+        assert "hello note" in r.render()

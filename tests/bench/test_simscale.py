@@ -1,0 +1,69 @@
+"""DES paper-scale simulations must agree with the closed-form models."""
+
+import pytest
+
+from repro.bench.simscale import (
+    simulate_index_build,
+    simulate_insertion,
+    simulate_query_phase,
+)
+from repro.perfmodel.indexing import IndexBuildModel
+from repro.perfmodel.insertion import WorkerScalingModel
+from repro.perfmodel.query import QueryScalingModel
+
+
+class TestSimInsertion:
+    @pytest.mark.parametrize("workers", [1, 4, 8, 32])
+    def test_matches_closed_form(self, workers):
+        sim = simulate_insertion(workers, max_sim_batches=100)
+        model = WorkerScalingModel().time_s(workers)
+        assert sim == pytest.approx(model, rel=0.05)
+
+    def test_subset_scaling(self):
+        sim_small = simulate_insertion(4, dataset_gib=1.0, max_sim_batches=100)
+        sim_big = simulate_insertion(4, dataset_gib=2.0, max_sim_batches=100)
+        assert sim_big == pytest.approx(2 * sim_small, rel=0.05)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            simulate_insertion(0)
+
+
+class TestSimIndexBuild:
+    @pytest.mark.parametrize("workers", [1, 4, 8, 16, 32])
+    def test_matches_closed_form(self, workers):
+        sim = simulate_index_build(workers)
+        model = IndexBuildModel().time_s(workers)
+        assert sim == pytest.approx(model, rel=0.02)
+
+    def test_packing_serializes_on_node(self):
+        """4 workers on one node take ~4x one worker's per-shard time."""
+        t4 = simulate_index_build(4, dataset_gib=40.0)
+        model = IndexBuildModel()
+        per_shard = model.shard_build_s(
+            model.data.vectors_for_gib(40.0) / 4
+        ) * model.cal.kappa_pack
+        assert t4 == pytest.approx(4 * per_shard, rel=0.02)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            simulate_index_build(0)
+
+
+class TestSimQueryPhase:
+    @pytest.mark.parametrize("workers", [1, 4, 8, 32])
+    def test_matches_closed_form_at_full_size(self, workers):
+        sim = simulate_query_phase(workers, dataset_gib=79.09)
+        model = QueryScalingModel().time_s(workers, 79.09)
+        assert sim == pytest.approx(model, rel=0.02)
+
+    def test_small_dataset_overhead_dominates(self):
+        """The DES reproduces Figure 5's small-data regime: distribution
+        hurts below the crossover."""
+        single = simulate_query_phase(1, dataset_gib=10.0)
+        distributed = simulate_query_phase(4, dataset_gib=10.0)
+        assert distributed > single
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            simulate_query_phase(0, dataset_gib=1.0)

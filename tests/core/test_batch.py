@@ -1,0 +1,160 @@
+"""Columnar Batch wire-format tests (the §3.2 conversion object)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Collection,
+    CollectionConfig,
+    Distance,
+    OptimizerConfig,
+    PointStruct,
+    SearchRequest,
+    VectorParams,
+)
+from repro.core.batch import Batch
+from repro.core.cluster import Cluster
+from repro.core.errors import BadRequestError, DimensionMismatchError
+
+DIM = 8
+
+
+def config(name="b"):
+    return CollectionConfig(
+        name, VectorParams(size=DIM, distance=Distance.COSINE),
+        optimizer=OptimizerConfig(indexing_threshold=0),
+    )
+
+
+def points(n, start=0, seed=0):
+    rng = np.random.default_rng(seed)
+    return [
+        PointStruct(id=start + i, vector=rng.normal(size=DIM), payload={"i": start + i})
+        for i in range(n)
+    ]
+
+
+class TestBatchObject:
+    def test_from_points_roundtrip(self):
+        pts = points(10)
+        batch = Batch.from_points(pts)
+        assert len(batch) == 10 and batch.dim == DIM
+        back = batch.to_points()
+        assert [p.id for p in back] == [p.id for p in pts]
+        assert np.allclose(back[3].as_array(), pts[3].as_array())
+        assert back[3].payload == {"i": 3}
+
+    def test_empty_rejected(self):
+        with pytest.raises(BadRequestError):
+            Batch.from_points([])
+
+    def test_from_arrays_validates(self):
+        ids = np.arange(5)
+        vecs = np.zeros((5, DIM), dtype=np.float32)
+        batch = Batch.from_arrays(ids, vecs)
+        assert len(batch) == 5
+        with pytest.raises(BadRequestError):
+            Batch.from_arrays(np.arange(4), vecs)  # length mismatch
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(BadRequestError):
+            Batch.from_arrays([1, 1], np.zeros((2, DIM), dtype=np.float32))
+
+    def test_dim_check(self):
+        batch = Batch.from_points(points(3))
+        with pytest.raises(DimensionMismatchError):
+            batch.validate(expected_dim=DIM + 1)
+
+    def test_split(self):
+        batch = Batch.from_points(points(6))
+        parts = batch.split({0: np.array([0, 2, 4]), 1: np.array([1, 3, 5])})
+        assert parts[0].ids.tolist() == [0, 2, 4]
+        assert parts[1].payloads[0] == {"i": 1}
+        assert np.allclose(parts[0].vectors[1], batch.vectors[2])
+
+    def test_nbytes(self):
+        batch = Batch.from_points(points(4))
+        assert batch.nbytes == 4 * 8 + 4 * DIM * 4
+
+
+class TestColumnarUpsert:
+    def test_collection_columnar_equals_per_point(self):
+        pts = points(50, seed=2)
+        a = Collection(config("a"))
+        a.upsert(pts)
+        b = Collection(config("b"))
+        b.upsert_columnar(Batch.from_points(pts))
+        assert len(a) == len(b) == 50
+        q = np.random.default_rng(3).normal(size=DIM)
+        ha = [h.id for h in a.search(SearchRequest(vector=q, limit=10))]
+        hb = [h.id for h in b.search(SearchRequest(vector=q, limit=10))]
+        assert ha == hb
+        assert b.retrieve(7).payload == {"i": 7}
+
+    def test_columnar_overwrite_path(self):
+        col = Collection(config())
+        col.upsert_columnar(Batch.from_points(points(10)))
+        # second batch overlaps ids 5..14
+        col.upsert_columnar(Batch.from_points(points(10, start=5, seed=9)))
+        assert len(col) == 15
+        # overwritten vector took the new value
+        new_vec = points(10, start=5, seed=9)[0].as_array()
+        new_vec = new_vec / np.linalg.norm(new_vec)
+        assert np.allclose(col.retrieve(5, with_vector=True).vector, new_vec, atol=1e-5)
+
+    def test_type_and_dim_guards(self):
+        col = Collection(config())
+        with pytest.raises(TypeError):
+            col.upsert_columnar([1, 2, 3])
+        bad = Batch.from_arrays([1], np.zeros((1, DIM + 2), dtype=np.float32))
+        with pytest.raises(DimensionMismatchError):
+            col.upsert_columnar(bad)
+
+    def test_cluster_columnar(self):
+        cluster = Cluster.with_workers(4)
+        cluster.create_collection(config("c"))
+        pts = points(120, seed=4)
+        cluster.upsert_columnar("c", Batch.from_points(pts))
+        assert cluster.count("c") == 120
+        rec = cluster.retrieve("c", 77)
+        assert rec.payload == {"i": 77}
+        q = np.random.default_rng(5).normal(size=DIM)
+        # agrees with per-point ingestion
+        ref = Cluster.with_workers(4)
+        ref.create_collection(config("c"))
+        ref.upsert("c", pts)
+        a = [h.id for h in cluster.search("c", SearchRequest(vector=q, limit=10))]
+        b = [h.id for h in ref.search("c", SearchRequest(vector=q, limit=10))]
+        assert a == b
+
+    def test_columnar_wal_replay(self, tmp_path):
+        from repro.core import WalConfig
+
+        cfg = config("w").with_(wal=WalConfig(enabled=True, path=str(tmp_path / "w.wal")))
+        col = Collection(cfg)
+        col.upsert_columnar(Batch.from_points(points(20)))
+        col.close()
+        revived = Collection(cfg)
+        assert len(revived) == 20
+        revived.close()
+
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+
+@given(st.lists(st.integers(0, 10**6), min_size=1, max_size=50, unique=True))
+@settings(max_examples=30, deadline=None)
+def test_batch_roundtrip_property(ids):
+    """from_points(to_points(b)) preserves ids, vectors, payloads exactly."""
+    rng = np.random.default_rng(len(ids))
+    pts = [
+        PointStruct(id=i, vector=rng.normal(size=DIM).astype(np.float32),
+                    payload={"k": int(i)})
+        for i in ids
+    ]
+    batch = Batch.from_points(pts)
+    back = Batch.from_points(batch.to_points())
+    assert np.array_equal(batch.ids, back.ids)
+    assert np.allclose(batch.vectors, back.vectors)
+    assert batch.payloads == back.payloads

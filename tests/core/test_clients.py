@@ -1,0 +1,157 @@
+"""Client-stack tests: sync, asyncio, and parallel-pool clients."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CollectionConfig,
+    Distance,
+    OptimizerConfig,
+    PointStruct,
+    VectorParams,
+)
+from repro.core.aioclient import AsyncClient
+from repro.core.client import SyncClient, chunk
+from repro.core.cluster import Cluster
+from repro.core.mpclient import ParallelClientPool
+
+DIM = 8
+
+
+def make_cluster(n_workers=2) -> Cluster:
+    cluster = Cluster.with_workers(n_workers)
+    cluster.create_collection(
+        CollectionConfig(
+            "c", VectorParams(size=DIM, distance=Distance.COSINE),
+            optimizer=OptimizerConfig(indexing_threshold=0),
+        )
+    )
+    return cluster
+
+
+def points(n, seed=0):
+    rng = np.random.default_rng(seed)
+    return [PointStruct(id=i, vector=rng.normal(size=DIM)) for i in range(n)]
+
+
+class TestChunk:
+    def test_chunks(self):
+        assert [list(c) for c in chunk(list(range(7)), 3)] == [[0, 1, 2], [3, 4, 5], [6]]
+
+    def test_exact_multiple(self):
+        assert len(list(chunk(list(range(6)), 3))) == 2
+
+    def test_bad_size(self):
+        with pytest.raises(ValueError):
+            list(chunk([1], 0))
+
+
+class TestSyncClient:
+    def test_upload_and_search(self):
+        cluster = make_cluster()
+        client = SyncClient(cluster, "c")
+        n = client.upload(points(100), batch_size=32)
+        assert n == 100 and client.count() == 100
+        target = client.retrieve(42, with_vector=True).vector
+        hits = client.search(target, limit=1)
+        assert hits[0].id == 42
+
+    def test_timings_recorded(self):
+        cluster = make_cluster()
+        client = SyncClient(cluster, "c")
+        client.upload(points(64), batch_size=16)
+        assert len(client.upload_timings.convert) == 4
+        assert client.upload_timings.total > 0
+        client.reset_timings()
+        assert client.upload_timings.convert == []
+
+    def test_search_many_batching(self):
+        cluster = make_cluster()
+        client = SyncClient(cluster, "c")
+        client.upload(points(50))
+        qs = np.random.default_rng(1).normal(size=(10, DIM))
+        results = client.search_many(qs, limit=3, batch_size=4)
+        assert len(results) == 10
+        assert all(len(r) == 3 for r in results)
+        assert len(client.query_timings.request) == 3  # ceil(10/4)
+
+    def test_amdahl_helper(self):
+        cluster = make_cluster()
+        client = SyncClient(cluster, "c")
+        client.upload(points(64), batch_size=16)
+        assert client.upload_timings.amdahl_max_speedup() > 1.0
+
+
+class TestAsyncClient:
+    def test_upload_matches_sync(self):
+        cluster = make_cluster()
+        client = AsyncClient(cluster, "c")
+        report = client.upload(points(96), batch_size=32, concurrency=2)
+        client.close()
+        assert report.batches == 3
+        assert cluster.count("c") == 96
+        assert report.total_s > 0
+        assert report.mean_await_ms >= 0
+
+    def test_concurrency_validation(self):
+        cluster = make_cluster()
+        client = AsyncClient(cluster, "c")
+        with pytest.raises(ValueError):
+            client.upload(points(10), concurrency=0)
+        client.close()
+
+    def test_search_many_preserves_order(self):
+        cluster = make_cluster()
+        sync = SyncClient(cluster, "c")
+        sync.upload(points(80))
+        client = AsyncClient(cluster, "c")
+        rng = np.random.default_rng(2)
+        qs = [rng.normal(size=DIM) for _ in range(12)]
+        results, report = client.search_many(qs, limit=5, batch_size=4, concurrency=3)
+        client.close()
+        assert len(results) == 12 and report.batches == 3
+        # order preserved: compare against direct searches
+        for q, hits in zip(qs, results):
+            direct = sync.search(q, limit=5)
+            assert [h.id for h in hits] == [h.id for h in direct]
+
+    def test_timings_decomposed(self):
+        cluster = make_cluster()
+        client = AsyncClient(cluster, "c")
+        report = client.upload(points(64), batch_size=16, concurrency=2)
+        client.close()
+        assert len(report.timings.convert) == 4
+        assert len(report.timings.request) == 4
+
+
+class TestParallelClientPool:
+    def test_upload_partitions_by_worker(self):
+        cluster = make_cluster(4)
+        pool = ParallelClientPool(cluster, "c")
+        report = pool.upload(points(200), batch_size=32)
+        assert report.points == 200
+        assert report.clients == 4
+        assert cluster.count("c") == 200
+        assert sum(report.batches_per_client.values()) >= 200 // 32
+
+    def test_single_worker_runs_inline(self):
+        cluster = make_cluster(1)
+        pool = ParallelClientPool(cluster, "c")
+        report = pool.upload(points(50), batch_size=10)
+        assert report.clients == 1 and cluster.count("c") == 50
+
+    def test_throughput_reported(self):
+        cluster = make_cluster(2)
+        pool = ParallelClientPool(cluster, "c")
+        report = pool.upload(points(64))
+        assert report.throughput_pps > 0
+
+    def test_data_correct_after_pool_upload(self):
+        cluster = make_cluster(4)
+        pool = ParallelClientPool(cluster, "c")
+        pts = points(120, seed=7)
+        pool.upload(pts)
+        rec = cluster.retrieve("c", 77, with_vector=True)
+        expected = pts[77].as_array()
+        expected = expected / np.linalg.norm(expected)
+        assert np.allclose(rec.vector, expected, atol=1e-5)

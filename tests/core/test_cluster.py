@@ -1,0 +1,274 @@
+"""Cluster tests: sharding, broadcast-reduce, replication, rebalancing."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Collection,
+    CollectionConfig,
+    Distance,
+    OptimizerConfig,
+    PointStruct,
+    SearchRequest,
+    VectorParams,
+)
+from repro.core.cluster import Cluster
+from repro.core.errors import (
+    ClusterConfigError,
+    CollectionExistsError,
+    CollectionNotFoundError,
+    NoReplicaAvailableError,
+)
+from repro.core.transport import FaultInjectingTransport, InstrumentedTransport, LocalTransport
+from repro.core.worker import Worker
+
+DIM = 8
+
+
+def config(name="papers", **kwargs):
+    defaults = dict(optimizer=OptimizerConfig(indexing_threshold=0))
+    defaults.update(kwargs)
+    return CollectionConfig(name, VectorParams(size=DIM, distance=Distance.COSINE), **defaults)
+
+
+def points(n, start=0, seed=0):
+    rng = np.random.default_rng(seed)
+    return [
+        PointStruct(id=start + i, vector=rng.normal(size=DIM), payload={"i": start + i})
+        for i in range(n)
+    ]
+
+
+class TestMembership:
+    def test_with_workers_node_packing(self):
+        cluster = Cluster.with_workers(8)
+        nodes = {w.node_id for w in cluster.workers()}
+        assert nodes == {"node-0", "node-1"}  # 4 workers per node
+
+    def test_duplicate_worker_rejected(self):
+        cluster = Cluster.with_workers(1)
+        with pytest.raises(ClusterConfigError):
+            cluster.add_worker(Worker("worker-0"))
+
+    def test_empty_cluster_rejects_collection(self):
+        cluster = Cluster()
+        with pytest.raises(ClusterConfigError):
+            cluster.create_collection(config())
+
+
+class TestCollections:
+    def test_default_one_shard_per_worker(self):
+        cluster = Cluster.with_workers(4)
+        state = cluster.create_collection(config())
+        assert state.plan.shard_number == 4
+        for w in cluster.workers():
+            assert len(w.shard_ids("papers")) == 1
+
+    def test_explicit_shard_number(self):
+        cluster = Cluster.with_workers(2)
+        state = cluster.create_collection(config(shard_number=6))
+        assert state.plan.shard_number == 6
+
+    def test_duplicate_collection(self):
+        cluster = Cluster.with_workers(1)
+        cluster.create_collection(config())
+        with pytest.raises(CollectionExistsError):
+            cluster.create_collection(config())
+
+    def test_drop_collection(self):
+        cluster = Cluster.with_workers(2)
+        cluster.create_collection(config())
+        cluster.drop_collection("papers")
+        assert cluster.collection_names() == []
+        with pytest.raises(CollectionNotFoundError):
+            cluster.count("papers")
+
+
+class TestDataPath:
+    def test_upsert_and_count(self):
+        cluster = Cluster.with_workers(4)
+        cluster.create_collection(config())
+        cluster.upsert("papers", points(200))
+        assert cluster.count("papers") == 200
+
+    def test_points_distributed_across_workers(self):
+        cluster = Cluster.with_workers(4)
+        cluster.create_collection(config())
+        cluster.upsert("papers", points(400))
+        per_worker = [
+            sum(cluster.transport.call(w, "count", "papers", s)
+                for s in cluster._workers[w].shard_ids("papers"))
+            for w in cluster.worker_ids
+        ]
+        assert all(50 < c < 150 for c in per_worker)
+
+    def test_retrieve_routes_to_owner(self):
+        cluster = Cluster.with_workers(4)
+        cluster.create_collection(config())
+        cluster.upsert("papers", points(40))
+        rec = cluster.retrieve("papers", 17)
+        assert rec.id == 17 and rec.payload == {"i": 17}
+
+    def test_delete_and_set_payload(self):
+        cluster = Cluster.with_workers(3)
+        cluster.create_collection(config())
+        cluster.upsert("papers", points(30))
+        cluster.delete("papers", [5, 6])
+        assert cluster.count("papers") == 28
+        cluster.set_payload("papers", 7, {"updated": True})
+        assert cluster.retrieve("papers", 7).payload == {"updated": True}
+
+    def test_scroll_global_order(self):
+        cluster = Cluster.with_workers(3)
+        cluster.create_collection(config())
+        cluster.upsert("papers", points(30))
+        page, nxt = cluster.scroll("papers", limit=12)
+        assert [r.id for r in page] == list(range(12))
+        assert nxt == 12
+
+
+class TestBroadcastReduce:
+    def test_distributed_equals_single_collection(self):
+        """Broadcast-reduce over shards must equal one big collection."""
+        data = points(300, seed=3)
+        single = Collection(config("single"))
+        single.upsert(data)
+        cluster = Cluster.with_workers(4)
+        cluster.create_collection(config())
+        cluster.upsert("papers", data)
+        rng = np.random.default_rng(5)
+        for _ in range(10):
+            q = rng.normal(size=DIM)
+            expected = [h.id for h in single.search(SearchRequest(vector=q, limit=10))]
+            got = [h.id for h in cluster.search("papers", SearchRequest(vector=q, limit=10))]
+            assert got == expected
+
+    def test_search_batch_matches_search(self):
+        cluster = Cluster.with_workers(4)
+        cluster.create_collection(config())
+        cluster.upsert("papers", points(200))
+        qs = np.random.default_rng(6).normal(size=(5, DIM))
+        requests = [SearchRequest(vector=q, limit=5) for q in qs]
+        batched = cluster.search_batch("papers", requests)
+        for req, hits in zip(requests, batched):
+            assert [h.id for h in hits] == [h.id for h in cluster.search("papers", req)]
+
+    def test_hits_annotated_with_shard(self):
+        cluster = Cluster.with_workers(4)
+        cluster.create_collection(config())
+        cluster.upsert("papers", points(200))
+        hits = cluster.search("papers", SearchRequest(vector=np.ones(DIM), limit=20))
+        assert {h.shard_id for h in hits} <= {0, 1, 2, 3}
+        assert len({h.shard_id for h in hits}) > 1
+
+    def test_one_transport_call_per_worker(self):
+        inner = LocalTransport()
+        cluster = Cluster(InstrumentedTransport(inner))
+        for i in range(4):
+            cluster.add_worker(Worker(f"w{i}"))
+        cluster.create_collection(config())
+        cluster.upsert("papers", points(100))
+        cluster.transport.stats.reset()
+        cluster.search("papers", SearchRequest(vector=np.ones(DIM), limit=5))
+        assert cluster.transport.stats.calls_by_method.get("search") == 4
+
+
+class TestReplication:
+    def test_replicas_hold_copies(self):
+        cluster = Cluster.with_workers(3)
+        cluster.create_collection(config(replication_factor=2))
+        cluster.upsert("papers", points(60))
+        state = cluster._state("papers")
+        for shard in range(state.plan.shard_number):
+            counts = [
+                cluster.transport.call(w, "count", "papers", shard)
+                for w in state.plan.workers_for(shard)
+            ]
+            assert len(set(counts)) == 1 and counts[0] > 0
+
+    def test_search_survives_worker_failure(self):
+        inner = LocalTransport()
+        faulty = FaultInjectingTransport(inner)
+        cluster = Cluster(faulty)
+        for i in range(3):
+            cluster.add_worker(Worker(f"w{i}"))
+        cluster.create_collection(config(replication_factor=2))
+        cluster.upsert("papers", points(90))
+        baseline = [h.id for h in cluster.search("papers", SearchRequest(vector=np.ones(DIM), limit=10))]
+        faulty.fail_worker("w1")
+        after = [h.id for h in cluster.search("papers", SearchRequest(vector=np.ones(DIM), limit=10))]
+        assert after == baseline
+        assert cluster.count("papers") == 90
+
+    def test_unreplicated_failure_raises(self):
+        inner = LocalTransport()
+        faulty = FaultInjectingTransport(inner)
+        cluster = Cluster(faulty)
+        for i in range(2):
+            cluster.add_worker(Worker(f"w{i}"))
+        cluster.create_collection(config(replication_factor=1))
+        cluster.upsert("papers", points(20))
+        faulty.fail_worker("w0")
+        with pytest.raises(NoReplicaAvailableError):
+            cluster.search("papers", SearchRequest(vector=np.ones(DIM), limit=5))
+
+
+class TestRebalancing:
+    def test_remove_worker_preserves_data(self):
+        cluster = Cluster.with_workers(4)
+        cluster.create_collection(config())
+        cluster.upsert("papers", points(120))
+        moves = cluster.remove_worker("worker-2")
+        assert moves
+        assert cluster.count("papers") == 120
+        # all shards now live on surviving workers
+        plan = cluster.placement("papers")
+        for shard in range(plan.shard_number):
+            assert all(w != "worker-2" for w in plan.workers_for(shard))
+
+    def test_search_correct_after_rebalance(self):
+        data = points(150, seed=9)
+        single = Collection(config("single"))
+        single.upsert(data)
+        cluster = Cluster.with_workers(4)
+        cluster.create_collection(config())
+        cluster.upsert("papers", data)
+        cluster.remove_worker("worker-1")
+        q = np.random.default_rng(11).normal(size=DIM)
+        expected = [h.id for h in single.search(SearchRequest(vector=q, limit=10))]
+        got = [h.id for h in cluster.search("papers", SearchRequest(vector=q, limit=10))]
+        assert got == expected
+
+    def test_add_worker_with_rebalance(self):
+        cluster = Cluster.with_workers(2)
+        cluster.create_collection(config(shard_number=4, replication_factor=2))
+        cluster.upsert("papers", points(80))
+        moves = cluster.add_worker(Worker("fresh"), rebalance=True)
+        assert cluster.count("papers") == 80
+        # data still searchable
+        hits = cluster.search("papers", SearchRequest(vector=np.ones(DIM), limit=5))
+        assert len(hits) == 5
+
+
+class TestMaintenance:
+    def test_build_index_all_shards(self):
+        cluster = Cluster.with_workers(4)
+        cluster.create_collection(config())
+        cluster.upsert("papers", points(200))
+        built = cluster.build_index("papers")
+        assert sum(sum(v) for v in built.values()) == 200
+        hits = cluster.search("papers", SearchRequest(vector=np.ones(DIM), limit=5))
+        assert len(hits) == 5
+
+    def test_create_payload_index(self):
+        cluster = Cluster.with_workers(2)
+        cluster.create_collection(config())
+        cluster.upsert("papers", points(20))
+        cluster.create_payload_index("papers", "i", kind="numeric")
+
+    def test_info(self):
+        cluster = Cluster.with_workers(2)
+        cluster.create_collection(config())
+        cluster.upsert("papers", points(20))
+        infos = cluster.info("papers")
+        assert sum(i.points_count for i in infos) == 20

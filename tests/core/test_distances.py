@@ -1,0 +1,168 @@
+"""Distance-kernel tests, including hypothesis properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core import distances
+from repro.core.types import Distance
+
+DIM = 8
+
+finite_floats = st.floats(min_value=-10.0, max_value=10.0, allow_nan=False, width=32)
+vec_strategy = arrays(np.float32, DIM, elements=finite_floats)
+mat_strategy = arrays(
+    np.float32, st.tuples(st.integers(1, 20), st.just(DIM)), elements=finite_floats
+)
+
+
+class TestNormalize:
+    def test_unit_norm(self):
+        v = distances.normalize(np.array([3.0, 4.0], dtype=np.float32))
+        assert np.isclose(np.linalg.norm(v), 1.0)
+
+    def test_zero_vector_untouched(self):
+        z = distances.normalize(np.zeros(4, dtype=np.float32))
+        assert np.all(z == 0)
+
+    @given(vec_strategy)
+    def test_idempotent(self, v):
+        once = distances.normalize(v)
+        twice = distances.normalize(once)
+        assert np.allclose(once, twice, atol=1e-5)
+
+    @given(mat_strategy)
+    def test_batch_rows_unit_or_zero(self, mat):
+        out = distances.normalize_batch(mat)
+        norms = np.linalg.norm(out, axis=1)
+        for orig, n in zip(np.linalg.norm(mat, axis=1), norms):
+            if orig > 1e-6:
+                assert np.isclose(n, 1.0, atol=1e-4)
+
+    def test_batch_in_place(self):
+        mat = np.random.default_rng(0).normal(size=(5, DIM)).astype(np.float32)
+        out = distances.normalize_batch(mat, out=mat)
+        assert out is mat
+        assert np.allclose(np.linalg.norm(mat, axis=1), 1.0, atol=1e-5)
+
+    def test_batch_rejects_1d(self):
+        with pytest.raises(ValueError):
+            distances.normalize_batch(np.zeros(4, dtype=np.float32))
+
+
+class TestScoreBatch:
+    @given(mat_strategy, vec_strategy)
+    @settings(max_examples=50)
+    def test_euclid_matches_reference(self, mat, q):
+        scores = distances.euclidean_sq(mat, q)
+        reference = np.sum((mat - q) ** 2, axis=1)
+        assert np.allclose(scores, reference, atol=1e-2)
+
+    @given(mat_strategy, vec_strategy)
+    @settings(max_examples=50)
+    def test_cosine_on_normalized_equals_dot(self, mat, q):
+        mat_n = distances.normalize_batch(mat)
+        cos = distances.score_batch(mat_n, q, Distance.COSINE, normalized_storage=True)
+        dot = distances.score_batch(mat_n, distances.normalize(q), Distance.DOT)
+        assert np.allclose(cos, dot, atol=1e-4)
+
+    def test_cosine_unnormalized_storage(self):
+        rng = np.random.default_rng(1)
+        mat = rng.normal(size=(10, DIM)).astype(np.float32) * 5
+        q = rng.normal(size=DIM).astype(np.float32)
+        cos = distances.score_batch(mat, q, Distance.COSINE, normalized_storage=False)
+        assert np.all(cos <= 1.0 + 1e-5) and np.all(cos >= -1.0 - 1e-5)
+
+    def test_cosine_zero_query(self):
+        mat = np.ones((3, DIM), dtype=np.float32)
+        out = distances.cosine_similarity(mat, np.zeros(DIM, dtype=np.float32))
+        assert np.all(out == 0)
+
+    def test_unknown_distance_raises(self):
+        with pytest.raises(ValueError):
+            distances.score_batch(np.ones((1, DIM), dtype=np.float32),
+                                  np.ones(DIM, dtype=np.float32), "bogus")
+
+
+class TestPairwise:
+    @given(mat_strategy)
+    @settings(max_examples=30)
+    def test_pairwise_matches_single(self, mat):
+        queries = mat[: min(3, len(mat))]
+        for dist in (Distance.DOT, Distance.EUCLID):
+            pair = distances.score_pairwise(mat, queries, dist)
+            for i, q in enumerate(queries):
+                single = distances.score_batch(mat, q, dist)
+                assert np.allclose(pair[i], single, atol=1e-2)
+
+    def test_pairwise_rejects_1d(self):
+        with pytest.raises(ValueError):
+            distances.score_pairwise(
+                np.ones((2, DIM), dtype=np.float32),
+                np.ones(DIM, dtype=np.float32),
+                Distance.DOT,
+            )
+
+
+class TestTopK:
+    @given(
+        arrays(np.float32, st.integers(1, 50), elements=finite_floats),
+        st.integers(1, 60),
+    )
+    def test_matches_full_sort(self, scores, k):
+        for dist in (Distance.COSINE, Distance.EUCLID):
+            idx, top = distances.top_k(scores, k, dist)
+            order = np.argsort(scores)
+            expected = order[::-1][:k] if dist.higher_is_better else order[:k]
+            # scores (not indices) must match — ties may permute indices
+            assert np.allclose(np.sort(top), np.sort(scores[expected]), atol=0)
+            # returned scores ordered best-first
+            if dist.higher_is_better:
+                assert np.all(np.diff(top) <= 0)
+            else:
+                assert np.all(np.diff(top) >= 0)
+
+    def test_k_zero(self):
+        idx, top = distances.top_k(np.ones(5, dtype=np.float32), 0, Distance.DOT)
+        assert len(idx) == 0 and len(top) == 0
+
+    def test_empty_scores(self):
+        idx, top = distances.top_k(np.empty(0, dtype=np.float32), 3, Distance.DOT)
+        assert len(idx) == 0
+
+
+class TestMergeTopK:
+    def test_merges_across_shards(self):
+        a = (np.array([1, 2]), np.array([0.9, 0.5], dtype=np.float32))
+        b = (np.array([3, 4]), np.array([0.8, 0.7], dtype=np.float32))
+        ids, scores = distances.merge_top_k([a, b], 3, Distance.COSINE)
+        assert ids.tolist() == [1, 3, 4]
+        assert np.allclose(scores, [0.9, 0.8, 0.7])
+
+    def test_empty_partials(self):
+        ids, scores = distances.merge_top_k([], 5, Distance.COSINE)
+        assert len(ids) == 0
+
+    def test_euclid_order(self):
+        a = (np.array([1]), np.array([2.0], dtype=np.float32))
+        b = (np.array([2]), np.array([1.0], dtype=np.float32))
+        ids, _ = distances.merge_top_k([a, b], 2, Distance.EUCLID)
+        assert ids.tolist() == [2, 1]
+
+    @given(st.lists(st.tuples(st.integers(0, 1000), finite_floats), min_size=0, max_size=40),
+           st.integers(1, 10))
+    def test_merge_equals_global_topk(self, pairs, k):
+        # split pairs arbitrarily into two shards
+        half = len(pairs) // 2
+        def to_arrays(chunk):
+            ids = np.array([p[0] for p in chunk], dtype=np.int64)
+            sc = np.array([p[1] for p in chunk], dtype=np.float32)
+            return ids, sc
+        merged_ids, merged_scores = distances.merge_top_k(
+            [to_arrays(pairs[:half]), to_arrays(pairs[half:])], k, Distance.COSINE
+        )
+        all_scores = np.array([p[1] for p in pairs], dtype=np.float32)
+        expected = np.sort(all_scores)[::-1][: min(k, len(pairs))]
+        assert np.allclose(np.asarray(merged_scores), expected)

@@ -1,0 +1,149 @@
+"""Filter DSL tests, including boolean-algebra properties."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.filters import (
+    FieldIn,
+    FieldMatch,
+    FieldRange,
+    Filter,
+    HasId,
+    IsEmpty,
+    matches,
+)
+
+PAYLOAD = {"tag": "a", "year": 2015, "nested": {"depth": 3}, "list": ["x", "y"], "empty": []}
+
+
+class TestFieldMatch:
+    def test_match(self):
+        assert FieldMatch("tag", "a").evaluate(1, PAYLOAD)
+        assert not FieldMatch("tag", "b").evaluate(1, PAYLOAD)
+
+    def test_missing_key(self):
+        assert not FieldMatch("nope", "a").evaluate(1, PAYLOAD)
+
+    def test_none_payload(self):
+        assert not FieldMatch("tag", "a").evaluate(1, None)
+
+    def test_dotted_path(self):
+        assert FieldMatch("nested.depth", 3).evaluate(1, PAYLOAD)
+        assert not FieldMatch("nested.missing", 3).evaluate(1, PAYLOAD)
+
+    def test_list_membership(self):
+        assert FieldMatch("list", "x").evaluate(1, PAYLOAD)
+        assert not FieldMatch("list", "z").evaluate(1, PAYLOAD)
+
+
+class TestFieldRange:
+    def test_requires_bound(self):
+        with pytest.raises(ValueError):
+            FieldRange("year")
+
+    def test_closed_bounds(self):
+        assert FieldRange("year", gte=2015, lte=2015).evaluate(1, PAYLOAD)
+
+    def test_open_bounds(self):
+        assert not FieldRange("year", gt=2015).evaluate(1, PAYLOAD)
+        assert not FieldRange("year", lt=2015).evaluate(1, PAYLOAD)
+
+    def test_non_numeric_value(self):
+        assert not FieldRange("tag", gte=0).evaluate(1, PAYLOAD)
+
+    def test_bool_is_not_numeric(self):
+        assert not FieldRange("flag", gte=0).evaluate(1, {"flag": True})
+
+
+class TestOtherConditions:
+    def test_field_in(self):
+        assert FieldIn("tag", ["a", "b"]).evaluate(1, PAYLOAD)
+        assert not FieldIn("tag", ["c"]).evaluate(1, PAYLOAD)
+
+    def test_has_id(self):
+        assert HasId([1, 2]).evaluate(1, PAYLOAD)
+        assert not HasId([2]).evaluate(1, PAYLOAD)
+
+    def test_is_empty(self):
+        assert IsEmpty("empty").evaluate(1, PAYLOAD)
+        assert IsEmpty("missing").evaluate(1, PAYLOAD)
+        assert not IsEmpty("list").evaluate(1, PAYLOAD)
+        assert not IsEmpty("year").evaluate(1, PAYLOAD)
+
+
+class TestFilter:
+    def test_trivial(self):
+        assert Filter().is_trivial()
+        assert Filter().evaluate(1, PAYLOAD)
+        assert matches(None, 1, PAYLOAD)
+
+    def test_must_all(self):
+        f = Filter(must=[FieldMatch("tag", "a"), FieldRange("year", gte=2000)])
+        assert f.evaluate(1, PAYLOAD)
+        f2 = Filter(must=[FieldMatch("tag", "a"), FieldRange("year", gte=2020)])
+        assert not f2.evaluate(1, PAYLOAD)
+
+    def test_should_any(self):
+        f = Filter(should=[FieldMatch("tag", "z"), FieldMatch("tag", "a")])
+        assert f.evaluate(1, PAYLOAD)
+        f2 = Filter(should=[FieldMatch("tag", "z")])
+        assert not f2.evaluate(1, PAYLOAD)
+
+    def test_must_not(self):
+        assert not Filter(must_not=[FieldMatch("tag", "a")]).evaluate(1, PAYLOAD)
+        assert Filter(must_not=[FieldMatch("tag", "z")]).evaluate(1, PAYLOAD)
+
+    def test_nested_filters(self):
+        inner = Filter(should=[FieldMatch("tag", "a"), FieldMatch("tag", "b")])
+        outer = Filter(must=[inner, FieldRange("year", gte=2000)])
+        assert outer.evaluate(1, PAYLOAD)
+
+
+# -- property-based boolean algebra ----------------------------------------
+
+payloads = st.fixed_dictionaries(
+    {
+        "tag": st.sampled_from(["a", "b", "c"]),
+        "year": st.integers(1990, 2030),
+    }
+)
+conditions = st.one_of(
+    st.builds(FieldMatch, st.just("tag"), st.sampled_from(["a", "b", "c"])),
+    st.builds(lambda lo: FieldRange("year", gte=lo), st.integers(1990, 2030)),
+)
+
+
+@given(conditions, payloads)
+def test_must_not_is_negation(cond, payload):
+    direct = cond.evaluate(1, payload)
+    negated = Filter(must_not=[cond]).evaluate(1, payload)
+    assert direct != negated
+
+
+@given(conditions, conditions, payloads)
+def test_must_is_conjunction(c1, c2, payload):
+    both = Filter(must=[c1, c2]).evaluate(1, payload)
+    assert both == (c1.evaluate(1, payload) and c2.evaluate(1, payload))
+
+
+@given(conditions, conditions, payloads)
+def test_should_is_disjunction(c1, c2, payload):
+    either = Filter(should=[c1, c2]).evaluate(1, payload)
+    assert either == (c1.evaluate(1, payload) or c2.evaluate(1, payload))
+
+
+@given(conditions, payloads)
+def test_double_negation(cond, payload):
+    double = Filter(must_not=[Filter(must_not=[cond])]).evaluate(1, payload)
+    assert double == cond.evaluate(1, payload)
+
+
+@given(conditions, conditions, payloads)
+def test_de_morgan(c1, c2, payload):
+    """not(A and B) == (not A) or (not B)."""
+    lhs = Filter(must_not=[Filter(must=[c1, c2])]).evaluate(1, payload)
+    rhs = Filter(
+        should=[Filter(must_not=[c1]), Filter(must_not=[c2])]
+    ).evaluate(1, payload)
+    assert lhs == rhs

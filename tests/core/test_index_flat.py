@@ -1,0 +1,83 @@
+"""Flat index tests: exactness against numpy reference."""
+
+import numpy as np
+import pytest
+
+from repro.core.index.flat import FlatIndex
+from repro.core.storage import VectorArena
+from repro.core.types import Distance
+
+DIM = 8
+
+
+def make(n=100, seed=0, distance=Distance.DOT):
+    rng = np.random.default_rng(seed)
+    data = rng.normal(size=(n, DIM)).astype(np.float32)
+    arena = VectorArena(DIM)
+    arena.extend(data)
+    index = FlatIndex(arena, distance)
+    index.build(data, np.arange(n, dtype=np.int64))
+    return arena, index, data
+
+
+class TestFlat:
+    def test_exact_top1(self):
+        _, index, data = make()
+        offsets, scores = index.search(data[42], 1)
+        assert offsets[0] == 42
+
+    def test_matches_numpy_reference(self):
+        _, index, data = make(distance=Distance.EUCLID)
+        q = np.random.default_rng(1).normal(size=DIM).astype(np.float32)
+        offsets, scores = index.search(q, 5)
+        ref = np.sum((data - q) ** 2, axis=1)
+        expected = np.argsort(ref)[:5]
+        assert set(offsets.tolist()) == set(expected.tolist())
+
+    def test_incremental_add(self):
+        arena = VectorArena(DIM)
+        index = FlatIndex(arena, Distance.DOT)
+        v = np.ones(DIM, dtype=np.float32)
+        off = arena.append(v)
+        index.add(off, v)
+        assert index.size == 1
+        offsets, _ = index.search(v, 1)
+        assert offsets[0] == off
+
+    def test_remove(self):
+        _, index, data = make(10)
+        index.remove(3)
+        offsets, _ = index.search(data[3], 10)
+        assert 3 not in offsets.tolist()
+        assert index.size == 9
+
+    def test_predicate(self):
+        _, index, data = make(50)
+        offsets, _ = index.search(data[0], 10, predicate=lambda o: o >= 25)
+        assert all(o >= 25 for o in offsets)
+
+    def test_empty_after_predicate(self):
+        _, index, data = make(10)
+        offsets, scores = index.search(data[0], 5, predicate=lambda o: False)
+        assert len(offsets) == 0
+
+    def test_search_batch_matches_single(self):
+        _, index, data = make(80)
+        queries = data[:4]
+        batched = index.search_batch(queries, 5)
+        for q, (b_off, b_sc) in zip(queries, batched):
+            s_off, s_sc = index.search(q, 5)
+            assert b_off.tolist() == s_off.tolist()
+            assert np.allclose(b_sc, s_sc)
+
+    def test_search_batch_empty_index(self):
+        arena = VectorArena(DIM)
+        index = FlatIndex(arena, Distance.DOT)
+        out = index.search_batch(np.ones((3, DIM), dtype=np.float32), 5)
+        assert all(len(o[0]) == 0 for o in out)
+
+    def test_stats_counted(self):
+        _, index, data = make(100)
+        index.stats.reset()
+        index.search(data[0], 5)
+        assert index.stats.distance_computations == 100

@@ -1,0 +1,127 @@
+"""IVF / IVF-PQ index tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import IndexNotBuiltError
+from repro.core.index.flat import FlatIndex
+from repro.core.index.ivf import IvfIndex
+from repro.core.storage import VectorArena
+from repro.core.types import Distance, IvfConfig
+
+DIM = 16
+
+
+def make(n=500, seed=0, distance=Distance.COSINE, config=None):
+    rng = np.random.default_rng(seed)
+    data = rng.normal(size=(n, DIM)).astype(np.float32)
+    if distance is Distance.COSINE:
+        data /= np.linalg.norm(data, axis=1, keepdims=True)
+    arena = VectorArena(DIM)
+    arena.extend(data)
+    index = IvfIndex(arena, distance, config or IvfConfig(n_lists=16, n_probe=4))
+    index.build(data, np.arange(n, dtype=np.int64))
+    return arena, index, data
+
+
+class TestBuild:
+    def test_requires_build_before_add(self):
+        arena = VectorArena(DIM)
+        index = IvfIndex(arena, Distance.COSINE)
+        with pytest.raises(IndexNotBuiltError):
+            index.add(0, np.ones(DIM, dtype=np.float32))
+
+    def test_requires_build_before_search(self):
+        arena = VectorArena(DIM)
+        index = IvfIndex(arena, Distance.COSINE)
+        with pytest.raises(IndexNotBuiltError):
+            index.search(np.ones(DIM, dtype=np.float32), 5)
+
+    def test_empty_build_rejected(self):
+        arena = VectorArena(DIM)
+        index = IvfIndex(arena, Distance.COSINE)
+        with pytest.raises(ValueError):
+            index.build(np.empty((0, DIM), dtype=np.float32), np.empty(0, dtype=np.int64))
+
+    def test_all_vectors_assigned(self):
+        _, index, _ = make()
+        assert int(index.list_sizes().sum()) == 500
+        assert index.size == 500
+
+    def test_lists_clamped_to_n(self):
+        _, index, _ = make(n=5, config=IvfConfig(n_lists=64))
+        assert index.n_lists <= 5
+
+    def test_incremental_add_after_build(self):
+        arena, index, _ = make()
+        v = np.random.default_rng(9).normal(size=DIM).astype(np.float32)
+        v /= np.linalg.norm(v)
+        off = arena.append(v)
+        index.add(off, v)
+        assert index.size == 501
+        offsets, _ = index.search(v, 1, nprobe=16)
+        assert offsets[0] == off
+
+
+class TestSearch:
+    def test_full_probe_is_exact(self):
+        arena, index, data = make()
+        flat = FlatIndex(arena, Distance.COSINE)
+        flat.build(data, np.arange(500, dtype=np.int64))
+        q = data[7]
+        exact = flat.search(q, 10)[0].tolist()
+        ivf = index.search(q, 10, nprobe=index.n_lists)[0].tolist()
+        assert exact == ivf
+
+    def test_recall_reasonable_at_partial_probe(self):
+        arena, index, data = make(seed=3)
+        flat = FlatIndex(arena, Distance.COSINE)
+        flat.build(data, np.arange(500, dtype=np.int64))
+        rng = np.random.default_rng(5)
+        recalls = []
+        for _ in range(15):
+            q = rng.normal(size=DIM).astype(np.float32)
+            exact = set(flat.search(q, 10)[0].tolist())
+            approx = set(index.search(q, 10, nprobe=8)[0].tolist())
+            recalls.append(len(exact & approx) / 10)
+        assert np.mean(recalls) >= 0.6
+
+    def test_predicate(self):
+        _, index, data = make()
+        offsets, _ = index.search(data[0], 10, predicate=lambda o: o < 100, nprobe=16)
+        assert all(o < 100 for o in offsets)
+
+    def test_empty_result_under_impossible_predicate(self):
+        _, index, data = make()
+        offsets, _ = index.search(data[0], 5, predicate=lambda o: False)
+        assert len(offsets) == 0
+
+
+class TestIvfPq:
+    def test_pq_search_with_rescore(self):
+        config = IvfConfig(n_lists=8, n_probe=8, pq_m=4, pq_bits=6)
+        arena, index, data = make(n=400, config=config)
+        q = data[11]
+        offsets, scores = index.search(q, 10, rescore=True)
+        assert 11 in offsets.tolist()[:3]  # self should be near the top
+
+    def test_pq_without_rescore_still_ranked(self):
+        config = IvfConfig(n_lists=8, n_probe=8, pq_m=4, pq_bits=6)
+        _, index, data = make(n=400, config=config)
+        offsets, scores = index.search(data[0], 10, rescore=False)
+        assert len(offsets) == 10
+        assert np.all(np.diff(scores) <= 1e-5)  # similarity descending
+
+    def test_pq_recall_floor(self):
+        config = IvfConfig(n_lists=8, n_probe=8, pq_m=8, pq_bits=8)
+        arena, index, data = make(n=400, seed=2, config=config)
+        flat = FlatIndex(arena, Distance.COSINE)
+        flat.build(data, np.arange(400, dtype=np.int64))
+        rng = np.random.default_rng(6)
+        recalls = []
+        for _ in range(10):
+            q = rng.normal(size=DIM).astype(np.float32)
+            exact = set(flat.search(q, 10)[0].tolist())
+            approx = set(index.search(q, 10)[0].tolist())
+            recalls.append(len(exact & approx) / 10)
+        assert np.mean(recalls) >= 0.5

@@ -1,0 +1,90 @@
+"""KD-tree tests: exact mode must equal brute force (property-based)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.index.flat import FlatIndex
+from repro.core.index.kdtree import KdTreeIndex
+from repro.core.storage import VectorArena
+from repro.core.types import Distance
+
+DIM = 6
+
+
+def make(n=300, seed=0, distance=Distance.EUCLID, leaf_size=16):
+    rng = np.random.default_rng(seed)
+    data = rng.normal(size=(n, DIM)).astype(np.float32)
+    if distance is Distance.COSINE:
+        data /= np.linalg.norm(data, axis=1, keepdims=True)
+    arena = VectorArena(DIM)
+    arena.extend(data)
+    index = KdTreeIndex(arena, distance, leaf_size=leaf_size)
+    index.build(data, np.arange(n, dtype=np.int64))
+    return arena, index, data
+
+
+class TestBuild:
+    def test_rejects_dot(self):
+        with pytest.raises(ValueError):
+            KdTreeIndex(VectorArena(DIM), Distance.DOT)
+
+    def test_no_incremental_add(self):
+        arena, index, _ = make()
+        with pytest.raises(NotImplementedError):
+            index.add(0, np.zeros(DIM, dtype=np.float32))
+        assert not index.supports_incremental_add
+
+    def test_depth_logarithmic(self):
+        _, index, _ = make(n=1000)
+        assert index.depth() <= 16
+
+    def test_identical_points(self):
+        arena = VectorArena(DIM)
+        data = np.ones((100, DIM), dtype=np.float32)
+        arena.extend(data)
+        index = KdTreeIndex(arena, Distance.EUCLID)
+        index.build(data, np.arange(100, dtype=np.int64))
+        offsets, scores = index.search(np.ones(DIM, dtype=np.float32), 5)
+        assert len(offsets) == 5
+        assert np.allclose(scores, 0.0)
+
+
+class TestExactness:
+    @given(st.integers(5, 200), st.integers(1, 15), st.integers(0, 5))
+    @settings(max_examples=20, deadline=None)
+    def test_exact_equals_brute_force(self, n, k, seed):
+        arena, index, data = make(n=n, seed=seed)
+        flat = FlatIndex(arena, Distance.EUCLID)
+        flat.build(data, np.arange(n, dtype=np.int64))
+        q = np.random.default_rng(seed + 100).normal(size=DIM).astype(np.float32)
+        kd_off, kd_scores = index.search(q, k, exact=True)
+        fl_off, fl_scores = flat.search(q, k)
+        assert np.allclose(np.sort(kd_scores), np.sort(fl_scores), atol=1e-3)
+
+    def test_cosine_mode(self):
+        arena, index, data = make(distance=Distance.COSINE)
+        flat = FlatIndex(arena, Distance.COSINE)
+        flat.build(data, np.arange(300, dtype=np.int64))
+        q = np.random.default_rng(1).normal(size=DIM).astype(np.float32)
+        kd = index.search(q, 10, exact=True)[0].tolist()
+        fl = flat.search(q, 10)[0].tolist()
+        assert set(kd) == set(fl)
+
+    def test_approximate_mode_bounded_leaves(self):
+        _, index, data = make(n=2000, leaf_size=8)
+        index.stats.reset()
+        offsets, _ = index.search(data[5], 10, exact=False, max_leaves=4)
+        assert len(offsets) == 10
+        assert index.stats.distance_computations <= 4 * 8 + 8
+
+    def test_predicate(self):
+        _, index, data = make()
+        offsets, _ = index.search(data[0], 10, predicate=lambda o: o % 3 == 0)
+        assert all(o % 3 == 0 for o in offsets)
+
+    def test_k_zero(self):
+        _, index, data = make()
+        offsets, _ = index.search(data[0], 0)
+        assert len(offsets) == 0

@@ -1,0 +1,56 @@
+"""Index factory tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.index import INDEX_KINDS, make_index
+from repro.core.index.flat import FlatIndex
+from repro.core.index.hnsw import HnswIndex
+from repro.core.index.ivf import IvfIndex
+from repro.core.index.kdtree import KdTreeIndex
+from repro.core.storage import VectorArena
+from repro.core.types import CollectionConfig, Distance, VectorParams
+
+CONFIG = CollectionConfig("r", VectorParams(size=4, distance=Distance.COSINE))
+
+
+def test_all_kinds_constructible():
+    arena = VectorArena(4)
+    expected = {"flat": FlatIndex, "hnsw": HnswIndex, "ivf": IvfIndex, "kdtree": KdTreeIndex}
+    assert set(INDEX_KINDS) == set(expected)
+    for kind, cls in expected.items():
+        index = make_index(kind, arena, CONFIG)
+        assert isinstance(index, cls)
+        assert index.distance is Distance.COSINE
+
+
+def test_unknown_kind():
+    with pytest.raises(ValueError, match="unknown index kind"):
+        make_index("annoy", VectorArena(4), CONFIG)
+
+
+def test_config_params_propagate():
+    arena = VectorArena(4)
+    hnsw = make_index("hnsw", arena, CONFIG)
+    assert hnsw.config.m == CONFIG.hnsw.m
+    ivf = make_index("ivf", arena, CONFIG)
+    assert ivf.config.n_lists == CONFIG.ivf.n_lists
+
+
+def test_collection_build_index_kinds():
+    """Every buildable kind works through Collection.build_index."""
+    from repro.core import Collection, OptimizerConfig, PointStruct, SearchRequest
+
+    rng = np.random.default_rng(0)
+    for kind in ("flat", "hnsw", "ivf", "kdtree"):
+        col = Collection(
+            CollectionConfig(
+                "k", VectorParams(size=8, distance=Distance.COSINE),
+                optimizer=OptimizerConfig(indexing_threshold=0),
+            )
+        )
+        col.upsert([PointStruct(id=i, vector=rng.normal(size=8)) for i in range(120)])
+        report = col.build_index(kind)
+        assert report.vectors_indexed == 120
+        hits = col.search(SearchRequest(vector=rng.normal(size=8), limit=5))
+        assert len(hits) == 5

@@ -1,0 +1,123 @@
+"""k-means and product-quantization tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.index.kmeans import assign_clusters, kmeans
+from repro.core.index.pq import ProductQuantizer
+
+
+class TestKmeans:
+    def test_separated_clusters_recovered(self):
+        rng = np.random.default_rng(0)
+        centers = np.array([[0, 0], [10, 10], [-10, 10]], dtype=np.float32)
+        data = np.concatenate(
+            [c + 0.1 * rng.normal(size=(50, 2)).astype(np.float32) for c in centers]
+        )
+        centroids, assignments = kmeans(data, 3, seed=1)
+        # each true cluster maps to exactly one learned centroid
+        for i in range(3):
+            block = assignments[i * 50 : (i + 1) * 50]
+            assert len(set(block.tolist())) == 1
+        assert len(set(assignments.tolist())) == 3
+
+    def test_k_clamped(self):
+        data = np.random.default_rng(1).normal(size=(3, 4)).astype(np.float32)
+        centroids, assignments = kmeans(data, 10)
+        assert centroids.shape[0] == 3
+
+    def test_empty_data_rejected(self):
+        with pytest.raises(ValueError):
+            kmeans(np.empty((0, 4), dtype=np.float32), 2)
+
+    def test_deterministic(self):
+        data = np.random.default_rng(2).normal(size=(100, 8)).astype(np.float32)
+        c1, a1 = kmeans(data, 5, seed=42)
+        c2, a2 = kmeans(data, 5, seed=42)
+        assert np.array_equal(a1, a2) and np.allclose(c1, c2)
+
+    def test_assign_matches_nearest(self):
+        data = np.random.default_rng(3).normal(size=(50, 4)).astype(np.float32)
+        centroids = np.random.default_rng(4).normal(size=(6, 4)).astype(np.float32)
+        assigned = assign_clusters(data, centroids)
+        ref = np.argmin(
+            np.sum((data[:, None, :] - centroids[None, :, :]) ** 2, axis=2), axis=1
+        )
+        assert np.array_equal(assigned, ref)
+
+    @given(st.integers(2, 30), st.integers(1, 8))
+    @settings(max_examples=15, deadline=None)
+    def test_inertia_no_worse_than_random_assignment(self, n, k):
+        data = np.random.default_rng(n).normal(size=(n, 4)).astype(np.float32)
+        centroids, assignments = kmeans(data, k, seed=0)
+        inertia = float(np.sum((data - centroids[assignments]) ** 2))
+        rng = np.random.default_rng(1)
+        random_assign = rng.integers(0, centroids.shape[0], size=n)
+        random_inertia = float(np.sum((data - centroids[random_assign]) ** 2))
+        assert inertia <= random_inertia + 1e-4
+
+
+class TestProductQuantizer:
+    def test_dim_divisibility(self):
+        with pytest.raises(ValueError):
+            ProductQuantizer(10, m=3)
+
+    def test_bits_range(self):
+        with pytest.raises(ValueError):
+            ProductQuantizer(8, m=2, bits=0)
+
+    def test_requires_training(self):
+        pq = ProductQuantizer(8, m=2)
+        with pytest.raises(RuntimeError):
+            pq.encode(np.zeros(8, dtype=np.float32))
+
+    def test_roundtrip_shapes(self):
+        pq = ProductQuantizer(16, m=4, bits=4)
+        data = np.random.default_rng(0).normal(size=(200, 16)).astype(np.float32)
+        pq.train(data)
+        codes = pq.encode(data)
+        assert codes.shape == (200, 4) and codes.dtype == np.uint8
+        recon = pq.decode(codes)
+        assert recon.shape == (200, 16)
+
+    def test_single_vector_roundtrip(self):
+        pq = ProductQuantizer(8, m=2, bits=4)
+        data = np.random.default_rng(1).normal(size=(100, 8)).astype(np.float32)
+        pq.train(data)
+        code = pq.encode(data[0])
+        assert code.shape == (2,)
+        assert pq.decode(code).shape == (8,)
+
+    def test_more_bits_lower_error(self):
+        data = np.random.default_rng(2).normal(size=(400, 16)).astype(np.float32)
+        errors = []
+        for bits in (2, 4, 6):
+            pq = ProductQuantizer(16, m=4, bits=bits)
+            pq.train(data)
+            errors.append(pq.reconstruction_error(data))
+        assert errors[0] > errors[1] > errors[2]
+
+    def test_adc_close_to_true_distance(self):
+        data = np.random.default_rng(3).normal(size=(300, 16)).astype(np.float32)
+        pq = ProductQuantizer(16, m=4, bits=8)
+        pq.train(data)
+        codes = pq.encode(data)
+        q = data[0]
+        table = pq.adc_table(q)
+        adc = ProductQuantizer.adc_scores(table, codes)
+        true = np.sum((data - q) ** 2, axis=1)
+        # ADC approximates true distances; correlation should be strong
+        corr = np.corrcoef(adc, true)[0, 1]
+        assert corr > 0.9
+
+    def test_adc_table_shape(self):
+        pq = ProductQuantizer(8, m=2, bits=3)
+        data = np.random.default_rng(4).normal(size=(50, 8)).astype(np.float32)
+        pq.train(data)
+        assert pq.adc_table(data[0]).shape == (2, 8)
+
+    def test_uint16_codes_for_wide_books(self):
+        pq = ProductQuantizer(8, m=2, bits=10)
+        assert pq.code_dtype == np.uint16

@@ -1,0 +1,142 @@
+"""Named-vector (multi-space) collection tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import Distance, FieldMatch, VectorParams
+from repro.core.errors import BadRequestError
+from repro.core.multivector import (
+    MultiVectorCollection,
+    MultiVectorPoint,
+    rrf_fuse,
+)
+from repro.core.types import ScoredPoint
+
+TITLE_DIM = 8
+BODY_DIM = 16
+
+
+def make(n=50, seed=0) -> MultiVectorCollection:
+    col = MultiVectorCollection(
+        "papers",
+        {
+            "title": VectorParams(size=TITLE_DIM, distance=Distance.COSINE),
+            "body": VectorParams(size=BODY_DIM, distance=Distance.COSINE),
+        },
+    )
+    rng = np.random.default_rng(seed)
+    col.upsert([
+        MultiVectorPoint(
+            id=i,
+            vectors={
+                "title": rng.normal(size=TITLE_DIM),
+                "body": rng.normal(size=BODY_DIM),
+            },
+            payload={"group": i % 3},
+        )
+        for i in range(n)
+    ])
+    return col
+
+
+class TestBasics:
+    def test_requires_spaces(self):
+        with pytest.raises(BadRequestError):
+            MultiVectorCollection("x", {})
+
+    def test_len_and_spaces(self):
+        col = make()
+        assert len(col) == 50
+        assert col.space_names == ["title", "body"]
+
+    def test_missing_space_vector_rejected(self):
+        col = make(1)
+        with pytest.raises(BadRequestError):
+            col.upsert([MultiVectorPoint(id=99, vectors={"title": np.ones(TITLE_DIM)})])
+
+    def test_unknown_space_rejected(self):
+        col = make(5)
+        with pytest.raises(BadRequestError):
+            col.search(np.ones(TITLE_DIM), using="abstract")
+
+    def test_retrieve_with_all_vectors(self):
+        col = make(5)
+        rec = col.retrieve(3, with_vectors=True)
+        assert rec.payload == {"group": 0}
+        assert rec.vectors["title"].shape == (TITLE_DIM,)
+        assert rec.vectors["body"].shape == (BODY_DIM,)
+
+    def test_delete_removes_from_all_spaces(self):
+        col = make(10)
+        col.delete([4])
+        assert len(col) == 9
+        hits = col.search(np.ones(BODY_DIM), using="body", limit=10)
+        assert 4 not in [h.id for h in hits]
+
+    def test_set_payload(self):
+        col = make(5)
+        col.set_payload(2, {"group": 99})
+        assert col.retrieve(2).payload == {"group": 99}
+
+
+class TestSearch:
+    def test_per_space_search_dimensions(self):
+        col = make()
+        title_hits = col.search(np.ones(TITLE_DIM), using="title", limit=5)
+        body_hits = col.search(np.ones(BODY_DIM), using="body", limit=5)
+        assert len(title_hits) == len(body_hits) == 5
+        # different spaces rank differently (with overwhelming probability)
+        assert [h.id for h in title_hits] != [h.id for h in body_hits]
+
+    def test_self_query_per_space(self):
+        col = make()
+        rec = col.retrieve(7, with_vectors=True)
+        assert col.search(rec.vectors["body"], using="body", limit=1)[0].id == 7
+        assert col.search(rec.vectors["title"], using="title", limit=1)[0].id == 7
+
+    def test_filter_on_primary_payload(self):
+        col = make()
+        hits = col.search(
+            np.ones(TITLE_DIM), using="title", limit=5,
+            filter=FieldMatch("group", 1), with_payload=True,
+        )
+        assert hits and all(h.payload["group"] == 1 for h in hits)
+
+    def test_filter_on_secondary_space(self):
+        col = make()
+        hits = col.search(
+            np.ones(BODY_DIM), using="body", limit=5,
+            filter=FieldMatch("group", 2), with_payload=True,
+        )
+        assert hits and all(h.payload["group"] == 2 for h in hits)
+
+    def test_index_build_all_spaces(self):
+        col = make(200)
+        col.build_index("hnsw")
+        rec = col.retrieve(11, with_vectors=True)
+        assert col.search(rec.vectors["body"], using="body", limit=1)[0].id == 11
+
+
+class TestFusion:
+    def test_rrf_basics(self):
+        a = [ScoredPoint(id=1, score=0.9), ScoredPoint(id=2, score=0.5)]
+        b = [ScoredPoint(id=2, score=0.8), ScoredPoint(id=3, score=0.4)]
+        fused = rrf_fuse({"a": a, "b": b}, limit=3)
+        assert fused[0].id == 2  # appears in both rankings
+        assert {h.id for h in fused} == {1, 2, 3}
+
+    def test_rrf_weights(self):
+        a = [ScoredPoint(id=1, score=0.9)]
+        b = [ScoredPoint(id=2, score=0.9)]
+        fused = rrf_fuse({"a": a, "b": b}, weights={"a": 10.0, "b": 1.0}, limit=2)
+        assert fused[0].id == 1
+
+    def test_fused_search_end_to_end(self):
+        col = make()
+        rec = col.retrieve(13, with_vectors=True)
+        fused = col.search_fused(
+            {"title": rec.vectors["title"], "body": rec.vectors["body"]},
+            limit=5, with_payload=True,
+        )
+        assert fused[0].id == 13  # tops both rankings
+        assert fused[0].payload == {"group": 13 % 3}

@@ -1,0 +1,132 @@
+"""SegmentOptimizer pass tests."""
+
+import numpy as np
+
+from repro.core.optimizer import SegmentOptimizer
+from repro.core.segment import Segment
+from repro.core.types import (
+    CollectionConfig,
+    Distance,
+    OptimizerConfig,
+    PointStruct,
+    VectorParams,
+)
+
+DIM = 8
+
+
+def config(**opt_kwargs):
+    return CollectionConfig(
+        "opt", VectorParams(size=DIM, distance=Distance.EUCLID),
+        optimizer=OptimizerConfig(**opt_kwargs),
+    )
+
+
+def seg_with(cfg, n, start=0):
+    seg = Segment(cfg)
+    rng = np.random.default_rng(start)
+    seg.upsert_batch(
+        [PointStruct(id=start + i, vector=rng.normal(size=DIM)) for i in range(n)]
+    )
+    return seg
+
+
+class TestIndexingPass:
+    def test_indexes_above_threshold(self):
+        cfg = config(indexing_threshold=50)
+        optimizer = SegmentOptimizer(cfg)
+        segments = [seg_with(cfg, 80)]
+        segments, report = optimizer.run(segments)
+        assert report.segments_indexed == 1
+        assert report.vectors_indexed == 80
+        assert report.index_builds == [(segments[0].segment_id, 80)]
+        assert segments[0].is_indexed and segments[0].is_sealed
+
+    def test_below_threshold_untouched(self):
+        cfg = config(indexing_threshold=50)
+        optimizer = SegmentOptimizer(cfg)
+        segments, report = optimizer.run([seg_with(cfg, 20)])
+        assert report.segments_indexed == 0
+        assert not segments[0].is_indexed
+
+    def test_zero_threshold_disables(self):
+        cfg = config(indexing_threshold=0)
+        optimizer = SegmentOptimizer(cfg)
+        segments, report = optimizer.run([seg_with(cfg, 500)])
+        assert report.segments_indexed == 0
+        assert not segments[0].is_indexed
+
+    def test_already_indexed_skipped(self):
+        cfg = config(indexing_threshold=10)
+        optimizer = SegmentOptimizer(cfg)
+        segments, _ = optimizer.run([seg_with(cfg, 20)])
+        segments, report2 = optimizer.run(segments)
+        assert report2.segments_indexed == 0
+
+
+class TestVacuumPass:
+    def test_vacuum_triggered_by_ratio(self):
+        cfg = config(indexing_threshold=0, vacuum_min_deleted_ratio=0.2)
+        optimizer = SegmentOptimizer(cfg)
+        seg = seg_with(cfg, 20)
+        for i in range(10):
+            seg.delete(i)
+        segments, report = optimizer.run([seg])
+        assert report.segments_vacuumed == 1
+        assert segments[0].deleted_ratio == 0.0
+        assert len(segments[0]) == 10
+
+    def test_no_vacuum_below_ratio(self):
+        cfg = config(indexing_threshold=0, vacuum_min_deleted_ratio=0.5)
+        optimizer = SegmentOptimizer(cfg)
+        seg = seg_with(cfg, 20)
+        seg.delete(0)
+        segments, report = optimizer.run([seg])
+        assert report.segments_vacuumed == 0
+        assert segments[0] is seg
+
+    def test_fully_deleted_segment_dropped(self):
+        cfg = config(indexing_threshold=0, vacuum_min_deleted_ratio=0.2)
+        optimizer = SegmentOptimizer(cfg)
+        seg = seg_with(cfg, 5)
+        for i in range(5):
+            seg.delete(i)
+        segments, report = optimizer.run([seg])
+        assert report.segments_vacuumed == 1
+        assert segments == []
+
+
+class TestMergePass:
+    def test_merges_small_segments(self):
+        cfg = config(indexing_threshold=0, max_segments=2, merge_threshold=100)
+        optimizer = SegmentOptimizer(cfg)
+        segments = [seg_with(cfg, 5, start=i * 10) for i in range(4)]
+        merged, report = optimizer.run(segments)
+        assert report.segments_merged == 4
+        assert len(merged) == 1
+        assert len(merged[0]) == 20
+
+    def test_no_merge_under_max_segments(self):
+        cfg = config(indexing_threshold=0, max_segments=8, merge_threshold=100)
+        optimizer = SegmentOptimizer(cfg)
+        segments = [seg_with(cfg, 5, start=i * 10) for i in range(3)]
+        merged, report = optimizer.run(segments)
+        assert report.segments_merged == 0
+        assert len(merged) == 3
+
+    def test_big_segments_not_merged(self):
+        cfg = config(indexing_threshold=0, max_segments=1, merge_threshold=3)
+        optimizer = SegmentOptimizer(cfg)
+        segments = [seg_with(cfg, 10, start=i * 100) for i in range(3)]
+        merged, report = optimizer.run(segments)
+        assert report.segments_merged == 0  # all above merge_threshold
+
+
+class TestReport:
+    def test_did_work_flag(self):
+        cfg = config(indexing_threshold=10)
+        optimizer = SegmentOptimizer(cfg)
+        _, report = optimizer.run([seg_with(cfg, 20)])
+        assert report.did_work
+        _, report2 = optimizer.run([])
+        assert not report2.did_work

@@ -1,0 +1,134 @@
+"""PayloadStore + secondary index tests."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.filters import FieldIn, FieldMatch, FieldRange, Filter, HasId
+from repro.core.payload import KeywordIndex, NumericIndex, PayloadStore
+
+
+class TestKeywordIndex:
+    def test_add_lookup_remove(self):
+        idx = KeywordIndex("tag")
+        idx.add(1, "a")
+        idx.add(2, "a")
+        idx.add(3, "b")
+        assert idx.lookup("a") == {1, 2}
+        idx.remove(1, "a")
+        assert idx.lookup("a") == {2}
+        assert idx.cardinality("b") == 1
+
+    def test_list_values(self):
+        idx = KeywordIndex("tags")
+        idx.add(1, ["x", "y"])
+        assert idx.lookup("x") == {1} and idx.lookup("y") == {1}
+        idx.remove(1, ["x", "y"])
+        assert idx.lookup("x") == set()
+
+    def test_lookup_many(self):
+        idx = KeywordIndex("tag")
+        idx.add(1, "a")
+        idx.add(2, "b")
+        assert idx.lookup_many(["a", "b", "z"]) == {1, 2}
+
+
+class TestNumericIndex:
+    def test_range_bounds(self):
+        idx = NumericIndex("year")
+        for pid, year in [(1, 2000), (2, 2010), (3, 2020)]:
+            idx.add(pid, year)
+        assert idx.range(gte=2005) == {2, 3}
+        assert idx.range(gt=2010) == {3}
+        assert idx.range(lte=2010) == {1, 2}
+        assert idx.range(gte=2000, lt=2020) == {1, 2}
+
+    def test_remove(self):
+        idx = NumericIndex("year")
+        idx.add(1, 5)
+        idx.remove(1, 5)
+        assert idx.range(gte=0) == set()
+
+    def test_ignores_non_numeric(self):
+        idx = NumericIndex("year")
+        idx.add(1, "not-a-number")
+        idx.add(2, True)
+        assert idx.range(gte=0) == set()
+
+
+class TestPayloadStore:
+    def test_set_get_delete(self):
+        store = PayloadStore()
+        store.set(1, {"a": 1})
+        assert store.get(1) == {"a": 1}
+        store.delete(1)
+        assert store.get(1) is None
+
+    def test_set_copies_payload(self):
+        store = PayloadStore()
+        original = {"a": 1}
+        store.set(1, original)
+        original["a"] = 99
+        assert store.get(1) == {"a": 1}
+
+    def test_overwrite_reindexes(self):
+        store = PayloadStore()
+        store.create_keyword_index("tag")
+        store.set(1, {"tag": "x"})
+        store.set(1, {"tag": "y"})
+        assert store.prefilter_candidates(FieldMatch("tag", "x")) == set()
+        assert store.prefilter_candidates(FieldMatch("tag", "y")) == {1}
+
+    def test_index_backfills_existing(self):
+        store = PayloadStore()
+        store.set(1, {"tag": "x"})
+        store.create_keyword_index("tag")
+        assert store.prefilter_candidates(FieldMatch("tag", "x")) == {1}
+
+    def test_prefilter_none_without_index(self):
+        store = PayloadStore()
+        store.set(1, {"tag": "x"})
+        assert store.prefilter_candidates(FieldMatch("tag", "x")) is None
+
+    def test_prefilter_has_id(self):
+        store = PayloadStore()
+        assert store.prefilter_candidates(HasId([3, 4])) == {3, 4}
+
+    def test_prefilter_intersects_must(self):
+        store = PayloadStore()
+        store.create_keyword_index("tag")
+        store.create_numeric_index("year")
+        store.set(1, {"tag": "a", "year": 2000})
+        store.set(2, {"tag": "a", "year": 2020})
+        store.set(3, {"tag": "b", "year": 2020})
+        f = Filter(must=[FieldMatch("tag", "a"), FieldRange("year", gte=2010)])
+        assert store.prefilter_candidates(f) == {2}
+
+    def test_prefilter_field_in(self):
+        store = PayloadStore()
+        store.create_keyword_index("tag")
+        store.set(1, {"tag": "a"})
+        store.set(2, {"tag": "b"})
+        assert store.prefilter_candidates(FieldIn("tag", ["a", "b"])) == {1, 2}
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 30), st.sampled_from(["a", "b"]), st.integers(0, 100)),
+        max_size=40,
+    )
+)
+def test_prefilter_is_consistent_with_evaluation(entries):
+    """Indexed prefilter must equal brute-force evaluation over all points."""
+    store = PayloadStore()
+    store.create_keyword_index("tag")
+    store.create_numeric_index("year")
+    seen = {}
+    for pid, tag, year in entries:
+        store.set(pid, {"tag": tag, "year": year})
+        seen[pid] = {"tag": tag, "year": year}
+    flt = Filter(must=[FieldMatch("tag", "a"), FieldRange("year", gte=50)])
+    candidates = store.prefilter_candidates(flt)
+    brute = {pid for pid in seen if store.evaluate(flt, pid)}
+    assert candidates is not None
+    assert brute == {pid for pid in candidates if store.evaluate(flt, pid)}
+    assert brute <= candidates  # prefilter is a superset guarantee

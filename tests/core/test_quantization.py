@@ -1,0 +1,87 @@
+"""ScalarQuantizer codec tests (direct, plus hypothesis round-trip bounds)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.quantization import ScalarQuantizer
+
+
+class TestValidation:
+    def test_quantile_range(self):
+        with pytest.raises(ValueError):
+            ScalarQuantizer(quantile=0.4)
+        with pytest.raises(ValueError):
+            ScalarQuantizer(quantile=1.5)
+
+    def test_untrained_usage(self):
+        q = ScalarQuantizer()
+        with pytest.raises(RuntimeError):
+            q.encode(np.zeros(4, dtype=np.float32))
+        with pytest.raises(RuntimeError):
+            q.decode(np.zeros(4, dtype=np.uint8))
+        with pytest.raises(RuntimeError):
+            _ = q.range
+
+    def test_empty_training(self):
+        with pytest.raises(ValueError):
+            ScalarQuantizer().train(np.empty((0, 4), dtype=np.float32))
+
+
+class TestCodec:
+    def test_roundtrip_error_bounded_by_step(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(size=(500, 16)).astype(np.float32)
+        q = ScalarQuantizer(quantile=1.0)  # no clipping
+        q.train(data)
+        lo, hi = q.range
+        step = (hi - lo) / 255.0
+        recon = q.decode(q.encode(data))
+        assert float(np.max(np.abs(recon - data))) <= step / 2 + 1e-6
+
+    def test_clipping_outliers(self):
+        data = np.concatenate([np.zeros(990), np.full(10, 100.0)]).astype(np.float32)
+        q = ScalarQuantizer(quantile=0.95)
+        q.train(data[None, :])
+        lo, hi = q.range
+        assert hi < 100.0  # outliers clipped out of the range
+
+    def test_codes_are_uint8(self):
+        data = np.random.default_rng(1).normal(size=(50, 8)).astype(np.float32)
+        q = ScalarQuantizer()
+        q.train(data)
+        codes = q.encode(data)
+        assert codes.dtype == np.uint8
+
+    def test_constant_data(self):
+        data = np.full((10, 4), 3.0, dtype=np.float32)
+        q = ScalarQuantizer()
+        q.train(data)
+        recon = q.decode(q.encode(data))
+        assert np.allclose(recon, 3.0, atol=1e-3)
+
+    def test_compression_ratio(self):
+        assert ScalarQuantizer().compression_ratio == 4.0
+
+    def test_quantization_error_small_for_smooth_data(self):
+        data = np.random.default_rng(2).uniform(-1, 1, size=(200, 32)).astype(np.float32)
+        q = ScalarQuantizer()
+        q.train(data)
+        assert q.quantization_error(data) < 1e-4
+
+    @given(arrays(np.float32, (20, 8),
+                  elements=st.floats(-50, 50, allow_nan=False, width=32)))
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_preserves_ranking_roughly(self, data):
+        """Quantized dot-product ranking correlates with the exact one."""
+        q = ScalarQuantizer(quantile=1.0)
+        q.train(data)
+        recon = q.decode(q.encode(data))
+        query = data[0]
+        exact = data @ query
+        approx = recon @ query
+        if np.std(exact) > 1e-3:
+            corr = np.corrcoef(exact, approx)[0, 1]
+            assert corr > 0.99

@@ -1,0 +1,125 @@
+"""Recommend API tests (collection-level and distributed)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Collection,
+    CollectionConfig,
+    Distance,
+    FieldMatch,
+    OptimizerConfig,
+    PointStruct,
+    VectorParams,
+)
+from repro.core.cluster import Cluster
+from repro.core.errors import BadRequestError
+from repro.core.recommend import RecommendRequest, build_recommend_vector
+
+DIM = 16
+
+
+def config(name="rec"):
+    return CollectionConfig(
+        name, VectorParams(size=DIM, distance=Distance.COSINE),
+        optimizer=OptimizerConfig(indexing_threshold=0),
+    )
+
+
+@pytest.fixture
+def clustered_collection():
+    """Two well-separated clusters of points: ids 0-49 near +e0, 50-99 near +e1."""
+    rng = np.random.default_rng(0)
+    points = []
+    for i in range(50):
+        v = np.zeros(DIM)
+        v[0] = 1.0
+        points.append(PointStruct(id=i, vector=v + 0.05 * rng.normal(size=DIM),
+                                  payload={"cluster": "a"}))
+    for i in range(50, 100):
+        v = np.zeros(DIM)
+        v[1] = 1.0
+        points.append(PointStruct(id=i, vector=v + 0.05 * rng.normal(size=DIM),
+                                  payload={"cluster": "b"}))
+    col = Collection(config())
+    col.upsert(points)
+    return col
+
+
+class TestRequestValidation:
+    def test_requires_positive(self):
+        with pytest.raises(BadRequestError):
+            RecommendRequest(positive=[])
+
+    def test_unknown_strategy(self):
+        with pytest.raises(BadRequestError):
+            RecommendRequest(positive=[1], strategy="bogus")
+
+    def test_example_ids_mixed(self):
+        req = RecommendRequest(positive=[1, np.zeros(DIM)], negative=[2])
+        assert req.example_ids() == {1, 2}
+
+
+class TestAverageVector:
+    def test_positive_only_finds_cluster(self, clustered_collection):
+        req = RecommendRequest(positive=[0, 1, 2], limit=10)
+        hits = clustered_collection.recommend(req)
+        assert len(hits) == 10
+        assert all(h.id < 50 for h in hits)          # stays in cluster a
+        assert all(h.id not in (0, 1, 2) for h in hits)  # examples excluded
+
+    def test_negative_pushes_away(self, clustered_collection):
+        # positive in cluster a, negative in cluster a too -> target drifts;
+        # positive a + negative b must stay firmly in a
+        req = RecommendRequest(positive=[0], negative=[60], limit=10)
+        hits = clustered_collection.recommend(req)
+        assert all(h.id < 50 for h in hits)
+
+    def test_raw_vector_examples(self, clustered_collection):
+        v = np.zeros(DIM)
+        v[1] = 1.0
+        req = RecommendRequest(positive=[v], limit=5)
+        hits = clustered_collection.recommend(req)
+        assert all(h.id >= 50 for h in hits)
+
+    def test_with_filter(self, clustered_collection):
+        req = RecommendRequest(
+            positive=[0], limit=5, filter=FieldMatch("cluster", "b"), with_payload=True
+        )
+        hits = clustered_collection.recommend(req)
+        assert all(h.payload["cluster"] == "b" for h in hits)
+
+    def test_rocchio_vector(self, clustered_collection):
+        lookup = lambda pid: clustered_collection.retrieve(pid, with_vector=True).vector
+        req = RecommendRequest(positive=[0], negative=[60])
+        target = build_recommend_vector(req, lookup)
+        pos = lookup(0)
+        neg = lookup(60)
+        assert np.allclose(target, pos + (pos - neg), atol=1e-6)
+
+
+class TestBestScore:
+    def test_best_score_ranks_cluster(self, clustered_collection):
+        req = RecommendRequest(positive=[0, 1], negative=[60], limit=8,
+                               strategy="best_score")
+        hits = clustered_collection.recommend(req)
+        assert len(hits) == 8
+        assert all(h.id < 50 for h in hits)
+        scores = [h.score for h in hits]
+        assert scores == sorted(scores, reverse=True)
+        assert all(h.vector is None for h in hits)  # vectors stripped
+
+
+class TestDistributedRecommend:
+    def test_cluster_recommend_matches_collection(self, clustered_collection):
+        pts = []
+        for seg in clustered_collection.segments:
+            for rec in seg.iter_points(with_vector=True):
+                pts.append(PointStruct(id=rec.id, vector=rec.vector, payload=rec.payload))
+        cluster = Cluster.with_workers(4)
+        cluster.create_collection(config("dist"))
+        cluster.upsert("dist", pts)
+        req = RecommendRequest(positive=[0, 1, 2], limit=10)
+        local = [h.id for h in clustered_collection.recommend(req)]
+        dist = [h.id for h in cluster.recommend("dist", req)]
+        assert dist == local

@@ -1,0 +1,127 @@
+"""Shard routing and placement tests (with hypothesis properties)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import ClusterConfigError
+from repro.core.router import PlacementPlan, ShardRouter, splitmix64
+
+
+class TestSplitmix:
+    def test_deterministic(self):
+        assert splitmix64(12345) == splitmix64(12345)
+
+    def test_mixes_consecutive_inputs(self):
+        outputs = {splitmix64(i) % 16 for i in range(64)}
+        assert len(outputs) == 16  # all buckets hit by 64 consecutive ids
+
+
+class TestShardRouter:
+    def test_rejects_zero_shards(self):
+        with pytest.raises(ClusterConfigError):
+            ShardRouter(0)
+
+    @given(st.lists(st.integers(0, 10**9), max_size=200), st.integers(1, 32))
+    def test_partition_covers_all_ids(self, ids, shards):
+        router = ShardRouter(shards)
+        parts = router.partition(ids)
+        flat = [pid for chunk in parts.values() for pid in chunk]
+        assert sorted(flat) == sorted(ids)
+        assert all(0 <= s < shards for s in parts)
+
+    @given(st.integers(0, 10**12), st.integers(1, 64))
+    def test_stable_assignment(self, pid, shards):
+        router = ShardRouter(shards)
+        assert router.shard_for(pid) == router.shard_for(pid)
+
+    def test_roughly_uniform(self):
+        router = ShardRouter(8)
+        counts = [0] * 8
+        for pid in range(8000):
+            counts[router.shard_for(pid)] += 1
+        assert min(counts) > 800 and max(counts) < 1200
+
+
+class TestPlacementPlan:
+    def test_one_shard_per_worker_default_layout(self):
+        plan = PlacementPlan(worker_ids=["w0", "w1", "w2"], shard_number=3)
+        assert plan.primary_for(0) == "w0"
+        assert plan.primary_for(1) == "w1"
+        assert plan.shards_on("w2") == [2]
+
+    def test_replication_distinct_workers(self):
+        plan = PlacementPlan(worker_ids=[f"w{i}" for i in range(4)],
+                             shard_number=4, replication_factor=2)
+        for shard in range(4):
+            holders = plan.workers_for(shard)
+            assert len(holders) == 2 and len(set(holders)) == 2
+
+    def test_replication_exceeding_workers_rejected(self):
+        with pytest.raises(ClusterConfigError):
+            PlacementPlan(worker_ids=["w0"], shard_number=1, replication_factor=2)
+
+    def test_empty_workers_rejected(self):
+        with pytest.raises(ClusterConfigError):
+            PlacementPlan(worker_ids=[], shard_number=1)
+
+    def test_load_balanced(self):
+        plan = PlacementPlan(worker_ids=[f"w{i}" for i in range(4)],
+                             shard_number=8, replication_factor=2)
+        load = plan.load()
+        assert max(load.values()) - min(load.values()) <= 1
+
+
+class TestRebalance:
+    def test_add_worker_moves_minimal(self):
+        plan = PlacementPlan(worker_ids=["w0", "w1"], shard_number=4)
+        new_plan, moves = plan.rebalance(["w0", "w1", "w2"])
+        # only shards that gained w2 moved
+        assert all(m.target == "w2" for m in moves)
+        assert new_plan.replica_count(0) == 1
+
+    def test_remove_worker_recovers_replicas(self):
+        plan = PlacementPlan(worker_ids=["w0", "w1", "w2"], shard_number=3,
+                             replication_factor=2)
+        new_plan, moves = plan.rebalance(["w0", "w1"])
+        for shard in range(3):
+            holders = new_plan.workers_for(shard)
+            assert len(holders) == 2
+            assert "w2" not in holders
+
+    def test_surviving_replicas_stay_put(self):
+        plan = PlacementPlan(worker_ids=["w0", "w1", "w2", "w3"], shard_number=4,
+                             replication_factor=2)
+        new_plan, _ = plan.rebalance(["w0", "w1", "w2"])
+        for shard in range(4):
+            old_survivors = [w for w in plan.workers_for(shard) if w != "w3"]
+            for w in old_survivors:
+                assert w in new_plan.workers_for(shard)
+
+    def test_insufficient_workers_rejected(self):
+        plan = PlacementPlan(worker_ids=["w0", "w1"], shard_number=2,
+                             replication_factor=2)
+        with pytest.raises(ClusterConfigError):
+            plan.rebalance(["w0"])
+
+    @given(
+        st.integers(1, 8),
+        st.integers(1, 12),
+        st.integers(1, 3),
+        st.integers(1, 8),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_rebalance_invariants(self, n_before, shards, rf, n_after):
+        """After any rebalance: every shard has rf distinct live holders."""
+        rf = min(rf, n_before, n_after)
+        before = [f"w{i}" for i in range(n_before)]
+        after = [f"w{i}" for i in range(100, 100 + n_after)] + before[: max(0, n_before - 1)]
+        plan = PlacementPlan(worker_ids=before, shard_number=shards, replication_factor=rf)
+        new_plan, moves = plan.rebalance(after)
+        for shard in range(shards):
+            holders = new_plan.workers_for(shard)
+            assert len(holders) == rf
+            assert len(set(holders)) == rf
+            assert all(h in after for h in holders)
+        for move in moves:
+            assert move.target in after

@@ -1,0 +1,264 @@
+"""Segment tests: write path, lifecycle, search, quantization, vacuum."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import (
+    DimensionMismatchError,
+    PointNotFoundError,
+    SegmentSealedError,
+)
+from repro.core.filters import FieldMatch, Filter
+from repro.core.segment import Segment
+from repro.core.types import (
+    CollectionConfig,
+    Distance,
+    PointStruct,
+    QuantizationConfig,
+    VectorParams,
+)
+
+DIM = 12
+
+
+def config(distance=Distance.COSINE, **kwargs):
+    return CollectionConfig("seg", VectorParams(size=DIM, distance=distance), **kwargs)
+
+
+def filled_segment(n=100, distance=Distance.COSINE, seed=0):
+    seg = Segment(config(distance))
+    rng = np.random.default_rng(seed)
+    points = [
+        PointStruct(id=i, vector=rng.normal(size=DIM), payload={"parity": i % 2})
+        for i in range(n)
+    ]
+    seg.upsert_batch(points)
+    return seg
+
+
+class TestWritePath:
+    def test_upsert_and_retrieve(self):
+        seg = Segment(config())
+        seg.upsert(PointStruct(id=5, vector=np.ones(DIM), payload={"k": "v"}))
+        rec = seg.retrieve(5, with_vector=True)
+        assert rec.id == 5 and rec.payload == {"k": "v"}
+        # cosine storage is normalised
+        assert np.isclose(np.linalg.norm(rec.vector), 1.0, atol=1e-5)
+
+    def test_euclid_not_normalized(self):
+        seg = Segment(config(Distance.EUCLID))
+        seg.upsert(PointStruct(id=1, vector=np.full(DIM, 2.0)))
+        rec = seg.retrieve(1, with_vector=True)
+        assert np.allclose(rec.vector, 2.0)
+
+    def test_upsert_overwrites(self):
+        seg = Segment(config(Distance.EUCLID))
+        seg.upsert(PointStruct(id=1, vector=np.zeros(DIM)))
+        seg.upsert(PointStruct(id=1, vector=np.ones(DIM), payload={"v": 2}))
+        assert len(seg) == 1
+        rec = seg.retrieve(1, with_vector=True)
+        assert np.allclose(rec.vector, 1.0) and rec.payload == {"v": 2}
+
+    def test_batch_mixed_fresh_and_existing(self):
+        seg = Segment(config(Distance.EUCLID))
+        seg.upsert(PointStruct(id=1, vector=np.zeros(DIM)))
+        seg.upsert_batch(
+            [PointStruct(id=1, vector=np.ones(DIM)), PointStruct(id=2, vector=np.ones(DIM))]
+        )
+        assert len(seg) == 2
+        assert np.allclose(seg.retrieve(1, with_vector=True).vector, 1.0)
+
+    def test_dimension_mismatch(self):
+        seg = Segment(config())
+        with pytest.raises(DimensionMismatchError):
+            seg.upsert(PointStruct(id=1, vector=np.ones(DIM + 1)))
+        with pytest.raises(DimensionMismatchError):
+            seg.upsert_batch([PointStruct(id=1, vector=np.ones(DIM - 2))])
+
+    def test_sealed_rejects_writes(self):
+        seg = filled_segment(10)
+        seg.seal()
+        with pytest.raises(SegmentSealedError):
+            seg.upsert(PointStruct(id=999, vector=np.ones(DIM)))
+        with pytest.raises(SegmentSealedError):
+            seg.upsert_batch([PointStruct(id=999, vector=np.ones(DIM))])
+
+    def test_delete(self):
+        seg = filled_segment(10)
+        seg.delete(3)
+        assert not seg.contains(3)
+        assert len(seg) == 9
+        with pytest.raises(PointNotFoundError):
+            seg.retrieve(3)
+
+    def test_delete_missing_raises(self):
+        seg = filled_segment(5)
+        with pytest.raises(PointNotFoundError):
+            seg.delete(999)
+
+    def test_set_payload(self):
+        seg = filled_segment(5)
+        seg.set_payload(2, {"new": True})
+        assert seg.retrieve(2).payload == {"new": True}
+        with pytest.raises(PointNotFoundError):
+            seg.set_payload(999, {})
+
+
+class TestSearch:
+    def test_search_excludes_deleted(self):
+        seg = filled_segment(50, distance=Distance.EUCLID)
+        target = seg.retrieve(7, with_vector=True).vector
+        hits = seg.search(target, 1)
+        assert hits[0].id == 7
+        seg.delete(7)
+        hits = seg.search(target, 1)
+        assert hits[0].id != 7
+
+    def test_search_with_filter(self):
+        seg = filled_segment(60)
+        q = np.random.default_rng(1).normal(size=DIM).astype(np.float32)
+        hits = seg.search(q, 10, flt=Filter(must=[FieldMatch("parity", 0)]),
+                          with_payload=True)
+        assert hits and all(h.payload["parity"] == 0 for h in hits)
+
+    def test_search_prefilter_index_used(self):
+        seg = filled_segment(60)
+        seg.payload_store.create_keyword_index("parity")
+        q = np.random.default_rng(1).normal(size=DIM).astype(np.float32)
+        hits = seg.search(q, 10, flt=FieldMatch("parity", 1), with_payload=True)
+        assert hits and all(h.payload["parity"] == 1 for h in hits)
+
+    def test_score_threshold(self):
+        seg = filled_segment(50)
+        q = seg.retrieve(0, with_vector=True).vector
+        hits = seg.search(q, 50, score_threshold=0.99)
+        assert all(h.score >= 0.99 for h in hits)
+
+    def test_score_threshold_euclid(self):
+        seg = filled_segment(50, distance=Distance.EUCLID)
+        q = seg.retrieve(0, with_vector=True).vector
+        hits = seg.search(q, 50, score_threshold=1.0)
+        assert all(h.score <= 1.0 for h in hits)
+
+    def test_indexed_search_matches_exact(self):
+        seg = filled_segment(300)
+        q = np.random.default_rng(2).normal(size=DIM).astype(np.float32)
+        exact_ids = [h.id for h in seg.search(q, 10)]
+        seg.seal()
+        seg.build_index("hnsw")
+        hnsw_ids = [h.id for h in seg.search(q, 10, ef=128)]
+        overlap = len(set(exact_ids) & set(hnsw_ids)) / 10
+        assert overlap >= 0.9
+
+    def test_exact_flag_bypasses_index(self):
+        seg = filled_segment(300)
+        seg.seal()
+        seg.build_index("hnsw")
+        q = np.random.default_rng(3).normal(size=DIM).astype(np.float32)
+        hits = seg.search(q, 10, exact=True)
+        assert len(hits) == 10
+
+    def test_search_batch_matches_single(self):
+        seg = filled_segment(100)
+        queries = np.random.default_rng(4).normal(size=(5, DIM)).astype(np.float32)
+        batched = seg.search_batch(queries, 5)
+        for q, hits in zip(queries, batched):
+            single = seg.search(q, 5)
+            assert [h.id for h in hits] == [h.id for h in single]
+
+    def test_dim_mismatch_on_query(self):
+        seg = filled_segment(5)
+        with pytest.raises(DimensionMismatchError):
+            seg.search(np.ones(DIM + 3, dtype=np.float32), 5)
+
+
+class TestScroll:
+    def test_scroll_pagination(self):
+        seg = filled_segment(25)
+        page1, next_id = seg.scroll(limit=10)
+        assert [r.id for r in page1] == list(range(10))
+        assert next_id == 10
+        page2, next_id2 = seg.scroll(offset_id=next_id, limit=10)
+        assert [r.id for r in page2] == list(range(10, 20))
+        page3, next_id3 = seg.scroll(offset_id=next_id2, limit=10)
+        assert len(page3) == 5 and next_id3 is None
+
+    def test_scroll_with_filter(self):
+        seg = filled_segment(20)
+        page, _ = seg.scroll(limit=100, flt=FieldMatch("parity", 0))
+        assert [r.id for r in page] == [i for i in range(20) if i % 2 == 0]
+
+
+class TestLifecycle:
+    def test_vacuum_reclaims_tombstones(self):
+        seg = filled_segment(40)
+        for i in range(0, 20):
+            seg.delete(i)
+        assert seg.deleted_ratio == 0.5
+        fresh = seg.vacuum()
+        assert len(fresh) == 20
+        assert fresh.deleted_ratio == 0.0
+        assert sorted(fresh.point_ids()) == list(range(20, 40))
+        # payloads survive
+        assert fresh.retrieve(25).payload == {"parity": 1}
+
+    def test_quantization_search(self):
+        seg = filled_segment(200, seed=5)
+        q = seg.retrieve(9, with_vector=True).vector
+        exact = [h.id for h in seg.search(q, 5)]
+        seg.enable_quantization()
+        assert seg.is_quantized
+        quant = [h.id for h in seg.search(q, 5)]
+        assert quant[0] == exact[0] == 9
+
+    def test_quantize_empty_rejected(self):
+        seg = Segment(config(quantization=QuantizationConfig(enabled=True)))
+        with pytest.raises(ValueError):
+            seg.enable_quantization()
+
+    def test_drop_index(self):
+        seg = filled_segment(50)
+        seg.seal()
+        seg.build_index("hnsw")
+        assert seg.is_indexed
+        seg.drop_index()
+        assert not seg.is_indexed and seg.index_kind is None
+
+    def test_iter_points(self):
+        seg = filled_segment(10)
+        records = list(seg.iter_points())
+        assert len(records) == 10
+        assert all(r.vector is not None for r in records)
+
+
+class TestIndexedDeletes:
+    def test_hnsw_search_excludes_tombstones(self):
+        """Graph search must honour the deletion bitmap via the predicate."""
+        seg = filled_segment(300, seed=11)
+        target = seg.retrieve(42, with_vector=True).vector
+        seg.seal()
+        seg.build_index("hnsw")
+        assert seg.search(target, 1)[0].id == 42
+        seg.delete(42)
+        hits = seg.search(target, 5)
+        assert 42 not in [h.id for h in hits]
+
+    def test_many_deletes_still_full_results(self):
+        seg = filled_segment(400, seed=12)
+        seg.seal()
+        seg.build_index("hnsw")
+        for pid in range(0, 400, 2):  # kill half the points
+            seg.delete(pid)
+        q = np.random.default_rng(13).normal(size=DIM).astype(np.float32)
+        hits = seg.search(q, 20)
+        assert len(hits) == 20
+        assert all(h.id % 2 == 1 for h in hits)
+
+    def test_ivf_search_excludes_tombstones(self):
+        seg = filled_segment(300, seed=14)
+        target = seg.retrieve(10, with_vector=True).vector
+        seg.seal()
+        seg.build_index("ivf")
+        seg.delete(10)
+        hits = seg.search(target, 5, nprobe=64)
+        assert 10 not in [h.id for h in hits]

@@ -1,0 +1,105 @@
+"""Snapshot save/load tests."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Collection,
+    CollectionConfig,
+    Distance,
+    OptimizerConfig,
+    PointStruct,
+    SearchRequest,
+    VectorParams,
+    load_snapshot,
+    save_snapshot,
+)
+from repro.core.errors import SnapshotError
+
+DIM = 8
+
+
+def filled_collection(n=40):
+    col = Collection(
+        CollectionConfig(
+            "snap", VectorParams(size=DIM, distance=Distance.COSINE),
+            optimizer=OptimizerConfig(indexing_threshold=0),
+        )
+    )
+    rng = np.random.default_rng(0)
+    col.upsert(
+        [PointStruct(id=i, vector=rng.normal(size=DIM), payload={"i": i}) for i in range(n)]
+    )
+    return col
+
+
+class TestRoundtrip:
+    def test_snapshot_roundtrip(self, tmp_path):
+        col = filled_collection()
+        save_snapshot(col, str(tmp_path / "snap"))
+        revived = load_snapshot(str(tmp_path / "snap"))
+        assert len(revived) == len(col)
+        assert revived.retrieve(5).payload == {"i": 5}
+        q = col.retrieve(9, with_vector=True).vector
+        assert revived.search(SearchRequest(vector=q, limit=1))[0].id == 9
+
+    def test_config_preserved(self, tmp_path):
+        col = filled_collection()
+        save_snapshot(col, str(tmp_path / "snap"))
+        revived = load_snapshot(str(tmp_path / "snap"))
+        assert revived.config.vectors.size == DIM
+        assert revived.config.vectors.distance is Distance.COSINE
+        assert revived.config.name == "snap"
+        assert not revived.config.wal.enabled  # WAL never carried over
+
+    def test_empty_collection(self, tmp_path):
+        col = Collection(CollectionConfig("empty", VectorParams(size=DIM)))
+        save_snapshot(col, str(tmp_path / "snap"))
+        revived = load_snapshot(str(tmp_path / "snap"))
+        assert len(revived) == 0
+
+    def test_deleted_points_excluded(self, tmp_path):
+        col = filled_collection()
+        col.delete([1, 2, 3])
+        save_snapshot(col, str(tmp_path / "snap"))
+        revived = load_snapshot(str(tmp_path / "snap"))
+        assert len(revived) == 37
+        assert not revived.contains(2)
+
+
+class TestErrors:
+    def test_missing_directory(self, tmp_path):
+        with pytest.raises(SnapshotError):
+            load_snapshot(str(tmp_path / "nonexistent"))
+
+    def test_manifest_mismatch(self, tmp_path):
+        col = filled_collection(10)
+        path = str(tmp_path / "snap")
+        save_snapshot(col, path)
+        meta = json.load(open(os.path.join(path, "meta.json")))
+        meta["points_count"] = 999
+        json.dump(meta, open(os.path.join(path, "meta.json"), "w"))
+        with pytest.raises(SnapshotError):
+            load_snapshot(path)
+
+    def test_bad_version(self, tmp_path):
+        col = filled_collection(5)
+        path = str(tmp_path / "snap")
+        save_snapshot(col, path)
+        meta = json.load(open(os.path.join(path, "meta.json")))
+        meta["format_version"] = 99
+        json.dump(meta, open(os.path.join(path, "meta.json"), "w"))
+        with pytest.raises(SnapshotError):
+            load_snapshot(path)
+
+    def test_unreadable_vectors(self, tmp_path):
+        col = filled_collection(5)
+        path = str(tmp_path / "snap")
+        save_snapshot(col, path)
+        with open(os.path.join(path, "vectors.npy"), "wb") as fh:
+            fh.write(b"garbage")
+        with pytest.raises(SnapshotError):
+            load_snapshot(path)

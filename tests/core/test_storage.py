@@ -1,0 +1,153 @@
+"""VectorArena and IdTracker tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import DimensionMismatchError, PointNotFoundError
+from repro.core.storage import IdTracker, VectorArena
+
+DIM = 4
+
+
+class TestVectorArena:
+    def test_append_and_get(self):
+        arena = VectorArena(DIM)
+        off = arena.append(np.arange(DIM, dtype=np.float32))
+        assert off == 0
+        assert np.array_equal(arena.get(0), np.arange(DIM, dtype=np.float32))
+
+    def test_rejects_bad_dim(self):
+        with pytest.raises(ValueError):
+            VectorArena(0)
+        arena = VectorArena(DIM)
+        with pytest.raises(DimensionMismatchError):
+            arena.append(np.zeros(DIM + 1, dtype=np.float32))
+
+    def test_growth_preserves_data(self):
+        arena = VectorArena(DIM)
+        rng = np.random.default_rng(0)
+        vecs = rng.normal(size=(500, DIM)).astype(np.float32)
+        for v in vecs:
+            arena.append(v)
+        assert len(arena) == 500
+        assert np.allclose(arena.view(), vecs)
+
+    def test_extend_returns_consecutive_offsets(self):
+        arena = VectorArena(DIM)
+        arena.append(np.zeros(DIM, dtype=np.float32))
+        offsets = arena.extend(np.ones((10, DIM), dtype=np.float32))
+        assert offsets.tolist() == list(range(1, 11))
+
+    def test_extend_rejects_bad_shape(self):
+        arena = VectorArena(DIM)
+        with pytest.raises(DimensionMismatchError):
+            arena.extend(np.ones((3, DIM + 2), dtype=np.float32))
+
+    def test_reserve_single_allocation(self):
+        arena = VectorArena(DIM)
+        arena.reserve(1000)
+        cap = arena.capacity
+        arena.extend(np.zeros((1000, DIM), dtype=np.float32))
+        assert arena.capacity == cap  # no further realloc
+
+    def test_overwrite(self):
+        arena = VectorArena(DIM)
+        arena.append(np.zeros(DIM, dtype=np.float32))
+        arena.overwrite(0, np.full(DIM, 7.0, dtype=np.float32))
+        assert np.all(arena.get(0) == 7.0)
+
+    def test_overwrite_bounds(self):
+        arena = VectorArena(DIM)
+        with pytest.raises(IndexError):
+            arena.overwrite(0, np.zeros(DIM, dtype=np.float32))
+
+    def test_get_bounds(self):
+        arena = VectorArena(DIM)
+        with pytest.raises(IndexError):
+            arena.get(0)
+
+    def test_view_is_view_not_copy(self):
+        arena = VectorArena(DIM)
+        arena.append(np.zeros(DIM, dtype=np.float32))
+        view = arena.view()
+        arena.overwrite(0, np.ones(DIM, dtype=np.float32))
+        assert np.all(view[0] == 1.0)
+
+    def test_take(self):
+        arena = VectorArena(DIM)
+        arena.extend(np.arange(5 * DIM, dtype=np.float32).reshape(5, DIM))
+        taken = arena.take(np.array([3, 1]))
+        assert np.array_equal(taken[0], arena.get(3))
+
+    def test_nbytes(self):
+        arena = VectorArena(DIM)
+        arena.extend(np.zeros((10, DIM), dtype=np.float32))
+        assert arena.nbytes == 10 * DIM * 4
+
+    def test_on_disk_roundtrip(self, tmp_path):
+        arena = VectorArena(DIM, on_disk=True, directory=str(tmp_path))
+        vecs = np.random.default_rng(1).normal(size=(300, DIM)).astype(np.float32)
+        arena.extend(vecs)
+        assert np.allclose(arena.view(), vecs)
+        arena.close()
+
+    def test_on_disk_growth(self, tmp_path):
+        arena = VectorArena(DIM, on_disk=True, directory=str(tmp_path))
+        for i in range(200):
+            arena.append(np.full(DIM, float(i), dtype=np.float32))
+        assert float(arena.get(150)[0]) == 150.0
+        arena.close()
+
+
+class TestIdTracker:
+    def test_register_and_lookup(self):
+        t = IdTracker()
+        t.register(42, 0)
+        assert t.offset_of(42) == 0
+        assert t.id_at(0) == 42
+        assert t.contains(42)
+
+    def test_register_requires_append_order(self):
+        t = IdTracker()
+        with pytest.raises(ValueError):
+            t.register(1, 5)
+
+    def test_missing_point_raises(self):
+        t = IdTracker()
+        with pytest.raises(PointNotFoundError):
+            t.offset_of(99)
+
+    def test_delete_tombstones(self):
+        t = IdTracker()
+        t.register(1, 0)
+        t.register(2, 1)
+        freed = t.mark_deleted(1)
+        assert freed == 0
+        assert not t.contains(1)
+        assert t.is_deleted(0)
+        assert len(t) == 1
+        assert t.deleted_count == 1
+
+    def test_live_offsets_skips_deleted(self):
+        t = IdTracker()
+        for i in range(5):
+            t.register(i * 10, i)
+        t.mark_deleted(20)
+        assert t.live_offsets().tolist() == [0, 1, 3, 4]
+        assert t.live_ids() == [0, 10, 30, 40]
+
+    def test_ids_at_vectorized(self):
+        t = IdTracker()
+        for i in range(5):
+            t.register(i * 7, i)
+        assert t.ids_at(np.array([4, 0])).tolist() == [28, 0]
+
+    def test_deleted_mask(self):
+        t = IdTracker()
+        t.register(1, 0)
+        t.register(2, 1)
+        t.mark_deleted(2)
+        assert t.deleted_mask().tolist() == [False, True]
+
+    def test_empty_live_offsets(self):
+        assert IdTracker().live_offsets().tolist() == []

@@ -1,0 +1,98 @@
+"""Telemetry aggregation tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CollectionConfig,
+    Distance,
+    OptimizerConfig,
+    PointStruct,
+    SearchRequest,
+    VectorParams,
+)
+from repro.core.cluster import Cluster
+from repro.core.telemetry import collect
+
+DIM = 8
+
+
+def make_cluster(n=4):
+    cluster = Cluster.with_workers(n)
+    cluster.create_collection(
+        CollectionConfig(
+            "c", VectorParams(size=DIM, distance=Distance.COSINE),
+            optimizer=OptimizerConfig(indexing_threshold=0),
+        )
+    )
+    return cluster
+
+
+def points(n):
+    rng = np.random.default_rng(0)
+    return [PointStruct(id=i, vector=rng.normal(size=DIM)) for i in range(n)]
+
+
+class TestCollect:
+    def test_counters_after_insert(self):
+        cluster = make_cluster()
+        cluster.upsert("c", points(100))
+        snap = collect(cluster)
+        assert snap.total_vectors_inserted == 100
+        assert snap.total_points == 100
+        assert len(snap.workers) == 4
+
+    def test_index_builds_recorded(self):
+        cluster = make_cluster()
+        cluster.upsert("c", points(100))
+        cluster.build_index("c")
+        snap = collect(cluster)
+        total_built = sum(
+            n for w in snap.workers.values() for (_, _, n) in w.index_builds
+        )
+        assert total_built == 100
+
+    def test_search_counters_and_distance_computations(self):
+        cluster = make_cluster()
+        cluster.upsert("c", points(200))
+        cluster.build_index("c")
+        before = collect(cluster)
+        for _ in range(5):
+            cluster.search("c", SearchRequest(vector=np.ones(DIM), limit=5))
+        delta = collect(cluster).diff(before)
+        assert delta.total_searches == 5 * 4  # every worker touched per query
+        assert delta.total_queries == 20
+        assert delta.total_distance_computations > 0
+        assert delta.total_vectors_inserted == 0
+
+    def test_per_node_and_imbalance(self):
+        cluster = make_cluster(8)  # 2 nodes
+        cluster.upsert("c", points(400))
+        snap = collect(cluster)
+        per_node = snap.per_node()
+        assert set(per_node) == {"node-0", "node-1"}
+        assert sum(per_node.values()) == 400
+        assert 1.0 <= snap.imbalance() < 1.5  # hash sharding is near-uniform
+
+    def test_empty_cluster(self):
+        cluster = Cluster.with_workers(2)
+        snap = collect(cluster)
+        assert snap.total_points == 0
+        assert snap.imbalance() == 1.0
+
+
+class TestSaturationReproduction:
+    def test_single_worker_build_saturates_node(self):
+        """§3.3 profiling: 'a single worker already utilizes 90-97% of the
+        compute node's CPU capacity during index construction'."""
+        from repro.bench.simscale import simulate_index_build_with_utilization
+
+        _, utils = simulate_index_build_with_utilization(1)
+        assert len(utils) == 1
+        assert 0.90 <= utils[0] <= 0.97
+
+    def test_packed_build_also_saturates(self):
+        from repro.bench.simscale import simulate_index_build_with_utilization
+
+        _, utils = simulate_index_build_with_utilization(32)
+        assert all(u > 0.9 for u in utils)

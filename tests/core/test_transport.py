@@ -1,0 +1,128 @@
+"""Transport layer tests: dispatch, instrumentation, fault injection."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import TransportError, WorkerUnavailableError
+from repro.core.transport import (
+    FaultInjectingTransport,
+    InstrumentedTransport,
+    LocalTransport,
+    estimate_payload_bytes,
+)
+
+
+class Echo:
+    def ping(self):
+        return "pong"
+
+    def add(self, a, b):
+        return a + b
+
+    not_callable = 42
+
+
+class TestLocalTransport:
+    def test_dispatch(self):
+        t = LocalTransport()
+        t.register("w0", Echo())
+        assert t.call("w0", "ping") == "pong"
+        assert t.call("w0", "add", 2, 3) == 5
+
+    def test_unknown_worker(self):
+        t = LocalTransport()
+        with pytest.raises(WorkerUnavailableError):
+            t.call("nope", "ping")
+
+    def test_unknown_method(self):
+        t = LocalTransport()
+        t.register("w0", Echo())
+        with pytest.raises(TransportError):
+            t.call("w0", "missing_method")
+
+    def test_non_callable_attribute(self):
+        t = LocalTransport()
+        t.register("w0", Echo())
+        with pytest.raises(TransportError):
+            t.call("w0", "not_callable")
+
+    def test_deregister(self):
+        t = LocalTransport()
+        t.register("w0", Echo())
+        t.deregister("w0")
+        assert not t.is_reachable("w0")
+        assert t.worker_ids() == []
+
+
+class TestEstimatePayloadBytes:
+    def test_numpy(self):
+        assert estimate_payload_bytes(np.zeros(10, dtype=np.float32)) == 40
+
+    def test_scalars_and_containers(self):
+        assert estimate_payload_bytes(None) == 0
+        assert estimate_payload_bytes(True) == 1
+        assert estimate_payload_bytes(3) == 8
+        assert estimate_payload_bytes("abcd") == 4
+        assert estimate_payload_bytes([1, 2]) == 16
+        assert estimate_payload_bytes({"a": 1}) == 9
+
+    def test_object_with_dict(self):
+        class Obj:
+            def __init__(self):
+                self.x = np.zeros(4, dtype=np.float32)
+
+        assert estimate_payload_bytes(Obj()) >= 16
+
+
+class TestInstrumentedTransport:
+    def test_records_bytes_and_calls(self):
+        inner = LocalTransport()
+        inner.register("w0", Echo())
+        t = InstrumentedTransport(inner)
+        t.call("w0", "add", 1, 2)
+        t.call("w0", "ping")
+        assert t.stats.calls == 2
+        assert t.stats.calls_by_method == {"add": 1, "ping": 1}
+        assert t.stats.bytes_sent > 0 and t.stats.bytes_received > 0
+
+    def test_reset(self):
+        inner = LocalTransport()
+        inner.register("w0", Echo())
+        t = InstrumentedTransport(inner)
+        t.call("w0", "ping")
+        t.stats.reset()
+        assert t.stats.calls == 0 and t.stats.bytes_by_method == {}
+
+
+class TestFaultInjection:
+    def test_failed_worker_unreachable(self):
+        inner = LocalTransport()
+        inner.register("w0", Echo())
+        t = FaultInjectingTransport(inner, fail_workers={"w0"})
+        assert not t.is_reachable("w0")
+        with pytest.raises(WorkerUnavailableError):
+            t.call("w0", "ping")
+
+    def test_heal(self):
+        inner = LocalTransport()
+        inner.register("w0", Echo())
+        t = FaultInjectingTransport(inner)
+        t.fail_worker("w0")
+        t.heal_worker("w0")
+        assert t.call("w0", "ping") == "pong"
+
+    def test_fail_every_nth(self):
+        inner = LocalTransport()
+        inner.register("w0", Echo())
+        t = FaultInjectingTransport(inner, fail_every=3)
+        results = []
+        for i in range(6):
+            try:
+                results.append(t.call("w0", "ping"))
+            except TransportError:
+                results.append("FAIL")
+        assert results == ["pong", "pong", "FAIL", "pong", "pong", "FAIL"]
+
+    def test_fail_every_must_be_ge_2(self):
+        with pytest.raises(ValueError):
+            FaultInjectingTransport(LocalTransport(), fail_every=1)

@@ -1,0 +1,113 @@
+"""Unit tests for the public value types."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.types import (
+    CollectionConfig,
+    Distance,
+    HnswConfig,
+    OptimizerConfig,
+    PointStruct,
+    SearchRequest,
+    VectorParams,
+)
+
+
+class TestDistance:
+    def test_higher_is_better(self):
+        assert Distance.COSINE.higher_is_better
+        assert Distance.DOT.higher_is_better
+        assert not Distance.EUCLID.higher_is_better
+
+    def test_worst_score(self):
+        assert Distance.COSINE.worst_score() == -math.inf
+        assert Distance.EUCLID.worst_score() == math.inf
+
+    def test_is_better_similarity(self):
+        assert Distance.COSINE.is_better(0.9, 0.1)
+        assert not Distance.COSINE.is_better(0.1, 0.9)
+
+    def test_is_better_distance(self):
+        assert Distance.EUCLID.is_better(0.1, 0.9)
+        assert not Distance.EUCLID.is_better(0.9, 0.1)
+
+    def test_is_better_strict(self):
+        assert not Distance.COSINE.is_better(0.5, 0.5)
+        assert not Distance.EUCLID.is_better(0.5, 0.5)
+
+
+class TestVectorParams:
+    def test_rejects_non_positive_size(self):
+        with pytest.raises(ValueError):
+            VectorParams(size=0)
+        with pytest.raises(ValueError):
+            VectorParams(size=-3)
+
+    def test_default_distance_is_cosine(self):
+        assert VectorParams(size=4).distance is Distance.COSINE
+
+
+class TestHnswConfig:
+    def test_defaults_match_qdrant(self):
+        cfg = HnswConfig()
+        assert cfg.m == 16
+        assert cfg.ef_construct == 100
+
+    def test_rejects_tiny_m(self):
+        with pytest.raises(ValueError):
+            HnswConfig(m=1)
+
+    def test_rejects_ef_below_m(self):
+        with pytest.raises(ValueError):
+            HnswConfig(m=16, ef_construct=8)
+
+
+class TestCollectionConfig:
+    def test_requires_name(self):
+        with pytest.raises(ValueError):
+            CollectionConfig("", VectorParams(size=4))
+
+    def test_rejects_bad_replication(self):
+        with pytest.raises(ValueError):
+            CollectionConfig("x", VectorParams(size=4), replication_factor=0)
+
+    def test_rejects_bad_shard_number(self):
+        with pytest.raises(ValueError):
+            CollectionConfig("x", VectorParams(size=4), shard_number=0)
+
+    def test_with_replaces_fields(self):
+        cfg = CollectionConfig("x", VectorParams(size=4))
+        cfg2 = cfg.with_(optimizer=OptimizerConfig(indexing_threshold=0))
+        assert cfg2.optimizer.indexing_threshold == 0
+        assert cfg.optimizer.indexing_threshold == 20_000  # original untouched
+        assert cfg2.name == "x"
+
+
+class TestPointStruct:
+    def test_as_array_coerces_to_float32(self):
+        p = PointStruct(id=1, vector=[1, 2, 3])
+        arr = p.as_array()
+        assert arr.dtype == np.float32
+        assert arr.shape == (3,)
+
+    def test_as_array_rejects_matrix(self):
+        p = PointStruct(id=1, vector=np.ones((2, 2)))
+        with pytest.raises(ValueError):
+            p.as_array()
+
+
+class TestSearchRequest:
+    def test_as_array(self):
+        req = SearchRequest(vector=[0.0, 1.0])
+        assert req.as_array().shape == (2,)
+
+    def test_rejects_2d_query(self):
+        req = SearchRequest(vector=np.ones((2, 2)))
+        with pytest.raises(ValueError):
+            req.as_array()
+
+    def test_default_limit(self):
+        assert SearchRequest(vector=[1.0]).limit == 10

@@ -1,0 +1,87 @@
+"""Batching-heuristic tests (§3.1), including hypothesis invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.embed.batching import BatchingConfig, batch_char_totals, heuristic_batches
+
+
+class TestConfig:
+    def test_paper_defaults(self):
+        cfg = BatchingConfig()
+        assert cfg.char_limit == 150_000
+        assert cfg.max_papers == 8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BatchingConfig(char_limit=0)
+        with pytest.raises(ValueError):
+            BatchingConfig(max_papers=0)
+
+
+class TestHeuristic:
+    def test_empty_stream(self):
+        assert list(heuristic_batches([])) == []
+
+    def test_single_doc(self):
+        assert list(heuristic_batches([100])) == [[100]]
+
+    def test_max_papers_respected(self):
+        batches = list(heuristic_batches([10] * 20))
+        assert all(len(b) <= 8 for b in batches)
+        assert sum(len(b) for b in batches) == 20
+
+    def test_char_limit_respected(self):
+        cfg = BatchingConfig(char_limit=100, max_papers=8)
+        batches = list(heuristic_batches([40, 40, 40, 40], cfg))
+        assert all(sum(b) <= 100 or len(b) == 1 for b in batches)
+        assert batches == [[40, 40], [40, 40]]
+
+    def test_oversized_doc_is_singleton(self):
+        cfg = BatchingConfig(char_limit=100, max_papers=8)
+        batches = list(heuristic_batches([50, 500, 50], cfg))
+        assert [500] in batches
+        assert sum(len(b) for b in batches) == 3
+
+    def test_stream_order_preserved(self):
+        docs = [10, 20, 30, 40, 50]
+        flat = [c for b in heuristic_batches(docs, BatchingConfig(char_limit=60, max_papers=2))
+                for c in b]
+        assert flat == docs
+
+    def test_negative_chars_rejected(self):
+        with pytest.raises(ValueError):
+            list(heuristic_batches([-1]))
+
+    def test_batch_char_totals(self):
+        batches = [[10, 20], [30]]
+        assert batch_char_totals(batches) == [30, 30]
+
+    def test_exact_fill_emits(self):
+        cfg = BatchingConfig(char_limit=100, max_papers=8)
+        batches = list(heuristic_batches([50, 50, 10], cfg))
+        assert batches == [[50, 50], [10]]
+
+
+@given(
+    st.lists(st.integers(0, 200_000), max_size=100),
+    st.integers(1, 200_000),
+    st.integers(1, 16),
+)
+@settings(max_examples=60, deadline=None)
+def test_heuristic_invariants(docs, char_limit, max_papers):
+    """Every doc appears exactly once, in order; limits hold except for
+    singleton oversized docs."""
+    cfg = BatchingConfig(char_limit=char_limit, max_papers=max_papers)
+    batches = list(heuristic_batches(docs, cfg))
+    flat = [c for b in batches for c in b]
+    assert flat == docs
+    for batch in batches:
+        assert batch, "no empty batches"
+        assert len(batch) <= max_papers
+        if len(batch) > 1:
+            assert sum(batch) <= char_limit or sum(batch[:-1]) < char_limit
+        # every multi-doc batch was admissible when its last doc was added
+        if len(batch) > 1:
+            assert sum(batch[:-1]) + batch[-1] == sum(batch)

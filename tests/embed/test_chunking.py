@@ -1,0 +1,116 @@
+"""Chunking extension tests (§3.1 future work)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.embed.chunking import (
+    CHUNK_ID_STRIDE,
+    Chunk,
+    FixedSizeChunker,
+    SentenceChunker,
+    chunk_corpus_points,
+)
+from repro.embed.model import HashingEmbedder
+from repro.workloads.pes2o import Pes2oCorpus
+
+
+class TestFixedSizeChunker:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FixedSizeChunker(size=0)
+        with pytest.raises(ValueError):
+            FixedSizeChunker(size=10, overlap=10)
+
+    def test_empty_text(self):
+        assert list(FixedSizeChunker().chunk(0, "")) == []
+
+    def test_short_text_single_chunk(self):
+        chunks = list(FixedSizeChunker(size=100, overlap=10).chunk(3, "hello"))
+        assert len(chunks) == 1
+        assert chunks[0].text == "hello"
+        assert chunks[0].point_id == 3 * CHUNK_ID_STRIDE
+
+    def test_coverage_with_overlap(self):
+        text = "abcdefghij" * 50  # 500 chars
+        chunker = FixedSizeChunker(size=200, overlap=50)
+        chunks = list(chunker.chunk(1, text))
+        # reconstruct: drop each chunk's overlapping prefix
+        rebuilt = chunks[0].text + "".join(c.text[50:] for c in chunks[1:])
+        assert rebuilt == text
+        assert all(c.n_chars <= 200 for c in chunks)
+
+    def test_expected_chunks_matches_actual(self):
+        chunker = FixedSizeChunker(size=1000, overlap=100)
+        for n in (0, 1, 999, 1000, 1001, 5000, 12_345):
+            actual = len(list(chunker.chunk(0, "x" * n)))
+            assert chunker.expected_chunks(n) == actual, n
+
+    @given(st.integers(0, 20_000), st.integers(100, 3_000), st.integers(0, 99))
+    @settings(max_examples=40, deadline=None)
+    def test_all_text_covered(self, n_chars, size, overlap_pct):
+        overlap = min(int(size * overlap_pct / 100), size - 1)
+        chunker = FixedSizeChunker(size=size, overlap=overlap)
+        text = "a" * n_chars
+        chunks = list(chunker.chunk(0, text))
+        covered = sum(c.n_chars for c in chunks) - overlap * max(0, len(chunks) - 1)
+        assert covered >= n_chars  # every character appears in some chunk
+        assert [c.index for c in chunks] == list(range(len(chunks)))
+
+
+class TestSentenceChunker:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SentenceChunker(budget=0)
+
+    def test_packs_sentences(self):
+        text = "One. Two. Three. Four."
+        chunks = list(SentenceChunker(budget=12).chunk(0, text))
+        assert len(chunks) >= 2
+        # no sentence split mid-way
+        for c in chunks:
+            assert c.text.count(".") >= 1
+
+    def test_budget_respected_for_multi_sentence_chunks(self):
+        text = ("Short sentence here. " * 40).strip()
+        chunks = list(SentenceChunker(budget=100).chunk(0, text))
+        for c in chunks:
+            if c.text.count(".") > 1:
+                assert c.n_chars <= 100 + 1
+
+    def test_oversized_sentence_kept_whole(self):
+        text = "x" * 500 + "."
+        chunks = list(SentenceChunker(budget=100).chunk(0, text))
+        assert len(chunks) == 1
+        assert chunks[0].n_chars >= 500
+
+    def test_all_words_preserved(self):
+        text = "Alpha beta. Gamma delta epsilon. Zeta!"
+        chunks = list(SentenceChunker(budget=15).chunk(0, text))
+        rebuilt = " ".join(c.text for c in chunks)
+        for word in ("Alpha", "beta", "Gamma", "delta", "epsilon", "Zeta"):
+            assert word in rebuilt
+
+
+class TestChunkCorpusPoints:
+    def test_points_multiply_entities(self):
+        """The paper's prediction: chunking inflates the entity count."""
+        corpus = Pes2oCorpus(5, seed=1)
+        embedder = HashingEmbedder(dim=32)
+        points = list(
+            chunk_corpus_points(corpus, embedder, FixedSizeChunker(size=2_000))
+        )
+        assert len(points) > 5 * 5  # >> one point per paper
+        # ids decode back to papers
+        for p in points:
+            assert 0 <= p.payload["paper_id"] < 5
+            assert p.id == p.payload["paper_id"] * CHUNK_ID_STRIDE + p.payload["chunk_index"]
+
+    def test_max_papers(self):
+        corpus = Pes2oCorpus(10, seed=2)
+        embedder = HashingEmbedder(dim=32)
+        points = list(
+            chunk_corpus_points(corpus, embedder, FixedSizeChunker(size=5_000),
+                                max_papers=2)
+        )
+        assert {p.payload["paper_id"] for p in points} == {0, 1}

@@ -1,0 +1,79 @@
+"""SimGpu cost/memory model tests."""
+
+import pytest
+
+from repro.embed.gpu import CHARS_PER_TOKEN, GpuOutOfMemoryError, SimGpu
+from repro.perfmodel.calibration import EMBEDDING
+
+
+class TestCostModel:
+    def test_calibrated_per_paper_time(self):
+        """A 32 kchar (~8k token) paper must take Table 2's per-paper time."""
+        gpu = SimGpu()
+        t = gpu.inference_time_s(32_000)
+        assert t == pytest.approx(EMBEDDING.inference_s_per_paper_per_gpu, rel=0.01)
+
+    def test_time_linear_in_chars(self):
+        gpu = SimGpu()
+        assert gpu.inference_time_s(20_000) == pytest.approx(
+            2 * gpu.inference_time_s(10_000)
+        )
+
+    def test_load_time_positive(self):
+        gpu = SimGpu()
+        assert 0 < gpu.load_time_s() < EMBEDDING.model_load_s
+
+    def test_efficiency_plausible(self):
+        gpu = SimGpu()
+        assert 0.0 < gpu.efficiency < 1.0
+
+
+class TestMemoryModel:
+    def test_typical_batch_fits(self):
+        gpu = SimGpu()
+        # 8 papers of ~18.75 kchars: the heuristic's typical shape
+        assert not gpu.would_oom([18_750] * 8)
+
+    def test_skewed_batch_ooms(self):
+        gpu = SimGpu()
+        # one ~110 kchar monster with 7 short companions: padding blows up
+        assert gpu.would_oom([110_000] + [5_000] * 7)
+
+    def test_single_long_doc_fits_sequentially(self):
+        gpu = SimGpu()
+        assert not gpu.would_oom([150_000])
+
+    def test_run_batch_raises_and_counts_oom(self):
+        gpu = SimGpu()
+        with pytest.raises(GpuOutOfMemoryError):
+            gpu.run_batch([110_000] + [5_000] * 7)
+        assert gpu.oom_events == 1
+
+    def test_run_batch_accumulates_time(self):
+        gpu = SimGpu()
+        t = gpu.run_batch([10_000, 10_000])
+        assert gpu.busy_s == pytest.approx(t)
+        assert gpu.batches_run == 1
+
+    def test_sequential_fallback_never_ooms(self):
+        gpu = SimGpu()
+        t = gpu.run_sequential([110_000] + [5_000] * 7)
+        assert t > 0
+        assert gpu.batches_run == 8
+
+    def test_sequential_slower_than_batched(self):
+        """The 25% per-paper launch overhead makes sequential slower."""
+        batched = SimGpu()
+        seq = SimGpu()
+        chars = [10_000] * 8
+        t_batch = batched.run_batch(chars)
+        t_seq = seq.run_sequential(chars)
+        assert t_seq > t_batch
+
+    def test_free_memory_excludes_weights(self):
+        gpu = SimGpu()
+        assert gpu.free_memory_bytes == pytest.approx(40e9 - 8e9)
+
+    def test_empty_batch(self):
+        gpu = SimGpu()
+        assert gpu.batch_memory_bytes([]) == 0.0

@@ -1,0 +1,92 @@
+"""HashingEmbedder tests: determinism, normalization, semantic locality."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.embed.model import QWEN3_EMBEDDING_4B, HashingEmbedder, tokenize
+
+
+class TestTokenize:
+    def test_lowercase_alnum(self):
+        assert tokenize("Hello, World-42!") == ["hello", "world", "42"]
+
+    def test_empty(self):
+        assert tokenize("") == []
+        assert tokenize("!!!") == []
+
+
+class TestModelSpec:
+    def test_qwen3_dims(self):
+        assert QWEN3_EMBEDDING_4B.embedding_dim == 2560
+        assert QWEN3_EMBEDDING_4B.weight_bytes == pytest.approx(8e9)
+        assert QWEN3_EMBEDDING_4B.flops_per_token() == pytest.approx(8e9)
+
+
+class TestHashingEmbedder:
+    def test_dim_validation(self):
+        with pytest.raises(ValueError):
+            HashingEmbedder(dim=1)
+
+    def test_unit_norm(self):
+        emb = HashingEmbedder(dim=128)
+        v = emb.encode("genome sequencing of bacterial pathogens")
+        assert np.isclose(np.linalg.norm(v), 1.0, atol=1e-5)
+        assert v.dtype == np.float32
+
+    def test_empty_text_zero_vector(self):
+        emb = HashingEmbedder(dim=64)
+        assert np.all(emb.encode("") == 0)
+
+    def test_deterministic(self):
+        a = HashingEmbedder(dim=128).encode("protein folding")
+        b = HashingEmbedder(dim=128).encode("protein folding")
+        assert np.array_equal(a, b)
+
+    def test_seed_changes_embedding(self):
+        a = HashingEmbedder(dim=128, seed=0).encode("protein folding")
+        b = HashingEmbedder(dim=128, seed=1).encode("protein folding")
+        assert not np.allclose(a, b)
+
+    def test_semantic_locality(self):
+        """Texts sharing vocabulary must be closer than unrelated texts."""
+        emb = HashingEmbedder(dim=512)
+        viral = "virus capsid replication influenza viral glycoprotein spike"
+        viral2 = "influenza virus spike glycoprotein and capsid assembly"
+        metab = "glycolysis metabolite flux citrate oxidation fermentation pathway"
+        assert emb.similarity(viral, viral2) > emb.similarity(viral, metab)
+
+    def test_self_similarity_is_one(self):
+        emb = HashingEmbedder(dim=256)
+        assert emb.similarity("gene expression", "gene expression") == pytest.approx(1.0, abs=1e-5)
+
+    def test_encode_batch(self):
+        emb = HashingEmbedder(dim=64)
+        mat = emb.encode_batch(["a b c", "d e f", ""])
+        assert mat.shape == (3, 64)
+        assert np.array_equal(mat[0], emb.encode("a b c"))
+
+    def test_encode_batch_empty(self):
+        emb = HashingEmbedder(dim=64)
+        assert emb.encode_batch([]).shape == (0, 64)
+
+    def test_bigrams_affect_encoding(self):
+        with_bi = HashingEmbedder(dim=256, use_bigrams=True)
+        without = HashingEmbedder(dim=256, use_bigrams=False)
+        text = "quorum sensing biofilm"
+        assert not np.allclose(with_bi.encode(text), without.encode(text))
+
+    @given(st.text(alphabet=st.characters(whitelist_categories=("Ll", "Nd"), max_codepoint=127),
+                   max_size=200))
+    @settings(max_examples=30, deadline=None)
+    def test_norm_is_zero_or_one(self, text):
+        emb = HashingEmbedder(dim=64)
+        norm = float(np.linalg.norm(emb.encode(text)))
+        assert norm == pytest.approx(0.0, abs=1e-6) or norm == pytest.approx(1.0, abs=1e-4)
+
+    def test_word_order_matters_with_bigrams(self):
+        emb = HashingEmbedder(dim=512, use_bigrams=True)
+        a = emb.encode("host pathogen interaction")
+        b = emb.encode("interaction pathogen host")
+        assert not np.allclose(a, b)

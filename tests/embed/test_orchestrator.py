@@ -1,0 +1,139 @@
+"""Adaptive orchestrator tests: submission policy, pause/resume, retarget."""
+
+import pytest
+
+from repro.embed.orchestrator import CampaignReport, Orchestrator, OrchestratorConfig
+from repro.sim.engine import Environment
+from repro.sim.scheduler import PbsScheduler
+
+
+def setup(n_papers=12_000, queues=(("debug", 2), ("prod", 4)), **cfg_kwargs):
+    env = Environment()
+    sched = PbsScheduler(env)
+    for name, nodes in queues:
+        sched.add_queue(name, nodes)
+    chars = [30_000] * n_papers
+    config = OrchestratorConfig(**cfg_kwargs)
+    orch = Orchestrator(
+        env, sched, chars, target_queues=[q for q, _ in queues], config=config
+    )
+    return env, sched, orch
+
+
+class TestCampaign:
+    def test_completes_all_jobs(self):
+        env, sched, orch = setup()
+        report = env.run(orch.process)
+        assert isinstance(report, CampaignReport)
+        assert report.jobs_submitted == 3     # 12000 / 4000
+        assert report.jobs_completed == 3
+        assert report.papers_embedded == 12_000
+        assert orch.done
+
+    def test_respects_per_queue_cap(self):
+        env, sched, orch = setup(n_papers=40_000, max_jobs_per_queue=1)
+        max_seen = 0
+
+        def monitor(env):
+            nonlocal max_seen
+            while not orch.done:
+                for name in ("debug", "prod"):
+                    q = sched.queue(name)
+                    mine = len(q.running) + len(q.pending)
+                    max_seen = max(max_seen, mine)
+                yield env.timeout(10.0)
+
+        env.process(monitor(env))
+        env.run(orch.process)
+        assert max_seen <= 1
+        assert orch.report.jobs_completed == 10
+
+    def test_makespan_benefits_from_parallel_queues(self):
+        _, _, orch_two = setup(n_papers=24_000)
+        env_two = orch_two.env
+        env_two.run(orch_two.process)
+        _, _, orch_one = setup(n_papers=24_000, queues=(("only", 1),),
+                               max_jobs_per_queue=1)
+        orch_one.env.run(orch_one.process)
+        assert orch_two.report.makespan_s < orch_one.report.makespan_s
+
+    def test_empty_campaign(self):
+        env, _, orch = setup(n_papers=0)
+        report = env.run(orch.process)
+        assert report.jobs_submitted == 0
+        assert orch.done
+
+
+class TestControl:
+    def test_requires_queue(self):
+        env = Environment()
+        sched = PbsScheduler(env)
+        with pytest.raises(ValueError):
+            Orchestrator(env, sched, [1], target_queues=[])
+
+    def test_pause_stops_submission(self):
+        env, sched, orch = setup(n_papers=40_000, max_jobs_per_queue=1)
+
+        def controller(env):
+            yield env.timeout(1.0)
+            orch.pause()
+            submitted_at_pause = orch.report.jobs_submitted
+            yield env.timeout(10_000.0)
+            assert orch.report.jobs_submitted == submitted_at_pause
+            orch.resume()
+
+        env.process(controller(env))
+        env.run(orch.process)
+        assert orch.report.jobs_completed == 10  # still finishes after resume
+
+    def test_retarget_mid_campaign(self):
+        env, sched, orch = setup(
+            n_papers=40_000, queues=(("debug", 2), ("prod", 4), ("backfill", 4))
+        )
+        orch.retarget(["backfill"])
+
+        def check(env):
+            yield env.timeout(50.0)
+            # all new work flows to backfill only
+            assert len(sched.queue("backfill").running) > 0
+
+        env.process(check(env))
+        env.run(orch.process)
+        assert orch.report.jobs_completed == 10
+
+    def test_retarget_validation(self):
+        env, _, orch = setup()
+        with pytest.raises(ValueError):
+            orch.retarget([])
+        env.run(orch.process)
+
+    def test_pending_chunks(self):
+        env, _, orch = setup(n_papers=20_000)
+        assert orch.pending_chunks <= 5
+        env.run(orch.process)
+        assert orch.pending_chunks == 0
+
+
+class TestWalltimeRetries:
+    def test_killed_jobs_are_resubmitted(self):
+        """A walltime too short for a job triggers kill + bounded retries,
+        ending with the chunks abandoned (not a hung campaign)."""
+        env, sched, orch = setup(
+            n_papers=8_000, queues=(("q", 2),),
+            walltime_s=10.0,          # far below the ~2,400 s a job needs
+            max_retries=1,
+        )
+        report = env.run(orch.process)
+        assert orch.done
+        assert report.jobs_completed == 0
+        assert report.jobs_killed == 4          # 2 chunks x (1 try + 1 retry)
+        assert report.chunks_abandoned == 2
+        assert report.papers_embedded == 0
+
+    def test_mixed_success_after_retry_budget(self):
+        """With a generous walltime everything completes and no kills occur."""
+        env, sched, orch = setup(n_papers=8_000, queues=(("q", 2),), max_retries=1)
+        report = env.run(orch.process)
+        assert report.jobs_killed == 0
+        assert report.chunks_abandoned == 0
+        assert report.jobs_completed == 2

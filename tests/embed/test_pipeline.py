@@ -1,0 +1,68 @@
+"""Embedding-job pipeline tests: closed form and DES agree; Table 2 shape."""
+
+import pytest
+
+from repro.embed.batching import BatchingConfig
+from repro.embed.pipeline import job_report, run_job_sim
+from repro.hpc.node import POLARIS_NODE, SimNode
+from repro.perfmodel.calibration import EMBEDDING
+from repro.sim.engine import Environment
+from repro.workloads.pes2o import Pes2oCorpus
+
+
+class TestJobReport:
+    def test_empty_job(self):
+        report = job_report([])
+        assert report.papers == 0
+        assert report.inference_s == 0.0
+        assert report.sequential_rate == 0.0
+
+    def test_table2_shape(self):
+        corpus = Pes2oCorpus(4_000, seed=1)
+        report = job_report(corpus.char_counts())
+        assert report.model_load_s == pytest.approx(EMBEDDING.model_load_s, rel=0.01)
+        assert report.io_s == pytest.approx(EMBEDDING.io_s, rel=0.2)
+        assert report.inference_s == pytest.approx(EMBEDDING.inference_s, rel=0.15)
+        assert report.inference_fraction > 0.97
+
+    def test_sequential_rate_low(self):
+        corpus = Pes2oCorpus(8_000, seed=2)
+        report = job_report(corpus.char_counts())
+        assert report.sequential_rate < EMBEDDING.sequential_fallback_rate
+
+    def test_more_gpus_faster_inference(self):
+        chars = [30_000] * 1_000
+        t4 = job_report(chars, n_gpus=4).inference_s
+        t1 = job_report(chars, n_gpus=1).inference_s
+        assert t1 == pytest.approx(4 * t4, rel=0.05)
+
+    def test_oom_fallback_counted(self):
+        # craft a stream that produces a padded-batch OOM: a monster doc
+        # arriving after small ones within one batch window
+        chars = [5_000] * 7 + [110_000]
+        report = job_report(chars, n_gpus=1)
+        assert report.oom_batches >= 1
+        assert report.sequential_papers >= 8
+
+    def test_custom_batching_config(self):
+        chars = [10_000] * 100
+        tight = job_report(chars, n_gpus=1, config=BatchingConfig(char_limit=10_000, max_papers=1))
+        loose = job_report(chars, n_gpus=1)
+        assert tight.batches > loose.batches
+
+
+class TestDesAgreement:
+    def test_des_matches_closed_form(self):
+        corpus = Pes2oCorpus(400, seed=3)
+        chars = corpus.char_counts()
+        closed = job_report(chars, n_gpus=4)
+        env = Environment()
+        node = SimNode(env, POLARIS_NODE, "n0")
+        report = env.run(run_job_sim(env, node, chars))
+        assert report.papers == closed.papers
+        assert report.inference_s == pytest.approx(closed.inference_s, rel=0.01)
+        assert report.model_load_s == pytest.approx(closed.model_load_s, rel=0.01)
+        # DES wall clock covers io + load + slowest GPU
+        assert env.now == pytest.approx(
+            report.io_s + report.model_load_s + report.inference_s, rel=0.05
+        )

@@ -1,0 +1,65 @@
+"""Node model tests."""
+
+import pytest
+
+from repro.hpc.node import A100_40GB, POLARIS_NODE, NodeSpec, SimNode
+from repro.sim.engine import Environment
+
+
+class TestSpecs:
+    def test_polaris_node_matches_paper(self):
+        """§3: 32-core 2.8 GHz EPYC, 512 GB DDR4, 4x A100."""
+        assert POLARIS_NODE.cpu_cores == 32
+        assert POLARIS_NODE.cpu_ghz == 2.8
+        assert POLARIS_NODE.memory_gb == pytest.approx(512.0)
+        assert POLARIS_NODE.gpu_count == 4
+        assert all(g is A100_40GB for g in POLARIS_NODE.gpus)
+
+    def test_a100(self):
+        assert A100_40GB.memory_gb == pytest.approx(40.0)
+        assert A100_40GB.flops == 312e12
+
+
+class TestSimNode:
+    def test_full_node_compute(self):
+        env = Environment()
+        node = SimNode(env, POLARIS_NODE, "n0")
+        env.run(node.compute(320.0))  # 320 core-seconds over 32 cores
+        assert env.now == pytest.approx(10.0)
+
+    def test_two_full_jobs_serialize(self):
+        env = Environment()
+        node = SimNode(env, POLARIS_NODE, "n0")
+        p1 = node.compute(320.0)
+        p2 = node.compute(320.0)
+        env.run(env.all_of([p1, p2]))
+        assert env.now == pytest.approx(20.0)
+        assert node.cpu_utilization() == pytest.approx(1.0, abs=0.01)
+
+    def test_half_width_jobs_overlap(self):
+        env = Environment()
+        node = SimNode(env, POLARIS_NODE, "n0")
+        p1 = node.compute(160.0, parallelism=16)
+        p2 = node.compute(160.0, parallelism=16)
+        env.run(env.all_of([p1, p2]))
+        assert env.now == pytest.approx(10.0)
+
+    def test_parallelism_clamped_to_cores(self):
+        env = Environment()
+        node = SimNode(env, POLARIS_NODE, "n0")
+        env.run(node.compute(32.0, parallelism=64))
+        assert env.now == pytest.approx(1.0)
+
+    def test_utilization_partial(self):
+        env = Environment()
+        node = SimNode(env, POLARIS_NODE, "n0")
+        env.run(node.compute(16.0, parallelism=16))  # 16 cores for 1s
+        env.run(until=2.0)
+        assert node.cpu_utilization() == pytest.approx(0.25)
+
+    def test_gpu_slots(self):
+        env = Environment()
+        node = SimNode(env, POLARIS_NODE, "n0")
+        assert len(node.gpu_slots) == 4
+        for slot in node.gpu_slots:
+            assert slot.capacity == 1

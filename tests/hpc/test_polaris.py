@@ -1,0 +1,47 @@
+"""Polaris machine model tests."""
+
+import pytest
+
+from repro.hpc.polaris import WORKERS_PER_NODE, PolarisMachine
+from repro.sim.engine import Environment
+
+
+class TestPolarisMachine:
+    def test_workers_per_node_constant(self):
+        assert WORKERS_PER_NODE == 4  # §3.2 deployment
+
+    def test_node_count_validation(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            PolarisMachine(env, n_nodes=0)
+        with pytest.raises(ValueError):
+            PolarisMachine(env, n_nodes=1000)  # exceeds topology terminals
+
+    def test_worker_placement(self):
+        env = Environment()
+        m = PolarisMachine(env, n_nodes=8)
+        assert m.node_for_worker(0).node_id == "node-0"
+        assert m.node_for_worker(3).node_id == "node-0"
+        assert m.node_for_worker(4).node_id == "node-1"
+        assert m.node_for_worker(31).node_id == "node-7"
+        with pytest.raises(ValueError):
+            m.node_for_worker(32)
+
+    def test_nodes_for_workers(self):
+        assert PolarisMachine.nodes_for_workers(1) == 1
+        assert PolarisMachine.nodes_for_workers(4) == 1
+        assert PolarisMachine.nodes_for_workers(5) == 2
+        assert PolarisMachine.nodes_for_workers(32) == 8
+
+    def test_transfer_between_nodes(self):
+        env = Environment()
+        m = PolarisMachine(env, n_nodes=4)
+        duration = env.run(m.transfer(0, 3, 1e9))
+        assert duration > 0
+        # ~1 GB at ~25 GB/s: tens of milliseconds
+        assert 0.01 < duration < 0.2
+
+    def test_node_accessor(self):
+        env = Environment()
+        m = PolarisMachine(env, n_nodes=2)
+        assert m.node(1).terminal == 1

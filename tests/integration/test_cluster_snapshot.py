@@ -1,0 +1,105 @@
+"""Distributed snapshot tests: save/restore, re-sharding, corruption."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CollectionConfig,
+    Distance,
+    OptimizerConfig,
+    PointStruct,
+    SearchRequest,
+    VectorParams,
+)
+from repro.core.cluster import Cluster
+from repro.core.cluster_snapshot import load_cluster_snapshot, save_cluster_snapshot
+from repro.core.errors import SnapshotError
+
+DIM = 12
+
+
+def config(name="c"):
+    return CollectionConfig(
+        name, VectorParams(size=DIM, distance=Distance.COSINE),
+        optimizer=OptimizerConfig(indexing_threshold=0),
+    )
+
+
+def populated_cluster(n_workers=4, n_points=120):
+    cluster = Cluster.with_workers(n_workers)
+    cluster.create_collection(config())
+    rng = np.random.default_rng(0)
+    cluster.upsert("c", [
+        PointStruct(id=i, vector=rng.normal(size=DIM), payload={"i": i})
+        for i in range(n_points)
+    ])
+    return cluster
+
+
+class TestRoundtrip:
+    def test_same_size_cluster(self, tmp_path):
+        cluster = populated_cluster()
+        path = save_cluster_snapshot(cluster, "c", str(tmp_path / "snap"))
+        fresh = Cluster.with_workers(4)
+        name = load_cluster_snapshot(fresh, path)
+        assert name == "c"
+        assert fresh.count("c") == 120
+        q = np.random.default_rng(1).normal(size=DIM)
+        orig = [h.id for h in cluster.search("c", SearchRequest(vector=q, limit=10))]
+        restored = [h.id for h in fresh.search("c", SearchRequest(vector=q, limit=10))]
+        assert orig == restored
+
+    def test_resharding_to_more_workers(self, tmp_path):
+        cluster = populated_cluster(n_workers=2)
+        path = save_cluster_snapshot(cluster, "c", str(tmp_path / "snap"))
+        bigger = Cluster.with_workers(8)
+        load_cluster_snapshot(bigger, path)
+        assert bigger.count("c") == 120
+        assert bigger.placement("c").shard_number == 8
+        rec = bigger.retrieve("c", 77, with_vector=True)
+        orig = cluster.retrieve("c", 77, with_vector=True)
+        assert np.allclose(rec.vector, orig.vector)
+
+    def test_rename_on_restore(self, tmp_path):
+        cluster = populated_cluster()
+        path = save_cluster_snapshot(cluster, "c", str(tmp_path / "snap"))
+        fresh = Cluster.with_workers(2)
+        name = load_cluster_snapshot(fresh, path, name="c-restored")
+        assert name == "c-restored"
+        assert fresh.count("c-restored") == 120
+
+    def test_snapshot_via_alias(self, tmp_path):
+        cluster = populated_cluster()
+        cluster.create_alias("current", "c")
+        path = save_cluster_snapshot(cluster, "current", str(tmp_path / "snap"))
+        manifest = json.load(open(os.path.join(path, "manifest.json")))
+        assert manifest["collection"] == "c"
+
+
+class TestErrors:
+    def test_missing_manifest(self, tmp_path):
+        with pytest.raises(SnapshotError):
+            load_cluster_snapshot(Cluster.with_workers(1), str(tmp_path / "none"))
+
+    def test_bad_version(self, tmp_path):
+        cluster = populated_cluster()
+        path = save_cluster_snapshot(cluster, "c", str(tmp_path / "snap"))
+        manifest_path = os.path.join(path, "manifest.json")
+        manifest = json.load(open(manifest_path))
+        manifest["format_version"] = 99
+        json.dump(manifest, open(manifest_path, "w"))
+        with pytest.raises(SnapshotError):
+            load_cluster_snapshot(Cluster.with_workers(1), path)
+
+    def test_manifest_count_mismatch(self, tmp_path):
+        cluster = populated_cluster()
+        path = save_cluster_snapshot(cluster, "c", str(tmp_path / "snap"))
+        manifest_path = os.path.join(path, "manifest.json")
+        manifest = json.load(open(manifest_path))
+        manifest["points_per_shard"]["0"] = 9999
+        json.dump(manifest, open(manifest_path, "w"))
+        with pytest.raises(SnapshotError):
+            load_cluster_snapshot(Cluster.with_workers(2), path)

@@ -1,0 +1,97 @@
+"""End-to-end biological RAG workflow (the paper's §3 pipeline, real code):
+
+corpus generation → embedding → distributed insertion → deferred index
+build → BV-BRC term queries, with retrieval-quality assertions (the
+embedder must surface topically related papers).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CollectionConfig,
+    Distance,
+    OptimizerConfig,
+    SearchRequest,
+    VectorParams,
+)
+from repro.core.client import SyncClient
+from repro.core.cluster import Cluster
+from repro.embed.model import HashingEmbedder
+from repro.workloads import BvBrcTerms, EmbeddedCorpus, Pes2oCorpus, QueryWorkload
+
+DIM = 256
+N_PAPERS = 120
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    embedder = HashingEmbedder(dim=DIM)
+    corpus = Pes2oCorpus(N_PAPERS, seed=11)
+    embedded = EmbeddedCorpus(corpus, embedder)
+    cluster = Cluster.with_workers(4)
+    cluster.create_collection(
+        CollectionConfig(
+            "papers",
+            VectorParams(size=DIM, distance=Distance.COSINE),
+            optimizer=OptimizerConfig(indexing_threshold=0),
+        )
+    )
+    client = SyncClient(cluster, "papers")
+    for batch in embedded.iter_points(batch_size=32):
+        cluster.upsert("papers", batch)
+    cluster.build_index("papers")   # deferred build, as in §3.3
+    return embedder, corpus, cluster, client
+
+
+class TestEndToEnd:
+    def test_all_papers_inserted(self, pipeline):
+        _, _, cluster, _ = pipeline
+        assert cluster.count("papers") == N_PAPERS
+
+    def test_index_built_everywhere(self, pipeline):
+        _, _, cluster, _ = pipeline
+        for info in cluster.info("papers"):
+            assert info.indexed_vectors_count == info.points_count
+
+    def test_self_retrieval(self, pipeline):
+        """A paper's own text must retrieve that paper first."""
+        embedder, corpus, cluster, _ = pipeline
+        for pid in (0, 33, 77):
+            q = embedder.encode(corpus.paper(pid).text)
+            hits = cluster.search("papers", SearchRequest(vector=q, limit=3))
+            assert hits[0].id == pid
+
+    def test_topical_retrieval(self, pipeline):
+        """Queries built from a paper's topic vocabulary should retrieve
+        papers sharing that topic more often than chance."""
+        embedder, corpus, cluster, _ = pipeline
+        from repro.workloads.vocabulary import BIOLOGY_TERMS
+
+        hits_on_topic = 0
+        total = 0
+        for topic in ("virology", "genomics", "immunology"):
+            query_text = " ".join(BIOLOGY_TERMS[topic][:10])
+            q = embedder.encode(query_text)
+            hits = cluster.search(
+                "papers", SearchRequest(vector=q, limit=5, with_payload=True)
+            )
+            for h in hits:
+                total += 1
+                if topic in h.payload["topics"]:
+                    hits_on_topic += 1
+        base_rate = sum(
+            1 for i in range(N_PAPERS) for t in corpus.paper(i).topics
+        ) / (N_PAPERS * len(("virology", "genomics", "immunology")))
+        assert hits_on_topic / total > 0.4  # far above the ~25% base rate
+
+    def test_bvbrc_term_queries_run(self, pipeline):
+        embedder, _, cluster, client = pipeline
+        workload = QueryWorkload(BvBrcTerms(32), embedder)
+        results = client.search_many(workload.vectors(), limit=5, batch_size=16)
+        assert len(results) == 32
+        assert all(len(r) == 5 for r in results)
+        # every result scored and sorted
+        for hits in results:
+            scores = [h.score for h in hits]
+            assert scores == sorted(scores, reverse=True)

@@ -1,0 +1,118 @@
+"""Full-campaign integration: embedding orchestrator on the queue simulator
+feeding a distributed insertion + query phase — the paper's complete §3
+workflow in one (scaled-down) run, plus a snapshot round-trip of the
+distributed collection."""
+
+import numpy as np
+
+from repro.core import (
+    Collection,
+    CollectionConfig,
+    Distance,
+    OptimizerConfig,
+    SearchRequest,
+    VectorParams,
+    load_snapshot,
+    save_snapshot,
+)
+from repro.core.cluster import Cluster
+from repro.core.mpclient import ParallelClientPool
+from repro.embed.model import HashingEmbedder
+from repro.embed.orchestrator import Orchestrator, OrchestratorConfig
+from repro.sim.engine import Environment
+from repro.sim.scheduler import PbsScheduler
+from repro.workloads import BvBrcTerms, EmbeddedCorpus, Pes2oCorpus, QueryWorkload
+
+DIM = 128
+
+
+def test_campaign_then_database_then_queries(tmp_path):
+    # Phase 1 (§3.1): embedding campaign through the PBS queues (simulated
+    # time), over the same synthetic corpus we then actually embed.
+    corpus = Pes2oCorpus(200, seed=21)
+    env = Environment()
+    sched = PbsScheduler(env)
+    sched.add_queue("debug", 2)
+    orch = Orchestrator(
+        env, sched, corpus.char_counts(),
+        target_queues=["debug"],
+        config=OrchestratorConfig(papers_per_job=50, poll_interval_s=5.0),
+    )
+    campaign = env.run(orch.process)
+    assert campaign.jobs_completed == 4
+    assert campaign.papers_embedded == 200
+    assert campaign.sequential_rate < 0.01
+
+    # Phase 2 (§3.2): real embeddings into a distributed cluster with one
+    # client per worker.
+    embedder = HashingEmbedder(dim=DIM)
+    embedded = EmbeddedCorpus(corpus, embedder)
+    cluster = Cluster.with_workers(4)
+    cluster.create_collection(
+        CollectionConfig(
+            "papers", VectorParams(size=DIM, distance=Distance.COSINE),
+            optimizer=OptimizerConfig(indexing_threshold=0),
+        )
+    )
+    pool = ParallelClientPool(cluster, "papers")
+    report = pool.upload(embedded.points(), batch_size=32)
+    assert report.points == 200
+    assert cluster.count("papers") == 200
+
+    # Phase 3 (§3.3): deferred index build on every shard.
+    built = cluster.build_index("papers")
+    assert sum(sum(v) for v in built.values()) == 200
+
+    # Phase 4 (§3.4): BV-BRC term queries, broadcast–reduce.
+    workload = QueryWorkload(BvBrcTerms(16), embedder)
+    results = cluster.search_batch(
+        "papers",
+        [SearchRequest(vector=v, limit=5) for v in workload.vectors()],
+    )
+    assert len(results) == 16 and all(len(r) == 5 for r in results)
+
+    # Phase 5: snapshot one shard's collection and restore it elsewhere.
+    worker = cluster.workers()[0]
+    shard_id = worker.shard_ids("papers")[0]
+    shard_collection = worker._shards[("papers", shard_id)]
+    snap_dir = str(tmp_path / "shard-snap")
+    save_snapshot(shard_collection, snap_dir)
+    restored = load_snapshot(snap_dir)
+    assert len(restored) == len(shard_collection)
+    if len(restored):
+        some_id = restored.scroll(limit=1)[0][0].id
+        orig = shard_collection.retrieve(some_id, with_vector=True)
+        copy = restored.retrieve(some_id, with_vector=True)
+        assert np.allclose(orig.vector, copy.vector)
+
+
+def test_distributed_matches_standalone_after_full_pipeline():
+    """The distributed answer must equal a standalone collection's answer
+    on the identical corpus — broadcast–reduce correctness end-to-end."""
+    embedder = HashingEmbedder(dim=DIM)
+    corpus = Pes2oCorpus(150, seed=22)
+    embedded = EmbeddedCorpus(corpus, embedder)
+    pts = embedded.points()
+
+    single = Collection(
+        CollectionConfig(
+            "solo", VectorParams(size=DIM, distance=Distance.COSINE),
+            optimizer=OptimizerConfig(indexing_threshold=0),
+        )
+    )
+    single.upsert(pts)
+
+    cluster = Cluster.with_workers(8)
+    cluster.create_collection(
+        CollectionConfig(
+            "papers", VectorParams(size=DIM, distance=Distance.COSINE),
+            optimizer=OptimizerConfig(indexing_threshold=0),
+        )
+    )
+    cluster.upsert("papers", pts)
+
+    workload = QueryWorkload(BvBrcTerms(12), embedder)
+    for q in workload.queries():
+        expected = [h.id for h in single.search(SearchRequest(vector=q.vector, limit=10))]
+        got = [h.id for h in cluster.search("papers", SearchRequest(vector=q.vector, limit=10))]
+        assert got == expected

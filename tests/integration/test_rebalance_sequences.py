@@ -1,0 +1,109 @@
+"""Stateful property test: random membership-change sequences.
+
+Hypothesis drives random sequences of worker additions and removals
+against a replicated cluster; after every step, all data must remain
+present, searchable, and identical to a never-rebalanced reference."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    Collection,
+    CollectionConfig,
+    Distance,
+    OptimizerConfig,
+    PointStruct,
+    SearchRequest,
+    VectorParams,
+)
+from repro.core.cluster import Cluster
+from repro.core.errors import ClusterConfigError
+from repro.core.worker import Worker
+
+DIM = 8
+N_POINTS = 60
+RF = 2
+
+
+def _points():
+    rng = np.random.default_rng(7)
+    return [
+        PointStruct(id=i, vector=rng.normal(size=DIM), payload={"i": i})
+        for i in range(N_POINTS)
+    ]
+
+
+@given(st.lists(st.sampled_from(["add", "remove"]), min_size=1, max_size=8))
+@settings(max_examples=20, deadline=None)
+def test_membership_churn_preserves_data(actions):
+    points = _points()
+    reference = Collection(
+        CollectionConfig(
+            "ref", VectorParams(size=DIM, distance=Distance.COSINE),
+            optimizer=OptimizerConfig(indexing_threshold=0),
+        )
+    )
+    reference.upsert(points)
+
+    cluster = Cluster.with_workers(3)
+    cluster.create_collection(
+        CollectionConfig(
+            "c", VectorParams(size=DIM, distance=Distance.COSINE),
+            optimizer=OptimizerConfig(indexing_threshold=0),
+            shard_number=4, replication_factor=RF,
+        )
+    )
+    cluster.upsert("c", points)
+
+    next_worker = 100
+    query = np.random.default_rng(9).normal(size=DIM)
+    expected = [h.id for h in reference.search(SearchRequest(vector=query, limit=10))]
+
+    for action in actions:
+        if action == "add":
+            cluster.add_worker(Worker(f"fresh-{next_worker}"), rebalance=True)
+            next_worker += 1
+        else:
+            if cluster.worker_count <= RF:
+                # removal would violate the replication factor: must refuse
+                victim = cluster.worker_ids[0]
+                with pytest.raises(ClusterConfigError):
+                    cluster.remove_worker(victim)
+                continue
+            cluster.remove_worker(cluster.worker_ids[0])
+
+        # invariants after every membership change
+        assert cluster.count("c") == N_POINTS
+        plan = cluster.placement("c")
+        live = set(cluster.worker_ids)
+        for shard in range(plan.shard_number):
+            holders = plan.workers_for(shard)
+            assert len(holders) == RF
+            assert set(holders) <= live
+        got = [h.id for h in cluster.search("c", SearchRequest(vector=query, limit=10))]
+        assert got == expected
+        # spot-check a retrieval
+        rec = cluster.retrieve("c", 31)
+        assert rec.payload == {"i": 31}
+
+
+def test_remove_below_replication_factor_is_atomic():
+    """A refused removal must leave the cluster fully intact."""
+    cluster = Cluster.with_workers(2)
+    cluster.create_collection(
+        CollectionConfig(
+            "c", VectorParams(size=DIM, distance=Distance.COSINE),
+            optimizer=OptimizerConfig(indexing_threshold=0),
+            replication_factor=2,
+        )
+    )
+    cluster.upsert("c", _points())
+    with pytest.raises(ClusterConfigError):
+        cluster.remove_worker("worker-0")
+    # nothing changed: both workers still serve, data intact
+    assert cluster.worker_count == 2
+    assert cluster.count("c") == N_POINTS
+    hits = cluster.search("c", SearchRequest(vector=np.ones(DIM), limit=5))
+    assert len(hits) == 5

@@ -1,0 +1,44 @@
+"""Unit tests for the §2.2 architecture-comparison model."""
+
+import pytest
+
+from repro.perfmodel.architecture import ScaleOutCost, ScaleOutCostModel
+
+
+class TestScaleOutCost:
+    def test_total(self):
+        cost = ScaleOutCost(transfer_s=10.0, index_rebuild_s=90.0)
+        assert cost.total_s == 100.0
+
+
+class TestScaleOutCostModel:
+    def test_validation(self):
+        model = ScaleOutCostModel()
+        with pytest.raises(ValueError):
+            model.stateful_cost(8, 4)
+        with pytest.raises(ValueError):
+            model.stateless_cost(4, 4)
+
+    def test_stateless_has_no_rebuild(self):
+        cost = ScaleOutCostModel().stateless_cost(4, 8)
+        assert cost.index_rebuild_s == 0.0
+        assert cost.transfer_s > 0.0
+
+    def test_moved_fraction_scales(self):
+        """Doubling moves half the data; 4->32 moves 7/8 of it."""
+        model = ScaleOutCostModel()
+        double = model.stateful_cost(4, 8)
+        big = model.stateful_cost(4, 32)
+        # more data moved but over more receiving pairs: transfer can shrink,
+        # while per-worker shard (and hence rebuild) gets smaller
+        assert big.index_rebuild_s < double.index_rebuild_s
+
+    def test_advantage_positive_everywhere(self):
+        model = ScaleOutCostModel()
+        for pair in [(1, 2), (4, 8), (8, 32)]:
+            assert model.advantage(*pair) > 1.0
+
+    def test_amortization_inf_when_stateful_cheaper(self):
+        # contrived: free rebuild and an absurdly slow object store
+        model = ScaleOutCostModel(object_store_Bps=1.0)
+        assert model.amortization_events(4, 8, steady_state_penalty_s=1.0) == float("inf")

@@ -1,0 +1,148 @@
+"""Calibration tests: every number the paper reports must fall out of the
+models within stated tolerance.  Each test cites its paper anchor."""
+
+import math
+
+import pytest
+
+from repro.perfmodel.calibration import (
+    DATASET,
+    EMBEDDING,
+    INDEXING,
+    INSERTION,
+    QUERY,
+    GiB,
+)
+
+
+class TestDatasetScale:
+    def test_paper_counts(self):
+        assert DATASET.total_papers == 8_293_485       # §3.1
+        assert DATASET.embedding_dim == 2560           # Qwen3-Embedding-4B
+        assert DATASET.n_query_terms == 22_723         # §3
+        assert DATASET.workers_per_node == 4           # §3.2
+
+    def test_dataset_is_about_80_gb(self):
+        assert 78.0 < DATASET.total_gib < 80.0         # "≈80 GB"
+
+    def test_1gb_subset(self):
+        n = DATASET.vectors_for_gib(1.0)
+        assert n * DATASET.bytes_per_vector == pytest.approx(GiB, rel=1e-4)
+
+
+class TestEmbeddingCalibration:
+    def test_table2_values(self):
+        assert EMBEDDING.model_load_s == 28.17
+        assert EMBEDDING.io_s == 7.49
+        assert EMBEDDING.inference_s == 2381.97
+        assert EMBEDDING.total_mean_s == 2417.84
+        assert EMBEDDING.total_std_s == 113.92
+
+    def test_inference_fraction_consistent(self):
+        """§3.1: inference is 98.5% of total runtime."""
+        frac = EMBEDDING.inference_s / EMBEDDING.total_mean_s
+        assert frac == pytest.approx(EMBEDDING.inference_fraction, abs=0.001)
+
+    def test_job_count_covers_corpus(self):
+        """N=2,079 jobs x ~4,000 papers ≈ 8.29 M papers."""
+        assert EMBEDDING.n_jobs * EMBEDDING.papers_per_job >= DATASET.total_papers
+        assert (EMBEDDING.n_jobs - 10) * EMBEDDING.papers_per_job < DATASET.total_papers * 1.01
+
+    def test_heuristic_limits(self):
+        assert EMBEDDING.batch_char_limit == 150_000
+        assert EMBEDDING.batch_max_papers == 8
+
+
+class TestInsertionCalibration:
+    def test_batch_curve_hits_anchors(self):
+        a, c, d = INSERTION.batch_curve
+        n = DATASET.vectors_for_gib(1.0)
+        t = lambda b: n * (a / b + c + d * b)
+        assert t(1) == pytest.approx(468.0, rel=0.001)      # Figure 2
+        assert t(32) == pytest.approx(381.0, rel=0.001)     # Figure 2
+
+    def test_batch_curve_minimum_at_32(self):
+        a, _, d = INSERTION.batch_curve
+        assert math.sqrt(a / d) == pytest.approx(32.0, rel=0.001)
+
+    def test_amdahl_cap(self):
+        """§3.2: maximum 1.31x by Amdahl's law (45.64 vs 14.86 ms)."""
+        cap = (INSERTION.convert_ms_per_batch + INSERTION.rpc_ms_per_batch) / \
+            INSERTION.convert_ms_per_batch
+        assert cap == pytest.approx(1.33, abs=0.03)
+        assert abs(cap - INSERTION.amdahl_cap) < 0.05
+
+    def test_concurrency_anchors(self):
+        n_b = math.ceil(DATASET.vectors_for_gib(1.0) / 32)
+        t_cpu, t_rpc, kappa = (
+            INSERTION.conc_t_cpu_s, INSERTION.conc_t_rpc_s, INSERTION.conc_kappa
+        )
+        t = lambda c: n_b * (t_cpu + t_rpc * (1 + kappa * (c - 1) ** 2) / c)
+        assert t(1) == pytest.approx(381.0, rel=0.001)
+        assert t(2) == pytest.approx(367.0, rel=0.001)
+        assert t(3) > t(2)  # degrades after the optimum
+
+    def test_table3_model_within_5pct(self):
+        for w, hours in zip(INSERTION.table3_workers, INSERTION.table3_hours):
+            model_s = (DATASET.total_papers / w) * INSERTION.t_vec_s * (
+                1 + INSERTION.client_contention * (w - 1)
+            )
+            assert model_s == pytest.approx(hours * 3600.0, rel=0.05), f"W={w}"
+
+    def test_1gb_and_80gb_rates_consistent(self):
+        """The paper's own numbers agree: 381 s/1 GiB ≈ 8.22 h/79 GiB."""
+        rate_1gb = 381.0 / DATASET.vectors_for_gib(1.0)
+        rate_full = 8.22 * 3600.0 / DATASET.total_papers
+        assert rate_1gb == pytest.approx(rate_full, rel=0.05)
+
+
+class TestIndexingCalibration:
+    def test_beta_from_speedup_anchors(self):
+        """beta solves (32/4)^beta = 21.32/1.27."""
+        assert 8.0 ** INDEXING.beta == pytest.approx(21.32 / 1.27, rel=1e-6)
+        assert 1.3 < INDEXING.beta < 1.4
+
+    def test_kappa_pack(self):
+        assert 4.0 ** INDEXING.beta / (4.0 * INDEXING.kappa_pack) == pytest.approx(
+            1.27, rel=1e-6
+        )
+        assert 1.2 < INDEXING.kappa_pack < 1.4
+
+    def test_cpu_saturation_range(self):
+        lo, hi = INDEXING.cpu_utilization_single_worker
+        assert (lo, hi) == (0.90, 0.97)  # §3.3 profiling
+
+
+class TestQueryCalibration:
+    def test_batch_curve_anchors(self):
+        a, c = QUERY.batch_curve
+        nq = QUERY.n_queries
+        assert nq * (a + c) == pytest.approx(139.0, rel=0.001)       # Figure 4
+        assert nq * (a / 16 + c) == pytest.approx(73.0, rel=0.001)   # Figure 4
+
+    def test_await_times_match_measurements(self):
+        """§3.4: 30.7 / 76.4 / 170 ms at c = 2/4/8."""
+        L = lambda c: QUERY.await_ms_c2 * (c / 2.0) ** QUERY.await_exponent
+        assert L(2) == pytest.approx(30.7)
+        assert L(4) == pytest.approx(76.4, rel=0.06)
+        assert L(8) == pytest.approx(170.0, rel=0.06)
+
+    def test_shard_cost_positive(self):
+        p, q = QUERY.shard_cost_coeffs
+        assert p > 0 and q > 0
+
+    def test_shard_cost_matches_1gb(self):
+        p, q = QUERY.shard_cost_coeffs
+        n1 = DATASET.vectors_for_gib(1.0)
+        _, c = QUERY.batch_curve
+        assert p * n1 + q * n1 * n1 == pytest.approx(c, rel=1e-6)
+
+    def test_max_speedup_reproduced(self):
+        p, q = QUERY.shard_cost_coeffs
+        n80 = DATASET.total_papers
+        n30 = DATASET.vectors_for_gib(30.0)
+        w = 32
+        ts = lambda n: p * n + q * n * n
+        comm = p * n30 * (1 - 1 / w) + q * n30 * n30 * (1 - 1 / w**2)
+        speedup = ts(n80) / (ts(n80 / w) + comm)
+        assert speedup == pytest.approx(3.57, rel=0.01)   # §3.4

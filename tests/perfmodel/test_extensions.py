@@ -1,0 +1,89 @@
+"""Unit tests for the future-work extension models (GPU indexing, variability)."""
+
+import numpy as np
+import pytest
+
+from repro.perfmodel.gpu_indexing import GpuIndexBuildModel
+from repro.perfmodel.indexing import IndexBuildModel
+from repro.perfmodel.variability import NoiseModel, TrialStats, VariabilityStudy
+
+
+class TestGpuIndexBuild:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GpuIndexBuildModel().time_s(0)
+
+    def test_fits_boundary(self):
+        m = GpuIndexBuildModel()
+        limit = m.gpu.memory_bytes / (m.data.bytes_per_vector * m.graph_overhead)
+        assert m.shard_fits_gpu(limit * 0.99)
+        assert not m.shard_fits_gpu(limit * 1.01)
+
+    def test_gpu_speedup_when_fitting(self):
+        m = GpuIndexBuildModel()
+        gib = 10.0
+        # 32 shards of ~0.3 GiB each: deep inside device memory
+        assert m.speedup_vs_cpu(32, dataset_gib=gib) > m.gpu_speedup  # + packing win
+
+    def test_monotone_in_workers_when_fitting(self):
+        m = GpuIndexBuildModel()
+        times = [m.time_s(w, dataset_gib=10.0) for w in (4, 8, 16, 32)]
+        assert times == sorted(times, reverse=True)
+
+    def test_never_slower_than_cpu(self):
+        m = GpuIndexBuildModel()
+        cpu = IndexBuildModel()
+        for w in (1, 2, 4, 16):
+            for s in (1.0, 30.0, 79.0):
+                assert m.time_s(w, dataset_gib=s) <= cpu.time_s(w, dataset_gib=s) + 1e-9
+
+
+class TestNoiseModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NoiseModel(cv=-0.1)
+        with pytest.raises(ValueError):
+            NoiseModel(straggler_prob=1.0)
+        with pytest.raises(ValueError):
+            NoiseModel(straggler_factor=0.5)
+
+    def test_unit_mean(self):
+        rng = np.random.default_rng(0)
+        factors = NoiseModel(cv=0.1).sample_factors(20_000, rng)
+        assert np.mean(factors) == pytest.approx(1.0, abs=0.01)
+
+    def test_cv_matches(self):
+        rng = np.random.default_rng(1)
+        factors = NoiseModel(cv=0.2).sample_factors(50_000, rng)
+        assert np.std(factors) / np.mean(factors) == pytest.approx(0.2, rel=0.05)
+
+    def test_stragglers_raise_mean(self):
+        rng = np.random.default_rng(2)
+        clean = NoiseModel(cv=0.05).sample_factors(10_000, rng)
+        rng = np.random.default_rng(2)
+        tail = NoiseModel(cv=0.05, straggler_prob=0.1, straggler_factor=3.0
+                          ).sample_factors(10_000, rng)
+        assert np.mean(tail) > np.mean(clean) * 1.1
+
+
+class TestVariabilityStudy:
+    def test_trials_validation(self):
+        with pytest.raises(ValueError):
+            VariabilityStudy(trials=1)
+
+    def test_negative_model_rejected(self):
+        with pytest.raises(ValueError):
+            VariabilityStudy(trials=5).run(lambda: -1.0)
+
+    def test_stats_fields(self):
+        stats = TrialStats(samples=np.array([1.0, 2.0, 3.0, 4.0]))
+        assert stats.n == 4
+        assert stats.mean == pytest.approx(2.5)
+        assert stats.p50 == pytest.approx(2.5)
+        assert stats.tail_ratio >= 1.0
+
+    def test_compare_uses_same_seed(self):
+        study = VariabilityStudy(NoiseModel(seed=7), trials=50)
+        out = study.compare({"a": lambda: 10.0, "b": lambda: 20.0})
+        # identical noise streams: b is exactly 2x a, sample-wise
+        assert np.allclose(out["b"].samples, 2.0 * out["a"].samples)

@@ -1,0 +1,49 @@
+"""Numerical fits must agree with the closed-form calibration constants."""
+
+import pytest
+
+from repro.perfmodel.calibration import INDEXING, INSERTION, QUERY
+from repro.perfmodel.fit import (
+    fit_client_contention,
+    fit_indexing_exponents,
+    fit_insertion_batch_curve,
+    fit_query_await_exponent,
+    fit_shard_cost_ratio,
+)
+
+
+def test_batch_curve_fit_matches_closed_form():
+    a_n, c_n, d_n = fit_insertion_batch_curve()
+    a, c, d = INSERTION.batch_curve
+    assert a_n == pytest.approx(a, rel=1e-6)
+    assert c_n == pytest.approx(c, rel=1e-6)
+    assert d_n == pytest.approx(d, rel=1e-6)
+
+
+def test_client_contention_fit():
+    gamma = fit_client_contention()
+    # the hardcoded constant is the rounded least-squares value
+    assert gamma == pytest.approx(INSERTION.client_contention, abs=0.003)
+    # and it actually fits Table 3 within a few percent
+    from repro.perfmodel.insertion import WorkerScalingModel
+
+    model = WorkerScalingModel()
+    for w, hours in zip(INSERTION.table3_workers, INSERTION.table3_hours):
+        assert model.time_s(w) == pytest.approx(hours * 3600.0, rel=0.05)
+
+
+def test_indexing_exponents_fit():
+    beta, kappa = fit_indexing_exponents()
+    assert beta == pytest.approx(INDEXING.beta, rel=1e-6)
+    assert kappa == pytest.approx(INDEXING.kappa_pack, rel=1e-6)
+
+
+def test_query_await_exponent_fit():
+    p = fit_query_await_exponent()
+    # the module uses 1.25; the least-squares optimum is within a few percent
+    assert p == pytest.approx(QUERY.await_exponent, abs=0.06)
+
+
+def test_shard_cost_ratio_fit():
+    ratio = fit_shard_cost_ratio()
+    assert ratio == pytest.approx(QUERY.shard_cost_ratio, rel=1e-6)

@@ -1,0 +1,193 @@
+"""Performance-model API tests (insertion, indexing, query, embedding, Amdahl)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.perfmodel import (
+    BatchSizeModel,
+    ConcurrencyModel,
+    EmbeddingJobModel,
+    IndexBuildModel,
+    QueryBatchModel,
+    QueryConcurrencyModel,
+    QueryScalingModel,
+    WorkerScalingModel,
+    amdahl_speedup,
+    max_async_speedup,
+    serial_fraction,
+)
+
+
+class TestAmdahl:
+    def test_serial_fraction(self):
+        assert serial_fraction(3.0, 1.0) == pytest.approx(0.75)
+        with pytest.raises(ValueError):
+            serial_fraction(0.0, 0.0)
+
+    def test_amdahl_limits(self):
+        assert amdahl_speedup(0.5, 1) == pytest.approx(1.0)
+        assert amdahl_speedup(0.5, 1e12) == pytest.approx(2.0, rel=0.01)
+        with pytest.raises(ValueError):
+            amdahl_speedup(1.5, 2)
+        with pytest.raises(ValueError):
+            amdahl_speedup(0.5, 0)
+
+    def test_paper_cap(self):
+        assert max_async_speedup(45.64, 14.86) == pytest.approx(1.326, abs=0.01)
+        with pytest.raises(ValueError):
+            max_async_speedup(0, 1)
+
+    @given(st.floats(0.01, 1.0), st.integers(1, 1000))
+    def test_speedup_bounded_by_inverse_serial(self, frac, n):
+        assert 1.0 <= amdahl_speedup(frac, n) <= 1.0 / frac + 1e-9
+
+
+class TestBatchSizeModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BatchSizeModel().time_s(0)
+
+    def test_optimum_is_32(self):
+        assert BatchSizeModel().optimal_batch_size() == 32
+
+    def test_scales_with_dataset(self):
+        m = BatchSizeModel()
+        assert m.time_s(32, dataset_gib=2.0) == pytest.approx(2 * m.time_s(32), rel=0.001)
+
+    @given(st.integers(1, 512))
+    def test_u_shape(self, b):
+        m = BatchSizeModel()
+        assert m.time_s(b) >= m.time_s(32) - 1e-9
+
+
+class TestConcurrencyModel:
+    def test_optimum_is_2(self):
+        assert ConcurrencyModel().optimal_concurrency() == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ConcurrencyModel().time_s(0)
+
+    def test_amdahl_limit(self):
+        assert 1.28 < ConcurrencyModel().ideal_speedup_limit() < 1.36
+
+
+class TestWorkerScaling:
+    def test_monotone(self):
+        m = WorkerScalingModel()
+        times = [m.time_s(w) for w in (1, 4, 8, 16, 32)]
+        assert times == sorted(times, reverse=True)
+
+    def test_efficiency_declines(self):
+        m = WorkerScalingModel()
+        assert m.efficiency(4) > m.efficiency(16) > m.efficiency(32)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorkerScalingModel().time_s(0)
+
+    def test_sweep(self):
+        sweep = WorkerScalingModel().sweep([1, 4])
+        assert set(sweep) == {1, 4}
+
+
+class TestIndexBuildModel:
+    def test_speedup_anchors(self):
+        m = IndexBuildModel()
+        assert m.speedup(4) == pytest.approx(1.27, rel=0.01)
+        assert m.speedup(32) == pytest.approx(21.32, rel=0.01)
+
+    def test_superlinear_shard_cost(self):
+        m = IndexBuildModel()
+        assert m.shard_build_s(2_000_000) > 2 * m.shard_build_s(1_000_000)
+
+    def test_validation(self):
+        m = IndexBuildModel()
+        with pytest.raises(ValueError):
+            m.time_s(0)
+        with pytest.raises(ValueError):
+            m.shard_build_s(-1)
+
+    def test_speedup_independent_of_size(self):
+        """The power-law model implies size-independent relative speedups."""
+        m = IndexBuildModel()
+        assert m.speedup(8, dataset_gib=10.0) == pytest.approx(
+            m.speedup(8, dataset_gib=79.0), rel=0.001
+        )
+
+    def test_sweep_grid(self):
+        grid = IndexBuildModel().sweep([1, 4], [1.0, 10.0])
+        assert grid[4][10.0] > grid[4][1.0]
+
+
+class TestQueryModels:
+    def test_batch_optimum_region(self):
+        m = QueryBatchModel()
+        assert m.time_s(1) == pytest.approx(139.0, rel=0.001)
+        assert m.time_s(16) == pytest.approx(73.0, rel=0.001)
+        assert m.marginal_benefit(16) < m.marginal_benefit(1)
+
+    def test_batch_validation(self):
+        with pytest.raises(ValueError):
+            QueryBatchModel().time_s(0)
+
+    def test_concurrency_optimum(self):
+        m = QueryConcurrencyModel()
+        assert m.optimal_concurrency() == 2
+        assert m.time_s(1) > m.time_s(2)
+        assert m.time_s(8) > m.time_s(2)
+
+    def test_await_validation(self):
+        with pytest.raises(ValueError):
+            QueryConcurrencyModel().await_ms(0)
+
+    def test_scaling_crossover(self):
+        m = QueryScalingModel()
+        for w in (4, 8, 16, 32):
+            assert m.crossover_gib(w) == pytest.approx(30.0, abs=1.0)
+
+    def test_scaling_below_crossover_hurts(self):
+        m = QueryScalingModel()
+        assert m.speedup(4, 10.0) < 1.0
+
+    def test_scaling_above_crossover_helps(self):
+        m = QueryScalingModel()
+        assert m.speedup(4, 60.0) > 1.0
+
+    def test_max_speedup(self):
+        m = QueryScalingModel()
+        assert m.speedup(32, 79.09) == pytest.approx(3.57, abs=0.1)
+
+    def test_marginal_beyond_4(self):
+        m = QueryScalingModel()
+        full = 79.09
+        assert m.speedup(32, full) - m.speedup(4, full) < 0.45 * m.speedup(4, full)
+
+    def test_crossover_validation(self):
+        with pytest.raises(ValueError):
+            QueryScalingModel().crossover_gib(1)
+
+    def test_comm_monotone_in_workers(self):
+        m = QueryScalingModel()
+        assert 0.0 == m.comm_s(1) < m.comm_s(2) < m.comm_s(8) < m.comm_s(32)
+
+
+class TestEmbeddingJobModel:
+    def test_table2_reproduced(self):
+        times = EmbeddingJobModel().job_times()
+        assert times.model_load_s == pytest.approx(28.17)
+        assert times.io_s == pytest.approx(7.49, rel=0.001)
+        assert times.inference_s == pytest.approx(2381.97, rel=0.001)
+        assert times.inference_fraction == pytest.approx(0.985, abs=0.002)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EmbeddingJobModel().job_times(-1)
+
+    def test_campaign_jobs(self):
+        m = EmbeddingJobModel()
+        assert m.campaign_jobs(8_293_485) == 2074
+        assert m.campaign_node_hours(8_293_485) > 1000

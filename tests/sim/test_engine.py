@@ -1,0 +1,317 @@
+"""DES engine tests: ordering, conditions, interrupts, failure propagation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Interrupt,
+    SimulationError,
+)
+
+
+class TestClock:
+    def test_starts_at_zero(self):
+        assert Environment().now == 0.0
+
+    def test_timeout_advances_clock(self):
+        env = Environment()
+
+        def proc(env):
+            yield env.timeout(5.0)
+            return env.now
+
+        p = env.process(proc(env))
+        assert env.run(p) == 5.0
+
+    def test_negative_timeout_rejected(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            env.timeout(-1.0)
+
+    def test_run_until_time(self):
+        env = Environment()
+        fired = []
+
+        def proc(env):
+            yield env.timeout(10.0)
+            fired.append(env.now)
+
+        env.process(proc(env))
+        env.run(until=5.0)
+        assert fired == [] and env.now == 5.0
+        env.run(until=20.0)
+        assert fired == [10.0] and env.now == 20.0
+
+    def test_run_backwards_rejected(self):
+        env = Environment()
+        env.run(until=5.0)
+        with pytest.raises(SimulationError):
+            env.run(until=1.0)
+
+    def test_peek(self):
+        env = Environment()
+        assert env.peek() == float("inf")
+        env.timeout(3.0)
+        assert env.peek() == 3.0
+
+
+class TestProcesses:
+    def test_return_value(self):
+        env = Environment()
+
+        def proc(env):
+            yield env.timeout(1)
+            return "done"
+
+        assert env.run(env.process(proc(env))) == "done"
+
+    def test_sequential_timeouts(self):
+        env = Environment()
+        marks = []
+
+        def proc(env):
+            for d in (1.0, 2.0, 3.0):
+                yield env.timeout(d)
+                marks.append(env.now)
+
+        env.process(proc(env))
+        env.run()
+        assert marks == [1.0, 3.0, 6.0]
+
+    def test_process_waits_for_process(self):
+        env = Environment()
+
+        def inner(env):
+            yield env.timeout(4)
+            return 42
+
+        def outer(env):
+            value = yield env.process(inner(env))
+            return (env.now, value)
+
+        assert env.run(env.process(outer(env))) == (4.0, 42)
+
+    def test_yield_non_event_raises(self):
+        env = Environment()
+
+        def bad(env):
+            yield "not an event"
+
+        env.process(bad(env))
+        with pytest.raises(SimulationError):
+            env.run()
+
+    def test_exception_propagates_to_waiter(self):
+        env = Environment()
+
+        def failing(env):
+            yield env.timeout(1)
+            raise RuntimeError("boom")
+
+        def waiter(env):
+            try:
+                yield env.process(failing(env))
+            except RuntimeError as exc:
+                return f"caught {exc}"
+
+        assert env.run(env.process(waiter(env))) == "caught boom"
+
+    def test_uncaught_failure_raises_from_run(self):
+        env = Environment()
+
+        def failing(env):
+            yield env.timeout(1)
+            raise ValueError("unhandled")
+
+        p = env.process(failing(env))
+        with pytest.raises(ValueError):
+            env.run(p)
+
+    def test_waiting_on_processed_event(self):
+        env = Environment()
+        done = env.timeout(1.0, value="early")
+
+        def late(env):
+            yield env.timeout(5.0)
+            value = yield done  # already processed by now
+            return value
+
+        assert env.run(env.process(late(env))) == "early"
+
+
+class TestEvents:
+    def test_succeed_value(self):
+        env = Environment()
+        ev = env.event()
+
+        def trigger(env):
+            yield env.timeout(2)
+            ev.succeed("payload")
+
+        def waiter(env):
+            value = yield ev
+            return (env.now, value)
+
+        env.process(trigger(env))
+        assert env.run(env.process(waiter(env))) == (2.0, "payload")
+
+    def test_double_trigger_rejected(self):
+        env = Environment()
+        ev = env.event()
+        ev.succeed(1)
+        with pytest.raises(SimulationError):
+            ev.succeed(2)
+
+    def test_fail_requires_exception(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            env.event().fail("not an exception")
+
+    def test_value_before_trigger_raises(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            _ = env.event().value
+
+    def test_deadlock_detected(self):
+        env = Environment()
+        ev = env.event()  # never triggered
+
+        def waiter(env):
+            yield ev
+
+        p = env.process(waiter(env))
+        with pytest.raises(SimulationError):
+            env.run(p)
+
+
+class TestConditions:
+    def test_all_of_barrier(self):
+        env = Environment()
+
+        def worker(env, d):
+            yield env.timeout(d)
+            return d
+
+        procs = [env.process(worker(env, d)) for d in (3.0, 1.0, 2.0)]
+
+        def main(env):
+            results = yield AllOf(env, procs)
+            return (env.now, sorted(results.values()))
+
+        assert env.run(env.process(main(env))) == (3.0, [1.0, 2.0, 3.0])
+
+    def test_any_of_first(self):
+        env = Environment()
+
+        def worker(env, d):
+            yield env.timeout(d)
+            return d
+
+        procs = [env.process(worker(env, d)) for d in (3.0, 1.0)]
+
+        def main(env):
+            results = yield AnyOf(env, procs)
+            return (env.now, list(results.values()))
+
+        assert env.run(env.process(main(env))) == (1.0, [1.0])
+
+    def test_all_of_empty(self):
+        env = Environment()
+
+        def main(env):
+            results = yield AllOf(env, [])
+            return results
+
+        assert env.run(env.process(main(env))) == {}
+
+    def test_timeout_in_condition_not_pre_fired(self):
+        """Regression: Timeout carries a value from creation; conditions must
+        not treat it as already fired."""
+        env = Environment()
+
+        def fast(env):
+            yield env.timeout(1)
+            return "fast"
+
+        def main(env):
+            body = env.process(fast(env))
+            timer = env.timeout(100, value="timer")
+            results = yield AnyOf(env, [body, timer])
+            return list(results.values())
+
+        assert env.run(env.process(main(env))) == ["fast"]
+
+    def test_all_of_propagates_failure(self):
+        env = Environment()
+
+        def bad(env):
+            yield env.timeout(1)
+            raise RuntimeError("x")
+
+        def ok(env):
+            yield env.timeout(5)
+
+        def main(env):
+            try:
+                yield AllOf(env, [env.process(bad(env)), env.process(ok(env))])
+            except RuntimeError:
+                return "failed"
+
+        assert env.run(env.process(main(env))) == "failed"
+
+
+class TestInterrupt:
+    def test_interrupt_raises_inside(self):
+        env = Environment()
+
+        def sleeper(env):
+            try:
+                yield env.timeout(100)
+            except Interrupt as i:
+                return ("interrupted", i.cause, env.now)
+
+        p = env.process(sleeper(env))
+
+        def killer(env):
+            yield env.timeout(2)
+            p.interrupt("reason")
+
+        env.process(killer(env))
+        assert env.run(p) == ("interrupted", "reason", 2.0)
+
+    def test_interrupt_dead_process_is_noop(self):
+        env = Environment()
+
+        def quick(env):
+            yield env.timeout(1)
+
+        p = env.process(quick(env))
+        env.run()
+        p.interrupt()  # must not raise
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=30))
+@settings(max_examples=30, deadline=None)
+def test_events_fire_in_time_order(delays):
+    """Property: completion order is sorted by delay (ties by creation)."""
+    env = Environment()
+    order = []
+
+    def proc(env, i, d):
+        yield env.timeout(d)
+        order.append((env.now, i))
+
+    for i, d in enumerate(delays):
+        env.process(proc(env, i, d))
+    env.run()
+    times = [t for t, _ in order]
+    assert times == sorted(times)
+    # ties broken by creation order
+    for (t1, i1), (t2, i2) in zip(order, order[1:]):
+        if t1 == t2:
+            assert i1 < i2

@@ -1,0 +1,97 @@
+"""Network model tests: link costs, Dragonfly routing, NIC contention."""
+
+import pytest
+
+from repro.sim.engine import Environment
+from repro.sim.network import SLINGSHOT11, DragonflyTopology, LinkModel, SimNetwork
+
+
+class TestLinkModel:
+    def test_alpha_beta(self):
+        link = LinkModel(latency_s=1e-6, bandwidth_Bps=1e9)
+        assert link.transfer_time(0) == pytest.approx(1e-6)
+        assert link.transfer_time(1e9) == pytest.approx(1.000001)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            SLINGSHOT11.transfer_time(-1)
+
+    def test_slingshot_constants(self):
+        assert SLINGSHOT11.bandwidth_Bps == 25e9
+
+
+class TestDragonfly:
+    def test_dimension_validation(self):
+        with pytest.raises(ValueError):
+            DragonflyTopology(n_groups=0)
+
+    def test_terminal_count(self):
+        topo = DragonflyTopology(n_groups=2, routers_per_group=3, terminals_per_router=4)
+        assert topo.n_terminals == 24
+
+    def test_locate(self):
+        topo = DragonflyTopology(n_groups=2, routers_per_group=2, terminals_per_router=2)
+        assert topo.locate(0) == (0, 0, 0)
+        assert topo.locate(3) == (0, 1, 1)
+        assert topo.locate(4) == (1, 0, 0)
+        with pytest.raises(ValueError):
+            topo.locate(8)
+
+    def test_loopback_is_free(self):
+        topo = DragonflyTopology()
+        route = topo.route(3, 3)
+        assert route.latency_s == 0.0
+        assert topo.transfer_time(3, 3, 1e9) == 0.0
+
+    def test_route_hierarchy_costs(self):
+        """same-router < same-group < cross-group latency."""
+        topo = DragonflyTopology(n_groups=2, routers_per_group=2, terminals_per_router=2)
+        same_router = topo.route(0, 1).latency_s
+        same_group = topo.route(0, 2).latency_s
+        cross_group = topo.route(0, 4).latency_s
+        assert same_router < same_group < cross_group
+
+    def test_cross_group_bottleneck_is_global_link(self):
+        topo = DragonflyTopology()
+        route = topo.route(0, topo.n_terminals - 1)
+        assert route.bottleneck_Bps == topo.global_link.bandwidth_Bps
+
+    def test_transfer_time_dominated_by_bandwidth_for_big_messages(self):
+        topo = DragonflyTopology()
+        t = topo.transfer_time(0, 1, 25e9)  # 25 GB at 25 GB/s
+        assert 0.9 < t < 1.1
+
+
+class TestSimNetwork:
+    def test_transfer_process(self):
+        env = Environment()
+        net = SimNetwork(env, DragonflyTopology())
+        duration = env.run(net.transfer(0, 5, 1e6))
+        assert duration > 0
+        assert net.messages_sent == 1
+        assert net.bytes_sent == 1_000_000
+
+    def test_loopback_no_nic(self):
+        env = Environment()
+        net = SimNetwork(env, DragonflyTopology())
+        env.run(net.transfer(2, 2, 1e6))
+        assert net.messages_sent == 0  # loopback not counted as a message
+
+    def test_nic_contention_serializes(self):
+        env = Environment()
+        net = SimNetwork(env, DragonflyTopology(), channels=1)
+        size = 25e9  # 1 second per transfer
+        p1 = net.transfer(0, 1, size)
+        p2 = net.transfer(0, 2, size)
+        env.run(env.all_of([p1, p2]))
+        # both source transfers share terminal 0's single channel
+        assert env.now == pytest.approx(2.0, rel=0.01)
+
+    def test_parallel_channels(self):
+        env = Environment()
+        net = SimNetwork(env, DragonflyTopology(), channels=4)
+        size = 25e9
+        p1 = net.transfer(0, 1, size)
+        p2 = net.transfer(0, 2, size)
+        env.run(env.all_of([p1, p2]))
+        assert env.now == pytest.approx(1.0, rel=0.01)

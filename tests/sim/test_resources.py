@@ -1,0 +1,227 @@
+"""Resource / Container / Store tests."""
+
+import pytest
+
+from repro.sim.engine import Environment, SimulationError
+from repro.sim.resources import Container, PriorityResource, Resource, Store
+
+
+class TestResource:
+    def test_capacity_validation(self):
+        with pytest.raises(SimulationError):
+            Resource(Environment(), capacity=0)
+
+    def test_fifo_queueing(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+        order = []
+
+        def worker(name, hold):
+            req = res.request()
+            yield req
+            order.append((env.now, name))
+            yield env.timeout(hold)
+            res.release(req)
+
+        for i in range(3):
+            env.process(worker(f"w{i}", 2.0))
+        env.run()
+        assert order == [(0.0, "w0"), (2.0, "w1"), (4.0, "w2")]
+
+    def test_concurrent_capacity(self):
+        env = Environment()
+        res = Resource(env, capacity=2)
+        starts = []
+
+        def worker(name):
+            req = res.request()
+            yield req
+            starts.append((env.now, name))
+            yield env.timeout(1.0)
+            res.release(req)
+
+        for i in range(4):
+            env.process(worker(i))
+        env.run()
+        assert [t for t, _ in starts] == [0.0, 0.0, 1.0, 1.0]
+
+    def test_release_without_request(self):
+        env = Environment()
+        res = Resource(env)
+        with pytest.raises(SimulationError):
+            res.release()
+
+    def test_utilization(self):
+        env = Environment()
+        res = Resource(env, capacity=2)
+        env.run(res.use(10.0))
+        assert res.utilization() == pytest.approx(0.5)
+
+    def test_queue_length(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+        res.request()
+        res.request()
+        assert res.queue_length == 1
+        assert res.in_use == 1
+
+
+class TestPriorityResource:
+    def test_priority_order(self):
+        env = Environment()
+        res = PriorityResource(env, capacity=1)
+        order = []
+
+        def worker(name, prio):
+            req = res.request(priority=prio)
+            yield req
+            order.append(name)
+            yield env.timeout(1.0)
+            res.release(req)
+
+        def submit(env):
+            # occupy, then enqueue three waiters with different priorities
+            first = res.request()
+            yield first
+            env.process(worker("low", 5))
+            env.process(worker("high", 1))
+            env.process(worker("mid", 3))
+            yield env.timeout(1.0)
+            res.release(first)
+
+        env.process(submit(env))
+        env.run()
+        assert order == ["high", "mid", "low"]
+
+
+class TestContainer:
+    def test_validation(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            Container(env, capacity=0)
+        with pytest.raises(SimulationError):
+            Container(env, capacity=1, init=2)
+        c = Container(env, capacity=5)
+        with pytest.raises(SimulationError):
+            c.get(10)
+
+    def test_put_get_blocking(self):
+        env = Environment()
+        c = Container(env, capacity=10)
+        got = []
+
+        def getter(env):
+            amount = yield c.get(4)
+            got.append((env.now, amount))
+
+        def putter(env):
+            yield env.timeout(3)
+            yield c.put(4)
+
+        env.process(getter(env))
+        env.process(putter(env))
+        env.run()
+        assert got == [(3.0, 4)]
+
+    def test_put_blocks_at_capacity(self):
+        env = Environment()
+        c = Container(env, capacity=5, init=5)
+        events = []
+
+        def putter(env):
+            yield c.put(3)
+            events.append(env.now)
+
+        def getter(env):
+            yield env.timeout(2)
+            yield c.get(3)
+
+        env.process(putter(env))
+        env.process(getter(env))
+        env.run()
+        assert events == [2.0]
+        assert c.level == 5.0
+
+    def test_atomic_get_no_interleave(self):
+        """Two getters of 7 from a 10-capacity container must serialize,
+        not deadlock (the SimNode core-pool regression)."""
+        env = Environment()
+        c = Container(env, capacity=10, init=10)
+        done = []
+
+        def taker(name):
+            yield c.get(7)
+            yield env.timeout(1)
+            yield c.put(7)
+            done.append((env.now, name))
+
+        env.process(taker("a"))
+        env.process(taker("b"))
+        env.run()
+        assert done == [(1.0, "a"), (2.0, "b")]
+
+
+class TestStore:
+    def test_fifo(self):
+        env = Environment()
+        store = Store(env)
+        out = []
+
+        def producer(env):
+            for i in range(3):
+                yield store.put(i)
+
+        def consumer(env):
+            for _ in range(3):
+                item = yield store.get()
+                out.append(item)
+
+        env.process(producer(env))
+        env.process(consumer(env))
+        env.run()
+        assert out == [0, 1, 2]
+
+    def test_get_blocks_until_put(self):
+        env = Environment()
+        store = Store(env)
+        got = []
+
+        def consumer(env):
+            item = yield store.get()
+            got.append((env.now, item))
+
+        def producer(env):
+            yield env.timeout(5)
+            yield store.put("x")
+
+        env.process(consumer(env))
+        env.process(producer(env))
+        env.run()
+        assert got == [(5.0, "x")]
+
+    def test_capacity_blocks_put(self):
+        env = Environment()
+        store = Store(env, capacity=1)
+        times = []
+
+        def producer(env):
+            for i in range(2):
+                yield store.put(i)
+                times.append(env.now)
+
+        def consumer(env):
+            yield env.timeout(4)
+            yield store.get()
+
+        env.process(producer(env))
+        env.process(consumer(env))
+        env.run()
+        assert times == [0.0, 4.0]
+
+    def test_len_and_items(self):
+        env = Environment()
+        store = Store(env)
+        store.put(1)
+        store.put(2)
+        env.run()
+        assert len(store) == 2 and store.items == [1, 2]

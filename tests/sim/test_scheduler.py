@@ -1,0 +1,148 @@
+"""PBS queue simulator tests: FIFO, backfill, walltime kills."""
+
+import pytest
+
+from repro.sim.engine import Environment
+from repro.sim.scheduler import Job, JobState, PbsScheduler, Queue, WalltimeExceeded
+
+
+def make(nodes=4):
+    env = Environment()
+    sched = PbsScheduler(env)
+    queue = sched.add_queue("q", nodes)
+    return env, sched, queue
+
+
+class TestQueueBasics:
+    def test_oversized_job_rejected(self):
+        env, _, queue = make(nodes=2)
+        with pytest.raises(ValueError):
+            queue.submit(Job(nodes=3, walltime_s=10))
+
+    def test_zero_node_queue_rejected(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            Queue(env, "bad", 0)
+
+    def test_duplicate_queue_name(self):
+        env = Environment()
+        sched = PbsScheduler(env)
+        sched.add_queue("a", 1)
+        with pytest.raises(ValueError):
+            sched.add_queue("a", 1)
+
+    def test_fifo_start_order(self):
+        env, _, queue = make(nodes=2)
+        jobs = [Job(nodes=2, walltime_s=100, runtime_s=5, name=f"j{i}") for i in range(3)]
+        for j in jobs:
+            queue.submit(j)
+        env.run()
+        assert [j.start_time for j in jobs] == [0.0, 5.0, 10.0]
+        assert all(j.state == JobState.COMPLETED for j in jobs)
+
+    def test_parallel_when_nodes_allow(self):
+        env, _, queue = make(nodes=4)
+        jobs = [Job(nodes=2, walltime_s=100, runtime_s=5) for _ in range(2)]
+        for j in jobs:
+            queue.submit(j)
+        env.run()
+        assert all(j.start_time == 0.0 for j in jobs)
+
+    def test_queue_wait_recorded(self):
+        env, _, queue = make(nodes=1)
+        j1 = queue.submit(Job(nodes=1, walltime_s=100, runtime_s=7))
+        j2 = queue.submit(Job(nodes=1, walltime_s=100, runtime_s=1))
+        env.run()
+        assert j1.queue_wait_s == 0.0
+        assert j2.queue_wait_s == 7.0
+
+    def test_available_nodes(self):
+        env, _, queue = make(nodes=4)
+        queue.submit(Job(nodes=3, walltime_s=100, runtime_s=10))
+        env.run(until=1.0)
+        assert queue.available_nodes() == 1
+
+
+class TestBackfill:
+    def test_narrow_job_backfills(self):
+        env, _, queue = make(nodes=4)
+        queue.submit(Job(nodes=3, walltime_s=100, runtime_s=20, name="head-runner"))
+        blocked = queue.submit(Job(nodes=4, walltime_s=100, runtime_s=10, name="wide"))
+        narrow = queue.submit(Job(nodes=1, walltime_s=15, runtime_s=15, name="narrow"))
+        env.run()
+        assert narrow.start_time == 0.0   # fits in the 1-node hole, ends by 15 <= 20
+        assert blocked.start_time == 20.0
+
+    def test_backfill_never_delays_head(self):
+        env, _, queue = make(nodes=4)
+        queue.submit(Job(nodes=3, walltime_s=100, runtime_s=20))
+        blocked = queue.submit(Job(nodes=4, walltime_s=100, runtime_s=10))
+        # this narrow job would outlive the reservation -> must NOT backfill
+        long_narrow = queue.submit(Job(nodes=1, walltime_s=50, runtime_s=50))
+        env.run()
+        assert blocked.start_time == 20.0
+        assert long_narrow.start_time >= 20.0
+
+
+class TestWalltime:
+    def test_runtime_job_killed(self):
+        env, _, queue = make()
+        j = queue.submit(Job(nodes=1, walltime_s=5, runtime_s=50))
+        env.run()
+        assert j.state == JobState.KILLED
+        assert j.end_time == 5.0
+
+    def test_body_job_killed_and_event_fails(self):
+        env, _, queue = make()
+
+        def body(env, job):
+            yield env.timeout(1000)
+            return "never"
+
+        j = queue.submit(Job(nodes=1, walltime_s=10, body=body))
+        caught = []
+
+        def watcher(env):
+            try:
+                yield j.done_event
+            except WalltimeExceeded:
+                caught.append(env.now)
+
+        env.process(watcher(env))
+        env.run()
+        assert j.state == JobState.KILLED
+        assert caught == [10.0]
+
+    def test_body_result_propagates(self):
+        env, _, queue = make()
+
+        def body(env, job):
+            yield env.timeout(3)
+            return {"answer": 42}
+
+        j = queue.submit(Job(nodes=1, walltime_s=100, body=body))
+        env.run()
+        assert j.result == {"answer": 42}
+        assert j.state == JobState.COMPLETED
+        assert j.done_event.value == {"answer": 42}
+
+    def test_nodes_freed_after_kill(self):
+        env, _, queue = make(nodes=1)
+        queue.submit(Job(nodes=1, walltime_s=5, runtime_s=100))
+        second = queue.submit(Job(nodes=1, walltime_s=100, runtime_s=1))
+        env.run()
+        assert second.start_time == 5.0
+        assert second.state == JobState.COMPLETED
+
+
+class TestScheduler:
+    def test_multi_queue(self):
+        env = Environment()
+        sched = PbsScheduler(env)
+        sched.add_queue("debug", 2)
+        sched.add_queue("prod", 8)
+        assert sched.total_free_nodes() == 10
+        sched.submit("prod", Job(nodes=8, walltime_s=10, runtime_s=10))
+        env.run(until=1.0)
+        assert sched.total_free_nodes() == 2
+        assert sched.queue("debug").available_nodes() == 2

@@ -1,0 +1,77 @@
+"""Public API surface tests: every documented entry point imports and the
+package exports are consistent with ``__all__``."""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.core",
+    "repro.core.index",
+    "repro.sim",
+    "repro.hpc",
+    "repro.embed",
+    "repro.workloads",
+    "repro.perfmodel",
+    "repro.systems",
+    "repro.bench",
+]
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_package_imports(name):
+    module = importlib.import_module(name)
+    assert module is not None
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_all_names_resolve(name):
+    """Everything in __all__ must actually exist on the module."""
+    module = importlib.import_module(name)
+    for symbol in getattr(module, "__all__", []):
+        assert hasattr(module, symbol), f"{name}.__all__ lists missing {symbol!r}"
+
+
+def test_version():
+    import repro
+
+    assert repro.__version__ == "1.0.0"
+
+
+def test_core_quickstart_surface():
+    """The README quickstart's names must all be importable from repro.core."""
+    from repro.core import (  # noqa: F401
+        Batch,
+        Collection,
+        CollectionConfig,
+        Distance,
+        FieldMatch,
+        Filter,
+        OptimizerConfig,
+        PointStruct,
+        RecommendRequest,
+        SearchRequest,
+        VectorParams,
+        load_snapshot,
+        save_snapshot,
+    )
+    from repro.core.aioclient import AsyncClient  # noqa: F401
+    from repro.core.client import SyncClient  # noqa: F401
+    from repro.core.cluster import Cluster  # noqa: F401
+    from repro.core.mpclient import ParallelClientPool  # noqa: F401
+    from repro.core.multivector import MultiVectorCollection  # noqa: F401
+    from repro.core.telemetry import collect  # noqa: F401
+
+
+def test_every_public_module_has_docstring():
+    import pkgutil
+
+    import repro
+
+    missing = []
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        module = importlib.import_module(info.name)
+        if not (module.__doc__ or "").strip():
+            missing.append(info.name)
+    assert not missing, f"modules without docstrings: {missing}"

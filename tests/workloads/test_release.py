@@ -1,0 +1,99 @@
+"""Release-bundle tests (the paper's published-dataset contribution)."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.workloads.release import BundleError, export_bundle, load_bundle
+
+
+@pytest.fixture(scope="module")
+def bundle_dir(tmp_path_factory):
+    path = str(tmp_path_factory.mktemp("release") / "bundle")
+    export_bundle(path, n_papers=30, n_queries=12, dim=64)
+    return path
+
+
+class TestExportLoad:
+    def test_roundtrip(self, bundle_dir):
+        bundle = load_bundle(bundle_dir)
+        assert bundle.n_papers == 30
+        assert bundle.n_queries == 12
+        assert bundle.dim == 64
+        assert bundle.embeddings.dtype == np.float32
+        assert len(bundle.paper_meta) == 30
+        assert bundle.query_terms[0]["term"]
+
+    def test_deterministic_regeneration(self, bundle_dir, tmp_path):
+        other = str(tmp_path / "again")
+        export_bundle(other, n_papers=30, n_queries=12, dim=64)
+        a = load_bundle(bundle_dir)
+        b = load_bundle(other)
+        assert np.array_equal(a.embeddings, b.embeddings)
+        assert a.manifest["checksums"] == b.manifest["checksums"]
+
+    def test_points_feed_database(self, bundle_dir):
+        from repro.core import (
+            Collection, CollectionConfig, Distance, OptimizerConfig,
+            SearchRequest, VectorParams,
+        )
+
+        bundle = load_bundle(bundle_dir)
+        col = Collection(
+            CollectionConfig(
+                "rel", VectorParams(size=bundle.dim, distance=Distance.COSINE),
+                optimizer=OptimizerConfig(indexing_threshold=0),
+            )
+        )
+        col.upsert(list(bundle.points()))
+        assert len(col) == 30
+        hits = col.search(SearchRequest(vector=bundle.queries[0], limit=5, with_payload=True))
+        assert len(hits) == 5 and hits[0].payload["title"]
+
+    def test_embeddings_are_unit_norm(self, bundle_dir):
+        bundle = load_bundle(bundle_dir)
+        norms = np.linalg.norm(bundle.embeddings, axis=1)
+        assert np.allclose(norms, 1.0, atol=1e-4)
+
+
+class TestValidation:
+    def test_missing_bundle(self, tmp_path):
+        with pytest.raises(BundleError):
+            load_bundle(str(tmp_path / "nope"))
+
+    def test_checksum_detects_corruption(self, bundle_dir, tmp_path):
+        import shutil
+
+        broken = str(tmp_path / "broken")
+        shutil.copytree(bundle_dir, broken)
+        arr = np.load(os.path.join(broken, "embeddings.npy"))
+        arr[0, 0] += 1.0
+        np.save(os.path.join(broken, "embeddings.npy"), arr)
+        with pytest.raises(BundleError, match="checksum"):
+            load_bundle(broken)
+        # but loads fine unverified
+        assert load_bundle(broken, verify=False).n_papers == 30
+
+    def test_manifest_count_mismatch(self, bundle_dir, tmp_path):
+        import shutil
+
+        broken = str(tmp_path / "counts")
+        shutil.copytree(bundle_dir, broken)
+        manifest = json.load(open(os.path.join(broken, "bundle.json")))
+        manifest["n_papers"] = 999
+        json.dump(manifest, open(os.path.join(broken, "bundle.json"), "w"))
+        with pytest.raises(BundleError):
+            load_bundle(broken)
+
+    def test_bad_version(self, bundle_dir, tmp_path):
+        import shutil
+
+        broken = str(tmp_path / "ver")
+        shutil.copytree(bundle_dir, broken)
+        manifest = json.load(open(os.path.join(broken, "bundle.json")))
+        manifest["format_version"] = 42
+        json.dump(manifest, open(os.path.join(broken, "bundle.json"), "w"))
+        with pytest.raises(BundleError):
+            load_bundle(broken)

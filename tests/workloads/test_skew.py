@@ -1,0 +1,62 @@
+"""Skewed-workload generator tests."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.skew import SkewedQueryWorkload, zipf_weights
+from repro.workloads.vocabulary import TOPICS
+
+
+class TestZipfWeights:
+    def test_normalised(self):
+        assert zipf_weights(10, 1.0).sum() == pytest.approx(1.0)
+
+    def test_uniform_at_zero(self):
+        assert np.allclose(zipf_weights(5, 0.0), 0.2)
+
+    def test_monotone_decreasing(self):
+        w = zipf_weights(6, 1.3)
+        assert np.all(np.diff(w) < 0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0, 1.0)
+        with pytest.raises(ValueError):
+            zipf_weights(5, -1.0)
+
+
+class TestSkewedQueryWorkload:
+    def test_deterministic(self):
+        a = SkewedQueryWorkload(20, skew=1.0)
+        b = SkewedQueryWorkload(20, skew=1.0)
+        assert a.terms() == b.terms()
+
+    def test_bounds(self):
+        w = SkewedQueryWorkload(5)
+        with pytest.raises(IndexError):
+            w.term(5)
+        with pytest.raises(ValueError):
+            SkewedQueryWorkload(-1)
+
+    def test_terms_use_topic_vocabulary(self):
+        w = SkewedQueryWorkload(30, skew=1.5)
+        from repro.workloads.vocabulary import BIOLOGY_TERMS
+
+        all_terms = {t for words in BIOLOGY_TERMS.values() for t in words}
+        for i in range(30):
+            for word in w.term(i).split():
+                assert word in all_terms
+
+    def test_histogram_covers_all_queries(self):
+        w = SkewedQueryWorkload(100, skew=1.0)
+        hist = w.topic_histogram()
+        assert sum(hist.values()) == 100
+        assert set(hist) == set(TOPICS)
+
+    def test_imbalance_monotone_in_skew(self):
+        imb = [SkewedQueryWorkload(300, skew=s).imbalance() for s in (0.0, 1.0, 2.5)]
+        assert imb[0] < imb[1] < imb[2]
+
+    def test_zero_queries(self):
+        w = SkewedQueryWorkload(0)
+        assert len(w) == 0 and w.terms() == []

@@ -1,0 +1,148 @@
+"""Workload generator tests: peS2o corpus, BV-BRC terms, query building."""
+
+import numpy as np
+import pytest
+
+from repro.embed.model import HashingEmbedder
+from repro.perfmodel.calibration import DATASET
+from repro.workloads import (
+    BvBrcTerms,
+    EmbeddedCorpus,
+    Pes2oCorpus,
+    QueryWorkload,
+    gib_to_vectors,
+    vectors_to_gib,
+)
+from repro.workloads.vocabulary import BIOLOGY_TERMS, TOPICS
+
+
+class TestPes2oCorpus:
+    def test_len_and_bounds(self):
+        corpus = Pes2oCorpus(10)
+        assert len(corpus) == 10
+        with pytest.raises(IndexError):
+            corpus.paper(10)
+        with pytest.raises(ValueError):
+            Pes2oCorpus(-1)
+
+    def test_deterministic(self):
+        a = Pes2oCorpus(5, seed=1).paper(3)
+        b = Pes2oCorpus(5, seed=1).paper(3)
+        assert a.text == b.text and a.title == b.title
+
+    def test_seed_changes_content(self):
+        a = Pes2oCorpus(5, seed=1).paper(0)
+        b = Pes2oCorpus(5, seed=2).paper(0)
+        assert a.text != b.text
+
+    def test_char_count_matches_materialized(self):
+        corpus = Pes2oCorpus(20, seed=3)
+        for i in (0, 7, 19):
+            # char_count is the *drawn* length; materialised text is close
+            drawn = corpus.char_count(i)
+            actual = corpus.paper(i).n_chars
+            assert abs(actual - drawn) / drawn < 0.05
+
+    def test_length_distribution(self):
+        corpus = Pes2oCorpus(500, seed=4)
+        chars = corpus.char_counts()
+        assert 15_000 < np.median(chars) < 45_000   # full-text papers
+        assert max(chars) <= corpus.max_chars
+        assert min(chars) >= 500
+
+    def test_topics_from_pool(self):
+        corpus = Pes2oCorpus(30, seed=5)
+        for i in range(30):
+            topics = corpus.topics_of(i)
+            assert topics and all(t in TOPICS for t in topics)
+            assert topics == corpus.paper(i).topics
+
+    def test_text_contains_topic_terms(self):
+        corpus = Pes2oCorpus(5, seed=6)
+        paper = corpus.paper(0)
+        pool = {t for topic in paper.topics for t in BIOLOGY_TERMS[topic]}
+        text_words = set(paper.text.lower().split())
+        assert len(pool & text_words) >= 3
+
+    def test_sample_ids(self):
+        corpus = Pes2oCorpus(100)
+        ids = corpus.sample_ids(10)
+        assert len(ids) == 10 and len(set(ids.tolist())) == 10
+        assert np.array_equal(ids, corpus.sample_ids(10))
+
+    def test_iter(self):
+        corpus = Pes2oCorpus(3)
+        assert [p.paper_id for p in corpus] == [0, 1, 2]
+
+
+class TestBvBrcTerms:
+    def test_default_count_matches_paper(self):
+        assert len(BvBrcTerms()) == 22_723
+
+    def test_deterministic_and_bounded(self):
+        terms = BvBrcTerms(50)
+        assert terms.term(10) == BvBrcTerms(50).term(10)
+        with pytest.raises(IndexError):
+            terms.term(50)
+
+    def test_term_structure(self):
+        term = BvBrcTerms(10).term(0)
+        assert "strain" in term
+        assert len(term.split()) >= 5
+
+    def test_terms_slice(self):
+        terms = BvBrcTerms(20)
+        assert terms.terms(5, 10) == [terms.term(i) for i in range(5, 10)]
+
+    def test_iter(self):
+        assert len(list(BvBrcTerms(7))) == 7
+
+
+class TestQueryWorkload:
+    def test_queries_embed(self):
+        qw = QueryWorkload(BvBrcTerms(10), HashingEmbedder(dim=64))
+        q = qw.query(0)
+        assert q.vector.shape == (64,)
+        assert np.isclose(np.linalg.norm(q.vector), 1.0, atol=1e-4)
+        assert q.term_id == 0
+
+    def test_vectors_matrix(self):
+        qw = QueryWorkload(BvBrcTerms(10), HashingEmbedder(dim=64))
+        mat = qw.vectors(0, 5)
+        assert mat.shape == (5, 64)
+        assert np.array_equal(mat[2], qw.query(2).vector)
+
+    def test_empty_slice(self):
+        qw = QueryWorkload(BvBrcTerms(3), HashingEmbedder(dim=32))
+        assert qw.vectors(3, 3).shape == (0, 32)
+
+
+class TestDatasetHelpers:
+    def test_gib_vector_roundtrip(self):
+        n = gib_to_vectors(1.0)
+        assert n == 104_857  # 1 GiB at 2560 float32 dims
+        assert vectors_to_gib(n) == pytest.approx(1.0, rel=0.001)
+
+    def test_paper_scale(self):
+        """8,293,485 x 2560 x 4B ≈ 79 GiB — the paper's '~80 GB'."""
+        assert DATASET.total_gib == pytest.approx(79.1, abs=0.5)
+
+    def test_embedded_corpus_points(self):
+        corpus = Pes2oCorpus(5, seed=7)
+        ec = EmbeddedCorpus(corpus, HashingEmbedder(dim=32))
+        pts = ec.points()
+        assert len(pts) == 5
+        assert pts[2].id == 2
+        assert pts[2].payload["title"] == corpus.paper(2).title
+        assert pts[2].as_array().shape == (32,)
+
+    def test_embedded_corpus_batches(self):
+        corpus = Pes2oCorpus(7, seed=8)
+        ec = EmbeddedCorpus(corpus, HashingEmbedder(dim=32))
+        batches = list(ec.iter_points(batch_size=3))
+        assert [len(b) for b in batches] == [3, 3, 1]
+
+    def test_matrix(self):
+        corpus = Pes2oCorpus(4, seed=9)
+        ec = EmbeddedCorpus(corpus, HashingEmbedder(dim=32))
+        assert ec.matrix().shape == (4, 32)
