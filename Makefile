@@ -1,15 +1,21 @@
 # Convenience targets for the reproduction.
 
-.PHONY: install test bench paper examples clean
+.PHONY: install test bench bench-micro paper examples clean
 
 install:
 	pip install -e . || python setup.py develop
 
+# Mirrors the tier-1 verification command in ROADMAP.md.
 test:
-	pytest tests/
+	PYTHONPATH=src python -m pytest -x -q
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+# Real-database micro-benchmarks (batched vs per-query, parallel fan-out
+# and builds) — plain pytest so the latency/overlap asserts also run.
+bench-micro:
+	PYTHONPATH=src python -m pytest benchmarks/test_micro_real_db.py -q
 
 paper:
 	python -m repro.bench

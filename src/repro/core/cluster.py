@@ -9,7 +9,11 @@ approach 1):
 * a non-predicated search is **broadcast** to all workers holding shards.
   As in Qdrant, the client contacts one *entry worker*, which fans the
   query out, gathers per-shard partial results, and **reduces** them into
-  the global top-k (footnote 4 of the paper);
+  the global top-k (footnote 4 of the paper).  The fan-out runs on a
+  thread pool (one transport call per worker, issued concurrently) so
+  per-worker latency overlaps instead of adding up — the behaviour the
+  paper's broadcast–reduce model assumes.  Results are gathered in
+  submission order, so the reduce sees exactly what a serial loop would;
 * adding/removing workers triggers shard **rebalancing** — the expensive
   data movement §2.2 attributes to stateful designs.
 
@@ -20,6 +24,10 @@ the paper's runtime study, so membership changes are applied synchronously.
 
 from __future__ import annotations
 
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
 from typing import Any, Mapping, Sequence
 
 from .errors import (
@@ -44,7 +52,55 @@ from .types import (
 )
 from .worker import Worker
 
-__all__ = ["Cluster", "ClusterCollectionState"]
+__all__ = ["Cluster", "ClusterCollectionState", "FanoutStats"]
+
+
+@dataclass
+class FanoutStats:
+    """Counters describing the cluster's broadcast fan-outs.
+
+    ``total_width / fanouts`` is the mean number of workers contacted per
+    broadcast — predicated routing shows up here as a width below the
+    worker count.  ``worker_seconds`` holds per-worker wall time spent
+    inside transport calls, which exposes stragglers in a reduce.
+    """
+
+    fanouts: int = 0
+    total_calls: int = 0
+    max_width: int = 0
+    total_width: int = 0
+    wall_seconds: float = 0.0
+    worker_seconds: dict[str, float] = field(default_factory=dict)
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    @property
+    def mean_width(self) -> float:
+        return 0.0 if self.fanouts == 0 else self.total_width / self.fanouts
+
+    def record_fanout(self, width: int, wall: float) -> None:
+        with self._lock:
+            self.fanouts += 1
+            self.total_calls += width
+            self.total_width += width
+            self.max_width = max(self.max_width, width)
+            self.wall_seconds += wall
+
+    def record_worker(self, worker_id: str, seconds: float) -> None:
+        with self._lock:
+            self.worker_seconds[worker_id] = (
+                self.worker_seconds.get(worker_id, 0.0) + seconds
+            )
+
+    def reset(self) -> None:
+        with self._lock:
+            self.fanouts = 0
+            self.total_calls = 0
+            self.max_width = 0
+            self.total_width = 0
+            self.wall_seconds = 0.0
+            self.worker_seconds.clear()
 
 
 class ClusterCollectionState:
@@ -59,12 +115,82 @@ class ClusterCollectionState:
 class Cluster:
     """Coordinates workers and distributed collections."""
 
-    def __init__(self, transport: Transport | None = None):
+    def __init__(
+        self,
+        transport: Transport | None = None,
+        *,
+        max_fanout_threads: int | None = None,
+    ):
         self.transport = transport or LocalTransport()
         self._workers: dict[str, Worker] = {}
         self._collections: dict[str, ClusterCollectionState] = {}
         self._aliases: dict[str, str] = {}
         self._rr_counter = 0  # round-robin entry-worker selection
+        #: 1 = serial fan-out; ``None``/0 = one thread per contacted worker.
+        self.max_fanout_threads = max_fanout_threads
+        self.fanout_stats = FanoutStats()
+        self._executor: ThreadPoolExecutor | None = None
+        self._executor_width = 0
+
+    # -- fan-out --------------------------------------------------------------
+
+    def _fanout_width(self, n_calls: int) -> int:
+        limit = self.max_fanout_threads
+        if limit is None or limit == 0:
+            return n_calls
+        return max(1, min(limit, n_calls))
+
+    def _fanout_pool(self, width: int) -> ThreadPoolExecutor:
+        """Persistent broadcast pool, grown on demand."""
+        if self._executor is None or self._executor_width < width:
+            if self._executor is not None:
+                self._executor.shutdown(wait=False)
+            self._executor = ThreadPoolExecutor(
+                max_workers=width, thread_name_prefix="fanout"
+            )
+            self._executor_width = width
+        return self._executor
+
+    def _timed_call(self, call: tuple):
+        t0 = time.perf_counter()
+        try:
+            return self.transport.call(*call)
+        finally:
+            self.fanout_stats.record_worker(call[0], time.perf_counter() - t0)
+
+    def _fan_out(self, calls: list[tuple]) -> list:
+        """Issue one transport call per worker, concurrently when allowed.
+
+        ``calls`` is ``[(worker_id, method, *args), ...]``.  Results come
+        back in submission order regardless of completion order, so every
+        reducer sees exactly what the serial loop used to produce.
+        """
+        if not calls:
+            return []
+        width = self._fanout_width(len(calls))
+        t0 = time.perf_counter()
+        if width <= 1 or len(calls) == 1:
+            results = [self._timed_call(call) for call in calls]
+        else:
+            pool = self._fanout_pool(width)
+            futures = [pool.submit(self._timed_call, call) for call in calls]
+            results = [f.result() for f in futures]
+        self.fanout_stats.record_fanout(len(calls), time.perf_counter() - t0)
+        return results
+
+    def close(self) -> None:
+        """Shut down the fan-out pool (idempotent)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+            self._executor_width = 0
+
+    def __del__(self):  # pragma: no cover - GC timing dependent
+        try:
+            if self._executor is not None:
+                self._executor.shutdown(wait=False)
+        except Exception:
+            pass
 
     # -- membership -------------------------------------------------------------
 
@@ -75,10 +201,11 @@ class Cluster:
         *,
         workers_per_node: int = 4,
         transport: Transport | None = None,
+        max_fanout_threads: int | None = None,
     ) -> "Cluster":
         """Convenience: a cluster of ``n_workers``, packed 4 per node as on
         Polaris (§3.2: "four Qdrant workers per machine")."""
-        cluster = cls(transport)
+        cluster = cls(transport, max_fanout_threads=max_fanout_threads)
         for i in range(n_workers):
             cluster.add_worker(Worker(f"worker-{i}", node_id=f"node-{i // workers_per_node}"))
         return cluster
@@ -358,16 +485,15 @@ class Cluster:
         name, state = self._resolve(name)
         assignment = self._shard_assignment(state)
         only_shards = self._predicated_shards(state, request)
-        partials: list[list[ScoredPoint]] = []
+        calls: list[tuple] = []
         # The entry worker fans out; transport-wise each worker is one call.
         for worker_id, shard_ids in assignment.items():
             if only_shards is not None:
                 shard_ids = [s for s in shard_ids if s in only_shards]
                 if not shard_ids:
                     continue
-            partials.append(
-                self.transport.call(worker_id, "search", name, shard_ids, request)
-            )
+            calls.append((worker_id, "search", name, shard_ids, request))
+        partials: list[list[ScoredPoint]] = self._fan_out(calls)
         return self._reduce(state, partials, request.limit)
 
     def recommend(self, name: str, request) -> list[ScoredPoint]:
@@ -445,16 +571,41 @@ class Cluster:
             total += len(victims)
         return total
 
+    def _batch_predicated_shards(
+        self, state: ClusterCollectionState, requests: Sequence[SearchRequest]
+    ) -> set[int] | None:
+        """Union of per-request shard predicates, or ``None`` to broadcast.
+
+        Narrowing is only safe when *every* request in the batch is pinned
+        to known shards; one unpredicated query forces the full broadcast.
+        Extra shards for an individual request are harmless — a HasId
+        filter returns nothing from shards that do not own the ids.
+        """
+        union: set[int] = set()
+        for request in requests:
+            shards = self._predicated_shards(state, request)
+            if shards is None:
+                return None
+            union |= shards
+        return union
+
     def search_batch(self, name: str, requests: Sequence[SearchRequest]
                      ) -> list[list[ScoredPoint]]:
         """Broadcast–reduce for a batch of queries (one fan-out per worker)."""
         name, state = self._resolve(name)
+        requests = list(requests)
+        if not requests:
+            return []
         assignment = self._shard_assignment(state)
-        per_worker: list[list[list[ScoredPoint]]] = []
+        only_shards = self._batch_predicated_shards(state, requests)
+        calls: list[tuple] = []
         for worker_id, shard_ids in assignment.items():
-            per_worker.append(
-                self.transport.call(worker_id, "search_batch", name, shard_ids, list(requests))
-            )
+            if only_shards is not None:
+                shard_ids = [s for s in shard_ids if s in only_shards]
+                if not shard_ids:
+                    continue  # worker holds no relevant shard: skip the call
+            calls.append((worker_id, "search_batch", name, shard_ids, requests))
+        per_worker: list[list[list[ScoredPoint]]] = self._fan_out(calls)
         out: list[list[ScoredPoint]] = []
         for qi, request in enumerate(requests):
             partials = [worker_hits[qi] for worker_hits in per_worker]
@@ -519,17 +670,22 @@ class Cluster:
     def build_index(self, name: str, kind: str = "hnsw") -> dict[str, list[int]]:
         """Deferred index build on every shard replica (§3.3).
 
+        Per-shard builds are independent, so they are fanned out on the
+        broadcast pool (Figure 3's per-worker indexing parallelism).
         Returns ``worker -> [vectors indexed per shard]`` so callers (and
         the perf model) can see the per-worker build sizes.
         """
         name, state = self._resolve(name)
-        built: dict[str, list[int]] = {}
+        calls: list[tuple] = []
         for shard_id, holders in state.plan.assignments.items():
             for worker_id in holders:
                 if worker_id not in self._workers:
                     continue
-                report = self.transport.call(worker_id, "build_index", name, shard_id, kind)
-                built.setdefault(worker_id, []).extend(n for _, n in report.index_builds)
+                calls.append((worker_id, "build_index", name, shard_id, kind))
+        reports = self._fan_out(calls)
+        built: dict[str, list[int]] = {}
+        for call, report in zip(calls, reports):
+            built.setdefault(call[0], []).extend(n for _, n in report.index_builds)
         return built
 
     def optimize(self, name: str) -> None:

@@ -24,6 +24,7 @@ import numpy as np
 from .errors import PointNotFoundError
 from .filters import Condition
 from .optimizer import OptimizerReport, SegmentOptimizer
+from .parallel import ParallelBuildReport, build_segment_indexes
 from .segment import Segment
 from .types import (
     CollectionConfig,
@@ -56,6 +57,7 @@ class Collection:
         self._optimizer = SegmentOptimizer(config)
         self._operation_counter = 0
         self._last_report = OptimizerReport()
+        self._last_build_report = ParallelBuildReport()
         self._wal: WriteAheadLog | None = None
         if config.wal.enabled:
             path = config.wal.path or os.path.join(directory or ".", f"{config.name}.wal")
@@ -288,23 +290,45 @@ class Collection:
         self._segments, self._last_report = self._optimizer.run(self._segments)
         return self._last_report
 
-    def build_index(self, kind: str = "hnsw") -> OptimizerReport:
+    def build_index(
+        self,
+        kind: str = "hnsw",
+        *,
+        max_threads: int | None = None,
+        use_processes: bool = False,
+    ) -> OptimizerReport:
         """Seal all segments and build an ANN index over each (bulk path).
 
         This is the deferred "complete index rebuild" of §3.3.  Returns a
         report whose ``index_builds`` lists each (segment, size) build.
+
+        Segments build independently, so the pass parallelises across them
+        (the per-shard build parallelism behind Figure 3).  ``max_threads``
+        follows the ``max_indexing_threads`` convention — ``None`` reads the
+        collection's optimizer config, 1 is serial, 0 means one worker per
+        core — and ``use_processes`` swaps the thread pool for fork-based
+        workers.  Results are bit-identical either way.
         """
+        if max_threads is None:
+            max_threads = self.config.optimizer.max_indexing_threads
         report = OptimizerReport()
-        for seg in self._segments:
-            if len(seg) == 0:
-                continue
+        targets = [seg for seg in self._segments if len(seg) > 0]
+        for seg in targets:
             seg.seal()
-            seg.build_index(kind)
+        self._last_build_report = build_segment_indexes(
+            targets, kind, max_workers=max_threads, use_processes=use_processes
+        )
+        for seg in targets:
             report.segments_indexed += 1
             report.vectors_indexed += len(seg)
             report.index_builds.append((seg.segment_id, len(seg)))
         self._last_report = report
         return report
+
+    @property
+    def last_build_report(self) -> ParallelBuildReport:
+        """Timing of the most recent multi-segment index build."""
+        return self._last_build_report
 
     def enable_quantization(self) -> None:
         for seg in self._segments:
@@ -459,31 +483,55 @@ class Collection:
         return len(victims)
 
     def search_batch(self, requests: Sequence[SearchRequest]) -> list[list[ScoredPoint]]:
-        """Batched search. Homogeneous unfiltered batches share one GEMM per segment."""
-        simple = all(
-            r.filter is None
-            and not r.with_payload
-            and not r.with_vector
-            and r.score_threshold is None
-            and not (r.params and (r.params.exact or r.params.hnsw_ef or r.params.ivf_nprobe))
-            for r in requests
-        )
-        all_flat = all(not s.is_indexed and not s.is_quantized for s in self._segments)
-        if simple and all_flat and requests:
-            limit = max(r.limit for r in requests)
-            queries = np.stack([r.as_array() for r in requests])
-            per_query: list[list[list[ScoredPoint]]] = [[] for _ in requests]
-            for seg in self._segments:
-                if len(seg) == 0:
-                    continue
-                seg_hits = seg.search_batch(queries, limit)
-                for qi, hits in enumerate(seg_hits):
-                    per_query[qi].append(hits)
-            return [
-                self._merge_hits(hits, requests[qi].limit)
-                for qi, hits in enumerate(per_query)
-            ]
-        return [self.search(r) for r in requests]
+        """Batched search; element ``i`` matches ``search(requests[i])``.
+
+        Any batch that is *homogeneous* — same limit, filter object and
+        search parameters across requests — is pushed down to each segment's
+        batch entry point (compiled HNSW traversal, flat GEMM) in one call
+        per segment, with no per-query re-entry.  Heterogeneous batches fall
+        back to a per-request loop; the limit participates in the
+        homogeneity key because HNSW widens its beam with ``k``, so mixed
+        limits are not equivalent to one shared batched call.
+        """
+        if not requests:
+            return []
+        r0 = requests[0]
+        p0 = r0.params or SearchParams()
+
+        def key(r: SearchRequest):
+            p = r.params or SearchParams()
+            return (
+                r.limit,
+                r.score_threshold,
+                r.with_payload,
+                r.with_vector,
+                p.exact,
+                p.hnsw_ef,
+                p.ivf_nprobe,
+            )
+
+        homogeneous = all(r.filter is r0.filter and key(r) == key(r0) for r in requests)
+        if not homogeneous:
+            return [self.search(r) for r in requests]
+        queries = np.stack([r.as_array() for r in requests])
+        per_query: list[list[list[ScoredPoint]]] = [[] for _ in requests]
+        for seg in self._segments:
+            if len(seg) == 0:
+                continue
+            seg_hits = seg.search_batch(
+                queries,
+                r0.limit,
+                flt=r0.filter,
+                exact=p0.exact,
+                ef=p0.hnsw_ef,
+                nprobe=p0.ivf_nprobe,
+                with_payload=r0.with_payload,
+                with_vector=r0.with_vector,
+                score_threshold=r0.score_threshold,
+            )
+            for qi, hits in enumerate(seg_hits):
+                per_query[qi].append(hits)
+        return [self._merge_hits(hits, r0.limit) for hits in per_query]
 
     def close(self) -> None:
         if self._wal is not None:

@@ -153,19 +153,29 @@ def top_k(scores: np.ndarray, k: int, distance: Distance) -> tuple[np.ndarray, n
     """Indices and scores of the best ``k`` entries, ordered best-first.
 
     Uses ``argpartition`` (O(n)) followed by a sort of only ``k`` items,
-    instead of a full O(n log n) sort.
+    instead of a full O(n log n) sort.  Tie-breaking is deterministic: on
+    equal scores the lower index wins — both for which entries make the
+    cut and for their order in the output.  Callers that concatenate
+    partial results (``merge_top_k``) therefore keep the earlier partial.
     """
     n = scores.shape[0]
     if k <= 0 or n == 0:
         return np.empty(0, dtype=np.int64), np.empty(0, dtype=scores.dtype)
     k = min(k, n)
-    if distance.higher_is_better:
-        part = np.argpartition(scores, n - k)[n - k:]
-        order = np.argsort(scores[part])[::-1]
+    # Work in "ascending is better" space so one code path serves both senses.
+    keys = -scores if distance.higher_is_better else scores
+    if k < n:
+        part = np.argpartition(keys, k - 1)[:k]
+        cut = keys[part].max()
+        better = np.flatnonzero(keys < cut)
+        # argpartition picks boundary ties arbitrarily; re-resolve them by
+        # taking the lowest indices among the tied entries.
+        ties = np.flatnonzero(keys == cut)[: k - better.size]
+        idx = np.concatenate([better, ties])
     else:
-        part = np.argpartition(scores, k - 1)[:k]
-        order = np.argsort(scores[part])
-    idx = part[order]
+        idx = np.arange(n)
+    order = np.lexsort((idx, keys[idx]))
+    idx = idx[order]
     return idx, scores[idx]
 
 
@@ -178,7 +188,8 @@ def merge_top_k(
 
     This is the *reduce* step of the broadcast–reduce query model (§2.1):
     each worker returns its local top-k and the entry worker merges them.
-    ``ids`` arrays may be any integer dtype; ties keep the earlier partial.
+    ``ids`` arrays may be any integer dtype; ties keep the earlier partial
+    (guaranteed by :func:`top_k`'s lower-concatenated-index tie-break).
     """
     parts = [(i, s) for i, s in partials if len(i) > 0]
     if not parts:

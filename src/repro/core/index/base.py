@@ -76,3 +76,20 @@ class VectorIndex(Protocol):
     ) -> tuple[np.ndarray, np.ndarray]:
         """Return ``(offsets, scores)`` of the top-k matches, best first."""
         ...
+
+    def search_batch(
+        self,
+        queries: np.ndarray,
+        k: int,
+        *,
+        predicate: OffsetPredicate | None = None,
+        **params,
+    ) -> list[tuple[np.ndarray, np.ndarray]]:
+        """Batched search; element ``i`` must equal ``search(queries[i], k)``.
+
+        Implementations are free to share work across the batch (one GEMM,
+        a compiled traversal, a reused visited buffer) but must preserve
+        per-query results exactly, so the segment can route batches here
+        without changing semantics.
+        """
+        ...

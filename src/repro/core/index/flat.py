@@ -82,7 +82,12 @@ class FlatIndex:
         return offsets[idx], top_scores
 
     def search_batch(
-        self, queries: np.ndarray, k: int, *, predicate: OffsetPredicate | None = None
+        self,
+        queries: np.ndarray,
+        k: int,
+        *,
+        predicate: OffsetPredicate | None = None,
+        **params,
     ) -> list[tuple[np.ndarray, np.ndarray]]:
         """Batched exact search: one GEMM for the whole query batch."""
         offsets = self._member_offsets()

@@ -25,6 +25,18 @@ standard post-filtering strategy for graph indexes.
 
 Neighbour distance evaluations are batched per hop (one BLAS matvec per
 popped node) per the vectorization idiom, instead of per-edge Python loops.
+
+Two graph representations coexist:
+
+* the **incremental dict form** (``_Node`` objects with per-layer Python
+  lists) supports ``add`` and is what construction mutates;
+* the **compiled CSR form** (:meth:`compile`) freezes the adjacency into
+  flat ``indptr``/``indices`` arrays per layer, with an epoch-tagged
+  visited bitset and zero per-hop list→ndarray conversions.  Sealed
+  segments compile automatically; searching a compiled graph returns
+  *bit-identical* results to the dict form (same traversal order, same
+  BLAS calls on the same rows) — only faster.  Any ``add`` invalidates the
+  compiled form, falling back to the dict graph.
 """
 
 from __future__ import annotations
@@ -52,6 +64,31 @@ class _Node:
         self.neighbors: list[list[int]] = [[] for _ in range(level + 1)]
 
 
+class _CompiledGraph:
+    """Flat CSR adjacency per layer, indexed directly by arena offset.
+
+    ``layers[L]`` is ``(indptr, indices)``: the layer-``L`` neighbours of
+    offset ``o`` are ``indices[indptr[o]:indptr[o+1]]``.  ``visited`` is an
+    epoch-tagged int32 array reused across queries — bumping ``epoch``
+    clears it in O(1) instead of reallocating a set per search.
+    """
+
+    __slots__ = ("layers", "vectors", "visited", "epoch")
+
+    def __init__(self, layers: list[tuple[np.ndarray, np.ndarray]], vectors: np.ndarray):
+        self.layers = layers
+        self.vectors = vectors
+        self.visited = np.zeros(vectors.shape[0], dtype=np.int32)
+        self.epoch = 0
+
+    def next_epoch(self) -> int:
+        self.epoch += 1
+        if self.epoch >= np.iinfo(np.int32).max:
+            self.visited[:] = 0
+            self.epoch = 1
+        return self.epoch
+
+
 class HnswIndex:
     """Graph ANN index over a :class:`VectorArena`."""
 
@@ -66,6 +103,7 @@ class HnswIndex:
         self._ml = 1.0 / math.log(self.config.m)
         self._rng = np.random.default_rng(self.config.seed)
         self._m0 = 2 * self.config.m
+        self._compiled: _CompiledGraph | None = None
 
     # -- basic properties ---------------------------------------------------
 
@@ -76,6 +114,10 @@ class HnswIndex:
     @property
     def supports_incremental_add(self) -> bool:
         return True
+
+    @property
+    def is_compiled(self) -> bool:
+        return self._compiled is not None
 
     @property
     def entry_point(self) -> int | None:
@@ -132,6 +174,7 @@ class HnswIndex:
         """Insert one vector (Algorithm 1)."""
         if offset in self._nodes:
             raise ValueError(f"offset {offset} already in index")
+        self._compiled = None  # any mutation invalidates the sealed CSR form
         query = self._prepare(vector)
         level = self._assign_level()
         node = _Node(offset, level)
@@ -245,24 +288,26 @@ class HnswIndex:
         """
         ordered = sorted(candidates)
         selected: list[tuple[float, int]] = []
-        for dist, offset in ordered:
+        # One pairwise kernel call over the candidate set replaces the
+        # per-pair arena.get + Python dot products of the naive rule.
+        pair: np.ndarray | None = None
+        if len(ordered) > 1:
+            offs = np.fromiter((o for _, o in ordered), dtype=np.int64, count=len(ordered))
+            vecs = self._arena.take(offs)
+            if self.distance is Distance.EUCLID:
+                diff = vecs[:, None, :] - vecs[None, :, :]
+                pair = np.einsum("ijk,ijk->ij", diff, diff)
+            else:
+                pair = -(vecs @ vecs.T)
+            self.stats.distance_computations += len(ordered) * (len(ordered) - 1) // 2
+        selected_rows: list[int] = []
+        for row, (dist, offset) in enumerate(ordered):
             if len(selected) >= m:
                 break
-            vec = self._arena.get(offset)
-            keep = True
-            for _, sel_offset in selected:
-                sel_vec = self._arena.get(sel_offset)
-                self.stats.distance_computations += 1
-                if self.distance is Distance.EUCLID:
-                    diff = vec - sel_vec
-                    d_to_sel = float(diff @ diff)
-                else:
-                    d_to_sel = -float(vec @ sel_vec)
-                if d_to_sel < dist:
-                    keep = False
-                    break
-            if keep:
-                selected.append((dist, offset))
+            if selected_rows and bool((pair[row, selected_rows] < dist).any()):
+                continue  # closer to an already-selected neighbour than to the base
+            selected.append((dist, offset))
+            selected_rows.append(row)
         if len(selected) < m:
             # Back-fill with nearest rejected candidates (keepPrunedConnections).
             chosen = {o for _, o in selected}
@@ -285,6 +330,152 @@ class HnswIndex:
         dists = self._dist_many(base, nbrs)
         candidates = [(float(d), o) for d, o in zip(dists, nbrs)]
         node.neighbors[layer] = [o for _, o in self._select_heuristic(candidates, m_max)]
+
+    # -- compiled CSR form -------------------------------------------------------
+
+    def compile(self) -> None:
+        """Freeze the graph into flat CSR adjacency arrays (sealed form).
+
+        Idempotent.  The dict form is retained (``to_arrays``, introspection
+        and future ``add`` keep working); search simply dispatches to the
+        CSR traversal until the next mutation invalidates it.
+        """
+        if self._compiled is not None or self._entry_point is None:
+            return
+        n = len(self._arena)
+        layers: list[tuple[np.ndarray, np.ndarray]] = []
+        for layer in range(self._max_level + 1):
+            counts = np.zeros(n + 1, dtype=np.int64)
+            for off, node in self._nodes.items():
+                if layer <= node.level:
+                    counts[off + 1] = len(node.neighbors[layer])
+            indptr = np.cumsum(counts)
+            indices = np.empty(int(indptr[-1]), dtype=np.int64)
+            for off, node in self._nodes.items():
+                if layer <= node.level:
+                    nbrs = node.neighbors[layer]
+                    start = indptr[off]
+                    indices[start : start + len(nbrs)] = nbrs
+            layers.append((indptr, indices))
+        # arena.view() is the same memory _dist_many gathers from, so scores
+        # computed against it are bit-identical to the dict path's.
+        self._compiled = _CompiledGraph(layers, self._arena.view())
+
+    def decompile(self) -> None:
+        """Drop the CSR form, reverting search to the incremental dict graph."""
+        self._compiled = None
+
+    def _dist_many_c(self, query: np.ndarray, nbrs: np.ndarray) -> np.ndarray:
+        """CSR-path scoring: same math as :meth:`_dist_many`, no list churn."""
+        self.stats.distance_computations += int(nbrs.size)
+        matrix = self._compiled.vectors[nbrs]
+        if self.distance is Distance.EUCLID:
+            diff = matrix - query
+            return np.einsum("ij,ij->i", diff, diff)
+        return -(matrix @ query)
+
+    def _greedy_step_c(self, query, ep: int, ep_dist: float, layer: int) -> tuple[int, float]:
+        """Compiled twin of :meth:`_greedy_step` (Algorithm 2, ef=1)."""
+        indptr, indices = self._compiled.layers[layer]
+        improved = True
+        while improved:
+            improved = False
+            nbrs = indices[indptr[ep] : indptr[ep + 1]]
+            if nbrs.size == 0:
+                break
+            dists = self._dist_many_c(query, nbrs)
+            self.stats.hops += 1
+            best = int(np.argmin(dists))
+            if dists[best] < ep_dist:
+                ep = int(nbrs[best])
+                ep_dist = float(dists[best])
+                improved = True
+        return ep, ep_dist
+
+    def _search_layer_c(
+        self,
+        query: np.ndarray,
+        entry: list[tuple[float, int]],
+        ef: int,
+        layer: int,
+        predicate: OffsetPredicate | None = None,
+    ) -> list[tuple[float, int]]:
+        """Compiled twin of :meth:`_search_layer`.
+
+        Traversal order, heap contents and admission decisions mirror the
+        dict form exactly; the differences are mechanical — an epoch-tagged
+        visited array instead of a Python set, and CSR slices instead of
+        per-node list comprehensions.
+        """
+        comp = self._compiled
+        indptr, indices = comp.layers[layer]
+        vectors = comp.vectors
+        visited = comp.visited
+        epoch = comp.next_epoch()
+        for _, o in entry:
+            visited[o] = epoch
+        candidates = list(entry)
+        heapq.heapify(candidates)
+        if predicate is None:
+            results = [(-d, o) for d, o in entry]
+        else:
+            results = [(-d, o) for d, o in entry if predicate(o)]
+        heapq.heapify(results)
+
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+        euclid = self.distance is Distance.EUCLID
+        nres = len(results)
+        # ``bound`` mirrors ``-results[0][0]`` whenever the heap is full and is
+        # +inf before that, exactly like the dict form's recomputed expression.
+        bound = -results[0][0] if nres >= ef else math.inf
+        hops = 0
+        dcs = 0
+
+        while candidates:
+            dist, current = heappop(candidates)
+            if nres >= ef and dist > bound:
+                break
+            row = indices[indptr[current] : indptr[current + 1]]
+            fresh = row[visited[row] != epoch]
+            if fresh.size == 0:
+                continue
+            visited[fresh] = epoch
+            dcs += fresh.size
+            matrix = vectors[fresh]
+            if euclid:
+                diff = matrix - query
+                dists = np.einsum("ij,ij->i", diff, diff)
+            else:
+                dists = matrix @ query
+                np.negative(dists, out=dists)
+            hops += 1
+            if nres >= ef:
+                # Exact pre-filter: once the result heap is full the bound only
+                # shrinks, so anything at or above the hop-entry bound would be
+                # rejected by the sequential admission test too.  Survivors
+                # still run through the identical per-neighbour logic below.
+                keep = dists < bound
+                nkeep = np.count_nonzero(keep)
+                if nkeep != keep.shape[0]:
+                    if nkeep == 0:
+                        continue
+                    dists = dists[keep]
+                    fresh = fresh[keep]
+            for nbr_dist, nbr in zip(dists.tolist(), fresh.tolist()):
+                if nbr_dist < bound or nres < ef:
+                    heappush(candidates, (nbr_dist, nbr))
+                    if predicate is None or predicate(nbr):
+                        heappush(results, (-nbr_dist, nbr))
+                        if nres == ef:
+                            heappop(results)
+                        else:
+                            nres += 1
+                        if nres >= ef:
+                            bound = -results[0][0]
+        self.stats.hops += hops
+        self.stats.distance_computations += dcs
+        return [(-nd, o) for nd, o in results]
 
     # -- persistence -----------------------------------------------------------
 
@@ -346,7 +537,11 @@ class HnswIndex:
         ef: int | None = None,
         **params,
     ) -> tuple[np.ndarray, np.ndarray]:
-        """Top-k search (Algorithm 5); returns ``(offsets, scores)``."""
+        """Top-k search (Algorithm 5); returns ``(offsets, scores)``.
+
+        Dispatches to the compiled CSR traversal when :meth:`compile` has
+        run; both forms return identical results.
+        """
         if self._entry_point is None or k <= 0:
             return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float32)
         query = self._prepare(query)
@@ -359,14 +554,37 @@ class HnswIndex:
             # widen the beam so enough admissible points survive filtering
             ef_eff = max(ef_eff, 4 * k)
 
+        compiled = self._compiled is not None
         ep = self._entry_point
         ep_dist = self._dist_one(query, ep)
+        step = self._greedy_step_c if compiled else self._greedy_step
         for layer in range(self._max_level, 0, -1):
-            ep, ep_dist = self._greedy_step(query, ep, ep_dist, layer)
+            ep, ep_dist = step(query, ep, ep_dist, layer)
 
-        results = self._search_layer(query, [(ep_dist, ep)], ef_eff, 0, predicate)
+        layer0 = self._search_layer_c if compiled else self._search_layer
+        results = layer0(query, [(ep_dist, ep)], ef_eff, 0, predicate)
         results.sort()
         results = results[:k]
         offsets = np.asarray([o for _, o in results], dtype=np.int64)
         scores = np.asarray([self._to_score(d) for d, _ in results], dtype=np.float32)
         return offsets, scores
+
+    def search_batch(
+        self,
+        queries: np.ndarray,
+        k: int,
+        *,
+        predicate: OffsetPredicate | None = None,
+        ef: int | None = None,
+        **params,
+    ) -> list[tuple[np.ndarray, np.ndarray]]:
+        """Batched top-k search; element ``i`` equals ``search(queries[i], k)``.
+
+        Compiles the graph on first use so the whole batch runs on the CSR
+        fast path with one shared visited buffer, instead of the per-query
+        dict traversal a naive loop would pay for.
+        """
+        queries = np.ascontiguousarray(queries, dtype=np.float32)
+        if self._compiled is None:
+            self.compile()
+        return [self.search(q, k, predicate=predicate, ef=ef, **params) for q in queries]

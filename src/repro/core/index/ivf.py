@@ -164,3 +164,15 @@ class IvfIndex:
         self.stats.distance_computations += len(cand)
         idx2, top_scores = distances.top_k(exact, k, self.distance)
         return cand[idx2], top_scores
+
+    def search_batch(
+        self,
+        queries: np.ndarray,
+        k: int,
+        *,
+        predicate: OffsetPredicate | None = None,
+        **params,
+    ) -> list[tuple[np.ndarray, np.ndarray]]:
+        """Batched search; probes are query-dependent, so no shared GEMM."""
+        queries = np.ascontiguousarray(queries, dtype=np.float32)
+        return [self.search(q, k, predicate=predicate, **params) for q in queries]

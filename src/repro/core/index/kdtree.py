@@ -173,3 +173,15 @@ class KdTreeIndex:
             return offsets, d2
         # unit vectors: cos = 1 - d2/2; dot on normalised storage likewise
         return offsets, (1.0 - d2 / 2.0).astype(np.float32)
+
+    def search_batch(
+        self,
+        queries: np.ndarray,
+        k: int,
+        *,
+        predicate: OffsetPredicate | None = None,
+        **params,
+    ) -> list[tuple[np.ndarray, np.ndarray]]:
+        """Batched search; the tree has no shared-work fast path."""
+        queries = np.ascontiguousarray(queries, dtype=np.float32)
+        return [self.search(q, k, predicate=predicate, **params) for q in queries]

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from .parallel import build_segment_indexes
 from .segment import Segment
 from .types import CollectionConfig
 
@@ -102,11 +103,18 @@ class SegmentOptimizer:
         threshold = self.config.optimizer.indexing_threshold
         if threshold <= 0:
             return segments  # bulk-upload mode: indexing deferred
-        for seg in segments:
-            if not seg.is_indexed and len(seg) >= threshold:
-                seg.seal()
-                seg.build_index("hnsw")
-                report.segments_indexed += 1
-                report.vectors_indexed += len(seg)
-                report.index_builds.append((seg.segment_id, len(seg)))
+        targets = [s for s in segments if not s.is_indexed and len(s) >= threshold]
+        if not targets:
+            return segments
+        for seg in targets:
+            seg.seal()
+        # Independent per-segment builds share the optimizer's thread budget
+        # (``max_indexing_threads``); results match a serial loop exactly.
+        build_segment_indexes(
+            targets, "hnsw", max_workers=self.config.optimizer.max_indexing_threads
+        )
+        for seg in targets:
+            report.segments_indexed += 1
+            report.vectors_indexed += len(seg)
+            report.index_builds.append((seg.segment_id, len(seg)))
         return segments

@@ -1,0 +1,171 @@
+"""Parallel per-segment index construction.
+
+Building indexes over independent segments is embarrassingly parallel —
+Figure 3 of the paper reports a 21.3x indexing speedup at 32 workers
+because every shard builds its HNSW graph independently.  This module
+gives the in-process stack the same shape via a configurable thread (or
+process) pool, mirroring Qdrant's ``max_indexing_threads`` knob.
+
+Two execution modes:
+
+* **threads** — one :class:`~concurrent.futures.ThreadPoolExecutor` across
+  segments.  The heavy kernels (pairwise GEMMs in the selection heuristic,
+  per-hop matvecs) release the GIL inside BLAS, so builds overlap on
+  multi-core hosts while staying in one address space.
+* **processes** — a fork-based :class:`~concurrent.futures.ProcessPoolExecutor`
+  for pure-CPU parallelism.  The child rebuilds the segment's arena from a
+  shipped matrix, builds the index, and returns the serialised graph
+  (``to_arrays``); the parent reattaches it with ``from_arrays`` against its
+  own arena.  Construction is deterministic given (vectors, offsets,
+  config, seed), so the result is bit-identical to an in-process build.
+  Only HNSW supports this round-trip; other kinds fall back to an
+  in-process build.
+
+Either way the produced indexes — and therefore search results — are
+bit-identical to a serial loop, which is what lets callers flip the knob
+freely.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+
+import numpy as np
+
+from .index import HnswIndex, make_index
+from .segment import Segment
+from .types import CollectionConfig
+
+__all__ = [
+    "ParallelBuildReport",
+    "resolve_worker_count",
+    "build_segment_indexes",
+]
+
+
+@dataclass
+class ParallelBuildReport:
+    """Timing of one multi-segment build pass (telemetry feeds on this)."""
+
+    segments: int = 0
+    workers: int = 1
+    mode: str = "serial"  # "serial" | "threads" | "processes"
+    wall_seconds: float = 0.0
+    #: Sum of per-segment build durations; ``busy / (wall * workers)`` is
+    #: the pool utilization — near 1.0 means the pool stayed saturated.
+    busy_seconds: float = 0.0
+
+    @property
+    def utilization(self) -> float:
+        denom = self.wall_seconds * max(self.workers, 1)
+        return 0.0 if denom <= 0 else self.busy_seconds / denom
+
+
+def resolve_worker_count(requested: int | None, n_tasks: int) -> int:
+    """Map a ``max_indexing_threads``-style knob onto a concrete pool size.
+
+    ``None``/1 → serial, 0 → one worker per CPU core, n → n; always capped
+    at the number of tasks.
+    """
+    if n_tasks <= 0:
+        return 1
+    if requested is None:
+        requested = 1
+    if requested == 0:
+        requested = os.cpu_count() or 1
+    return max(1, min(requested, n_tasks))
+
+
+def _build_one(segment: Segment, kind: str) -> tuple[object, float]:
+    """Build (but do not install) an index for one segment."""
+    t0 = time.perf_counter()
+    index = make_index(kind, segment._arena, segment.config)
+    live = segment._ids.live_offsets()
+    index.build(segment._arena.take(live), live)
+    return index, time.perf_counter() - t0
+
+
+def _build_arrays_in_subprocess(
+    kind: str,
+    rows: np.ndarray,
+    live: np.ndarray,
+    config: CollectionConfig,
+) -> tuple[dict, float]:
+    """Child-process body: rebuild the arena, build, serialise the graph.
+
+    ``rows`` is the parent's full arena view (tombstones included) so that
+    arena offsets in the child line up with the parent's.
+    """
+    from .storage import VectorArena
+
+    t0 = time.perf_counter()
+    arena = VectorArena(rows.shape[1])
+    if len(rows):
+        arena.extend(rows)
+    index = make_index(kind, arena, config)
+    index.build(arena.take(live), live)
+    return index.to_arrays(), time.perf_counter() - t0
+
+
+def build_segment_indexes(
+    segments: list[Segment],
+    kind: str = "hnsw",
+    *,
+    max_workers: int | None = None,
+    use_processes: bool = False,
+) -> ParallelBuildReport:
+    """Build and install an index on every segment, possibly in parallel.
+
+    Results are bit-identical to a serial loop regardless of ``max_workers``
+    or ``use_processes``: each segment's build is self-contained and seeded,
+    and installation happens in segment order.
+    """
+    report = ParallelBuildReport(segments=len(segments))
+    if not segments:
+        return report
+    workers = resolve_worker_count(max_workers, len(segments))
+    report.workers = workers
+    t0 = time.perf_counter()
+
+    if workers == 1:
+        report.mode = "serial"
+        for seg in segments:
+            index, took = _build_one(seg, kind)
+            seg.install_index(index, kind)
+            report.busy_seconds += took
+    elif use_processes and kind == "hnsw":
+        report.mode = "processes"
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                pool.submit(
+                    _build_arrays_in_subprocess,
+                    kind,
+                    seg._arena.view().copy(),
+                    seg._ids.live_offsets(),
+                    seg.config,
+                )
+                for seg in segments
+            ]
+            for seg, fut in zip(segments, futures):
+                data, took = fut.result()
+                index = HnswIndex.from_arrays(
+                    seg._arena, seg.config.vectors.distance, data, seg.config.hnsw
+                )
+                seg.install_index(index, kind)
+                report.busy_seconds += took
+    else:
+        report.mode = "threads"
+        with ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="index-build"
+        ) as pool:
+            futures = [pool.submit(_build_one, seg, kind) for seg in segments]
+            for seg, fut in zip(segments, futures):
+                index, took = fut.result()
+                seg.install_index(index, kind)
+                report.busy_seconds += took
+
+    report.wall_seconds = time.perf_counter() - t0
+    return report

@@ -196,14 +196,31 @@ class Segment:
     # -- lifecycle -------------------------------------------------------------
 
     def seal(self) -> None:
-        """Make the segment immutable (precedes index build / merge)."""
+        """Make the segment immutable (precedes index build / merge).
+
+        Sealing also compiles a present index into its sealed fast form
+        (flat CSR adjacency for HNSW) — no more mutations can invalidate it.
+        """
         self._sealed = True
+        if self._index is not None and hasattr(self._index, "compile"):
+            self._index.compile()
 
     def build_index(self, kind: str = "hnsw") -> None:
         """Build an ANN index over all live vectors (deferred-index path)."""
         index = make_index(kind, self._arena, self.config)
         live = self._ids.live_offsets()
         index.build(self._arena.take(live), live)
+        self.install_index(index, kind)
+
+    def install_index(self, index, kind: str) -> None:
+        """Adopt an already-built index (parallel build workers use this).
+
+        Compiles the index when it supports a sealed form; for an appendable
+        segment the next ``add`` simply invalidates the compiled graph, so
+        compiling eagerly is always safe.
+        """
+        if hasattr(index, "compile"):
+            index.compile()
         self._index = index
         self._index_kind = kind
 
@@ -363,7 +380,25 @@ class Segment:
             offsets, scores = self._quantized_scan(query, k, predicate)
         else:
             offsets, scores = self._flat_scan(query, k, predicate)
+        return self._postprocess(
+            offsets,
+            scores,
+            score_threshold=score_threshold,
+            with_payload=with_payload,
+            with_vector=with_vector,
+        )
 
+    def _postprocess(
+        self,
+        offsets: np.ndarray,
+        scores: np.ndarray,
+        *,
+        score_threshold: float | None,
+        with_payload: bool,
+        with_vector: bool,
+    ) -> list[ScoredPoint]:
+        """Translate ``(offsets, scores)`` into scored points, applying the
+        score threshold — shared by the single and batched search paths."""
         out: list[ScoredPoint] = []
         for off, score in zip(offsets, scores):
             score = float(score)
@@ -397,25 +432,89 @@ class Segment:
         return live[idx], top
 
     def search_batch(
-        self, queries: np.ndarray, k: int, *, flt: Condition | None = None, **kwargs
+        self,
+        queries: np.ndarray,
+        k: int,
+        *,
+        flt: Condition | None = None,
+        exact: bool = False,
+        ef: int | None = None,
+        nprobe: int | None = None,
+        with_payload: bool = False,
+        with_vector: bool = False,
+        score_threshold: float | None = None,
     ) -> list[list[ScoredPoint]]:
-        """Batched search; exact path uses one GEMM for the whole batch."""
+        """Batched search; element ``i`` matches ``search(queries[i], k, ...)``.
+
+        Routes through the index's batch entry point (compiled HNSW, flat
+        GEMM) whenever one applies — the filter predicate is built once for
+        the whole batch instead of once per query, and ``ef``/
+        ``score_threshold`` no longer force the per-query fallback.  Only the
+        quantized scan and forced-exact-over-index combinations fall back to
+        a per-query loop.
+        """
         queries = np.asarray(queries, dtype=np.float32)
-        if self._index is None and self._quantizer is None and flt is None and not kwargs:
-            # fast exact path
-            if self._distance is Distance.COSINE:
-                queries = distances.normalize_batch(queries)
-            live = self._ids.live_offsets()
-            if live.size == 0:
-                return [[] for _ in range(len(queries))]
-            matrix = self._arena.take(live)
-            all_scores = distances.score_pairwise(matrix, queries, self._distance)
-            out = []
-            for row in all_scores:
-                idx, top = distances.top_k(row, k, self._distance)
-                out.append(
-                    [ScoredPoint(id=self._ids.id_at(int(live[i])), score=float(s))
-                     for i, s in zip(idx, top)]
+        if queries.ndim != 2 or queries.shape[1] != self._dim:
+            raise DimensionMismatchError(
+                self._dim, int(queries.shape[-1]) if queries.ndim else 0
+            )
+
+        if self._index is not None and not exact:
+            # Per-query normalisation (not normalize_batch): the single-query
+            # path normalises each query with `distances.normalize`, and the
+            # batch must reproduce its results bit-for-bit.
+            if self._distance is Distance.COSINE and len(queries):
+                queries = np.stack([distances.normalize(q) for q in queries])
+            predicate = self._offset_predicate(flt)
+            pairs = self._index.search_batch(
+                queries, k, predicate=predicate, ef=ef, nprobe=nprobe
+            )
+            return [
+                self._postprocess(
+                    offsets,
+                    scores,
+                    score_threshold=score_threshold,
+                    with_payload=with_payload,
+                    with_vector=with_vector,
                 )
-            return out
-        return [self.search(q, k, flt=flt, **kwargs) for q in queries]
+                for offsets, scores in pairs
+            ]
+
+        if self._quantizer is not None and not exact:
+            return [
+                self.search(
+                    q,
+                    k,
+                    flt=flt,
+                    with_payload=with_payload,
+                    with_vector=with_vector,
+                    score_threshold=score_threshold,
+                )
+                for q in queries
+            ]
+
+        # Flat scan: one GEMM for the whole batch; the live-offset list and
+        # filter predicate are computed once instead of once per query.
+        if self._distance is Distance.COSINE and len(queries):
+            queries = distances.normalize_batch(queries)
+        live = self._ids.live_offsets()
+        predicate = self._offset_predicate(flt)
+        if predicate is not None:
+            live = np.asarray([o for o in live if predicate(int(o))], dtype=np.int64)
+        if live.size == 0:
+            return [[] for _ in range(len(queries))]
+        matrix = self._arena.take(live)
+        all_scores = distances.score_pairwise(matrix, queries, self._distance)
+        out = []
+        for row in all_scores:
+            idx, top = distances.top_k(row, k, self._distance)
+            out.append(
+                self._postprocess(
+                    live[idx],
+                    top,
+                    score_threshold=score_threshold,
+                    with_payload=with_payload,
+                    with_vector=with_vector,
+                )
+            )
+        return out

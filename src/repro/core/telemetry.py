@@ -16,7 +16,7 @@ from dataclasses import dataclass, field
 
 from .cluster import Cluster
 
-__all__ = ["WorkerTelemetry", "TelemetrySnapshot", "collect"]
+__all__ = ["WorkerTelemetry", "FanoutTelemetry", "TelemetrySnapshot", "collect"]
 
 
 @dataclass(frozen=True)
@@ -33,6 +33,10 @@ class WorkerTelemetry:
     distance_computations: int
     indexed_vectors: int
     points: int
+    #: Wall time this worker spent serving search calls / building indexes
+    #: (per-worker straggler diagnostics for the broadcast–reduce).
+    search_seconds: float = 0.0
+    build_seconds: float = 0.0
 
     def minus(self, earlier: "WorkerTelemetry") -> "WorkerTelemetry":
         return WorkerTelemetry(
@@ -46,6 +50,39 @@ class WorkerTelemetry:
             distance_computations=self.distance_computations - earlier.distance_computations,
             indexed_vectors=self.indexed_vectors - earlier.indexed_vectors,
             points=self.points - earlier.points,
+            search_seconds=self.search_seconds - earlier.search_seconds,
+            build_seconds=self.build_seconds - earlier.build_seconds,
+        )
+
+
+@dataclass(frozen=True)
+class FanoutTelemetry:
+    """Cluster-level broadcast counters (from :class:`~.cluster.FanoutStats`).
+
+    ``mean_width`` is the average number of workers contacted per
+    broadcast; predicated shard routing shows up as a width below the
+    worker count.  ``wall_seconds`` is coordinator-side fan-out wall time —
+    with the thread-pool broadcast it tracks the *slowest* worker rather
+    than the sum of all workers.
+    """
+
+    fanouts: int = 0
+    calls: int = 0
+    max_width: int = 0
+    total_width: int = 0
+    wall_seconds: float = 0.0
+
+    @property
+    def mean_width(self) -> float:
+        return 0.0 if self.fanouts == 0 else self.total_width / self.fanouts
+
+    def minus(self, earlier: "FanoutTelemetry") -> "FanoutTelemetry":
+        return FanoutTelemetry(
+            fanouts=self.fanouts - earlier.fanouts,
+            calls=self.calls - earlier.calls,
+            max_width=self.max_width,
+            total_width=self.total_width - earlier.total_width,
+            wall_seconds=self.wall_seconds - earlier.wall_seconds,
         )
 
 
@@ -54,6 +91,25 @@ class TelemetrySnapshot:
     """All workers' counters, plus cluster-level aggregates."""
 
     workers: dict[str, WorkerTelemetry] = field(default_factory=dict)
+    fanout: FanoutTelemetry = field(default_factory=FanoutTelemetry)
+    #: Aggregated over every shard-collection's last parallel build pass:
+    #: pool utilization is ``busy / (wall * workers)``.
+    build_wall_seconds: float = 0.0
+    build_busy_seconds: float = 0.0
+    build_pool_workers: int = 0
+
+    @property
+    def build_utilization(self) -> float:
+        denom = self.build_wall_seconds * max(self.build_pool_workers, 1)
+        return 0.0 if denom <= 0 else self.build_busy_seconds / denom
+
+    @property
+    def total_search_seconds(self) -> float:
+        return sum(w.search_seconds for w in self.workers.values())
+
+    @property
+    def total_build_seconds(self) -> float:
+        return sum(w.build_seconds for w in self.workers.values())
 
     @property
     def total_vectors_inserted(self) -> int:
@@ -98,18 +154,34 @@ class TelemetrySnapshot:
                 out.workers[wid] = now.minus(earlier.workers[wid])
             else:
                 out.workers[wid] = now
+        out.fanout = self.fanout.minus(earlier.fanout)
+        out.build_wall_seconds = self.build_wall_seconds - earlier.build_wall_seconds
+        out.build_busy_seconds = self.build_busy_seconds - earlier.build_busy_seconds
+        out.build_pool_workers = self.build_pool_workers
         return out
 
 
 def collect(cluster: Cluster) -> TelemetrySnapshot:
     """Snapshot the counters of every worker in the cluster."""
     snapshot = TelemetrySnapshot()
+    fs = cluster.fanout_stats
+    snapshot.fanout = FanoutTelemetry(
+        fanouts=fs.fanouts,
+        calls=fs.total_calls,
+        max_width=fs.max_width,
+        total_width=fs.total_width,
+        wall_seconds=fs.wall_seconds,
+    )
     for worker in cluster.workers():
         distance_computations = 0
         indexed = 0
         points = 0
         for collection in worker._shards.values():  # noqa: SLF001 - same package
             points += len(collection)
+            report = collection.last_build_report
+            snapshot.build_wall_seconds += report.wall_seconds
+            snapshot.build_busy_seconds += report.busy_seconds
+            snapshot.build_pool_workers = max(snapshot.build_pool_workers, report.workers)
             for seg in collection.segments:
                 if seg.index is not None:
                     distance_computations += seg.index.stats.distance_computations
@@ -125,5 +197,7 @@ def collect(cluster: Cluster) -> TelemetrySnapshot:
             distance_computations=distance_computations,
             indexed_vectors=indexed,
             points=points,
+            search_seconds=worker.stats.search_seconds,
+            build_seconds=worker.stats.build_seconds,
         )
     return snapshot

@@ -140,6 +140,10 @@ class InstrumentedTransport(Transport):
         self.inner = inner
         self.latency_s = latency_s
         self.stats = TransportStats()
+        # Stats accounting must stay consistent under the cluster's
+        # thread-pool fan-out; the latency sleep stays outside the lock so
+        # concurrent calls still overlap.
+        self._lock = threading.Lock()
 
     def is_reachable(self, worker_id: str) -> bool:
         return self.inner.is_reachable(worker_id)
@@ -150,7 +154,8 @@ class InstrumentedTransport(Transport):
             time.sleep(self.latency_s)
         result = self.inner.call(worker_id, method, *args, **kwargs)
         received = estimate_payload_bytes(result)
-        self.stats.record(method, sent, received)
+        with self._lock:
+            self.stats.record(method, sent, received)
         return result
 
 
@@ -174,6 +179,7 @@ class FaultInjectingTransport(Transport):
         self.fail_workers = set(fail_workers or ())
         self.fail_every = fail_every
         self._counter = 0
+        self._lock = threading.Lock()
 
     def fail_worker(self, worker_id: str) -> None:
         self.fail_workers.add(worker_id)
@@ -187,7 +193,9 @@ class FaultInjectingTransport(Transport):
     def call(self, worker_id: str, method: str, *args, **kwargs):
         if worker_id in self.fail_workers:
             raise WorkerUnavailableError(worker_id)
-        self._counter += 1
-        if self.fail_every is not None and self._counter % self.fail_every == 0:
-            raise TransportError(f"injected fault on call #{self._counter} ({method})")
+        with self._lock:
+            self._counter += 1
+            count = self._counter
+        if self.fail_every is not None and count % self.fail_every == 0:
+            raise TransportError(f"injected fault on call #{count} ({method})")
         return self.inner.call(worker_id, method, *args, **kwargs)

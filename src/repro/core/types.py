@@ -154,6 +154,9 @@ class OptimizerConfig:
     max_segment_size: int | None = None
     #: Fraction of deleted points in a sealed segment that triggers vacuum.
     vacuum_min_deleted_ratio: float = 0.2
+    #: Threads used to build indexes over independent segments (Qdrant's
+    #: ``max_indexing_threads``).  1 = serial, 0 = one thread per CPU core.
+    max_indexing_threads: int = 1
 
 
 @dataclass(frozen=True)

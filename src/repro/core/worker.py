@@ -16,6 +16,8 @@ computations, index build sizes) that the performance model reads.
 
 from __future__ import annotations
 
+import threading
+import time
 from dataclasses import dataclass, field
 from typing import Any, Mapping, Sequence
 
@@ -45,6 +47,10 @@ class WorkerStats:
     queries_served: int = 0
     index_builds: list[tuple[str, int, int]] = field(default_factory=list)
     #: (collection, shard, n_vectors) per build
+    #: Wall time spent serving search/search_batch calls.
+    search_seconds: float = 0.0
+    #: Wall time spent building indexes (build_index calls).
+    build_seconds: float = 0.0
 
     def reset(self) -> None:
         self.vectors_inserted = 0
@@ -52,6 +58,8 @@ class WorkerStats:
         self.searches_served = 0
         self.queries_served = 0
         self.index_builds.clear()
+        self.search_seconds = 0.0
+        self.build_seconds = 0.0
 
 
 class Worker:
@@ -62,6 +70,9 @@ class Worker:
         #: Compute node hosting this worker (4 per node on Polaris, §3.2).
         self.node_id = node_id
         self.stats = WorkerStats()
+        # Guards stats mutation: the cluster may issue concurrent calls to
+        # the same worker (e.g. parallel per-shard index builds).
+        self._stats_lock = threading.Lock()
         # (collection_name, shard_id) -> Collection
         self._shards: dict[tuple[str, int], Collection] = {}
 
@@ -143,21 +154,23 @@ class Worker:
     def search(self, collection: str, shard_ids: Sequence[int], request: SearchRequest
                ) -> list[ScoredPoint]:
         """Search the given local shards and return merged local hits."""
-        self.stats.searches_served += 1
-        self.stats.queries_served += 1
+        t0 = time.perf_counter()
         hits: list[ScoredPoint] = []
         for shard_id in shard_ids:
             shard_hits = self._shard(collection, shard_id).search(request)
             for h in shard_hits:
                 h.shard_id = shard_id
             hits.extend(shard_hits)
+        with self._stats_lock:
+            self.stats.searches_served += 1
+            self.stats.queries_served += 1
+            self.stats.search_seconds += time.perf_counter() - t0
         return hits
 
     def search_batch(
         self, collection: str, shard_ids: Sequence[int], requests: Sequence[SearchRequest]
     ) -> list[list[ScoredPoint]]:
-        self.stats.searches_served += 1
-        self.stats.queries_served += len(requests)
+        t0 = time.perf_counter()
         out: list[list[ScoredPoint]] = [[] for _ in requests]
         for shard_id in shard_ids:
             shard = self._shard(collection, shard_id)
@@ -165,6 +178,10 @@ class Worker:
                 for h in hits:
                     h.shard_id = shard_id
                 out[qi].extend(hits)
+        with self._stats_lock:
+            self.stats.searches_served += 1
+            self.stats.queries_served += len(requests)
+            self.stats.search_seconds += time.perf_counter() - t0
         return out
 
     def retrieve(self, collection: str, shard_id: int, point_id: PointId,
@@ -191,9 +208,12 @@ class Worker:
 
     def build_index(self, collection: str, shard_id: int, kind: str = "hnsw"
                     ) -> OptimizerReport:
+        t0 = time.perf_counter()
         report = self._shard(collection, shard_id).build_index(kind)
-        for _, n in report.index_builds:
-            self.stats.index_builds.append((collection, shard_id, n))
+        with self._stats_lock:
+            self.stats.build_seconds += time.perf_counter() - t0
+            for _, n in report.index_builds:
+                self.stats.index_builds.append((collection, shard_id, n))
         return report
 
     def optimize(self, collection: str, shard_id: int) -> OptimizerReport:

@@ -1,0 +1,192 @@
+"""Parallel broadcast–reduce: the thread-pool fan-out must be invisible.
+
+Results of ``Cluster.search`` / ``search_batch`` / ``build_index`` are
+asserted bit-identical between a serial fan-out (``max_fanout_threads=1``)
+and the default parallel one, and the fan-out telemetry and predicated
+batch routing are checked.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CollectionConfig,
+    Distance,
+    Filter,
+    HasId,
+    OptimizerConfig,
+    PointStruct,
+    SearchRequest,
+    VectorParams,
+)
+from repro.core.cluster import Cluster
+from repro.core.transport import InstrumentedTransport, LocalTransport
+
+DIM = 16
+N = 400
+
+
+def make_points():
+    rng = np.random.default_rng(5)
+    vectors = rng.normal(size=(N, DIM)).astype(np.float32)
+    return [
+        PointStruct(id=i, vector=vectors[i], payload={"bucket": i % 4})
+        for i in range(N)
+    ]
+
+
+def make_cluster(max_fanout_threads=None, *, instrument=False, indexed=True):
+    transport = (
+        InstrumentedTransport(LocalTransport()) if instrument else None
+    )
+    cluster = Cluster.with_workers(
+        4, transport=transport, max_fanout_threads=max_fanout_threads
+    )
+    cluster.create_collection(
+        CollectionConfig(
+            "dist",
+            VectorParams(size=DIM, distance=Distance.COSINE),
+            optimizer=OptimizerConfig(indexing_threshold=0),
+        )
+    )
+    cluster.upsert("dist", make_points())
+    if indexed:
+        cluster.build_index("dist")
+    return cluster
+
+
+def queries(n=12, seed=8):
+    return np.random.default_rng(seed).normal(size=(n, DIM)).astype(np.float32)
+
+
+def hit_keys(hits):
+    return [(h.id, h.score) for h in hits]
+
+
+class TestParallelEqualsSerial:
+    def test_search(self):
+        serial = make_cluster(1)
+        parallel = make_cluster(None)
+        for v in queries():
+            req = SearchRequest(vector=v, limit=10)
+            assert hit_keys(serial.search("dist", req)) == hit_keys(
+                parallel.search("dist", req)
+            )
+
+    def test_search_batch(self):
+        serial = make_cluster(1)
+        parallel = make_cluster(None)
+        reqs = [SearchRequest(vector=v, limit=10) for v in queries()]
+        a = serial.search_batch("dist", reqs)
+        b = parallel.search_batch("dist", reqs)
+        assert [hit_keys(h) for h in a] == [hit_keys(h) for h in b]
+
+    def test_build_index(self):
+        serial = make_cluster(1, indexed=False)
+        parallel = make_cluster(None, indexed=False)
+        built_serial = serial.build_index("dist")
+        built_parallel = parallel.build_index("dist")
+        assert built_serial == built_parallel
+        for v in queries():
+            req = SearchRequest(vector=v, limit=10)
+            assert hit_keys(serial.search("dist", req)) == hit_keys(
+                parallel.search("dist", req)
+            )
+
+    def test_search_groups(self):
+        serial = make_cluster(1)
+        parallel = make_cluster(None)
+        req = SearchRequest(vector=queries()[0], limit=8)
+        a = serial.search_groups("dist", req, group_by="bucket", group_size=2, limit=3)
+        b = parallel.search_groups("dist", req, group_by="bucket", group_size=2, limit=3)
+        assert [(k, hit_keys(hits)) for k, hits in a] == [
+            (k, hit_keys(hits)) for k, hits in b
+        ]
+
+
+class TestFanoutTelemetry:
+    def test_stats_recorded(self):
+        cluster = make_cluster(None)
+        cluster.fanout_stats.reset()
+        cluster.search("dist", SearchRequest(vector=queries()[0], limit=5))
+        stats = cluster.fanout_stats
+        assert stats.fanouts == 1
+        assert stats.total_calls == 4
+        assert stats.max_width == 4
+        assert stats.mean_width == 4.0
+        assert stats.wall_seconds > 0
+        assert len(stats.worker_seconds) == 4
+
+    def test_one_transport_call_per_worker_in_parallel(self):
+        cluster = make_cluster(None, instrument=True)
+        cluster.transport.stats.reset()
+        reqs = [SearchRequest(vector=v, limit=5) for v in queries(6)]
+        cluster.search_batch("dist", reqs)
+        assert cluster.transport.stats.calls_by_method.get("search_batch") == 4
+
+    def test_close_is_idempotent(self):
+        cluster = make_cluster(None)
+        cluster.search("dist", SearchRequest(vector=queries()[0], limit=5))
+        cluster.close()
+        cluster.close()
+        # the pool is recreated on demand after close
+        assert len(cluster.search("dist", SearchRequest(vector=queries()[0], limit=5))) == 5
+
+
+class TestPredicatedBatchRouting:
+    def _target_ids(self, cluster):
+        """Point ids that all live on shard 0 (one worker owns them)."""
+        state = cluster._state("dist")
+        return [pid for pid in range(N) if state.router.shard_for(pid) == 0]
+
+    def test_all_predicated_batch_skips_workers(self):
+        cluster = make_cluster(None, instrument=True)
+        ids = self._target_ids(cluster)[:6]
+        reqs = [
+            SearchRequest(vector=v, limit=4, filter=Filter(must=[HasId(ids)]))
+            for v in queries(3)
+        ]
+        cluster.transport.stats.reset()
+        results = cluster.search_batch("dist", reqs)
+        # all target ids live on shard 0 -> exactly one worker is called
+        assert cluster.transport.stats.calls_by_method.get("search_batch") == 1
+        for hits in results:
+            assert {h.id for h in hits} <= set(ids)
+
+    def test_mixed_batch_broadcasts(self):
+        cluster = make_cluster(None, instrument=True)
+        ids = self._target_ids(cluster)[:6]
+        reqs = [
+            SearchRequest(vector=queries(1)[0], limit=4, filter=Filter(must=[HasId(ids)])),
+            SearchRequest(vector=queries(1)[0], limit=4),  # unpredicated
+        ]
+        cluster.transport.stats.reset()
+        cluster.search_batch("dist", reqs)
+        assert cluster.transport.stats.calls_by_method.get("search_batch") == 4
+
+    def test_predicated_batch_matches_unrouted_results(self):
+        routed = make_cluster(None)
+        serial = make_cluster(1)
+        ids = self._target_ids(routed)[:6]
+        reqs = [
+            SearchRequest(vector=v, limit=4, filter=Filter(must=[HasId(ids)]))
+            for v in queries(4)
+        ]
+        a = routed.search_batch("dist", reqs)
+        b = serial.search_batch("dist", reqs)
+        assert [hit_keys(h) for h in a] == [hit_keys(h) for h in b]
+
+    def test_empty_batch(self):
+        cluster = make_cluster(None)
+        assert cluster.search_batch("dist", []) == []
+
+
+class TestFanoutWidthKnob:
+    @pytest.mark.parametrize("width", [1, 2, 3, None, 0])
+    def test_any_width_same_results(self, width):
+        cluster = make_cluster(width)
+        expected = make_cluster(1)
+        reqs = [SearchRequest(vector=v, limit=10) for v in queries(6)]
+        assert [hit_keys(h) for h in cluster.search_batch("dist", reqs)] == [
+            hit_keys(h) for h in expected.search_batch("dist", reqs)
+        ]

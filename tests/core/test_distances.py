@@ -166,3 +166,63 @@ class TestMergeTopK:
         all_scores = np.array([p[1] for p in pairs], dtype=np.float32)
         expected = np.sort(all_scores)[::-1][: min(k, len(pairs))]
         assert np.allclose(np.asarray(merged_scores), expected)
+
+
+class TestDeterministicTies:
+    """Regression: duplicate scores must break ties deterministically.
+
+    ``top_k`` prefers the lowest row index among equal scores, and
+    ``merge_top_k`` therefore keeps hits from earlier partials — the
+    property the distributed reduce relies on for run-to-run stability.
+    """
+
+    def test_topk_duplicate_scores_prefer_low_index(self):
+        scores = np.array([0.5, 0.9, 0.5, 0.9, 0.5, 0.1], dtype=np.float32)
+        idx, top = distances.top_k(scores, 3, Distance.COSINE)
+        assert idx.tolist() == [1, 3, 0]
+        assert top.tolist() == [np.float32(0.9), np.float32(0.9), np.float32(0.5)]
+
+    def test_topk_duplicate_scores_euclid(self):
+        scores = np.array([2.0, 1.0, 2.0, 1.0, 3.0], dtype=np.float32)
+        idx, _ = distances.top_k(scores, 3, Distance.EUCLID)
+        assert idx.tolist() == [1, 3, 0]
+
+    def test_topk_all_equal(self):
+        scores = np.full(8, 0.25, dtype=np.float32)
+        idx, _ = distances.top_k(scores, 4, Distance.COSINE)
+        assert idx.tolist() == [0, 1, 2, 3]
+
+    def test_topk_boundary_tie_cut(self):
+        # three hits tie at the k-th score; only the lowest indices survive
+        scores = np.array([0.9, 0.5, 0.5, 0.5, 0.1], dtype=np.float32)
+        idx, _ = distances.top_k(scores, 2, Distance.COSINE)
+        assert idx.tolist() == [0, 1]
+
+    def test_topk_k_ge_n_sorted_with_stable_ties(self):
+        scores = np.array([0.5, 0.9, 0.5], dtype=np.float32)
+        idx, _ = distances.top_k(scores, 10, Distance.COSINE)
+        assert idx.tolist() == [1, 0, 2]
+
+    def test_merge_ties_keep_earlier_partial(self):
+        a = (np.array([10]), np.array([0.7], dtype=np.float32))
+        b = (np.array([20]), np.array([0.7], dtype=np.float32))
+        ids, _ = distances.merge_top_k([a, b], 1, Distance.COSINE)
+        assert ids.tolist() == [10]
+        # and flipping partial order flips the winner
+        ids, _ = distances.merge_top_k([b, a], 1, Distance.COSINE)
+        assert ids.tolist() == [20]
+
+    @given(
+        st.lists(st.sampled_from([0.1, 0.5, 0.9]), min_size=1, max_size=30),
+        st.integers(1, 8),
+    )
+    @settings(max_examples=60)
+    def test_topk_deterministic_under_duplicates(self, values, k):
+        scores = np.array(values, dtype=np.float32)
+        idx1, top1 = distances.top_k(scores, k, Distance.COSINE)
+        idx2, top2 = distances.top_k(scores.copy(), k, Distance.COSINE)
+        assert idx1.tolist() == idx2.tolist()
+        assert top1.tolist() == top2.tolist()
+        # scores sorted best-first, indices minimal among equal scores
+        order = np.argsort(-scores, kind="stable")[: len(idx1)]
+        assert idx1.tolist() == order.tolist()

@@ -1,0 +1,121 @@
+"""Compiled (CSR) HNSW equivalence tests.
+
+Compiling is a pure representation change: the sealed CSR traversal must
+return bit-identical ``(offsets, scores)`` to the appendable dict form for
+every query, metric, predicate and ef — that equivalence is what lets
+``Segment.seal`` compile unconditionally.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.index.hnsw import HnswIndex
+from repro.core.storage import VectorArena
+from repro.core.types import Distance, HnswConfig
+
+DIM = 16
+N = 300
+
+
+def build_index(distance: Distance, n: int = N, seed: int = 3) -> HnswIndex:
+    rng = np.random.default_rng(seed)
+    vectors = rng.normal(size=(n, DIM)).astype(np.float32)
+    if distance is Distance.COSINE:
+        vectors /= np.linalg.norm(vectors, axis=1, keepdims=True)
+    arena = VectorArena(DIM)
+    arena.extend(vectors)
+    index = HnswIndex(arena, distance, HnswConfig(m=8, ef_construct=32))
+    offsets = np.arange(n, dtype=np.int64)
+    index.build(arena.take(offsets), offsets)
+    return index
+
+
+def queries(n: int = 20, seed: int = 9) -> np.ndarray:
+    return np.random.default_rng(seed).normal(size=(n, DIM)).astype(np.float32)
+
+
+def assert_identical(a, b):
+    """Exact equality of an (offsets, scores) pair."""
+    np.testing.assert_array_equal(a[0], b[0])
+    np.testing.assert_array_equal(a[1], b[1])
+
+
+@pytest.mark.parametrize("distance", [Distance.COSINE, Distance.DOT, Distance.EUCLID])
+class TestCompiledEquivalence:
+    def test_compile_matches_dict_form(self, distance):
+        index = build_index(distance)
+        assert not index.is_compiled
+        expected = [index.search(q, 10) for q in queries()]
+        index.compile()
+        assert index.is_compiled
+        for q, exp in zip(queries(), expected):
+            assert_identical(index.search(q, 10), exp)
+
+    def test_decompile_round_trip(self, distance):
+        index = build_index(distance)
+        expected = [index.search(q, 5) for q in queries()]
+        index.compile()
+        index.decompile()
+        assert not index.is_compiled
+        for q, exp in zip(queries(), expected):
+            assert_identical(index.search(q, 5), exp)
+
+    def test_from_arrays_round_trip(self, distance):
+        index = build_index(distance)
+        restored = HnswIndex.from_arrays(
+            index._arena, distance, index.to_arrays(), index.config
+        )
+        restored.compile()
+        for q in queries():
+            assert_identical(restored.search(q, 10), index.search(q, 10))
+
+    def test_predicate_and_ef_equivalence(self, distance):
+        index = build_index(distance)
+        predicate = lambda off: off % 3 == 0  # noqa: E731
+        expected = [index.search(q, 8, predicate=predicate, ef=200) for q in queries()]
+        index.compile()
+        for q, exp in zip(queries(), expected):
+            got = index.search(q, 8, predicate=predicate, ef=200)
+            assert_identical(got, exp)
+            assert all(off % 3 == 0 for off in got[0])
+
+    def test_batch_matches_single(self, distance):
+        index = build_index(distance)
+        qs = queries()
+        batch = index.search_batch(qs, 10)
+        assert index.is_compiled  # batch entry compiles on first use
+        for q, pair in zip(qs, batch):
+            assert_identical(pair, index.search(q, 10))
+
+
+class TestCompiledLifecycle:
+    def test_add_invalidates_compiled_form(self):
+        # EUCLID: the nearest neighbour of a stored vector is itself.
+        index = build_index(Distance.EUCLID)
+        index.compile()
+        vec = np.random.default_rng(1).normal(size=DIM).astype(np.float32)
+        off = index._arena.append(vec)
+        index.add(off, vec)
+        assert not index.is_compiled
+        offsets, _ = index.search(vec, 1, ef=64)
+        assert offsets[0] == off
+
+    def test_recompile_after_add_matches_dict_form(self):
+        index = build_index(Distance.DOT)
+        index.compile()
+        rng = np.random.default_rng(2)
+        for _ in range(10):
+            vec = rng.normal(size=DIM).astype(np.float32)
+            off = index._arena.append(vec)
+            index.add(off, vec)
+        expected = [index.search(q, 10) for q in queries()]
+        index.compile()
+        for q, exp in zip(queries(), expected):
+            assert_identical(index.search(q, 10), exp)
+
+    def test_empty_index_search(self):
+        arena = VectorArena(DIM)
+        index = HnswIndex(arena, Distance.COSINE)
+        index.compile()  # must not blow up on an empty graph
+        offsets, scores = index.search(np.zeros(DIM, dtype=np.float32), 5)
+        assert offsets.size == 0 and scores.size == 0

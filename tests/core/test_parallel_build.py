@@ -1,0 +1,145 @@
+"""Parallel per-segment index builds (threads and processes).
+
+The knob (``OptimizerConfig.max_indexing_threads`` / the ``max_threads``
+argument of ``Collection.build_index``) must be invisible in results:
+seeded HNSW construction is deterministic, so serial, threaded and
+process-pool builds produce bit-identical indexes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Collection,
+    CollectionConfig,
+    Distance,
+    OptimizerConfig,
+    PointStruct,
+    VectorParams,
+)
+from repro.core.parallel import build_segment_indexes, resolve_worker_count
+
+DIM = 16
+N = 400
+
+
+def make_collection(max_indexing_threads=1, max_segment_size=100, threshold=0):
+    config = CollectionConfig(
+        "par",
+        VectorParams(size=DIM, distance=Distance.COSINE),
+        optimizer=OptimizerConfig(
+            indexing_threshold=threshold,
+            max_segment_size=max_segment_size,
+            max_indexing_threads=max_indexing_threads,
+        ),
+    )
+    col = Collection(config)
+    rng = np.random.default_rng(13)
+    vectors = rng.normal(size=(N, DIM)).astype(np.float32)
+    col.upsert([PointStruct(id=i, vector=vectors[i]) for i in range(N)])
+    return col
+
+
+def queries(n=10, seed=21):
+    return np.random.default_rng(seed).normal(size=(n, DIM)).astype(np.float32)
+
+
+def search_keys(col, qs):
+    from repro.core.types import SearchRequest
+
+    return [
+        [(h.id, h.score) for h in col.search(SearchRequest(vector=q, limit=10))]
+        for q in qs
+    ]
+
+
+class TestResolveWorkerCount:
+    def test_none_and_one_are_serial(self):
+        assert resolve_worker_count(None, 8) == 1
+        assert resolve_worker_count(1, 8) == 1
+
+    def test_capped_at_task_count(self):
+        assert resolve_worker_count(16, 3) == 3
+
+    def test_zero_means_cpu_count(self):
+        import os
+
+        assert resolve_worker_count(0, 64) == min(os.cpu_count() or 1, 64)
+
+    def test_no_tasks(self):
+        assert resolve_worker_count(4, 0) == 1
+
+
+class TestCollectionParallelBuild:
+    def test_threaded_build_bit_identical_to_serial(self):
+        serial = make_collection()
+        threaded = make_collection()
+        assert len(serial.segments) >= 4
+        serial.build_index("hnsw", max_threads=1)
+        threaded.build_index("hnsw", max_threads=4)
+        assert search_keys(serial, queries()) == search_keys(threaded, queries())
+
+    def test_process_build_bit_identical_to_serial(self):
+        serial = make_collection()
+        forked = make_collection()
+        serial.build_index("hnsw", max_threads=1)
+        forked.build_index("hnsw", max_threads=2, use_processes=True)
+        assert forked.last_build_report.mode == "processes"
+        assert search_keys(serial, queries()) == search_keys(forked, queries())
+
+    def test_build_report_filled(self):
+        col = make_collection()
+        col.build_index("hnsw", max_threads=2)
+        report = col.last_build_report
+        assert report.mode == "threads"
+        assert report.workers == 2
+        assert report.segments == len(col.segments)
+        assert report.wall_seconds > 0
+        assert report.busy_seconds > 0
+        assert 0 < report.utilization <= 1.0 + 1e-9
+
+    def test_default_uses_optimizer_knob(self):
+        col = make_collection(max_indexing_threads=3)
+        col.build_index("hnsw")
+        assert col.last_build_report.workers == 3
+        assert col.last_build_report.mode == "threads"
+
+
+class TestOptimizerParallelBuild:
+    def test_max_indexing_threads_equivalent(self):
+        # threshold > 0: the optimizer (run during upsert) builds indexes
+        # itself, through the shared parallel build path
+        serial = make_collection(max_indexing_threads=1, threshold=50)
+        threaded = make_collection(max_indexing_threads=4, threshold=50)
+        assert any(seg.is_indexed for seg in serial.segments)
+        assert any(seg.is_indexed for seg in threaded.segments)
+        assert search_keys(serial, queries()) == search_keys(threaded, queries())
+
+
+class TestBuildSegmentIndexes:
+    def test_empty_list(self):
+        report = build_segment_indexes([], "hnsw", max_workers=4)
+        assert report.segments == 0
+        assert report.mode == "serial"
+
+    def test_installs_in_segment_order(self):
+        col = make_collection()
+        segments = list(col.segments)
+        for seg in segments:
+            seg.seal()
+        report = build_segment_indexes(segments, "hnsw", max_workers=4)
+        assert report.mode == "threads"
+        assert all(seg.index is not None for seg in segments)
+
+    @pytest.mark.parametrize("use_processes", [False, True])
+    def test_modes_match_serial(self, use_processes):
+        base = make_collection()
+        other = make_collection()
+        for col in (base, other):
+            for seg in col.segments:
+                seg.seal()
+        build_segment_indexes(list(base.segments), "hnsw", max_workers=1)
+        build_segment_indexes(
+            list(other.segments), "hnsw", max_workers=2, use_processes=use_processes
+        )
+        assert search_keys(base, queries()) == search_keys(other, queries())

@@ -1,0 +1,114 @@
+"""Property: ``Segment.search_batch(qs, k)[i] == Segment.search(qs[i], k)``.
+
+Holds on both the flat-scan path (one GEMM for the batch) and the HNSW
+path (compiled CSR batch entry).  For HNSW the batch reuses the exact
+per-query traversal, so equality is bit-for-bit; the flat batch GEMM may
+round differently from the per-query GEMV in the last bit, so scores are
+compared to float32 resolution there (ids must still agree).
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.segment import Segment
+from repro.core.types import (
+    CollectionConfig,
+    Distance,
+    HnswConfig,
+    OptimizerConfig,
+    PointStruct,
+    VectorParams,
+)
+
+DIM = 8
+N = 200
+
+finite_floats = st.floats(min_value=-10.0, max_value=10.0, allow_nan=False, width=32)
+query_batches = arrays(
+    np.float32, st.tuples(st.integers(1, 6), st.just(DIM)), elements=finite_floats
+)
+
+
+def make_segment(distance: Distance, indexed: bool) -> Segment:
+    config = CollectionConfig(
+        "prop",
+        VectorParams(size=DIM, distance=distance),
+        hnsw=HnswConfig(m=8, ef_construct=32),
+        optimizer=OptimizerConfig(indexing_threshold=0),
+    )
+    seg = Segment(config)
+    rng = np.random.default_rng(17)
+    vectors = rng.normal(size=(N, DIM)).astype(np.float32)
+    seg.upsert_batch(
+        [
+            PointStruct(id=i, vector=vectors[i], payload={"bucket": i % 5})
+            for i in range(N)
+        ]
+    )
+    if indexed:
+        seg.seal()
+        seg.build_index("hnsw")
+    return seg
+
+
+_SEGMENTS = {
+    (d, indexed): make_segment(d, indexed)
+    for d in (Distance.COSINE, Distance.EUCLID)
+    for indexed in (False, True)
+}
+
+
+def hit_keys(hits):
+    return [(h.id, h.score) for h in hits]
+
+
+@given(query_batches)
+@settings(max_examples=30, deadline=None)
+def test_hnsw_batch_equals_single(qs):
+    for distance in (Distance.COSINE, Distance.EUCLID):
+        seg = _SEGMENTS[(distance, True)]
+        batch = seg.search_batch(qs, 5)
+        for q, hits in zip(qs, batch):
+            assert hit_keys(hits) == hit_keys(seg.search(q, 5))
+
+
+@given(query_batches)
+@settings(max_examples=30, deadline=None)
+def test_flat_batch_equals_single(qs):
+    for distance in (Distance.COSINE, Distance.EUCLID):
+        seg = _SEGMENTS[(distance, False)]
+        batch = seg.search_batch(qs, 5)
+        for q, hits in zip(qs, batch):
+            single = seg.search(q, 5)
+            assert [h.id for h in hits] == [h.id for h in single]
+            np.testing.assert_allclose(
+                [h.score for h in hits],
+                [h.score for h in single],
+                rtol=1e-5,
+                atol=1e-6,
+            )
+
+
+def test_hnsw_batch_equals_single_with_ef_and_threshold():
+    """ef / score_threshold used to force the per-query fallback; the batch
+    path must now honour them identically."""
+    seg = _SEGMENTS[(Distance.COSINE, True)]
+    qs = np.random.default_rng(23).normal(size=(8, DIM)).astype(np.float32)
+    batch = seg.search_batch(qs, 5, ef=200, score_threshold=0.1)
+    for q, hits in zip(qs, batch):
+        assert hit_keys(hits) == hit_keys(seg.search(q, 5, ef=200, score_threshold=0.1))
+
+
+def test_hnsw_batch_equals_single_with_filter():
+    from repro.core.filters import FieldMatch
+
+    seg = _SEGMENTS[(Distance.COSINE, True)]
+    qs = np.random.default_rng(29).normal(size=(8, DIM)).astype(np.float32)
+    flt = FieldMatch("bucket", 2)
+    batch = seg.search_batch(qs, 5, flt=flt, with_payload=True)
+    for q, hits in zip(qs, batch):
+        single = seg.search(q, 5, flt=flt, with_payload=True)
+        assert hit_keys(hits) == hit_keys(single)
+        assert all(h.payload["bucket"] == 2 for h in hits)
