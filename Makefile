@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction.
 
-.PHONY: install test bench bench-micro paper examples clean
+.PHONY: install test bench bench-micro bench-insert bench-insert-smoke paper examples clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -16,6 +16,15 @@ bench:
 # and builds) — plain pytest so the latency/overlap asserts also run.
 bench-micro:
 	PYTHONPATH=src python -m pytest benchmarks/test_micro_real_db.py -q
+
+# Insertion-pipeline bench: Figure-2 batch/concurrency sweep, parallel
+# fan-out + columnar WAL group commit vs the serial seed path, crash replay.
+bench-insert:
+	PYTHONPATH=src python -m pytest benchmarks/test_insertion_pipeline.py -q
+
+# Tiny assert-only variant for CI (no wall-clock speedup thresholds).
+bench-insert-smoke:
+	REPRO_BENCH_SMOKE=1 PYTHONPATH=src python -m pytest benchmarks/test_insertion_pipeline.py -q
 
 paper:
 	python -m repro.bench

@@ -49,6 +49,20 @@ class AsyncRunReport:
     def mean_await_ms(self) -> float:
         return 1000.0 * float(np.mean(self.await_times)) if self.await_times else 0.0
 
+    @property
+    def overlap_s(self) -> float:
+        """Seconds of serial cost hidden by concurrent in-flight requests."""
+        return self.timings.overlap
+
+    @property
+    def overlap_fraction(self) -> float:
+        return self.timings.overlap_fraction
+
+    def observed_speedup(self) -> float:
+        """Measured serial/concurrent ratio; compare to the Amdahl bound
+        ``timings.amdahl_max_speedup()`` to see how close the run got."""
+        return self.timings.observed_speedup()
+
 
 class AsyncClient:
     """asyncio client with a bounded-concurrency upload/query pipeline."""
@@ -107,6 +121,7 @@ class AsyncClient:
 
         await asyncio.gather(*(send(b) for b in chunk(points, batch_size)))
         report.total_s = time.perf_counter() - start
+        report.timings.wall = report.total_s
         return report
 
     def upload(self, points: Sequence[PointStruct], *, batch_size: int = 32,
@@ -157,6 +172,7 @@ class AsyncClient:
 
         await asyncio.gather(*(run(i, b) for i, b in enumerate(batches)))
         report.total_s = time.perf_counter() - start
+        report.timings.wall = report.total_s
         flat = [hits for batch in results for hits in batch]
         return flat, report
 

@@ -52,7 +52,7 @@ from .types import (
 )
 from .worker import Worker
 
-__all__ = ["Cluster", "ClusterCollectionState", "FanoutStats"]
+__all__ = ["Cluster", "ClusterCollectionState", "FanoutStats", "IngestStats"]
 
 
 @dataclass
@@ -79,10 +79,13 @@ class FanoutStats:
     def mean_width(self) -> float:
         return 0.0 if self.fanouts == 0 else self.total_width / self.fanouts
 
-    def record_fanout(self, width: int, wall: float) -> None:
+    def record_fanout(self, width: int, wall: float, *, calls: int | None = None) -> None:
+        """Record one broadcast: ``width`` parallel lanes, ``calls`` transport
+        calls (defaults to ``width``; write fan-outs chain replicas, so one
+        shard lane may issue several calls)."""
         with self._lock:
             self.fanouts += 1
-            self.total_calls += width
+            self.total_calls += width if calls is None else calls
             self.total_width += width
             self.max_width = max(self.max_width, width)
             self.wall_seconds += wall
@@ -101,6 +104,75 @@ class FanoutStats:
             self.total_width = 0
             self.wall_seconds = 0.0
             self.worker_seconds.clear()
+
+
+@dataclass
+class IngestStats:
+    """Counters describing the cluster's write path (Figure 2's subject).
+
+    ``points / wall_seconds`` is ingest throughput;
+    ``shard_seconds`` holds per-shard wall time spent inside the write
+    fan-out (replica chain included), exposing write stragglers the same
+    way ``FanoutStats.worker_seconds`` does for queries.
+    """
+
+    upserts: int = 0
+    deletes: int = 0
+    points: int = 0
+    bytes: int = 0
+    wall_seconds: float = 0.0
+    fanouts: int = 0
+    total_width: int = 0
+    max_width: int = 0
+    shard_seconds: dict[int, float] = field(default_factory=dict)
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    @property
+    def mean_width(self) -> float:
+        return 0.0 if self.fanouts == 0 else self.total_width / self.fanouts
+
+    @property
+    def points_per_second(self) -> float:
+        return 0.0 if self.wall_seconds <= 0 else self.points / self.wall_seconds
+
+    @property
+    def bytes_per_second(self) -> float:
+        return 0.0 if self.wall_seconds <= 0 else self.bytes / self.wall_seconds
+
+    def record_write(
+        self, *, points: int, nbytes: int, width: int, wall: float, op: str = "upsert"
+    ) -> None:
+        with self._lock:
+            if op == "delete":
+                self.deletes += 1
+            else:
+                self.upserts += 1
+            self.points += points
+            self.bytes += nbytes
+            self.wall_seconds += wall
+            self.fanouts += 1
+            self.total_width += width
+            self.max_width = max(self.max_width, width)
+
+    def record_shard(self, shard_id: int, seconds: float) -> None:
+        with self._lock:
+            self.shard_seconds[shard_id] = (
+                self.shard_seconds.get(shard_id, 0.0) + seconds
+            )
+
+    def reset(self) -> None:
+        with self._lock:
+            self.upserts = 0
+            self.deletes = 0
+            self.points = 0
+            self.bytes = 0
+            self.wall_seconds = 0.0
+            self.fanouts = 0
+            self.total_width = 0
+            self.max_width = 0
+            self.shard_seconds.clear()
 
 
 class ClusterCollectionState:
@@ -129,6 +201,7 @@ class Cluster:
         #: 1 = serial fan-out; ``None``/0 = one thread per contacted worker.
         self.max_fanout_threads = max_fanout_threads
         self.fanout_stats = FanoutStats()
+        self.ingest_stats = IngestStats()
         self._executor: ThreadPoolExecutor | None = None
         self._executor_width = 0
 
@@ -177,6 +250,67 @@ class Cluster:
             results = [f.result() for f in futures]
         self.fanout_stats.record_fanout(len(calls), time.perf_counter() - t0)
         return results
+
+    def _run_shard_chain(self, shard_id: int, calls: list[tuple]):
+        """Write one shard: replicas are called in plan order (primary first)
+        so replica logs stay identically ordered; returns the last result."""
+        t0 = time.perf_counter()
+        result = None
+        try:
+            for call in calls:
+                result = self._timed_call(call)
+        finally:
+            self.ingest_stats.record_shard(shard_id, time.perf_counter() - t0)
+        return result
+
+    def _write_fanout(self, shard_calls: dict[int, list[tuple]]) -> list:
+        """Fan a write out across shards on the persistent broadcast pool.
+
+        ``shard_calls[shard_id]`` is the ordered list of per-replica
+        transport calls for that shard.  Shards are mutually independent, so
+        they run in parallel (one pool task per shard); within a shard the
+        replica chain stays serial for ordering.  Results come back in
+        ascending shard order regardless of completion order.
+        """
+        if not shard_calls:
+            return []
+        shards = sorted(shard_calls)
+        total_calls = sum(len(c) for c in shard_calls.values())
+        width = self._fanout_width(len(shards))
+        t0 = time.perf_counter()
+        if width <= 1 or len(shards) == 1:
+            results = [self._run_shard_chain(s, shard_calls[s]) for s in shards]
+        else:
+            pool = self._fanout_pool(width)
+            futures = [
+                pool.submit(self._run_shard_chain, s, shard_calls[s]) for s in shards
+            ]
+            results = [f.result() for f in futures]
+        self.fanout_stats.record_fanout(
+            len(shards), time.perf_counter() - t0, calls=total_calls
+        )
+        return results
+
+    @staticmethod
+    def _aggregate_update(results: list) -> UpdateResult:
+        """Deterministic aggregate of per-shard write outcomes.
+
+        The operation id is the *max* across shards (each shard counts its
+        own operations), independent of gather order — not "last shard
+        wins".  The status degrades to ACKNOWLEDGED if any shard reported
+        less than COMPLETED.
+        """
+        from .types import UpdateStatus
+
+        results = [r for r in results if isinstance(r, UpdateResult)]
+        if not results:
+            return UpdateResult(0)
+        status = (
+            UpdateStatus.COMPLETED
+            if all(r.status is UpdateStatus.COMPLETED for r in results)
+            else UpdateStatus.ACKNOWLEDGED
+        )
+        return UpdateResult(max(r.operation_id for r in results), status)
 
     def close(self) -> None:
         """Shut down the fan-out pool (idempotent)."""
@@ -387,47 +521,88 @@ class Cluster:
     # -- writes ---------------------------------------------------------------------------
 
     def upsert(self, name: str, points: Sequence[PointStruct]) -> UpdateResult:
-        """Route points to their shards and write to every replica."""
+        """Route points to their shards and write every shard in parallel.
+
+        One fan-out task per shard; a shard's replicas are written serially
+        inside their task (primary first) so replica state stays ordered,
+        while distinct shards overlap on the broadcast pool.
+        """
         name, state = self._resolve(name)
+        points = list(points)
         by_shard = state.router.partition([p.id for p in points])
         by_id = {p.id: p for p in points}
-        result: UpdateResult | None = None
+        shard_calls: dict[int, list[tuple]] = {}
         for shard_id, pids in by_shard.items():
             shard_points = [by_id[pid] for pid in pids]
-            for worker_id in state.plan.workers_for(shard_id):
-                result = self.transport.call(
-                    worker_id, "upsert", name, shard_id, shard_points
-                )
-        return result or UpdateResult(0)
+            shard_calls[shard_id] = [
+                (worker_id, "upsert", name, shard_id, shard_points)
+                for worker_id in state.plan.workers_for(shard_id)
+            ]
+        t0 = time.perf_counter()
+        results = self._write_fanout(shard_calls)
+        self.ingest_stats.record_write(
+            points=len(points),
+            nbytes=sum(p.as_array().nbytes for p in points),
+            width=len(shard_calls),
+            wall=time.perf_counter() - t0,
+        )
+        return self._aggregate_update(results)
 
     def upsert_columnar(self, name: str, batch) -> UpdateResult:
-        """Columnar upsert: split the batch by shard, one RPC per replica."""
-        name, state = self._resolve(name)
-        import numpy as np
+        """Columnar upsert: vectorized shard routing, parallel shard fan-out.
 
-        shard_rows: dict[int, list[int]] = {}
-        for row, pid in enumerate(batch.ids):
-            shard_rows.setdefault(state.router.shard_for(int(pid)), []).append(row)
-        sub_batches = batch.split({s: np.asarray(r) for s, r in shard_rows.items()})
-        result: UpdateResult | None = None
+        The id array is hashed in one numpy pass (no per-point Python
+        hashing) and each shard's sub-batch ships as columnar arrays.
+        """
+        name, state = self._resolve(name)
+        sub_batches = batch.split(state.router.partition_rows(batch.ids))
+        shard_calls: dict[int, list[tuple]] = {}
         for shard_id, sub in sub_batches.items():
-            for worker_id in state.plan.workers_for(shard_id):
-                result = self.transport.call(
-                    worker_id, "upsert_columnar", name, shard_id, sub
-                )
-        return result or UpdateResult(0)
+            shard_calls[shard_id] = [
+                (worker_id, "upsert_columnar", name, shard_id, sub)
+                for worker_id in state.plan.workers_for(shard_id)
+            ]
+        t0 = time.perf_counter()
+        results = self._write_fanout(shard_calls)
+        self.ingest_stats.record_write(
+            points=len(batch),
+            nbytes=batch.nbytes,
+            width=len(shard_calls),
+            wall=time.perf_counter() - t0,
+        )
+        return self._aggregate_update(results)
 
-    def delete(self, name: str, point_ids: Sequence[PointId]) -> None:
+    def delete(self, name: str, point_ids: Sequence[PointId]) -> UpdateResult:
         name, state = self._resolve(name)
+        point_ids = list(point_ids)
+        shard_calls: dict[int, list[tuple]] = {}
         for shard_id, pids in state.router.partition(point_ids).items():
-            for worker_id in state.plan.workers_for(shard_id):
-                self.transport.call(worker_id, "delete", name, shard_id, pids)
+            shard_calls[shard_id] = [
+                (worker_id, "delete", name, shard_id, pids)
+                for worker_id in state.plan.workers_for(shard_id)
+            ]
+        t0 = time.perf_counter()
+        results = self._write_fanout(shard_calls)
+        self.ingest_stats.record_write(
+            points=len(point_ids),
+            nbytes=0,
+            width=len(shard_calls),
+            wall=time.perf_counter() - t0,
+            op="delete",
+        )
+        return self._aggregate_update(results)
 
-    def set_payload(self, name: str, point_id: PointId, payload: Mapping[str, Any] | None) -> None:
+    def set_payload(
+        self, name: str, point_id: PointId, payload: Mapping[str, Any] | None
+    ) -> UpdateResult:
         name, state = self._resolve(name)
         shard_id = state.router.shard_for(point_id)
-        for worker_id in state.plan.workers_for(shard_id):
-            self.transport.call(worker_id, "set_payload", name, shard_id, point_id, payload)
+        calls = [
+            (worker_id, "set_payload", name, shard_id, point_id, payload)
+            for worker_id in state.plan.workers_for(shard_id)
+        ]
+        results = self._write_fanout({shard_id: calls})
+        return self._aggregate_update(results)
 
     # -- reads -------------------------------------------------------------------------------
 
@@ -666,6 +841,21 @@ class Cluster:
         return records, None
 
     # -- maintenance -----------------------------------------------------------------------------
+
+    def telemetry(self):
+        """One aggregated snapshot of worker, fan-out and ingest counters
+        (:func:`repro.core.telemetry.collect` bound to this cluster)."""
+        from .telemetry import collect
+
+        return collect(self)
+
+    def flush_wals(self, name: str) -> None:
+        """Force group-commit buffered WAL records out on every shard replica."""
+        name, state = self._resolve(name)
+        for shard_id, holders in state.plan.assignments.items():
+            for worker_id in holders:
+                if worker_id in self._workers:
+                    self.transport.call(worker_id, "flush_wal", name, shard_id)
 
     def build_index(self, name: str, kind: str = "hnsw") -> dict[str, list[int]]:
         """Deferred index build on every shard replica (§3.3).

@@ -54,6 +54,9 @@ class Collection:
         # writes per shard); concurrent clients may share a collection.
         self._write_lock = threading.RLock()
         self._segments: list[Segment] = [Segment(config, directory=directory)]
+        # Collection-level id -> owning segment map: membership checks and
+        # overwrite routing are O(1) per point instead of O(segments) scans.
+        self._id_to_segment: dict[PointId, Segment] = {}
         self._optimizer = SegmentOptimizer(config)
         self._operation_counter = 0
         self._last_report = OptimizerReport()
@@ -61,7 +64,17 @@ class Collection:
         self._wal: WriteAheadLog | None = None
         if config.wal.enabled:
             path = config.wal.path or os.path.join(directory or ".", f"{config.name}.wal")
-            self._wal = WriteAheadLog(path, sync_every_write=config.wal.sync_every_write)
+            if os.path.isdir(path) or path.endswith(os.sep):
+                # A directory means one log file per collection/shard inside
+                # it — what a sharded cluster needs, since every shard's
+                # config carries the same WalConfig.
+                path = os.path.join(path, f"{config.name}.wal")
+            self._wal = WriteAheadLog(
+                path,
+                sync_every_write=config.wal.sync_every_write,
+                flush_every_n=config.wal.flush_every_n,
+                flush_interval_s=config.wal.flush_interval_s,
+            )
             self._replay_wal()
 
     # -- WAL -------------------------------------------------------------------
@@ -75,6 +88,13 @@ class Collection:
                     for pid, vec, pl in record.data
                 ]
                 self._apply_upsert(points)
+            elif record.op == "upsert_columnar":
+                ids, vectors, payloads = record.data
+                self._apply_upsert_arrays(
+                    ids,
+                    np.asarray(vectors, dtype=np.float32),
+                    payloads if payloads is not None else [None] * len(ids),
+                )
             elif record.op == "delete":
                 for pid in record.data:
                     self._apply_delete(pid)
@@ -85,6 +105,23 @@ class Collection:
     def _log(self, op: str, data) -> None:
         if self._wal is not None:
             self._wal.append(op, data)
+
+    def _log_columnar(self, ids, vectors, payloads) -> None:
+        """Log an upsert as one columnar record: raw buffers, no tolist()."""
+        if self._wal is not None:
+            self._wal.append_columnar(ids, vectors, payloads)
+
+    def flush_wal(self) -> None:
+        """Force out any group-commit buffered WAL records."""
+        if self._wal is not None:
+            self._wal.flush()
+
+    @property
+    def wal_stats(self) -> tuple[int, int, int]:
+        """(appends, flushes, bytes) of this collection's WAL; zeros if none."""
+        if self._wal is None:
+            return (0, 0, 0)
+        return (self._wal.append_count, self._wal.flush_count, self._wal.bytes_appended)
 
     def checkpoint(self) -> None:
         """Truncate the WAL (callers must have snapshotted first)."""
@@ -126,7 +163,7 @@ class Collection:
         )
 
     def contains(self, point_id: PointId) -> bool:
-        return any(s.contains(point_id) for s in self._segments)
+        return point_id in self._id_to_segment
 
     # -- write path ------------------------------------------------------------------
 
@@ -138,28 +175,41 @@ class Collection:
         self._segments.append(seg)
         return seg
 
+    def _register_fresh(self, ids, segment: Segment) -> None:
+        id_map = self._id_to_segment
+        for pid in ids:
+            id_map[pid] = segment
+
+    def _rebuild_id_map(self) -> None:
+        """Recompute the id -> segment map after segments merge or vacuum."""
+        id_map: dict[PointId, Segment] = {}
+        for seg in self._segments:
+            for pid in seg.point_ids():
+                id_map[pid] = seg
+        self._id_to_segment = id_map
+
     def _apply_upsert(self, points: Sequence[PointStruct]) -> None:
         # An id may already live in an older (possibly sealed) segment; a
-        # re-upsert there must tombstone the old copy first.
+        # re-upsert there must tombstone the old copy first.  The id map
+        # locates the owner directly — no per-point scan over segments.
         fresh: list[PointStruct] = []
         target = self._appendable_segment()
         for p in points:
-            placed = False
-            for seg in self._segments:
-                if seg.contains(p.id):
-                    if seg is target and not seg.is_sealed:
-                        seg.upsert(p)
-                        placed = True
-                    else:
-                        seg.delete(p.id)
-                    break
-            if not placed:
+            owner = self._id_to_segment.get(p.id)
+            if owner is None:
+                fresh.append(p)
+            elif owner is target and not owner.is_sealed:
+                owner.upsert(p)
+            else:
+                owner.delete(p.id)
+                del self._id_to_segment[p.id]
                 fresh.append(p)
         # Append fresh points, splitting across segments at max_segment_size.
         max_size = self.config.optimizer.max_segment_size
         while fresh:
             if max_size is None:
                 target.upsert_batch(fresh)
+                self._register_fresh((p.id for p in fresh), target)
                 fresh = []
             else:
                 room = max_size - len(target)
@@ -168,30 +218,75 @@ class Collection:
                     target = self._appendable_segment()
                     continue
                 target.upsert_batch(fresh[:room])
+                self._register_fresh((p.id for p in fresh[:room]), target)
                 fresh = fresh[room:]
                 if len(target) >= max_size:
                     target.seal()
+
+    def _columnar_log_arrays(
+        self, points: Sequence[PointStruct]
+    ) -> tuple[np.ndarray, np.ndarray, list]:
+        """Row-wise points -> (ids, vectors, payloads) for columnar logging."""
+        if not points:
+            dim = self.config.vectors.size
+            return (
+                np.empty(0, dtype=np.int64),
+                np.empty((0, dim), dtype=np.float32),
+                [],
+            )
+        ids = np.asarray([p.id for p in points], dtype=np.int64)
+        vectors = np.stack([p.as_array() for p in points])
+        payloads = [dict(p.payload) if p.payload else None for p in points]
+        return ids, vectors, payloads
 
     def upsert(self, points: Sequence[PointStruct] | PointStruct) -> UpdateResult:
         """Insert or overwrite points; runs the optimizer afterwards."""
         if isinstance(points, PointStruct):
             points = [points]
         with self._write_lock:
-            self._log(
-                "upsert",
-                [(p.id, p.as_array().tolist(), dict(p.payload) if p.payload else None)
-                 for p in points],
-            )
+            if self._wal is not None:
+                self._log_columnar(*self._columnar_log_arrays(points))
             self._apply_upsert(points)
             self._maybe_optimize()
             self._operation_counter += 1
             return UpdateResult(self._operation_counter, UpdateStatus.COMPLETED)
 
+    def _apply_upsert_arrays(self, ids, vectors: np.ndarray, payloads: list) -> None:
+        """Apply a columnar upsert: vectorized append of fresh ids, per-point
+        overwrite for ids that already exist anywhere in the collection."""
+        int_ids = [int(pid) for pid in ids]
+        id_map = self._id_to_segment
+        existing_rows = [i for i, pid in enumerate(int_ids) if pid in id_map]
+        if existing_rows:
+            self._apply_upsert(
+                [
+                    PointStruct(id=int_ids[i], vector=vectors[i], payload=payloads[i])
+                    for i in existing_rows
+                ]
+            )
+        if len(existing_rows) == len(int_ids):
+            return
+        fresh_mask = np.ones(len(int_ids), dtype=bool)
+        fresh_mask[existing_rows] = False
+        rows = np.nonzero(fresh_mask)[0]
+        target = self._appendable_segment()
+        target.upsert_columnar(
+            np.asarray(ids)[rows],
+            np.asarray(vectors)[rows],
+            [payloads[int(r)] for r in rows],
+        )
+        self._register_fresh((int_ids[int(r)] for r in rows), target)
+        max_size = self.config.optimizer.max_segment_size
+        if max_size is not None and len(target) >= max_size:
+            target.seal()
+
     def upsert_columnar(self, batch) -> UpdateResult:
         """Columnar fast-path upsert (Qdrant ``Batch`` semantics).
 
         Fresh ids take one vectorized append per segment; ids that already
-        exist anywhere fall back to the per-point overwrite path.
+        exist anywhere fall back to the per-point overwrite path.  The WAL
+        record is columnar too — the vector block is logged as raw ndarray
+        bytes, never materialized as Python lists.
         """
         from .batch import Batch
 
@@ -199,50 +294,19 @@ class Collection:
             raise TypeError("upsert_columnar expects a core.batch.Batch")
         batch.validate(expected_dim=self.config.vectors.size)
         with self._write_lock:
-            self._log(
-                "upsert",
-                [
-                    (int(pid), batch.vectors[i].tolist(), batch.payloads[i])
-                    for i, pid in enumerate(batch.ids)
-                ],
-            )
-            existing_rows = [
-                i for i, pid in enumerate(batch.ids) if self.contains(int(pid))
-            ]
-            if existing_rows:
-                self._apply_upsert(
-                    [
-                        PointStruct(
-                            id=int(batch.ids[i]),
-                            vector=batch.vectors[i],
-                            payload=batch.payloads[i],
-                        )
-                        for i in existing_rows
-                    ]
-                )
-            fresh_mask = np.ones(len(batch), dtype=bool)
-            fresh_mask[existing_rows] = False
-            if fresh_mask.any():
-                rows = np.nonzero(fresh_mask)[0]
-                target = self._appendable_segment()
-                target.upsert_columnar(
-                    batch.ids[rows],
-                    batch.vectors[rows],
-                    [batch.payloads[int(r)] for r in rows],
-                )
-                max_size = self.config.optimizer.max_segment_size
-                if max_size is not None and len(target) >= max_size:
-                    target.seal()
+            if self._wal is not None:
+                self._log_columnar(batch.ids, batch.vectors, batch.payloads)
+            self._apply_upsert_arrays(batch.ids, batch.vectors, batch.payloads)
             self._maybe_optimize()
             self._operation_counter += 1
             return UpdateResult(self._operation_counter, UpdateStatus.COMPLETED)
 
     def _apply_delete(self, point_id: PointId) -> bool:
-        for seg in self._segments:
-            if seg.contains(point_id):
-                seg.delete(point_id)
-                return True
-        return False
+        seg = self._id_to_segment.pop(point_id, None)
+        if seg is None:
+            return False
+        seg.delete(point_id)
+        return True
 
     def delete(self, point_ids: Sequence[PointId] | PointId) -> UpdateResult:
         if isinstance(point_ids, int):
@@ -257,11 +321,10 @@ class Collection:
             return UpdateResult(self._operation_counter, UpdateStatus.COMPLETED)
 
     def _apply_set_payload(self, point_id: PointId, payload: Mapping[str, Any] | None) -> None:
-        for seg in self._segments:
-            if seg.contains(point_id):
-                seg.set_payload(point_id, payload)
-                return
-        raise PointNotFoundError(point_id)
+        seg = self._id_to_segment.get(point_id)
+        if seg is None:
+            raise PointNotFoundError(point_id)
+        seg.set_payload(point_id, payload)
 
     def set_payload(self, point_id: PointId, payload: Mapping[str, Any] | None) -> UpdateResult:
         with self._write_lock:
@@ -284,10 +347,14 @@ class Collection:
 
     def _maybe_optimize(self) -> None:
         self._segments, self._last_report = self._optimizer.run(self._segments)
+        if self._last_report.segments_merged or self._last_report.segments_vacuumed:
+            self._rebuild_id_map()  # merges/vacuums move points across segments
 
     def optimize(self) -> OptimizerReport:
         """Force a full optimizer pass."""
         self._segments, self._last_report = self._optimizer.run(self._segments)
+        if self._last_report.segments_merged or self._last_report.segments_vacuumed:
+            self._rebuild_id_map()
         return self._last_report
 
     def build_index(
@@ -340,10 +407,10 @@ class Collection:
     def retrieve(
         self, point_id: PointId, *, with_vector: bool = False, with_payload: bool = True
     ) -> Record:
-        for seg in self._segments:
-            if seg.contains(point_id):
-                return seg.retrieve(point_id, with_vector=with_vector, with_payload=with_payload)
-        raise PointNotFoundError(point_id)
+        seg = self._id_to_segment.get(point_id)
+        if seg is None:
+            raise PointNotFoundError(point_id)
+        return seg.retrieve(point_id, with_vector=with_vector, with_payload=with_payload)
 
     def scroll(
         self,

@@ -57,7 +57,9 @@ def normalize_batch(mat: np.ndarray, out: np.ndarray | None = None) -> np.ndarra
     if mat.ndim != 2:
         raise ValueError(f"expected 2-D matrix, got shape {mat.shape}")
     norms = np.linalg.norm(mat, axis=1, keepdims=True)
-    np.maximum(norms, _EPS, out=norms)
+    # Rows at or below _EPS divide by 1.0 (i.e. stay unscaled), matching
+    # the single-vector ``normalize`` bit for bit on degenerate inputs.
+    np.copyto(norms, np.float32(1.0), where=norms <= _EPS)
     if out is None:
         return mat / norms
     np.divide(mat, norms, out=out)

@@ -27,11 +27,17 @@ from typing import Sequence
 
 import numpy as np
 
+from .batch import Batch
 from .client import chunk
 from .cluster import Cluster
 from .types import PointStruct
 
-__all__ = ["ParallelClientPool", "ParallelUploadReport", "convert_batch_worker"]
+__all__ = [
+    "ParallelClientPool",
+    "ParallelUploadReport",
+    "convert_batch_worker",
+    "convert_batch_arrays",
+]
 
 
 def convert_batch_worker(batch: list[tuple[int, list[float], dict | None]]
@@ -41,6 +47,17 @@ def convert_batch_worker(batch: list[tuple[int, list[float], dict | None]]
         PointStruct(id=pid, vector=np.asarray(vec, dtype=np.float32), payload=payload)
         for pid, vec, payload in batch
     ]
+
+
+def convert_batch_arrays(batch: list[tuple[int, list[float], dict | None]]
+                         ) -> tuple[np.ndarray, np.ndarray, list[dict | None]]:
+    """Columnar conversion for process pools: returns ``(ids, vectors,
+    payloads)`` arrays so only dense buffers (not per-point objects) cross
+    the process boundary."""
+    ids = np.asarray([pid for pid, _, _ in batch], dtype=np.int64)
+    vectors = np.asarray([vec for _, vec, _ in batch], dtype=np.float32)
+    payloads = [payload for _, _, payload in batch]
+    return ids, vectors, payloads
 
 
 @dataclass
@@ -77,9 +94,15 @@ class ParallelClientPool:
             by_worker.setdefault(primary, []).append(p)
         return by_worker
 
-    def upload(self, points: Sequence[PointStruct], *, batch_size: int = 32
-               ) -> ParallelUploadReport:
-        """Upload the full point stream with one concurrent client per worker."""
+    def upload(self, points: Sequence[PointStruct], *, batch_size: int = 32,
+               columnar: bool = False) -> ParallelUploadReport:
+        """Upload the full point stream with one concurrent client per worker.
+
+        With ``columnar=True`` each client ships its batches as columnar
+        sub-batches through ``Cluster.upsert_columnar`` — in process mode
+        only dense ``(ids, vectors, payloads)`` arrays come back from the
+        conversion workers, never per-point Python objects.
+        """
         by_worker = self._partition_by_worker(points)
         report = ParallelUploadReport(total_s=0.0, points=len(points), clients=len(by_worker))
 
@@ -93,20 +116,34 @@ class ParallelClientPool:
                 ]
                 with ProcessPoolExecutor(max_workers=1) as pool:
                     for batch in chunk(raw, batch_size):
-                        wire = pool.submit(convert_batch_worker, list(batch)).result()
-                        self.cluster.upsert(self.collection, wire)
+                        if columnar:
+                            ids, vectors, payloads = pool.submit(
+                                convert_batch_arrays, list(batch)
+                            ).result()
+                            self.cluster.upsert_columnar(
+                                self.collection,
+                                Batch.from_arrays(ids, vectors, payloads),
+                            )
+                        else:
+                            wire = pool.submit(convert_batch_worker, list(batch)).result()
+                            self.cluster.upsert(self.collection, wire)
                         n_batches += 1
             else:
                 for batch in chunk(worker_points, batch_size):
-                    wire = [
-                        PointStruct(
-                            id=p.id,
-                            vector=np.ascontiguousarray(p.as_array()),
-                            payload=dict(p.payload) if p.payload else None,
+                    if columnar:
+                        self.cluster.upsert_columnar(
+                            self.collection, Batch.from_points(list(batch))
                         )
-                        for p in batch
-                    ]
-                    self.cluster.upsert(self.collection, wire)
+                    else:
+                        wire = [
+                            PointStruct(
+                                id=p.id,
+                                vector=np.ascontiguousarray(p.as_array()),
+                                payload=dict(p.payload) if p.payload else None,
+                            )
+                            for p in batch
+                        ]
+                        self.cluster.upsert(self.collection, wire)
                     n_batches += 1
             return worker_id, n_batches, time.perf_counter() - t0
 

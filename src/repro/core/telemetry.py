@@ -16,7 +16,13 @@ from dataclasses import dataclass, field
 
 from .cluster import Cluster
 
-__all__ = ["WorkerTelemetry", "FanoutTelemetry", "TelemetrySnapshot", "collect"]
+__all__ = [
+    "WorkerTelemetry",
+    "FanoutTelemetry",
+    "IngestTelemetry",
+    "TelemetrySnapshot",
+    "collect",
+]
 
 
 @dataclass(frozen=True)
@@ -37,6 +43,14 @@ class WorkerTelemetry:
     #: (per-worker straggler diagnostics for the broadcast–reduce).
     search_seconds: float = 0.0
     build_seconds: float = 0.0
+    #: Wall time spent applying writes, and vector bytes ingested.
+    write_seconds: float = 0.0
+    bytes_ingested: int = 0
+    #: WAL activity summed over this worker's shards (appends, flushes,
+    #: bytes) — group commit shows up as flushes << appends.
+    wal_appends: int = 0
+    wal_flushes: int = 0
+    wal_bytes: int = 0
 
     def minus(self, earlier: "WorkerTelemetry") -> "WorkerTelemetry":
         return WorkerTelemetry(
@@ -52,6 +66,11 @@ class WorkerTelemetry:
             points=self.points - earlier.points,
             search_seconds=self.search_seconds - earlier.search_seconds,
             build_seconds=self.build_seconds - earlier.build_seconds,
+            write_seconds=self.write_seconds - earlier.write_seconds,
+            bytes_ingested=self.bytes_ingested - earlier.bytes_ingested,
+            wal_appends=self.wal_appends - earlier.wal_appends,
+            wal_flushes=self.wal_flushes - earlier.wal_flushes,
+            wal_bytes=self.wal_bytes - earlier.wal_bytes,
         )
 
 
@@ -86,12 +105,62 @@ class FanoutTelemetry:
         )
 
 
+@dataclass(frozen=True)
+class IngestTelemetry:
+    """Cluster-level write-path counters (from :class:`~.cluster.IngestStats`).
+
+    ``points_per_second`` / ``bytes_per_second`` are coordinator-side ingest
+    throughput over the fan-out wall time; ``shard_seconds`` exposes write
+    stragglers per shard (replica chains included).
+    """
+
+    upserts: int = 0
+    deletes: int = 0
+    points: int = 0
+    bytes: int = 0
+    wall_seconds: float = 0.0
+    fanouts: int = 0
+    total_width: int = 0
+    max_width: int = 0
+    shard_seconds: tuple[tuple[int, float], ...] = ()
+
+    @property
+    def mean_width(self) -> float:
+        return 0.0 if self.fanouts == 0 else self.total_width / self.fanouts
+
+    @property
+    def points_per_second(self) -> float:
+        return 0.0 if self.wall_seconds <= 0 else self.points / self.wall_seconds
+
+    @property
+    def bytes_per_second(self) -> float:
+        return 0.0 if self.wall_seconds <= 0 else self.bytes / self.wall_seconds
+
+    def minus(self, earlier: "IngestTelemetry") -> "IngestTelemetry":
+        earlier_shard = dict(earlier.shard_seconds)
+        return IngestTelemetry(
+            upserts=self.upserts - earlier.upserts,
+            deletes=self.deletes - earlier.deletes,
+            points=self.points - earlier.points,
+            bytes=self.bytes - earlier.bytes,
+            wall_seconds=self.wall_seconds - earlier.wall_seconds,
+            fanouts=self.fanouts - earlier.fanouts,
+            total_width=self.total_width - earlier.total_width,
+            max_width=self.max_width,
+            shard_seconds=tuple(
+                (shard, seconds - earlier_shard.get(shard, 0.0))
+                for shard, seconds in self.shard_seconds
+            ),
+        )
+
+
 @dataclass
 class TelemetrySnapshot:
     """All workers' counters, plus cluster-level aggregates."""
 
     workers: dict[str, WorkerTelemetry] = field(default_factory=dict)
     fanout: FanoutTelemetry = field(default_factory=FanoutTelemetry)
+    ingest: IngestTelemetry = field(default_factory=IngestTelemetry)
     #: Aggregated over every shard-collection's last parallel build pass:
     #: pool utilization is ``busy / (wall * workers)``.
     build_wall_seconds: float = 0.0
@@ -131,6 +200,22 @@ class TelemetrySnapshot:
     def total_points(self) -> int:
         return sum(w.points for w in self.workers.values())
 
+    @property
+    def total_write_seconds(self) -> float:
+        return sum(w.write_seconds for w in self.workers.values())
+
+    @property
+    def total_bytes_ingested(self) -> int:
+        return sum(w.bytes_ingested for w in self.workers.values())
+
+    @property
+    def total_wal_appends(self) -> int:
+        return sum(w.wal_appends for w in self.workers.values())
+
+    @property
+    def total_wal_flushes(self) -> int:
+        return sum(w.wal_flushes for w in self.workers.values())
+
     def per_node(self) -> dict[str, int]:
         """Points hosted per compute node (placement-balance diagnostic)."""
         out: dict[str, int] = {}
@@ -155,6 +240,7 @@ class TelemetrySnapshot:
             else:
                 out.workers[wid] = now
         out.fanout = self.fanout.minus(earlier.fanout)
+        out.ingest = self.ingest.minus(earlier.ingest)
         out.build_wall_seconds = self.build_wall_seconds - earlier.build_wall_seconds
         out.build_busy_seconds = self.build_busy_seconds - earlier.build_busy_seconds
         out.build_pool_workers = self.build_pool_workers
@@ -172,12 +258,31 @@ def collect(cluster: Cluster) -> TelemetrySnapshot:
         total_width=fs.total_width,
         wall_seconds=fs.wall_seconds,
     )
+    ing = cluster.ingest_stats
+    snapshot.ingest = IngestTelemetry(
+        upserts=ing.upserts,
+        deletes=ing.deletes,
+        points=ing.points,
+        bytes=ing.bytes,
+        wall_seconds=ing.wall_seconds,
+        fanouts=ing.fanouts,
+        total_width=ing.total_width,
+        max_width=ing.max_width,
+        shard_seconds=tuple(sorted(ing.shard_seconds.items())),
+    )
     for worker in cluster.workers():
         distance_computations = 0
         indexed = 0
         points = 0
+        wal_appends = 0
+        wal_flushes = 0
+        wal_bytes = 0
         for collection in worker._shards.values():  # noqa: SLF001 - same package
             points += len(collection)
+            appends, flushes, nbytes = collection.wal_stats
+            wal_appends += appends
+            wal_flushes += flushes
+            wal_bytes += nbytes
             report = collection.last_build_report
             snapshot.build_wall_seconds += report.wall_seconds
             snapshot.build_busy_seconds += report.busy_seconds
@@ -199,5 +304,10 @@ def collect(cluster: Cluster) -> TelemetrySnapshot:
             points=points,
             search_seconds=worker.stats.search_seconds,
             build_seconds=worker.stats.build_seconds,
+            write_seconds=worker.stats.write_seconds,
+            bytes_ingested=worker.stats.bytes_ingested,
+            wal_appends=wal_appends,
+            wal_flushes=wal_flushes,
+            wal_bytes=wal_bytes,
         )
     return snapshot

@@ -164,11 +164,24 @@ class WalConfig:
     """Write-ahead-log behaviour for a collection."""
 
     enabled: bool = False
-    #: Directory for WAL files; required when enabled.
+    #: WAL location: a file path, or a directory in which case each
+    #: collection/shard writes its own ``<name>.wal`` inside it (the form a
+    #: sharded cluster needs).  ``None`` derives a file next to the data.
     path: str | None = None
     #: fsync on every append (durability vs throughput trade-off).
     sync_every_write: bool = False
     capacity_bytes: int = 64 * 1024 * 1024
+    #: Group commit: flush the log every N appends (1 = flush per record,
+    #: the strongest non-fsync durability; larger values batch flushes and
+    #: bound the loss window to the last unflushed group).
+    flush_every_n: int = 1
+    #: Optional time bound on the group: flush when this many seconds have
+    #: passed since the last flush, even if the group is not full.
+    flush_interval_s: float | None = None
+
+    def __post_init__(self):
+        if self.flush_every_n < 1:
+            raise ValueError(f"flush_every_n must be >= 1, got {self.flush_every_n}")
 
 
 @dataclass(frozen=True)

@@ -51,6 +51,10 @@ class WorkerStats:
     search_seconds: float = 0.0
     #: Wall time spent building indexes (build_index calls).
     build_seconds: float = 0.0
+    #: Wall time spent applying writes (upsert/upsert_columnar/delete).
+    write_seconds: float = 0.0
+    #: Vector payload bytes ingested via upserts.
+    bytes_ingested: int = 0
 
     def reset(self) -> None:
         self.vectors_inserted = 0
@@ -60,6 +64,8 @@ class WorkerStats:
         self.index_builds.clear()
         self.search_seconds = 0.0
         self.build_seconds = 0.0
+        self.write_seconds = 0.0
+        self.bytes_ingested = 0
 
 
 class Worker:
@@ -128,20 +134,39 @@ class Worker:
     # -- writes -------------------------------------------------------------
 
     def upsert(self, collection: str, shard_id: int, points: Sequence[PointStruct]):
-        result = self._shard(collection, shard_id).upsert(list(points))
-        self.stats.vectors_inserted += len(points)
-        self.stats.batches_received += 1
+        t0 = time.perf_counter()
+        points = list(points)
+        result = self._shard(collection, shard_id).upsert(points)
+        # The cluster fans writes for *different* shards of this worker out
+        # concurrently, so the counters need the same lock the read path uses.
+        with self._stats_lock:
+            self.stats.vectors_inserted += len(points)
+            self.stats.batches_received += 1
+            self.stats.bytes_ingested += sum(p.as_array().nbytes for p in points)
+            self.stats.write_seconds += time.perf_counter() - t0
         return result
 
     def upsert_columnar(self, collection: str, shard_id: int, batch):
         """Columnar upsert of a routed sub-batch."""
+        t0 = time.perf_counter()
         result = self._shard(collection, shard_id).upsert_columnar(batch)
-        self.stats.vectors_inserted += len(batch)
-        self.stats.batches_received += 1
+        with self._stats_lock:
+            self.stats.vectors_inserted += len(batch)
+            self.stats.batches_received += 1
+            self.stats.bytes_ingested += batch.nbytes
+            self.stats.write_seconds += time.perf_counter() - t0
         return result
 
     def delete(self, collection: str, shard_id: int, point_ids: Sequence[PointId]):
-        return self._shard(collection, shard_id).delete(list(point_ids))
+        t0 = time.perf_counter()
+        result = self._shard(collection, shard_id).delete(list(point_ids))
+        with self._stats_lock:
+            self.stats.write_seconds += time.perf_counter() - t0
+        return result
+
+    def flush_wal(self, collection: str, shard_id: int) -> None:
+        """Push out any group-commit buffered WAL records for one shard."""
+        self._shard(collection, shard_id).flush_wal()
 
     def set_payload(
         self, collection: str, shard_id: int, point_id: PointId,

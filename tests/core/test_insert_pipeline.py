@@ -1,0 +1,270 @@
+"""Write-path tests: parallel shard fan-out, aggregated UpdateResults,
+columnar == row-wise equivalence, ingest telemetry, pipelined clients.
+
+These cover the insertion pipeline the paper's Figure 2 measures: the
+coordinator fans a batch out to every touched shard in parallel (replica
+chains stay serial per shard), the result is a deterministic aggregate
+rather than "last shard wins", and the columnar path must be
+indistinguishable from the row-wise path in every observable way.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    CollectionConfig,
+    Distance,
+    OptimizerConfig,
+    PointStruct,
+    SearchRequest,
+    VectorParams,
+)
+from repro.core.batch import Batch
+from repro.core.client import SyncClient
+from repro.core.cluster import Cluster
+from repro.core.mpclient import ParallelClientPool
+from repro.core.types import UpdateResult, UpdateStatus, WalConfig
+
+DIM = 8
+
+
+def config(name="papers", **kwargs):
+    defaults = dict(optimizer=OptimizerConfig(indexing_threshold=0))
+    defaults.update(kwargs)
+    return CollectionConfig(name, VectorParams(size=DIM, distance=Distance.COSINE), **defaults)
+
+
+def points(n, start=0, seed=0):
+    rng = np.random.default_rng(seed)
+    return [
+        PointStruct(id=start + i, vector=rng.normal(size=DIM), payload={"i": start + i})
+        for i in range(n)
+    ]
+
+
+def shard_collections(cluster, name="papers"):
+    for worker in cluster.workers():
+        for (coll, _), shard in worker._shards.items():  # noqa: SLF001
+            if coll == name:
+                yield shard
+
+
+def hit_ids(cluster, name="papers", seed=42, n_queries=8, limit=10):
+    rng = np.random.default_rng(seed)
+    out = []
+    for _ in range(n_queries):
+        hits = cluster.search(name, SearchRequest(vector=rng.normal(size=DIM), limit=limit))
+        out.append([(h.id, round(h.score, 6)) for h in hits])
+    return out
+
+
+class TestAggregatedUpdateResult:
+    def test_upsert_reports_max_operation_id(self):
+        """Regression: the aggregate must not be whichever shard happened to
+        be gathered last — it is the max operation id across all shards."""
+        cluster = Cluster.with_workers(2)
+        cluster.create_collection(config(shard_number=4))
+        # Skew per-shard operation counters before the measured write.
+        for _ in range(3):
+            cluster.upsert("papers", points(2, start=0, seed=1))
+        result = cluster.upsert("papers", points(64, start=100, seed=2))
+        assert isinstance(result, UpdateResult)
+        assert result.status is UpdateStatus.COMPLETED
+        max_counter = max(
+            shard._operation_counter for shard in shard_collections(cluster)  # noqa: SLF001
+        )
+        assert result.operation_id == max_counter
+
+    def test_columnar_upsert_aggregates_too(self):
+        cluster = Cluster.with_workers(2)
+        cluster.create_collection(config(shard_number=4))
+        batch = Batch.from_points(points(64, seed=3))
+        result = cluster.upsert_columnar("papers", batch)
+        max_counter = max(
+            shard._operation_counter for shard in shard_collections(cluster)  # noqa: SLF001
+        )
+        assert result.operation_id == max_counter
+
+    def test_delete_and_set_payload_return_results(self):
+        cluster = Cluster.with_workers(2)
+        cluster.create_collection(config(shard_number=4))
+        cluster.upsert("papers", points(32, seed=4))
+        deleted = cluster.delete("papers", list(range(16)))
+        assert isinstance(deleted, UpdateResult)
+        assert deleted.status is UpdateStatus.COMPLETED
+        updated = cluster.set_payload("papers", 20, {"tag": "x"})
+        assert isinstance(updated, UpdateResult)
+        assert cluster.count("papers") == 16
+
+
+class TestParallelFanoutEquivalence:
+    def test_parallel_matches_serial_writes(self):
+        """Same data through the parallel fan-out and a forced-serial
+        cluster must give identical counts and search results."""
+        data = points(200, seed=7)
+        clusters = {
+            "parallel": Cluster.with_workers(4),
+            "serial": Cluster.with_workers(4, max_fanout_threads=1),
+        }
+        results = {}
+        for label, cluster in clusters.items():
+            cluster.create_collection(config(shard_number=8))
+            for start in range(0, len(data), 32):
+                cluster.upsert("papers", data[start : start + 32])
+            results[label] = (cluster.count("papers"), hit_ids(cluster))
+            cluster.close()
+        assert results["parallel"] == results["serial"]
+
+    def test_replicated_write_reaches_all_replicas(self):
+        cluster = Cluster.with_workers(3)
+        cluster.create_collection(config(shard_number=3, replication_factor=2))
+        result = cluster.upsert("papers", points(60, seed=8))
+        assert result.status is UpdateStatus.COMPLETED
+        state = cluster._state("papers")  # noqa: SLF001
+        for shard_id in range(3):
+            workers = state.plan.workers_for(shard_id)
+            assert len(workers) == 2
+            counts = {
+                w: cluster.transport.call(w, "count", "papers", shard_id)
+                for w in workers
+            }
+            assert len(set(counts.values())) == 1  # replicas agree
+
+
+class TestColumnarEqualsRowWise:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(1, 60), st.integers(0, 2**31), st.integers(1, 6))
+    def test_property_columnar_matches_rowwise(self, n, seed, shards):
+        rng = np.random.default_rng(seed)
+        ids = rng.choice(10**6, size=n, replace=False)
+        vectors = rng.normal(size=(n, DIM)).astype(np.float32)
+        data = [
+            PointStruct(id=int(pid), vector=vectors[i], payload={"i": int(pid)})
+            for i, pid in enumerate(ids)
+        ]
+        row_cluster = Cluster.with_workers(2)
+        row_cluster.create_collection(config(shard_number=shards))
+        row_cluster.upsert("papers", data)
+        col_cluster = Cluster.with_workers(2)
+        col_cluster.create_collection(config(shard_number=shards))
+        col_cluster.upsert_columnar("papers", Batch.from_points(data))
+        try:
+            assert row_cluster.count("papers") == col_cluster.count("papers") == n
+            assert hit_ids(row_cluster, seed=seed) == hit_ids(col_cluster, seed=seed)
+            probe = int(ids[0])
+            row_rec = row_cluster.retrieve("papers", probe, with_vector=True)
+            col_rec = col_cluster.retrieve("papers", probe, with_vector=True)
+            np.testing.assert_array_equal(row_rec.vector, col_rec.vector)
+            assert row_rec.payload == col_rec.payload
+        finally:
+            row_cluster.close()
+            col_cluster.close()
+
+    def test_columnar_overwrite_semantics_match(self):
+        """Re-upserting existing ids columnar-style must replace vectors the
+        same way the row-wise path does."""
+        base = points(40, seed=9)
+        replacement = points(40, seed=10)  # same ids, new vectors
+        row_cluster = Cluster.with_workers(2)
+        row_cluster.create_collection(config(shard_number=4))
+        row_cluster.upsert("papers", base)
+        row_cluster.upsert("papers", replacement)
+        col_cluster = Cluster.with_workers(2)
+        col_cluster.create_collection(config(shard_number=4))
+        col_cluster.upsert_columnar("papers", Batch.from_points(base))
+        col_cluster.upsert_columnar("papers", Batch.from_points(replacement))
+        assert row_cluster.count("papers") == col_cluster.count("papers") == 40
+        assert hit_ids(row_cluster) == hit_ids(col_cluster)
+
+
+class TestIngestTelemetry:
+    def test_ingest_counters_accumulate(self):
+        cluster = Cluster.with_workers(2)
+        cluster.create_collection(config(shard_number=4))
+        data = points(100, seed=11)
+        cluster.upsert("papers", data[:50])
+        cluster.upsert_columnar("papers", Batch.from_points(data[50:]))
+        cluster.delete("papers", [data[0].id])
+        stats = cluster.ingest_stats
+        assert stats.upserts == 2
+        assert stats.deletes == 1
+        assert stats.points == 101  # 50 + 50 upserted + 1 delete target
+        assert stats.bytes == 100 * DIM * 4 + 50 * 8  # vectors + columnar ids
+        assert stats.max_width <= 4
+        assert stats.points_per_second > 0
+        assert sum(stats.shard_seconds.values()) > 0
+
+    def test_telemetry_snapshot_surfaces_ingest(self):
+        cluster = Cluster.with_workers(2)
+        cluster.create_collection(config(shard_number=4))
+        snap_before = cluster.telemetry()
+        cluster.upsert("papers", points(64, seed=12))
+        snap_after = cluster.telemetry()
+        delta = snap_after.diff(snap_before)
+        assert delta.ingest.points == 64
+        assert delta.ingest.upserts == 1
+        assert delta.total_bytes_ingested == 64 * DIM * 4
+        assert delta.total_write_seconds > 0
+
+    def test_wal_group_commit_surfaced_and_flushable(self, tmp_path):
+        wal = WalConfig(enabled=True, path=str(tmp_path), flush_every_n=64)
+        cluster = Cluster.with_workers(2)
+        cluster.create_collection(config(shard_number=2, wal=wal))
+        cluster.upsert("papers", points(10, seed=13))
+        snap = cluster.telemetry()
+        assert snap.total_wal_appends >= 2  # at least one per touched shard
+        # Group of 64 not full yet: some appends may still be buffered.
+        pending = [
+            s._wal.pending_records  # noqa: SLF001
+            for s in shard_collections(cluster)
+            if s._wal is not None  # noqa: SLF001
+        ]
+        assert pending and any(p > 0 for p in pending)
+        cluster.flush_wals("papers")
+        for shard in shard_collections(cluster):
+            assert shard._wal.pending_records == 0  # noqa: SLF001
+        assert cluster.telemetry().total_wal_flushes >= 2
+
+
+class TestPipelinedClients:
+    def test_sync_pipelined_matches_serial(self):
+        data = points(120, seed=14)
+        serial = Cluster.with_workers(2)
+        serial.create_collection(config(shard_number=4))
+        SyncClient(serial, "papers").upload(data, batch_size=16)
+        piped = Cluster.with_workers(2)
+        piped.create_collection(config(shard_number=4))
+        client = SyncClient(piped, "papers")
+        uploaded = client.upload_pipelined(data, batch_size=16)
+        assert uploaded == 120
+        assert hit_ids(serial) == hit_ids(piped)
+        t = client.upload_timings
+        assert len(t.convert) == len(t.request) == 8
+        assert t.wall > 0
+        assert 0.0 <= t.overlap_fraction <= 1.0
+        assert t.observed_speedup() >= 1.0 or t.wall >= t.total
+
+    def test_sync_pipelined_columnar(self):
+        data = points(50, seed=15)
+        cluster = Cluster.with_workers(2)
+        cluster.create_collection(config(shard_number=4))
+        client = SyncClient(cluster, "papers")
+        assert client.upload_pipelined(data, batch_size=13, columnar=True) == 50
+        assert cluster.count("papers") == 50
+
+    def test_mp_pool_columnar_matches_rowwise(self):
+        data = points(90, seed=16)
+        row = Cluster.with_workers(3)
+        row.create_collection(config(shard_number=3))
+        ParallelClientPool(row, "papers").upload(data, batch_size=16)
+        col = Cluster.with_workers(3)
+        col.create_collection(config(shard_number=3))
+        report = ParallelClientPool(col, "papers").upload(
+            data, batch_size=16, columnar=True
+        )
+        assert report.points == 90
+        assert report.clients == 3
+        assert col.count("papers") == 90
+        assert hit_ids(row) == hit_ids(col)

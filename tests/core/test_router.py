@@ -1,11 +1,12 @@
 """Shard routing and placement tests (with hypothesis properties)."""
 
+import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.errors import ClusterConfigError
-from repro.core.router import PlacementPlan, ShardRouter, splitmix64
+from repro.core.router import PlacementPlan, ShardRouter, splitmix64, splitmix64_array
 
 
 class TestSplitmix:
@@ -15,6 +16,39 @@ class TestSplitmix:
     def test_mixes_consecutive_inputs(self):
         outputs = {splitmix64(i) % 16 for i in range(64)}
         assert len(outputs) == 16  # all buckets hit by 64 consecutive ids
+
+    @given(st.lists(st.integers(0, 2**62), min_size=1, max_size=200))
+    def test_vectorized_matches_scalar(self, ids):
+        vectorized = splitmix64_array(np.asarray(ids, dtype=np.int64))
+        assert vectorized.dtype == np.uint64
+        assert [int(h) for h in vectorized] == [splitmix64(pid) for pid in ids]
+
+
+class TestVectorizedRouting:
+    @given(st.lists(st.integers(0, 10**12), max_size=300), st.integers(1, 64))
+    def test_shards_for_array_matches_shard_for(self, ids, shards):
+        router = ShardRouter(shards)
+        assigned = router.shards_for_array(np.asarray(ids, dtype=np.int64))
+        assert [int(s) for s in assigned] == [router.shard_for(pid) for pid in ids]
+
+    def test_partition_large_uses_same_assignment_as_small(self):
+        # The partition() fast path kicks in above the small-batch cutoff;
+        # both paths must agree and preserve in-shard arrival order.
+        ids = list(range(1000, 1200))
+        router = ShardRouter(8)
+        big = router.partition(ids)
+        small = {}
+        for pid in ids:
+            small.setdefault(router.shard_for(pid), []).append(pid)
+        assert {s: list(chunk) for s, chunk in big.items()} == small
+
+    @given(st.lists(st.integers(0, 10**9), min_size=1, max_size=200, unique=True),
+           st.integers(1, 16))
+    def test_partition_rows_consistent_with_partition(self, ids, shards):
+        router = ShardRouter(shards)
+        rows = router.partition_rows(ids)
+        by_rows = {s: [ids[i] for i in idx] for s, idx in rows.items()}
+        assert by_rows == {s: list(chunk) for s, chunk in router.partition(ids).items()}
 
 
 class TestShardRouter:

@@ -2,10 +2,11 @@
 
 import os
 
+import numpy as np
 import pytest
 
 from repro.core.errors import WALCorruptionError
-from repro.core.wal import WriteAheadLog
+from repro.core.wal import COLUMNAR_UPSERT_OP, WriteAheadLog
 
 
 def wal_path(tmp_path) -> str:
@@ -107,3 +108,160 @@ class TestSyncMode:
         wal.append("upsert", "durable")
         assert [r.data for r in wal.replay()] == ["durable"]
         wal.close()
+
+
+class TestColumnarRecords:
+    def test_roundtrip_vectors_bit_identical(self, tmp_path):
+        path = wal_path(tmp_path)
+        rng = np.random.default_rng(7)
+        ids = np.arange(10, dtype=np.int64)
+        vectors = rng.normal(size=(10, 4)).astype(np.float32)
+        with WriteAheadLog(path) as wal:
+            wal.append_columnar(ids, vectors)
+        (rec,) = WriteAheadLog(path).replay()
+        assert rec.op == COLUMNAR_UPSERT_OP
+        got_ids, got_vectors, got_payloads = rec.data
+        np.testing.assert_array_equal(got_ids, ids)
+        assert got_vectors.dtype == np.float32
+        assert np.array_equal(
+            got_vectors.view(np.uint32), vectors.view(np.uint32)
+        )  # bit identical, not just approximately equal
+        assert got_payloads is None
+
+    def test_roundtrip_with_payloads(self, tmp_path):
+        path = wal_path(tmp_path)
+        ids = np.asarray([3, 5], dtype=np.int64)
+        vectors = np.asarray([[1.0, 2.0], [3.0, 4.0]], dtype=np.float32)
+        payloads = [{"tag": "a"}, None]
+        with WriteAheadLog(path) as wal:
+            wal.append_columnar(ids, vectors, payloads)
+        (rec,) = WriteAheadLog(path).replay()
+        assert rec.data[2] == payloads
+
+    def test_interleaves_with_pickled_records(self, tmp_path):
+        path = wal_path(tmp_path)
+        with WriteAheadLog(path) as wal:
+            wal.append("delete", [1, 2])
+            wal.append_columnar(
+                np.asarray([9], dtype=np.int64),
+                np.asarray([[0.5, 0.5]], dtype=np.float32),
+            )
+            wal.append("set_payload", (9, {"x": 1}))
+        ops = [r.op for r in WriteAheadLog(path).replay()]
+        assert ops == ["delete", COLUMNAR_UPSERT_OP, "set_payload"]
+
+    def test_shape_mismatch_rejected(self, tmp_path):
+        with WriteAheadLog(wal_path(tmp_path)) as wal:
+            with pytest.raises(ValueError):
+                wal.append_columnar(
+                    np.asarray([1, 2], dtype=np.int64),
+                    np.asarray([[1.0, 2.0]], dtype=np.float32),
+                )
+
+    def test_corrupt_columnar_body_raises(self, tmp_path):
+        path = wal_path(tmp_path)
+        with WriteAheadLog(path) as wal:
+            wal.append_columnar(
+                np.arange(4, dtype=np.int64),
+                np.ones((4, 8), dtype=np.float32),
+            )
+            wal.append("upsert", "after")
+        with open(path, "r+b") as fh:
+            fh.seek(30)  # inside the first record's body
+            fh.write(b"\xde\xad")
+        with pytest.raises(WALCorruptionError):
+            list(WriteAheadLog(path).replay())
+
+
+class TestGroupCommit:
+    def test_flushes_every_n_appends(self, tmp_path):
+        wal = WriteAheadLog(wal_path(tmp_path), flush_every_n=4)
+        for i in range(10):
+            wal.append("upsert", i)
+        assert wal.append_count == 10
+        assert wal.flush_count == 2  # after appends 4 and 8
+        assert wal.pending_records == 2
+        wal.close()
+        assert wal.flush_count == 3  # close drains the partial group
+
+    def test_unflushed_group_invisible_until_flush(self, tmp_path):
+        path = wal_path(tmp_path)
+        wal = WriteAheadLog(path, flush_every_n=8)
+        for i in range(3):
+            wal.append("upsert", i)
+        # Nothing has reached the OS yet: a crash here would lose the group.
+        assert os.path.getsize(path) == 0
+        assert wal.pending_records == 3
+        wal.flush()
+        assert os.path.getsize(path) > 0
+        assert wal.pending_records == 0
+        wal.close()
+
+    def test_live_replay_sees_buffered_group(self, tmp_path):
+        wal = WriteAheadLog(wal_path(tmp_path), flush_every_n=100)
+        wal.append("upsert", "buffered")
+        assert [r.data for r in wal.replay()] == ["buffered"]
+        wal.close()
+
+    def test_flush_interval_triggers(self, tmp_path):
+        wal = WriteAheadLog(
+            wal_path(tmp_path), flush_every_n=1000, flush_interval_s=0.0
+        )
+        wal.append("upsert", "a")  # interval 0 => every append flushes
+        assert wal.pending_records == 0
+        wal.close()
+
+    def test_torn_partial_final_group(self, tmp_path):
+        """Crash mid group-commit: a torn *suffix* of the group is trimmed,
+        the flushed prefix and the intact records before the tear survive."""
+        path = wal_path(tmp_path)
+        with WriteAheadLog(path) as wal:
+            wal.append("upsert", "flushed")  # flush_every_n=1: on disk
+        with WriteAheadLog(path, flush_every_n=4) as wal:
+            for i in range(3):
+                wal.append("upsert", f"group-{i}")  # close() flushes them
+        with open(path, "r+b") as fh:
+            fh.truncate(os.path.getsize(path) - 5)  # tear the group's tail
+        datas = [r.data for r in WriteAheadLog(path).replay()]
+        assert datas == ["flushed", "group-0", "group-1"]
+
+    def test_torn_columnar_tail(self, tmp_path):
+        path = wal_path(tmp_path)
+        with WriteAheadLog(path) as wal:
+            wal.append("upsert", "keep")
+            wal.append_columnar(
+                np.arange(8, dtype=np.int64), np.ones((8, 16), dtype=np.float32)
+            )
+        with open(path, "r+b") as fh:
+            fh.truncate(os.path.getsize(path) - 1)
+        datas = [r.data for r in WriteAheadLog(path).replay()]
+        assert datas == ["keep"]
+
+    def test_group_commit_survives_reopen(self, tmp_path):
+        path = wal_path(tmp_path)
+        with WriteAheadLog(path, flush_every_n=3) as wal:
+            for i in range(7):
+                wal.append("upsert", i)
+        with WriteAheadLog(path, flush_every_n=3) as wal:
+            assert wal.next_seq == 7
+        assert [r.data for r in WriteAheadLog(path).replay()] == list(range(7))
+
+
+class TestBoundedReplay:
+    def test_max_record_bytes_cap(self, tmp_path):
+        path = wal_path(tmp_path)
+        with WriteAheadLog(path) as wal:
+            wal.append("upsert", list(range(1000)))
+        with pytest.raises(WALCorruptionError):
+            list(WriteAheadLog(path).replay(max_record_bytes=16))
+
+    def test_streaming_replay_many_records(self, tmp_path):
+        path = wal_path(tmp_path)
+        with WriteAheadLog(path, flush_every_n=64) as wal:
+            for i in range(500):
+                wal.append("upsert", i)
+        count = 0
+        for rec in WriteAheadLog(path).replay(max_record_bytes=1 << 20):
+            assert rec.data == count
+            count += 1
+        assert count == 500
