@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction.
 
-.PHONY: install test bench bench-micro bench-insert bench-insert-smoke paper examples clean
+.PHONY: install test bench bench-micro bench-insert bench-insert-smoke bench-fault bench-fault-smoke paper examples clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -25,6 +25,14 @@ bench-insert:
 # Tiny assert-only variant for CI (no wall-clock speedup thresholds).
 bench-insert-smoke:
 	REPRO_BENCH_SMOKE=1 PYTHONPATH=src python -m pytest benchmarks/test_insertion_pipeline.py -q
+
+# Chaos harness: kill/heal workers mid-sweep, assert bit-identical results
+# under rf=2 and graceful degradation under rf=1.
+bench-fault:
+	PYTHONPATH=src python -m pytest benchmarks/test_fault_tolerance.py -q
+
+bench-fault-smoke:
+	REPRO_BENCH_SMOKE=1 PYTHONPATH=src python -m pytest benchmarks/test_fault_tolerance.py -q
 
 paper:
 	python -m repro.bench

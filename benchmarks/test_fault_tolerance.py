@@ -1,0 +1,214 @@
+"""Chaos harness: fault tolerance of the failure-aware fan-out.
+
+Kills and heals workers *mid-sweep* under a
+:class:`~repro.core.transport.FaultInjectingTransport` configured with
+``advertise_failures=False`` — the HPC failure mode the paper's platform
+implies (§2.1: preempted batch nodes just stop answering; the coordinator
+only learns of a death when a mid-flight call raises).  Asserted
+properties:
+
+* with replication factor 2, every query issued while a worker is dead
+  returns results **bit-identical** to the healthy cluster's, and the
+  telemetry shows real failovers plus a breaker opening and (after the
+  heal) closing again;
+* with replication factor 1, ``allow_partial`` queries degrade gracefully
+  (flagged partial results) while strict queries raise exactly
+  ``NoReplicaAvailableError`` — no other exception type ever escapes;
+* transient injected faults (every Nth call) are absorbed by retries;
+* writes issued with a dead replica report ``ACKNOWLEDGED`` and remain
+  fully readable through failover.
+
+Set ``REPRO_BENCH_SMOKE=1`` for the small CI variant (fewer points and
+queries; every assert still runs).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CollectionConfig,
+    Distance,
+    OptimizerConfig,
+    PointStruct,
+    SearchRequest,
+    UpdateStatus,
+    VectorParams,
+)
+from repro.core.cluster import Cluster
+from repro.core.errors import NoReplicaAvailableError
+from repro.core.failover import BreakerState, HealthTracker, RetryPolicy
+from repro.core.transport import FaultInjectingTransport, LocalTransport
+from repro.core.worker import Worker
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+DIM = 32
+N_POINTS = 240 if SMOKE else 1200
+N_QUERIES = 30 if SMOKE else 120
+LIMIT = 10
+BREAKER_COOLDOWN_S = 0.02
+
+
+def _points(n=N_POINTS, seed=13):
+    rng = np.random.default_rng(seed)
+    vectors = rng.normal(size=(n, DIM)).astype(np.float32)
+    return [PointStruct(id=i, vector=vectors[i], payload={"i": i}) for i in range(n)]
+
+
+def _queries(n=N_QUERIES, seed=17):
+    return np.random.default_rng(seed).normal(size=(n, DIM)).astype(np.float32)
+
+
+def _config(rf):
+    return CollectionConfig(
+        "chaos",
+        VectorParams(size=DIM, distance=Distance.COSINE),
+        optimizer=OptimizerConfig(indexing_threshold=0),
+        replication_factor=rf,
+    )
+
+
+def _chaos_cluster(rf, *, n_workers=4, advertise_failures=False):
+    faulty = FaultInjectingTransport(
+        LocalTransport(), advertise_failures=advertise_failures
+    )
+    cluster = Cluster(
+        faulty,
+        retry_policy=RetryPolicy(base_backoff_s=0.001, max_backoff_s=0.01),
+        health=HealthTracker(
+            failure_threshold=2, reset_timeout_s=BREAKER_COOLDOWN_S
+        ),
+    )
+    for i in range(n_workers):
+        cluster.add_worker(Worker(f"w{i}"))
+    cluster.create_collection(_config(rf))
+    cluster.upsert("chaos", _points())
+    return cluster, faulty
+
+
+def _answers(cluster, queries):
+    return [
+        [
+            (h.id, h.score)
+            for h in cluster.search("chaos", SearchRequest(vector=q, limit=LIMIT))
+        ]
+        for q in queries
+    ]
+
+
+def test_rf2_kill_heal_mid_sweep_bit_identical():
+    """The headline chaos run: rf=2, one worker silently dies a third of the
+    way through a query sweep and comes back two thirds in.  Every single
+    query — before, during and after the outage — must match the healthy
+    cluster bit for bit, and the failover machinery must actually have
+    engaged (failovers recorded, breaker opened, breaker closed again)."""
+    queries = _queries()
+    healthy, _ = _chaos_cluster(rf=2)
+    expected = _answers(healthy, queries)
+
+    cluster, faulty = _chaos_cluster(rf=2)
+    before = cluster.telemetry()
+    kill_at, heal_at = len(queries) // 3, 2 * len(queries) // 3
+    got = []
+    for i, q in enumerate(queries):
+        if i == kill_at:
+            faulty.fail_worker("w1")
+        if i == heal_at:
+            faulty.heal_worker("w1")
+            time.sleep(BREAKER_COOLDOWN_S * 2)  # let the breaker half-open
+        result = cluster.search("chaos", SearchRequest(vector=q, limit=LIMIT))
+        assert not result.degraded
+        got.append([(h.id, h.score) for h in result])
+    assert got == expected
+
+    delta = cluster.telemetry().diff(before).failover
+    assert delta.failovers > 0
+    assert delta.breaker_opens >= 1
+    assert delta.breaker_closes >= 1
+    assert cluster.health.state("w1") is BreakerState.CLOSED
+
+
+def test_rf1_degrades_gracefully_never_crashes():
+    """rf=1 gives the outage nowhere to fail over to: strict queries must
+    raise exactly ``NoReplicaAvailableError``, ``allow_partial`` queries
+    must return flagged partial results, and no other exception type may
+    escape the sweep."""
+    queries = _queries(seed=23)
+    cluster, faulty = _chaos_cluster(rf=1)
+    healthy_totals = {
+        r.shards_total
+        for r in (
+            cluster.search("chaos", SearchRequest(vector=q, limit=LIMIT))
+            for q in queries[:2]
+        )
+    }
+    faulty.fail_worker("w2")
+
+    degraded_seen = 0
+    strict_raises = 0
+    for i, q in enumerate(queries):
+        if i % 2 == 0:
+            result = cluster.search(
+                "chaos", SearchRequest(vector=q, limit=LIMIT, allow_partial=True)
+            )
+            assert result.shards_answered < result.shards_total
+            assert result.degraded
+            degraded_seen += 1
+        else:
+            try:
+                cluster.search("chaos", SearchRequest(vector=q, limit=LIMIT))
+            except NoReplicaAvailableError:
+                strict_raises += 1
+            # anything else propagates and fails the test
+    assert degraded_seen == len(queries) - len(queries) // 2
+    assert strict_raises == len(queries) // 2
+    assert healthy_totals == {cluster._state("chaos").plan.shard_number}
+    assert cluster.failover_stats.degraded_queries == degraded_seen
+
+    # Healing restores full-coverage answers.
+    faulty.heal_worker("w2")
+    time.sleep(BREAKER_COOLDOWN_S * 2)
+    result = cluster.search("chaos", SearchRequest(vector=queries[0], limit=LIMIT))
+    assert not result.degraded
+
+
+def test_transient_faults_absorbed_by_retries():
+    faulty = FaultInjectingTransport(LocalTransport(), fail_every=9)
+    cluster = Cluster(faulty, retry_policy=RetryPolicy(base_backoff_s=0.0))
+    for i in range(4):
+        cluster.add_worker(Worker(f"w{i}"))
+    cluster.create_collection(_config(rf=1))
+    cluster.upsert("chaos", _points())
+    queries = _queries(seed=29)
+    for q in queries:
+        hits = cluster.search("chaos", SearchRequest(vector=q, limit=LIMIT))
+        assert len(hits) == LIMIT
+    assert cluster.failover_stats.retries > 0
+
+
+def test_writes_partial_ack_under_dead_replica():
+    cluster, faulty = _chaos_cluster(rf=2)
+    faulty.fail_worker("w3")
+    extra = [
+        PointStruct(id=N_POINTS + i, vector=v, payload={"i": N_POINTS + i})
+        for i, v in enumerate(_queries(seed=31))
+    ]
+    result = cluster.upsert("chaos", extra)
+    assert result.status is UpdateStatus.ACKNOWLEDGED
+    # Survivors hold every write; reads fail over around the dead replica.
+    assert cluster.count("chaos") == N_POINTS + len(extra)
+    rec = cluster.retrieve("chaos", extra[0].id)
+    assert rec.payload == {"i": extra[0].id}
+
+
+def test_all_replicas_dead_write_raises_cleanly():
+    cluster, faulty = _chaos_cluster(rf=1, n_workers=2)
+    faulty.fail_worker("w0")
+    faulty.fail_worker("w1")
+    with pytest.raises(NoReplicaAvailableError):
+        cluster.upsert("chaos", _points(4, seed=37))

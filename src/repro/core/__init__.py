@@ -29,7 +29,9 @@ from .errors import (
     CollectionExistsError,
     CollectionNotFoundError,
     DimensionMismatchError,
+    NoReplicaAvailableError,
     PointNotFoundError,
+    RequestTimeoutError,
     TransportError,
     VectorDBError,
     WorkerUnavailableError,
@@ -51,6 +53,7 @@ from .types import (
     ScoredPoint,
     SearchParams,
     SearchRequest,
+    SearchResult,
     UpdateResult,
     UpdateStatus,
     VectorParams,
@@ -73,6 +76,7 @@ __all__ = [
     "ScoredPoint",
     "SearchParams",
     "SearchRequest",
+    "SearchResult",
     "UpdateResult",
     "UpdateStatus",
     "VectorParams",
@@ -94,4 +98,6 @@ __all__ = [
     "PointNotFoundError",
     "TransportError",
     "WorkerUnavailableError",
+    "NoReplicaAvailableError",
+    "RequestTimeoutError",
 ]

@@ -141,6 +141,7 @@ class AsyncClient:
         batch_size: int = 16,
         concurrency: int = 2,
         params: SearchParams | None = None,
+        allow_partial: bool = False,
     ) -> tuple[list[list[ScoredPoint]], AsyncRunReport]:
         """Query in batches with bounded concurrency; preserves input order."""
         if concurrency < 1:
@@ -155,7 +156,8 @@ class AsyncClient:
         async def run(idx: int, batch) -> None:
             t0 = time.perf_counter()
             requests = [
-                SearchRequest(vector=v, limit=limit, params=params or SearchParams())
+                SearchRequest(vector=v, limit=limit, params=params or SearchParams(),
+                              allow_partial=allow_partial)
                 for v in batch
             ]
             t1 = time.perf_counter()

@@ -177,9 +177,15 @@ class SyncClient:
 
     # -- query ------------------------------------------------------------------
 
-    def search(self, vector, *, limit: int = 10, **kwargs) -> list[ScoredPoint]:
+    def search(self, vector, *, limit: int = 10, allow_partial: bool = False,
+               **kwargs) -> list[ScoredPoint]:
+        """One query.  ``allow_partial=True`` opts into degraded reads: under
+        total replica loss of a shard the hits from surviving shards come
+        back (flagged on the result) instead of an error."""
         return self.cluster.search(
-            self.collection, SearchRequest(vector=vector, limit=limit, **kwargs)
+            self.collection,
+            SearchRequest(vector=vector, limit=limit,
+                          allow_partial=allow_partial, **kwargs),
         )
 
     def search_many(
@@ -189,13 +195,15 @@ class SyncClient:
         limit: int = 10,
         batch_size: int = 16,
         params: SearchParams | None = None,
+        allow_partial: bool = False,
     ) -> list[list[ScoredPoint]]:
         """Run many queries in batches of ``batch_size`` (Figure 4's knob)."""
         results: list[list[ScoredPoint]] = []
         for batch in chunk(list(vectors), batch_size):
             t0 = time.perf_counter()
             requests = [
-                SearchRequest(vector=v, limit=limit, params=params or SearchParams())
+                SearchRequest(vector=v, limit=limit, params=params or SearchParams(),
+                              allow_partial=allow_partial)
                 for v in batch
             ]
             t1 = time.perf_counter()

@@ -15,7 +15,15 @@ approach 1):
   paper's broadcast–reduce model assumes.  Results are gathered in
   submission order, so the reduce sees exactly what a serial loop would;
 * adding/removing workers triggers shard **rebalancing** — the expensive
-  data movement §2.2 attributes to stateful designs.
+  data movement §2.2 attributes to stateful designs;
+* every transport call is wrapped in a :class:`~repro.core.failover.RetryPolicy`
+  (bounded retries, exponential backoff with deterministic jitter, optional
+  per-call timeout), per-worker health feeds a **circuit breaker** consulted
+  during replica resolution, reads **fail over** to the next live replica of
+  only the failed shards, and ``SearchRequest.allow_partial`` turns total
+  replica loss into a flagged **degraded read** instead of an error — the
+  availability behaviour the paper leans on Qdrant's replication for when
+  workers live on preemptible HPC nodes (§2.1).
 
 The coordinator here plays the role of Qdrant's internal cluster state
 machine (driven by Raft in the real system); consensus is out of scope for
@@ -24,9 +32,11 @@ the paper's runtime study, so membership changes are applied synchronously.
 
 from __future__ import annotations
 
+import itertools
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from dataclasses import dataclass, field
 from typing import Any, Mapping, Sequence
 
@@ -35,9 +45,11 @@ from .errors import (
     CollectionExistsError,
     CollectionNotFoundError,
     NoReplicaAvailableError,
+    RequestTimeoutError,
     TransportError,
     WorkerUnavailableError,
 )
+from .failover import BreakerState, FailoverStats, HealthTracker, RetryPolicy
 from .router import PlacementPlan, ShardMove, ShardRouter
 from .transport import LocalTransport, Transport
 from .types import (
@@ -48,7 +60,9 @@ from .types import (
     Record,
     ScoredPoint,
     SearchRequest,
+    SearchResult,
     UpdateResult,
+    UpdateStatus,
 )
 from .worker import Worker
 
@@ -192,18 +206,32 @@ class Cluster:
         transport: Transport | None = None,
         *,
         max_fanout_threads: int | None = None,
+        retry_policy: RetryPolicy | None = None,
+        health: HealthTracker | None = None,
     ):
         self.transport = transport or LocalTransport()
         self._workers: dict[str, Worker] = {}
         self._collections: dict[str, ClusterCollectionState] = {}
         self._aliases: dict[str, str] = {}
-        self._rr_counter = 0  # round-robin entry-worker selection
+        # Round-robin entry-worker selection.  ``itertools.count`` hands out
+        # unique ticks without a lock — the bare ``+= 1`` it replaces was
+        # racy under concurrent clients.
+        self._rr_counter = itertools.count()
         #: 1 = serial fan-out; ``None``/0 = one thread per contacted worker.
         self.max_fanout_threads = max_fanout_threads
         self.fanout_stats = FanoutStats()
         self.ingest_stats = IngestStats()
+        self.failover_stats = FailoverStats()
+        self.retry_policy = retry_policy or RetryPolicy()
+        self.health = health or HealthTracker(stats=self.failover_stats)
+        if self.health.stats is None:
+            self.health.stats = self.failover_stats
         self._executor: ThreadPoolExecutor | None = None
         self._executor_width = 0
+        # Separate pool used only to bound call wall time when the retry
+        # policy sets ``timeout_s`` (an abandoned call keeps its thread
+        # until the transport returns, as with a real socket timeout).
+        self._timeout_pool: ThreadPoolExecutor | None = None
 
     # -- fan-out --------------------------------------------------------------
 
@@ -224,10 +252,62 @@ class Cluster:
             self._executor_width = width
         return self._executor
 
+    # -- failure-aware transport calls ---------------------------------------
+
+    def _bounded_call(self, worker_id: str, method: str, *args, **kwargs):
+        """One transport call, bounded by the policy's per-call timeout."""
+        timeout = self.retry_policy.timeout_s
+        if timeout is None:
+            return self.transport.call(worker_id, method, *args, **kwargs)
+        if self._timeout_pool is None:
+            self._timeout_pool = ThreadPoolExecutor(
+                max_workers=32, thread_name_prefix="call-timeout"
+            )
+        future = self._timeout_pool.submit(
+            self.transport.call, worker_id, method, *args, **kwargs
+        )
+        try:
+            return future.result(timeout)
+        except FuturesTimeoutError:
+            self.failover_stats.record_timeout()
+            raise RequestTimeoutError(worker_id, method, timeout) from None
+
+    def _call_with_retry(self, worker_id: str, method: str, *args, **kwargs):
+        """Run one call under the retry policy, feeding the health tracker.
+
+        Transient :class:`TransportError`\\ s (injected faults, timeouts) are
+        retried with deterministic backoff; :class:`WorkerUnavailableError`
+        is *not* retried on the same worker — a dead worker will not revive
+        within a backoff window, so the caller should fail over instead.
+        Every failed attempt counts toward the worker's breaker; a success
+        resets it (and closes a half-open breaker).
+        """
+        policy = self.retry_policy
+        last: TransportError | None = None
+        for attempt in range(1, policy.max_attempts + 1):
+            if attempt > 1:
+                self.failover_stats.record_retry()
+                delay = policy.backoff_s(attempt - 1, key=f"{worker_id}:{method}")
+                if delay > 0:
+                    time.sleep(delay)
+            try:
+                result = self._bounded_call(worker_id, method, *args, **kwargs)
+            except WorkerUnavailableError:
+                self.health.record_failure(worker_id)
+                raise
+            except TransportError as exc:
+                self.health.record_failure(worker_id)
+                last = exc
+                continue
+            self.health.record_success(worker_id)
+            return result
+        assert last is not None
+        raise last
+
     def _timed_call(self, call: tuple):
         t0 = time.perf_counter()
         try:
-            return self.transport.call(*call)
+            return self._call_with_retry(*call)
         finally:
             self.fanout_stats.record_worker(call[0], time.perf_counter() - t0)
 
@@ -251,16 +331,59 @@ class Cluster:
         self.fanout_stats.record_fanout(len(calls), time.perf_counter() - t0)
         return results
 
+    def _fan_out_collect(self, calls: list[tuple]) -> list:
+        """Like :meth:`_fan_out`, but a failed call yields its
+        :class:`TransportError` in the result list instead of raising —
+        the failover read path re-issues only the failed lanes."""
+        if not calls:
+            return []
+
+        def guarded(call: tuple):
+            try:
+                return self._timed_call(call)
+            except TransportError as exc:
+                return exc
+
+        width = self._fanout_width(len(calls))
+        t0 = time.perf_counter()
+        if width <= 1 or len(calls) == 1:
+            results = [guarded(call) for call in calls]
+        else:
+            pool = self._fanout_pool(width)
+            futures = [pool.submit(guarded, call) for call in calls]
+            results = [f.result() for f in futures]
+        self.fanout_stats.record_fanout(len(calls), time.perf_counter() - t0)
+        return results
+
     def _run_shard_chain(self, shard_id: int, calls: list[tuple]):
         """Write one shard: replicas are called in plan order (primary first)
-        so replica logs stay identically ordered; returns the last result."""
+        so replica logs stay identically ordered.
+
+        Each replica call runs under the retry policy (writes are
+        idempotent — an upsert re-applied after a timeout converges to the
+        same state).  A replica that still fails is *skipped* (a failover:
+        the survivors keep the shard writable) and the shard's result
+        degrades to ``ACKNOWLEDGED``; if **no** replica accepts the write,
+        the shard raises ``NoReplicaAvailableError``.
+        """
         t0 = time.perf_counter()
         result = None
+        ok = 0
         try:
             for call in calls:
-                result = self._timed_call(call)
+                try:
+                    outcome = self._timed_call(call)
+                except TransportError:
+                    self.failover_stats.record_failover()
+                    continue
+                result = outcome
+                ok += 1
         finally:
             self.ingest_stats.record_shard(shard_id, time.perf_counter() - t0)
+        if ok == 0:
+            raise NoReplicaAvailableError(shard_id)
+        if ok < len(calls) and isinstance(result, UpdateResult):
+            result = UpdateResult(result.operation_id, UpdateStatus.ACKNOWLEDGED)
         return result
 
     def _write_fanout(self, shard_calls: dict[int, list[tuple]]) -> list:
@@ -300,8 +423,6 @@ class Cluster:
         wins".  The status degrades to ACKNOWLEDGED if any shard reported
         less than COMPLETED.
         """
-        from .types import UpdateStatus
-
         results = [r for r in results if isinstance(r, UpdateResult)]
         if not results:
             return UpdateResult(0)
@@ -313,16 +434,21 @@ class Cluster:
         return UpdateResult(max(r.operation_id for r in results), status)
 
     def close(self) -> None:
-        """Shut down the fan-out pool (idempotent)."""
+        """Shut down the fan-out pools (idempotent)."""
         if self._executor is not None:
             self._executor.shutdown(wait=True)
             self._executor = None
             self._executor_width = 0
+        if self._timeout_pool is not None:
+            self._timeout_pool.shutdown(wait=False)
+            self._timeout_pool = None
 
     def __del__(self):  # pragma: no cover - GC timing dependent
         try:
             if self._executor is not None:
                 self._executor.shutdown(wait=False)
+            if self._timeout_pool is not None:
+                self._timeout_pool.shutdown(wait=False)
         except Exception:
             pass
 
@@ -387,6 +513,7 @@ class Cluster:
                     except TransportError:
                         exports[(name, shard_id)] = []
         del self._workers[worker_id]
+        self.health.forget(worker_id)
         if isinstance(self.transport, LocalTransport):
             self.transport.deregister(worker_id)
         else:
@@ -409,8 +536,13 @@ class Cluster:
         for move in moves:
             target_worker = move.target
             if not self.transport.call(target_worker, "has_shard", name, move.shard_id):
-                points: list[PointStruct]
-                if exports and (name, move.shard_id) in exports:
+                points: list[PointStruct] = []
+                # An export that failed (worker died before handing its data
+                # over) is recorded as [] — it must NOT shadow the
+                # surviving-replica pull below, or a replicated shard would be
+                # "rebalanced" into an empty copy while live replicas still
+                # hold the data.
+                if exports and exports.get((name, move.shard_id)):
                     points = exports[(name, move.shard_id)]
                 elif move.source is not None and move.source in self._workers:
                     points = self.transport.call(
@@ -418,12 +550,14 @@ class Cluster:
                     )
                 else:
                     # Pull from any surviving replica.
-                    points = []
                     for holder in new_plan.workers_for(move.shard_id):
                         if holder != target_worker and holder in self._workers:
-                            points = self.transport.call(
-                                holder, "transfer_shard_out", name, move.shard_id
-                            )
+                            try:
+                                points = self.transport.call(
+                                    holder, "transfer_shard_out", name, move.shard_id
+                                )
+                            except TransportError:
+                                continue
                             break
                 self.transport.call(
                     target_worker, "transfer_shard_in", name, move.shard_id,
@@ -481,7 +615,10 @@ class Cluster:
         for shard_id, holders in state.plan.assignments.items():
             for worker_id in holders:
                 if worker_id in self._workers:
-                    self.transport.call(worker_id, "drop_shard", name, shard_id)
+                    try:
+                        self.transport.call(worker_id, "drop_shard", name, shard_id)
+                    except TransportError:
+                        continue  # dead replica: its shard dies with it
         del self._collections[name]
 
     def _state(self, name: str) -> ClusterCollectionState:
@@ -607,28 +744,133 @@ class Cluster:
     # -- reads -------------------------------------------------------------------------------
 
     def _entry_worker(self) -> str:
-        """Round-robin choice of the worker a client contacts (§3.4)."""
+        """Round-robin choice of the worker a client contacts (§3.4),
+        skipping workers whose breaker is refusing requests."""
         if not self._workers:
             raise ClusterConfigError("cluster has no workers")
         ids = list(self._workers)
-        worker = ids[self._rr_counter % len(ids)]
-        self._rr_counter += 1
-        return worker
+        start = next(self._rr_counter)
+        for offset in range(len(ids)):
+            worker = ids[(start + offset) % len(ids)]
+            if self.health.state(worker) is not BreakerState.OPEN:
+                return worker
+        return ids[start % len(ids)]  # every breaker open: pick anyway
 
-    def _live_holder(self, state: ClusterCollectionState, shard_id: int) -> str:
-        """A reachable replica holder for the shard, preferring the primary."""
+    def _probe_worker(self, worker_id: str) -> bool:
+        """Half-open breaker probe: one cheap ``healthcheck`` RPC decides
+        whether the worker is re-admitted (success closes the breaker,
+        failure re-opens it)."""
+        try:
+            self._bounded_call(worker_id, "healthcheck")
+        except TransportError:
+            self.health.record_failure(worker_id)
+            return False
+        self.health.record_success(worker_id)
+        return True
+
+    def _live_holder(
+        self,
+        state: ClusterCollectionState,
+        shard_id: int,
+        *,
+        exclude: frozenset[str] | set[str] = frozenset(),
+    ) -> str:
+        """A live replica holder for the shard, preferring the primary.
+
+        Consults the per-worker circuit breaker: open breakers are skipped
+        outright; a breaker whose cooldown has elapsed gets one
+        ``healthcheck`` probe and is used only if the probe succeeds.
+        ``exclude`` removes replicas that already failed this operation
+        (the failover path re-resolving a shard).
+        """
         for worker_id in state.plan.workers_for(shard_id):
-            if worker_id in self._workers and self.transport.is_reachable(worker_id):
-                return worker_id
+            if worker_id in exclude or worker_id not in self._workers:
+                continue
+            if not self.transport.is_reachable(worker_id):
+                continue
+            was_closed = self.health.state(worker_id) is BreakerState.CLOSED
+            if not self.health.admit(worker_id):
+                continue
+            if not was_closed and not self._probe_worker(worker_id):
+                continue  # half-open probe failed: breaker re-opened
+            return worker_id
         raise NoReplicaAvailableError(shard_id)
 
-    def _shard_assignment(self, state: ClusterCollectionState) -> dict[str, list[int]]:
-        """worker -> shards it will search, each shard served by one live replica."""
+    def _shard_assignment(
+        self,
+        state: ClusterCollectionState,
+        shard_ids: Sequence[int] | None = None,
+        exclude: Mapping[int, set[str]] | None = None,
+    ) -> tuple[dict[str, list[int]], list[int]]:
+        """worker -> shards it will serve (one live replica per shard),
+        plus the shards with no admissible replica left."""
+        if shard_ids is None:
+            shard_ids = range(state.plan.shard_number)
         assignment: dict[str, list[int]] = {}
-        for shard_id in range(state.plan.shard_number):
-            holder = self._live_holder(state, shard_id)
+        dead: list[int] = []
+        for shard_id in shard_ids:
+            tried = exclude.get(shard_id, set()) if exclude else set()
+            try:
+                holder = self._live_holder(state, shard_id, exclude=tried)
+            except NoReplicaAvailableError:
+                dead.append(shard_id)
+                continue
             assignment.setdefault(holder, []).append(shard_id)
-        return assignment
+        return assignment, dead
+
+    def _failover_read(
+        self,
+        name: str,
+        state: ClusterCollectionState,
+        shard_ids: Sequence[int],
+        method: str,
+        payload,
+        *,
+        allow_partial: bool,
+    ) -> tuple[list, set[int]]:
+        """Fan a read over ``shard_ids`` with per-shard replica failover.
+
+        Issues one ``method`` call per chosen holder.  When a call fails
+        (after the per-call retry policy), only *its* shards are re-resolved
+        against the placement plan — excluding every replica that already
+        failed this read — and re-issued; healthy lanes are never repeated.
+        Returns the successful per-call results and the set of shards that
+        answered.  Shards whose replicas are all gone raise
+        ``NoReplicaAvailableError`` unless ``allow_partial``.
+        """
+        pending = list(shard_ids)
+        tried: dict[int, set[str]] = {s: set() for s in pending}
+        results: list = []
+        answered: set[int] = set()
+        lost: set[int] = set()
+        while pending:
+            assignment, dead = self._shard_assignment(state, pending, tried)
+            lost.update(dead)
+            if not assignment:
+                break
+            calls = [
+                (worker_id, method, name, assigned, payload)
+                for worker_id, assigned in assignment.items()
+            ]
+            outcomes = self._fan_out_collect(calls)
+            pending = []
+            for call, outcome in zip(calls, outcomes):
+                worker_id, _, _, assigned, _ = call
+                if isinstance(outcome, TransportError):
+                    for shard in assigned:
+                        tried[shard].add(worker_id)
+                    pending.extend(assigned)
+                else:
+                    results.append(outcome)
+                    answered.update(assigned)
+            if pending:
+                self.failover_stats.record_failover(len(pending))
+        missing = lost | (set(shard_ids) - answered)
+        if missing:
+            if not allow_partial:
+                raise NoReplicaAvailableError(min(missing))
+            self.failover_stats.record_degraded()
+        return results, answered
 
     def _predicated_shards(self, state: ClusterCollectionState, request: SearchRequest
                            ) -> set[int] | None:
@@ -655,21 +897,35 @@ class Cluster:
             return None
         return {state.router.shard_for(pid) for pid in ids}
 
-    def search(self, name: str, request: SearchRequest) -> list[ScoredPoint]:
-        """Broadcast–reduce distributed search (one query)."""
+    def _query_shards(
+        self, state: ClusterCollectionState, only_shards: set[int] | None
+    ) -> list[int]:
+        """The shard set a query must cover (all, or the predicated subset)."""
+        if only_shards is None:
+            return list(range(state.plan.shard_number))
+        return sorted(s for s in only_shards if 0 <= s < state.plan.shard_number)
+
+    def search(self, name: str, request: SearchRequest) -> SearchResult:
+        """Broadcast–reduce distributed search (one query).
+
+        Failed lanes fail over to surviving replicas; with
+        ``request.allow_partial`` the result degrades (flagged on the
+        returned :class:`~repro.core.types.SearchResult`) instead of
+        raising when a shard has no live replica left.
+        """
         name, state = self._resolve(name)
-        assignment = self._shard_assignment(state)
-        only_shards = self._predicated_shards(state, request)
-        calls: list[tuple] = []
-        # The entry worker fans out; transport-wise each worker is one call.
-        for worker_id, shard_ids in assignment.items():
-            if only_shards is not None:
-                shard_ids = [s for s in shard_ids if s in only_shards]
-                if not shard_ids:
-                    continue
-            calls.append((worker_id, "search", name, shard_ids, request))
-        partials: list[list[ScoredPoint]] = self._fan_out(calls)
-        return self._reduce(state, partials, request.limit)
+        shard_ids = self._query_shards(state, self._predicated_shards(state, request))
+        if not shard_ids:
+            # e.g. an empty HasId predicate: nothing to fan out to.
+            return SearchResult([], shards_total=0)
+        partials, answered = self._failover_read(
+            name, state, shard_ids, "search", request,
+            allow_partial=request.allow_partial,
+        )
+        hits = self._reduce(state, partials, request.limit)
+        return SearchResult(
+            hits, shards_total=len(shard_ids), shards_answered=len(answered)
+        )
 
     def recommend(self, name: str, request) -> list[ScoredPoint]:
         """Distributed recommend: resolve examples, search, merge."""
@@ -731,18 +987,27 @@ class Cluster:
         name, state = self._resolve(name)
         total = 0
         for shard_id, holders in state.plan.assignments.items():
-            # collect victims from one replica, then delete on all replicas
-            holder = self._live_holder(state, shard_id)
-            page, _ = self.transport.call(
-                holder, "scroll", name, shard_id, limit=10**9, flt=flt,
+            # collect victims from one replica (with failover), then delete on
+            # every replica that still answers — an unreachable replica is
+            # skipped, matching the write path's partial-ack semantics.
+            page, _ = self._read_shard(
+                state, shard_id, "scroll", name, shard_id, limit=10**9, flt=flt,
                 with_payload=False, with_vector=False,
             )
             victims = [r.id for r in page]
             if not victims:
                 continue
+            ok = 0
             for worker_id in holders:
-                if worker_id in self._workers:
-                    self.transport.call(worker_id, "delete", name, shard_id, victims)
+                if worker_id not in self._workers:
+                    continue
+                try:
+                    self._call_with_retry(worker_id, "delete", name, shard_id, victims)
+                    ok += 1
+                except TransportError:
+                    self.failover_stats.record_failover()
+            if ok == 0:
+                raise NoReplicaAvailableError(shard_id)
             total += len(victims)
         return total
 
@@ -765,26 +1030,37 @@ class Cluster:
         return union
 
     def search_batch(self, name: str, requests: Sequence[SearchRequest]
-                     ) -> list[list[ScoredPoint]]:
-        """Broadcast–reduce for a batch of queries (one fan-out per worker)."""
+                     ) -> list[SearchResult]:
+        """Broadcast–reduce for a batch of queries (one fan-out per worker).
+
+        Shares the single-query failover semantics; a degraded return
+        requires *every* request in the batch to set ``allow_partial``
+        (one strict query keeps the whole batch strict, as they share the
+        fan-out).
+        """
         name, state = self._resolve(name)
         requests = list(requests)
         if not requests:
             return []
-        assignment = self._shard_assignment(state)
         only_shards = self._batch_predicated_shards(state, requests)
-        calls: list[tuple] = []
-        for worker_id, shard_ids in assignment.items():
-            if only_shards is not None:
-                shard_ids = [s for s in shard_ids if s in only_shards]
-                if not shard_ids:
-                    continue  # worker holds no relevant shard: skip the call
-            calls.append((worker_id, "search_batch", name, shard_ids, requests))
-        per_worker: list[list[list[ScoredPoint]]] = self._fan_out(calls)
-        out: list[list[ScoredPoint]] = []
+        shard_ids = self._query_shards(state, only_shards)
+        if not shard_ids:
+            return [SearchResult([], shards_total=0) for _ in requests]
+        allow_partial = all(r.allow_partial for r in requests)
+        per_worker, answered = self._failover_read(
+            name, state, shard_ids, "search_batch", requests,
+            allow_partial=allow_partial,
+        )
+        out: list[SearchResult] = []
         for qi, request in enumerate(requests):
             partials = [worker_hits[qi] for worker_hits in per_worker]
-            out.append(self._reduce(state, partials, request.limit))
+            out.append(
+                SearchResult(
+                    self._reduce(state, partials, request.limit),
+                    shards_total=len(shard_ids),
+                    shards_answered=len(answered),
+                )
+            )
         return out
 
     @staticmethod
@@ -802,13 +1078,25 @@ class Cluster:
         )
         return ordered[:limit]
 
+    def _read_shard(self, state: ClusterCollectionState, shard_id: int,
+                    method: str, *args, **kwargs):
+        """One-shard read with retry and replica failover: walk the shard's
+        live replicas (breaker-aware) until one answers."""
+        tried: set[str] = set()
+        while True:
+            worker_id = self._live_holder(state, shard_id, exclude=tried)
+            try:
+                return self._call_with_retry(worker_id, method, *args, **kwargs)
+            except TransportError:
+                tried.add(worker_id)
+                self.failover_stats.record_failover()
+
     def retrieve(self, name: str, point_id: PointId, *, with_vector: bool = False,
                  with_payload: bool = True) -> Record:
         name, state = self._resolve(name)
         shard_id = state.router.shard_for(point_id)
-        worker_id = self._live_holder(state, shard_id)
-        return self.transport.call(
-            worker_id, "retrieve", name, shard_id, point_id,
+        return self._read_shard(
+            state, shard_id, "retrieve", name, shard_id, point_id,
             with_vector=with_vector, with_payload=with_payload,
         )
 
@@ -817,8 +1105,7 @@ class Cluster:
         name, state = self._resolve(name)
         total = 0
         for shard_id in range(state.plan.shard_number):
-            worker_id = self._live_holder(state, shard_id)
-            total += self.transport.call(worker_id, "count", name, shard_id)
+            total += self._read_shard(state, shard_id, "count", name, shard_id)
         return total
 
     def scroll(self, name: str, *, limit: int = 100, offset_id: PointId | None = None,
@@ -828,9 +1115,8 @@ class Cluster:
         name, state = self._resolve(name)
         records: list[Record] = []
         for shard_id in range(state.plan.shard_number):
-            worker_id = self._live_holder(state, shard_id)
-            page, _ = self.transport.call(
-                worker_id, "scroll", name, shard_id,
+            page, _ = self._read_shard(
+                state, shard_id, "scroll", name, shard_id,
                 offset_id=offset_id, limit=limit + 1, flt=flt,
                 with_payload=with_payload, with_vector=with_vector,
             )
@@ -850,12 +1136,18 @@ class Cluster:
         return collect(self)
 
     def flush_wals(self, name: str) -> None:
-        """Force group-commit buffered WAL records out on every shard replica."""
+        """Force group-commit buffered WAL records out on every shard replica.
+
+        Best-effort: a replica that is down simply misses the flush (its WAL
+        will replay on recovery), so dead workers do not fail the call."""
         name, state = self._resolve(name)
         for shard_id, holders in state.plan.assignments.items():
             for worker_id in holders:
                 if worker_id in self._workers:
-                    self.transport.call(worker_id, "flush_wal", name, shard_id)
+                    try:
+                        self._call_with_retry(worker_id, "flush_wal", name, shard_id)
+                    except TransportError:
+                        continue
 
     def build_index(self, name: str, kind: str = "hnsw") -> dict[str, list[int]]:
         """Deferred index build on every shard replica (§3.3).
@@ -879,25 +1171,33 @@ class Cluster:
         return built
 
     def optimize(self, name: str) -> None:
+        """Best-effort optimize on every live shard replica."""
         name, state = self._resolve(name)
         for shard_id, holders in state.plan.assignments.items():
             for worker_id in holders:
                 if worker_id in self._workers:
-                    self.transport.call(worker_id, "optimize", name, shard_id)
+                    try:
+                        self._call_with_retry(worker_id, "optimize", name, shard_id)
+                    except TransportError:
+                        continue
 
     def create_payload_index(self, name: str, key: str, *, kind: str = "keyword") -> None:
+        """Best-effort payload-index creation on every live shard replica."""
         name, state = self._resolve(name)
         for shard_id, holders in state.plan.assignments.items():
             for worker_id in holders:
                 if worker_id in self._workers:
-                    self.transport.call(
-                        worker_id, "create_payload_index", name, shard_id, key, kind=kind
-                    )
+                    try:
+                        self._call_with_retry(
+                            worker_id, "create_payload_index", name, shard_id,
+                            key, kind=kind,
+                        )
+                    except TransportError:
+                        continue
 
     def info(self, name: str) -> list[CollectionInfo]:
         name, state = self._resolve(name)
         infos = []
         for shard_id in range(state.plan.shard_number):
-            worker_id = self._live_holder(state, shard_id)
-            infos.append(self.transport.call(worker_id, "info", name, shard_id))
+            infos.append(self._read_shard(state, shard_id, "info", name, shard_id))
         return infos

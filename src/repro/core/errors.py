@@ -22,6 +22,7 @@ __all__ = [
     "TransportError",
     "WorkerUnavailableError",
     "NoReplicaAvailableError",
+    "RequestTimeoutError",
     "ClusterConfigError",
     "SnapshotError",
 ]
@@ -98,6 +99,22 @@ class NoReplicaAvailableError(TransportError):
     def __init__(self, shard_id: int):
         super().__init__(f"no live replica for shard {shard_id}")
         self.shard_id = shard_id
+
+
+class RequestTimeoutError(TransportError):
+    """A transport call exceeded its retry policy's per-call timeout.
+
+    The underlying call may still complete on the worker; timeouts are a
+    *client-side* bound, so callers must only retry idempotent operations.
+    """
+
+    def __init__(self, worker_id: str, method: str, timeout_s: float):
+        super().__init__(
+            f"call {method!r} to worker {worker_id!r} timed out after {timeout_s}s"
+        )
+        self.worker_id = worker_id
+        self.method = method
+        self.timeout_s = timeout_s
 
 
 class ClusterConfigError(VectorDBError):

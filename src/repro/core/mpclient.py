@@ -85,13 +85,29 @@ class ParallelClientPool:
 
     def _partition_by_worker(self, points: Sequence[PointStruct]
                              ) -> dict[str, list[PointStruct]]:
-        """Split the stream so each client feeds its own worker's primary shards."""
+        """Split the stream so each client feeds its own worker's primary shards.
+
+        Failure-aware: a shard whose primary is dead (or breaker-open) is
+        routed to its next live replica, so one downed worker does not stall
+        that partition of the upload.  The grouping only picks which client
+        *carries* the points — the cluster still fans each write out to the
+        full replica chain.
+        """
+        from .errors import NoReplicaAvailableError
+
         state = self.cluster._state(self.collection)  # noqa: SLF001 - same package
         by_worker: dict[str, list[PointStruct]] = {}
+        holder_for: dict[int, str] = {}
         for p in points:
             shard_id = state.router.shard_for(p.id)
-            primary = state.plan.primary_for(shard_id)
-            by_worker.setdefault(primary, []).append(p)
+            holder = holder_for.get(shard_id)
+            if holder is None:
+                try:
+                    holder = self.cluster._live_holder(state, shard_id)  # noqa: SLF001
+                except NoReplicaAvailableError:
+                    holder = state.plan.primary_for(shard_id)
+                holder_for[shard_id] = holder
+            by_worker.setdefault(holder, []).append(p)
         return by_worker
 
     def upload(self, points: Sequence[PointStruct], *, batch_size: int = 32,

@@ -20,6 +20,7 @@ __all__ = [
     "WorkerTelemetry",
     "FanoutTelemetry",
     "IngestTelemetry",
+    "FailoverTelemetry",
     "TelemetrySnapshot",
     "collect",
 ]
@@ -154,6 +155,40 @@ class IngestTelemetry:
         )
 
 
+@dataclass(frozen=True)
+class FailoverTelemetry:
+    """Failure-handling counters (from :class:`~.failover.FailoverStats`).
+
+    ``retries`` counts re-attempts against the *same* worker (transient
+    faults); ``failovers`` counts lanes re-issued to a *different* replica;
+    ``degraded_queries`` counts reads served with ``allow_partial`` after
+    total replica loss of some shard.  ``breaker_state`` is the current
+    per-worker circuit-breaker state (not a counter, so ``minus`` keeps the
+    later value).
+    """
+
+    retries: int = 0
+    failovers: int = 0
+    timeouts: int = 0
+    degraded_queries: int = 0
+    breaker_opens: int = 0
+    breaker_half_opens: int = 0
+    breaker_closes: int = 0
+    breaker_state: tuple[tuple[str, str], ...] = ()
+
+    def minus(self, earlier: "FailoverTelemetry") -> "FailoverTelemetry":
+        return FailoverTelemetry(
+            retries=self.retries - earlier.retries,
+            failovers=self.failovers - earlier.failovers,
+            timeouts=self.timeouts - earlier.timeouts,
+            degraded_queries=self.degraded_queries - earlier.degraded_queries,
+            breaker_opens=self.breaker_opens - earlier.breaker_opens,
+            breaker_half_opens=self.breaker_half_opens - earlier.breaker_half_opens,
+            breaker_closes=self.breaker_closes - earlier.breaker_closes,
+            breaker_state=self.breaker_state,
+        )
+
+
 @dataclass
 class TelemetrySnapshot:
     """All workers' counters, plus cluster-level aggregates."""
@@ -161,6 +196,7 @@ class TelemetrySnapshot:
     workers: dict[str, WorkerTelemetry] = field(default_factory=dict)
     fanout: FanoutTelemetry = field(default_factory=FanoutTelemetry)
     ingest: IngestTelemetry = field(default_factory=IngestTelemetry)
+    failover: FailoverTelemetry = field(default_factory=FailoverTelemetry)
     #: Aggregated over every shard-collection's last parallel build pass:
     #: pool utilization is ``busy / (wall * workers)``.
     build_wall_seconds: float = 0.0
@@ -241,6 +277,7 @@ class TelemetrySnapshot:
                 out.workers[wid] = now
         out.fanout = self.fanout.minus(earlier.fanout)
         out.ingest = self.ingest.minus(earlier.ingest)
+        out.failover = self.failover.minus(earlier.failover)
         out.build_wall_seconds = self.build_wall_seconds - earlier.build_wall_seconds
         out.build_busy_seconds = self.build_busy_seconds - earlier.build_busy_seconds
         out.build_pool_workers = self.build_pool_workers
@@ -269,6 +306,19 @@ def collect(cluster: Cluster) -> TelemetrySnapshot:
         total_width=ing.total_width,
         max_width=ing.max_width,
         shard_seconds=tuple(sorted(ing.shard_seconds.items())),
+    )
+    fo = cluster.failover_stats
+    snapshot.failover = FailoverTelemetry(
+        retries=fo.retries,
+        failovers=fo.failovers,
+        timeouts=fo.timeouts,
+        degraded_queries=fo.degraded_queries,
+        breaker_opens=fo.breaker_opens,
+        breaker_half_opens=fo.breaker_half_opens,
+        breaker_closes=fo.breaker_closes,
+        breaker_state=tuple(
+            sorted((wid, state.value) for wid, state in cluster.health.states().items())
+        ),
     )
     for worker in cluster.workers():
         distance_computations = 0

@@ -42,6 +42,10 @@ def estimate_payload_bytes(obj: Any) -> int:
         return 0
     if isinstance(obj, np.ndarray):
         return int(obj.nbytes)
+    if isinstance(obj, np.generic):
+        # numpy scalars (np.float32(x), np.int64(x), ...) carry their exact
+        # wire width; without this they fell through to the 16-byte default.
+        return int(obj.dtype.itemsize)
     if isinstance(obj, (bytes, bytearray)):
         return len(obj)
     if isinstance(obj, str):
@@ -52,11 +56,31 @@ def estimate_payload_bytes(obj: Any) -> int:
         return 8
     if isinstance(obj, dict):
         return sum(estimate_payload_bytes(k) + estimate_payload_bytes(v) for k, v in obj.items())
-    if isinstance(obj, (list, tuple, set)):
+    if isinstance(obj, (list, tuple, set, frozenset)):
         return sum(estimate_payload_bytes(x) for x in obj)
+    total = 0
+    counted = False
     if hasattr(obj, "__dict__"):
-        return estimate_payload_bytes(vars(obj))
-    return 16
+        total += estimate_payload_bytes(vars(obj))
+        counted = True
+    # ``__slots__`` classes (slotted dataclasses included) have no
+    # ``__dict__``; walk the slots of the whole MRO so their fields are
+    # counted instead of charging the opaque 16-byte default.
+    seen: set[str] = set()
+    for klass in type(obj).__mro__:
+        slots = getattr(klass, "__slots__", ())
+        if isinstance(slots, str):
+            slots = (slots,)
+        for slot in slots:
+            if slot in seen or slot in ("__dict__", "__weakref__"):
+                continue
+            seen.add(slot)
+            counted = True
+            try:
+                total += estimate_payload_bytes(getattr(obj, slot))
+            except AttributeError:
+                continue  # slot declared but never assigned
+    return total if counted else 16
 
 
 class Transport:
@@ -162,8 +186,20 @@ class InstrumentedTransport(Transport):
 class FaultInjectingTransport(Transport):
     """Deterministic fault injection for failure-handling tests.
 
-    ``fail_workers`` makes specific workers unreachable; ``fail_every``
-    raises on every Nth call (N>=2), exercising retry paths.
+    ``fail_workers`` makes specific workers fail their calls; ``fail_every``
+    raises on every Nth call (N>=2), exercising retry paths; ``set_delay``
+    adds per-worker latency, exercising per-call timeouts.
+
+    ``advertise_failures`` controls whether :meth:`is_reachable` *reports*
+    failed workers as down.  ``True`` (default) models a membership service
+    with instant failure detection; ``False`` models the HPC reality the
+    paper runs in — a preempted node simply stops answering, so the
+    coordinator only discovers the death when a mid-flight call raises.
+    The chaos harness uses ``False`` to force real failover paths.
+
+    All mutators and readers take ``self._lock``: the cluster's thread-pool
+    fan-out calls :meth:`call`/:meth:`is_reachable` concurrently with the
+    chaos harness killing and healing workers.
     """
 
     def __init__(
@@ -172,30 +208,51 @@ class FaultInjectingTransport(Transport):
         *,
         fail_workers: set[str] | None = None,
         fail_every: int | None = None,
+        advertise_failures: bool = True,
     ):
         if fail_every is not None and fail_every < 2:
             raise ValueError("fail_every must be >= 2 (1 would fail every call)")
         self.inner = inner
         self.fail_workers = set(fail_workers or ())
         self.fail_every = fail_every
+        self.advertise_failures = advertise_failures
+        self.delays: dict[str, float] = {}
         self._counter = 0
         self._lock = threading.Lock()
 
     def fail_worker(self, worker_id: str) -> None:
-        self.fail_workers.add(worker_id)
+        with self._lock:
+            self.fail_workers.add(worker_id)
 
     def heal_worker(self, worker_id: str) -> None:
-        self.fail_workers.discard(worker_id)
+        with self._lock:
+            self.fail_workers.discard(worker_id)
+
+    def set_delay(self, worker_id: str, seconds: float | None) -> None:
+        """Inject ``seconds`` of latency into every call to the worker
+        (``None`` removes the delay)."""
+        with self._lock:
+            if seconds is None:
+                self.delays.pop(worker_id, None)
+            else:
+                self.delays[worker_id] = seconds
 
     def is_reachable(self, worker_id: str) -> bool:
-        return worker_id not in self.fail_workers and self.inner.is_reachable(worker_id)
+        with self._lock:
+            if self.advertise_failures and worker_id in self.fail_workers:
+                return False
+        return self.inner.is_reachable(worker_id)
 
     def call(self, worker_id: str, method: str, *args, **kwargs):
-        if worker_id in self.fail_workers:
-            raise WorkerUnavailableError(worker_id)
         with self._lock:
+            failed = worker_id in self.fail_workers
+            delay = self.delays.get(worker_id, 0.0)
             self._counter += 1
             count = self._counter
+        if delay > 0:
+            time.sleep(delay)  # outside the lock so calls still overlap
+        if failed:
+            raise WorkerUnavailableError(worker_id)
         if self.fail_every is not None and count % self.fail_every == 0:
             raise TransportError(f"injected fault on call #{count} ({method})")
         return self.inner.call(worker_id, method, *args, **kwargs)

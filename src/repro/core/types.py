@@ -38,6 +38,7 @@ __all__ = [
     "ScoredPoint",
     "SearchRequest",
     "SearchParams",
+    "SearchResult",
     "UpdateResult",
     "UpdateStatus",
     "CollectionInfo",
@@ -278,12 +279,49 @@ class SearchRequest:
     with_payload: bool = False
     with_vector: bool = False
     score_threshold: float | None = None
+    #: Degraded-read opt-in: when every replica of some shard is down, a
+    #: cluster search returns the hits from the shards that *did* answer
+    #: (flagged on the :class:`SearchResult`) instead of raising
+    #: ``NoReplicaAvailableError``.
+    allow_partial: bool = False
 
     def as_array(self, dtype=np.float32) -> np.ndarray:
         vec = np.asarray(self.vector, dtype=dtype)
         if vec.ndim != 1:
             raise ValueError(f"query vector must be 1-D, got shape {vec.shape}")
         return vec
+
+
+class SearchResult(list):
+    """Search hits plus degraded-read metadata.
+
+    A plain ``list`` of :class:`ScoredPoint` (fully backwards compatible)
+    that additionally records how many of the shards the query *should*
+    have covered actually answered.  ``shards_answered < shards_total``
+    marks a degraded read served under partial replica loss
+    (``SearchRequest.allow_partial``).
+    """
+
+    __slots__ = ("shards_total", "shards_answered")
+
+    def __init__(self, hits=(), *, shards_total: int = 0,
+                 shards_answered: int | None = None):
+        super().__init__(hits)
+        self.shards_total = shards_total
+        self.shards_answered = (
+            shards_total if shards_answered is None else shards_answered
+        )
+
+    @property
+    def degraded(self) -> bool:
+        return self.shards_answered < self.shards_total
+
+    def __repr__(self):
+        flag = ", degraded" if self.degraded else ""
+        return (
+            f"SearchResult({list.__repr__(self)}, "
+            f"shards={self.shards_answered}/{self.shards_total}{flag})"
+        )
 
 
 class UpdateStatus(str, enum.Enum):

@@ -253,3 +253,12 @@ class Worker:
 
     def ping(self) -> str:
         return self.worker_id
+
+    def healthcheck(self) -> dict:
+        """Cheap liveness probe used by the cluster's circuit breaker.
+
+        Deliberately touches no shard data (no locks beyond a dict size),
+        so a probe cannot stall behind a heavy query — the half-open
+        breaker uses it to decide whether to re-admit this worker.
+        """
+        return {"worker_id": self.worker_id, "shards": len(self._shards)}

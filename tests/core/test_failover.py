@@ -1,0 +1,170 @@
+"""Unit tests for the failure-handling primitives (`repro.core.failover`)."""
+
+import pytest
+
+from repro.core.failover import (
+    BreakerState,
+    FailoverStats,
+    HealthTracker,
+    RetryPolicy,
+)
+
+
+class FakeClock:
+    def __init__(self, t: float = 0.0):
+        self.t = t
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+
+# -- RetryPolicy --------------------------------------------------------------
+
+
+class TestRetryPolicy:
+    def test_backoff_is_deterministic(self):
+        p = RetryPolicy()
+        assert p.backoff_s(1, key="w0:search") == p.backoff_s(1, key="w0:search")
+        assert p.backoff_s(2, key="w0:search") == p.backoff_s(2, key="w0:search")
+
+    def test_backoff_grows_exponentially_within_jitter(self):
+        p = RetryPolicy(base_backoff_s=0.01, backoff_multiplier=2.0,
+                        max_backoff_s=10.0, jitter_fraction=0.25)
+        for retry, nominal in ((1, 0.01), (2, 0.02), (3, 0.04)):
+            b = p.backoff_s(retry, key="k")
+            assert nominal * 0.75 <= b <= nominal * 1.25
+
+    def test_backoff_capped_at_max(self):
+        p = RetryPolicy(base_backoff_s=0.1, backoff_multiplier=10.0,
+                        max_backoff_s=0.5, jitter_fraction=0.0)
+        assert p.backoff_s(5) == 0.5
+
+    def test_jitter_varies_by_key_and_retry(self):
+        p = RetryPolicy(base_backoff_s=0.1, max_backoff_s=0.1)
+        values = {p.backoff_s(1, key="a"), p.backoff_s(1, key="b"),
+                  p.backoff_s(2, key="a")}
+        assert len(values) == 3  # splitmix64 spreads keys/retries apart
+
+    def test_zero_jitter_is_exact(self):
+        p = RetryPolicy(base_backoff_s=0.01, jitter_fraction=0.0)
+        assert p.backoff_s(1) == 0.01
+        assert p.backoff_s(2) == 0.02
+
+    def test_retry_zero_is_free(self):
+        assert RetryPolicy().backoff_s(0) == 0.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_attempts": 0},
+            {"base_backoff_s": -1.0},
+            {"jitter_fraction": 1.5},
+            {"timeout_s": 0.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+
+# -- HealthTracker -----------------------------------------------------------
+
+
+class TestHealthTracker:
+    def test_starts_closed_and_admits(self):
+        h = HealthTracker()
+        assert h.state("w0") is BreakerState.CLOSED
+        assert h.admit("w0")
+
+    def test_opens_at_consecutive_failure_threshold(self):
+        h = HealthTracker(failure_threshold=3)
+        h.record_failure("w0")
+        h.record_failure("w0")
+        assert h.state("w0") is BreakerState.CLOSED
+        h.record_failure("w0")
+        assert h.state("w0") is BreakerState.OPEN
+        assert not h.admit("w0")
+
+    def test_success_resets_consecutive_count(self):
+        h = HealthTracker(failure_threshold=2)
+        h.record_failure("w0")
+        h.record_success("w0")
+        h.record_failure("w0")
+        assert h.state("w0") is BreakerState.CLOSED  # never 2 in a row
+
+    def test_half_open_after_cooldown_admits_one_probe(self):
+        clock = FakeClock()
+        h = HealthTracker(failure_threshold=1, reset_timeout_s=1.0, clock=clock)
+        h.record_failure("w0")
+        assert not h.admit("w0")
+        clock.advance(1.0)
+        assert h.admit("w0")  # the probe
+        assert h.state("w0") is BreakerState.HALF_OPEN
+        assert not h.admit("w0")  # only one probe in flight
+
+    def test_probe_success_closes(self):
+        clock = FakeClock()
+        h = HealthTracker(failure_threshold=1, reset_timeout_s=1.0, clock=clock)
+        h.record_failure("w0")
+        clock.advance(1.0)
+        assert h.admit("w0")
+        h.record_success("w0")
+        assert h.state("w0") is BreakerState.CLOSED
+        assert h.admit("w0")
+
+    def test_probe_failure_reopens_and_restarts_cooldown(self):
+        clock = FakeClock()
+        h = HealthTracker(failure_threshold=1, reset_timeout_s=1.0, clock=clock)
+        h.record_failure("w0")
+        clock.advance(1.0)
+        assert h.admit("w0")
+        h.record_failure("w0")
+        assert h.state("w0") is BreakerState.OPEN
+        clock.advance(0.5)
+        assert not h.admit("w0")  # cooldown restarted at the probe failure
+        clock.advance(0.5)
+        assert h.admit("w0")
+
+    def test_transitions_feed_stats(self):
+        clock = FakeClock()
+        stats = FailoverStats()
+        h = HealthTracker(failure_threshold=1, reset_timeout_s=1.0,
+                          clock=clock, stats=stats)
+        h.record_failure("w0")          # -> OPEN
+        clock.advance(1.0)
+        h.admit("w0")                   # -> HALF_OPEN
+        h.record_success("w0")          # -> CLOSED
+        assert stats.breaker_opens == 1
+        assert stats.breaker_half_opens == 1
+        assert stats.breaker_closes == 1
+
+    def test_forget_drops_state(self):
+        h = HealthTracker(failure_threshold=1)
+        h.record_failure("w0")
+        h.forget("w0")
+        assert h.state("w0") is BreakerState.CLOSED
+        assert "w0" not in h.states()
+
+    def test_workers_are_independent(self):
+        h = HealthTracker(failure_threshold=1)
+        h.record_failure("w0")
+        assert h.state("w0") is BreakerState.OPEN
+        assert h.state("w1") is BreakerState.CLOSED
+
+
+# -- FailoverStats ------------------------------------------------------------
+
+
+class TestFailoverStats:
+    def test_counters(self):
+        s = FailoverStats()
+        s.record_retry()
+        s.record_failover(3)
+        s.record_timeout()
+        s.record_degraded()
+        assert (s.retries, s.failovers, s.timeouts, s.degraded_queries) == (1, 3, 1, 1)
+        s.reset()
+        assert (s.retries, s.failovers, s.timeouts, s.degraded_queries) == (0, 0, 0, 0)

@@ -81,6 +81,42 @@ class TestCollect:
         assert snap.imbalance() == 1.0
 
 
+class TestFailoverTelemetry:
+    def test_failover_counters_surface(self):
+        from repro.core.transport import FaultInjectingTransport, LocalTransport
+        from repro.core.worker import Worker
+
+        faulty = FaultInjectingTransport(LocalTransport(), advertise_failures=False)
+        cluster = Cluster(faulty)
+        for i in range(3):
+            cluster.add_worker(Worker(f"w{i}"))
+        cluster.create_collection(
+            CollectionConfig(
+                "c", VectorParams(size=DIM, distance=Distance.COSINE),
+                optimizer=OptimizerConfig(indexing_threshold=0),
+                replication_factor=2,
+            )
+        )
+        cluster.upsert("c", points(60))
+        before = collect(cluster)
+        faulty.fail_worker("w1")
+        for _ in range(4):
+            cluster.search("c", SearchRequest(vector=np.ones(DIM), limit=5))
+        delta = collect(cluster).diff(before)
+        assert delta.failover.failovers > 0
+        assert delta.failover.breaker_opens >= 1
+        assert dict(delta.failover.breaker_state)["w1"] == "open"
+
+    def test_healthy_cluster_zero_failover_counters(self):
+        cluster = make_cluster()
+        cluster.upsert("c", points(50))
+        cluster.search("c", SearchRequest(vector=np.ones(DIM), limit=5))
+        snap = collect(cluster)
+        assert snap.failover.failovers == 0
+        assert snap.failover.retries == 0
+        assert snap.failover.degraded_queries == 0
+
+
 class TestSaturationReproduction:
     def test_single_worker_build_saturates_node(self):
         """§3.3 profiling: 'a single worker already utilizes 90-97% of the

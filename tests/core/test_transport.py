@@ -73,6 +73,41 @@ class TestEstimatePayloadBytes:
 
         assert estimate_payload_bytes(Obj()) >= 16
 
+    def test_numpy_scalars_use_itemsize(self):
+        # Regression: numpy scalars fell through to the 16-byte default.
+        assert estimate_payload_bytes(np.float32(1.5)) == 4
+        assert estimate_payload_bytes(np.float64(1.5)) == 8
+        assert estimate_payload_bytes(np.int64(7)) == 8
+        assert estimate_payload_bytes(np.int8(7)) == 1
+
+    def test_slots_object_counts_fields(self):
+        # Regression: __slots__ classes have no __dict__ and were charged
+        # the opaque 16-byte default regardless of their contents.
+        class Slotted:
+            __slots__ = ("vec", "tag")
+
+            def __init__(self):
+                self.vec = np.zeros(8, dtype=np.float32)  # 32 bytes
+                self.tag = "abcd"  # 4 bytes
+
+        assert estimate_payload_bytes(Slotted()) == 36
+
+    def test_slots_inheritance_and_unset_slots(self):
+        class Base:
+            __slots__ = ("a",)
+
+        class Child(Base):
+            __slots__ = ("b",)
+
+            def __init__(self):
+                self.a = 1  # 8 bytes
+                # b declared but never assigned: skipped, not an error
+
+        assert estimate_payload_bytes(Child()) == 8
+
+    def test_frozenset_counted_as_container(self):
+        assert estimate_payload_bytes(frozenset({1, 2})) == 16
+
 
 class TestInstrumentedTransport:
     def test_records_bytes_and_calls(self):
