@@ -44,8 +44,21 @@ from repro.core.errors import NoReplicaAvailableError
 from repro.core.failover import BreakerState, HealthTracker, RetryPolicy
 from repro.core.transport import FaultInjectingTransport, LocalTransport
 from repro.core.worker import Worker
+from repro.obs.benchreport import BenchReport
 
 SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+#: Accumulated across tests; written as BENCH_fault.json at module teardown
+#: (``make bench-fault-smoke`` leaves it at the repo root for CI artifacts).
+REPORT = BenchReport(phase="fault")
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _write_bench_report():
+    yield
+    if REPORT.throughput or REPORT.checks:
+        REPORT.write(root=REPO_ROOT)
 
 DIM = 32
 N_POINTS = 240 if SMOKE else 1200
@@ -124,13 +137,23 @@ def test_rf2_kill_heal_mid_sweep_bit_identical():
         result = cluster.search("chaos", SearchRequest(vector=q, limit=LIMIT))
         assert not result.degraded
         got.append([(h.id, h.score) for h in result])
-    assert got == expected
+    assert REPORT.check("rf2_outage_bit_identical", got == expected)
 
-    delta = cluster.telemetry().diff(before).failover
-    assert delta.failovers > 0
-    assert delta.breaker_opens >= 1
-    assert delta.breaker_closes >= 1
+    after = cluster.telemetry()
+    delta = after.diff(before).failover
+    assert REPORT.check("failovers_engaged", delta.failovers > 0)
+    assert REPORT.check("breaker_opened", delta.breaker_opens >= 1)
+    assert REPORT.check("breaker_closed_after_heal", delta.breaker_closes >= 1)
     assert cluster.health.state("w1") is BreakerState.CLOSED
+
+    # Machine-readable outcome: query latency through the outage plus the
+    # failover counters the chaos run actually exercised.
+    for name, summary in after.latency_summary().items():
+        REPORT.add_latency(name, summary)
+    REPORT.add_fanout(**cluster.failover_stats.snapshot())
+    REPORT.add_throughput(
+        "queries_total", float(len(queries))
+    )
 
 
 def test_rf1_degrades_gracefully_never_crashes():
@@ -165,8 +188,11 @@ def test_rf1_degrades_gracefully_never_crashes():
             except NoReplicaAvailableError:
                 strict_raises += 1
             # anything else propagates and fails the test
-    assert degraded_seen == len(queries) - len(queries) // 2
-    assert strict_raises == len(queries) // 2
+    assert REPORT.check(
+        "rf1_partial_degrades_strict_raises",
+        degraded_seen == len(queries) - len(queries) // 2
+        and strict_raises == len(queries) // 2,
+    )
     assert healthy_totals == {cluster._state("chaos").plan.shard_number}
     assert cluster.failover_stats.degraded_queries == degraded_seen
 

@@ -38,10 +38,23 @@ from repro.core.client import SyncClient
 from repro.core.cluster import Cluster
 from repro.core.transport import InstrumentedTransport, LocalTransport
 from repro.core.types import WalConfig
+from repro.obs.benchreport import BenchReport
 
 from conftest import BENCH_DIM
 
 SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+#: Accumulated across tests; written as BENCH_insert.json at module teardown
+#: (``make bench-insert-smoke`` leaves it at the repo root for CI artifacts).
+REPORT = BenchReport(phase="insert")
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _write_bench_report():
+    yield
+    if REPORT.throughput or REPORT.checks:
+        REPORT.write(root=REPO_ROOT)
 
 #: Scale knobs: (points, rpc latency seconds, timing asserts enabled).
 N_POINTS = 192 if SMOKE else 1024
@@ -134,21 +147,43 @@ def test_insertion_2x_parallel_columnar_vs_serial_seed_path(data, queries, tmp_p
         cluster.flush_wals("ins")
         return cluster
 
+    t0 = time.perf_counter()
     serial = serial_ingest()
+    t_serial_once = time.perf_counter() - t0
+    t0 = time.perf_counter()
     parallel = parallel_ingest()
+    t_parallel_once = time.perf_counter() - t0
     assert serial.count("ins") == parallel.count("ins") == len(data)
-    assert _hit_keys(serial, queries) == _hit_keys(parallel, queries)
+    identical = _hit_keys(serial, queries) == _hit_keys(parallel, queries)
+    assert REPORT.check("parallel_columnar_bit_identical", identical)
 
     # WAL telemetry: group commit must have collapsed flushes.
     snap = parallel.telemetry()
     assert snap.total_wal_appends >= len(data) // batch_size
-    assert snap.total_wal_flushes < snap.total_wal_appends or snap.total_wal_appends <= 4
+    assert REPORT.check(
+        "wal_group_commit_collapsed_flushes",
+        snap.total_wal_flushes < snap.total_wal_appends or snap.total_wal_appends <= 4,
+    )
+
+    # Feed the machine-readable report: single-run throughput (valid in
+    # smoke too), cluster-side upsert latency histogram, fan-out shape.
+    REPORT.add_throughput("serial_seed_pps", len(data) / t_serial_once)
+    REPORT.add_throughput("parallel_columnar_pps", len(data) / t_parallel_once)
+    for name, summary in snap.latency_summary().items():
+        REPORT.add_latency(name, summary)
+    REPORT.add_fanout(**{k: v for k, v in parallel.ingest_stats.snapshot().items()
+                         if k != "shard_seconds"})
+    REPORT.extra["wal"] = {
+        "appends": snap.total_wal_appends,
+        "flushes": snap.total_wal_flushes,
+    }
 
     if TIMING_ASSERTS:
         # Each timed run ingests into a fresh cluster with its own WAL dir.
         t_serial = _best_of(lambda: serial_ingest().close(), repeats=2)
         t_parallel = _best_of(lambda: parallel_ingest().close(), repeats=2)
-        assert t_parallel * 2 <= t_serial, (
+        REPORT.extra["speedup_parallel_vs_serial"] = t_serial / t_parallel
+        assert REPORT.check("parallel_2x_serial", t_parallel * 2 <= t_serial), (
             f"parallel columnar ingest {t_parallel * 1e3:.0f}ms vs serial "
             f"seed path {t_serial * 1e3:.0f}ms — expected >=2x"
         )
@@ -172,6 +207,7 @@ def test_figure2_batch_size_sweep(data, queries):
 
         wall = _best_of(ingest, repeats=1)
         throughput[batch_size] = n / wall
+        REPORT.add_throughput(f"columnar_pps_batch{batch_size}", n / wall)
         hits = _hit_keys(cluster, queries)
         if reference is None:
             reference = hits

@@ -303,6 +303,45 @@ def test_compiled_hnsw_not_slower_than_dict_form(hnsw_collection, query_vectors)
     )
 
 
+def test_disabled_tracing_overhead_under_5pct(bench_points, query_vectors):
+    """Acceptance: instrumentation is always compiled in, so its *disabled*
+    cost must stay <=5% of the hot query path.  Differencing two noisy
+    end-to-end A/B timings cannot resolve sub-percent overheads, so bound it
+    directly: measure one no-op span cycle (the exact code every
+    instrumented site runs when tracing is off), multiply by a generous
+    per-query span-site count, and compare against real query latency."""
+    from repro.obs.trace import get_tracer
+
+    tracer = get_tracer()
+    assert not tracer.enabled  # benches run with the global no-op tracer
+
+    cluster = _mk_cluster(bench_points, latency_s=0.0)
+    cluster.build_index("micro")
+    req = SearchRequest(vector=query_vectors[0], limit=10)
+    per_query = (
+        _best_of(lambda: [cluster.search("micro", req) for _ in range(20)], repeats=5)
+        / 20
+    )
+
+    n = 50_000
+    t0 = time.perf_counter()
+    for _ in range(n):
+        with tracer.span("noop"):
+            pass
+    noop_cycle = (time.perf_counter() - t0) / n
+
+    # One 4-worker search crosses well under 32 span sites (cluster.search,
+    # cluster.fanout, then rpc + transport + worker + segment per worker);
+    # 32 is the generous ceiling the acceptance criterion budgets for.
+    span_sites = 32
+    overhead = span_sites * noop_cycle
+    assert overhead <= 0.05 * per_query, (
+        f"disabled tracing would cost {overhead * 1e6:.1f}us of a "
+        f"{per_query * 1e6:.1f}us query ({100 * overhead / per_query:.2f}%) — "
+        "the no-op span path has regressed"
+    )
+
+
 @pytest.mark.skipif(
     (os.cpu_count() or 1) < 4, reason="CPU-parallel build speedup needs >=4 cores"
 )

@@ -6,6 +6,7 @@ Usage::
     python -m repro.bench table3          # one experiment
     python -m repro.bench --json          # machine-readable results
     python -m repro.bench --json figure5  # one experiment as JSON
+    python -m repro.bench --reports       # also write BENCH_<phase>.json files
 """
 
 from __future__ import annotations
@@ -13,7 +14,7 @@ from __future__ import annotations
 import json
 import sys
 
-from .harness import EXPERIMENTS, SYNTHESES, run_experiment
+from .harness import EXPERIMENTS, SYNTHESES, run_experiment, write_phase_reports
 
 
 def _to_json(result) -> dict:
@@ -30,13 +31,16 @@ def _to_json(result) -> dict:
 
 def main(argv: list[str]) -> int:
     as_json = "--json" in argv
+    write_reports = "--reports" in argv
     targets = [a for a in argv if not a.startswith("--")] or (
         list(EXPERIMENTS) + list(SYNTHESES)
     )
     failed = 0
     json_out = []
+    results = {}
     for eid in targets:
         result = run_experiment(eid)
+        results[eid] = result
         if as_json:
             json_out.append(_to_json(result))
         else:
@@ -46,6 +50,9 @@ def main(argv: list[str]) -> int:
             failed += 1
     if as_json:
         print(json.dumps(json_out, indent=2))
+    if write_reports:
+        for phase, path in write_phase_reports(results).items():
+            print(f"wrote {phase} phase report: {path}", file=sys.stderr)
     if failed:
         print(f"{failed} experiment(s) had failing shape checks", file=sys.stderr)
     return 1 if failed else 0

@@ -9,8 +9,9 @@ path.
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Callable, Mapping
 
+from ..obs.benchreport import BenchReport
 from .experiments import (
     figure2_insertion_tuning,
     figure3_index_build,
@@ -23,7 +24,14 @@ from .experiments import (
 )
 from .report import ExperimentResult
 
-__all__ = ["EXPERIMENTS", "SYNTHESES", "run_experiment", "run_all"]
+__all__ = [
+    "EXPERIMENTS",
+    "SYNTHESES",
+    "PHASE_FOR_EXPERIMENT",
+    "run_experiment",
+    "run_all",
+    "write_phase_reports",
+]
 
 #: one entry per table/figure of the paper's evaluation
 EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
@@ -40,6 +48,48 @@ EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
 SYNTHESES: dict[str, Callable[[], ExperimentResult]] = {
     "workflow": workflow_end_to_end.run,
 }
+
+
+#: Which of the paper's four phases each experiment measures.  Table 1 is a
+#: feature matrix (no timing) and the workflow synthesis spans every phase,
+#: so neither contributes to a single phase report.
+PHASE_FOR_EXPERIMENT: dict[str, str] = {
+    "table2": "embed",
+    "figure2": "insert",
+    "table3": "insert",
+    "figure3": "index",
+    "figure4": "query",
+    "figure5": "query",
+}
+
+
+def write_phase_reports(
+    results: Mapping[str, ExperimentResult], *, root: str | None = None
+) -> dict[str, str]:
+    """Fold experiment results into one ``BENCH_<phase>.json`` per phase.
+
+    Each experiment's shape checks land in the phase report's ``checks``
+    (prefixed with the experiment id) and its rendered rows in ``extra``,
+    so a CI artifact diff shows both *whether* the paper's trends held and
+    *what* the regenerated numbers were.  Returns ``{phase: path}``.
+    """
+    reports: dict[str, BenchReport] = {}
+    for eid, result in results.items():
+        phase = PHASE_FOR_EXPERIMENT.get(eid)
+        if phase is None:
+            continue
+        report = reports.setdefault(phase, BenchReport(phase=phase))
+        for name, passed in result.checks.items():
+            report.check(f"{eid}.{name}", passed)
+        report.extra[eid] = {
+            "title": result.title,
+            "headers": list(result.headers),
+            "rows": [[str(c) for c in row] for row in result.rows],
+            "notes": list(result.notes),
+        }
+    return {
+        phase: report.write(root=root) for phase, report in sorted(reports.items())
+    }
 
 
 def run_experiment(experiment_id: str) -> ExperimentResult:

@@ -20,13 +20,15 @@ The underlying cluster call is executed in a single-thread executor so that
 from __future__ import annotations
 
 import asyncio
-import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Sequence
 
 import numpy as np
 
+from ..obs.clock import monotonic
+from ..obs.trace import get_tracer
 from .client import BatchTimings, chunk
 from .cluster import Cluster
 from .types import PointStruct, ScoredPoint, SearchParams, SearchRequest
@@ -94,33 +96,52 @@ class AsyncClient:
         loop = asyncio.get_running_loop()
         semaphore = asyncio.Semaphore(concurrency)
         report = AsyncRunReport(total_s=0.0, batches=0, concurrency=concurrency)
-        start = time.perf_counter()
+        tracer = get_tracer()
+        root = tracer.span(
+            "client.upload",
+            {"points": len(points), "batch_size": batch_size,
+             "concurrency": concurrency, "async": True}
+            if tracer.enabled else None,
+        )
+        root.__enter__()
+        ctx = tracer.current_context()
+        start = monotonic()
+
+        def traced_upsert(wire) -> None:
+            # Executor threads have empty span stacks; re-parent under the
+            # upload root captured on the event-loop thread.
+            with tracer.activate(ctx):
+                self.cluster.upsert(self.collection, wire)
 
         async def send(batch) -> None:
             # CPU-bound conversion: runs on the event loop, serialized.
-            t0 = time.perf_counter()
-            wire = [
-                PointStruct(
-                    id=p.id,
-                    vector=np.ascontiguousarray(p.as_array()),
-                    payload=dict(p.payload) if p.payload else None,
-                )
-                for p in batch
-            ]
-            t1 = time.perf_counter()
+            t0 = monotonic()
+            with tracer.activate(ctx), tracer.span("client.convert"):
+                wire = [
+                    PointStruct(
+                        id=p.id,
+                        vector=np.ascontiguousarray(p.as_array()),
+                        payload=dict(p.payload) if p.payload else None,
+                    )
+                    for p in batch
+                ]
+            t1 = monotonic()
             async with semaphore:
-                t2 = time.perf_counter()
+                t2 = monotonic()
                 await loop.run_in_executor(
-                    self._executor, self.cluster.upsert, self.collection, wire
+                    self._executor, partial(traced_upsert, wire)
                 )
-                t3 = time.perf_counter()
+                t3 = monotonic()
             report.timings.convert.append(t1 - t0)
             report.timings.request.append(t3 - t2)
             report.await_times.append(t3 - t2)
             report.batches += 1
 
-        await asyncio.gather(*(send(b) for b in chunk(points, batch_size)))
-        report.total_s = time.perf_counter() - start
+        try:
+            await asyncio.gather(*(send(b) for b in chunk(points, batch_size)))
+        finally:
+            root.__exit__(None, None, None)
+        report.total_s = monotonic() - start
         report.timings.wall = report.total_s
         return report
 
@@ -151,29 +172,45 @@ class AsyncClient:
         report = AsyncRunReport(total_s=0.0, batches=0, concurrency=concurrency)
         batches = list(chunk(list(vectors), batch_size))
         results: list[list[list[ScoredPoint]]] = [None] * len(batches)  # type: ignore[list-item]
-        start = time.perf_counter()
+        tracer = get_tracer()
+        root = tracer.span(
+            "client.search_many",
+            {"batches": len(batches), "batch_size": batch_size,
+             "concurrency": concurrency, "async": True}
+            if tracer.enabled else None,
+        )
+        root.__enter__()
+        ctx = tracer.current_context()
+        start = monotonic()
+
+        def traced_search_batch(requests):
+            with tracer.activate(ctx):
+                return self.cluster.search_batch(self.collection, requests)
 
         async def run(idx: int, batch) -> None:
-            t0 = time.perf_counter()
+            t0 = monotonic()
             requests = [
                 SearchRequest(vector=v, limit=limit, params=params or SearchParams(),
                               allow_partial=allow_partial)
                 for v in batch
             ]
-            t1 = time.perf_counter()
+            t1 = monotonic()
             async with semaphore:
-                t2 = time.perf_counter()
+                t2 = monotonic()
                 results[idx] = await loop.run_in_executor(
-                    self._executor, self.cluster.search_batch, self.collection, requests
+                    self._executor, partial(traced_search_batch, requests)
                 )
-                t3 = time.perf_counter()
+                t3 = monotonic()
             report.timings.convert.append(t1 - t0)
             report.timings.request.append(t3 - t2)
             report.await_times.append(t3 - t2)
             report.batches += 1
 
-        await asyncio.gather(*(run(i, b) for i, b in enumerate(batches)))
-        report.total_s = time.perf_counter() - start
+        try:
+            await asyncio.gather(*(run(i, b) for i, b in enumerate(batches)))
+        finally:
+            root.__exit__(None, None, None)
+        report.total_s = monotonic() - start
         report.timings.wall = report.total_s
         flat = [hits for batch in results for hits in batch]
         return flat, report

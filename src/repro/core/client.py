@@ -13,13 +13,14 @@ behind the paper's Amdahl's-law analysis (§3.2: 45.64 ms conversion vs
 
 from __future__ import annotations
 
-import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
 import numpy as np
 
+from ..obs.clock import monotonic
+from ..obs.trace import get_tracer
 from .batch import Batch
 from .cluster import Cluster
 from .types import PointStruct, ScoredPoint, SearchParams, SearchRequest
@@ -113,16 +114,23 @@ class SyncClient:
 
     def upload(self, points: Sequence[PointStruct], *, batch_size: int = 32) -> int:
         """Upload points in batches; returns the number uploaded."""
+        tracer = get_tracer()
         uploaded = 0
-        for batch in chunk(points, batch_size):
-            t0 = time.perf_counter()
-            wire = self._convert_batch(batch)
-            t1 = time.perf_counter()
-            self.cluster.upsert(self.collection, wire)
-            t2 = time.perf_counter()
-            self.upload_timings.convert.append(t1 - t0)
-            self.upload_timings.request.append(t2 - t1)
-            uploaded += len(batch)
+        with tracer.span(
+            "client.upload",
+            {"points": len(points), "batch_size": batch_size}
+            if tracer.enabled else None,
+        ):
+            for batch in chunk(points, batch_size):
+                t0 = monotonic()
+                with tracer.span("client.convert"):
+                    wire = self._convert_batch(batch)
+                t1 = monotonic()
+                self.cluster.upsert(self.collection, wire)
+                t2 = monotonic()
+                self.upload_timings.convert.append(t1 - t0)
+                self.upload_timings.request.append(t2 - t1)
+                uploaded += len(batch)
         return uploaded
 
     def upload_pipelined(
@@ -144,35 +152,47 @@ class SyncClient:
         wire).  Timings land in :attr:`upload_timings` with ``wall`` set so
         the achieved overlap can be read off directly.
         """
+        tracer = get_tracer()
         uploaded = 0
-        start = time.perf_counter()
+        start = monotonic()
 
-        def timed_request(wire) -> float:
-            r0 = time.perf_counter()
-            if columnar:
-                self.cluster.upsert_columnar(self.collection, wire)
-            else:
-                self.cluster.upsert(self.collection, wire)
-            return time.perf_counter() - r0
-
-        with ThreadPoolExecutor(max_workers=1) as pool:
-            in_flight = None
-            for batch in chunk(points, batch_size):
-                t0 = time.perf_counter()
+        def timed_request(wire, ctx) -> float:
+            # The request thread starts with an empty span stack; re-parent
+            # it under the client.upload span captured at submit time.
+            r0 = monotonic()
+            with tracer.activate(ctx):
                 if columnar:
-                    wire = Batch.from_points(list(batch))
+                    self.cluster.upsert_columnar(self.collection, wire)
                 else:
-                    wire = self._convert_batch(batch)
-                self.upload_timings.convert.append(time.perf_counter() - t0)
-                # Draining the previous request *after* converting the next
-                # batch is what overlaps the two stages.
+                    self.cluster.upsert(self.collection, wire)
+            return monotonic() - r0
+
+        with tracer.span(
+            "client.upload",
+            {"points": len(points), "batch_size": batch_size,
+             "pipelined": True, "columnar": columnar}
+            if tracer.enabled else None,
+        ):
+            ctx = tracer.current_context()
+            with ThreadPoolExecutor(max_workers=1) as pool:
+                in_flight = None
+                for batch in chunk(points, batch_size):
+                    t0 = monotonic()
+                    with tracer.span("client.convert"):
+                        if columnar:
+                            wire = Batch.from_points(list(batch))
+                        else:
+                            wire = self._convert_batch(batch)
+                    self.upload_timings.convert.append(monotonic() - t0)
+                    # Draining the previous request *after* converting the
+                    # next batch is what overlaps the two stages.
+                    if in_flight is not None:
+                        self.upload_timings.request.append(in_flight.result())
+                    in_flight = pool.submit(timed_request, wire, ctx)
+                    uploaded += len(batch)
                 if in_flight is not None:
                     self.upload_timings.request.append(in_flight.result())
-                in_flight = pool.submit(timed_request, wire)
-                uploaded += len(batch)
-            if in_flight is not None:
-                self.upload_timings.request.append(in_flight.result())
-        self.upload_timings.wall += time.perf_counter() - start
+        self.upload_timings.wall += monotonic() - start
         return uploaded
 
     # -- query ------------------------------------------------------------------
@@ -198,19 +218,27 @@ class SyncClient:
         allow_partial: bool = False,
     ) -> list[list[ScoredPoint]]:
         """Run many queries in batches of ``batch_size`` (Figure 4's knob)."""
+        tracer = get_tracer()
         results: list[list[ScoredPoint]] = []
-        for batch in chunk(list(vectors), batch_size):
-            t0 = time.perf_counter()
-            requests = [
-                SearchRequest(vector=v, limit=limit, params=params or SearchParams(),
-                              allow_partial=allow_partial)
-                for v in batch
-            ]
-            t1 = time.perf_counter()
-            results.extend(self.cluster.search_batch(self.collection, requests))
-            t2 = time.perf_counter()
-            self.query_timings.convert.append(t1 - t0)
-            self.query_timings.request.append(t2 - t1)
+        vectors = list(vectors)
+        with tracer.span(
+            "client.search_many",
+            {"queries": len(vectors), "batch_size": batch_size}
+            if tracer.enabled else None,
+        ):
+            for batch in chunk(vectors, batch_size):
+                t0 = monotonic()
+                requests = [
+                    SearchRequest(vector=v, limit=limit,
+                                  params=params or SearchParams(),
+                                  allow_partial=allow_partial)
+                    for v in batch
+                ]
+                t1 = monotonic()
+                results.extend(self.cluster.search_batch(self.collection, requests))
+                t2 = monotonic()
+                self.query_timings.convert.append(t1 - t0)
+                self.query_timings.request.append(t2 - t1)
         return results
 
     # -- misc --------------------------------------------------------------------

@@ -40,6 +40,9 @@ from concurrent.futures import TimeoutError as FuturesTimeoutError
 from dataclasses import dataclass, field
 from typing import Any, Mapping, Sequence
 
+from ..obs.clock import monotonic
+from ..obs.metrics import MetricsRegistry
+from ..obs.trace import TraceContext, get_tracer
 from .errors import (
     ClusterConfigError,
     CollectionExistsError,
@@ -110,6 +113,20 @@ class FanoutStats:
                 self.worker_seconds.get(worker_id, 0.0) + seconds
             )
 
+    def snapshot(self) -> dict:
+        """Consistent copy of every counter, taken under the stats lock —
+        a concurrent ``record_fanout`` either lands wholly before or wholly
+        after this read, never half-applied."""
+        with self._lock:
+            return {
+                "fanouts": self.fanouts,
+                "total_calls": self.total_calls,
+                "max_width": self.max_width,
+                "total_width": self.total_width,
+                "wall_seconds": self.wall_seconds,
+                "worker_seconds": dict(self.worker_seconds),
+            }
+
     def reset(self) -> None:
         with self._lock:
             self.fanouts = 0
@@ -176,6 +193,21 @@ class IngestStats:
                 self.shard_seconds.get(shard_id, 0.0) + seconds
             )
 
+    def snapshot(self) -> dict:
+        """Consistent copy of every counter (see ``FanoutStats.snapshot``)."""
+        with self._lock:
+            return {
+                "upserts": self.upserts,
+                "deletes": self.deletes,
+                "points": self.points,
+                "bytes": self.bytes,
+                "wall_seconds": self.wall_seconds,
+                "fanouts": self.fanouts,
+                "total_width": self.total_width,
+                "max_width": self.max_width,
+                "shard_seconds": dict(self.shard_seconds),
+            }
+
     def reset(self) -> None:
         with self._lock:
             self.upserts = 0
@@ -208,6 +240,7 @@ class Cluster:
         max_fanout_threads: int | None = None,
         retry_policy: RetryPolicy | None = None,
         health: HealthTracker | None = None,
+        metrics: MetricsRegistry | None = None,
     ):
         self.transport = transport or LocalTransport()
         self._workers: dict[str, Worker] = {}
@@ -222,6 +255,12 @@ class Cluster:
         self.fanout_stats = FanoutStats()
         self.ingest_stats = IngestStats()
         self.failover_stats = FailoverStats()
+        self.metrics = metrics or MetricsRegistry()
+        # Hot-path histogram handles, resolved once (registry lookups lock).
+        self._hist_query = self.metrics.histogram("cluster.query_s")
+        self._hist_query_batch = self.metrics.histogram("cluster.query_batch_s")
+        self._hist_upsert = self.metrics.histogram("cluster.upsert_s")
+        self._hist_rpc = self.metrics.histogram("cluster.rpc_s")
         self.retry_policy = retry_policy or RetryPolicy()
         self.health = health or HealthTracker(stats=self.failover_stats)
         if self.health.stats is None:
@@ -304,12 +343,27 @@ class Cluster:
         assert last is not None
         raise last
 
-    def _timed_call(self, call: tuple):
-        t0 = time.perf_counter()
+    def _timed_call(self, call: tuple, ctx: TraceContext | None = None):
+        """One retried transport call, timed and traced.
+
+        ``ctx`` is the submitting thread's trace context: fan-out pool
+        threads have an empty span stack, so the rpc span re-parents under
+        it explicitly (``activate(None)`` is a no-op on the serial path,
+        where thread-local nesting already works).
+        """
+        tracer = get_tracer()
+        t0 = monotonic()
         try:
-            return self._call_with_retry(*call)
+            if tracer.enabled:
+                with tracer.activate(ctx):
+                    with tracer.span("rpc." + call[1], {"worker": call[0]}):
+                        return self._call_with_retry(*call)
+            else:
+                return self._call_with_retry(*call)
         finally:
-            self.fanout_stats.record_worker(call[0], time.perf_counter() - t0)
+            elapsed = monotonic() - t0
+            self.fanout_stats.record_worker(call[0], elapsed)
+            self._hist_rpc.observe(elapsed)
 
     def _fan_out(self, calls: list[tuple]) -> list:
         """Issue one transport call per worker, concurrently when allowed.
@@ -320,15 +374,21 @@ class Cluster:
         """
         if not calls:
             return []
+        tracer = get_tracer()
         width = self._fanout_width(len(calls))
-        t0 = time.perf_counter()
-        if width <= 1 or len(calls) == 1:
-            results = [self._timed_call(call) for call in calls]
-        else:
-            pool = self._fanout_pool(width)
-            futures = [pool.submit(self._timed_call, call) for call in calls]
-            results = [f.result() for f in futures]
-        self.fanout_stats.record_fanout(len(calls), time.perf_counter() - t0)
+        t0 = monotonic()
+        with tracer.span(
+            "cluster.fanout",
+            {"calls": len(calls), "width": width} if tracer.enabled else None,
+        ):
+            ctx = tracer.current_context()
+            if width <= 1 or len(calls) == 1:
+                results = [self._timed_call(call, ctx) for call in calls]
+            else:
+                pool = self._fanout_pool(width)
+                futures = [pool.submit(self._timed_call, call, ctx) for call in calls]
+                results = [f.result() for f in futures]
+        self.fanout_stats.record_fanout(len(calls), monotonic() - t0)
         return results
 
     def _fan_out_collect(self, calls: list[tuple]) -> list:
@@ -337,25 +397,33 @@ class Cluster:
         the failover read path re-issues only the failed lanes."""
         if not calls:
             return []
+        tracer = get_tracer()
+        ctx = None
 
         def guarded(call: tuple):
             try:
-                return self._timed_call(call)
+                return self._timed_call(call, ctx)
             except TransportError as exc:
                 return exc
 
         width = self._fanout_width(len(calls))
-        t0 = time.perf_counter()
-        if width <= 1 or len(calls) == 1:
-            results = [guarded(call) for call in calls]
-        else:
-            pool = self._fanout_pool(width)
-            futures = [pool.submit(guarded, call) for call in calls]
-            results = [f.result() for f in futures]
-        self.fanout_stats.record_fanout(len(calls), time.perf_counter() - t0)
+        t0 = monotonic()
+        with tracer.span(
+            "cluster.fanout",
+            {"calls": len(calls), "width": width} if tracer.enabled else None,
+        ):
+            ctx = tracer.current_context()
+            if width <= 1 or len(calls) == 1:
+                results = [guarded(call) for call in calls]
+            else:
+                pool = self._fanout_pool(width)
+                futures = [pool.submit(guarded, call) for call in calls]
+                results = [f.result() for f in futures]
+        self.fanout_stats.record_fanout(len(calls), monotonic() - t0)
         return results
 
-    def _run_shard_chain(self, shard_id: int, calls: list[tuple]):
+    def _run_shard_chain(self, shard_id: int, calls: list[tuple],
+                         ctx: TraceContext | None = None):
         """Write one shard: replicas are called in plan order (primary first)
         so replica logs stay identically ordered.
 
@@ -366,20 +434,27 @@ class Cluster:
         degrades to ``ACKNOWLEDGED``; if **no** replica accepts the write,
         the shard raises ``NoReplicaAvailableError``.
         """
-        t0 = time.perf_counter()
+        tracer = get_tracer()
+        t0 = monotonic()
         result = None
         ok = 0
         try:
-            for call in calls:
-                try:
-                    outcome = self._timed_call(call)
-                except TransportError:
-                    self.failover_stats.record_failover()
-                    continue
-                result = outcome
-                ok += 1
+            with tracer.activate(ctx):
+                with tracer.span(
+                    "cluster.shard_write",
+                    {"shard": shard_id, "replicas": len(calls)}
+                    if tracer.enabled else None,
+                ):
+                    for call in calls:
+                        try:
+                            outcome = self._timed_call(call)
+                        except TransportError:
+                            self.failover_stats.record_failover()
+                            continue
+                        result = outcome
+                        ok += 1
         finally:
-            self.ingest_stats.record_shard(shard_id, time.perf_counter() - t0)
+            self.ingest_stats.record_shard(shard_id, monotonic() - t0)
         if ok == 0:
             raise NoReplicaAvailableError(shard_id)
         if ok < len(calls) and isinstance(result, UpdateResult):
@@ -399,18 +474,28 @@ class Cluster:
             return []
         shards = sorted(shard_calls)
         total_calls = sum(len(c) for c in shard_calls.values())
+        tracer = get_tracer()
         width = self._fanout_width(len(shards))
-        t0 = time.perf_counter()
-        if width <= 1 or len(shards) == 1:
-            results = [self._run_shard_chain(s, shard_calls[s]) for s in shards]
-        else:
-            pool = self._fanout_pool(width)
-            futures = [
-                pool.submit(self._run_shard_chain, s, shard_calls[s]) for s in shards
-            ]
-            results = [f.result() for f in futures]
+        t0 = monotonic()
+        with tracer.span(
+            "cluster.fanout",
+            {"shards": len(shards), "calls": total_calls, "width": width}
+            if tracer.enabled else None,
+        ):
+            ctx = tracer.current_context()
+            if width <= 1 or len(shards) == 1:
+                results = [
+                    self._run_shard_chain(s, shard_calls[s], ctx) for s in shards
+                ]
+            else:
+                pool = self._fanout_pool(width)
+                futures = [
+                    pool.submit(self._run_shard_chain, s, shard_calls[s], ctx)
+                    for s in shards
+                ]
+                results = [f.result() for f in futures]
         self.fanout_stats.record_fanout(
-            len(shards), time.perf_counter() - t0, calls=total_calls
+            len(shards), monotonic() - t0, calls=total_calls
         )
         return results
 
@@ -675,14 +760,22 @@ class Cluster:
                 (worker_id, "upsert", name, shard_id, shard_points)
                 for worker_id in state.plan.workers_for(shard_id)
             ]
-        t0 = time.perf_counter()
-        results = self._write_fanout(shard_calls)
+        tracer = get_tracer()
+        t0 = monotonic()
+        with tracer.span(
+            "cluster.upsert",
+            {"collection": name, "points": len(points)}
+            if tracer.enabled else None,
+        ):
+            results = self._write_fanout(shard_calls)
+        wall = monotonic() - t0
         self.ingest_stats.record_write(
             points=len(points),
             nbytes=sum(p.as_array().nbytes for p in points),
             width=len(shard_calls),
-            wall=time.perf_counter() - t0,
+            wall=wall,
         )
+        self._hist_upsert.observe(wall)
         return self._aggregate_update(results)
 
     def upsert_columnar(self, name: str, batch) -> UpdateResult:
@@ -699,14 +792,22 @@ class Cluster:
                 (worker_id, "upsert_columnar", name, shard_id, sub)
                 for worker_id in state.plan.workers_for(shard_id)
             ]
-        t0 = time.perf_counter()
-        results = self._write_fanout(shard_calls)
+        tracer = get_tracer()
+        t0 = monotonic()
+        with tracer.span(
+            "cluster.upsert",
+            {"collection": name, "points": len(batch), "columnar": True}
+            if tracer.enabled else None,
+        ):
+            results = self._write_fanout(shard_calls)
+        wall = monotonic() - t0
         self.ingest_stats.record_write(
             points=len(batch),
             nbytes=batch.nbytes,
             width=len(shard_calls),
-            wall=time.perf_counter() - t0,
+            wall=wall,
         )
+        self._hist_upsert.observe(wall)
         return self._aggregate_update(results)
 
     def delete(self, name: str, point_ids: Sequence[PointId]) -> UpdateResult:
@@ -718,13 +819,19 @@ class Cluster:
                 (worker_id, "delete", name, shard_id, pids)
                 for worker_id in state.plan.workers_for(shard_id)
             ]
-        t0 = time.perf_counter()
-        results = self._write_fanout(shard_calls)
+        tracer = get_tracer()
+        t0 = monotonic()
+        with tracer.span(
+            "cluster.delete",
+            {"collection": name, "points": len(point_ids)}
+            if tracer.enabled else None,
+        ):
+            results = self._write_fanout(shard_calls)
         self.ingest_stats.record_write(
             points=len(point_ids),
             nbytes=0,
             width=len(shard_calls),
-            wall=time.perf_counter() - t0,
+            wall=monotonic() - t0,
             op="delete",
         )
         return self._aggregate_update(results)
@@ -914,18 +1021,30 @@ class Cluster:
         raising when a shard has no live replica left.
         """
         name, state = self._resolve(name)
-        shard_ids = self._query_shards(state, self._predicated_shards(state, request))
-        if not shard_ids:
-            # e.g. an empty HasId predicate: nothing to fan out to.
-            return SearchResult([], shards_total=0)
-        partials, answered = self._failover_read(
-            name, state, shard_ids, "search", request,
-            allow_partial=request.allow_partial,
-        )
-        hits = self._reduce(state, partials, request.limit)
-        return SearchResult(
-            hits, shards_total=len(shard_ids), shards_answered=len(answered)
-        )
+        tracer = get_tracer()
+        t0 = monotonic()
+        with tracer.span(
+            "cluster.search",
+            {"collection": name} if tracer.enabled else None,
+        ) as sp:
+            shard_ids = self._query_shards(
+                state, self._predicated_shards(state, request)
+            )
+            if not shard_ids:
+                # e.g. an empty HasId predicate: nothing to fan out to.
+                result = SearchResult([], shards_total=0)
+            else:
+                sp.set_attr("shards", len(shard_ids))
+                partials, answered = self._failover_read(
+                    name, state, shard_ids, "search", request,
+                    allow_partial=request.allow_partial,
+                )
+                hits = self._reduce(state, partials, request.limit)
+                result = SearchResult(
+                    hits, shards_total=len(shard_ids), shards_answered=len(answered)
+                )
+        self._hist_query.observe(monotonic() - t0)
+        return result
 
     def recommend(self, name: str, request) -> list[ScoredPoint]:
         """Distributed recommend: resolve examples, search, merge."""
@@ -1042,25 +1161,37 @@ class Cluster:
         requests = list(requests)
         if not requests:
             return []
-        only_shards = self._batch_predicated_shards(state, requests)
-        shard_ids = self._query_shards(state, only_shards)
-        if not shard_ids:
-            return [SearchResult([], shards_total=0) for _ in requests]
-        allow_partial = all(r.allow_partial for r in requests)
-        per_worker, answered = self._failover_read(
-            name, state, shard_ids, "search_batch", requests,
-            allow_partial=allow_partial,
-        )
-        out: list[SearchResult] = []
-        for qi, request in enumerate(requests):
-            partials = [worker_hits[qi] for worker_hits in per_worker]
-            out.append(
-                SearchResult(
-                    self._reduce(state, partials, request.limit),
-                    shards_total=len(shard_ids),
-                    shards_answered=len(answered),
-                )
+        tracer = get_tracer()
+        t0 = monotonic()
+        with tracer.span(
+            "cluster.search_batch",
+            {"collection": name, "requests": len(requests)}
+            if tracer.enabled else None,
+        ):
+            only_shards = self._batch_predicated_shards(state, requests)
+            shard_ids = self._query_shards(state, only_shards)
+            if not shard_ids:
+                return [SearchResult([], shards_total=0) for _ in requests]
+            allow_partial = all(r.allow_partial for r in requests)
+            per_worker, answered = self._failover_read(
+                name, state, shard_ids, "search_batch", requests,
+                allow_partial=allow_partial,
             )
+            out: list[SearchResult] = []
+            for qi, request in enumerate(requests):
+                partials = [worker_hits[qi] for worker_hits in per_worker]
+                out.append(
+                    SearchResult(
+                        self._reduce(state, partials, request.limit),
+                        shards_total=len(shard_ids),
+                        shards_answered=len(answered),
+                    )
+                )
+        wall = monotonic() - t0
+        self._hist_query_batch.observe(wall)
+        # Amortized per-query latency keeps cluster.query_s meaningful under
+        # batch workloads (the paper's Figures 4–5 report per-query numbers).
+        self._hist_query.observe(wall / len(requests))
         return out
 
     @staticmethod
@@ -1135,6 +1266,24 @@ class Cluster:
 
         return collect(self)
 
+    def reset_telemetry(self, *, workers: bool = True,
+                        histograms: bool = True) -> None:
+        """Zero the cluster-side counters.
+
+        Safe on a live cluster: every stats object is zeroed under the same
+        lock its ``record_*`` methods take, so a concurrent fan-out update
+        lands either wholly before or wholly after the reset — never into a
+        half-zeroed struct.
+        """
+        self.fanout_stats.reset()
+        self.ingest_stats.reset()
+        self.failover_stats.reset()
+        if workers:
+            for worker in self.workers():
+                worker.reset_stats()
+        if histograms:
+            self.metrics.reset()
+
     def flush_wals(self, name: str) -> None:
         """Force group-commit buffered WAL records out on every shard replica.
 
@@ -1164,7 +1313,13 @@ class Cluster:
                 if worker_id not in self._workers:
                     continue
                 calls.append((worker_id, "build_index", name, shard_id, kind))
-        reports = self._fan_out(calls)
+        tracer = get_tracer()
+        with tracer.span(
+            "cluster.build_index",
+            {"collection": name, "kind": kind, "calls": len(calls)}
+            if tracer.enabled else None,
+        ):
+            reports = self._fan_out(calls)
         built: dict[str, list[int]] = {}
         for call, report in zip(calls, reports):
             built.setdefault(call[0], []).extend(n for _, n in report.index_builds)

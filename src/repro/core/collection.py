@@ -21,6 +21,7 @@ from typing import Any, Mapping, Sequence
 
 import numpy as np
 
+from ..obs.trace import get_tracer
 from .errors import PointNotFoundError
 from .filters import Condition
 from .optimizer import OptimizerReport, SegmentOptimizer
@@ -441,23 +442,29 @@ class Collection:
         """Top-k search merged across all segments."""
         query = request.as_array()
         params = request.params or SearchParams()
+        tracer = get_tracer()
         per_segment: list[list[ScoredPoint]] = []
         for seg in self._segments:
             if len(seg) == 0:
                 continue
-            per_segment.append(
-                seg.search(
-                    query,
-                    request.limit,
-                    flt=request.filter,
-                    exact=params.exact,
-                    ef=params.hnsw_ef,
-                    nprobe=params.ivf_nprobe,
-                    with_payload=request.with_payload,
-                    with_vector=request.with_vector,
-                    score_threshold=request.score_threshold,
+            with tracer.span(
+                "segment.search",
+                {"segment": seg.segment_id, "points": len(seg)}
+                if tracer.enabled else None,
+            ):
+                per_segment.append(
+                    seg.search(
+                        query,
+                        request.limit,
+                        flt=request.filter,
+                        exact=params.exact,
+                        ef=params.hnsw_ef,
+                        nprobe=params.ivf_nprobe,
+                        with_payload=request.with_payload,
+                        with_vector=request.with_vector,
+                        score_threshold=request.score_threshold,
+                    )
                 )
-            )
         return self._merge_hits(per_segment, request.limit)
 
     def _merge_hits(

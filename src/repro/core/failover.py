@@ -135,6 +135,19 @@ class FailoverStats:
             elif state is BreakerState.CLOSED:
                 self.breaker_closes += 1
 
+    def snapshot(self) -> dict:
+        """Consistent copy of every counter, taken under the stats lock."""
+        with self._lock:
+            return {
+                "retries": self.retries,
+                "failovers": self.failovers,
+                "timeouts": self.timeouts,
+                "degraded_queries": self.degraded_queries,
+                "breaker_opens": self.breaker_opens,
+                "breaker_half_opens": self.breaker_half_opens,
+                "breaker_closes": self.breaker_closes,
+            }
+
     def reset(self) -> None:
         with self._lock:
             self.retries = 0

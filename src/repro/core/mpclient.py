@@ -20,13 +20,14 @@ thread for upload (the cluster object itself is not picklable/shared).
 
 from __future__ import annotations
 
-import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Mapping, Sequence
 
 import numpy as np
 
+from ..obs.clock import monotonic
+from ..obs.trace import get_tracer
 from .batch import Batch
 from .client import chunk
 from .cluster import Cluster
@@ -40,24 +41,37 @@ __all__ = [
 ]
 
 
-def convert_batch_worker(batch: list[tuple[int, list[float], dict | None]]
+def convert_batch_worker(batch: list[tuple[int, list[float], dict | None]],
+                         trace_ctx: Mapping[str, int] | None = None,
                          ) -> list[PointStruct]:
-    """Top-level conversion function (picklable for process pools)."""
-    return [
-        PointStruct(id=pid, vector=np.asarray(vec, dtype=np.float32), payload=payload)
-        for pid, vec, payload in batch
-    ]
+    """Top-level conversion function (picklable for process pools).
+
+    ``trace_ctx`` is a wire-form :class:`~repro.obs.trace.TraceContext` from
+    the submitting process.  Tracing degrades across the process boundary:
+    if this process has a recording tracer the conversion gets a fresh root
+    span carrying the parent's trace id; otherwise it is a no-op.  It never
+    crashes the conversion.
+    """
+    tracer = get_tracer()
+    with tracer.continue_trace(trace_ctx, "client.convert"):
+        return [
+            PointStruct(id=pid, vector=np.asarray(vec, dtype=np.float32), payload=payload)
+            for pid, vec, payload in batch
+        ]
 
 
-def convert_batch_arrays(batch: list[tuple[int, list[float], dict | None]]
+def convert_batch_arrays(batch: list[tuple[int, list[float], dict | None]],
+                         trace_ctx: Mapping[str, int] | None = None,
                          ) -> tuple[np.ndarray, np.ndarray, list[dict | None]]:
     """Columnar conversion for process pools: returns ``(ids, vectors,
     payloads)`` arrays so only dense buffers (not per-point objects) cross
-    the process boundary."""
-    ids = np.asarray([pid for pid, _, _ in batch], dtype=np.int64)
-    vectors = np.asarray([vec for _, vec, _ in batch], dtype=np.float32)
-    payloads = [payload for _, _, payload in batch]
-    return ids, vectors, payloads
+    the process boundary.  ``trace_ctx`` as in :func:`convert_batch_worker`."""
+    tracer = get_tracer()
+    with tracer.continue_trace(trace_ctx, "client.convert"):
+        ids = np.asarray([pid for pid, _, _ in batch], dtype=np.int64)
+        vectors = np.asarray([vec for _, vec, _ in batch], dtype=np.float32)
+        payloads = [payload for _, _, payload in batch]
+        return ids, vectors, payloads
 
 
 @dataclass
@@ -121,57 +135,79 @@ class ParallelClientPool:
         """
         by_worker = self._partition_by_worker(points)
         report = ParallelUploadReport(total_s=0.0, points=len(points), clients=len(by_worker))
+        tracer = get_tracer()
 
-        def client_run(worker_id: str, worker_points: list[PointStruct]) -> tuple[str, int, float]:
-            t0 = time.perf_counter()
+        def client_run(worker_id: str, worker_points: list[PointStruct],
+                       ctx) -> tuple[str, int, float]:
+            t0 = monotonic()
             n_batches = 0
-            if self.use_processes:
-                raw = [
-                    (p.id, p.as_array().tolist(), dict(p.payload) if p.payload else None)
-                    for p in worker_points
-                ]
-                with ProcessPoolExecutor(max_workers=1) as pool:
-                    for batch in chunk(raw, batch_size):
+            with tracer.activate(ctx), tracer.span(
+                "client.pool_client",
+                {"worker": worker_id, "points": len(worker_points)}
+                if tracer.enabled else None,
+            ):
+                inner_ctx = tracer.current_context()
+                wire_ctx = inner_ctx.to_wire() if inner_ctx is not None else None
+                if self.use_processes:
+                    raw = [
+                        (p.id, p.as_array().tolist(), dict(p.payload) if p.payload else None)
+                        for p in worker_points
+                    ]
+                    with ProcessPoolExecutor(max_workers=1) as pool:
+                        for batch in chunk(raw, batch_size):
+                            if columnar:
+                                ids, vectors, payloads = pool.submit(
+                                    convert_batch_arrays, list(batch), wire_ctx
+                                ).result()
+                                self.cluster.upsert_columnar(
+                                    self.collection,
+                                    Batch.from_arrays(ids, vectors, payloads),
+                                )
+                            else:
+                                wire = pool.submit(
+                                    convert_batch_worker, list(batch), wire_ctx
+                                ).result()
+                                self.cluster.upsert(self.collection, wire)
+                            n_batches += 1
+                else:
+                    for batch in chunk(worker_points, batch_size):
                         if columnar:
-                            ids, vectors, payloads = pool.submit(
-                                convert_batch_arrays, list(batch)
-                            ).result()
                             self.cluster.upsert_columnar(
-                                self.collection,
-                                Batch.from_arrays(ids, vectors, payloads),
+                                self.collection, Batch.from_points(list(batch))
                             )
                         else:
-                            wire = pool.submit(convert_batch_worker, list(batch)).result()
+                            wire = [
+                                PointStruct(
+                                    id=p.id,
+                                    vector=np.ascontiguousarray(p.as_array()),
+                                    payload=dict(p.payload) if p.payload else None,
+                                )
+                                for p in batch
+                            ]
                             self.cluster.upsert(self.collection, wire)
                         n_batches += 1
-            else:
-                for batch in chunk(worker_points, batch_size):
-                    if columnar:
-                        self.cluster.upsert_columnar(
-                            self.collection, Batch.from_points(list(batch))
-                        )
-                    else:
-                        wire = [
-                            PointStruct(
-                                id=p.id,
-                                vector=np.ascontiguousarray(p.as_array()),
-                                payload=dict(p.payload) if p.payload else None,
-                            )
-                            for p in batch
-                        ]
-                        self.cluster.upsert(self.collection, wire)
-                    n_batches += 1
-            return worker_id, n_batches, time.perf_counter() - t0
+            return worker_id, n_batches, monotonic() - t0
 
-        start = time.perf_counter()
-        if len(by_worker) == 1:
-            outcomes = [client_run(*next(iter(by_worker.items())))]
-        else:
-            with ThreadPoolExecutor(max_workers=len(by_worker)) as pool:
-                outcomes = list(
-                    pool.map(lambda kv: client_run(kv[0], kv[1]), by_worker.items())
-                )
-        report.total_s = time.perf_counter() - start
+        start = monotonic()
+        with tracer.span(
+            "client.pool_upload",
+            {"points": len(points), "clients": len(by_worker),
+             "batch_size": batch_size, "columnar": columnar,
+             "processes": self.use_processes}
+            if tracer.enabled else None,
+        ):
+            ctx = tracer.current_context()
+            if len(by_worker) == 1:
+                outcomes = [client_run(*next(iter(by_worker.items())), ctx)]
+            else:
+                with ThreadPoolExecutor(max_workers=len(by_worker)) as pool:
+                    outcomes = list(
+                        pool.map(
+                            lambda kv: client_run(kv[0], kv[1], ctx),
+                            by_worker.items(),
+                        )
+                    )
+        report.total_s = monotonic() - start
         for worker_id, n_batches, elapsed in outcomes:
             report.batches_per_client[worker_id] = n_batches
             report.per_client_s[worker_id] = elapsed

@@ -29,12 +29,12 @@ freely.
 from __future__ import annotations
 
 import os
-import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 
 import numpy as np
 
+from ..obs.clock import monotonic
 from .index import HnswIndex, make_index
 from .segment import Segment
 from .types import CollectionConfig
@@ -81,11 +81,11 @@ def resolve_worker_count(requested: int | None, n_tasks: int) -> int:
 
 def _build_one(segment: Segment, kind: str) -> tuple[object, float]:
     """Build (but do not install) an index for one segment."""
-    t0 = time.perf_counter()
+    t0 = monotonic()
     index = make_index(kind, segment._arena, segment.config)
     live = segment._ids.live_offsets()
     index.build(segment._arena.take(live), live)
-    return index, time.perf_counter() - t0
+    return index, monotonic() - t0
 
 
 def _build_arrays_in_subprocess(
@@ -101,13 +101,13 @@ def _build_arrays_in_subprocess(
     """
     from .storage import VectorArena
 
-    t0 = time.perf_counter()
+    t0 = monotonic()
     arena = VectorArena(rows.shape[1])
     if len(rows):
         arena.extend(rows)
     index = make_index(kind, arena, config)
     index.build(arena.take(live), live)
-    return index.to_arrays(), time.perf_counter() - t0
+    return index.to_arrays(), monotonic() - t0
 
 
 def build_segment_indexes(
@@ -128,7 +128,7 @@ def build_segment_indexes(
         return report
     workers = resolve_worker_count(max_workers, len(segments))
     report.workers = workers
-    t0 = time.perf_counter()
+    t0 = monotonic()
 
     if workers == 1:
         report.mode = "serial"
@@ -167,5 +167,5 @@ def build_segment_indexes(
                 seg.install_index(index, kind)
                 report.busy_seconds += took
 
-    report.wall_seconds = time.perf_counter() - t0
+    report.wall_seconds = monotonic() - t0
     return report

@@ -4,16 +4,30 @@ Aggregates the counters workers and indexes already maintain into one
 snapshot — the software-side equivalent of the profiling the paper leans
 on (§3.2's per-batch decomposition, §3.3's CPU saturation): vectors
 inserted, batches received, searches served, index builds with sizes, and
-distance computations per worker.
+distance computations per worker.  Since the observability subsystem
+landed, the snapshot also carries the cluster's latency histograms
+(``cluster.query_s`` / ``cluster.upsert_s`` / ``cluster.rpc_s``, p50/p95/p99
+via :class:`repro.obs.metrics.HistogramSnapshot`) and the tracer's span
+counters.
 
 ``TelemetrySnapshot.diff`` supports before/after measurement around a
-workload phase, which is how the benches use it.
+workload phase, which is how the benches use it; histograms diff through
+their bucket-wise ``minus``.
+
+Every mutable stats object is read through its ``snapshot()`` method, which
+copies the counters *under the same lock the hot-path updates take* — a
+``collect`` racing a live fan-out sees each stats struct either wholly
+before or wholly after any concurrent update, never half-applied (and
+likewise ``Cluster.reset_telemetry`` can zero them mid-flight without
+tearing a concurrent snapshot).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..obs.metrics import HistogramSnapshot
+from ..obs.trace import get_tracer
 from .cluster import Cluster
 
 __all__ = [
@@ -202,6 +216,13 @@ class TelemetrySnapshot:
     build_wall_seconds: float = 0.0
     build_busy_seconds: float = 0.0
     build_pool_workers: int = 0
+    #: Latency histograms from the cluster's metrics registry
+    #: (``cluster.query_s``, ``cluster.upsert_s``, ``cluster.rpc_s``, …).
+    histograms: dict[str, HistogramSnapshot] = field(default_factory=dict)
+    #: Spans currently buffered in the global tracer / span batches dropped
+    #: to the buffer cap (0/0 whenever tracing is disabled).
+    spans_recorded: int = 0
+    spans_dropped: int = 0
 
     @property
     def build_utilization(self) -> float:
@@ -267,6 +288,15 @@ class TelemetrySnapshot:
             return 1.0
         return max(loads) / (sum(loads) / len(loads))
 
+    def latency_summary(self) -> dict[str, dict]:
+        """p50/p95/p99 summaries (``HistogramSnapshot.as_dict``) per metric,
+        skipping empty histograms."""
+        return {
+            name: snap.as_dict()
+            for name, snap in sorted(self.histograms.items())
+            if snap.count
+        }
+
     def diff(self, earlier: "TelemetrySnapshot") -> "TelemetrySnapshot":
         """Counters accumulated since ``earlier`` (matching workers only)."""
         out = TelemetrySnapshot()
@@ -281,45 +311,54 @@ class TelemetrySnapshot:
         out.build_wall_seconds = self.build_wall_seconds - earlier.build_wall_seconds
         out.build_busy_seconds = self.build_busy_seconds - earlier.build_busy_seconds
         out.build_pool_workers = self.build_pool_workers
+        for name, snap in self.histograms.items():
+            before = earlier.histograms.get(name)
+            out.histograms[name] = snap.minus(before) if before is not None else snap
+        out.spans_recorded = self.spans_recorded - earlier.spans_recorded
+        out.spans_dropped = self.spans_dropped - earlier.spans_dropped
         return out
 
 
 def collect(cluster: Cluster) -> TelemetrySnapshot:
     """Snapshot the counters of every worker in the cluster."""
     snapshot = TelemetrySnapshot()
-    fs = cluster.fanout_stats
+    fs = cluster.fanout_stats.snapshot()
     snapshot.fanout = FanoutTelemetry(
-        fanouts=fs.fanouts,
-        calls=fs.total_calls,
-        max_width=fs.max_width,
-        total_width=fs.total_width,
-        wall_seconds=fs.wall_seconds,
+        fanouts=fs["fanouts"],
+        calls=fs["total_calls"],
+        max_width=fs["max_width"],
+        total_width=fs["total_width"],
+        wall_seconds=fs["wall_seconds"],
     )
-    ing = cluster.ingest_stats
+    ing = cluster.ingest_stats.snapshot()
     snapshot.ingest = IngestTelemetry(
-        upserts=ing.upserts,
-        deletes=ing.deletes,
-        points=ing.points,
-        bytes=ing.bytes,
-        wall_seconds=ing.wall_seconds,
-        fanouts=ing.fanouts,
-        total_width=ing.total_width,
-        max_width=ing.max_width,
-        shard_seconds=tuple(sorted(ing.shard_seconds.items())),
+        upserts=ing["upserts"],
+        deletes=ing["deletes"],
+        points=ing["points"],
+        bytes=ing["bytes"],
+        wall_seconds=ing["wall_seconds"],
+        fanouts=ing["fanouts"],
+        total_width=ing["total_width"],
+        max_width=ing["max_width"],
+        shard_seconds=tuple(sorted(ing["shard_seconds"].items())),
     )
-    fo = cluster.failover_stats
+    fo = cluster.failover_stats.snapshot()
     snapshot.failover = FailoverTelemetry(
-        retries=fo.retries,
-        failovers=fo.failovers,
-        timeouts=fo.timeouts,
-        degraded_queries=fo.degraded_queries,
-        breaker_opens=fo.breaker_opens,
-        breaker_half_opens=fo.breaker_half_opens,
-        breaker_closes=fo.breaker_closes,
+        retries=fo["retries"],
+        failovers=fo["failovers"],
+        timeouts=fo["timeouts"],
+        degraded_queries=fo["degraded_queries"],
+        breaker_opens=fo["breaker_opens"],
+        breaker_half_opens=fo["breaker_half_opens"],
+        breaker_closes=fo["breaker_closes"],
         breaker_state=tuple(
             sorted((wid, state.value) for wid, state in cluster.health.states().items())
         ),
     )
+    snapshot.histograms = cluster.metrics.snapshot_histograms()
+    tracer = get_tracer()
+    snapshot.spans_recorded = tracer.span_count
+    snapshot.spans_dropped = tracer.dropped_batches
     for worker in cluster.workers():
         distance_computations = 0
         indexed = 0
@@ -341,21 +380,22 @@ def collect(cluster: Cluster) -> TelemetrySnapshot:
                 if seg.index is not None:
                     distance_computations += seg.index.stats.distance_computations
                     indexed += len(seg)
+        wstats = worker.snapshot_stats()
         snapshot.workers[worker.worker_id] = WorkerTelemetry(
             worker_id=worker.worker_id,
             node_id=worker.node_id,
-            vectors_inserted=worker.stats.vectors_inserted,
-            batches_received=worker.stats.batches_received,
-            searches_served=worker.stats.searches_served,
-            queries_served=worker.stats.queries_served,
-            index_builds=tuple(worker.stats.index_builds),
+            vectors_inserted=wstats["vectors_inserted"],
+            batches_received=wstats["batches_received"],
+            searches_served=wstats["searches_served"],
+            queries_served=wstats["queries_served"],
+            index_builds=tuple(wstats["index_builds"]),
             distance_computations=distance_computations,
             indexed_vectors=indexed,
             points=points,
-            search_seconds=worker.stats.search_seconds,
-            build_seconds=worker.stats.build_seconds,
-            write_seconds=worker.stats.write_seconds,
-            bytes_ingested=worker.stats.bytes_ingested,
+            search_seconds=wstats["search_seconds"],
+            build_seconds=wstats["build_seconds"],
+            write_seconds=wstats["write_seconds"],
+            bytes_ingested=wstats["bytes_ingested"],
             wal_appends=wal_appends,
             wal_flushes=wal_flushes,
             wal_bytes=wal_bytes,

@@ -19,6 +19,7 @@ from typing import Any
 
 import numpy as np
 
+from ..obs.trace import get_tracer
 from .errors import TransportError, WorkerUnavailableError
 
 __all__ = [
@@ -176,8 +177,18 @@ class InstrumentedTransport(Transport):
         sent = estimate_payload_bytes(args) + estimate_payload_bytes(kwargs)
         if self.latency_s > 0:
             time.sleep(self.latency_s)
-        result = self.inner.call(worker_id, method, *args, **kwargs)
-        received = estimate_payload_bytes(result)
+        tracer = get_tracer()
+        if tracer.enabled:
+            with tracer.span(
+                "transport.call", {"worker": worker_id, "method": method}
+            ) as sp:
+                result = self.inner.call(worker_id, method, *args, **kwargs)
+                received = estimate_payload_bytes(result)
+                sp.set_attr("sent_bytes", sent)
+                sp.set_attr("received_bytes", received)
+        else:
+            result = self.inner.call(worker_id, method, *args, **kwargs)
+            received = estimate_payload_bytes(result)
         with self._lock:
             self.stats.record(method, sent, received)
         return result

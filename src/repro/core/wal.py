@@ -43,13 +43,14 @@ from __future__ import annotations
 import os
 import pickle
 import struct
-import time
 import zlib
 from dataclasses import dataclass
 from typing import Any, Iterator, Sequence
 
 import numpy as np
 
+from ..obs.clock import monotonic
+from ..obs.trace import get_tracer
 from .errors import WALCorruptionError
 
 __all__ = ["WalRecord", "WriteAheadLog", "COLUMNAR_UPSERT_OP"]
@@ -91,7 +92,7 @@ class WriteAheadLog:
         self._flush_every_n = flush_every_n
         self._flush_interval_s = flush_interval_s
         self._pending = 0
-        self._last_flush = time.perf_counter()
+        self._last_flush = monotonic()
         self._next_seq = 0
         # -- telemetry counters (ingest metrics read these) --
         self.append_count = 0
@@ -140,7 +141,7 @@ class WriteAheadLog:
             self.flush()
         elif (
             self._flush_interval_s is not None
-            and time.perf_counter() - self._last_flush >= self._flush_interval_s
+            and monotonic() - self._last_flush >= self._flush_interval_s
         ):
             self.flush()
 
@@ -148,19 +149,30 @@ class WriteAheadLog:
         """Push buffered appends to the OS (and disk, with fsync enabled)."""
         if self._fh.closed:
             return
-        self._fh.flush()
-        if self._sync:
-            os.fsync(self._fh.fileno())
+        tracer = get_tracer()
+        with tracer.span(
+            "wal.flush",
+            {"pending": self._pending} if tracer.enabled else None,
+        ):
+            self._fh.flush()
+            if self._sync:
+                os.fsync(self._fh.fileno())
         if self._pending:
             self.flush_count += 1
         self._pending = 0
-        self._last_flush = time.perf_counter()
+        self._last_flush = monotonic()
 
     def append(self, op: str, data: Any) -> WalRecord:
         """Append one pickled operation; durability follows the flush policy."""
-        record = WalRecord(seq=self._next_seq, op=op, data=data)
-        payload = pickle.dumps((record.op, record.data), protocol=pickle.HIGHEST_PROTOCOL)
-        self._write_frame(_MAGIC, (payload,))
+        tracer = get_tracer()
+        with tracer.span(
+            "wal.append", {"op": op} if tracer.enabled else None
+        ):
+            record = WalRecord(seq=self._next_seq, op=op, data=data)
+            payload = pickle.dumps(
+                (record.op, record.data), protocol=pickle.HIGHEST_PROTOCOL
+            )
+            self._write_frame(_MAGIC, (payload,))
         return record
 
     def append_columnar(
@@ -196,7 +208,13 @@ class WriteAheadLog:
         if has_payloads:
             parts.append(pickle.dumps(list(payloads), protocol=pickle.HIGHEST_PROTOCOL))
         seq = self._next_seq
-        self._write_frame(_MAGIC_COLUMNAR, parts)
+        tracer = get_tracer()
+        with tracer.span(
+            "wal.append",
+            {"op": COLUMNAR_UPSERT_OP, "points": int(ids.shape[0])}
+            if tracer.enabled else None,
+        ):
+            self._write_frame(_MAGIC_COLUMNAR, parts)
         return WalRecord(
             seq=seq,
             op=COLUMNAR_UPSERT_OP,

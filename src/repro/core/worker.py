@@ -17,10 +17,11 @@ computations, index build sizes) that the performance model reads.
 from __future__ import annotations
 
 import threading
-import time
 from dataclasses import dataclass, field
 from typing import Any, Mapping, Sequence
 
+from ..obs.clock import monotonic
+from ..obs.trace import get_tracer
 from .collection import Collection
 from .errors import BadRequestError, CollectionNotFoundError
 from .filters import Condition
@@ -57,6 +58,11 @@ class WorkerStats:
     bytes_ingested: int = 0
 
     def reset(self) -> None:
+        """Zero every counter.
+
+        Not thread-safe by itself: callers racing live RPCs must hold the
+        owning worker's stats lock — use :meth:`Worker.reset_stats`.
+        """
         self.vectors_inserted = 0
         self.batches_received = 0
         self.searches_served = 0
@@ -66,6 +72,21 @@ class WorkerStats:
         self.build_seconds = 0.0
         self.write_seconds = 0.0
         self.bytes_ingested = 0
+
+    def as_dict(self) -> dict:
+        """Plain-dict copy of the counters (caller must hold the lock if
+        the worker is live)."""
+        return {
+            "vectors_inserted": self.vectors_inserted,
+            "batches_received": self.batches_received,
+            "searches_served": self.searches_served,
+            "queries_served": self.queries_served,
+            "index_builds": list(self.index_builds),
+            "search_seconds": self.search_seconds,
+            "build_seconds": self.build_seconds,
+            "write_seconds": self.write_seconds,
+            "bytes_ingested": self.bytes_ingested,
+        }
 
 
 class Worker:
@@ -81,6 +102,20 @@ class Worker:
         self._stats_lock = threading.Lock()
         # (collection_name, shard_id) -> Collection
         self._shards: dict[tuple[str, int], Collection] = {}
+
+    # -- stats ---------------------------------------------------------------
+
+    def reset_stats(self) -> None:
+        """Zero the counters under the stats lock: a concurrent RPC's update
+        lands wholly before or wholly after the reset, never into a
+        half-zeroed struct (the race a bare ``stats.reset()`` allows)."""
+        with self._stats_lock:
+            self.stats.reset()
+
+    def snapshot_stats(self) -> dict:
+        """Consistent copy of the counters, taken under the stats lock."""
+        with self._stats_lock:
+            return self.stats.as_dict()
 
     # -- shard lifecycle -----------------------------------------------------
 
@@ -128,40 +163,60 @@ class Worker:
             self.create_shard(collection, shard_id, config)
         if points:
             self._shard(collection, shard_id).upsert(points)
-            self.stats.vectors_inserted += len(points)
+            with self._stats_lock:
+                self.stats.vectors_inserted += len(points)
         return len(points)
 
     # -- writes -------------------------------------------------------------
 
     def upsert(self, collection: str, shard_id: int, points: Sequence[PointStruct]):
-        t0 = time.perf_counter()
+        tracer = get_tracer()
+        t0 = monotonic()
         points = list(points)
-        result = self._shard(collection, shard_id).upsert(points)
+        with tracer.span(
+            "worker.upsert",
+            {"worker": self.worker_id, "shard": shard_id, "points": len(points)}
+            if tracer.enabled else None,
+        ):
+            result = self._shard(collection, shard_id).upsert(points)
         # The cluster fans writes for *different* shards of this worker out
         # concurrently, so the counters need the same lock the read path uses.
         with self._stats_lock:
             self.stats.vectors_inserted += len(points)
             self.stats.batches_received += 1
             self.stats.bytes_ingested += sum(p.as_array().nbytes for p in points)
-            self.stats.write_seconds += time.perf_counter() - t0
+            self.stats.write_seconds += monotonic() - t0
         return result
 
     def upsert_columnar(self, collection: str, shard_id: int, batch):
         """Columnar upsert of a routed sub-batch."""
-        t0 = time.perf_counter()
-        result = self._shard(collection, shard_id).upsert_columnar(batch)
+        tracer = get_tracer()
+        t0 = monotonic()
+        with tracer.span(
+            "worker.upsert",
+            {"worker": self.worker_id, "shard": shard_id, "points": len(batch),
+             "columnar": True}
+            if tracer.enabled else None,
+        ):
+            result = self._shard(collection, shard_id).upsert_columnar(batch)
         with self._stats_lock:
             self.stats.vectors_inserted += len(batch)
             self.stats.batches_received += 1
             self.stats.bytes_ingested += batch.nbytes
-            self.stats.write_seconds += time.perf_counter() - t0
+            self.stats.write_seconds += monotonic() - t0
         return result
 
     def delete(self, collection: str, shard_id: int, point_ids: Sequence[PointId]):
-        t0 = time.perf_counter()
-        result = self._shard(collection, shard_id).delete(list(point_ids))
+        tracer = get_tracer()
+        t0 = monotonic()
+        with tracer.span(
+            "worker.delete",
+            {"worker": self.worker_id, "shard": shard_id}
+            if tracer.enabled else None,
+        ):
+            result = self._shard(collection, shard_id).delete(list(point_ids))
         with self._stats_lock:
-            self.stats.write_seconds += time.perf_counter() - t0
+            self.stats.write_seconds += monotonic() - t0
         return result
 
     def flush_wal(self, collection: str, shard_id: int) -> None:
@@ -179,34 +234,47 @@ class Worker:
     def search(self, collection: str, shard_ids: Sequence[int], request: SearchRequest
                ) -> list[ScoredPoint]:
         """Search the given local shards and return merged local hits."""
-        t0 = time.perf_counter()
-        hits: list[ScoredPoint] = []
-        for shard_id in shard_ids:
-            shard_hits = self._shard(collection, shard_id).search(request)
-            for h in shard_hits:
-                h.shard_id = shard_id
-            hits.extend(shard_hits)
+        tracer = get_tracer()
+        t0 = monotonic()
+        with tracer.span(
+            "worker.search",
+            {"worker": self.worker_id, "shards": len(shard_ids)}
+            if tracer.enabled else None,
+        ):
+            hits: list[ScoredPoint] = []
+            for shard_id in shard_ids:
+                shard_hits = self._shard(collection, shard_id).search(request)
+                for h in shard_hits:
+                    h.shard_id = shard_id
+                hits.extend(shard_hits)
         with self._stats_lock:
             self.stats.searches_served += 1
             self.stats.queries_served += 1
-            self.stats.search_seconds += time.perf_counter() - t0
+            self.stats.search_seconds += monotonic() - t0
         return hits
 
     def search_batch(
         self, collection: str, shard_ids: Sequence[int], requests: Sequence[SearchRequest]
     ) -> list[list[ScoredPoint]]:
-        t0 = time.perf_counter()
-        out: list[list[ScoredPoint]] = [[] for _ in requests]
-        for shard_id in shard_ids:
-            shard = self._shard(collection, shard_id)
-            for qi, hits in enumerate(shard.search_batch(list(requests))):
-                for h in hits:
-                    h.shard_id = shard_id
-                out[qi].extend(hits)
+        tracer = get_tracer()
+        t0 = monotonic()
+        with tracer.span(
+            "worker.search_batch",
+            {"worker": self.worker_id, "shards": len(shard_ids),
+             "requests": len(requests)}
+            if tracer.enabled else None,
+        ):
+            out: list[list[ScoredPoint]] = [[] for _ in requests]
+            for shard_id in shard_ids:
+                shard = self._shard(collection, shard_id)
+                for qi, hits in enumerate(shard.search_batch(list(requests))):
+                    for h in hits:
+                        h.shard_id = shard_id
+                    out[qi].extend(hits)
         with self._stats_lock:
             self.stats.searches_served += 1
             self.stats.queries_served += len(requests)
-            self.stats.search_seconds += time.perf_counter() - t0
+            self.stats.search_seconds += monotonic() - t0
         return out
 
     def retrieve(self, collection: str, shard_id: int, point_id: PointId,
@@ -233,10 +301,16 @@ class Worker:
 
     def build_index(self, collection: str, shard_id: int, kind: str = "hnsw"
                     ) -> OptimizerReport:
-        t0 = time.perf_counter()
-        report = self._shard(collection, shard_id).build_index(kind)
+        tracer = get_tracer()
+        t0 = monotonic()
+        with tracer.span(
+            "worker.build_index",
+            {"worker": self.worker_id, "shard": shard_id, "kind": kind}
+            if tracer.enabled else None,
+        ):
+            report = self._shard(collection, shard_id).build_index(kind)
         with self._stats_lock:
-            self.stats.build_seconds += time.perf_counter() - t0
+            self.stats.build_seconds += monotonic() - t0
             for _, n in report.index_builds:
                 self.stats.index_builds.append((collection, shard_id, n))
         return report

@@ -1,0 +1,73 @@
+"""repro.obs — observability for the whole stack.
+
+The paper is a measurement study; this package is the measuring
+instrument, rebuilt inside the reproduction so every experiment carries
+its own attribution:
+
+* :mod:`repro.obs.clock` — the one monotonic clock every duration uses;
+* :mod:`repro.obs.trace` — span tracer with thread-local context that
+  propagates across the cluster's fan-out pools and (degraded) across
+  process boundaries; disabled by default with an allocation-free no-op
+  path;
+* :mod:`repro.obs.metrics` — counters, gauges, and fixed-bucket latency
+  histograms with p50/p95/p99 and associative merge;
+* :mod:`repro.obs.export` — Chrome trace-event JSON (Perfetto), JSON
+  lines, Prometheus text;
+* :mod:`repro.obs.phases` — timers mapping runs onto the paper's four
+  phases (embed → insert → index → query);
+* :mod:`repro.obs.benchreport` — the ``BENCH_<phase>.json`` writer the
+  benchmark suites use to leave a machine-readable perf trajectory.
+
+Quickstart — trace one query and open it in Perfetto::
+
+    from repro.obs import trace, export
+
+    tracer = trace.configure(enabled=True)
+    cluster.search("papers", request)          # instrumented end to end
+    export.write_chrome_trace("query.trace.json", tracer.drain())
+"""
+
+from . import benchreport, clock, export, metrics, phases, trace
+from .benchreport import BenchReport, load_bench_report, validate_bench_report
+from .clock import monotonic
+from .export import chrome_trace, prometheus_text, write_chrome_trace
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    HistogramSnapshot,
+    MetricsRegistry,
+    get_registry,
+)
+from .phases import PAPER_PHASES, PhaseRecorder
+from .trace import SpanRecord, TraceContext, Tracer, configure, get_tracer, set_tracer
+
+__all__ = [
+    "benchreport",
+    "clock",
+    "export",
+    "metrics",
+    "phases",
+    "trace",
+    "BenchReport",
+    "load_bench_report",
+    "validate_bench_report",
+    "monotonic",
+    "chrome_trace",
+    "prometheus_text",
+    "write_chrome_trace",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HistogramSnapshot",
+    "MetricsRegistry",
+    "get_registry",
+    "PAPER_PHASES",
+    "PhaseRecorder",
+    "SpanRecord",
+    "TraceContext",
+    "Tracer",
+    "configure",
+    "get_tracer",
+    "set_tracer",
+]

@@ -1,0 +1,198 @@
+"""Machine-readable benchmark reports: the repo's perf trajectory.
+
+Every benchmark suite that measures something worth tracking over time
+writes a ``BENCH_<phase>.json`` file at the repo root through this module.
+The schema is deliberately small and stable — CI uploads the files as
+artifacts, and "did PR N make inserts slower?" becomes a diff of two JSON
+files instead of archaeology over pytest logs:
+
+* ``schema`` — version tag (``repro.obs.benchreport/v1``), checked by
+  :func:`validate_bench_report`;
+* ``phase`` — one of the paper's phases (embed / insert / index / query)
+  or a suite name (micro, fault);
+* ``meta`` — run metadata (interpreter, platform, smoke flag, …);
+* ``throughput`` — name → number (points/s, queries/s, …);
+* ``latency_s`` — name → histogram summary (count/mean/p50/p95/p99/…),
+  usually from :meth:`repro.obs.metrics.HistogramSnapshot.as_dict`;
+* ``fanout`` — broadcast-shape numbers (widths, per-worker seconds);
+* ``checks`` — name → bool, the suite's acceptance asserts;
+* ``extra`` — anything suite-specific.
+
+Reports are written atomically (tmp + rename) so a crashed bench never
+leaves a torn JSON file for CI to choke on.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from .metrics import HistogramSnapshot
+
+__all__ = [
+    "SCHEMA",
+    "BenchReport",
+    "validate_bench_report",
+    "load_bench_report",
+    "default_report_path",
+]
+
+SCHEMA = "repro.obs.benchreport/v1"
+
+#: Top-level keys every report must carry, with their required types.
+_REQUIRED: tuple[tuple[str, type], ...] = (
+    ("schema", str),
+    ("phase", str),
+    ("generated_unix_s", (int, float)),
+    ("meta", dict),
+    ("throughput", dict),
+    ("latency_s", dict),
+    ("fanout", dict),
+    ("checks", dict),
+    ("extra", dict),
+)
+
+#: Keys a latency summary must carry (HistogramSnapshot.as_dict's shape).
+_LATENCY_KEYS = ("count", "mean", "p50", "p95", "p99")
+
+
+def default_report_path(phase: str, root: str | None = None) -> str:
+    """``<root>/BENCH_<phase>.json`` (root defaults to the CWD)."""
+    return os.path.join(root or ".", f"BENCH_{phase}.json")
+
+
+def _run_meta() -> dict[str, Any]:
+    return {
+        "python": sys.version.split()[0],
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count() or 0,
+        "smoke": os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0"),
+    }
+
+
+@dataclass
+class BenchReport:
+    """Builder for one ``BENCH_<phase>.json`` file."""
+
+    phase: str
+    meta: dict[str, Any] = field(default_factory=_run_meta)
+    throughput: dict[str, float] = field(default_factory=dict)
+    latency_s: dict[str, dict] = field(default_factory=dict)
+    fanout: dict[str, Any] = field(default_factory=dict)
+    checks: dict[str, bool] = field(default_factory=dict)
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    # -- builders ------------------------------------------------------------
+
+    def add_throughput(self, name: str, value: float) -> "BenchReport":
+        self.throughput[name] = float(value)
+        return self
+
+    def add_latency(self, name: str,
+                    summary: "HistogramSnapshot | Mapping[str, Any]") -> "BenchReport":
+        """Attach a latency summary (histogram snapshot or ready-made dict)."""
+        if isinstance(summary, HistogramSnapshot):
+            self.latency_s[name] = summary.as_dict()
+        else:
+            self.latency_s[name] = dict(summary)
+        return self
+
+    def add_latency_samples(self, name: str, samples_s) -> "BenchReport":
+        """Convenience: summarize raw duration samples through a histogram."""
+        from .metrics import Histogram
+
+        h = Histogram(name)
+        h.observe_many(float(s) for s in samples_s)
+        return self.add_latency(name, h.snapshot())
+
+    def add_fanout(self, **kv: Any) -> "BenchReport":
+        self.fanout.update(kv)
+        return self
+
+    def check(self, name: str, passed: bool) -> bool:
+        self.checks[name] = bool(passed)
+        return bool(passed)
+
+    # -- serialisation -------------------------------------------------------
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "schema": SCHEMA,
+            "phase": self.phase,
+            "generated_unix_s": time.time(),
+            "meta": dict(self.meta),
+            "throughput": dict(self.throughput),
+            "latency_s": {k: dict(v) for k, v in self.latency_s.items()},
+            "fanout": dict(self.fanout),
+            "checks": dict(self.checks),
+            "extra": dict(self.extra),
+        }
+
+    def write(self, path: str | None = None, *, root: str | None = None) -> str:
+        """Validate and atomically write the report; returns the path."""
+        doc = self.as_dict()
+        errors = validate_bench_report(doc)
+        if errors:
+            raise ValueError(f"refusing to write invalid bench report: {errors}")
+        path = path or default_report_path(self.phase, root)
+        tmp = f"{path}.tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        os.replace(tmp, path)
+        return path
+
+
+def validate_bench_report(doc: Any) -> list[str]:
+    """Schema check; returns a list of problems (empty = valid)."""
+    errors: list[str] = []
+    if not isinstance(doc, dict):
+        return [f"report must be a dict, got {type(doc).__name__}"]
+    for key, expected in _REQUIRED:
+        if key not in doc:
+            errors.append(f"missing key {key!r}")
+        elif not isinstance(doc[key], expected):
+            errors.append(
+                f"key {key!r} must be "
+                f"{getattr(expected, '__name__', expected)}, "
+                f"got {type(doc[key]).__name__}"
+            )
+    if errors:
+        return errors
+    if doc["schema"] != SCHEMA:
+        errors.append(f"schema {doc['schema']!r} != {SCHEMA!r}")
+    if not doc["phase"]:
+        errors.append("phase must be non-empty")
+    for name, value in doc["throughput"].items():
+        if not isinstance(value, (int, float)):
+            errors.append(f"throughput[{name!r}] must be a number")
+    for name, summary in doc["latency_s"].items():
+        if not isinstance(summary, dict):
+            errors.append(f"latency_s[{name!r}] must be a dict")
+            continue
+        for key in _LATENCY_KEYS:
+            if key not in summary:
+                errors.append(f"latency_s[{name!r}] missing {key!r}")
+            elif not isinstance(summary[key], (int, float)):
+                errors.append(f"latency_s[{name!r}][{key!r}] must be a number")
+    for name, value in doc["checks"].items():
+        if not isinstance(value, bool):
+            errors.append(f"checks[{name!r}] must be a bool")
+    return errors
+
+
+def load_bench_report(path: str) -> dict[str, Any]:
+    """Read and validate one report file; raises ``ValueError`` if invalid."""
+    with open(path, encoding="utf-8") as fh:
+        doc = json.load(fh)
+    errors = validate_bench_report(doc)
+    if errors:
+        raise ValueError(f"invalid bench report {path}: {errors}")
+    return doc

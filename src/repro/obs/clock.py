@@ -1,0 +1,87 @@
+"""One monotonic clock for every duration the stack measures.
+
+Before this module existed, durations were measured with a mix of
+``time.perf_counter()`` call sites scattered across the cluster, workers,
+WAL and clients.  They all happened to use the same clock, but nothing
+*guaranteed* it — and the tracing/histogram subsystem needs spans,
+histogram samples and the pre-existing ``*_wall_s`` counters to be
+mutually comparable (a span's duration must land in the same histogram
+bucket the wall counter implies).
+
+Everything in :mod:`repro.obs` and :mod:`repro.core` that measures a
+duration goes through :func:`monotonic` / :func:`elapsed_since`.  Tests
+that need deterministic time can swap the clock with :func:`set_clock`
+(restoring it with :func:`reset_clock`), and every instrumented call site
+picks the replacement up because they resolve :func:`monotonic` at call
+time through this module.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+__all__ = [
+    "monotonic",
+    "elapsed_since",
+    "set_clock",
+    "reset_clock",
+    "Stopwatch",
+]
+
+#: The underlying clock.  ``time.perf_counter`` is monotonic, high
+#: resolution, and what the pre-obs call sites already used — swapping it
+#: in here changes no measured value, only who owns the choice.
+_clock: Callable[[], float] = time.perf_counter
+
+
+def monotonic() -> float:
+    """Current monotonic timestamp in seconds (not wall-clock time)."""
+    return _clock()
+
+
+def elapsed_since(t0: float) -> float:
+    """Seconds elapsed since ``t0`` (a value returned by :func:`monotonic`)."""
+    return _clock() - t0
+
+
+def set_clock(clock: Callable[[], float]) -> None:
+    """Replace the clock (tests only: deterministic/fake time)."""
+    global _clock
+    _clock = clock
+
+
+def reset_clock() -> None:
+    """Restore the real ``time.perf_counter`` clock."""
+    global _clock
+    _clock = time.perf_counter
+
+
+class Stopwatch:
+    """Reusable elapsed-time helper built on the module clock.
+
+    >>> sw = Stopwatch()
+    >>> ...  # work
+    >>> sw.elapsed()  # seconds so far, without stopping
+    >>> sw.stop()     # freezes the value
+    """
+
+    __slots__ = ("_start", "_stopped")
+
+    def __init__(self) -> None:
+        self._start = _clock()
+        self._stopped: float | None = None
+
+    def restart(self) -> None:
+        self._start = _clock()
+        self._stopped = None
+
+    def elapsed(self) -> float:
+        if self._stopped is not None:
+            return self._stopped
+        return _clock() - self._start
+
+    def stop(self) -> float:
+        if self._stopped is None:
+            self._stopped = _clock() - self._start
+        return self._stopped

@@ -1,0 +1,181 @@
+"""Exporters: Chrome trace-event JSON, JSON-lines spans, Prometheus text.
+
+Three consumers, three formats:
+
+* **Chrome trace-event JSON** (:func:`chrome_trace`) — load the file in
+  Perfetto (https://ui.perfetto.dev) or ``chrome://tracing`` and see the
+  client→cluster→worker→segment span tree on a per-thread timeline.  Spans
+  become complete events (``ph: "X"``, microsecond timestamps); each trace
+  id maps to a ``pid`` row so concurrent queries do not interleave.
+* **JSON lines** (:func:`spans_jsonl`) — one span per line, the
+  machine-readable form downstream analysis slurps with one
+  ``json.loads`` per line (no giant document to parse).
+* **Prometheus text** (:func:`prometheus_text`) — counters, gauges and
+  classic cumulative-bucket histograms in the exposition format, so a
+  scraper (or a human with ``curl``) can read the registry.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, Sequence
+
+from .metrics import MetricsRegistry
+from .trace import SpanRecord
+
+__all__ = [
+    "chrome_trace",
+    "write_chrome_trace",
+    "spans_jsonl",
+    "write_spans_jsonl",
+    "prometheus_text",
+    "span_to_dict",
+]
+
+
+def span_to_dict(record: SpanRecord) -> dict:
+    """JSON-ready form of one span record."""
+    return {
+        "trace_id": record.trace_id,
+        "span_id": record.span_id,
+        "parent_id": record.parent_id,
+        "name": record.name,
+        "start_s": record.start_s,
+        "duration_s": record.duration_s,
+        "thread": record.thread,
+        "status": record.status,
+        "attrs": dict(record.attrs),
+    }
+
+
+def chrome_trace(records: Sequence[SpanRecord]) -> dict:
+    """Spans as a Chrome trace-event document (Perfetto-loadable).
+
+    Each trace id becomes a process row; threads keep their own lanes
+    inside it.  Timestamps are offset so the earliest span starts at 0 —
+    ``perf_counter`` origins are arbitrary, and Perfetto renders absolute
+    epochs poorly.
+    """
+    events: list[dict] = []
+    if not records:
+        return {"traceEvents": [], "displayTimeUnit": "ms"}
+    origin = min(r.start_s for r in records)
+    pid_of: dict[int, int] = {}
+    tid_of: dict[tuple[int, str], int] = {}
+    for record in records:
+        pid = pid_of.setdefault(record.trace_id, len(pid_of) + 1)
+        tid = tid_of.setdefault((pid, record.thread), len(tid_of) + 1)
+        args = {k: _jsonable(v) for k, v in record.attrs}
+        args["span_id"] = record.span_id
+        if record.parent_id is not None:
+            args["parent_id"] = record.parent_id
+        if record.status != "ok":
+            args["status"] = record.status
+        events.append(
+            {
+                "name": record.name,
+                "cat": record.name.split(".", 1)[0],
+                "ph": "X",
+                "ts": (record.start_s - origin) * 1e6,
+                "dur": record.duration_s * 1e6,
+                "pid": pid,
+                "tid": tid,
+                "args": args,
+            }
+        )
+    # Metadata events label the rows with trace ids / thread names.
+    for trace_id, pid in pid_of.items():
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": f"trace {trace_id}"},
+            }
+        )
+    for (pid, thread), tid in tid_of.items():
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": tid,
+                "args": {"name": thread},
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(path: str, records: Sequence[SpanRecord]) -> str:
+    """Write :func:`chrome_trace` output to ``path``; returns the path."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(chrome_trace(records), fh, indent=1)
+    return path
+
+
+def spans_jsonl(records: Iterable[SpanRecord]) -> str:
+    """One JSON object per line per span."""
+    return "\n".join(json.dumps(span_to_dict(r), sort_keys=True) for r in records)
+
+
+def write_spans_jsonl(path: str, records: Iterable[SpanRecord]) -> str:
+    with open(path, "w", encoding="utf-8") as fh:
+        text = spans_jsonl(records)
+        if text:
+            fh.write(text + "\n")
+    return path
+
+
+def _jsonable(value):
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def _metric_name(name: str) -> str:
+    """Prometheus-legal metric name (dots and dashes become underscores)."""
+    out = []
+    for ch in name:
+        out.append(ch if ch.isalnum() or ch == "_" else "_")
+    metric = "".join(out)
+    if metric and metric[0].isdigit():
+        metric = "_" + metric
+    return metric
+
+
+def _fmt(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """The registry in the Prometheus exposition format (text/plain 0.0.4).
+
+    Histogram buckets are emitted cumulatively with the canonical
+    ``le``-labelled series plus ``_sum`` and ``_count``.
+    """
+    lines: list[str] = []
+    for name, counter in sorted(registry.counters().items()):
+        metric = _metric_name(name)
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {counter.value}")
+    for name, gauge in sorted(registry.gauges().items()):
+        metric = _metric_name(name)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_fmt(gauge.value)}")
+    for name, histogram in sorted(registry.histograms().items()):
+        snap = histogram.snapshot()
+        metric = _metric_name(name)
+        lines.append(f"# TYPE {metric} histogram")
+        cumulative = 0
+        for bound, count in zip(snap.bounds, snap.counts):
+            cumulative += count
+            lines.append(f'{metric}_bucket{{le="{_fmt(bound)}"}} {cumulative}')
+        lines.append(f'{metric}_bucket{{le="+Inf"}} {snap.count}')
+        lines.append(f"{metric}_sum {snap.sum!r}")
+        lines.append(f"{metric}_count {snap.count}")
+    return "\n".join(lines) + ("\n" if lines else "")

@@ -1,0 +1,120 @@
+"""Phase timers: map a run onto the paper's four workload phases.
+
+The paper's methodology (§3) decomposes every experiment into the same
+pipeline: **embed** (§3.1, Table 2) → **insert** (§3.2, Figure 2 /
+Table 3) → **index** (§3.3, Figure 3) → **query** (§3.4–§3.5, Figures
+4–5).  :class:`PhaseRecorder` stamps that structure onto real runs: each
+``with phases.phase("insert"):`` block
+
+* opens a ``phase.insert`` span on the tracer (so phase boundaries are
+  visible in the same Perfetto timeline as the per-request spans),
+* records the block's wall time into a per-phase latency histogram in the
+  metrics registry, and
+* accumulates a per-phase total that :meth:`PhaseRecorder.report` returns
+  as the machine-readable breakdown the bench reports embed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from . import trace as _trace
+from .clock import monotonic
+from .metrics import MetricsRegistry, get_registry
+
+__all__ = ["PAPER_PHASES", "PHASE_SECTIONS", "PhaseRecorder", "PhaseStats"]
+
+#: The four phases of the paper's workflow, in pipeline order.
+PAPER_PHASES: tuple[str, ...] = ("embed", "insert", "index", "query")
+
+#: Where each phase is studied in the paper (documentation mapping).
+PHASE_SECTIONS: dict[str, str] = {
+    "embed": "§3.1, Table 2",
+    "insert": "§3.2, Figure 2 / Table 3",
+    "index": "§3.3, Figure 3",
+    "query": "§3.4–§3.5, Figures 4–5",
+}
+
+
+@dataclass
+class PhaseStats:
+    """Accumulated totals for one phase."""
+
+    name: str
+    runs: int = 0
+    total_s: float = 0.0
+
+    @property
+    def mean_s(self) -> float:
+        return self.total_s / self.runs if self.runs else 0.0
+
+
+class _PhaseSpan:
+    """Context manager timing one phase block."""
+
+    __slots__ = ("_recorder", "_name", "_span", "_t0")
+
+    def __init__(self, recorder: "PhaseRecorder", name: str):
+        self._recorder = recorder
+        self._name = name
+
+    def __enter__(self) -> "_PhaseSpan":
+        self._span = _trace.get_tracer().span(f"phase.{self._name}")
+        self._span.__enter__()
+        self._t0 = monotonic()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        elapsed = monotonic() - self._t0
+        self._recorder._record(self._name, elapsed)
+        self._span.__exit__(exc_type, exc, tb)
+        return False
+
+
+class PhaseRecorder:
+    """Times named workload phases; free-form names allowed, the paper's
+    four are the expected vocabulary (``strict=True`` enforces it)."""
+
+    def __init__(self, registry: MetricsRegistry | None = None, *,
+                 strict: bool = False):
+        self.registry = registry if registry is not None else get_registry()
+        self.strict = strict
+        self._stats: dict[str, PhaseStats] = {}
+
+    def phase(self, name: str) -> _PhaseSpan:
+        """Context manager measuring one block of phase ``name``."""
+        if self.strict and name not in PAPER_PHASES:
+            raise ValueError(
+                f"unknown phase {name!r}; the paper's phases are {PAPER_PHASES}"
+            )
+        return _PhaseSpan(self, name)
+
+    def _record(self, name: str, elapsed: float) -> None:
+        stats = self._stats.setdefault(name, PhaseStats(name))
+        stats.runs += 1
+        stats.total_s += elapsed
+        self.registry.histogram(f"phase.{name}.wall_s").observe(elapsed)
+
+    def stats(self, name: str) -> PhaseStats:
+        return self._stats.get(name, PhaseStats(name))
+
+    def report(self) -> dict[str, dict]:
+        """Machine-readable per-phase breakdown, pipeline-ordered."""
+        ordered = [p for p in PAPER_PHASES if p in self._stats]
+        ordered += [p for p in self._stats if p not in PAPER_PHASES]
+        return {
+            name: {
+                "runs": self._stats[name].runs,
+                "total_s": self._stats[name].total_s,
+                "mean_s": self._stats[name].mean_s,
+                "section": PHASE_SECTIONS.get(name, ""),
+            }
+            for name in ordered
+        }
+
+    @property
+    def total_s(self) -> float:
+        return sum(s.total_s for s in self._stats.values())
+
+    def reset(self) -> None:
+        self._stats.clear()

@@ -1,0 +1,297 @@
+"""End-to-end observability: span trees, telemetry histograms, reset races.
+
+The acceptance shape for the obs subsystem: a single ``Cluster.search``
+under an enabled tracer yields the full client→cluster→worker→segment
+span tree, exportable as valid Chrome trace JSON, and the cluster's
+telemetry carries p50/p95/p99 latency histograms that reset without
+racing concurrent fan-outs.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CollectionConfig,
+    Distance,
+    OptimizerConfig,
+    PointStruct,
+    SearchRequest,
+    VectorParams,
+)
+from repro.core.client import SyncClient
+from repro.core.cluster import Cluster
+from repro.core.mpclient import ParallelClientPool
+from repro.core.telemetry import collect
+from repro.core.types import WalConfig
+from repro.obs.export import chrome_trace
+from repro.obs.trace import Tracer, set_tracer
+
+DIM = 16
+
+
+@pytest.fixture
+def tracer():
+    t = Tracer(enabled=True)
+    previous = set_tracer(t)
+    yield t
+    set_tracer(previous)
+
+
+def make_cluster(n=4, wal_dir=None):
+    cluster = Cluster.with_workers(n)
+    cluster.create_collection(
+        CollectionConfig(
+            "c",
+            VectorParams(size=DIM, distance=Distance.COSINE),
+            optimizer=OptimizerConfig(indexing_threshold=0),
+            wal=WalConfig(enabled=True, path=wal_dir) if wal_dir else WalConfig(),
+        )
+    )
+    return cluster
+
+
+def points(n, seed=0):
+    rng = np.random.default_rng(seed)
+    return [PointStruct(id=i, vector=rng.normal(size=DIM)) for i in range(n)]
+
+
+def spans_named(tracer, name):
+    return [r for r in tracer.spans() if r.name == name]
+
+
+class TestSearchSpanTree:
+    def test_single_search_produces_full_tree(self, tracer):
+        cluster = make_cluster()
+        cluster.upsert("c", points(64))
+        tracer.reset()
+
+        cluster.search("c", SearchRequest(vector=points(1)[0].as_array(), limit=5))
+
+        [root] = spans_named(tracer, "cluster.search")
+        assert root.parent_id is None
+        assert root.attr("collection") == "c"
+        assert root.attr("shards") is not None
+
+        [fanout] = spans_named(tracer, "cluster.fanout")
+        assert fanout.parent_id == root.span_id
+
+        rpcs = spans_named(tracer, "rpc.search")
+        assert len(rpcs) == 4  # one per worker
+        assert all(r.parent_id == fanout.span_id for r in rpcs)
+        assert {r.attr("worker") for r in rpcs} == {f"worker-{i}" for i in range(4)}
+
+        workers = spans_named(tracer, "worker.search")
+        assert len(workers) == 4
+        rpc_ids = {r.span_id for r in rpcs}
+        assert all(w.parent_id in rpc_ids for w in workers)
+
+        segments = spans_named(tracer, "segment.search")
+        assert segments
+        worker_ids = {w.span_id for w in workers}
+        assert all(s.parent_id in worker_ids for s in segments)
+
+        # One query, one trace: every span shares the root's trace id.
+        assert {r.trace_id for r in tracer.spans()} == {root.trace_id}
+
+    def test_tree_exports_to_valid_chrome_trace(self, tracer):
+        cluster = make_cluster()
+        cluster.upsert("c", points(32))
+        tracer.reset()
+        cluster.search("c", SearchRequest(vector=points(1)[0].as_array(), limit=5))
+
+        doc = chrome_trace(tracer.spans())
+        json.dumps(doc)  # serializable
+        slices = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert len(slices) == tracer.span_count
+        assert {e["name"] for e in slices} >= {
+            "cluster.search", "cluster.fanout", "rpc.search",
+            "worker.search", "segment.search",
+        }
+        # All spans of the query share one process row in the timeline.
+        assert len({e["pid"] for e in slices}) == 1
+
+    def test_search_batch_tree(self, tracer):
+        cluster = make_cluster()
+        cluster.upsert("c", points(32))
+        tracer.reset()
+        reqs = [SearchRequest(vector=p.as_array(), limit=3) for p in points(4, seed=2)]
+        cluster.search_batch("c", reqs)
+        [root] = spans_named(tracer, "cluster.search_batch")
+        assert root.attr("requests") == 4
+        assert spans_named(tracer, "rpc.search_batch")
+
+
+class TestWriteSpanTree:
+    def test_upsert_tree_reaches_wal(self, tracer, tmp_path):
+        cluster = make_cluster(wal_dir=str(tmp_path))
+        tracer.reset()
+        cluster.upsert("c", points(32))
+
+        [root] = spans_named(tracer, "cluster.upsert")
+        [fanout] = spans_named(tracer, "cluster.fanout")
+        assert fanout.parent_id == root.span_id
+
+        shard_writes = spans_named(tracer, "cluster.shard_write")
+        assert shard_writes
+        assert all(s.parent_id == fanout.span_id for s in shard_writes)
+
+        rpcs = spans_named(tracer, "rpc.upsert")
+        shard_ids = {s.span_id for s in shard_writes}
+        assert rpcs and all(r.parent_id in shard_ids for r in rpcs)
+
+        workers = spans_named(tracer, "worker.upsert")
+        assert workers
+
+        appends = spans_named(tracer, "wal.append")
+        worker_ids = {w.span_id for w in workers}
+        assert appends and all(a.parent_id in worker_ids for a in appends)
+        assert {r.trace_id for r in tracer.spans()} == {root.trace_id}
+
+
+class TestClientPropagation:
+    def test_sync_client_upload_is_one_trace(self, tracer):
+        cluster = make_cluster()
+        client = SyncClient(cluster, "c")
+        tracer.reset()
+        client.upload(points(40), batch_size=16)
+        [root] = spans_named(tracer, "client.upload")
+        upserts = spans_named(tracer, "cluster.upsert")
+        assert len(upserts) == 3  # ceil(40/16)
+        assert all(u.parent_id == root.span_id for u in upserts)
+        assert spans_named(tracer, "client.convert")
+        assert {r.trace_id for r in tracer.spans()} == {root.trace_id}
+
+    def test_pipelined_upload_crosses_request_thread(self, tracer):
+        """upload_pipelined runs requests in a worker thread; the upsert
+        spans must still parent under the client.upload root."""
+        cluster = make_cluster()
+        client = SyncClient(cluster, "c")
+        tracer.reset()
+        client.upload_pipelined(points(48), batch_size=16)
+        [root] = spans_named(tracer, "client.upload")
+        assert root.attr("pipelined") is True
+        upserts = spans_named(tracer, "cluster.upsert")
+        assert len(upserts) == 3
+        assert all(u.parent_id == root.span_id for u in upserts)
+        assert all(u.trace_id == root.trace_id for u in upserts)
+
+    def test_parallel_pool_upload_is_one_trace(self, tracer):
+        cluster = make_cluster()
+        pool = ParallelClientPool(cluster, "c")
+        tracer.reset()
+        pool.upload(points(64), batch_size=16)
+        [root] = spans_named(tracer, "client.pool_upload")
+        clients = spans_named(tracer, "client.pool_client")
+        assert clients
+        assert all(c.parent_id == root.span_id for c in clients)
+        assert {r.trace_id for r in tracer.spans()} == {root.trace_id}
+
+
+class TestTelemetryHistograms:
+    def test_query_histograms_in_snapshot(self):
+        cluster = make_cluster()
+        cluster.upsert("c", points(64))
+        before = collect(cluster)
+        q = points(1, seed=3)[0].as_array()
+        for _ in range(20):
+            cluster.search("c", SearchRequest(vector=q, limit=5))
+        after = collect(cluster)
+
+        delta = after.diff(before)
+        query = delta.histograms["cluster.query_s"]
+        assert query.count == 20
+        assert 0.0 < query.p50 <= query.p95 <= query.p99
+        rpc = delta.histograms["cluster.rpc_s"]
+        assert rpc.count == 80  # 4 workers x 20 queries
+
+        summary = after.latency_summary()
+        assert summary["cluster.query_s"]["count"] >= 20
+        for key in ("p50", "p95", "p99", "mean"):
+            assert key in summary["cluster.query_s"]
+
+    def test_search_batch_amortized_histogram(self):
+        cluster = make_cluster()
+        cluster.upsert("c", points(64))
+        before = collect(cluster)
+        reqs = [SearchRequest(vector=p.as_array(), limit=3) for p in points(8, seed=5)]
+        cluster.search_batch("c", reqs)
+        delta = collect(cluster).diff(before)
+        batch = delta.histograms["cluster.query_batch_s"]
+        assert batch.count == 1
+        # One amortized per-query sample (wall / batch size) keeps
+        # cluster.query_s meaningful under batch workloads.
+        per_query = delta.histograms["cluster.query_s"]
+        assert per_query.count == 1
+        assert per_query.sum == pytest.approx(batch.sum / 8, rel=0.25)
+
+    def test_upsert_histogram(self):
+        cluster = make_cluster()
+        before = collect(cluster)
+        cluster.upsert("c", points(32))
+        delta = collect(cluster).diff(before)
+        assert delta.histograms["cluster.upsert_s"].count == 1
+
+    def test_span_counters_in_snapshot(self, tracer):
+        cluster = make_cluster()
+        cluster.upsert("c", points(16))
+        snap = collect(cluster)
+        assert snap.spans_recorded == tracer.span_count
+        assert snap.spans_dropped == 0
+
+
+class TestResetTelemetry:
+    def test_reset_zeroes_everything(self):
+        cluster = make_cluster()
+        cluster.upsert("c", points(64))
+        cluster.search(
+            "c", SearchRequest(vector=points(1)[0].as_array(), limit=5)
+        )
+        cluster.reset_telemetry()
+        snap = collect(cluster)
+        assert snap.fanout.fanouts == 0
+        assert snap.total_vectors_inserted == 0
+        assert all(h.count == 0 for h in snap.histograms.values())
+
+    def test_reset_can_keep_histograms(self):
+        cluster = make_cluster()
+        cluster.upsert("c", points(32))
+        cluster.reset_telemetry(histograms=False)
+        snap = collect(cluster)
+        assert snap.fanout.fanouts == 0
+        assert snap.histograms["cluster.upsert_s"].count == 1
+
+    def test_reset_races_concurrent_fanout_safely(self):
+        """The satellite fix: reset while queries are in flight must never
+        corrupt counters — every final value is consistent, nothing raises."""
+        cluster = make_cluster()
+        cluster.upsert("c", points(64))
+        q = points(1, seed=7)[0].as_array()
+        errors = []
+        stop = threading.Event()
+
+        def query_loop():
+            try:
+                while not stop.is_set():
+                    cluster.search("c", SearchRequest(vector=q, limit=5))
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=query_loop) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for _ in range(50):
+            cluster.reset_telemetry()
+            snap = collect(cluster)
+            assert snap.fanout.fanouts >= 0
+            assert all(h.count >= 0 for h in snap.histograms.values())
+            hist = snap.histograms["cluster.query_s"]
+            assert sum(hist.counts) == hist.count
+        stop.set()
+        for t in threads:
+            t.join()
+        assert not errors

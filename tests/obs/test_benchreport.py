@@ -1,0 +1,137 @@
+"""Bench-report tests: schema validation, atomic write, round trip."""
+
+import json
+import os
+
+import pytest
+
+from repro.obs.benchreport import (
+    SCHEMA,
+    BenchReport,
+    default_report_path,
+    load_bench_report,
+    validate_bench_report,
+)
+from repro.obs.metrics import Histogram
+
+
+def full_report():
+    h = Histogram("upsert")
+    h.observe_many([0.001, 0.002, 0.004])
+    report = BenchReport(phase="insert")
+    report.add_throughput("points_per_s", 12345.6)
+    report.add_latency("cluster.upsert_s", h.snapshot())
+    report.add_latency_samples("cluster.query_s", [0.001, 0.003])
+    report.add_fanout(workers=4, mean_width=4.0)
+    report.check("bit_identical", True)
+    report.extra["note"] = "test"
+    return report
+
+
+class TestBuild:
+    def test_as_dict_shape(self):
+        doc = full_report().as_dict()
+        assert doc["schema"] == SCHEMA
+        assert doc["phase"] == "insert"
+        assert doc["throughput"]["points_per_s"] == pytest.approx(12345.6)
+        assert doc["latency_s"]["cluster.upsert_s"]["count"] == 3
+        assert doc["latency_s"]["cluster.query_s"]["count"] == 2
+        assert doc["fanout"]["workers"] == 4
+        assert doc["checks"]["bit_identical"] is True
+        assert doc["meta"]["cpu_count"] >= 1
+        assert isinstance(doc["meta"]["smoke"], bool)
+
+    def test_check_returns_outcome(self):
+        report = BenchReport(phase="x")
+        assert report.check("ok", True) is True
+        assert report.check("bad", False) is False
+        assert report.checks == {"ok": True, "bad": False}
+
+    def test_add_latency_accepts_plain_dict(self):
+        report = BenchReport(phase="x")
+        summary = {"count": 1, "mean": 0.1, "p50": 0.1, "p95": 0.1, "p99": 0.1}
+        report.add_latency("lat", summary)
+        assert validate_bench_report(report.as_dict()) == []
+
+
+class TestValidation:
+    def test_valid_report_has_no_errors(self):
+        assert validate_bench_report(full_report().as_dict()) == []
+
+    def test_not_a_dict(self):
+        assert validate_bench_report([1, 2]) != []
+
+    @pytest.mark.parametrize(
+        "mutation",
+        [
+            lambda d: d.pop("schema"),
+            lambda d: d.pop("phase"),
+            lambda d: d.pop("latency_s"),
+            lambda d: d.update(schema="something/else"),
+            lambda d: d.update(phase=""),
+            lambda d: d.update(throughput={"x": "fast"}),
+            lambda d: d.update(latency_s={"x": {"count": 1}}),  # missing p50…
+            lambda d: d.update(latency_s={"x": "not a dict"}),
+            lambda d: d.update(checks={"x": "yes"}),
+        ],
+    )
+    def test_broken_reports_rejected(self, mutation):
+        doc = full_report().as_dict()
+        mutation(doc)
+        assert validate_bench_report(doc) != []
+
+
+class TestWriteLoad:
+    def test_round_trip(self, tmp_path):
+        path = full_report().write(root=str(tmp_path))
+        assert path == os.path.join(str(tmp_path), "BENCH_insert.json")
+        doc = load_bench_report(path)
+        assert doc["phase"] == "insert"
+        # Atomic write: the tmp file was renamed away.
+        assert not os.path.exists(path + ".tmp")
+
+    def test_explicit_path_wins(self, tmp_path):
+        path = str(tmp_path / "custom.json")
+        assert full_report().write(path) == path
+        assert load_bench_report(path)["schema"] == SCHEMA
+
+    def test_write_refuses_invalid(self, tmp_path):
+        report = BenchReport(phase="")
+        with pytest.raises(ValueError):
+            report.write(root=str(tmp_path))
+        assert os.listdir(tmp_path) == []
+
+    def test_load_rejects_tampered_file(self, tmp_path):
+        path = full_report().write(root=str(tmp_path))
+        with open(path, encoding="utf-8") as fh:
+            doc = json.load(fh)
+        doc["checks"]["bit_identical"] = "yes"
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh)
+        with pytest.raises(ValueError):
+            load_bench_report(path)
+
+    def test_default_report_path(self):
+        assert default_report_path("query") == os.path.join(".", "BENCH_query.json")
+        assert default_report_path("fault", "/x") == "/x/BENCH_fault.json"
+
+
+def test_harness_phase_reports(tmp_path):
+    """The bench harness folds experiment results into per-phase reports."""
+    from repro.bench.harness import PHASE_FOR_EXPERIMENT, write_phase_reports
+    from repro.bench.report import ExperimentResult
+
+    results = {}
+    for eid in ("table2", "figure2", "table3", "figure4"):
+        result = ExperimentResult(eid, f"title {eid}", ["col"], [[1]])
+        result.check("shape", True)
+        results[eid] = result
+    results["table1"] = ExperimentResult("table1", "features", ["col"], [[1]])
+
+    paths = write_phase_reports(results, root=str(tmp_path))
+    assert set(paths) == {"embed", "insert", "query"}
+    insert = load_bench_report(paths["insert"])
+    # figure2 and table3 both map to the insert phase and both land there.
+    assert insert["checks"] == {"figure2.shape": True, "table3.shape": True}
+    assert set(insert["extra"]) == {"figure2", "table3"}
+    assert PHASE_FOR_EXPERIMENT["figure3"] == "index"

@@ -1,0 +1,87 @@
+"""Tests for the single monotonic clock every duration goes through."""
+
+import pytest
+
+from repro.obs.clock import (
+    Stopwatch,
+    elapsed_since,
+    monotonic,
+    reset_clock,
+    set_clock,
+)
+
+
+@pytest.fixture(autouse=True)
+def _restore_clock():
+    yield
+    reset_clock()
+
+
+class FakeClock:
+    """Deterministic clock advanced by hand."""
+
+    def __init__(self, start=0.0):
+        self.now = start
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+def test_monotonic_advances():
+    t0 = monotonic()
+    t1 = monotonic()
+    assert t1 >= t0
+
+
+def test_elapsed_since_matches_difference():
+    clock = FakeClock(10.0)
+    set_clock(clock)
+    t0 = monotonic()
+    clock.advance(2.5)
+    assert elapsed_since(t0) == pytest.approx(2.5)
+
+
+def test_set_clock_is_picked_up_at_call_time():
+    clock = FakeClock(100.0)
+    set_clock(clock)
+    assert monotonic() == 100.0
+    clock.advance(1.0)
+    assert monotonic() == 101.0
+    reset_clock()
+    # Back on perf_counter: nowhere near the fake's epoch-like values
+    # being frozen — two reads must not go backwards.
+    assert monotonic() <= monotonic()
+
+
+def test_stopwatch_elapsed_stop_restart():
+    clock = FakeClock()
+    set_clock(clock)
+    sw = Stopwatch()
+    clock.advance(1.0)
+    assert sw.elapsed() == pytest.approx(1.0)
+    clock.advance(1.0)
+    assert sw.stop() == pytest.approx(2.0)
+    clock.advance(5.0)
+    # Stopped: the value is frozen.
+    assert sw.elapsed() == pytest.approx(2.0)
+    assert sw.stop() == pytest.approx(2.0)
+    sw.restart()
+    clock.advance(0.5)
+    assert sw.elapsed() == pytest.approx(0.5)
+
+
+def test_spans_use_module_clock():
+    """A span's duration must come from the same clock as every other
+    measurement — swap the clock and the span duration follows."""
+    from repro.obs.trace import Tracer
+
+    clock = FakeClock(50.0)
+    set_clock(clock)
+    tracer = Tracer(enabled=True)
+    with tracer.span("work"):
+        clock.advance(3.0)
+    [record] = tracer.spans()
+    assert record.duration_s == pytest.approx(3.0)

@@ -1,0 +1,149 @@
+"""Exporter tests: Chrome trace JSON, JSON lines, Prometheus text."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.export import (
+    chrome_trace,
+    prometheus_text,
+    span_to_dict,
+    spans_jsonl,
+    write_chrome_trace,
+    write_spans_jsonl,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+
+
+def make_records():
+    t = Tracer(enabled=True)
+    with t.span("cluster.search", {"collection": "c"}):
+        with t.span("cluster.fanout", {"width": 2}):
+            with t.span("rpc.search", {"worker": "w0"}):
+                pass
+            with t.span("rpc.search", {"worker": "w1"}):
+                pass
+    with t.span("cluster.upsert"):
+        pass
+    return t.spans()
+
+
+class TestChromeTrace:
+    def test_document_is_json_serializable_and_complete(self):
+        records = make_records()
+        doc = chrome_trace(records)
+        json.dumps(doc)  # must not raise
+        assert doc["displayTimeUnit"] == "ms"
+        slices = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        assert len(slices) == len(records)
+        for e in slices:
+            for key in ("name", "cat", "ts", "dur", "pid", "tid", "args"):
+                assert key in e
+            assert e["ts"] >= 0.0
+            assert e["dur"] >= 0.0
+        assert any(e["name"] == "process_name" for e in meta)
+        assert any(e["name"] == "thread_name" for e in meta)
+
+    def test_one_pid_per_trace(self):
+        records = make_records()
+        doc = chrome_trace(records)
+        slices = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        pid_by_trace = {}
+        for record, event in zip(records, slices):
+            pid_by_trace.setdefault(record.trace_id, set()).add(event["pid"])
+        # Every span of a trace lands on that trace's process row.
+        assert all(len(pids) == 1 for pids in pid_by_trace.values())
+        # The two traces (search, upsert) get distinct rows.
+        assert len({next(iter(p)) for p in pid_by_trace.values()}) == 2
+
+    def test_parent_links_preserved_in_args(self):
+        records = make_records()
+        doc = chrome_trace(records)
+        slices = {e["args"]["span_id"]: e for e in doc["traceEvents"] if e["ph"] == "X"}
+        for record in records:
+            if record.parent_id is not None:
+                assert slices[record.span_id]["args"]["parent_id"] == record.parent_id
+
+    def test_empty_records(self):
+        doc = chrome_trace([])
+        assert doc["traceEvents"] == []
+
+    def test_write_round_trip(self, tmp_path):
+        path = str(tmp_path / "out.trace.json")
+        assert write_chrome_trace(path, make_records()) == path
+        with open(path, encoding="utf-8") as fh:
+            doc = json.load(fh)
+        assert any(e.get("ph") == "X" for e in doc["traceEvents"])
+
+
+class TestJsonl:
+    def test_one_line_per_span(self):
+        records = make_records()
+        lines = spans_jsonl(records).splitlines()
+        assert len(lines) == len(records)
+        parsed = [json.loads(line) for line in lines]
+        assert {p["name"] for p in parsed} == {r.name for r in records}
+        for p in parsed:
+            for key in ("trace_id", "span_id", "parent_id", "name", "start_s",
+                        "duration_s", "thread", "status", "attrs"):
+                assert key in p
+
+    def test_span_to_dict_attrs(self):
+        [record] = [r for r in make_records() if r.name == "cluster.search"]
+        d = span_to_dict(record)
+        assert d["attrs"] == {"collection": "c"}
+
+    def test_write_jsonl(self, tmp_path):
+        path = str(tmp_path / "spans.jsonl")
+        write_spans_jsonl(path, make_records())
+        with open(path, encoding="utf-8") as fh:
+            lines = fh.read().splitlines()
+        assert all(json.loads(line) for line in lines)
+
+    def test_write_jsonl_empty(self, tmp_path):
+        path = str(tmp_path / "empty.jsonl")
+        write_spans_jsonl(path, [])
+        with open(path, encoding="utf-8") as fh:
+            assert fh.read() == ""
+
+
+class TestPrometheus:
+    def make_registry(self):
+        reg = MetricsRegistry()
+        reg.counter("cluster.searches").inc(3)
+        reg.gauge("cluster.workers").set(4)
+        h = reg.histogram("cluster.query_s", bounds=[0.001, 0.01, 0.1])
+        h.observe_many([0.0005, 0.005, 0.05, 5.0])
+        return reg
+
+    def test_exposition_format(self):
+        text = prometheus_text(self.make_registry())
+        assert "# TYPE cluster_searches counter" in text
+        assert "cluster_searches 3" in text
+        assert "# TYPE cluster_workers gauge" in text
+        assert "cluster_workers 4" in text
+        assert "# TYPE cluster_query_s histogram" in text
+        assert 'cluster_query_s_bucket{le="+Inf"} 4' in text
+        assert "cluster_query_s_count 4" in text
+        assert text.endswith("\n")
+
+    def test_buckets_are_cumulative_and_monotone(self):
+        text = prometheus_text(self.make_registry())
+        counts = [
+            int(line.rsplit(" ", 1)[1])
+            for line in text.splitlines()
+            if line.startswith("cluster_query_s_bucket")
+        ]
+        assert counts == sorted(counts)
+        assert counts[-1] == 4
+
+    def test_metric_names_are_sanitized(self):
+        reg = MetricsRegistry()
+        reg.counter("weird-name.with dots").inc()
+        text = prometheus_text(reg)
+        assert "weird_name_with_dots 1" in text
+
+    def test_empty_registry(self):
+        assert prometheus_text(MetricsRegistry()) == ""

@@ -1,0 +1,255 @@
+"""Histogram correctness: percentile resolution, associative merge, diff."""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+
+import numpy as np
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS_S,
+    Counter,
+    Gauge,
+    Histogram,
+    HistogramSnapshot,
+    MetricsRegistry,
+    get_registry,
+    set_registry,
+)
+from repro.perfmodel.variability import NoiseModel, VariabilityStudy
+
+
+def bucket_width_at(value: float, bounds=DEFAULT_LATENCY_BUCKETS_S) -> float:
+    """Width of the bucket that holds ``value``."""
+    idx = bisect_left(bounds, value)
+    lo = bounds[idx - 1] if idx > 0 else 0.0
+    hi = bounds[idx] if idx < len(bounds) else float("inf")
+    return hi - lo
+
+
+class TestCounterGauge:
+    def test_counter(self):
+        c = Counter("x")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        c.reset()
+        assert c.value == 0
+
+    def test_gauge(self):
+        g = Gauge("x")
+        g.set(2.5)
+        g.add(0.5)
+        assert g.value == pytest.approx(3.0)
+        g.reset()
+        assert g.value == 0.0
+
+
+class TestHistogramBasics:
+    def test_observe_and_snapshot(self):
+        h = Histogram("lat")
+        h.observe_many([0.001, 0.002, 0.01])
+        snap = h.snapshot()
+        assert snap.count == 3
+        assert snap.sum == pytest.approx(0.013)
+        assert snap.min == pytest.approx(0.001)
+        assert snap.max == pytest.approx(0.01)
+        assert snap.mean == pytest.approx(0.013 / 3)
+
+    def test_negative_clamps_overflow_counts(self):
+        h = Histogram("lat", bounds=[1.0, 2.0])
+        h.observe(-5.0)  # clamps to 0
+        h.observe(100.0)  # overflow bucket
+        snap = h.snapshot()
+        assert snap.count == 2
+        assert snap.counts == (1, 0, 1)
+        assert snap.min == 0.0
+        assert snap.max == 100.0
+
+    def test_empty_snapshot_is_neutral(self):
+        snap = HistogramSnapshot.empty()
+        assert snap.count == 0
+        assert snap.p50 == 0.0
+        assert snap.as_dict()["count"] == 0
+
+    def test_bad_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("x", bounds=[])
+        with pytest.raises(ValueError):
+            Histogram("x", bounds=[-1.0, 1.0])
+
+    def test_as_dict_has_report_schema_keys(self):
+        h = Histogram("lat")
+        h.observe(0.005)
+        d = h.snapshot().as_dict()
+        for key in ("count", "mean", "p50", "p95", "p99", "min", "max", "sum"):
+            assert key in d
+
+
+class TestPercentileResolution:
+    """The resolution contract: histogram percentiles land within one
+    bucket width of the exact sample percentiles (checked against the
+    perfmodel's exact-sample TrialStats machinery)."""
+
+    @pytest.mark.parametrize("cv", [0.05, 0.5])
+    @pytest.mark.parametrize("q", [50.0, 95.0, 99.0])
+    def test_within_one_bucket_of_exact(self, cv, q):
+        study = VariabilityStudy(
+            NoiseModel(cv=cv, straggler_prob=0.1, straggler_factor=3.0, seed=5),
+            trials=2000,
+        )
+        stats = study.run(lambda: 0.004)  # ~4ms latencies with a heavy tail
+        h = Histogram("lat")
+        h.observe_many(stats.samples)
+        exact = stats.percentile(q)
+        approx = h.percentile(q)
+        assert abs(approx - exact) <= bucket_width_at(exact), (
+            f"p{q}: histogram {approx} vs exact {exact}"
+        )
+
+    def test_percentile_range_validated(self):
+        h = Histogram("lat")
+        with pytest.raises(ValueError):
+            h.percentile(-1)
+        with pytest.raises(ValueError):
+            h.snapshot().percentile(101)
+
+
+class TestMerge:
+    def _hists(self):
+        rng = np.random.default_rng(3)
+        parts = []
+        for i in range(3):
+            h = Histogram(f"w{i}")
+            h.observe_many(rng.lognormal(mean=-6.0, sigma=0.8, size=500))
+            parts.append(h.snapshot())
+        return parts
+
+    def test_merge_is_associative_and_commutative(self):
+        a, b, c = self._hists()
+        left = a.merge(b).merge(c)
+        right = a.merge(b.merge(c))
+        swapped = c.merge(a).merge(b)
+        for other in (right, swapped):
+            assert left.counts == other.counts
+            assert left.count == other.count
+            assert left.min == other.min
+            assert left.max == other.max
+            # float addition is only associative to rounding error
+            assert left.sum == pytest.approx(other.sum, abs=1e-9)
+
+    def test_merge_matches_single_histogram_over_union(self):
+        """The per-worker reduce must equal observing everything centrally."""
+        rng = np.random.default_rng(9)
+        samples = rng.lognormal(mean=-6.0, sigma=1.0, size=900)
+        whole = Histogram("all")
+        whole.observe_many(samples)
+        parts = []
+        for part in np.array_split(samples, 4):
+            h = Histogram("part")
+            h.observe_many(part)
+            parts.append(h.snapshot())
+        merged = parts[0]
+        for p in parts[1:]:
+            merged = merged.merge(p)
+        assert merged.counts == whole.snapshot().counts
+        for q in (50, 95, 99):
+            assert merged.percentile(q) == pytest.approx(
+                whole.percentile(q), rel=1e-12
+            )
+
+    def test_merge_identity_with_empty(self):
+        a, _, _ = self._hists()
+        empty = HistogramSnapshot.empty(a.bounds)
+        assert a.merge(empty) is a
+        assert empty.merge(a) is a
+
+    def test_mismatched_buckets_rejected(self):
+        a = Histogram("a", bounds=[1.0]).snapshot()
+        b = Histogram("b", bounds=[2.0]).snapshot()
+        with pytest.raises(ValueError):
+            a.merge(b)
+        with pytest.raises(ValueError):
+            a.minus(b)
+
+    def test_merge_from_folds_into_mutable(self):
+        a = Histogram("a")
+        a.observe(0.001)
+        b = Histogram("b")
+        b.observe(0.002)
+        a.merge_from(b)
+        assert a.count == 2
+
+
+class TestMinus:
+    def test_minus_recovers_interval(self):
+        h = Histogram("lat")
+        h.observe_many([0.001, 0.002])
+        before = h.snapshot()
+        h.observe_many([0.01, 0.02, 0.03])
+        delta = h.snapshot().minus(before)
+        assert delta.count == 3
+        assert delta.sum == pytest.approx(0.06)
+        fresh = Histogram("x")
+        fresh.observe_many([0.01, 0.02, 0.03])
+        assert delta.counts == fresh.snapshot().counts
+
+    def test_minus_of_self_is_empty(self):
+        h = Histogram("lat")
+        h.observe_many([0.001, 0.5])
+        snap = h.snapshot()
+        delta = snap.minus(snap)
+        assert delta.count == 0
+        assert delta.min == 0.0 and delta.max == 0.0
+
+
+class TestConcurrency:
+    def test_parallel_observe_loses_nothing(self):
+        h = Histogram("lat")
+        n_threads, per_thread = 8, 2000
+
+        def work():
+            for _ in range(per_thread):
+                h.observe(0.003)
+
+        threads = [threading.Thread(target=work) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        snap = h.snapshot()
+        assert snap.count == n_threads * per_thread
+        assert sum(snap.counts) == snap.count
+
+
+class TestRegistry:
+    def test_get_or_create_identity(self):
+        reg = MetricsRegistry()
+        assert reg.histogram("h") is reg.histogram("h")
+        assert reg.counter("c") is reg.counter("c")
+        assert reg.gauge("g") is reg.gauge("g")
+
+    def test_snapshot_and_reset(self):
+        reg = MetricsRegistry()
+        reg.histogram("h").observe(0.001)
+        reg.counter("c").inc()
+        reg.gauge("g").set(1.0)
+        snaps = reg.snapshot_histograms()
+        assert snaps["h"].count == 1
+        d = reg.as_dict()
+        assert d["counters"]["c"] == 1
+        assert d["histograms"]["h"]["count"] == 1
+        reg.reset()
+        assert reg.histogram("h").count == 0
+        assert reg.counter("c").value == 0
+        assert reg.gauge("g").value == 0.0
+
+    def test_global_swap(self):
+        fresh = MetricsRegistry()
+        previous = set_registry(fresh)
+        try:
+            assert get_registry() is fresh
+        finally:
+            set_registry(previous)

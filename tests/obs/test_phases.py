@@ -1,0 +1,96 @@
+"""Phase recorder tests: the paper's embed→insert→index→query pipeline."""
+
+import pytest
+
+from repro.obs.clock import reset_clock, set_clock
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.phases import PAPER_PHASES, PHASE_SECTIONS, PhaseRecorder
+from repro.obs.trace import Tracer, set_tracer
+
+
+@pytest.fixture(autouse=True)
+def _restore_clock():
+    yield
+    reset_clock()
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+def test_paper_phase_vocabulary():
+    assert PAPER_PHASES == ("embed", "insert", "index", "query")
+    assert set(PHASE_SECTIONS) == set(PAPER_PHASES)
+
+
+def test_records_wall_time_per_phase():
+    clock = FakeClock()
+    set_clock(clock)
+    rec = PhaseRecorder(MetricsRegistry())
+    with rec.phase("insert"):
+        clock.now += 2.0
+    with rec.phase("insert"):
+        clock.now += 4.0
+    with rec.phase("query"):
+        clock.now += 1.0
+    stats = rec.stats("insert")
+    assert stats.runs == 2
+    assert stats.total_s == pytest.approx(6.0)
+    assert stats.mean_s == pytest.approx(3.0)
+    assert rec.total_s == pytest.approx(7.0)
+
+
+def test_report_is_pipeline_ordered_with_sections():
+    clock = FakeClock()
+    set_clock(clock)
+    rec = PhaseRecorder(MetricsRegistry())
+    for name in ("query", "warmup", "insert"):  # deliberately out of order
+        with rec.phase(name):
+            clock.now += 1.0
+    report = rec.report()
+    assert list(report) == ["insert", "query", "warmup"]
+    assert report["insert"]["section"] == PHASE_SECTIONS["insert"]
+    assert report["warmup"]["section"] == ""
+    assert report["query"]["runs"] == 1
+
+
+def test_phase_histogram_lands_in_registry():
+    registry = MetricsRegistry()
+    rec = PhaseRecorder(registry)
+    with rec.phase("index"):
+        pass
+    snap = registry.snapshot_histograms()["phase.index.wall_s"]
+    assert snap.count == 1
+
+
+def test_phase_emits_span_when_tracing():
+    tracer = Tracer(enabled=True)
+    previous = set_tracer(tracer)
+    try:
+        rec = PhaseRecorder(MetricsRegistry())
+        with rec.phase("embed"):
+            pass
+        assert [r.name for r in tracer.spans()] == ["phase.embed"]
+    finally:
+        set_tracer(previous)
+
+
+def test_strict_rejects_unknown_phases():
+    rec = PhaseRecorder(MetricsRegistry(), strict=True)
+    with pytest.raises(ValueError):
+        rec.phase("warmup")
+    with rec.phase("embed"):
+        pass
+
+
+def test_reset():
+    rec = PhaseRecorder(MetricsRegistry())
+    with rec.phase("query"):
+        pass
+    rec.reset()
+    assert rec.stats("query").runs == 0
+    assert rec.total_s == 0.0
