@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction.
 
-.PHONY: install test bench bench-micro bench-insert bench-insert-smoke bench-fault bench-fault-smoke paper examples clean
+.PHONY: install test bench bench-micro bench-insert bench-insert-smoke bench-fault bench-fault-smoke bench-query bench-query-smoke paper examples clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -33,6 +33,14 @@ bench-fault:
 
 bench-fault-smoke:
 	REPRO_BENCH_SMOKE=1 PYTHONPATH=src python -m pytest benchmarks/test_fault_tolerance.py -q
+
+# Query-coalescing bench: §3.4 concurrency regime — concurrent clients vs
+# one-at-a-time fan-outs under injected RPC latency, bit-identity asserted.
+bench-query:
+	PYTHONPATH=src python -m pytest benchmarks/test_query_coalescing.py -q
+
+bench-query-smoke:
+	REPRO_BENCH_SMOKE=1 PYTHONPATH=src python -m pytest benchmarks/test_query_coalescing.py -q
 
 paper:
 	python -m repro.bench

@@ -1,0 +1,242 @@
+"""Query-coalescing benchmarks (§3.4's concurrency sweep, on real code).
+
+Concurrent independent clients issue single queries against a cluster whose
+transport injects a per-call RPC latency (the paper's network round trips).
+Uncoalesced, every query pays its own broadcast–reduce fan-out — N clients
+cost N·W latent calls squeezed through the shared fan-out pool, which is
+exactly the §3.4 regime where "per-batch await time grows with concurrency".
+With the :class:`~repro.core.scheduler.QueryCoalescer`, queries arriving
+together merge into one shared fan-out, so the RPC latency amortizes across
+the batch.  Acceptance properties asserted:
+
+* >=2x queries/s at concurrency >= 8 versus uncoalesced one-at-a-time
+  fan-outs, under injected RPC latency;
+* results bit-identical to serial ``Cluster.search`` — same ids, scores,
+  and per-request shard metadata;
+* a lone query with coalescing enabled pays <=10% latency overhead (the
+  adaptive window collapses for idle traffic);
+* the report written as ``BENCH_query.json`` validates against the
+  ``repro.obs.benchreport`` schema.
+
+Set ``REPRO_BENCH_SMOKE=1`` for CI's tiny assert-only variant: sizes
+shrink and wall-clock thresholds are skipped — equivalence asserts and the
+report schema always hold.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CollectionConfig,
+    Distance,
+    OptimizerConfig,
+    PointStruct,
+    SearchRequest,
+    VectorParams,
+)
+from repro.core.cluster import Cluster
+from repro.core.mpclient import ParallelClientPool
+from repro.core.scheduler import CoalescePolicy, QueryCoalescer
+from repro.core.transport import InstrumentedTransport, LocalTransport
+from repro.obs.benchreport import BenchReport
+
+from conftest import BENCH_DIM
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+#: Accumulated across tests; written as BENCH_query.json at module teardown
+#: (``make bench-query-smoke`` leaves it at the repo root for CI artifacts).
+REPORT = BenchReport(phase="query")
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _write_bench_report():
+    yield
+    if REPORT.throughput or REPORT.checks:
+        REPORT.write(root=REPO_ROOT)
+
+
+#: Scale knobs: (points, queries, rpc latency, timing asserts enabled).
+N_POINTS = 192 if SMOKE else 768
+N_QUERIES = 16 if SMOKE else 64
+CONCURRENCY = 8
+LATENCY_S = 0.0005 if SMOKE else 0.006
+TIMING_ASSERTS = not SMOKE
+
+
+def _mk_cluster(*, latency_s=LATENCY_S):
+    cluster = Cluster.with_workers(
+        4,
+        transport=InstrumentedTransport(LocalTransport(), latency_s=latency_s),
+    )
+    cluster.create_collection(
+        CollectionConfig(
+            "q",
+            VectorParams(size=BENCH_DIM, distance=Distance.COSINE),
+            optimizer=OptimizerConfig(indexing_threshold=0),
+            shard_number=4,
+        )
+    )
+    rng = np.random.default_rng(11)
+    vectors = rng.normal(size=(N_POINTS, BENCH_DIM)).astype(np.float32)
+    cluster.upsert(
+        "q",
+        [PointStruct(id=i, vector=vectors[i]) for i in range(N_POINTS)],
+    )
+    return cluster
+
+
+def _queries(n=N_QUERIES, seed=13):
+    rng = np.random.default_rng(seed)
+    return [rng.normal(size=BENCH_DIM) for _ in range(n)]
+
+
+def _hit_keys(results):
+    return [[(h.id, h.score) for h in r] for r in results]
+
+
+def _run_concurrent(call, vectors, concurrency=CONCURRENCY):
+    """Issue one ``call(vector)`` per vector from ``concurrency`` threads."""
+    with ThreadPoolExecutor(max_workers=concurrency) as pool:
+        return list(pool.map(call, vectors))
+
+
+class TestCoalescingThroughput:
+    def test_coalesced_2x_and_bit_identical(self):
+        """The acceptance benchmark: >=2x queries/s at concurrency >= 8,
+        results bit-identical to serial ``Cluster.search``."""
+        cluster = _mk_cluster()
+        vectors = _queries()
+        serial_keys = _hit_keys(
+            cluster.search("q", SearchRequest(vector=v, limit=10))
+            for v in vectors
+        )
+
+        def direct(v):
+            return cluster.search("q", SearchRequest(vector=v, limit=10))
+
+        t0 = time.perf_counter()
+        uncoalesced = _run_concurrent(direct, vectors)
+        uncoalesced_s = time.perf_counter() - t0
+
+        # Tuned for the sustained-concurrency regime: a small window floor
+        # keeps batches forming even right after an idle shrink, so the
+        # measurement exercises steady-state amortization rather than the
+        # adaptation ramp.  Both knobs stay well under the injected RPC
+        # latency, so waiting is always cheaper than an extra fan-out.
+        coalescer = QueryCoalescer.for_cluster(
+            cluster,
+            policy=CoalescePolicy(
+                max_batch=32,
+                min_wait_us=2e5 * LATENCY_S,  # 0.2x the RPC latency
+                max_wait_us=1e6 * LATENCY_S,  # 1.0x the RPC latency
+            ),
+        )
+
+        def coalesced_call(v):
+            return coalescer.search("q", SearchRequest(vector=v, limit=10))
+
+        _run_concurrent(coalesced_call, vectors)  # warm the window
+        cluster.reset_telemetry()
+        coalescer.stats.reset()
+        t0 = time.perf_counter()
+        coalesced = _run_concurrent(coalesced_call, vectors)
+        coalesced_s = time.perf_counter() - t0
+
+        assert REPORT.check(
+            "bit_identical", _hit_keys(uncoalesced) == serial_keys
+        )
+        assert REPORT.check(
+            "coalesced_bit_identical", _hit_keys(coalesced) == serial_keys
+        )
+
+        qps_un = len(vectors) / uncoalesced_s
+        qps_co = len(vectors) / coalesced_s
+        speedup = qps_co / qps_un
+        snap = coalescer.stats.snapshot()
+        mean_width = snap["total_width"] / max(1, snap["batches"])
+        REPORT.add_throughput("uncoalesced_qps", qps_un)
+        REPORT.add_throughput("coalesced_qps", qps_co)
+        REPORT.add_throughput("coalesce_speedup_x", speedup)
+        REPORT.add_fanout(
+            concurrency=CONCURRENCY,
+            batches=snap["batches"],
+            mean_width=mean_width,
+            max_width=snap["max_width"],
+            bypasses=snap["bypasses"],
+        )
+        hists = cluster.metrics.snapshot_histograms()
+        REPORT.add_latency("coalesce_wait_s", hists["coalesce.wait_s"])
+        REPORT.add_latency("query_s", hists["cluster.query_s"])
+        REPORT.check("coalesce_width_gt1", mean_width > 1.0)
+        if TIMING_ASSERTS:
+            assert REPORT.check("speedup_2x", speedup >= 2.0), (
+                f"coalescing {speedup:.2f}x at concurrency {CONCURRENCY}"
+                f" (width {mean_width:.1f})"
+            )
+        cluster.close()
+
+    def test_pool_clients_share_coalescer(self):
+        """The §3.4 multi-client layout end to end: ``ParallelClientPool``
+        query clients over one shared per-process coalescer."""
+        cluster = _mk_cluster()
+        vectors = _queries()
+        serial_keys = _hit_keys(
+            cluster.search("q", SearchRequest(vector=v, limit=10))
+            for v in vectors
+        )
+        pool = ParallelClientPool(cluster, "q")
+        results, report = pool.search_many(
+            vectors, limit=10, clients=CONCURRENCY, coalesce=True
+        )
+        assert REPORT.check(
+            "pool_bit_identical", _hit_keys(results) == serial_keys
+        )
+        assert report.coalesce["coalesced"] == len(vectors)
+        REPORT.add_throughput("pool_coalesced_qps", report.throughput_qps)
+        cluster.close()
+
+
+class TestSoloLatencyOverhead:
+    def test_solo_query_overhead_within_10pct(self):
+        """A lone query through an (idle) coalescer must stay within 10% of
+        the direct path: the adaptive window shrinks to ~zero so solo
+        traffic does not wait for companions that never arrive."""
+        cluster = _mk_cluster()
+        v = _queries(1)[0]
+        request = SearchRequest(vector=v, limit=10)
+        repeats = 5 if SMOKE else 25
+
+        def timed(fn):
+            t0 = time.perf_counter()
+            fn()
+            return time.perf_counter() - t0
+
+        coalescer = QueryCoalescer.for_cluster(
+            cluster, policy=CoalescePolicy(adaptive=True)
+        )
+        coalescer.search("q", request)  # collapse the window to idle
+        # Interleave the two paths so machine-load drift during the run
+        # biases both equally; min is robust to scheduler noise.
+        direct_times, solo_times = [], []
+        for _ in range(repeats):
+            direct_times.append(timed(lambda: cluster.search("q", request)))
+            solo_times.append(timed(lambda: coalescer.search("q", request)))
+        direct_s = min(direct_times)
+        solo_s = min(solo_times)
+        overhead = solo_s / direct_s - 1.0
+        REPORT.add_throughput("solo_overhead_pct", 100.0 * overhead)
+        snap = coalescer.stats.snapshot()
+        REPORT.check("solo_batches_stay_solo", snap["solo_batches"] >= repeats)
+        if TIMING_ASSERTS:
+            assert REPORT.check("solo_overhead_le_10pct", overhead <= 0.10), (
+                f"solo overhead {100 * overhead:.1f}%"
+            )
+        cluster.close()

@@ -38,6 +38,7 @@ from .errors import (
 )
 from .filters import FieldIn, FieldMatch, FieldRange, Filter, HasId, IsEmpty
 from .recommend import RecommendRequest
+from .scheduler import CoalescePolicy, CoalesceStats, QueryCoalescer
 from .snapshot import load_snapshot, save_snapshot
 from .types import (
     CollectionConfig,
@@ -88,6 +89,9 @@ __all__ = [
     "HasId",
     "IsEmpty",
     "RecommendRequest",
+    "CoalescePolicy",
+    "CoalesceStats",
+    "QueryCoalescer",
     "save_snapshot",
     "load_snapshot",
     "VectorDBError",

@@ -31,7 +31,7 @@ from ..obs.clock import monotonic
 from ..obs.trace import get_tracer
 from .client import BatchTimings, chunk
 from .cluster import Cluster
-from .types import PointStruct, ScoredPoint, SearchParams, SearchRequest
+from .types import PointStruct, ScoredPoint, SearchParams, SearchRequest, SearchResult
 
 __all__ = ["AsyncClient", "AsyncRunReport"]
 
@@ -67,9 +67,17 @@ class AsyncRunReport:
 
 
 class AsyncClient:
-    """asyncio client with a bounded-concurrency upload/query pipeline."""
+    """asyncio client with a bounded-concurrency upload/query pipeline.
 
-    def __init__(self, cluster: Cluster, collection: str, *, max_channels: int = 16):
+    ``coalesce=True`` routes single-query searches through the cluster's
+    shared :class:`~repro.core.scheduler.QueryCoalescer`: the coroutine
+    awaits the coalescer's future directly (``asyncio.wrap_future``), so
+    an in-flight query costs no executor thread — concurrency is then
+    bounded by the coalescer's batching, not by ``max_channels``.
+    """
+
+    def __init__(self, cluster: Cluster, collection: str, *, max_channels: int = 16,
+                 coalesce: bool = False, coalescer=None):
         self.cluster = cluster
         self.collection = collection
         # The executor models the async channel: in-flight requests travel
@@ -77,6 +85,14 @@ class AsyncClient:
         # comes from the server side or the CPU-bound conversion on the
         # event loop — exactly the paper's bottleneck decomposition.
         self._executor = ThreadPoolExecutor(max_workers=max_channels)
+        if coalescer is not None:
+            self.coalescer = coalescer
+        elif coalesce:
+            from .scheduler import QueryCoalescer
+
+            self.coalescer = QueryCoalescer.for_cluster(cluster)
+        else:
+            self.coalescer = None
 
     def close(self) -> None:
         self._executor.shutdown(wait=False)
@@ -218,3 +234,51 @@ class AsyncClient:
     def search_many(self, vectors: Sequence, **kwargs
                     ) -> tuple[list[list[ScoredPoint]], AsyncRunReport]:
         return asyncio.run(self.search_many_async(vectors, **kwargs))
+
+    async def search_async(self, vector, *, limit: int = 10,
+                           allow_partial: bool = False, **kwargs):
+        """One query as a coroutine.
+
+        With coalescing enabled this awaits the coalescer's future — the
+        event loop holds no executor thread while the query batches and
+        fans out.  Without a coalescer (or on backpressure) it falls back
+        to running ``Cluster.search`` in the channel executor.
+        """
+        request = SearchRequest(vector=vector, limit=limit,
+                                allow_partial=allow_partial, **kwargs)
+        if self.coalescer is not None and not self.coalescer.closed:
+            future = self.coalescer.submit(self.collection, request)
+            if future is not None:
+                return await asyncio.wrap_future(future)
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            self._executor, partial(self.cluster.search, self.collection, request)
+        )
+
+    async def search_each_async(
+        self,
+        vectors: Sequence,
+        *,
+        limit: int = 10,
+        params: SearchParams | None = None,
+        allow_partial: bool = False,
+    ) -> list[SearchResult]:
+        """Issue one query per vector concurrently, preserving input order.
+
+        The per-query analogue of :meth:`search_many_async`: instead of the
+        *client* packing explicit batches, each query is submitted alone
+        and the coalescer (when enabled) re-discovers the batch on the
+        server side — the paper's Figure 4 batching win without requiring
+        callers to arrive pre-batched.
+        """
+        return list(
+            await asyncio.gather(
+                *(
+                    self.search_async(
+                        v, limit=limit, params=params or SearchParams(),
+                        allow_partial=allow_partial,
+                    )
+                    for v in vectors
+                )
+            )
+        )

@@ -90,13 +90,31 @@ class BatchTimings:
 
 
 class SyncClient:
-    """Blocking client bound to one cluster and one collection."""
+    """Blocking client bound to one cluster and one collection.
 
-    def __init__(self, cluster: Cluster, collection: str):
+    ``coalesce=True`` opts single-query :meth:`search` calls into the
+    cluster's shared :class:`~repro.core.scheduler.QueryCoalescer`:
+    concurrent searches from independent clients of the same cluster
+    merge into amortized fan-outs (results are unchanged — see the
+    scheduler module).  Pass ``coalescer`` to use a specific instance
+    (e.g. one with a custom :class:`~repro.core.scheduler.CoalescePolicy`);
+    otherwise the cluster's shared one is created on first use.
+    """
+
+    def __init__(self, cluster: Cluster, collection: str, *,
+                 coalesce: bool = False, coalescer=None):
         self.cluster = cluster
         self.collection = collection
         self.upload_timings = BatchTimings()
         self.query_timings = BatchTimings()
+        if coalescer is not None:
+            self.coalescer = coalescer
+        elif coalesce:
+            from .scheduler import QueryCoalescer
+
+            self.coalescer = QueryCoalescer.for_cluster(cluster)
+        else:
+            self.coalescer = None
 
     # -- upload ----------------------------------------------------------------
 
@@ -201,12 +219,15 @@ class SyncClient:
                **kwargs) -> list[ScoredPoint]:
         """One query.  ``allow_partial=True`` opts into degraded reads: under
         total replica loss of a shard the hits from surviving shards come
-        back (flagged on the result) instead of an error."""
-        return self.cluster.search(
-            self.collection,
-            SearchRequest(vector=vector, limit=limit,
-                          allow_partial=allow_partial, **kwargs),
-        )
+        back (flagged on the result) instead of an error.  With coalescing
+        enabled the query may share its fan-out with concurrent callers
+        (identical results; falls back to the direct path on backpressure).
+        """
+        request = SearchRequest(vector=vector, limit=limit,
+                                allow_partial=allow_partial, **kwargs)
+        if self.coalescer is not None and not self.coalescer.closed:
+            return self.coalescer.search(self.collection, request)
+        return self.cluster.search(self.collection, request)
 
     def search_many(
         self,

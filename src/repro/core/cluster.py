@@ -271,6 +271,9 @@ class Cluster:
         # policy sets ``timeout_s`` (an abandoned call keeps its thread
         # until the transport returns, as with a real socket timeout).
         self._timeout_pool: ThreadPoolExecutor | None = None
+        #: Shared micro-batching scheduler, attached lazily by
+        #: :meth:`repro.core.scheduler.QueryCoalescer.for_cluster`.
+        self.coalescer = None
 
     # -- fan-out --------------------------------------------------------------
 
@@ -519,7 +522,11 @@ class Cluster:
         return UpdateResult(max(r.operation_id for r in results), status)
 
     def close(self) -> None:
-        """Shut down the fan-out pools (idempotent)."""
+        """Shut down the coalescer and fan-out pools (idempotent)."""
+        if self.coalescer is not None:
+            # Drain queued queries first: their dispatches still need the
+            # fan-out pools shut down below.
+            self.coalescer.close()
         if self._executor is not None:
             self._executor.shutdown(wait=True)
             self._executor = None
@@ -1194,6 +1201,72 @@ class Cluster:
         self._hist_query.observe(wall / len(requests))
         return out
 
+    def search_batch_demux(
+        self, name: str, requests: Sequence[SearchRequest]
+    ) -> list["SearchResult | Exception"]:
+        """One shared fan-out, per-request failover semantics.
+
+        The coalescer's execution path.  Unlike :meth:`search_batch` —
+        where one strict request keeps the whole batch strict — each slot
+        of the returned list carries exactly what its request would have
+        seen on the serial :meth:`search` path: a ``SearchResult`` with
+        that request's own ``shards_total`` / ``shards_answered`` (flagged
+        degraded only if one of *its* shards went unanswered and it set
+        ``allow_partial``), or the ``NoReplicaAvailableError`` a strict
+        request would have raised.  A failed shard therefore degrades only
+        the callers whose shard set covers it; it never poisons the batch.
+        """
+        name, state = self._resolve(name)
+        requests = list(requests)
+        if not requests:
+            return []
+        tracer = get_tracer()
+        t0 = monotonic()
+        with tracer.span(
+            "cluster.search_batch",
+            {"collection": name, "requests": len(requests), "demux": True}
+            if tracer.enabled else None,
+        ):
+            # Per-request shard coverage (the serial path's shard_ids), plus
+            # the union actually fanned out to.
+            per_request_shards = [
+                self._query_shards(state, self._predicated_shards(state, r))
+                for r in requests
+            ]
+            union: list[int] = sorted({s for ids in per_request_shards for s in ids})
+            if union:
+                # Never raise mid-batch: gather what answers, then apply
+                # each request's own strictness when demultiplexing.
+                per_worker, answered = self._failover_read(
+                    name, state, union, "search_batch", requests,
+                    allow_partial=True,
+                )
+            else:
+                per_worker, answered = [], set()
+            out: list[SearchResult | Exception] = []
+            for qi, (request, shard_ids) in enumerate(
+                zip(requests, per_request_shards)
+            ):
+                if not shard_ids:
+                    out.append(SearchResult([], shards_total=0))
+                    continue
+                missing = set(shard_ids) - answered
+                if missing and not request.allow_partial:
+                    out.append(NoReplicaAvailableError(min(missing)))
+                    continue
+                partials = [worker_hits[qi] for worker_hits in per_worker]
+                out.append(
+                    SearchResult(
+                        self._reduce(state, partials, request.limit),
+                        shards_total=len(shard_ids),
+                        shards_answered=len(set(shard_ids) & answered),
+                    )
+                )
+        wall = monotonic() - t0
+        self._hist_query_batch.observe(wall)
+        self._hist_query.observe(wall / len(requests))
+        return out
+
     @staticmethod
     def _reduce(state: ClusterCollectionState, partials: list[list[ScoredPoint]],
                 limit: int) -> list[ScoredPoint]:
@@ -1278,6 +1351,8 @@ class Cluster:
         self.fanout_stats.reset()
         self.ingest_stats.reset()
         self.failover_stats.reset()
+        if self.coalescer is not None:
+            self.coalescer.stats.reset()
         if workers:
             for worker in self.workers():
                 worker.reset_stats()

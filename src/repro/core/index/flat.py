@@ -89,7 +89,14 @@ class FlatIndex:
         predicate: OffsetPredicate | None = None,
         **params,
     ) -> list[tuple[np.ndarray, np.ndarray]]:
-        """Batched exact search: one GEMM for the whole query batch."""
+        """Batched exact search: one predicate pass + gather for the batch.
+
+        Scores each query with the same GEMV kernel :meth:`search` uses (a
+        batch GEMM rounds differently in the last bit), so element ``i``
+        is bit-identical to ``search(queries[i], k)`` — the member scan,
+        predicate evaluation and arena gather are still amortized across
+        the batch, which is where the filtered-scan time goes.
+        """
         offsets = self._member_offsets()
         if predicate is not None:
             keep = np.fromiter(
@@ -100,10 +107,10 @@ class FlatIndex:
             empty = (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float32))
             return [empty for _ in range(len(queries))]
         matrix = self._arena.take(offsets)
-        all_scores = distances.score_pairwise(matrix, queries, self.distance)
         self.stats.distance_computations += int(offsets.size) * len(queries)
         out = []
-        for row in all_scores:
-            idx, top_scores = distances.top_k(row, k, self.distance)
+        for query in queries:
+            scores = distances.score_batch(matrix, query, self.distance)
+            idx, top_scores = distances.top_k(scores, k, self.distance)
             out.append((offsets[idx], top_scores))
         return out

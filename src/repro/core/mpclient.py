@@ -35,6 +35,7 @@ from .types import PointStruct
 
 __all__ = [
     "ParallelClientPool",
+    "ParallelQueryReport",
     "ParallelUploadReport",
     "convert_batch_worker",
     "convert_batch_arrays",
@@ -87,6 +88,27 @@ class ParallelUploadReport:
     @property
     def throughput_pps(self) -> float:
         return self.points / self.total_s if self.total_s > 0 else float("inf")
+
+
+@dataclass
+class ParallelQueryReport:
+    """Outcome of a pool query run."""
+
+    total_s: float
+    queries: int
+    clients: int
+    #: Coalescer counters accumulated during the run (empty when the run
+    #: was uncoalesced): batches formed, widths, bypasses.
+    coalesce: dict = field(default_factory=dict)
+
+    @property
+    def throughput_qps(self) -> float:
+        return self.queries / self.total_s if self.total_s > 0 else float("inf")
+
+    @property
+    def mean_batch_width(self) -> float:
+        batches = self.coalesce.get("batches", 0)
+        return self.coalesce.get("total_width", 0) / batches if batches else 0.0
 
 
 class ParallelClientPool:
@@ -212,3 +234,68 @@ class ParallelClientPool:
             report.batches_per_client[worker_id] = n_batches
             report.per_client_s[worker_id] = elapsed
         return report
+
+    def search_many(
+        self,
+        vectors: Sequence,
+        *,
+        limit: int = 10,
+        clients: int | None = None,
+        coalesce: bool = True,
+        allow_partial: bool = False,
+    ) -> tuple[list, ParallelQueryReport]:
+        """Independent concurrent query clients over one shared coalescer.
+
+        The multi-client half of §3.4: ``clients`` threads (default: one
+        per worker, like the upload pool) stripe the vector list and each
+        issues plain single-query searches.  With ``coalesce=True`` all
+        clients share the *process-wide* coalescer for this cluster, so
+        queries that arrive together merge into amortized fan-outs —
+        without the clients ever exchanging batches.  ``coalesce=False``
+        gives the uncoalesced baseline (each query pays a full fan-out).
+        Results preserve input order and are identical either way.
+        """
+        from .scheduler import QueryCoalescer
+        from .types import SearchRequest
+
+        vectors = list(vectors)
+        n_clients = clients if clients is not None else max(1, len(self.cluster.workers()))
+        n_clients = min(n_clients, len(vectors)) or 1
+        coalescer = QueryCoalescer.for_cluster(self.cluster) if coalesce else None
+        before = coalescer.stats.snapshot() if coalescer is not None else {}
+        results: list = [None] * len(vectors)
+        tracer = get_tracer()
+
+        def client_run(stripe: int, ctx) -> None:
+            with tracer.activate(ctx):
+                for i in range(stripe, len(vectors), n_clients):
+                    request = SearchRequest(
+                        vector=vectors[i], limit=limit, allow_partial=allow_partial
+                    )
+                    if coalescer is not None:
+                        results[i] = coalescer.search(self.collection, request)
+                    else:
+                        results[i] = self.cluster.search(self.collection, request)
+
+        start = monotonic()
+        with tracer.span(
+            "client.pool_search",
+            {"queries": len(vectors), "clients": n_clients, "coalesce": coalesce}
+            if tracer.enabled else None,
+        ):
+            ctx = tracer.current_context()
+            with ThreadPoolExecutor(max_workers=n_clients) as pool:
+                futures = [
+                    pool.submit(client_run, stripe, ctx) for stripe in range(n_clients)
+                ]
+                for f in futures:
+                    f.result()
+        report = ParallelQueryReport(
+            total_s=monotonic() - start, queries=len(vectors), clients=n_clients
+        )
+        if coalescer is not None:
+            after = coalescer.stats.snapshot()
+            report.coalesce = {k: after[k] - before.get(k, 0) for k in after}
+            # High-water mark, not a counter — a diff would underreport it.
+            report.coalesce["max_width"] = after["max_width"]
+        return results, report

@@ -447,7 +447,7 @@ class Segment:
         """Batched search; element ``i`` matches ``search(queries[i], k, ...)``.
 
         Routes through the index's batch entry point (compiled HNSW, flat
-        GEMM) whenever one applies — the filter predicate is built once for
+        shared-gather scan) whenever one applies — the filter predicate is built once for
         the whole batch instead of once per query, and ``ef``/
         ``score_threshold`` no longer force the per-query fallback.  Only the
         quantized scan and forced-exact-over-index combinations fall back to
@@ -493,10 +493,12 @@ class Segment:
                 for q in queries
             ]
 
-        # Flat scan: one GEMM for the whole batch; the live-offset list and
-        # filter predicate are computed once instead of once per query.
+        # Flat scan: the live-offset list, filter predicate and arena gather
+        # are computed once instead of once per query; scoring stays on the
+        # single-query GEMV kernel so results are bit-identical to
+        # ``search`` (a whole-batch GEMM rounds differently in the last bit).
         if self._distance is Distance.COSINE and len(queries):
-            queries = distances.normalize_batch(queries)
+            queries = np.stack([distances.normalize(q) for q in queries])
         live = self._ids.live_offsets()
         predicate = self._offset_predicate(flt)
         if predicate is not None:
@@ -504,10 +506,10 @@ class Segment:
         if live.size == 0:
             return [[] for _ in range(len(queries))]
         matrix = self._arena.take(live)
-        all_scores = distances.score_pairwise(matrix, queries, self._distance)
         out = []
-        for row in all_scores:
-            idx, top = distances.top_k(row, k, self._distance)
+        for query in queries:
+            scores = distances.score_batch(matrix, query, self._distance)
+            idx, top = distances.top_k(scores, k, self._distance)
             out.append(
                 self._postprocess(
                     live[idx],

@@ -35,6 +35,7 @@ __all__ = [
     "FanoutTelemetry",
     "IngestTelemetry",
     "FailoverTelemetry",
+    "CoalesceTelemetry",
     "TelemetrySnapshot",
     "collect",
 ]
@@ -203,6 +204,42 @@ class FailoverTelemetry:
         )
 
 
+@dataclass(frozen=True)
+class CoalesceTelemetry:
+    """Micro-batching counters (from :class:`~.scheduler.CoalesceStats`).
+
+    ``mean_width`` is the amortization factor the coalescer achieved —
+    queries per shared fan-out; ``solo_batches`` counts width-1 dispatches
+    (idle traffic paying ~no window); ``bypasses`` counts admissions
+    refused under backpressure (those queries ran the direct path).  Queue
+    wait percentiles live in the ``coalesce.wait_s`` histogram of
+    :attr:`TelemetrySnapshot.histograms`.  All zero when no coalescer is
+    attached.  ``max_width`` is a high-water mark, kept (not subtracted)
+    by ``minus``.
+    """
+
+    batches: int = 0
+    coalesced: int = 0
+    total_width: int = 0
+    max_width: int = 0
+    solo_batches: int = 0
+    bypasses: int = 0
+
+    @property
+    def mean_width(self) -> float:
+        return 0.0 if self.batches == 0 else self.total_width / self.batches
+
+    def minus(self, earlier: "CoalesceTelemetry") -> "CoalesceTelemetry":
+        return CoalesceTelemetry(
+            batches=self.batches - earlier.batches,
+            coalesced=self.coalesced - earlier.coalesced,
+            total_width=self.total_width - earlier.total_width,
+            max_width=self.max_width,
+            solo_batches=self.solo_batches - earlier.solo_batches,
+            bypasses=self.bypasses - earlier.bypasses,
+        )
+
+
 @dataclass
 class TelemetrySnapshot:
     """All workers' counters, plus cluster-level aggregates."""
@@ -211,6 +248,7 @@ class TelemetrySnapshot:
     fanout: FanoutTelemetry = field(default_factory=FanoutTelemetry)
     ingest: IngestTelemetry = field(default_factory=IngestTelemetry)
     failover: FailoverTelemetry = field(default_factory=FailoverTelemetry)
+    coalesce: CoalesceTelemetry = field(default_factory=CoalesceTelemetry)
     #: Aggregated over every shard-collection's last parallel build pass:
     #: pool utilization is ``busy / (wall * workers)``.
     build_wall_seconds: float = 0.0
@@ -308,6 +346,7 @@ class TelemetrySnapshot:
         out.fanout = self.fanout.minus(earlier.fanout)
         out.ingest = self.ingest.minus(earlier.ingest)
         out.failover = self.failover.minus(earlier.failover)
+        out.coalesce = self.coalesce.minus(earlier.coalesce)
         out.build_wall_seconds = self.build_wall_seconds - earlier.build_wall_seconds
         out.build_busy_seconds = self.build_busy_seconds - earlier.build_busy_seconds
         out.build_pool_workers = self.build_pool_workers
@@ -355,6 +394,16 @@ def collect(cluster: Cluster) -> TelemetrySnapshot:
             sorted((wid, state.value) for wid, state in cluster.health.states().items())
         ),
     )
+    if cluster.coalescer is not None:
+        cs = cluster.coalescer.stats.snapshot()
+        snapshot.coalesce = CoalesceTelemetry(
+            batches=cs["batches"],
+            coalesced=cs["coalesced"],
+            total_width=cs["total_width"],
+            max_width=cs["max_width"],
+            solo_batches=cs["solo_batches"],
+            bypasses=cs["bypasses"],
+        )
     snapshot.histograms = cluster.metrics.snapshot_histograms()
     tracer = get_tracer()
     snapshot.spans_recorded = tracer.span_count

@@ -96,23 +96,53 @@ class QueryScalingModel:
             1.0 - 1.0 / workers**2
         )
 
-    def per_query_s(self, workers: int, dataset_gib: float) -> float:
+    def per_query_s(self, workers: int, dataset_gib: float, *,
+                    coalesce_width: float = 1.0) -> float:
+        """Per-query cost; ``coalesce_width`` models the micro-batching
+        scheduler.
+
+        A coalesced batch of ``w`` queries pays the client overhead and
+        the broadcast–reduce communication **once**, so per query those
+        terms divide by ``w``; the shard-side search work ``t_s(n/W)`` is
+        per query regardless and does not amortize.  ``w = 1`` is the
+        uncoalesced Figure 5 model unchanged.
+        """
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        if coalesce_width < 1:
+            raise ValueError("coalesce width must be >= 1")
         n = self.data.vectors_for_gib(dataset_gib)
         return (
-            self.cal.client_overhead_s
-            + self.comm_s(workers)
+            (self.cal.client_overhead_s + self.comm_s(workers)) / coalesce_width
             + self.shard_search_s(n / workers)
         )
 
-    def time_s(self, workers: int, dataset_gib: float, *, n_queries: int | None = None
-               ) -> float:
+    def time_s(self, workers: int, dataset_gib: float, *, n_queries: int | None = None,
+               coalesce_width: float = 1.0) -> float:
         nq = n_queries if n_queries is not None else self.cal.n_queries
-        return nq * self.per_query_s(workers, dataset_gib)
+        return nq * self.per_query_s(
+            workers, dataset_gib, coalesce_width=coalesce_width
+        )
 
-    def speedup(self, workers: int, dataset_gib: float) -> float:
-        return self.time_s(1, dataset_gib) / self.time_s(workers, dataset_gib)
+    def speedup(self, workers: int, dataset_gib: float, *,
+                coalesce_width: float = 1.0) -> float:
+        return self.time_s(1, dataset_gib) / self.time_s(
+            workers, dataset_gib, coalesce_width=coalesce_width
+        )
+
+    def coalesce_speedup(self, workers: int, dataset_gib: float,
+                         coalesce_width: float) -> float:
+        """Throughput gain of coalescing at width ``w`` over solo queries on
+        the *same* worker count — the quantity ``BENCH_query.json`` measures.
+
+        Grows toward ``1 + (χ + comm)/t_s`` as ``w → ∞``: the win is largest
+        exactly where Figure 5 shows broadcast–reduce overhead dominating
+        (small datasets, many workers), which is the regime the paper's
+        multi-client query sweep operates in.
+        """
+        return self.per_query_s(workers, dataset_gib) / self.per_query_s(
+            workers, dataset_gib, coalesce_width=coalesce_width
+        )
 
     def crossover_gib(self, workers: int, *, lo: float = 0.1, hi: float = 100.0) -> float:
         """Dataset size where W workers first beat a single worker."""

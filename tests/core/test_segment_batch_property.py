@@ -1,10 +1,10 @@
 """Property: ``Segment.search_batch(qs, k)[i] == Segment.search(qs[i], k)``.
 
-Holds on both the flat-scan path (one GEMM for the batch) and the HNSW
-path (compiled CSR batch entry).  For HNSW the batch reuses the exact
-per-query traversal, so equality is bit-for-bit; the flat batch GEMM may
-round differently from the per-query GEMV in the last bit, so scores are
-compared to float32 resolution there (ids must still agree).
+Holds bit-for-bit on both the flat-scan path and the HNSW path (compiled
+CSR batch entry): HNSW reuses the exact per-query traversal, and the flat
+batch scores each query with the same GEMV kernel as the single path (the
+shared gather is what the batch amortizes).  Bit-identity is what lets the
+query coalescer merge independent callers without changing their results.
 """
 
 import numpy as np
@@ -81,14 +81,7 @@ def test_flat_batch_equals_single(qs):
         seg = _SEGMENTS[(distance, False)]
         batch = seg.search_batch(qs, 5)
         for q, hits in zip(qs, batch):
-            single = seg.search(q, 5)
-            assert [h.id for h in hits] == [h.id for h in single]
-            np.testing.assert_allclose(
-                [h.score for h in hits],
-                [h.score for h in single],
-                rtol=1e-5,
-                atol=1e-6,
-            )
+            assert hit_keys(hits) == hit_keys(seg.search(q, 5))
 
 
 def test_hnsw_batch_equals_single_with_ef_and_threshold():

@@ -73,6 +73,28 @@ class TestEstimatePayloadBytes:
 
         assert estimate_payload_bytes(Obj()) >= 16
 
+    def test_long_homogeneous_list_sampled_exactly(self):
+        # The sample-and-extrapolate fast path must be *exact* when every
+        # element has the same size (batched points / query vectors — the
+        # instrumented hot path whose cost must stay flat in batch width).
+        rows = [np.zeros(16, dtype=np.float32) for _ in range(500)]
+        assert estimate_payload_bytes(rows) == 500 * 64
+        from repro.core.types import PointStruct
+
+        pts = [
+            PointStruct(id=i, vector=np.zeros(16, dtype=np.float32))
+            for i in range(300)
+        ]
+        assert estimate_payload_bytes(pts) == sum(
+            estimate_payload_bytes(p) for p in pts
+        )
+
+    def test_heterogeneous_list_stays_exact(self):
+        # Mixed element types must take the exact element-walk path — the
+        # head/tail sample would extrapolate the wrong mean.
+        mixed = [1] * 100 + ["abcd"] * 100
+        assert estimate_payload_bytes(mixed) == 100 * 8 + 100 * 4
+
     def test_numpy_scalars_use_itemsize(self):
         # Regression: numpy scalars fell through to the 16-byte default.
         assert estimate_payload_bytes(np.float32(1.5)) == 4
