@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction.
 
-.PHONY: install test bench bench-micro bench-insert bench-insert-smoke bench-fault bench-fault-smoke bench-query bench-query-smoke paper examples clean
+.PHONY: install test bench bench-micro bench-insert bench-insert-smoke bench-fault bench-fault-smoke bench-query bench-query-smoke bench-quant bench-quant-smoke paper examples clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -41,6 +41,15 @@ bench-query:
 
 bench-query-smoke:
 	REPRO_BENCH_SMOKE=1 PYTHONPATH=src python -m pytest benchmarks/test_query_coalescing.py -q
+
+# Quantized-scoring bench: integer-domain scan vs the decode-tile baseline
+# at 100k x 256, allocation bound (no per-query float32 decode), recall@10
+# parity under exact rescore.
+bench-quant:
+	PYTHONPATH=src python -m pytest benchmarks/test_quantized_scoring.py -q
+
+bench-quant-smoke:
+	REPRO_BENCH_SMOKE=1 PYTHONPATH=src python -m pytest benchmarks/test_quantized_scoring.py -q
 
 paper:
 	python -m repro.bench

@@ -390,6 +390,12 @@ class Collection:
             report.segments_indexed += 1
             report.vectors_indexed += len(seg)
             report.index_builds.append((seg.segment_id, len(seg)))
+        if self.config.quantization.enabled:
+            # Indexing no longer excludes quantization: freshly indexed
+            # segments get codes too, so HNSW traverses in the code domain.
+            for seg in targets:
+                if not seg.is_quantized and len(seg):
+                    seg.enable_quantization()
         self._last_report = report
         return report
 
@@ -463,6 +469,7 @@ class Collection:
                         with_payload=request.with_payload,
                         with_vector=request.with_vector,
                         score_threshold=request.score_threshold,
+                        quantization_rescore=params.quantization_rescore,
                     )
                 )
         return self._merge_hits(per_segment, request.limit)
@@ -582,6 +589,7 @@ class Collection:
                 p.exact,
                 p.hnsw_ef,
                 p.ivf_nprobe,
+                p.quantization_rescore,
             )
 
         homogeneous = all(r.filter is r0.filter and key(r) == key(r0) for r in requests)
@@ -602,6 +610,7 @@ class Collection:
                 with_payload=r0.with_payload,
                 with_vector=r0.with_vector,
                 score_threshold=r0.score_threshold,
+                quantization_rescore=p0.quantization_rescore,
             )
             for qi, hits in enumerate(seg_hits):
                 per_query[qi].append(hits)

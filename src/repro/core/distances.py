@@ -30,6 +30,9 @@ __all__ = [
     "euclidean_sq",
     "score_batch",
     "score_pairwise",
+    "dot_codes",
+    "dot_codes_batch",
+    "CODE_GEMM_TILE_ROWS",
     "top_k",
     "merge_top_k",
 ]
@@ -149,6 +152,75 @@ def score_pairwise(
         np.maximum(scores, 0.0, out=scores)
         return scores
     raise ValueError(f"unknown distance {distance!r}")
+
+
+#: Row-tile size for the batched code GEMM.  Bounds the float work buffer to
+#: ``CODE_GEMM_TILE_ROWS * dim`` floats regardless of how many codes are
+#: scored — the whole point of the integer-domain scan is never allocating
+#: an O(n·d) float32 matrix.
+CODE_GEMM_TILE_ROWS = 8192
+
+
+def _code_accumulators(dim: int) -> tuple[type, type]:
+    """(GEMV int dtype, GEMM float dtype) that make code products *exact*.
+
+    A code product ``c · cq`` sums ``dim`` terms of at most ``255²``.  The
+    integer GEMV accumulates in int32 (int64 past the overflow bound); the
+    float GEMM path relies on every partial sum being an integer below the
+    mantissa limit, so float32 is exact only while ``dim · 255² < 2^24`` and
+    float64 (exact to 2^53) takes over beyond.  Exactness is what makes the
+    GEMV and GEMM kernels agree *bit for bit* — integer arithmetic is
+    associative, so the accumulation order BLAS picks cannot matter.
+    """
+    max_sum = dim * 255 * 255
+    int_dtype = np.int32 if max_sum < 2**31 else np.int64
+    float_dtype = np.float32 if max_sum < 2**24 else np.float64
+    return int_dtype, float_dtype
+
+
+def dot_codes(codes: np.ndarray, query_codes: np.ndarray) -> np.ndarray:
+    """Integer dot product of every uint8 code row with a uint8 query code.
+
+    One buffered-cast einsum — no float32 copy of ``codes`` is ever
+    materialized (the nditer buffer is a few KiB), and the result is the
+    *exact* integer product, so it equals any column of
+    :func:`dot_codes_batch` bit for bit.
+    """
+    int_dtype, _ = _code_accumulators(codes.shape[1])
+    return np.einsum("ij,j->i", codes, query_codes, dtype=int_dtype)
+
+
+def dot_codes_batch(
+    codes: np.ndarray,
+    query_codes: np.ndarray,
+    *,
+    tile_rows: int = CODE_GEMM_TILE_ROWS,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
+    """Exact integer code products for a batch: returns ``(n_codes, n_queries)``.
+
+    The code matrix is cast tile-by-tile into a reused ``tile_rows × dim``
+    float buffer and multiplied against all query codes with one BLAS GEMM
+    per tile — the cast streams the codes **once per batch** instead of once
+    per query, which is where the batched quantized scan's speedup comes
+    from.  Because every partial sum is an exactly-representable integer
+    (see ``_code_accumulators``), the result equals per-query
+    :func:`dot_codes` bit for bit.
+    """
+    if codes.ndim != 2 or query_codes.ndim != 2:
+        raise ValueError("dot_codes_batch expects 2-D codes and query codes")
+    n, dim = codes.shape
+    _, float_dtype = _code_accumulators(dim)
+    qt = np.ascontiguousarray(query_codes.T, dtype=float_dtype)
+    if out is None:
+        out = np.empty((n, query_codes.shape[0]), dtype=float_dtype)
+    buf = np.empty((min(tile_rows, n), dim), dtype=float_dtype)
+    for start in range(0, n, tile_rows):
+        end = min(start + tile_rows, n)
+        tile = buf[: end - start]
+        tile[...] = codes[start:end]
+        np.matmul(tile, qt, out=out[start:end])
+    return out
 
 
 def top_k(scores: np.ndarray, k: int, distance: Distance) -> tuple[np.ndarray, np.ndarray]:

@@ -43,9 +43,12 @@ from __future__ import annotations
 
 import heapq
 import math
+import time
 
 import numpy as np
 
+from ...obs.metrics import get_registry
+from ..quantization import CodeStore, QuantizedQuery, ScalarQuantizer
 from ..storage import VectorArena
 from ..types import Distance, HnswConfig
 from .base import IndexStats, OffsetPredicate
@@ -104,6 +107,10 @@ class HnswIndex:
         self._rng = np.random.default_rng(self.config.seed)
         self._m0 = 2 * self.config.m
         self._compiled: _CompiledGraph | None = None
+        self._qstore: CodeStore | None = None
+        self._quantizer: ScalarQuantizer | None = None
+        #: Quantized-traversal counters (aggregated by cluster telemetry).
+        self.quant_stats = {"searches": 0, "rescored": 0}
 
     # -- basic properties ---------------------------------------------------
 
@@ -126,6 +133,25 @@ class HnswIndex:
     @property
     def max_level(self) -> int:
         return self._max_level
+
+    @property
+    def supports_quantized_search(self) -> bool:
+        return self._qstore is not None
+
+    def attach_quantization(self, store: CodeStore, quantizer: ScalarQuantizer) -> None:
+        """Adopt a segment's code store for quantized traversal.
+
+        The store is the same offset-aligned :class:`CodeStore` the flat
+        quantized scan uses, so beam neighbours are scored straight from
+        uint8 codes (one small exact-integer GEMV per hop) and only the
+        final ``ef`` candidates touch the float vectors for rescoring.
+        """
+        self._qstore = store
+        self._quantizer = quantizer
+
+    def detach_quantization(self) -> None:
+        self._qstore = None
+        self._quantizer = None
 
     def neighbors_of(self, offset: int, layer: int = 0) -> list[int]:
         """Adjacency introspection (used by tests and graph diagnostics)."""
@@ -477,6 +503,149 @@ class HnswIndex:
         self.stats.distance_computations += dcs
         return [(-nd, o) for nd, o in results]
 
+    # -- quantized traversal -----------------------------------------------------
+
+    def _qdist_many(self, qq: QuantizedQuery, rows: np.ndarray) -> np.ndarray:
+        """Internal (smaller-is-better) distances straight from uint8 codes.
+
+        One exact-integer GEMV over the handful of beam neighbours plus the
+        affine correction — the float vectors are never touched during
+        traversal.
+        """
+        self.stats.distance_computations += int(rows.size)
+        sums, sq = self._qstore.corrections(rows)
+        scores = self._quantizer.score_codes(
+            self._qstore.take(rows), sums, sq, qq, self.distance
+        )
+        if self.distance is Distance.EUCLID:
+            return scores
+        return -scores
+
+    def _greedy_step_q(
+        self, qq: QuantizedQuery, ep: int, ep_dist: float, layer: int
+    ) -> tuple[int, float]:
+        """Quantized twin of :meth:`_greedy_step_c` (Algorithm 2, ef=1)."""
+        indptr, indices = self._compiled.layers[layer]
+        improved = True
+        while improved:
+            improved = False
+            nbrs = indices[indptr[ep] : indptr[ep + 1]]
+            if nbrs.size == 0:
+                break
+            dists = self._qdist_many(qq, nbrs)
+            self.stats.hops += 1
+            best = int(np.argmin(dists))
+            if dists[best] < ep_dist:
+                ep = int(nbrs[best])
+                ep_dist = float(dists[best])
+                improved = True
+        return ep, ep_dist
+
+    def _search_layer_q(
+        self,
+        qq: QuantizedQuery,
+        entry: list[tuple[float, int]],
+        ef: int,
+        layer: int,
+        predicate: OffsetPredicate | None = None,
+    ) -> list[tuple[float, int]]:
+        """Quantized twin of :meth:`_search_layer_c`: identical beam logic,
+        neighbour distances come from codes instead of float vectors."""
+        comp = self._compiled
+        indptr, indices = comp.layers[layer]
+        visited = comp.visited
+        epoch = comp.next_epoch()
+        for _, o in entry:
+            visited[o] = epoch
+        candidates = list(entry)
+        heapq.heapify(candidates)
+        if predicate is None:
+            results = [(-d, o) for d, o in entry]
+        else:
+            results = [(-d, o) for d, o in entry if predicate(o)]
+        heapq.heapify(results)
+
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+        nres = len(results)
+        bound = -results[0][0] if nres >= ef else math.inf
+
+        while candidates:
+            dist, current = heappop(candidates)
+            if nres >= ef and dist > bound:
+                break
+            row = indices[indptr[current] : indptr[current + 1]]
+            fresh = row[visited[row] != epoch]
+            if fresh.size == 0:
+                continue
+            visited[fresh] = epoch
+            dists = self._qdist_many(qq, fresh)
+            self.stats.hops += 1
+            if nres >= ef:
+                keep = dists < bound
+                nkeep = np.count_nonzero(keep)
+                if nkeep != keep.shape[0]:
+                    if nkeep == 0:
+                        continue
+                    dists = dists[keep]
+                    fresh = fresh[keep]
+            for nbr_dist, nbr in zip(dists.tolist(), fresh.tolist()):
+                if nbr_dist < bound or nres < ef:
+                    heappush(candidates, (nbr_dist, nbr))
+                    if predicate is None or predicate(nbr):
+                        heappush(results, (-nbr_dist, nbr))
+                        if nres == ef:
+                            heappop(results)
+                        else:
+                            nres += 1
+                        if nres >= ef:
+                            bound = -results[0][0]
+        return [(-nd, o) for nd, o in results]
+
+    def _search_quantized(
+        self,
+        query: np.ndarray,
+        k: int,
+        ef_eff: int,
+        predicate: OffsetPredicate | None,
+        rescore: bool,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Graph traversal over quantized codes, exact rescore of the final
+        ``ef`` candidates (HAKES-style filter-on-compressed + refine)."""
+        registry = get_registry()
+        qq = self._quantizer.encode_query(query)
+        self.quant_stats["searches"] += 1
+        registry.counter("quant.scan").inc()
+        t0 = time.perf_counter()
+        ep = self._entry_point
+        ep_dist = float(self._qdist_many(qq, np.asarray([ep], dtype=np.int64))[0])
+        for layer in range(self._max_level, 0, -1):
+            ep, ep_dist = self._greedy_step_q(qq, ep, ep_dist, layer)
+        results = self._search_layer_q(qq, [(ep_dist, ep)], ef_eff, 0, predicate)
+        registry.histogram("quant.scan_s").observe(time.perf_counter() - t0)
+        if not results:
+            return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float32)
+        if rescore:
+            t0 = time.perf_counter()
+            offs = np.asarray(sorted(o for _, o in results), dtype=np.int64)
+            exact = np.asarray(self._dist_many(query, offs.tolist()))
+            order = np.lexsort((offs, exact))[:k]
+            offsets = offs[order]
+            scores = np.asarray(
+                [self._to_score(float(d)) for d in exact[order]], dtype=np.float32
+            )
+            self.quant_stats["rescored"] += int(offs.size)
+            registry.counter("quant.rescore").inc()
+            registry.histogram("quant.rescore_s").observe(time.perf_counter() - t0)
+            return offsets, scores
+        results.sort()
+        results = results[:k]
+        offsets = np.asarray([o for _, o in results], dtype=np.int64)
+        scores = np.asarray(
+            [self._to_score(d) for d, _ in results], dtype=np.float32
+        )
+        return offsets, scores
+
     # -- persistence -----------------------------------------------------------
 
     def to_arrays(self) -> dict:
@@ -535,12 +704,17 @@ class HnswIndex:
         *,
         predicate: OffsetPredicate | None = None,
         ef: int | None = None,
+        quantized: bool = False,
+        rescore: bool = True,
         **params,
     ) -> tuple[np.ndarray, np.ndarray]:
         """Top-k search (Algorithm 5); returns ``(offsets, scores)``.
 
         Dispatches to the compiled CSR traversal when :meth:`compile` has
-        run; both forms return identical results.
+        run; both forms return identical results.  With ``quantized=True``
+        (and a code store attached) the beam runs over uint8 codes and the
+        final ``ef`` candidates are exact-rescored from the float arena —
+        the composition of quantization with HNSW that real Qdrant ships.
         """
         if self._entry_point is None or k <= 0:
             return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float32)
@@ -553,6 +727,14 @@ class HnswIndex:
         if predicate is not None:
             # widen the beam so enough admissible points survive filtering
             ef_eff = max(ef_eff, 4 * k)
+
+        if quantized and self._qstore is not None:
+            # Quantized traversal needs the CSR form; compile on demand (a
+            # mutation since the last compile just recompiles here).
+            if self._compiled is None:
+                self.compile()
+            if self._compiled is not None:
+                return self._search_quantized(query, k, ef_eff, predicate, rescore)
 
         compiled = self._compiled is not None
         ep = self._entry_point

@@ -117,4 +117,10 @@ class SegmentOptimizer:
             report.segments_indexed += 1
             report.vectors_indexed += len(seg)
             report.index_builds.append((seg.segment_id, len(seg)))
+        if self.config.quantization.enabled:
+            # Quantization composes with indexing: sealed+indexed segments
+            # are encoded too, enabling quantized HNSW traversal.
+            for seg in targets:
+                if not seg.is_quantized and len(seg):
+                    seg.enable_quantization()
         return segments

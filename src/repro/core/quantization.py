@@ -1,25 +1,96 @@
-"""Scalar (int8) quantization of stored vectors.
+"""Scalar (int8) quantization of stored vectors — integer-domain scoring.
 
 Implements Qdrant's "scalar" quantization mode: each float32 component is
 mapped to int8 through a global affine transform computed from a clipping
-quantile of the training data.  Quantized scoring runs the distance kernel
-over a small float32 *dequantized tile* per batch (keeping BLAS in play)
-while storing vectors at 4× compression; candidates can then be rescored
-against the original float vectors ("rescore" in the search params).
+quantile of the training data.  Scoring never dequantizes the code matrix:
+the query is quantized too (with its own per-query affine range), so every
+distance reduces to one integer GEMM/GEMV over the uint8 codes plus O(n)
+affine corrections from per-vector code sums and squared code norms::
 
-This module provides the codec; :class:`repro.core.segment.Segment` wires it
-into search when ``CollectionConfig.quantization.enabled`` is true.
+    x̂ = s·c + lo          (stored codec)
+    q̂ = s_q·c_q + lo_q    (query codec)
+
+    x̂·q̂   = s·s_q·(c·c_q) + s·lo_q·Σc + lo·s_q·Σc_q + d·lo·lo_q
+    |x̂|²  = s²·Σc² + 2·s·lo·Σc + d·lo²            (|q̂|² analogous)
+    EUCLID = |x̂|² − 2·x̂·q̂ + |q̂|²  (clamped ≥ 0)
+
+The code products ``c·c_q`` are computed by the *exact* integer kernels in
+:mod:`repro.core.distances` (``dot_codes`` / ``dot_codes_batch``), and the
+affine corrections run elementwise in float64 — so the batched scan returns
+exactly the same float32 scores as the per-query scan, bit for bit.  Against
+decode-then-score (dequantize both sides to float32 and run the float
+kernels), integer-domain scores agree to within float32 rounding of the
+affine expansion: |Δ| ≤ 1e-5 · max(1, |score|) for all three distances —
+the documented tolerance the property tests assert.
+Candidates can then be rescored against the original float vectors
+("rescore" in the search params).
+
+:class:`CodeStore` keeps the uint8 codes and both correction vectors
+offset-aligned with a :class:`~repro.core.storage.VectorArena`, maintained
+incrementally on upsert so sealing/vacuuming never re-encodes from scratch.
+
+:class:`repro.core.segment.Segment` wires this into search when
+``CollectionConfig.quantization.enabled`` is true.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
-__all__ = ["ScalarQuantizer"]
+from .distances import dot_codes, dot_codes_batch
+from .types import Distance
+
+__all__ = [
+    "ScalarQuantizer",
+    "QuantizedQuery",
+    "CodeStore",
+    "code_corrections",
+    "TRAIN_SAMPLE_LIMIT",
+]
+
+#: Above this many scalar values, :meth:`ScalarQuantizer.train` estimates the
+#: clipping quantiles from a deterministic seeded subsample of this size
+#: instead of sorting the full ravel — sealing a 100k×256 segment would
+#: otherwise pay an O(n·d) sort and a 100 MB temporary for two quantiles.
+TRAIN_SAMPLE_LIMIT = 262_144
+
+_TRAIN_SAMPLE_SEED = 0x51C0DEC
+
+
+def code_corrections(codes: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Per-row ``(Σc, Σc²)`` correction terms for a 2-D uint8 code matrix.
+
+    Returned as int64 — exact, and cheap to maintain incrementally (they are
+    computed once per encode, never per query).
+    """
+    codes = np.atleast_2d(codes)
+    sums = codes.sum(axis=1, dtype=np.int64)
+    sq = np.einsum("ij,ij->i", codes, codes, dtype=np.int64)
+    return sums, sq
+
+
+@dataclass(frozen=True)
+class QuantizedQuery:
+    """A query quantized with its *own* affine range (min/max, no clipping).
+
+    Quantizing the query is what keeps scoring in the integer domain: the
+    code product ``c·c_q`` is exact, so the batched GEMM and the per-query
+    GEMV agree bit for bit (see the exactness argument in
+    ``distances._code_accumulators``).
+    """
+
+    codes: np.ndarray  # uint8, shape (dim,)
+    lo: float
+    scale: float
+    code_sum: int  # Σc_q
+    code_sq: int  # Σc_q²
+    sq_norm: float  # |q̂|² (float64, for EUCLID)
 
 
 class ScalarQuantizer:
-    """Affine float32 -> int8 codec with vectorized (de)quantization."""
+    """Affine float32 -> int8 codec with integer-domain scoring kernels."""
 
     def __init__(self, quantile: float = 0.99):
         if not 0.5 < quantile <= 1.0:
@@ -39,12 +110,20 @@ class ScalarQuantizer:
             raise RuntimeError("quantizer not trained")
         return (self._lo, self._hi)  # type: ignore[return-value]
 
-    def train(self, data: np.ndarray) -> None:
-        """Fit the clipping range from sample vectors."""
+    def train(self, data: np.ndarray, *, sample_limit: int = TRAIN_SAMPLE_LIMIT) -> None:
+        """Fit the clipping range from sample vectors.
+
+        Above ``sample_limit`` scalar values the quantiles are estimated
+        from a fixed-seed uniform subsample — deterministic across runs,
+        O(sample_limit) instead of an O(n·d) sort over the full ravel.
+        """
         data = np.asarray(data, dtype=np.float32)
         if data.size == 0:
             raise ValueError("cannot train on empty data")
         flat = data.ravel()
+        if flat.size > sample_limit:
+            rng = np.random.default_rng(_TRAIN_SAMPLE_SEED)
+            flat = flat[rng.integers(0, flat.size, size=sample_limit)]
         lo = float(np.quantile(flat, 1.0 - self.quantile))
         hi = float(np.quantile(flat, self.quantile))
         if hi <= lo:
@@ -66,6 +145,114 @@ class ScalarQuantizer:
             raise RuntimeError("quantizer not trained")
         return codes.astype(np.float32) * np.float32(self._scale) + np.float32(self._lo)
 
+    def encode_query(self, query: np.ndarray) -> QuantizedQuery:
+        """Quantize a single query over its own min/max range (no clipping).
+
+        For COSINE the caller normalises the query *before* encoding, same
+        as the float search path, so cosine stays a dot product in the code
+        domain.
+        """
+        query = np.asarray(query, dtype=np.float32)
+        qlo = float(query.min()) if query.size else 0.0
+        qhi = float(query.max()) if query.size else 0.0
+        if qhi <= qlo:
+            qhi = qlo + 1e-6
+        qscale = (qhi - qlo) / 255.0
+        codes = np.round((query - qlo) / qscale).astype(np.uint8)
+        code_sum = int(codes.sum(dtype=np.int64))
+        code_sq = int(np.dot(codes.astype(np.int64), codes.astype(np.int64)))
+        d = query.shape[-1]
+        sq_norm = (
+            qscale * qscale * code_sq
+            + 2.0 * qscale * qlo * code_sum
+            + d * qlo * qlo
+        )
+        return QuantizedQuery(
+            codes=codes,
+            lo=qlo,
+            scale=qscale,
+            code_sum=code_sum,
+            code_sq=code_sq,
+            sq_norm=sq_norm,
+        )
+
+    # -- integer-domain scoring ------------------------------------------------
+
+    def _affine_scores(
+        self,
+        products,
+        code_sums: np.ndarray,
+        code_sq: np.ndarray,
+        qq: QuantizedQuery,
+        distance: Distance,
+    ) -> np.ndarray:
+        """Turn exact integer code products into approximate float scores.
+
+        All arithmetic is elementwise float64 over identical inputs in the
+        single-query and batched paths (the products are exact integers in
+        both), so the two paths return bit-identical float32 scores.
+        """
+        s = float(self._scale)  # type: ignore[arg-type]
+        lo = float(self._lo)  # type: ignore[arg-type]
+        d = qq.codes.shape[0]
+        prod = np.asarray(products, dtype=np.float64)
+        sums = np.asarray(code_sums, dtype=np.float64)
+        dot = (
+            s * qq.scale * prod
+            + (s * qq.lo) * sums
+            + (lo * qq.scale * qq.code_sum + d * lo * qq.lo)
+        )
+        if distance is Distance.EUCLID:
+            sq = np.asarray(code_sq, dtype=np.float64)
+            x_sq = (s * s) * sq + (2.0 * s * lo) * sums + d * lo * lo
+            out = x_sq - 2.0 * dot + qq.sq_norm
+            np.maximum(out, 0.0, out=out)
+            return out.astype(np.float32)
+        # DOT and COSINE (stored vectors + query pre-normalised) are both
+        # plain inner products in the code domain.
+        return dot.astype(np.float32)
+
+    def score_codes(
+        self,
+        codes: np.ndarray,
+        code_sums: np.ndarray,
+        code_sq: np.ndarray,
+        qq: QuantizedQuery,
+        distance: Distance,
+    ) -> np.ndarray:
+        """Score every code row against one quantized query — zero decode."""
+        if not self.is_trained:
+            raise RuntimeError("quantizer not trained")
+        return self._affine_scores(
+            dot_codes(codes, qq.codes), code_sums, code_sq, qq, distance
+        )
+
+    def score_codes_batch(
+        self,
+        codes: np.ndarray,
+        code_sums: np.ndarray,
+        code_sq: np.ndarray,
+        queries: list[QuantizedQuery],
+        distance: Distance,
+    ) -> list[np.ndarray]:
+        """Score a batch of quantized queries with one tiled GEMM.
+
+        Returns one float32 score array per query, each bit-identical to the
+        corresponding :meth:`score_codes` call — the GEMM produces the same
+        exact integer products, and the affine correction is the same
+        per-query float64 pass.
+        """
+        if not self.is_trained:
+            raise RuntimeError("quantizer not trained")
+        if not queries:
+            return []
+        qmat = np.stack([qq.codes for qq in queries])
+        products = dot_codes_batch(codes, qmat)
+        return [
+            self._affine_scores(products[:, j], code_sums, code_sq, qq, distance)
+            for j, qq in enumerate(queries)
+        ]
+
     def quantization_error(self, vectors: np.ndarray) -> float:
         """Mean squared round-trip error (diagnostic)."""
         vectors = np.asarray(vectors, dtype=np.float32)
@@ -75,3 +262,95 @@ class ScalarQuantizer:
     @property
     def compression_ratio(self) -> float:
         return 4.0  # float32 -> uint8
+
+
+class CodeStore:
+    """Growable uint8 code matrix + correction terms, offset-aligned with a
+    :class:`~repro.core.storage.VectorArena`.
+
+    Rows are addressed by arena offset; ``extend``/``overwrite`` mirror the
+    arena's write path so upserts after quantization keep codes and the
+    ``(Σc, Σc²)`` corrections incrementally up to date — no full re-encode,
+    and no stale code matrix (the pre-engine implementation snapshotted the
+    codes once at quantization time).
+    """
+
+    _INITIAL_CAPACITY = 64
+
+    def __init__(self, dim: int):
+        if dim <= 0:
+            raise ValueError("dim must be positive")
+        self._dim = dim
+        self._codes = np.zeros((self._INITIAL_CAPACITY, dim), dtype=np.uint8)
+        self._sums = np.zeros(self._INITIAL_CAPACITY, dtype=np.int64)
+        self._sq = np.zeros(self._INITIAL_CAPACITY, dtype=np.int64)
+        self._count = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def dim(self) -> int:
+        return self._dim
+
+    @property
+    def nbytes(self) -> int:
+        return int(
+            self._codes[: self._count].nbytes
+            + self._sums[: self._count].nbytes
+            + self._sq[: self._count].nbytes
+        )
+
+    def _ensure_capacity(self, needed: int) -> None:
+        cap = self._codes.shape[0]
+        if needed <= cap:
+            return
+        new_cap = max(needed, int(cap * 1.5) + 1)
+        codes = np.zeros((new_cap, self._dim), dtype=np.uint8)
+        codes[: self._count] = self._codes[: self._count]
+        self._codes = codes
+        self._sums = np.resize(self._sums, new_cap)
+        self._sq = np.resize(self._sq, new_cap)
+
+    def extend(self, codes: np.ndarray) -> None:
+        """Append code rows (same order as the matching arena extend)."""
+        codes = np.atleast_2d(np.asarray(codes, dtype=np.uint8))
+        if codes.shape[1] != self._dim:
+            raise ValueError(f"expected dim {self._dim}, got {codes.shape[1]}")
+        n = codes.shape[0]
+        self._ensure_capacity(self._count + n)
+        self._codes[self._count : self._count + n] = codes
+        sums, sq = code_corrections(codes)
+        self._sums[self._count : self._count + n] = sums
+        self._sq[self._count : self._count + n] = sq
+        self._count += n
+
+    def overwrite(self, offset: int, code_row: np.ndarray) -> None:
+        """Replace the codes at ``offset`` and refresh its corrections."""
+        if not 0 <= offset < self._count:
+            raise IndexError(f"offset {offset} out of range")
+        code_row = np.asarray(code_row, dtype=np.uint8).reshape(self._dim)
+        self._codes[offset] = code_row
+        sums, sq = code_corrections(code_row)
+        self._sums[offset] = sums[0]
+        self._sq[offset] = sq[0]
+
+    def view(self) -> np.ndarray:
+        """Zero-copy view of all stored code rows."""
+        return self._codes[: self._count]
+
+    def take(self, offsets: np.ndarray) -> np.ndarray:
+        """Gather code rows by offset (fancy-indexed copy)."""
+        return self._codes[: self._count][offsets]
+
+    def corrections(
+        self, offsets: np.ndarray | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """``(Σc, Σc²)`` int64 arrays — views for all rows, gathers for a
+        subset."""
+        if offsets is None:
+            return self._sums[: self._count], self._sq[: self._count]
+        return (
+            self._sums[: self._count][offsets],
+            self._sq[: self._count][offsets],
+        )

@@ -16,17 +16,19 @@ reduces to dot products throughout the stack.
 from __future__ import annotations
 
 import itertools
+import time
 from typing import Any, Iterable, Iterator, Mapping
 
 import numpy as np
 
+from ..obs.metrics import get_registry
 from . import distances
 from .errors import DimensionMismatchError, PointNotFoundError, SegmentSealedError
 from .filters import Condition
 from .index import FlatIndex, make_index
 from .index.base import OffsetPredicate
 from .payload import PayloadStore
-from .quantization import ScalarQuantizer
+from .quantization import CodeStore, ScalarQuantizer
 from .storage import IdTracker, VectorArena
 from .types import CollectionConfig, Distance, PointId, PointStruct, Record, ScoredPoint
 
@@ -52,7 +54,11 @@ class Segment:
         self._index_kind: str | None = None
         self._sealed = False
         self._quantizer: ScalarQuantizer | None = None
-        self._qcodes: np.ndarray | None = None
+        self._codes: CodeStore | None = None
+        #: Quantized-path counters, aggregated by cluster telemetry:
+        #: ``scans`` quantized first passes served, ``scanned_codes`` code
+        #: rows scored in them, ``rescored`` candidates exact-rescored.
+        self.quant_stats = {"scans": 0, "scanned_codes": 0, "rescored": 0}
 
     # -- introspection -------------------------------------------------------
 
@@ -120,9 +126,13 @@ class Segment:
         if self._ids.contains(point.id):
             offset = self._ids.offset_of(point.id)
             self._arena.overwrite(offset, vec)
+            if self._codes is not None:
+                self._codes.overwrite(offset, self._quantizer.encode(vec))
         else:
             offset = self._arena.append(vec)
             self._ids.register(point.id, offset)
+            if self._codes is not None:
+                self._codes.extend(self._quantizer.encode(vec[None, :]))
             if self._index is not None and self._index.supports_incremental_add:
                 self._index.add(offset, vec)
         self._payloads.set(point.id, point.payload)
@@ -146,6 +156,8 @@ class Segment:
                 mat = distances.normalize_batch(mat)
             offsets = self._arena.extend(mat)
             self._ids.register_batch([p.id for p in fresh], offsets)
+            if self._codes is not None:
+                self._codes.extend(self._quantizer.encode(mat))
             for p, off in zip(fresh, offsets):
                 self._payloads.set(p.id, p.payload)
                 if self._index is not None and self._index.supports_incremental_add:
@@ -171,6 +183,8 @@ class Segment:
             vectors = distances.normalize_batch(vectors)
         offsets = self._arena.extend(vectors)
         self._ids.register_batch([int(i) for i in ids], offsets)
+        if self._codes is not None:
+            self._codes.extend(self._quantizer.encode(vectors))
         for pid, payload in zip(ids, payloads):
             self._payloads.set(int(pid), payload)
         if self._index is not None and self._index.supports_incremental_add:
@@ -223,22 +237,35 @@ class Segment:
             index.compile()
         self._index = index
         self._index_kind = kind
+        if self._quantizer is not None and hasattr(index, "attach_quantization"):
+            index.attach_quantization(self._codes, self._quantizer)
 
     def drop_index(self) -> None:
         self._index = None
         self._index_kind = None
 
     def enable_quantization(self) -> None:
-        """Train the scalar quantizer and encode all live vectors."""
+        """Train the scalar quantizer and encode all vectors into a
+        :class:`CodeStore`.
+
+        The store is offset-aligned with the arena and maintained
+        incrementally by the write path, so later upserts never leave stale
+        codes behind.  When an index supporting quantized traversal is
+        installed (HNSW), the codes are attached to it — indexing and
+        quantization compose instead of excluding each other.
+        """
         qc = self.config.quantization
         live = self._ids.live_offsets()
         if live.size == 0:
             raise ValueError("cannot quantize an empty segment")
         quantizer = ScalarQuantizer(qc.quantile)
-        vectors = self._arena.take(live)
-        quantizer.train(vectors)
+        quantizer.train(self._arena.take(live))
         self._quantizer = quantizer
-        self._qcodes = quantizer.encode(self._arena.view())
+        codes = CodeStore(self._dim)
+        codes.extend(quantizer.encode(self._arena.view()))
+        self._codes = codes
+        if self._index is not None and hasattr(self._index, "attach_quantization"):
+            self._index.attach_quantization(codes, quantizer)
 
     @property
     def is_quantized(self) -> bool:
@@ -262,6 +289,10 @@ class Segment:
         for key in self._payloads.indexed_keys:
             # carry over secondary indexes
             fresh.payload_store.create_keyword_index(key)
+        if self._quantizer is not None and len(fresh):
+            # The rewrite compacts offsets, so codes are re-derived (and the
+            # range retrained) over the surviving vectors.
+            fresh.enable_quantization()
         return fresh
 
     # -- read path ---------------------------------------------------------------
@@ -332,24 +363,97 @@ class Segment:
                 return payloads.evaluate(flt, ids.id_at(off))
         return predicate
 
-    def _quantized_scan(self, query: np.ndarray, k: int, predicate) -> tuple[np.ndarray, np.ndarray]:
-        """Approximate scan over int8 codes, then exact rescore of top-4k."""
-        assert self._quantizer is not None and self._qcodes is not None
+    def _live_offsets_filtered(self, flt: Condition | None) -> np.ndarray:
+        """Live offsets passing the payload filter, gathered once per call.
+
+        ``IdTracker.live_offsets`` already excludes tombstones, so unlike
+        :meth:`_offset_predicate` there is no per-offset deletion recheck;
+        batch paths call this once and reuse the array for every query.
+        """
         live = self._ids.live_offsets()
-        if predicate is not None:
-            live = np.asarray([o for o in live if predicate(int(o))], dtype=np.int64)
-        if live.size == 0:
-            return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float32)
-        approx = self._quantizer.decode(self._qcodes[live])
-        scores = distances.score_batch(approx, query, self._distance)
-        refine_k = min(live.size, max(k, 4 * k))
+        if flt is None or live.size == 0:
+            return live
+        ids, payloads = self._ids, self._payloads
+        candidates = payloads.prefilter_candidates(flt)
+        if candidates is not None:
+            keep = [
+                o
+                for o in live
+                if (pid := ids.id_at(int(o))) in candidates
+                and payloads.evaluate(flt, pid)
+            ]
+        else:
+            keep = [o for o in live if payloads.evaluate(flt, ids.id_at(int(o)))]
+        return np.asarray(keep, dtype=np.int64)
+
+    def _gather_codes(
+        self, live: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(codes, Σc, Σc²)`` rows for ``live`` — zero-copy views when the
+        segment has no tombstones and no filter narrowed the set."""
+        assert self._codes is not None
+        if live.size == len(self._codes):
+            codes = self._codes.view()
+            sums, sq = self._codes.corrections()
+        else:
+            codes = self._codes.take(live)
+            sums, sq = self._codes.corrections(live)
+        return codes, sums, sq
+
+    def _quantized_refine(
+        self,
+        query: np.ndarray,
+        k: int,
+        live: np.ndarray,
+        scores: np.ndarray,
+        rescore: bool | None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Shared second half of the quantized scan: keep the approximate
+        top ``rescore_factor·k`` and (optionally) exact-rescore them."""
+        qc = self.config.quantization
+        refine_k = min(live.size, max(k, qc.rescore_factor * k))
         idx, _ = distances.top_k(scores, refine_k, self._distance)
         cand = live[idx]
-        if self.config.quantization.rescore:
+        do_rescore = qc.rescore if rescore is None else rescore
+        if do_rescore:
+            t0 = time.perf_counter()
             exact = distances.score_batch(self._arena.take(cand), query, self._distance)
             idx2, top = distances.top_k(exact, k, self._distance)
+            registry = get_registry()
+            registry.counter("quant.rescore").inc()
+            registry.histogram("quant.rescore_s").observe(time.perf_counter() - t0)
+            self.quant_stats["rescored"] += int(cand.size)
             return cand[idx2], top
         return cand[:k], scores[idx][:k]
+
+    def _quantized_scan(
+        self,
+        query: np.ndarray,
+        k: int,
+        live: np.ndarray,
+        *,
+        rescore: bool | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Integer-domain scan over uint8 codes + exact rescore of the top
+        ``rescore_factor·k`` candidates.
+
+        The first pass never decodes the code matrix: the query is
+        quantized and scored via the exact integer kernels, so per-query
+        cost is one GEMV over the codes plus O(n) float64 corrections.
+        """
+        assert self._quantizer is not None and self._codes is not None
+        if live.size == 0:
+            return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float32)
+        codes, sums, sq = self._gather_codes(live)
+        qq = self._quantizer.encode_query(query)
+        t0 = time.perf_counter()
+        scores = self._quantizer.score_codes(codes, sums, sq, qq, self._distance)
+        registry = get_registry()
+        registry.counter("quant.scan").inc()
+        registry.histogram("quant.scan_s").observe(time.perf_counter() - t0)
+        self.quant_stats["scans"] += 1
+        self.quant_stats["scanned_codes"] += int(live.size)
+        return self._quantized_refine(query, k, live, scores, rescore)
 
     def search(
         self,
@@ -363,23 +467,34 @@ class Segment:
         with_payload: bool = False,
         with_vector: bool = False,
         score_threshold: float | None = None,
+        quantization_rescore: bool | None = None,
     ) -> list[ScoredPoint]:
-        """Top-k search over this segment, honouring filters and tombstones."""
+        """Top-k search over this segment, honouring filters and tombstones.
+
+        With both an index and a quantizer present, indexed traversal runs
+        over the quantized codes (with exact rescore of the beam output)
+        when the index supports it — quantization and HNSW compose rather
+        than excluding each other.
+        """
         query = np.asarray(query, dtype=np.float32)
         if query.shape != (self._dim,):
             raise DimensionMismatchError(self._dim, int(query.shape[-1]) if query.ndim else 0)
         if self._distance is Distance.COSINE:
             query = distances.normalize(query)
-        predicate = self._offset_predicate(flt)
 
         if self._index is not None and not exact:
+            predicate = self._offset_predicate(flt)
             offsets, scores = self._index.search(
-                query, k, predicate=predicate, ef=ef, nprobe=nprobe
+                query, k, predicate=predicate, ef=ef, nprobe=nprobe,
+                **self._index_quant_params(quantization_rescore),
             )
         elif self._quantizer is not None and not exact:
-            offsets, scores = self._quantized_scan(query, k, predicate)
+            live = self._live_offsets_filtered(flt)
+            offsets, scores = self._quantized_scan(
+                query, k, live, rescore=quantization_rescore
+            )
         else:
-            offsets, scores = self._flat_scan(query, k, predicate)
+            offsets, scores = self._flat_scan(query, k, self._offset_predicate(flt))
         return self._postprocess(
             offsets,
             scores,
@@ -418,6 +533,19 @@ class Segment:
             )
         return out
 
+    def _index_quant_params(self, rescore: bool | None) -> dict:
+        """Extra index-search kwargs enabling quantized traversal when both
+        an index and a quantizer are installed (and the index supports it)."""
+        if self._quantizer is None or not getattr(
+            self._index, "supports_quantized_search", False
+        ):
+            return {}
+        qc = self.config.quantization
+        return {
+            "quantized": True,
+            "rescore": qc.rescore if rescore is None else rescore,
+        }
+
     def _flat_scan(self, query, k, predicate) -> tuple[np.ndarray, np.ndarray]:
         live = self._ids.live_offsets()
         if predicate is not None:
@@ -443,15 +571,20 @@ class Segment:
         with_payload: bool = False,
         with_vector: bool = False,
         score_threshold: float | None = None,
+        quantization_rescore: bool | None = None,
     ) -> list[list[ScoredPoint]]:
         """Batched search; element ``i`` matches ``search(queries[i], k, ...)``.
 
         Routes through the index's batch entry point (compiled HNSW, flat
         shared-gather scan) whenever one applies — the filter predicate is built once for
         the whole batch instead of once per query, and ``ef``/
-        ``score_threshold`` no longer force the per-query fallback.  Only the
-        quantized scan and forced-exact-over-index combinations fall back to
-        a per-query loop.
+        ``score_threshold`` no longer force the per-query fallback.  The
+        quantized scan runs as one whole-batch code GEMM over a single
+        shared live-offset gather, with only the top-``rescore_factor·k``
+        per query rescored — results stay bit-identical to per-query
+        ``search`` because the integer code products are exact in both
+        kernels.  Only forced-exact-over-index falls back to a per-query
+        loop.
         """
         queries = np.asarray(queries, dtype=np.float32)
         if queries.ndim != 2 or queries.shape[1] != self._dim:
@@ -467,7 +600,8 @@ class Segment:
                 queries = np.stack([distances.normalize(q) for q in queries])
             predicate = self._offset_predicate(flt)
             pairs = self._index.search_batch(
-                queries, k, predicate=predicate, ef=ef, nprobe=nprobe
+                queries, k, predicate=predicate, ef=ef, nprobe=nprobe,
+                **self._index_quant_params(quantization_rescore),
             )
             return [
                 self._postprocess(
@@ -481,28 +615,23 @@ class Segment:
             ]
 
         if self._quantizer is not None and not exact:
-            return [
-                self.search(
-                    q,
-                    k,
-                    flt=flt,
-                    with_payload=with_payload,
-                    with_vector=with_vector,
-                    score_threshold=score_threshold,
-                )
-                for q in queries
-            ]
+            return self._quantized_scan_batch(
+                queries,
+                k,
+                flt=flt,
+                rescore=quantization_rescore,
+                with_payload=with_payload,
+                with_vector=with_vector,
+                score_threshold=score_threshold,
+            )
 
-        # Flat scan: the live-offset list, filter predicate and arena gather
+        # Flat scan: the live-offset list, filter evaluation and arena gather
         # are computed once instead of once per query; scoring stays on the
         # single-query GEMV kernel so results are bit-identical to
         # ``search`` (a whole-batch GEMM rounds differently in the last bit).
         if self._distance is Distance.COSINE and len(queries):
             queries = np.stack([distances.normalize(q) for q in queries])
-        live = self._ids.live_offsets()
-        predicate = self._offset_predicate(flt)
-        if predicate is not None:
-            live = np.asarray([o for o in live if predicate(int(o))], dtype=np.int64)
+        live = self._live_offsets_filtered(flt)
         if live.size == 0:
             return [[] for _ in range(len(queries))]
         matrix = self._arena.take(live)
@@ -513,6 +642,55 @@ class Segment:
             out.append(
                 self._postprocess(
                     live[idx],
+                    top,
+                    score_threshold=score_threshold,
+                    with_payload=with_payload,
+                    with_vector=with_vector,
+                )
+            )
+        return out
+
+    def _quantized_scan_batch(
+        self,
+        queries: np.ndarray,
+        k: int,
+        *,
+        flt: Condition | None,
+        rescore: bool | None,
+        with_payload: bool,
+        with_vector: bool,
+        score_threshold: float | None,
+    ) -> list[list[ScoredPoint]]:
+        """Whole-batch quantized scan: one live-offset gather, one tiled
+        code GEMM, per-query exact rescore of the top ``rescore_factor·k``.
+
+        Bit-identical to per-query :meth:`search`: the batched GEMM yields
+        the same exact integer code products as the per-query GEMV, and the
+        affine correction + rescore run identically per query.
+        """
+        assert self._quantizer is not None and self._codes is not None
+        if self._distance is Distance.COSINE and len(queries):
+            queries = np.stack([distances.normalize(q) for q in queries])
+        live = self._live_offsets_filtered(flt)
+        if live.size == 0:
+            return [[] for _ in range(len(queries))]
+        codes, sums, sq = self._gather_codes(live)
+        qqs = [self._quantizer.encode_query(q) for q in queries]
+        t0 = time.perf_counter()
+        score_list = self._quantizer.score_codes_batch(
+            codes, sums, sq, qqs, self._distance
+        )
+        registry = get_registry()
+        registry.counter("quant.scan").inc(len(qqs))
+        registry.histogram("quant.scan_s").observe(time.perf_counter() - t0)
+        self.quant_stats["scans"] += len(qqs)
+        self.quant_stats["scanned_codes"] += int(live.size) * len(qqs)
+        out = []
+        for query, scores in zip(queries, score_list):
+            offsets, top = self._quantized_refine(query, k, live, scores, rescore)
+            out.append(
+                self._postprocess(
+                    offsets,
                     top,
                     score_threshold=score_threshold,
                     with_payload=with_payload,

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..obs.metrics import HistogramSnapshot
+from ..obs.metrics import HistogramSnapshot, get_registry
 from ..obs.trace import get_tracer
 from .cluster import Cluster
 
@@ -67,6 +67,13 @@ class WorkerTelemetry:
     wal_appends: int = 0
     wal_flushes: int = 0
     wal_bytes: int = 0
+    #: Quantized-path counters summed over this worker's segments: first
+    #: passes served from uint8 codes (flat scans + quantized HNSW
+    #: traversals), code rows scored in flat scans, and candidates
+    #: exact-rescored.
+    quant_scans: int = 0
+    quant_scanned_codes: int = 0
+    quant_rescored: int = 0
 
     def minus(self, earlier: "WorkerTelemetry") -> "WorkerTelemetry":
         return WorkerTelemetry(
@@ -87,6 +94,9 @@ class WorkerTelemetry:
             wal_appends=self.wal_appends - earlier.wal_appends,
             wal_flushes=self.wal_flushes - earlier.wal_flushes,
             wal_bytes=self.wal_bytes - earlier.wal_bytes,
+            quant_scans=self.quant_scans - earlier.quant_scans,
+            quant_scanned_codes=self.quant_scanned_codes - earlier.quant_scanned_codes,
+            quant_rescored=self.quant_rescored - earlier.quant_rescored,
         )
 
 
@@ -304,6 +314,14 @@ class TelemetrySnapshot:
         return sum(w.bytes_ingested for w in self.workers.values())
 
     @property
+    def total_quant_scans(self) -> int:
+        return sum(w.quant_scans for w in self.workers.values())
+
+    @property
+    def total_quant_rescored(self) -> int:
+        return sum(w.quant_rescored for w in self.workers.values())
+
+    @property
     def total_wal_appends(self) -> int:
         return sum(w.wal_appends for w in self.workers.values())
 
@@ -405,6 +423,11 @@ def collect(cluster: Cluster) -> TelemetrySnapshot:
             bypasses=cs["bypasses"],
         )
     snapshot.histograms = cluster.metrics.snapshot_histograms()
+    # Quantized-path latency histograms live on the *global* registry (the
+    # segment hot path cannot know which cluster owns it); overlay them.
+    for name, hist in get_registry().snapshot_histograms().items():
+        if name.startswith("quant.") and name not in snapshot.histograms:
+            snapshot.histograms[name] = hist
     tracer = get_tracer()
     snapshot.spans_recorded = tracer.span_count
     snapshot.spans_dropped = tracer.dropped_batches
@@ -415,6 +438,9 @@ def collect(cluster: Cluster) -> TelemetrySnapshot:
         wal_appends = 0
         wal_flushes = 0
         wal_bytes = 0
+        quant_scans = 0
+        quant_scanned = 0
+        quant_rescored = 0
         for collection in worker._shards.values():  # noqa: SLF001 - same package
             points += len(collection)
             appends, flushes, nbytes = collection.wal_stats
@@ -426,9 +452,17 @@ def collect(cluster: Cluster) -> TelemetrySnapshot:
             snapshot.build_busy_seconds += report.busy_seconds
             snapshot.build_pool_workers = max(snapshot.build_pool_workers, report.workers)
             for seg in collection.segments:
+                qs = seg.quant_stats
+                quant_scans += qs["scans"]
+                quant_scanned += qs["scanned_codes"]
+                quant_rescored += qs["rescored"]
                 if seg.index is not None:
                     distance_computations += seg.index.stats.distance_computations
                     indexed += len(seg)
+                    iqs = getattr(seg.index, "quant_stats", None)
+                    if iqs is not None:
+                        quant_scans += iqs["searches"]
+                        quant_rescored += iqs["rescored"]
         wstats = worker.snapshot_stats()
         snapshot.workers[worker.worker_id] = WorkerTelemetry(
             worker_id=worker.worker_id,
@@ -448,5 +482,8 @@ def collect(cluster: Cluster) -> TelemetrySnapshot:
             wal_appends=wal_appends,
             wal_flushes=wal_flushes,
             wal_bytes=wal_bytes,
+            quant_scans=quant_scans,
+            quant_scanned_codes=quant_scanned,
+            quant_rescored=quant_rescored,
         )
     return snapshot

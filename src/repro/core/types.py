@@ -134,6 +134,9 @@ class QuantizationConfig:
     #: Keep the original float vectors for exact rescoring.
     always_ram: bool = True
     rescore: bool = True
+    #: Oversampling for the exact-rescore pass: the quantized first pass
+    #: keeps ``rescore_factor * k`` candidates before rescoring to ``k``.
+    rescore_factor: int = 4
 
 
 @dataclass(frozen=True)

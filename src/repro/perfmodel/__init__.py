@@ -25,7 +25,12 @@ from .embedding import EmbeddingJobModel, JobPhaseTimes
 from .gpu_indexing import GpuIndexBuildModel
 from .indexing import IndexBuildModel
 from .insertion import BatchSizeModel, ConcurrencyModel, WorkerScalingModel
-from .query import QueryBatchModel, QueryConcurrencyModel, QueryScalingModel
+from .query import (
+    QuantizedScanModel,
+    QueryBatchModel,
+    QueryConcurrencyModel,
+    QueryScalingModel,
+)
 from .variability import NoiseModel, TrialStats, VariabilityStudy
 
 __all__ = [
@@ -49,6 +54,7 @@ __all__ = [
     "BatchSizeModel",
     "ConcurrencyModel",
     "WorkerScalingModel",
+    "QuantizedScanModel",
     "QueryBatchModel",
     "QueryConcurrencyModel",
     "QueryScalingModel",

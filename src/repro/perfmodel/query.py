@@ -23,7 +23,12 @@ from dataclasses import dataclass
 
 from .calibration import DATASET, QUERY, DatasetScale, QueryCalibration
 
-__all__ = ["QueryBatchModel", "QueryConcurrencyModel", "QueryScalingModel"]
+__all__ = [
+    "QueryBatchModel",
+    "QueryConcurrencyModel",
+    "QueryScalingModel",
+    "QuantizedScanModel",
+]
 
 
 @dataclass(frozen=True)
@@ -72,6 +77,69 @@ class QueryConcurrencyModel:
 
     def sweep(self, concurrencies) -> dict[int, float]:
         return {c: self.time_s(c) for c in concurrencies}
+
+
+@dataclass(frozen=True)
+class QuantizedScanModel:
+    """Cost model of the integer-domain quantized scan (the PR-7 engine).
+
+    Both scan flavours are memory-bound streams over the stored represen-
+    tation, so per-query cost is (bytes touched) / bandwidth plus an O(n)
+    correction pass:
+
+    * **decode-tile baseline** — reads ``n·d`` uint8 codes, writes and then
+      re-reads an ``n·d`` float32 decode, per query: 9 bytes/value;
+    * **quantized GEMV** (single query) — the buffered-cast einsum streams
+      only the codes: 1 byte/value, plus the float64 affine correction
+      over ``n`` rows;
+    * **quantized GEMM** (batch of ``b``) — the tiled cast streams codes
+      once and touches ``~9`` bytes/value for the whole batch, so the
+      per-query share divides by ``b`` — which is why the batched scan's
+      measured speedup (≈14× at b=32, 100k×256) far exceeds the single-
+      query one (≈1.3×).
+    """
+
+    #: Effective memory bandwidth of the scan kernels (bytes/s).
+    mem_bytes_per_s: float = 12e9
+    #: Bytes touched per stored value: decode path (read codes + write +
+    #: re-read float32) and batched GEMM path (cast tile + BLAS reads).
+    decode_bytes_per_value: float = 9.0
+    gemm_bytes_per_value: float = 9.0
+    #: Single-query einsum streams the raw codes only.
+    gemv_bytes_per_value: float = 1.0
+    #: Per-row cost of the float64 affine correction (seconds).
+    correction_s_per_row: float = 2e-9
+    #: Per-candidate cost of the exact rescore gather + GEMV (seconds).
+    rescore_s_per_row: float = 5e-8
+
+    def decode_scan_s(self, n_vectors: int, dim: int) -> float:
+        """Per-query cost of the pre-engine decode-then-score scan."""
+        return n_vectors * dim * self.decode_bytes_per_value / self.mem_bytes_per_s
+
+    def quantized_scan_s(
+        self, n_vectors: int, dim: int, *, batch: int = 1, rescore_rows: int = 0
+    ) -> float:
+        """Per-query cost of the integer-domain scan at batch width ``batch``."""
+        if batch < 1:
+            raise ValueError("batch must be >= 1")
+        if batch == 1:
+            stream = n_vectors * dim * self.gemv_bytes_per_value
+        else:
+            stream = n_vectors * dim * self.gemm_bytes_per_value / batch
+        return (
+            stream / self.mem_bytes_per_s
+            + n_vectors * self.correction_s_per_row
+            + rescore_rows * self.rescore_s_per_row
+        )
+
+    def speedup(
+        self, n_vectors: int, dim: int, *, batch: int = 1, rescore_rows: int = 0
+    ) -> float:
+        """Decode-tile baseline over quantized scan — the ratio
+        ``BENCH_quant.json`` measures."""
+        return self.decode_scan_s(n_vectors, dim) / self.quantized_scan_s(
+            n_vectors, dim, batch=batch, rescore_rows=rescore_rows
+        )
 
 
 @dataclass(frozen=True)

@@ -96,3 +96,48 @@ class TestCodec:
             corr = np.corrcoef(exact64, approx64)[0, 1]
             if np.isfinite(corr):
                 assert corr > 0.99
+
+
+class TestTrainSubsample:
+    """Quantile estimation from a seeded subsample above TRAIN_SAMPLE_LIMIT."""
+
+    def test_deterministic_across_runs(self):
+        rng = np.random.default_rng(3)
+        data = rng.normal(size=(4000, 16)).astype(np.float32)
+        a, b = ScalarQuantizer(), ScalarQuantizer()
+        a.train(data, sample_limit=1000)
+        b.train(data, sample_limit=1000)
+        assert a.range == b.range
+
+    def test_subsample_close_to_full_quantiles(self):
+        rng = np.random.default_rng(5)
+        data = rng.normal(size=(20000, 8)).astype(np.float32)
+        full, sub = ScalarQuantizer(), ScalarQuantizer()
+        full.train(data)  # below the default limit: exact quantiles
+        sub.train(data, sample_limit=8192)
+        flo, fhi = full.range
+        slo, shi = sub.range
+        spread = fhi - flo
+        assert abs(slo - flo) < 0.1 * spread
+        assert abs(shi - fhi) < 0.1 * spread
+
+    def test_limit_respected(self):
+        from repro.core.quantization import TRAIN_SAMPLE_LIMIT
+
+        assert TRAIN_SAMPLE_LIMIT > 0
+        data = np.linspace(-1, 1, 5000, dtype=np.float32).reshape(-1, 10)
+        q = ScalarQuantizer(quantile=1.0)
+        q.train(data, sample_limit=500)
+        lo, hi = q.range
+        # A 500-value subsample cannot see the exact extremes, but must
+        # land inside the data range and still cover most of it.
+        assert -1.0 <= lo <= -0.5
+        assert 0.5 <= hi <= 1.0
+
+    def test_exact_below_limit(self):
+        data = np.linspace(-2, 2, 1000, dtype=np.float32).reshape(-1, 10)
+        q = ScalarQuantizer(quantile=1.0)
+        q.train(data, sample_limit=100000)
+        lo, hi = q.range
+        assert lo == pytest.approx(-2.0)
+        assert hi == pytest.approx(2.0)

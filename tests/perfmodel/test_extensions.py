@@ -87,3 +87,41 @@ class TestVariabilityStudy:
         out = study.compare({"a": lambda: 10.0, "b": lambda: 20.0})
         # identical noise streams: b is exactly 2x a, sample-wise
         assert np.allclose(out["b"].samples, 2.0 * out["a"].samples)
+
+
+class TestQuantizedScanModel:
+    def setup_method(self):
+        from repro.perfmodel.query import QuantizedScanModel
+
+        self.model = QuantizedScanModel()
+
+    def test_batch_validation(self):
+        with pytest.raises(ValueError):
+            self.model.quantized_scan_s(1000, 128, batch=0)
+
+    def test_decode_slower_than_gemv(self):
+        assert self.model.decode_scan_s(100_000, 256) > self.model.quantized_scan_s(
+            100_000, 256
+        )
+
+    def test_monotone_in_batch(self):
+        costs = [
+            self.model.quantized_scan_s(100_000, 256, batch=b)
+            for b in (2, 4, 8, 16, 32)
+        ]
+        assert all(a > b for a, b in zip(costs, costs[1:]))
+
+    def test_speedup_target_at_paper_scale(self):
+        # The BENCH_quant.json acceptance bar: >= 3x at 100k x 256 for any
+        # reasonable batch width, even paying rescore for 40 candidates.
+        assert self.model.speedup(100_000, 256, batch=8, rescore_rows=40) >= 3.0
+        assert self.model.speedup(100_000, 256, batch=32) > self.model.speedup(
+            100_000, 256, batch=8
+        )
+
+    def test_rescore_adds_cost(self):
+        base = self.model.quantized_scan_s(50_000, 128, batch=4)
+        with_rescore = self.model.quantized_scan_s(
+            50_000, 128, batch=4, rescore_rows=400
+        )
+        assert with_rescore > base
