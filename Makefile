@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction.
 
-.PHONY: install test bench bench-micro bench-insert bench-insert-smoke bench-fault bench-fault-smoke bench-query bench-query-smoke bench-quant bench-quant-smoke paper examples clean
+.PHONY: install test test-maint-stress bench bench-micro bench-insert bench-insert-smoke bench-fault bench-fault-smoke bench-query bench-query-smoke bench-quant bench-quant-smoke bench-maint bench-maint-smoke paper examples clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -50,6 +50,20 @@ bench-quant:
 
 bench-quant-smoke:
 	REPRO_BENCH_SMOKE=1 PYTHONPATH=src python -m pytest benchmarks/test_quantized_scoring.py -q
+
+# Write-path stall bench: p99 upsert latency while a background
+# copy-on-write pass builds an HNSW index, plus bit-identity of
+# background-maintained results vs the synchronous optimize().
+bench-maint:
+	PYTHONPATH=src python -m pytest benchmarks/test_maintenance_stall.py -q
+
+bench-maint-smoke:
+	REPRO_BENCH_SMOKE=1 PYTHONPATH=src python -m pytest benchmarks/test_maintenance_stall.py -q
+
+# Concurrent maintenance stress: writers + searchers + vacuum/merge swaps,
+# with a full no-lost-points invariant sweep at the end.
+test-maint-stress:
+	PYTHONPATH=src python -m pytest tests/core/test_maintenance_stress.py -q
 
 paper:
 	python -m repro.bench

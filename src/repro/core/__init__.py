@@ -29,6 +29,7 @@ from .errors import (
     CollectionExistsError,
     CollectionNotFoundError,
     DimensionMismatchError,
+    MaintenanceConflictError,
     NoReplicaAvailableError,
     PointNotFoundError,
     RequestTimeoutError,
@@ -37,6 +38,7 @@ from .errors import (
     WorkerUnavailableError,
 )
 from .filters import FieldIn, FieldMatch, FieldRange, Filter, HasId, IsEmpty
+from .maintenance import MaintenanceDriver, MaintenanceStats
 from .recommend import RecommendRequest
 from .scheduler import CoalescePolicy, CoalesceStats, QueryCoalescer
 from .snapshot import load_snapshot, save_snapshot
@@ -89,6 +91,9 @@ __all__ = [
     "HasId",
     "IsEmpty",
     "RecommendRequest",
+    "MaintenanceDriver",
+    "MaintenanceStats",
+    "MaintenanceConflictError",
     "CoalescePolicy",
     "CoalesceStats",
     "QueryCoalescer",

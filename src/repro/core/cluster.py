@@ -41,7 +41,7 @@ from dataclasses import dataclass, field
 from typing import Any, Mapping, Sequence
 
 from ..obs.clock import monotonic
-from ..obs.metrics import MetricsRegistry
+from ..obs.metrics import MetricsRegistry, get_registry
 from ..obs.trace import TraceContext, get_tracer
 from .errors import (
     ClusterConfigError,
@@ -527,6 +527,12 @@ class Cluster:
             # Drain queued queries first: their dispatches still need the
             # fan-out pools shut down below.
             self.coalescer.close()
+        # Stop any background maintenance drivers (in-process workers):
+        # their threads must not outlive the cluster's shard objects.
+        for worker in self._workers.values():
+            for driver in list(getattr(worker, "_maintenance", {}).values()):
+                driver.stop()
+            getattr(worker, "_maintenance", {}).clear()
         if self._executor is not None:
             self._executor.shutdown(wait=True)
             self._executor = None
@@ -1358,6 +1364,12 @@ class Cluster:
                 worker.reset_stats()
         if histograms:
             self.metrics.reset()
+            # Telemetry overlays segment/collection-level histograms from
+            # the *global* registry (quant.*, maint.*); reset those too so a
+            # post-reset collect() starts from zero like the cluster's own.
+            for name, hist in get_registry().histograms().items():
+                if name.startswith(("quant.", "maint.")):
+                    hist.reset()
 
     def flush_wals(self, name: str) -> None:
         """Force group-commit buffered WAL records out on every shard replica.
@@ -1410,6 +1422,71 @@ class Cluster:
                         self._call_with_retry(worker_id, "optimize", name, shard_id)
                     except TransportError:
                         continue
+
+    def enable_maintenance(self, name: str, *, interval_s: float = 0.05) -> int:
+        """Start background copy-on-write maintenance on every live shard
+        replica; returns the number of drivers started.
+
+        While enabled, writers never run the optimizer inline — merges,
+        vacuums and HNSW builds happen on per-shard background threads and
+        swap in under each collection's generation fence.
+        """
+        name, state = self._resolve(name)
+        started = 0
+        for shard_id, holders in state.plan.assignments.items():
+            for worker_id in holders:
+                if worker_id in self._workers:
+                    try:
+                        if self._call_with_retry(
+                            worker_id, "enable_maintenance", name, shard_id,
+                            interval_s=interval_s,
+                        ):
+                            started += 1
+                    except TransportError:
+                        continue
+        return started
+
+    def disable_maintenance(self, name: str, *, drain: bool = True) -> None:
+        """Best-effort stop of every shard's background driver."""
+        name, state = self._resolve(name)
+        for shard_id, holders in state.plan.assignments.items():
+            for worker_id in holders:
+                if worker_id in self._workers:
+                    try:
+                        self._call_with_retry(
+                            worker_id, "disable_maintenance", name, shard_id,
+                            drain=drain,
+                        )
+                    except TransportError:
+                        continue
+
+    def drain_maintenance(self, name: str) -> None:
+        """Synchronously complete in-flight maintenance on every replica."""
+        name, state = self._resolve(name)
+        for shard_id, holders in state.plan.assignments.items():
+            for worker_id in holders:
+                if worker_id in self._workers:
+                    try:
+                        self._call_with_retry(
+                            worker_id, "drain_maintenance", name, shard_id
+                        )
+                    except TransportError:
+                        continue
+
+    def maintenance_stats(self, name: str) -> dict[str, dict]:
+        """``"worker/shard" -> counters`` for every live shard replica."""
+        name, state = self._resolve(name)
+        out: dict[str, dict] = {}
+        for shard_id, holders in state.plan.assignments.items():
+            for worker_id in holders:
+                if worker_id in self._workers:
+                    try:
+                        out[f"{worker_id}/{shard_id}"] = self._call_with_retry(
+                            worker_id, "maintenance_stats", name, shard_id
+                        )
+                    except TransportError:
+                        continue
+        return out
 
     def create_payload_index(self, name: str, key: str, *, kind: str = "keyword") -> None:
         """Best-effort payload-index creation on every live shard replica."""

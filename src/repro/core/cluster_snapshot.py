@@ -38,6 +38,9 @@ def save_cluster_snapshot(cluster: Cluster, name: str, directory: str) -> str:
     for shard_id in range(state.plan.shard_number):
         holder = cluster._live_holder(state, shard_id)  # noqa: SLF001
         worker = cluster._workers[holder]  # noqa: SLF001
+        # Settle any in-flight background pass so the snapshot captures a
+        # swapped-in segment list, not one about to be replaced.
+        worker.drain_maintenance(canonical, shard_id)
         shard_collection: Collection = worker._shards[(canonical, shard_id)]  # noqa: SLF001
         shard_dir = os.path.join(directory, f"shard-{shard_id}")
         save_snapshot(shard_collection, shard_dir)

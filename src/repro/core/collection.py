@@ -17,14 +17,22 @@ from __future__ import annotations
 
 import os
 import threading
+import time
+from dataclasses import dataclass
 from typing import Any, Mapping, Sequence
 
 import numpy as np
 
+from ..obs.metrics import get_registry
 from ..obs.trace import get_tracer
-from .errors import PointNotFoundError
+from .errors import MaintenanceConflictError, PointNotFoundError
 from .filters import Condition
-from .optimizer import OptimizerReport, SegmentOptimizer
+from .optimizer import (
+    MaintenancePlan,
+    OptimizerReport,
+    SegmentOptimizer,
+    splice_segments,
+)
 from .parallel import ParallelBuildReport, build_segment_indexes
 from .segment import Segment
 from .types import (
@@ -42,7 +50,20 @@ from .types import (
 )
 from .wal import WriteAheadLog
 
-__all__ = ["Collection"]
+__all__ = ["Collection", "MaintenanceSnapshot"]
+
+
+@dataclass
+class MaintenanceSnapshot:
+    """An immutable view of the segment list a maintenance pass works over.
+
+    Identity of this object is the fence: commit succeeds only while it is
+    still the collection's active snapshot, and ``generation`` records the
+    swap epoch it was taken at.
+    """
+
+    segments: list[Segment]
+    generation: int
 
 
 class Collection:
@@ -62,6 +83,21 @@ class Collection:
         self._operation_counter = 0
         self._last_report = OptimizerReport()
         self._last_build_report = ParallelBuildReport()
+        # -- copy-on-write maintenance state (all guarded by _write_lock
+        #    except _maint_mutex, which serializes whole passes and is
+        #    always taken *before* _write_lock, never while holding it).
+        self._generation = 0
+        self._maint_mutex = threading.Lock()
+        self._maint_active: MaintenanceSnapshot | None = None
+        #: Ordered mid-pass mutations against pinned segments, replayed
+        #: onto replacement segments at swap time; None outside a pass.
+        self._maint_journal: list[tuple] | None = None
+        #: segment_ids frozen into the active snapshot — the write path
+        #: never appends to these while a pass is in flight.
+        self._maint_pinned: set[int] = set()
+        self._maintenance = None  # attached MaintenanceDriver, if any
+        #: Swap-protocol counters, aggregated by cluster telemetry.
+        self.maint_stats = {"passes": 0, "swaps": 0, "reconciled": 0}
         self._wal: WriteAheadLog | None = None
         if config.wal.enabled:
             path = config.wal.path or os.path.join(directory or ".", f"{config.name}.wal")
@@ -169,8 +205,12 @@ class Collection:
     # -- write path ------------------------------------------------------------------
 
     def _appendable_segment(self) -> Segment:
+        # Pinned segments belong to the active maintenance snapshot: they
+        # may still take tombstones/payload edits (journaled + reconciled at
+        # swap), but never appends — a fresh point must land in a segment
+        # the background pass cannot replace.
         for seg in reversed(self._segments):
-            if not seg.is_sealed:
+            if not seg.is_sealed and seg.segment_id not in self._maint_pinned:
                 return seg
         seg = Segment(self.config, directory=self._directory)
         self._segments.append(seg)
@@ -204,6 +244,7 @@ class Collection:
             else:
                 owner.delete(p.id)
                 del self._id_to_segment[p.id]
+                self._journal_if_pinned(owner, ("delete", p.id))
                 fresh.append(p)
         # Append fresh points, splitting across segments at max_segment_size.
         max_size = self.config.optimizer.max_segment_size
@@ -302,11 +343,17 @@ class Collection:
             self._operation_counter += 1
             return UpdateResult(self._operation_counter, UpdateStatus.COMPLETED)
 
+    def _journal_if_pinned(self, seg: Segment, entry: tuple) -> None:
+        """Record a mutation against a pinned segment for swap-time replay."""
+        if self._maint_journal is not None and seg.segment_id in self._maint_pinned:
+            self._maint_journal.append(entry)
+
     def _apply_delete(self, point_id: PointId) -> bool:
         seg = self._id_to_segment.pop(point_id, None)
         if seg is None:
             return False
         seg.delete(point_id)
+        self._journal_if_pinned(seg, ("delete", point_id))
         return True
 
     def delete(self, point_ids: Sequence[PointId] | PointId) -> UpdateResult:
@@ -326,6 +373,9 @@ class Collection:
         if seg is None:
             raise PointNotFoundError(point_id)
         seg.set_payload(point_id, payload)
+        self._journal_if_pinned(
+            seg, ("payload", point_id, dict(payload) if payload is not None else None)
+        )
 
     def set_payload(self, point_id: PointId, payload: Mapping[str, Any] | None) -> UpdateResult:
         with self._write_lock:
@@ -336,27 +386,197 @@ class Collection:
 
     def create_payload_index(self, key: str, *, kind: str = "keyword") -> None:
         """Create a secondary payload index on every segment."""
-        for seg in self._segments:
-            if kind == "keyword":
-                seg.payload_store.create_keyword_index(key)
-            elif kind == "numeric":
-                seg.payload_store.create_numeric_index(key)
-            else:
-                raise ValueError(f"unknown payload index kind {kind!r}")
+        if kind not in ("keyword", "numeric"):
+            raise ValueError(f"unknown payload index kind {kind!r}")
+        with self._write_lock:
+            for seg in self._segments:
+                if kind == "keyword":
+                    seg.payload_store.create_keyword_index(key)
+                else:
+                    seg.payload_store.create_numeric_index(key)
+            # Replacement segments being built off a pinned snapshot copied
+            # the *old* index set; journal the creation so they catch up.
+            if self._maint_journal is not None:
+                self._maint_journal.append(("pindex", key, kind))
 
     # -- maintenance ---------------------------------------------------------------------
+    #
+    # Copy-on-write protocol: a pass snapshots (and pins) the segment list
+    # under the write lock, builds replacements/indexes with no lock held,
+    # then swaps them in under a short generation-fenced critical section.
+    # Mid-pass mutations against pinned segments are journaled and replayed
+    # onto the replacements at swap time; fresh appends always land in an
+    # unpinned segment, so they are never part of a swap.
 
     def _maybe_optimize(self) -> None:
-        self._segments, self._last_report = self._optimizer.run(self._segments)
-        if self._last_report.segments_merged or self._last_report.segments_vacuumed:
-            self._rebuild_id_map()  # merges/vacuums move points across segments
+        # Called under _write_lock after every write batch.
+        driver = self._maintenance
+        if driver is not None:
+            driver.kick()  # background driver owns maintenance; just nudge it
+            return
+        if self._maint_active is not None:
+            # An explicit fenced pass is in flight; it reconciles our writes
+            # at swap time.  Running inline now would race its build phase.
+            return
+        plan = self._optimizer.plan(self._segments, generation=self._generation)
+        self._apply_plan_locked(plan)
+        self._last_report = plan.report
+
+    def _begin_maintenance_locked(self) -> MaintenanceSnapshot | None:
+        if self._maint_active is not None:
+            return None
+        snapshot = MaintenanceSnapshot(
+            segments=list(self._segments), generation=self._generation
+        )
+        self._maint_pinned = {seg.segment_id for seg in snapshot.segments}
+        self._maint_journal = []
+        self._maint_active = snapshot
+        return snapshot
+
+    def _abort_maintenance_locked(self, snapshot: MaintenanceSnapshot) -> None:
+        if self._maint_active is snapshot:
+            self._maint_pinned = set()
+            self._maint_journal = None
+            self._maint_active = None
+
+    def _commit_maintenance_locked(
+        self, snapshot: MaintenanceSnapshot, plan: MaintenancePlan
+    ) -> OptimizerReport:
+        if self._maint_active is not snapshot:
+            raise MaintenanceConflictError(
+                f"maintenance snapshot (generation {snapshot.generation}) "
+                "is no longer the collection's active pass"
+            )
+        journal = self._maint_journal or []
+        self._apply_plan_locked(plan, journal)
+        self._maint_pinned = set()
+        self._maint_journal = None
+        self._maint_active = None
+        self._generation += 1
+        self._last_report = plan.report
+        self.maint_stats["passes"] += 1
+        if plan.did_work:
+            self.maint_stats["swaps"] += 1
+        self.maint_stats["reconciled"] += len(journal)
+        return plan.report
+
+    def _apply_plan_locked(
+        self, plan: MaintenancePlan, journal: Sequence[tuple] = ()
+    ) -> None:
+        """Swap a plan in: install indexes, reconcile the journal, splice.
+
+        Runs under ``_write_lock`` and is O(installs + journal + moved
+        points) — never O(collection): the id map is repointed only for
+        points that changed segments, not rebuilt from scratch.
+        """
+        for ins in plan.installs:
+            ins.segment.install_index(ins.index, ins.index_kind)
+            if ins.quantizer is not None:
+                ins.segment.adopt_quantization(ins.quantizer, ins.codes)
+        if not plan.replacements:
+            return
+        fresh = [rep.segment for rep in plan.replacements if rep.segment is not None]
+        # Replay mutations that hit pinned source segments mid-pass, in
+        # arrival order, onto whichever replacement carries the point now.
+        for entry in journal:
+            op = entry[0]
+            if op == "delete":
+                pid = entry[1]
+                for seg in fresh:
+                    if seg.contains(pid):
+                        seg.delete(pid)
+                        break
+            elif op == "payload":
+                _, pid, payload = entry
+                for seg in fresh:
+                    if seg.contains(pid):
+                        seg.set_payload(pid, payload)
+                        break
+            elif op == "pindex":
+                _, key, index_kind = entry
+                for seg in fresh:
+                    if index_kind == "keyword":
+                        seg.payload_store.create_keyword_index(key)
+                    else:
+                        seg.payload_store.create_numeric_index(key)
+        self._segments = splice_segments(self._segments, plan.replacements)
+        id_map = self._id_to_segment
+        for seg in fresh:
+            for pid in seg.point_ids():
+                id_map[pid] = seg
+
+    def run_maintenance_pass(self) -> OptimizerReport:
+        """One full copy-on-write optimizer pass (snapshot → plan → swap).
+
+        The write lock is held only for the two short bookend sections; the
+        expensive middle (vacuum rewrites, merges, HNSW builds, quantizer
+        training) runs with no lock held, so concurrent upserts/deletes
+        proceed against unpinned segments throughout.
+        """
+        tracer = get_tracer()
+        registry = get_registry()
+        with self._maint_mutex:
+            t0 = time.perf_counter()
+            with self._write_lock:
+                snapshot = self._begin_maintenance_locked()
+            if snapshot is None:
+                return self._last_report
+            try:
+                with tracer.span(
+                    "maint.plan",
+                    {
+                        "generation": snapshot.generation,
+                        "segments": len(snapshot.segments),
+                    }
+                    if tracer.enabled else None,
+                ):
+                    plan = self._optimizer.plan(
+                        snapshot.segments, generation=snapshot.generation
+                    )
+            except BaseException:
+                with self._write_lock:
+                    self._abort_maintenance_locked(snapshot)
+                raise
+            t1 = time.perf_counter()
+            with self._write_lock:
+                with tracer.span(
+                    "maint.swap",
+                    {
+                        "replacements": len(plan.replacements),
+                        "installs": len(plan.installs),
+                        "journal": len(self._maint_journal or ()),
+                    }
+                    if tracer.enabled else None,
+                ):
+                    report = self._commit_maintenance_locked(snapshot, plan)
+            t2 = time.perf_counter()
+            registry.histogram("maint.swap_s").observe(t2 - t1)
+            registry.histogram("maint.pass_s").observe(t2 - t0)
+            return report
 
     def optimize(self) -> OptimizerReport:
-        """Force a full optimizer pass."""
-        self._segments, self._last_report = self._optimizer.run(self._segments)
-        if self._last_report.segments_merged or self._last_report.segments_vacuumed:
-            self._rebuild_id_map()
-        return self._last_report
+        """Force a full optimizer pass.
+
+        Runs the same fenced copy-on-write protocol as the background
+        driver — in particular the segment-list swap happens under
+        ``_write_lock``, so racing a writer can no longer lose its points
+        to a stale-snapshot reassignment.
+        """
+        return self.run_maintenance_pass()
+
+    # -- maintenance driver lifecycle -----------------------------------------------
+
+    @property
+    def maintenance(self):
+        """The attached :class:`~repro.core.maintenance.MaintenanceDriver`."""
+        return self._maintenance
+
+    def attach_maintenance(self, driver) -> None:
+        self._maintenance = driver
+
+    def detach_maintenance(self, driver) -> None:
+        if self._maintenance is driver:
+            self._maintenance = None
 
     def build_index(
         self,
@@ -376,27 +596,34 @@ class Collection:
         collection's optimizer config, 1 is serial, 0 means one worker per
         core — and ``use_processes`` swaps the thread pool for fork-based
         workers.  Results are bit-identical either way.
+
+        Sealing happens under the write lock (a concurrent upsert can no
+        longer be half-appended when its target seals); the builds
+        themselves run with no lock held — sealed arenas cannot move — so
+        writers keep appending to a fresh segment while the rebuild runs.
         """
         if max_threads is None:
             max_threads = self.config.optimizer.max_indexing_threads
         report = OptimizerReport()
-        targets = [seg for seg in self._segments if len(seg) > 0]
-        for seg in targets:
-            seg.seal()
-        self._last_build_report = build_segment_indexes(
-            targets, kind, max_workers=max_threads, use_processes=use_processes
-        )
-        for seg in targets:
-            report.segments_indexed += 1
-            report.vectors_indexed += len(seg)
-            report.index_builds.append((seg.segment_id, len(seg)))
-        if self.config.quantization.enabled:
-            # Indexing no longer excludes quantization: freshly indexed
-            # segments get codes too, so HNSW traverses in the code domain.
+        with self._maint_mutex:  # serialize against background passes
+            with self._write_lock:
+                targets = [seg for seg in self._segments if len(seg) > 0]
+                for seg in targets:
+                    seg.seal()
+            self._last_build_report = build_segment_indexes(
+                targets, kind, max_workers=max_threads, use_processes=use_processes
+            )
             for seg in targets:
-                if not seg.is_quantized and len(seg):
-                    seg.enable_quantization()
-        self._last_report = report
+                report.segments_indexed += 1
+                report.vectors_indexed += len(seg)
+                report.index_builds.append((seg.segment_id, len(seg)))
+            if self.config.quantization.enabled:
+                # Indexing no longer excludes quantization: freshly indexed
+                # segments get codes too, so HNSW traverses in the code domain.
+                for seg in targets:
+                    if not seg.is_quantized and len(seg):
+                        seg.enable_quantization()
+            self._last_report = report
         return report
 
     @property
@@ -617,5 +844,8 @@ class Collection:
         return [self._merge_hits(hits, r0.limit) for hits in per_query]
 
     def close(self) -> None:
+        driver = self._maintenance
+        if driver is not None:
+            driver.stop()
         if self._wal is not None:
             self._wal.close()

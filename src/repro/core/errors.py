@@ -17,6 +17,7 @@ __all__ = [
     "CollectionExistsError",
     "PointNotFoundError",
     "SegmentSealedError",
+    "MaintenanceConflictError",
     "IndexNotBuiltError",
     "WALCorruptionError",
     "TransportError",
@@ -71,6 +72,14 @@ class PointNotFoundError(BadRequestError):
 
 class SegmentSealedError(VectorDBError):
     """Write attempted against a sealed (immutable) segment."""
+
+
+class MaintenanceConflictError(VectorDBError):
+    """A maintenance pass tried to commit against a stale snapshot.
+
+    The generation fence rejected the swap: another pass (or an abort)
+    replaced the collection's active snapshot after this one was taken.
+    """
 
 
 class IndexNotBuiltError(VectorDBError):

@@ -1,32 +1,54 @@
-"""Segment optimizer.
+"""Segment optimizer: pure maintenance planning over a segment snapshot.
 
-Runs the background maintenance Qdrant performs after inserts, in an
-explicit, synchronous form so tests and the simulator can drive it
-deterministically:
+Runs the background maintenance Qdrant performs after inserts.  Since the
+copy-on-write maintenance rework, the optimizer is a *pure planner*: it
+takes an immutable snapshot of a collection's segment list and returns a
+:class:`MaintenancePlan` — replacement segments it built privately plus
+indexes ready to install — without ever mutating the input list.  Applying
+the plan (swapping replacements in, installing indexes) is the caller's
+job: :meth:`SegmentOptimizer.run` applies it inline for the synchronous
+path, while :class:`repro.core.maintenance.MaintenanceDriver` applies it
+under the collection's generation-fenced swap protocol so writers never
+stall behind a pass.
 
-* **indexing** — seal any appendable segment that crossed the collection's
+The passes (in order, each seeing the previous pass's virtual result):
+
+* **vacuum** — rewrite segments whose tombstone ratio exceeds
+  ``vacuum_min_deleted_ratio`` into fresh compacted segments; fully-deleted
+  segments are dropped.
+* **merging** — coalesce many small appendable segments into one, keeping
+  the segment count bounded (``max_segments``).  The merged segment goes to
+  the *end* of the list (it becomes the new append target), carries over
+  every secondary payload index of its sources (both kinds), and is filled
+  through the columnar upsert path — one gather + one vectorized append per
+  source instead of a per-point ``PointStruct`` loop.
+* **indexing** — seal any segment that crossed the collection's
   ``indexing_threshold`` and build an HNSW index over it.  With
   ``indexing_threshold == 0`` this is disabled; the paper's §3.3 bulk-load
   scenario then triggers one big deferred build via
   ``Collection.build_index``.
-* **merging** — coalesce many small appendable segments into one, keeping
-  the segment count bounded (``max_segments``).
-* **vacuum** — rewrite segments whose tombstone ratio exceeds
-  ``vacuum_min_deleted_ratio``.
 
-Each pass returns an :class:`OptimizerReport` describing the work done; the
+Each plan carries an :class:`OptimizerReport` describing the work done; the
 performance model consumes these counters.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
 from .parallel import build_segment_indexes
 from .segment import Segment
 from .types import CollectionConfig
 
-__all__ = ["OptimizerReport", "SegmentOptimizer"]
+__all__ = [
+    "OptimizerReport",
+    "Replacement",
+    "IndexInstall",
+    "MaintenancePlan",
+    "SegmentOptimizer",
+    "splice_segments",
+]
 
 
 @dataclass
@@ -46,81 +68,242 @@ class OptimizerReport:
         return bool(self.segments_indexed or self.segments_merged or self.segments_vacuumed)
 
 
+@dataclass
+class Replacement:
+    """Swap ``sources`` (snapshot segments) for one privately-built segment.
+
+    ``segment=None`` drops the sources outright (a fully-deleted vacuum).
+    ``at_end`` places the replacement at the end of the segment list instead
+    of the first source's position — merges use it so the merged segment
+    becomes the collection's append target, exactly as the synchronous pass
+    always produced.
+    """
+
+    sources: tuple[Segment, ...]
+    segment: Segment | None
+    kind: str  # "vacuum" | "drop" | "merge"
+    at_end: bool = False
+
+
+@dataclass
+class IndexInstall:
+    """An index built off-lock for a segment that stays in place.
+
+    The segment was sealed at plan time, so its arena cannot change under
+    the build; the caller installs the index (and adopts the optional
+    pre-trained quantizer/codes) inside its swap critical section.
+    """
+
+    segment: Segment
+    index: Any
+    index_kind: str
+    quantizer: Any = None
+    codes: Any = None
+
+
+@dataclass
+class MaintenancePlan:
+    """Everything one optimizer pass wants to change, not yet applied."""
+
+    replacements: list[Replacement] = field(default_factory=list)
+    installs: list[IndexInstall] = field(default_factory=list)
+    report: OptimizerReport = field(default_factory=OptimizerReport)
+    #: Collection generation the snapshot was taken at (0 when planned
+    #: outside a collection's fenced pass).
+    generation: int = 0
+
+    @property
+    def did_work(self) -> bool:
+        return bool(self.replacements or self.installs or self.report.did_work)
+
+
+def splice_segments(
+    segments: list[Segment], replacements: list[Replacement]
+) -> list[Segment]:
+    """Apply ``replacements`` to a segment list, preserving seed ordering.
+
+    In-place replacements land at their first source's position; ``at_end``
+    replacements are appended.  Segments not named as sources (including
+    ones appended after the snapshot was taken) keep their positions.
+    """
+    by_first: dict[int, Segment] = {}
+    drop: set[int] = set()
+    tail: list[Segment] = []
+    for rep in replacements:
+        for src in rep.sources:
+            drop.add(id(src))
+        if rep.segment is None:
+            continue
+        if rep.at_end:
+            tail.append(rep.segment)
+        else:
+            by_first[id(rep.sources[0])] = rep.segment
+    out: list[Segment] = []
+    for seg in segments:
+        fresh = by_first.get(id(seg))
+        if fresh is not None:
+            out.append(fresh)
+        if id(seg) not in drop:
+            out.append(seg)
+    out.extend(tail)
+    return out
+
+
+@dataclass
+class _Entry:
+    """Planner-internal view of one slot in the virtual segment list."""
+
+    sources: list[Segment]
+    current: Segment | None
+    replaced: bool = False
+    at_end: bool = False
+    kind: str = ""
+
+
 class SegmentOptimizer:
-    """Synchronous optimizer over a collection's segment list."""
+    """Planner over a snapshot of a collection's segment list."""
 
     def __init__(self, config: CollectionConfig):
         self.config = config
 
-    def run(self, segments: list[Segment]) -> tuple[list[Segment], OptimizerReport]:
-        """Run vacuum, merge, then indexing; returns the new segment list."""
+    # -- planning ----------------------------------------------------------------
+
+    def plan(self, segments: list[Segment], *, generation: int = 0) -> MaintenancePlan:
+        """Plan vacuum, merge, then indexing over an immutable snapshot.
+
+        Pure with respect to the snapshot *list* and the collection: every
+        replacement is a privately-built segment, and indexes for segments
+        that stay in place come back as :class:`IndexInstall` records for
+        the caller to install under its own lock.  (Segments picked for
+        indexing are sealed here — sealing only flips a flag, and by the
+        driver's pinning protocol a snapshotted segment can no longer
+        receive appends anyway.)
+        """
         report = OptimizerReport()
-        segments = self._vacuum(segments, report)
-        segments = self._merge(segments, report)
-        segments = self._build_indexes(segments, report)
-        return segments, report
+        entries = [_Entry([seg], seg) for seg in segments]
+        self._plan_vacuum(entries, report)
+        self._plan_merge(entries, report)
+        installs = self._plan_indexes(entries, report)
+        replacements = [
+            Replacement(tuple(e.sources), e.current, e.kind, at_end=e.at_end)
+            for e in entries
+            if e.replaced
+        ]
+        return MaintenancePlan(
+            replacements=replacements,
+            installs=installs,
+            report=report,
+            generation=generation,
+        )
+
+    def run(self, segments: list[Segment]) -> tuple[list[Segment], OptimizerReport]:
+        """Plan and apply in one synchronous step; returns the new list.
+
+        Kept for direct callers (tests, the simulator): identical results
+        to the pre-copy-on-write optimizer.
+        """
+        plan = self.plan(segments)
+        for ins in plan.installs:
+            ins.segment.install_index(ins.index, ins.index_kind)
+            if ins.quantizer is not None:
+                ins.segment.adopt_quantization(ins.quantizer, ins.codes)
+        return splice_segments(segments, plan.replacements), plan.report
 
     # -- passes ----------------------------------------------------------------
 
-    def _vacuum(self, segments: list[Segment], report: OptimizerReport) -> list[Segment]:
+    def _plan_vacuum(self, entries: list[_Entry], report: OptimizerReport) -> None:
         threshold = self.config.optimizer.vacuum_min_deleted_ratio
-        out = []
-        for seg in segments:
-            if seg.deleted_ratio > threshold and len(seg) > 0:
-                fresh = seg.vacuum()
-                report.segments_vacuumed += 1
-                out.append(fresh)
-            elif seg.deleted_ratio > threshold and len(seg) == 0:
-                report.segments_vacuumed += 1  # drop fully-deleted segment
+        for entry in entries:
+            seg = entry.current
+            if seg is None or seg.deleted_ratio <= threshold:
+                continue
+            report.segments_vacuumed += 1
+            entry.replaced = True
+            if len(seg) > 0:
+                entry.current = seg.rewrite_live()
+                entry.kind = "vacuum"
             else:
-                out.append(seg)
-        return out
+                entry.current = None  # drop fully-deleted segment
+                entry.kind = "drop"
 
-    def _merge(self, segments: list[Segment], report: OptimizerReport) -> list[Segment]:
+    def _plan_merge(self, entries: list[_Entry], report: OptimizerReport) -> None:
         opt = self.config.optimizer
+        live = [e for e in entries if e.current is not None]
         small = [
-            s for s in segments
-            if not s.is_indexed and not s.is_sealed and len(s) < opt.merge_threshold
+            e for e in live
+            if not e.current.is_indexed
+            and not e.current.is_sealed
+            and len(e.current) < opt.merge_threshold
         ]
-        if len(segments) <= opt.max_segments or len(small) < 2:
-            return segments
-        keep = [s for s in segments if s not in small]
+        if len(live) <= opt.max_segments or len(small) < 2:
+            return
         merged = Segment(self.config)
-        total = sum(len(s) for s in small)
-        if total:
-            for seg in small:
-                for record in seg.iter_points(with_vector=True):
-                    from .types import PointStruct
-
-                    merged.upsert(
-                        PointStruct(id=record.id, vector=record.vector, payload=record.payload)
-                    )
+        keyword_keys: set[str] = set()
+        numeric_keys: set[str] = set()
+        for entry in small:
+            seg = entry.current
+            ids, vectors, payloads = seg.export_columnar()
+            if len(ids):
+                merged.upsert_columnar(ids, vectors, payloads)
+            keyword_keys |= seg.payload_store.keyword_indexed_keys
+            numeric_keys |= seg.payload_store.numeric_indexed_keys
+        for key in sorted(keyword_keys):
+            merged.payload_store.create_keyword_index(key)
+        for key in sorted(numeric_keys):
+            merged.payload_store.create_numeric_index(key)
         report.segments_merged += len(small)
-        keep.append(merged)
-        return keep
+        merged_entry = _Entry(
+            sources=[src for e in small for src in e.sources],
+            current=merged,
+            replaced=True,
+            at_end=True,
+            kind="merge",
+        )
+        small_ids = {id(e) for e in small}
+        entries[:] = [e for e in entries if id(e) not in small_ids]
+        entries.append(merged_entry)
 
-    def _build_indexes(self, segments: list[Segment], report: OptimizerReport) -> list[Segment]:
+    def _plan_indexes(
+        self, entries: list[_Entry], report: OptimizerReport
+    ) -> list[IndexInstall]:
         threshold = self.config.optimizer.indexing_threshold
         if threshold <= 0:
-            return segments  # bulk-upload mode: indexing deferred
-        targets = [s for s in segments if not s.is_indexed and len(s) >= threshold]
+            return []  # bulk-upload mode: indexing deferred
+        targets = [
+            e for e in entries
+            if e.current is not None
+            and not e.current.is_indexed
+            and len(e.current) >= threshold
+        ]
         if not targets:
-            return segments
-        for seg in targets:
-            seg.seal()
+            return []
+        for entry in targets:
+            entry.current.seal()
         # Independent per-segment builds share the optimizer's thread budget
         # (``max_indexing_threads``); results match a serial loop exactly.
-        build_segment_indexes(
-            targets, "hnsw", max_workers=self.config.optimizer.max_indexing_threads
+        build_report = build_segment_indexes(
+            [e.current for e in targets],
+            "hnsw",
+            max_workers=self.config.optimizer.max_indexing_threads,
+            install=False,
         )
-        for seg in targets:
+        installs: list[IndexInstall] = []
+        quantize = self.config.quantization.enabled
+        for entry, (seg, index, kind) in zip(targets, build_report.built):
             report.segments_indexed += 1
             report.vectors_indexed += len(seg)
             report.index_builds.append((seg.segment_id, len(seg)))
-        if self.config.quantization.enabled:
-            # Quantization composes with indexing: sealed+indexed segments
-            # are encoded too, enabling quantized HNSW traversal.
-            for seg in targets:
-                if not seg.is_quantized and len(seg):
+            wants_codes = quantize and not seg.is_quantized and len(seg) > 0
+            if entry.replaced:
+                # Private replacement: nobody can observe it before the
+                # swap, so install (and quantize) right here.
+                seg.install_index(index, kind)
+                if wants_codes:
                     seg.enable_quantization()
-        return segments
+            else:
+                quantizer = codes = None
+                if wants_codes:
+                    # Train/encode off-lock too; adoption at swap is O(1).
+                    quantizer, codes = seg.prepare_quantization()
+                installs.append(IndexInstall(seg, index, kind, quantizer, codes))
+        return installs

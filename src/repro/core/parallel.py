@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -57,6 +57,10 @@ class ParallelBuildReport:
     #: Sum of per-segment build durations; ``busy / (wall * workers)`` is
     #: the pool utilization — near 1.0 means the pool stayed saturated.
     busy_seconds: float = 0.0
+    #: ``(segment, index, kind)`` triples when the caller asked for
+    #: ``install=False`` — the maintenance swap installs them later under
+    #: the collection lock.  Empty on the install-eagerly path.
+    built: list = field(default_factory=list)
 
     @property
     def utilization(self) -> float:
@@ -116,12 +120,18 @@ def build_segment_indexes(
     *,
     max_workers: int | None = None,
     use_processes: bool = False,
+    install: bool = True,
 ) -> ParallelBuildReport:
-    """Build and install an index on every segment, possibly in parallel.
+    """Build — and by default install — an index on every segment.
 
     Results are bit-identical to a serial loop regardless of ``max_workers``
     or ``use_processes``: each segment's build is self-contained and seeded,
     and installation happens in segment order.
+
+    With ``install=False`` the built indexes are returned on
+    ``report.built`` instead of being installed — the copy-on-write
+    maintenance path builds off-lock and installs inside its swap critical
+    section.
     """
     report = ParallelBuildReport(segments=len(segments))
     if not segments:
@@ -130,12 +140,18 @@ def build_segment_indexes(
     report.workers = workers
     t0 = monotonic()
 
+    def adopt(seg: Segment, index, took: float) -> None:
+        if install:
+            seg.install_index(index, kind)
+        else:
+            report.built.append((seg, index, kind))
+        report.busy_seconds += took
+
     if workers == 1:
         report.mode = "serial"
         for seg in segments:
             index, took = _build_one(seg, kind)
-            seg.install_index(index, kind)
-            report.busy_seconds += took
+            adopt(seg, index, took)
     elif use_processes and kind == "hnsw":
         report.mode = "processes"
         with ProcessPoolExecutor(max_workers=workers) as pool:
@@ -154,8 +170,7 @@ def build_segment_indexes(
                 index = HnswIndex.from_arrays(
                     seg._arena, seg.config.vectors.distance, data, seg.config.hnsw
                 )
-                seg.install_index(index, kind)
-                report.busy_seconds += took
+                adopt(seg, index, took)
     else:
         report.mode = "threads"
         with ThreadPoolExecutor(
@@ -164,8 +179,7 @@ def build_segment_indexes(
             futures = [pool.submit(_build_one, seg, kind) for seg in segments]
             for seg, fut in zip(segments, futures):
                 index, took = fut.result()
-                seg.install_index(index, kind)
-                report.busy_seconds += took
+                adopt(seg, index, took)
 
     report.wall_seconds = monotonic() - t0
     return report

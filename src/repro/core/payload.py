@@ -139,6 +139,17 @@ class PayloadStore:
     def indexed_keys(self) -> set[str]:
         return set(self._keyword_indexes) | set(self._numeric_indexes)
 
+    @property
+    def keyword_indexed_keys(self) -> set[str]:
+        """Keys with a keyword index — rewrites carry kinds over per-kind
+        (``indexed_keys`` alone loses which kind a key had)."""
+        return set(self._keyword_indexes)
+
+    @property
+    def numeric_indexed_keys(self) -> set[str]:
+        """Keys with a numeric index (see :attr:`keyword_indexed_keys`)."""
+        return set(self._numeric_indexes)
+
     # -- mutation -----------------------------------------------------------
 
     def set(self, point_id: PointId, payload: Mapping[str, Any] | None) -> None:

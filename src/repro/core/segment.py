@@ -244,6 +244,36 @@ class Segment:
         self._index = None
         self._index_kind = None
 
+    def prepare_quantization(self) -> tuple[ScalarQuantizer, CodeStore]:
+        """Train a quantizer and encode all vectors, without adopting them.
+
+        The pure-build half of :meth:`enable_quantization`: background
+        maintenance calls this off-lock (the arena of a sealed/pinned
+        segment cannot change underneath it) and adopts the result inside
+        the swap critical section.
+        """
+        qc = self.config.quantization
+        live = self._ids.live_offsets()
+        if live.size == 0:
+            raise ValueError("cannot quantize an empty segment")
+        quantizer = ScalarQuantizer(qc.quantile)
+        quantizer.train(self._arena.take(live))
+        codes = CodeStore(self._dim)
+        codes.extend(quantizer.encode(self._arena.view()))
+        return quantizer, codes
+
+    def adopt_quantization(self, quantizer: ScalarQuantizer, codes: CodeStore) -> None:
+        """Install a pre-trained quantizer + code store.
+
+        Codes are published *before* the quantizer: racing searches gate on
+        ``_quantizer is not None`` and then assume ``_codes`` exists, so
+        this order keeps lock-free readers consistent.
+        """
+        self._codes = codes
+        self._quantizer = quantizer
+        if self._index is not None and hasattr(self._index, "attach_quantization"):
+            self._index.attach_quantization(codes, quantizer)
+
     def enable_quantization(self) -> None:
         """Train the scalar quantizer and encode all vectors into a
         :class:`CodeStore`.
@@ -254,46 +284,50 @@ class Segment:
         installed (HNSW), the codes are attached to it — indexing and
         quantization compose instead of excluding each other.
         """
-        qc = self.config.quantization
-        live = self._ids.live_offsets()
-        if live.size == 0:
-            raise ValueError("cannot quantize an empty segment")
-        quantizer = ScalarQuantizer(qc.quantile)
-        quantizer.train(self._arena.take(live))
-        self._quantizer = quantizer
-        codes = CodeStore(self._dim)
-        codes.extend(quantizer.encode(self._arena.view()))
-        self._codes = codes
-        if self._index is not None and hasattr(self._index, "attach_quantization"):
-            self._index.attach_quantization(codes, quantizer)
+        quantizer, codes = self.prepare_quantization()
+        self.adopt_quantization(quantizer, codes)
 
     @property
     def is_quantized(self) -> bool:
         return self._quantizer is not None
 
-    def vacuum(self) -> "Segment":
-        """Rewrite into a fresh appendable segment without tombstones."""
-        fresh = Segment(self.config)
+    def export_columnar(self) -> tuple[list[PointId], np.ndarray, list]:
+        """``(ids, vectors, payloads)`` for all live points, arena order.
+
+        The columnar twin of :meth:`iter_points`; merge/rewrite feed it
+        straight into :meth:`upsert_columnar` on the destination segment —
+        one gather + one vectorized append instead of a per-point loop.
+        """
         live = self._ids.live_offsets()
-        if live.size:
-            mat = self._arena.take(live)
-            points = [
-                PointStruct(
-                    id=self._ids.id_at(int(off)),
-                    vector=mat[i],
-                    payload=self._payloads.get(self._ids.id_at(int(off))),
-                )
-                for i, off in enumerate(live)
-            ]
-            fresh.upsert_batch(points)
-        for key in self._payloads.indexed_keys:
-            # carry over secondary indexes
+        ids = [self._ids.id_at(int(off)) for off in live]
+        vectors = self._arena.take(live)
+        payloads = [self._payloads.get(pid) for pid in ids]
+        return ids, vectors, payloads
+
+    def rewrite_live(self) -> "Segment":
+        """Copy-on-write rewrite: live points only, into a fresh segment.
+
+        Secondary payload indexes carry over *per kind* — numeric keys get
+        numeric indexes again (recreating everything as keyword indexes
+        silently killed range prefiltering after every vacuum).
+        """
+        fresh = Segment(self.config)
+        ids, vectors, payloads = self.export_columnar()
+        if len(ids):
+            fresh.upsert_columnar(np.asarray(ids, dtype=np.int64), vectors, payloads)
+        for key in self._payloads.keyword_indexed_keys:
             fresh.payload_store.create_keyword_index(key)
+        for key in self._payloads.numeric_indexed_keys:
+            fresh.payload_store.create_numeric_index(key)
         if self._quantizer is not None and len(fresh):
             # The rewrite compacts offsets, so codes are re-derived (and the
             # range retrained) over the surviving vectors.
             fresh.enable_quantization()
         return fresh
+
+    def vacuum(self) -> "Segment":
+        """Rewrite into a fresh appendable segment without tombstones."""
+        return self.rewrite_live()
 
     # -- read path ---------------------------------------------------------------
 

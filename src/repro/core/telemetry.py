@@ -74,6 +74,12 @@ class WorkerTelemetry:
     quant_scans: int = 0
     quant_scanned_codes: int = 0
     quant_rescored: int = 0
+    #: Copy-on-write maintenance counters summed over this worker's shards:
+    #: fenced passes completed, passes whose swap changed segment state, and
+    #: journaled mid-pass mutations reconciled at swap time.
+    maint_passes: int = 0
+    maint_swaps: int = 0
+    maint_reconciled: int = 0
 
     def minus(self, earlier: "WorkerTelemetry") -> "WorkerTelemetry":
         return WorkerTelemetry(
@@ -97,6 +103,9 @@ class WorkerTelemetry:
             quant_scans=self.quant_scans - earlier.quant_scans,
             quant_scanned_codes=self.quant_scanned_codes - earlier.quant_scanned_codes,
             quant_rescored=self.quant_rescored - earlier.quant_rescored,
+            maint_passes=self.maint_passes - earlier.maint_passes,
+            maint_swaps=self.maint_swaps - earlier.maint_swaps,
+            maint_reconciled=self.maint_reconciled - earlier.maint_reconciled,
         )
 
 
@@ -322,6 +331,14 @@ class TelemetrySnapshot:
         return sum(w.quant_rescored for w in self.workers.values())
 
     @property
+    def total_maint_passes(self) -> int:
+        return sum(w.maint_passes for w in self.workers.values())
+
+    @property
+    def total_maint_reconciled(self) -> int:
+        return sum(w.maint_reconciled for w in self.workers.values())
+
+    @property
     def total_wal_appends(self) -> int:
         return sum(w.wal_appends for w in self.workers.values())
 
@@ -423,10 +440,11 @@ def collect(cluster: Cluster) -> TelemetrySnapshot:
             bypasses=cs["bypasses"],
         )
     snapshot.histograms = cluster.metrics.snapshot_histograms()
-    # Quantized-path latency histograms live on the *global* registry (the
-    # segment hot path cannot know which cluster owns it); overlay them.
+    # Quantized-path and maintenance latency histograms live on the *global*
+    # registry (the segment/collection hot paths cannot know which cluster
+    # owns them); overlay them.
     for name, hist in get_registry().snapshot_histograms().items():
-        if name.startswith("quant.") and name not in snapshot.histograms:
+        if name.startswith(("quant.", "maint.")) and name not in snapshot.histograms:
             snapshot.histograms[name] = hist
     tracer = get_tracer()
     snapshot.spans_recorded = tracer.span_count
@@ -441,8 +459,15 @@ def collect(cluster: Cluster) -> TelemetrySnapshot:
         quant_scans = 0
         quant_scanned = 0
         quant_rescored = 0
+        maint_passes = 0
+        maint_swaps = 0
+        maint_reconciled = 0
         for collection in worker._shards.values():  # noqa: SLF001 - same package
             points += len(collection)
+            ms = collection.maint_stats
+            maint_passes += ms["passes"]
+            maint_swaps += ms["swaps"]
+            maint_reconciled += ms["reconciled"]
             appends, flushes, nbytes = collection.wal_stats
             wal_appends += appends
             wal_flushes += flushes
@@ -485,5 +510,8 @@ def collect(cluster: Cluster) -> TelemetrySnapshot:
             quant_scans=quant_scans,
             quant_scanned_codes=quant_scanned,
             quant_rescored=quant_rescored,
+            maint_passes=maint_passes,
+            maint_swaps=maint_swaps,
+            maint_reconciled=maint_reconciled,
         )
     return snapshot

@@ -8,7 +8,9 @@ method surface (called through a :class:`~repro.core.transport.Transport`):
 * shard lifecycle: ``create_shard`` / ``drop_shard`` / ``transfer_shard_out``
 * writes: ``upsert`` / ``delete`` / ``set_payload``
 * reads: ``search`` / ``search_batch`` / ``retrieve`` / ``scroll`` / ``count``
-* maintenance: ``build_index`` / ``optimize`` / ``info``
+* maintenance: ``build_index`` / ``optimize`` / ``info``, plus the
+  background-driver lifecycle ``enable_maintenance`` /
+  ``disable_maintenance`` / ``drain_maintenance`` / ``maintenance_stats``
 
 Workers also keep CPU-work counters (vectors inserted, distance
 computations, index build sizes) that the performance model reads.
@@ -25,6 +27,7 @@ from ..obs.trace import get_tracer
 from .collection import Collection
 from .errors import BadRequestError, CollectionNotFoundError
 from .filters import Condition
+from .maintenance import MaintenanceDriver
 from .optimizer import OptimizerReport
 from .types import (
     CollectionConfig,
@@ -102,6 +105,8 @@ class Worker:
         self._stats_lock = threading.Lock()
         # (collection_name, shard_id) -> Collection
         self._shards: dict[tuple[str, int], Collection] = {}
+        # (collection_name, shard_id) -> background maintenance driver
+        self._maintenance: dict[tuple[str, int], MaintenanceDriver] = {}
 
     # -- stats ---------------------------------------------------------------
 
@@ -129,6 +134,9 @@ class Worker:
         self._shards[key] = Collection(shard_config)
 
     def drop_shard(self, collection: str, shard_id: int) -> None:
+        driver = self._maintenance.pop((collection, shard_id), None)
+        if driver is not None:
+            driver.stop()
         self._shards.pop((collection, shard_id), None)
 
     def has_shard(self, collection: str, shard_id: int) -> bool:
@@ -146,6 +154,11 @@ class Worker:
     def transfer_shard_out(self, collection: str, shard_id: int) -> list[PointStruct]:
         """Export all points of a shard (used during rebalancing)."""
         shard = self._shard(collection, shard_id)
+        # Finish any in-flight background pass first: the export must see a
+        # settled segment list, not one mid-swap.
+        driver = self._maintenance.get((collection, shard_id))
+        if driver is not None:
+            driver.drain()
         points = []
         for seg in shard.segments:
             for record in seg.iter_points(with_vector=True):
@@ -317,6 +330,50 @@ class Worker:
 
     def optimize(self, collection: str, shard_id: int) -> OptimizerReport:
         return self._shard(collection, shard_id).optimize()
+
+    def enable_maintenance(self, collection: str, shard_id: int,
+                           *, interval_s: float = 0.05) -> bool:
+        """Start a background maintenance driver for one shard.
+
+        Returns False when one is already running.  While enabled, the
+        write path never runs the optimizer inline — upserts only nudge
+        the driver.
+        """
+        key = (collection, shard_id)
+        if key in self._maintenance:
+            return False
+        shard = self._shard(collection, shard_id)
+        self._maintenance[key] = MaintenanceDriver(
+            shard, interval_s=interval_s
+        ).start()
+        return True
+
+    def disable_maintenance(self, collection: str, shard_id: int,
+                            *, drain: bool = True) -> bool:
+        """Stop a shard's driver; with ``drain`` run one final pass."""
+        driver = self._maintenance.pop((collection, shard_id), None)
+        if driver is None:
+            return False
+        driver.stop(drain=drain)
+        return True
+
+    def drain_maintenance(self, collection: str, shard_id: int) -> bool:
+        """Synchronously complete maintenance for one shard, if enabled."""
+        driver = self._maintenance.get((collection, shard_id))
+        if driver is None:
+            return False
+        driver.drain()
+        return True
+
+    def maintenance_stats(self, collection: str, shard_id: int) -> dict:
+        """Driver counters + collection swap-protocol counters for a shard."""
+        shard = self._shard(collection, shard_id)
+        driver = self._maintenance.get((collection, shard_id))
+        out = {"enabled": driver is not None}
+        out.update(shard.maint_stats)
+        if driver is not None:
+            out["driver"] = driver.stats.snapshot()
+        return out
 
     def create_payload_index(self, collection: str, shard_id: int, key: str,
                              *, kind: str = "keyword") -> None:

@@ -1,0 +1,192 @@
+"""Concurrent stress: writers + searchers + maintenance, with a full
+invariant sweep at the end (no lost points, consistent id map, counts
+add up).  Exercises both the explicit ``optimize()`` path and the
+background :class:`MaintenanceDriver`."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.collection import Collection
+from repro.core.maintenance import MaintenanceDriver
+from repro.core.types import (
+    CollectionConfig,
+    Distance,
+    OptimizerConfig,
+    PointStruct,
+    SearchRequest,
+    VectorParams,
+)
+
+DIM = 8
+WRITERS = 3
+IDS_PER_WRITER = 100_000  # disjoint id ranges: writer w owns [w*100k, …)
+MAX_IDS_PER_WRITER = 4_000  # volume cap keeps segment sizes test-friendly
+DURATION_S = 3.0
+
+
+def config(name):
+    # indexing_threshold=0 disables HNSW builds: a single build over the
+    # volume these writers produce costs tens of seconds, which would turn
+    # a concurrency stress into an index-build benchmark.  The swap/journal
+    # machinery under test is identical either way; the maintenance bench
+    # covers the in-flight-build scenario with sized segments.
+    return CollectionConfig(
+        name,
+        VectorParams(size=DIM, distance=Distance.EUCLID),
+        optimizer=OptimizerConfig(
+            indexing_threshold=0,
+            max_segments=4,
+            merge_threshold=400,
+            vacuum_min_deleted_ratio=0.2,
+        ),
+    )
+
+
+class WriterState:
+    """Ground truth one writer maintains about its own id range."""
+
+    def __init__(self, writer_id):
+        self.base = writer_id * IDS_PER_WRITER
+        self.rng = np.random.default_rng(writer_id)
+        self.live = {}  # pid -> last-written vector
+        self.next_id = self.base
+
+    def exhausted(self):
+        return self.next_id - self.base >= MAX_IDS_PER_WRITER
+
+    def step(self, col):
+        roll = self.rng.random()
+        if self.exhausted() and roll < 0.6:
+            roll = 0.7  # out of fresh ids: rebalance toward overwrite/delete
+        if (roll < 0.6 or not self.live) and not self.exhausted():
+            n = int(self.rng.integers(4, 24))
+            batch = []
+            for _ in range(n):
+                pid = self.next_id
+                self.next_id += 1
+                vec = self.rng.normal(size=DIM).astype(np.float32)
+                batch.append(PointStruct(id=pid, vector=vec, payload={"w": self.base}))
+                self.live[pid] = vec
+            col.upsert(batch)
+        elif not self.live:
+            return
+        elif roll < 0.8:
+            # overwrite some existing points with new vectors
+            pids = list(self.live)[: int(self.rng.integers(1, 8))]
+            batch = []
+            for pid in pids:
+                vec = self.rng.normal(size=DIM).astype(np.float32)
+                batch.append(PointStruct(id=pid, vector=vec, payload={"w": self.base}))
+                self.live[pid] = vec
+            col.upsert(batch)
+        else:
+            pids = list(self.live)[: int(self.rng.integers(1, 12))]
+            for pid in pids:
+                del self.live[pid]
+            col.delete(pids)
+
+
+def run_stress(col, *, explicit_optimize):
+    states = [WriterState(w) for w in range(WRITERS)]
+    stop = threading.Event()
+    errors = []
+
+    def writer(state):
+        try:
+            while not stop.is_set():
+                state.step(col)
+        except Exception as exc:  # pragma: no cover - surfaces in assert
+            errors.append(exc)
+
+    def searcher():
+        rng = np.random.default_rng(99)
+        try:
+            while not stop.is_set():
+                col.search(SearchRequest(vector=rng.normal(size=DIM), limit=10))
+        except Exception as exc:  # pragma: no cover
+            errors.append(exc)
+
+    def optimizer_loop():
+        try:
+            while not stop.is_set():
+                col.optimize()
+                time.sleep(0.005)
+        except Exception as exc:  # pragma: no cover
+            errors.append(exc)
+
+    threads = [threading.Thread(target=writer, args=(s,)) for s in states]
+    threads.append(threading.Thread(target=searcher))
+    if explicit_optimize:
+        threads.append(threading.Thread(target=optimizer_loop))
+    for t in threads:
+        t.start()
+    time.sleep(DURATION_S)
+    stop.set()
+    for t in threads:
+        t.join()
+    assert not errors, errors
+    return states
+
+
+def assert_invariants(col, states):
+    """The full sweep: segments, id map, counts, vectors, payload."""
+    expected = {}
+    for state in states:
+        overlap = expected.keys() & state.live.keys()
+        assert not overlap  # writer id ranges are disjoint by construction
+        expected.update(state.live)
+
+    segments = col.segments
+    seen = {}
+    for seg in segments:
+        for pid in seg.point_ids():
+            assert pid not in seen, f"point {pid} duplicated across segments"
+            seen[pid] = seg
+
+    lost = expected.keys() - seen.keys()
+    phantom = seen.keys() - expected.keys()
+    assert not lost, f"{len(lost)} upserted points vanished, e.g. {sorted(lost)[:5]}"
+    assert not phantom, f"{len(phantom)} deleted points resurrected"
+
+    id_map = col._id_to_segment
+    assert set(id_map) == set(seen), "id map diverged from segment contents"
+    for pid, seg in id_map.items():
+        assert seg.contains(pid)
+        assert any(seg is s for s in segments), "id map references dropped segment"
+
+    assert len(col) == len(expected)
+
+    # Vector contents: every live point serves its last-written vector.
+    sample = list(expected)[:: max(1, len(expected) // 500)]
+    for pid in sample:
+        rec = col.retrieve(pid, with_vector=True)
+        np.testing.assert_array_equal(
+            np.asarray(rec.vector, dtype=np.float32), expected[pid],
+            err_msg=f"point {pid} serves a stale vector",
+        )
+
+
+@pytest.mark.slow
+def test_stress_explicit_optimize():
+    """Writers + searcher + a thread hammering ``optimize()``."""
+    col = Collection(config("stress-opt"))
+    states = run_stress(col, explicit_optimize=True)
+    col.optimize()
+    assert_invariants(col, states)
+
+
+@pytest.mark.slow
+def test_stress_background_driver():
+    """Writers + searcher with the background driver doing maintenance."""
+    col = Collection(config("stress-drv"))
+    driver = MaintenanceDriver(col, interval_s=0.01).start()
+    try:
+        states = run_stress(col, explicit_optimize=False)
+    finally:
+        driver.stop(drain=True)
+    assert driver.stats.snapshot()["errors"] == 0
+    assert driver.stats.snapshot()["passes"] > 0
+    assert_invariants(col, states)
