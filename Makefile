@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction.
 
-.PHONY: install test test-maint-stress bench bench-micro bench-insert bench-insert-smoke bench-fault bench-fault-smoke bench-query bench-query-smoke bench-quant bench-quant-smoke bench-maint bench-maint-smoke paper examples clean
+.PHONY: install test test-maint-stress bench bench-micro bench-insert bench-insert-smoke bench-fault bench-fault-smoke bench-query bench-query-smoke bench-quant bench-quant-smoke bench-maint bench-maint-smoke bench-reshard bench-reshard-smoke paper examples clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -59,6 +59,15 @@ bench-maint:
 
 bench-maint-smoke:
 	REPRO_BENCH_SMOKE=1 PYTHONPATH=src python -m pytest benchmarks/test_maintenance_stall.py -q
+
+# Live resharding bench: 3->4 worker scale-out under concurrent writers
+# and searchers — zero lost/duplicated points, bit-identity vs a static
+# twin, bounded search p99 during migration, copy-throttle accuracy.
+bench-reshard:
+	PYTHONPATH=src python -m pytest benchmarks/test_resharding.py -q
+
+bench-reshard-smoke:
+	REPRO_BENCH_SMOKE=1 PYTHONPATH=src python -m pytest benchmarks/test_resharding.py -q
 
 # Concurrent maintenance stress: writers + searchers + vacuum/merge swaps,
 # with a full no-lost-points invariant sweep at the end.

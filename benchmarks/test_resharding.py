@@ -1,0 +1,284 @@
+"""Live resharding benchmark: elastic scale-out under concurrent load.
+
+Growing a 3-worker cluster to 4 used to mean a downtime window (drain
+writes, bulk-copy shards, re-route).  The reshard coordinator instead
+streams each :class:`ShardMove` live — throttled chunked copy off a pinned
+snapshot, journal catch-up, then a fenced cutover measured in
+milliseconds — so clients keep writing and searching throughout.
+
+Acceptance properties asserted here:
+
+* **zero lost or duplicated points**: every write acknowledged during the
+  migration (plus the pre-load) is present exactly once afterwards;
+* search results after the cutover are **bit-identical** to a static twin
+  cluster that was born with the final topology and the same data;
+* search p99 **while shards migrate** stays within 5x the same-load
+  baseline measured just before the migration started;
+* the chunked copy throttle tracks its bytes/s target within 25%
+  (full mode only — smoke chunks are too small to measure a rate);
+* the report written as ``BENCH_reshard.json`` validates against the
+  ``repro.obs.benchreport`` schema.
+
+Set ``REPRO_BENCH_SMOKE=1`` for CI's tiny assert-only variant: sizes
+shrink and the wall-clock thresholds are skipped — the zero-loss sweep
+and bit-identity always hold.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CollectionConfig,
+    Distance,
+    OptimizerConfig,
+    PointStruct,
+    ReshardConfig,
+    ReshardCoordinator,
+    SearchRequest,
+    VectorParams,
+)
+from repro.core.cluster import Cluster
+from repro.core.worker import Worker
+from repro.obs.benchreport import BenchReport
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+DIM = 32
+#: Shards outnumber workers so adding a worker creates genuine imbalance
+#: (8 shards over 3 workers is a 3/3/2 spread; the newcomer takes 2).
+SHARDS = 8
+N_BASE = 1_000 if SMOKE else 8_000
+WRITER_BATCH = 32
+MIN_SAMPLES = 30 if SMOKE else 200
+MIGRATION_P99_LIMIT = 5.0
+THROTTLE_TOLERANCE = 0.25
+
+REPORT = BenchReport(phase="reshard")
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _write_bench_report():
+    yield
+    if REPORT.throughput or REPORT.checks:
+        REPORT.write(root=REPO_ROOT)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _fast_thread_switch():
+    old = sys.getswitchinterval()
+    sys.setswitchinterval(0.001)
+    yield
+    sys.setswitchinterval(old)
+
+
+def _config(name, shard_number=SHARDS):
+    return CollectionConfig(
+        name,
+        VectorParams(size=DIM, distance=Distance.EUCLID),
+        optimizer=OptimizerConfig(indexing_threshold=0),
+        shard_number=shard_number,
+    )
+
+
+def _cluster(n_workers):
+    cluster = Cluster()
+    for i in range(n_workers):
+        cluster.add_worker(Worker(f"w{i}"))
+    return cluster
+
+
+def _base_points():
+    rng = np.random.default_rng(5)
+    vecs = rng.normal(size=(N_BASE, DIM)).astype(np.float32)
+    return [PointStruct(id=i, vector=vecs[i]) for i in range(N_BASE)]
+
+
+def _p99(samples):
+    return float(np.percentile(np.asarray(samples, dtype=np.float64), 99))
+
+
+def test_scale_out_under_load_loses_nothing_and_bounds_p99():
+    """Grow 3 workers to 4 while writers and searchers keep running.
+
+    The searcher measures its own p99 twice under *identical* writer
+    load — once just before the migration starts (baseline) and once
+    while the two shard moves are in flight — so the ratio isolates the
+    migration's interference, not the writers'.
+    """
+    name = "reshard-bench"
+    cluster = _cluster(3)
+    # Small chunks stretch the copy window so the in-migration sampler
+    # actually overlaps it.
+    ReshardCoordinator(cluster, ReshardConfig(chunk_rows=64 if SMOKE else 256))
+    cluster.create_collection(_config(name))
+    base = _base_points()
+    for i in range(0, N_BASE, 512):
+        cluster.upsert(name, base[i : i + 512])
+    queries = np.random.default_rng(7).normal(size=(20, DIM)).astype(np.float32)
+
+    stop = threading.Event()
+    written: list[list[PointStruct]] = [[], []]
+    failures: list[BaseException] = []
+
+    def writer(k):
+        rng = np.random.default_rng(100 + k)
+        base_id = 1_000_000 * (k + 1)
+        n = 0
+        try:
+            while not stop.is_set():
+                vecs = rng.normal(size=(WRITER_BATCH, DIM)).astype(np.float32)
+                batch = [
+                    PointStruct(id=base_id + n * WRITER_BATCH + j, vector=vecs[j])
+                    for j in range(WRITER_BATCH)
+                ]
+                cluster.upsert(name, batch)
+                written[k].append(batch)
+                n += 1
+        except BaseException as exc:  # noqa: BLE001 - surfaced in main thread
+            failures.append(exc)
+
+    def sample_searches(n_min, alive=None):
+        samples = []
+        k = 0
+        while (alive is not None and alive()) or len(samples) < n_min:
+            req = SearchRequest(vector=queries[k % len(queries)], limit=10)
+            t0 = time.perf_counter()
+            cluster.search(name, req)
+            samples.append(time.perf_counter() - t0)
+            k += 1
+            if len(samples) >= 20_000:  # pragma: no cover - runaway guard
+                break
+        return samples
+
+    threads = [threading.Thread(target=writer, args=(k,)) for k in range(2)]
+    for t in threads:
+        t.start()
+    try:
+        baseline_samples = sample_searches(MIN_SAMPLES)
+        moves: list = []
+        mig = threading.Thread(
+            target=lambda: moves.extend(
+                cluster.add_worker(Worker("w3"), rebalance=True)
+            ),
+            name="reshard",
+        )
+        mig.start()
+        migration_samples = sample_searches(MIN_SAMPLES, alive=mig.is_alive)
+        mig.join()
+    finally:
+        stop.set()
+        for t in threads:
+            t.join()
+
+    assert not failures, failures
+    assert moves, "adding a 4th worker to 8 shards must move shards"
+    assert "w3" in {m.target for m in moves}
+
+    # -- zero lost or duplicated points ------------------------------------
+    expected = N_BASE + sum(len(b) for w in written for b in w)
+    total = cluster.count(name)
+    REPORT.check("zero_lost_or_duplicated_points", total == expected)
+    assert total == expected, f"expected {expected} points, cluster holds {total}"
+    for w in written:
+        for batch in (w[0], w[-1]) if w else ():
+            rec = cluster.retrieve(name, batch[0].id, with_vector=True)
+            assert np.allclose(rec.vector, batch[0].as_array())
+
+    # -- post-cutover search bit-identical to a static twin ----------------
+    twin = _cluster(4)
+    twin.create_collection(_config(name))
+    for i in range(0, N_BASE, 512):
+        twin.upsert(name, base[i : i + 512])
+    for w in written:
+        for batch in w:
+            twin.upsert(name, batch)
+    identical = True
+    for q in queries:
+        req = SearchRequest(vector=q, limit=10)
+        got = [(h.id, h.score) for h in cluster.search(name, req)]
+        want = [(h.id, h.score) for h in twin.search(name, req)]
+        if got != want:
+            identical = False
+            break
+    REPORT.check("post_cutover_search_bit_identical", identical)
+    assert identical, "post-migration search diverged from the static twin"
+
+    # -- p99 during migration bounded --------------------------------------
+    baseline_p99 = _p99(baseline_samples)
+    migration_p99 = _p99(migration_samples)
+    ratio = migration_p99 / max(baseline_p99, 1e-9)
+    stats = cluster.reshard_stats()
+    REPORT.add_latency_samples("search_baseline_under_writers", baseline_samples)
+    REPORT.add_latency_samples("search_during_migration", migration_samples)
+    REPORT.add_throughput(
+        "migration_rows_per_s",
+        stats["rows_copied"] / max(stats["copy_seconds"], 1e-9),
+    )
+    REPORT.add_fanout(
+        migration_p99_ratio=ratio,
+        baseline_p99_s=baseline_p99,
+        during_migration_p99_s=migration_p99,
+        samples_during_migration=len(migration_samples),
+        moves=len(moves),
+        rows_copied=stats["rows_copied"],
+        journal_replayed=stats["journal_replayed"],
+        cutovers=stats["cutovers"],
+        points_written_concurrently=expected - N_BASE,
+    )
+    bounded = ratio <= MIGRATION_P99_LIMIT
+    REPORT.check("search_p99_within_5x_during_migration", bounded)
+    if not SMOKE:
+        assert bounded, (
+            f"search p99 during migration {migration_p99:.6f}s is "
+            f"{ratio:.1f}x the {baseline_p99:.6f}s baseline "
+            f"(limit {MIGRATION_P99_LIMIT}x)"
+        )
+
+
+def test_copy_throttle_tracks_target():
+    """The chunked copy paces itself to ``throttle_bytes_per_s``."""
+    name = "reshard-throttle"
+    n_points = 1_000 if SMOKE else 4_000
+    target = 128 * 1024 if SMOKE else 256 * 1024
+    cluster = _cluster(1)
+    ReshardCoordinator(
+        cluster, ReshardConfig(chunk_rows=64, throttle_bytes_per_s=target)
+    )
+    cluster.create_collection(_config(name, shard_number=2))
+    rng = np.random.default_rng(11)
+    vecs = rng.normal(size=(n_points, DIM)).astype(np.float32)
+    for i in range(0, n_points, 512):
+        cluster.upsert(
+            name,
+            [PointStruct(id=j, vector=vecs[j]) for j in range(i, min(i + 512, n_points))],
+        )
+
+    moves = cluster.add_worker(Worker("w1"), rebalance=True)
+    assert moves
+    stats = cluster.reshard_stats()
+    assert stats["throttle_sleep_seconds"] > 0, "throttle never engaged"
+    rate = stats["bytes_copied"] / max(stats["copy_seconds"], 1e-9)
+    REPORT.add_throughput("throttled_copy_bytes_per_s", rate)
+    REPORT.add_fanout(
+        throttle_target_bytes_per_s=target,
+        throttle_measured_bytes_per_s=rate,
+        throttle_sleep_seconds=stats["throttle_sleep_seconds"],
+        bytes_copied=stats["bytes_copied"],
+    )
+    within = (
+        (1 - THROTTLE_TOLERANCE) * target <= rate <= (1 + THROTTLE_TOLERANCE) * target
+    )
+    REPORT.check("throttle_within_25pct_of_target", within)
+    if not SMOKE:
+        assert within, (
+            f"measured copy rate {rate:.0f} B/s vs target {target} B/s "
+            f"(tolerance {THROTTLE_TOLERANCE:.0%})"
+        )

@@ -40,6 +40,14 @@ from .errors import (
 from .filters import FieldIn, FieldMatch, FieldRange, Filter, HasId, IsEmpty
 from .maintenance import MaintenanceDriver, MaintenanceStats
 from .recommend import RecommendRequest
+from .resharding import (
+    MoveResult,
+    ReshardConfig,
+    ReshardCoordinator,
+    ReshardStats,
+    ShardMigration,
+    ShardWriteGate,
+)
 from .scheduler import CoalescePolicy, CoalesceStats, QueryCoalescer
 from .snapshot import load_snapshot, save_snapshot
 from .types import (
@@ -97,6 +105,12 @@ __all__ = [
     "CoalescePolicy",
     "CoalesceStats",
     "QueryCoalescer",
+    "ReshardConfig",
+    "ReshardCoordinator",
+    "ReshardStats",
+    "ShardMigration",
+    "ShardWriteGate",
+    "MoveResult",
     "save_snapshot",
     "load_snapshot",
     "VectorDBError",

@@ -48,6 +48,7 @@ from .errors import (
     CollectionExistsError,
     CollectionNotFoundError,
     NoReplicaAvailableError,
+    PointNotFoundError,
     RequestTimeoutError,
     TransportError,
     WorkerUnavailableError,
@@ -274,6 +275,14 @@ class Cluster:
         #: Shared micro-batching scheduler, attached lazily by
         #: :meth:`repro.core.scheduler.QueryCoalescer.for_cluster`.
         self.coalescer = None
+        #: In-flight live shard migrations, ``(collection, shard_id)`` ->
+        #: :class:`~repro.core.resharding.ShardMigration`.  The write path
+        #: consults this to enter migration gates / double-write; reads use
+        #: it to fail over onto a caught-up migration target.
+        self._migrations: dict[tuple[str, int], Any] = {}
+        self._migrations_lock = threading.Lock()
+        #: Lazily constructed :class:`~repro.core.resharding.ReshardCoordinator`.
+        self._resharder = None
 
     # -- fan-out --------------------------------------------------------------
 
@@ -408,6 +417,11 @@ class Cluster:
                 return self._timed_call(call, ctx)
             except TransportError as exc:
                 return exc
+            except CollectionNotFoundError as exc:
+                # Stale routing against a shard retired by a live migration
+                # (the worker dropped it post-cutover): treat like a failed
+                # lane so the shard re-resolves against the fresh plan.
+                return exc
 
         width = self._fanout_width(len(calls))
         t0 = monotonic()
@@ -441,6 +455,7 @@ class Cluster:
         t0 = monotonic()
         result = None
         ok = 0
+        stale: CollectionNotFoundError | None = None
         try:
             with tracer.activate(ctx):
                 with tracer.span(
@@ -454,24 +469,44 @@ class Cluster:
                         except TransportError:
                             self.failover_stats.record_failover()
                             continue
+                        except CollectionNotFoundError as exc:
+                            # A retired migration source reached through a
+                            # stale plan.  It refused the write before
+                            # applying anything, so skipping it is safe; the
+                            # surviving replicas are the fresh-plan holders.
+                            stale = exc
+                            continue
+                        except PointNotFoundError:
+                            if ok == 0 and stale is None:
+                                raise  # authoritative primary: client error
+                            # Replica lag (e.g. a double-write target whose
+                            # journal replay has not landed the point yet);
+                            # the catch-up replay converges it.
+                            continue
                         result = outcome
                         ok += 1
         finally:
             self.ingest_stats.record_shard(shard_id, monotonic() - t0)
         if ok == 0:
+            if stale is not None:
+                raise stale  # whole chain stale: nothing applied, retriable
             raise NoReplicaAvailableError(shard_id)
         if ok < len(calls) and isinstance(result, UpdateResult):
             result = UpdateResult(result.operation_id, UpdateStatus.ACKNOWLEDGED)
         return result
 
-    def _write_fanout(self, shard_calls: dict[int, list[tuple]]) -> list:
+    def _write_fanout(
+        self, shard_calls: dict[int, list[tuple]], tolerate: tuple = ()
+    ) -> list:
         """Fan a write out across shards on the persistent broadcast pool.
 
         ``shard_calls[shard_id]`` is the ordered list of per-replica
         transport calls for that shard.  Shards are mutually independent, so
         they run in parallel (one pool task per shard); within a shard the
         replica chain stays serial for ordering.  Results come back in
-        ascending shard order regardless of completion order.
+        ascending shard order regardless of completion order.  Exception
+        classes in ``tolerate`` are returned in place of that shard's result
+        instead of raised, so the caller can retry just the failed shards.
         """
         if not shard_calls:
             return []
@@ -480,6 +515,13 @@ class Cluster:
         tracer = get_tracer()
         width = self._fanout_width(len(shards))
         t0 = monotonic()
+
+        def run(shard_id: int, ctx):
+            try:
+                return self._run_shard_chain(shard_id, shard_calls[shard_id], ctx)
+            except tolerate as exc:
+                return exc
+
         with tracer.span(
             "cluster.fanout",
             {"shards": len(shards), "calls": total_calls, "width": width}
@@ -487,15 +529,10 @@ class Cluster:
         ):
             ctx = tracer.current_context()
             if width <= 1 or len(shards) == 1:
-                results = [
-                    self._run_shard_chain(s, shard_calls[s], ctx) for s in shards
-                ]
+                results = [run(s, ctx) for s in shards]
             else:
                 pool = self._fanout_pool(width)
-                futures = [
-                    pool.submit(self._run_shard_chain, s, shard_calls[s], ctx)
-                    for s in shards
-                ]
+                futures = [pool.submit(run, s, ctx) for s in shards]
                 results = [f.result() for f in futures]
         self.fanout_stats.record_fanout(
             len(shards), monotonic() - t0, calls=total_calls
@@ -521,8 +558,126 @@ class Cluster:
         )
         return UpdateResult(max(r.operation_id for r in results), status)
 
+    def _gated_write(self, name: str, state, shard_ids, make_calls):
+        """Build and run one write fan-out under the migration write gates.
+
+        Gates are entered BEFORE the placement plan is read: the fenced
+        cutover swaps holder sets with no writer in flight, so a gated
+        writer always sees either the old or the new replica chain, whole.
+        ``make_calls(shard_id, holders)`` builds the per-replica transport
+        calls for one shard; ``holders`` already includes the double-write
+        target when the shard is mid-cutover.
+
+        A writer that read the migration registry *before* a move
+        registered can still land on the source after the move finished and
+        the shard was retired — that surfaces as
+        :class:`CollectionNotFoundError` from the fan-out.  Since a
+        genuinely unknown collection raises earlier (at ``_resolve``), the
+        error here can only mean a stale plan: re-enter the gates, rebuild
+        that shard's chain from the fresh plan and re-issue.  Only the
+        refused shards retry (a stale chain applied nothing, so re-issuing
+        it cannot double-apply), never shards that already acknowledged.
+
+        Returns ``(results, fanout_width)``.
+        """
+        pending = sorted(shard_ids)
+        width = len(pending)
+        done: dict[int, Any] = {}
+        last: CollectionNotFoundError | None = None
+        for _ in range(3):
+            entered, extra = self._enter_migration_gates(name, pending)
+            try:
+                shard_calls: dict[int, list[tuple]] = {}
+                for shard_id in pending:
+                    holders = state.plan.workers_for(shard_id)
+                    target = extra.get(shard_id)
+                    if target is not None and target not in holders:
+                        holders.append(target)  # double-write to move target
+                    shard_calls[shard_id] = make_calls(shard_id, holders)
+                outcomes = self._write_fanout(
+                    shard_calls, tolerate=(CollectionNotFoundError,)
+                )
+            finally:
+                self._exit_migration_gates(entered)
+            failed: list[int] = []
+            for shard_id, outcome in zip(sorted(shard_calls), outcomes):
+                if isinstance(outcome, CollectionNotFoundError):
+                    failed.append(shard_id)
+                    last = outcome
+                else:
+                    done[shard_id] = outcome
+            if not failed:
+                return [done[s] for s in sorted(done)], width
+            pending = failed
+        raise last
+
+    # -- live migration plumbing ---------------------------------------------
+
+    def _register_migration(self, mig) -> None:
+        with self._migrations_lock:
+            self._migrations[(mig.collection, mig.shard_id)] = mig
+
+    def _unregister_migration(self, mig) -> None:
+        with self._migrations_lock:
+            self._migrations.pop((mig.collection, mig.shard_id), None)
+
+    def _migration_for(self, name: str, shard_id: int):
+        if not self._migrations:  # hot-path fast exit, no lock
+            return None
+        with self._migrations_lock:
+            return self._migrations.get((name, shard_id))
+
+    def _enter_migration_gates(
+        self, name: str, shard_ids
+    ) -> tuple[list, dict[int, str]]:
+        """Enter the write gate of every migrating shard in ``shard_ids``.
+
+        Returns the migrations entered (for :meth:`_exit_migration_gates`)
+        and ``{shard_id: target}`` for shards in the double-write phase.
+        The caller must read the placement plan only *after* this returns —
+        gate-then-plan-read is what makes the fenced cutover atomic with
+        respect to replica-chain construction.
+        """
+        if not self._migrations:
+            return [], {}
+        with self._migrations_lock:
+            migs = [
+                m
+                for (coll, shard), m in self._migrations.items()
+                if coll == name and shard in shard_ids
+            ]
+        entered = []
+        extra: dict[int, str] = {}
+        try:
+            for mig in migs:
+                mig.gate.writer_enter()
+                entered.append(mig)
+                if mig.double_write:
+                    extra[mig.shard_id] = mig.target
+        except BaseException:  # pragma: no cover - gate enter cannot raise
+            self._exit_migration_gates(entered)
+            raise
+        return entered, extra
+
+    @staticmethod
+    def _exit_migration_gates(entered: list) -> None:
+        for mig in entered:
+            mig.gate.writer_exit()
+
+    @property
+    def resharder(self):
+        """The cluster's :class:`~repro.core.resharding.ReshardCoordinator`
+        (constructed lazily with default config on first use)."""
+        if self._resharder is None:
+            from .resharding import ReshardCoordinator
+
+            ReshardCoordinator(self)  # attaches itself to self._resharder
+        return self._resharder
+
     def close(self) -> None:
         """Shut down the coalescer and fan-out pools (idempotent)."""
+        if self._resharder is not None:
+            self._resharder.stop()
         if self.coalescer is not None:
             # Drain queued queries first: their dispatches still need the
             # fan-out pools shut down below.
@@ -581,87 +736,52 @@ class Cluster:
                 base.register(worker.worker_id, worker)
         moves: list[ShardMove] = []
         if rebalance:
+            # Live scale-out: spread existing replicas onto the newcomer with
+            # the three-phase migration protocol (collections keep serving).
+            resharder = self.resharder
             for name in self._collections:
-                moves.extend(self._rebalance_collection(name))
+                for r in resharder.reshard_collection(name, balance=True):
+                    moves.append(
+                        ShardMove(shard_id=r.shard_id, source=r.source, target=r.target)
+                    )
         return moves
 
     def remove_worker(self, worker_id: str, *, rebalance: bool = True) -> list[ShardMove]:
-        """Deregister a worker, moving its shard replicas elsewhere."""
+        """Deregister a worker, moving its shard replicas elsewhere.
+
+        The departing worker stays registered while its replicas migrate
+        off it — a *graceful* leave streams each shard live (copy,
+        catch-up, fenced cutover); a worker that is already dead makes the
+        protocol fall back to a bulk pull from a surviving replica.
+        """
         if worker_id not in self._workers:
             raise WorkerUnavailableError(worker_id)
         # Refuse before mutating anything if the remaining workers cannot
         # honour some collection's replication factor.
-        remaining = len(self._workers) - 1
+        remaining = [w for w in self._workers if w != worker_id]
         for name, state in self._collections.items():
-            if state.plan.replication_factor > remaining:
+            if state.plan.replication_factor > len(remaining):
                 raise ClusterConfigError(
-                    f"removing {worker_id!r} would leave {remaining} workers, "
+                    f"removing {worker_id!r} would leave {len(remaining)} workers, "
                     f"below collection {name!r}'s replication factor "
                     f"{state.plan.replication_factor}"
                 )
-        # Export shard data before the worker disappears (graceful leave).
-        exports: dict[tuple[str, int], list[PointStruct]] = {}
+        moves: list[ShardMove] = []
         if rebalance:
-            for name, state in self._collections.items():
-                for shard_id in state.plan.shards_on(worker_id):
-                    try:
-                        exports[(name, shard_id)] = self.transport.call(
-                            worker_id, "transfer_shard_out", name, shard_id
-                        )
-                    except TransportError:
-                        exports[(name, shard_id)] = []
+            resharder = self.resharder
+            for name in self._collections:
+                for r in resharder.reshard_collection(name, remaining):
+                    moves.append(
+                        ShardMove(shard_id=r.shard_id, source=r.source, target=r.target)
+                    )
         del self._workers[worker_id]
-        self.health.forget(worker_id)
         if isinstance(self.transport, LocalTransport):
             self.transport.deregister(worker_id)
         else:
             base = getattr(self.transport, "inner", None)
             if isinstance(base, LocalTransport):
                 base.deregister(worker_id)
-        moves: list[ShardMove] = []
-        if rebalance:
-            for name in self._collections:
-                moves.extend(self._rebalance_collection(name, exports))
-        return moves
-
-    def _rebalance_collection(
-        self,
-        name: str,
-        exports: Mapping[tuple[str, int], list[PointStruct]] | None = None,
-    ) -> list[ShardMove]:
-        state = self._collections[name]
-        new_plan, moves = state.plan.rebalance(list(self._workers))
-        for move in moves:
-            target_worker = move.target
-            if not self.transport.call(target_worker, "has_shard", name, move.shard_id):
-                points: list[PointStruct] = []
-                # An export that failed (worker died before handing its data
-                # over) is recorded as [] — it must NOT shadow the
-                # surviving-replica pull below, or a replicated shard would be
-                # "rebalanced" into an empty copy while live replicas still
-                # hold the data.
-                if exports and exports.get((name, move.shard_id)):
-                    points = exports[(name, move.shard_id)]
-                elif move.source is not None and move.source in self._workers:
-                    points = self.transport.call(
-                        move.source, "transfer_shard_out", name, move.shard_id
-                    )
-                else:
-                    # Pull from any surviving replica.
-                    for holder in new_plan.workers_for(move.shard_id):
-                        if holder != target_worker and holder in self._workers:
-                            try:
-                                points = self.transport.call(
-                                    holder, "transfer_shard_out", name, move.shard_id
-                                )
-                            except TransportError:
-                                continue
-                            break
-                self.transport.call(
-                    target_worker, "transfer_shard_in", name, move.shard_id,
-                    state.config, points,
-                )
-        state.plan = new_plan
+        self.health.forget(worker_id)
         return moves
 
     @property
@@ -766,26 +886,29 @@ class Cluster:
         points = list(points)
         by_shard = state.router.partition([p.id for p in points])
         by_id = {p.id: p for p in points}
-        shard_calls: dict[int, list[tuple]] = {}
-        for shard_id, pids in by_shard.items():
-            shard_points = [by_id[pid] for pid in pids]
-            shard_calls[shard_id] = [
-                (worker_id, "upsert", name, shard_id, shard_points)
-                for worker_id in state.plan.workers_for(shard_id)
-            ]
         tracer = get_tracer()
         t0 = monotonic()
+
+        def make_calls(shard_id: int, holders: list[str]) -> list[tuple]:
+            shard_points = [by_id[pid] for pid in by_shard[shard_id]]
+            return [
+                (worker_id, "upsert", name, shard_id, shard_points)
+                for worker_id in holders
+            ]
+
         with tracer.span(
             "cluster.upsert",
             {"collection": name, "points": len(points)}
             if tracer.enabled else None,
         ):
-            results = self._write_fanout(shard_calls)
+            results, width = self._gated_write(
+                name, state, by_shard.keys(), make_calls
+            )
         wall = monotonic() - t0
         self.ingest_stats.record_write(
             points=len(points),
             nbytes=sum(p.as_array().nbytes for p in points),
-            width=len(shard_calls),
+            width=width,
             wall=wall,
         )
         self._hist_upsert.observe(wall)
@@ -799,25 +922,28 @@ class Cluster:
         """
         name, state = self._resolve(name)
         sub_batches = batch.split(state.router.partition_rows(batch.ids))
-        shard_calls: dict[int, list[tuple]] = {}
-        for shard_id, sub in sub_batches.items():
-            shard_calls[shard_id] = [
-                (worker_id, "upsert_columnar", name, shard_id, sub)
-                for worker_id in state.plan.workers_for(shard_id)
-            ]
         tracer = get_tracer()
         t0 = monotonic()
+
+        def make_calls(shard_id: int, holders: list[str]) -> list[tuple]:
+            return [
+                (worker_id, "upsert_columnar", name, shard_id, sub_batches[shard_id])
+                for worker_id in holders
+            ]
+
         with tracer.span(
             "cluster.upsert",
             {"collection": name, "points": len(batch), "columnar": True}
             if tracer.enabled else None,
         ):
-            results = self._write_fanout(shard_calls)
+            results, width = self._gated_write(
+                name, state, sub_batches.keys(), make_calls
+            )
         wall = monotonic() - t0
         self.ingest_stats.record_write(
             points=len(batch),
             nbytes=batch.nbytes,
-            width=len(shard_calls),
+            width=width,
             wall=wall,
         )
         self._hist_upsert.observe(wall)
@@ -826,24 +952,28 @@ class Cluster:
     def delete(self, name: str, point_ids: Sequence[PointId]) -> UpdateResult:
         name, state = self._resolve(name)
         point_ids = list(point_ids)
-        shard_calls: dict[int, list[tuple]] = {}
-        for shard_id, pids in state.router.partition(point_ids).items():
-            shard_calls[shard_id] = [
-                (worker_id, "delete", name, shard_id, pids)
-                for worker_id in state.plan.workers_for(shard_id)
-            ]
+        by_shard = state.router.partition(point_ids)
         tracer = get_tracer()
         t0 = monotonic()
+
+        def make_calls(shard_id: int, holders: list[str]) -> list[tuple]:
+            return [
+                (worker_id, "delete", name, shard_id, by_shard[shard_id])
+                for worker_id in holders
+            ]
+
         with tracer.span(
             "cluster.delete",
             {"collection": name, "points": len(point_ids)}
             if tracer.enabled else None,
         ):
-            results = self._write_fanout(shard_calls)
+            results, width = self._gated_write(
+                name, state, by_shard.keys(), make_calls
+            )
         self.ingest_stats.record_write(
             points=len(point_ids),
             nbytes=0,
-            width=len(shard_calls),
+            width=width,
             wall=monotonic() - t0,
             op="delete",
         )
@@ -854,11 +984,14 @@ class Cluster:
     ) -> UpdateResult:
         name, state = self._resolve(name)
         shard_id = state.router.shard_for(point_id)
-        calls = [
-            (worker_id, "set_payload", name, shard_id, point_id, payload)
-            for worker_id in state.plan.workers_for(shard_id)
-        ]
-        results = self._write_fanout({shard_id: calls})
+
+        def make_calls(sid: int, holders: list[str]) -> list[tuple]:
+            return [
+                (worker_id, "set_payload", name, sid, point_id, payload)
+                for worker_id in holders
+            ]
+
+        results, _ = self._gated_write(name, state, (shard_id,), make_calls)
         return self._aggregate_update(results)
 
     # -- reads -------------------------------------------------------------------------------
@@ -914,6 +1047,19 @@ class Cluster:
             if not was_closed and not self._probe_worker(worker_id):
                 continue  # half-open probe failed: breaker re-opened
             return worker_id
+        # Mid-migration failover: once the move target is caught up
+        # (``readable``, set under the first cutover fence) it can serve
+        # reads for a shard whose regular holders are all gone.
+        mig = self._migration_for(state.config.name, shard_id)
+        if (
+            mig is not None
+            and mig.readable
+            and mig.target not in exclude
+            and mig.target in self._workers
+            and self.transport.is_reachable(mig.target)
+        ):
+            self.failover_stats.record_migration_read()
+            return mig.target
         raise NoReplicaAvailableError(shard_id)
 
     def _shard_assignment(
@@ -976,7 +1122,7 @@ class Cluster:
             pending = []
             for call, outcome in zip(calls, outcomes):
                 worker_id, _, _, assigned, _ = call
-                if isinstance(outcome, TransportError):
+                if isinstance(outcome, (TransportError, CollectionNotFoundError)):
                     for shard in assigned:
                         tried[shard].add(worker_id)
                     pending.extend(assigned)
@@ -1297,7 +1443,10 @@ class Cluster:
             worker_id = self._live_holder(state, shard_id, exclude=tried)
             try:
                 return self._call_with_retry(worker_id, method, *args, **kwargs)
-            except TransportError:
+            except (TransportError, CollectionNotFoundError):
+                # CollectionNotFoundError: the replica dropped this shard
+                # after a migration cutover; walk to the next holder (the
+                # collection itself is known — ``_state`` resolved it).
                 tried.add(worker_id)
                 self.failover_stats.record_failover()
 
@@ -1368,8 +1517,10 @@ class Cluster:
             # the *global* registry (quant.*, maint.*); reset those too so a
             # post-reset collect() starts from zero like the cluster's own.
             for name, hist in get_registry().histograms().items():
-                if name.startswith(("quant.", "maint.")):
+                if name.startswith(("quant.", "maint.", "reshard.")):
                     hist.reset()
+        if self._resharder is not None:
+            self._resharder.stats.reset()
 
     def flush_wals(self, name: str) -> None:
         """Force group-commit buffered WAL records out on every shard replica.
@@ -1487,6 +1638,41 @@ class Cluster:
                     except TransportError:
                         continue
         return out
+
+    # -- resharding lifecycle ---------------------------------------------------
+
+    def reshard(self, name: str, *, balance: bool = True) -> list:
+        """Synchronously rebalance one collection onto the current worker
+        set with live shard migrations; returns the executed
+        :class:`~repro.core.resharding.MoveResult`\\ s."""
+        return self.resharder.reshard_collection(name, balance=balance)
+
+    def enable_resharding(self, *, config=None) -> None:
+        """Start the background reshard driver (mirrors
+        :meth:`enable_maintenance`'s lifecycle).  ``config`` replaces the
+        coordinator's :class:`~repro.core.resharding.ReshardConfig`."""
+        if config is not None:
+            from .resharding import ReshardCoordinator
+
+            if self._resharder is not None:
+                self._resharder.stop()
+                self._resharder = None
+            ReshardCoordinator(self, config)
+        self.resharder.start()
+
+    def disable_resharding(self, *, drain: bool = True) -> None:
+        """Stop the background reshard driver; with ``drain`` finish queued
+        jobs first."""
+        if self._resharder is not None:
+            self._resharder.stop(drain=drain)
+
+    def drain_resharding(self) -> list:
+        """Synchronously execute every queued reshard job."""
+        return self.resharder.drain()
+
+    def reshard_stats(self) -> dict:
+        """The coordinator's counters (all-zero before any reshard ran)."""
+        return self.resharder.stats.snapshot()
 
     def create_payload_index(self, name: str, key: str, *, kind: str = "keyword") -> None:
         """Best-effort payload-index creation on every live shard replica."""

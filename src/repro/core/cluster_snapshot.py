@@ -51,6 +51,15 @@ def save_cluster_snapshot(cluster: Cluster, name: str, directory: str) -> str:
         "shard_number": state.plan.shard_number,
         "points_per_shard": totals,
         "config": _config_to_dict(state.config),
+        # Placement is persisted so a restore onto the *same* worker set can
+        # reproduce the shard layout exactly; a different worker set triggers
+        # a restore-time reshard instead (see ``load_cluster_snapshot``).
+        "worker_ids": list(state.plan.worker_ids),
+        "replication_factor": state.plan.replication_factor,
+        "placement": {
+            str(shard): list(holders)
+            for shard, holders in sorted(state.plan.assignments.items())
+        },
     }
     with open(os.path.join(directory, "manifest.json"), "w") as fh:
         json.dump(manifest, fh, indent=2)
@@ -81,8 +90,42 @@ def load_cluster_snapshot(
         )
     config: CollectionConfig = _config_from_dict(manifest["config"])
     target_name = name or manifest["collection"]
-    config = config.with_(name=target_name, shard_number=None)
-    cluster.create_collection(config)
+    placement = manifest.get("placement")
+    saved_workers = manifest.get("worker_ids")
+    same_workers = (
+        placement is not None
+        and saved_workers is not None
+        and set(saved_workers) == set(cluster._workers)  # noqa: SLF001
+    )
+    if same_workers:
+        # Placement-preserving restore: same worker set, so reproduce the
+        # saved shard count *and* shard→worker layout exactly.
+        config = config.with_(
+            name=target_name, shard_number=int(manifest["shard_number"])
+        )
+        cluster.create_collection(config)
+        state = cluster._state(target_name)  # noqa: SLF001
+        for shard_str, holders in placement.items():
+            shard_id = int(shard_str)
+            current = state.plan.workers_for(shard_id)
+            for wid in holders:
+                if wid not in current:
+                    cluster.transport.call(
+                        wid, "create_shard", target_name, shard_id, config
+                    )
+            for wid in current:
+                if wid not in holders:
+                    cluster.transport.call(wid, "drop_shard", target_name, shard_id)
+            state.plan.assignments[shard_id] = list(holders)
+    else:
+        # Different worker set: re-shard on load (one shard per worker).  A
+        # replication factor the smaller cluster cannot honour is clamped —
+        # the restore degrades to fewer replicas instead of failing.
+        rf = min(config.replication_factor, max(1, cluster.worker_count))
+        config = config.with_(
+            name=target_name, shard_number=None, replication_factor=rf
+        )
+        cluster.create_collection(config)
 
     expected = 0
     for shard_id in range(manifest["shard_number"]):

@@ -25,7 +25,7 @@ import numpy as np
 
 from ..obs.metrics import get_registry
 from ..obs.trace import get_tracer
-from .errors import MaintenanceConflictError, PointNotFoundError
+from .errors import CollectionNotFoundError, MaintenanceConflictError, PointNotFoundError
 from .filters import Condition
 from .optimizer import (
     MaintenancePlan,
@@ -50,7 +50,26 @@ from .types import (
 )
 from .wal import WriteAheadLog
 
-__all__ = ["Collection", "MaintenanceSnapshot"]
+__all__ = ["Collection", "MaintenanceSnapshot", "MigrationState"]
+
+
+@dataclass
+class MigrationState:
+    """Per-shard live-migration bookkeeping on the *source* collection.
+
+    ``pins`` freezes each segment's live offset array at begin time — the
+    chunk cursor walks this flattened row space, so the bulk copy is a
+    consistent snapshot no matter what writers do meanwhile.  ``journal``
+    captures every mutation that lands after the pin; the coordinator
+    drains and replays it on the target in O(mutations).
+    """
+
+    pins: list[tuple]          # [(segment, live_offsets ndarray), ...]
+    starts: list[int]          # flattened start row of each pinned segment
+    rows_total: int
+    journal: list[tuple]
+    rows_exported: int = 0
+    drained: int = 0
 
 
 @dataclass
@@ -96,6 +115,12 @@ class Collection:
         #: never appends to these while a pass is in flight.
         self._maint_pinned: set[int] = set()
         self._maintenance = None  # attached MaintenanceDriver, if any
+        #: Live shard-migration state (source side); None when not migrating.
+        self._migration: MigrationState | None = None
+        #: Set by ``end_migration(retire=True)`` — the shard has been handed
+        #: off and must refuse further writes so a racing stale-plan writer
+        #: gets a retriable error instead of silently-lost acknowledged rows.
+        self._retired = False
         #: Swap-protocol counters, aggregated by cluster telemetry.
         self.maint_stats = {"passes": 0, "swaps": 0, "reconciled": 0}
         self._wal: WriteAheadLog | None = None
@@ -281,14 +306,31 @@ class Collection:
         payloads = [dict(p.payload) if p.payload else None for p in points]
         return ids, vectors, payloads
 
+    def _check_retired(self) -> None:
+        """Refuse mutations on a handed-off shard (caller holds _write_lock)."""
+        if self._retired:
+            raise CollectionNotFoundError(self.config.name)
+
     def upsert(self, points: Sequence[PointStruct] | PointStruct) -> UpdateResult:
         """Insert or overwrite points; runs the optimizer afterwards."""
         if isinstance(points, PointStruct):
             points = [points]
         with self._write_lock:
+            self._check_retired()
             if self._wal is not None:
                 self._log_columnar(*self._columnar_log_arrays(points))
             self._apply_upsert(points)
+            if self._migration is not None:
+                journal = self._migration.journal
+                for p in points:
+                    journal.append(
+                        (
+                            "upsert",
+                            p.id,
+                            np.array(p.as_array(), dtype=np.float32, copy=True),
+                            dict(p.payload) if p.payload else None,
+                        )
+                    )
             self._maybe_optimize()
             self._operation_counter += 1
             return UpdateResult(self._operation_counter, UpdateStatus.COMPLETED)
@@ -336,9 +378,22 @@ class Collection:
             raise TypeError("upsert_columnar expects a core.batch.Batch")
         batch.validate(expected_dim=self.config.vectors.size)
         with self._write_lock:
+            self._check_retired()
             if self._wal is not None:
                 self._log_columnar(batch.ids, batch.vectors, batch.payloads)
             self._apply_upsert_arrays(batch.ids, batch.vectors, batch.payloads)
+            if self._migration is not None:
+                journal = self._migration.journal
+                for i, pid in enumerate(batch.ids.tolist()):
+                    payload = batch.payloads[i]
+                    journal.append(
+                        (
+                            "upsert",
+                            pid,
+                            np.array(batch.vectors[i], dtype=np.float32, copy=True),
+                            dict(payload) if payload else None,
+                        )
+                    )
             self._maybe_optimize()
             self._operation_counter += 1
             return UpdateResult(self._operation_counter, UpdateStatus.COMPLETED)
@@ -354,12 +409,15 @@ class Collection:
             return False
         seg.delete(point_id)
         self._journal_if_pinned(seg, ("delete", point_id))
+        if self._migration is not None:
+            self._migration.journal.append(("delete", point_id))
         return True
 
     def delete(self, point_ids: Sequence[PointId] | PointId) -> UpdateResult:
         if isinstance(point_ids, int):
             point_ids = [point_ids]
         with self._write_lock:
+            self._check_retired()
             self._log("delete", list(point_ids))
             for pid in point_ids:
                 if not self._apply_delete(pid):
@@ -376,9 +434,14 @@ class Collection:
         self._journal_if_pinned(
             seg, ("payload", point_id, dict(payload) if payload is not None else None)
         )
+        if self._migration is not None:
+            self._migration.journal.append(
+                ("payload", point_id, dict(payload) if payload is not None else None)
+            )
 
     def set_payload(self, point_id: PointId, payload: Mapping[str, Any] | None) -> UpdateResult:
         with self._write_lock:
+            self._check_retired()
             self._log("set_payload", (point_id, dict(payload) if payload else None))
             self._apply_set_payload(point_id, payload)
             self._operation_counter += 1
@@ -410,6 +473,10 @@ class Collection:
 
     def _maybe_optimize(self) -> None:
         # Called under _write_lock after every write batch.
+        if self._migration is not None:
+            # A live migration pins segment offsets; vacuum/merge would
+            # invalidate the chunk cursor.  Maintenance resumes at cutover.
+            return
         driver = self._maintenance
         if driver is not None:
             driver.kick()  # background driver owns maintenance; just nudge it
@@ -423,7 +490,7 @@ class Collection:
         self._last_report = plan.report
 
     def _begin_maintenance_locked(self) -> MaintenanceSnapshot | None:
-        if self._maint_active is not None:
+        if self._maint_active is not None or self._migration is not None:
             return None
         snapshot = MaintenanceSnapshot(
             segments=list(self._segments), generation=self._generation
@@ -577,6 +644,165 @@ class Collection:
     def detach_maintenance(self, driver) -> None:
         if self._maintenance is driver:
             self._maintenance = None
+
+    # -- live shard migration ---------------------------------------------------
+    #
+    # Three-phase protocol driven by the cluster's ReshardCoordinator.  On
+    # the *source*: ``begin_migration`` pins a consistent row snapshot and
+    # starts the mutation journal; ``migration_chunk`` streams pinned rows
+    # columnar while writers keep landing; ``drain_migration_journal`` hands
+    # mid-copy mutations over for O(mutations) replay; ``end_migration``
+    # releases the pins.  On the *target*: ``apply_migration_entries``
+    # replays a drained journal tolerantly (idempotent upsert, delete/payload
+    # only if present), so a chunk re-sent after a transport retry or a
+    # double-applied journal entry cannot diverge the copy.
+
+    def begin_migration(self) -> int:
+        """Pin a migration snapshot and open the mutation journal.
+
+        Returns the pinned row count.  Maintenance passes are refused while
+        a migration is active (pins freeze segment offsets; a vacuum would
+        invalidate the chunk cursor).
+        """
+        with self._write_lock:
+            if self._migration is not None:
+                raise MaintenanceConflictError(
+                    f"collection {self.config.name!r} is already migrating"
+                )
+            pins: list[tuple] = []
+            starts: list[int] = []
+            total = 0
+            for seg in self._segments:
+                offs = seg.pin_live_offsets()
+                if len(offs) == 0:
+                    continue
+                pins.append((seg, offs))
+                starts.append(total)
+                total += len(offs)
+            self._migration = MigrationState(
+                pins=pins, starts=starts, rows_total=total, journal=[]
+            )
+            return total
+
+    def migration_chunk(self, cursor: int, max_rows: int) -> dict:
+        """Export pinned rows ``[cursor, cursor + max_rows)`` columnar.
+
+        Returns ``{ids, vectors, payloads, next_cursor}``; ``next_cursor``
+        is None once the snapshot is exhausted.  Rows tombstoned since the
+        pin still export (the journal replays the delete afterwards).
+        """
+        with self._write_lock:
+            mig = self._migration
+            if mig is None:
+                raise MaintenanceConflictError(
+                    f"collection {self.config.name!r} has no active migration"
+                )
+            end = min(cursor + max(1, int(max_rows)), mig.rows_total)
+            ids: list[PointId] = []
+            vec_parts: list[np.ndarray] = []
+            payloads: list = []
+            for (seg, offs), start in zip(mig.pins, mig.starts):
+                lo = max(cursor, start)
+                hi = min(end, start + len(offs))
+                if lo >= hi:
+                    continue
+                s_ids, s_vecs, s_pls = seg.export_rows(offs[lo - start : hi - start])
+                ids.extend(s_ids)
+                vec_parts.append(s_vecs)
+                payloads.extend(s_pls)
+            vectors = (
+                np.concatenate(vec_parts)
+                if vec_parts
+                else np.empty((0, self.config.vectors.size), dtype=np.float32)
+            )
+            mig.rows_exported = max(mig.rows_exported, end)
+            next_cursor = end if end < mig.rows_total else None
+            return {
+                "ids": ids,
+                "vectors": vectors,
+                "payloads": payloads,
+                "next_cursor": next_cursor,
+            }
+
+    def drain_migration_journal(self) -> list[tuple]:
+        """Hand over (and clear) the mutations captured since the last drain."""
+        with self._write_lock:
+            mig = self._migration
+            if mig is None:
+                return []
+            entries = mig.journal
+            mig.journal = []
+            mig.drained += len(entries)
+            return entries
+
+    def end_migration(self, *, retire: bool = False) -> dict:
+        """Release the migration pins; returns final counters.
+
+        The residual journal (mutations landed since the last drain) comes
+        back under ``"journal"`` so the coordinator can replay it on the
+        target.  With ``retire=True`` the shard atomically — under the same
+        write lock that serializes mutations — stops accepting writes, so
+        no acknowledged row can slip in after the final journal hand-off.
+        """
+        with self._write_lock:
+            mig = self._migration
+            self._migration = None
+            if retire:
+                self._retired = True
+            if mig is None:
+                return {
+                    "rows_total": 0,
+                    "rows_exported": 0,
+                    "journal_drained": 0,
+                    "journal": [],
+                }
+            mig.drained += len(mig.journal)
+            return {
+                "rows_total": mig.rows_total,
+                "rows_exported": mig.rows_exported,
+                "journal_drained": mig.drained,
+                "journal": mig.journal,
+            }
+
+    def migration_stats(self) -> dict:
+        """Introspection for the reshard driver / worker RPC."""
+        with self._write_lock:
+            mig = self._migration
+            if mig is None:
+                return {"active": False}
+            return {
+                "active": True,
+                "rows_total": mig.rows_total,
+                "rows_exported": mig.rows_exported,
+                "journal_pending": len(mig.journal),
+                "journal_drained": mig.drained,
+            }
+
+    def apply_migration_entries(self, entries: Sequence[tuple]) -> int:
+        """Replay drained journal entries in order, tolerantly (target side)."""
+        applied = 0
+        with self._write_lock:
+            for entry in entries:
+                op = entry[0]
+                if op == "upsert":
+                    _, pid, vec, payload = entry
+                    self.upsert(
+                        PointStruct(
+                            id=pid,
+                            vector=np.asarray(vec, dtype=np.float32),
+                            payload=payload,
+                        )
+                    )
+                    applied += 1
+                elif op == "delete":
+                    if entry[1] in self._id_to_segment:
+                        self.delete(entry[1])
+                        applied += 1
+                elif op == "payload":
+                    if entry[1] in self._id_to_segment:
+                        self.set_payload(entry[1], entry[2])
+                        applied += 1
+        return applied
 
     def build_index(
         self,

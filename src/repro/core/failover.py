@@ -106,6 +106,9 @@ class FailoverStats:
     breaker_opens: int = 0
     breaker_half_opens: int = 0
     breaker_closes: int = 0
+    #: Reads served by a migration *target* replica while its shard was
+    #: mid-move (all regular holders unavailable, target caught up).
+    migration_reads: int = 0
     _lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False
     )
@@ -125,6 +128,10 @@ class FailoverStats:
     def record_degraded(self, n: int = 1) -> None:
         with self._lock:
             self.degraded_queries += n
+
+    def record_migration_read(self, n: int = 1) -> None:
+        with self._lock:
+            self.migration_reads += n
 
     def record_transition(self, state: BreakerState) -> None:
         with self._lock:
@@ -146,6 +153,7 @@ class FailoverStats:
                 "breaker_opens": self.breaker_opens,
                 "breaker_half_opens": self.breaker_half_opens,
                 "breaker_closes": self.breaker_closes,
+                "migration_reads": self.migration_reads,
             }
 
     def reset(self) -> None:
@@ -157,6 +165,7 @@ class FailoverStats:
             self.breaker_opens = 0
             self.breaker_half_opens = 0
             self.breaker_closes = 0
+            self.migration_reads = 0
 
 
 @dataclass

@@ -101,6 +101,10 @@ class MaintenanceDriver:
         self._wake = threading.Event()
         self._stop_flag = threading.Event()
         self._thread: threading.Thread | None = None
+        #: Set while a live shard migration owns the collection: passes are
+        #: skipped (pins freeze segment offsets) until :meth:`resume`.
+        self._paused = threading.Event()
+        self._pass_lock = threading.Lock()
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -136,6 +140,31 @@ class MaintenanceDriver:
     def is_running(self) -> bool:
         return self._thread is not None and self._thread.is_alive()
 
+    # -- migration handshake ---------------------------------------------------
+
+    def pause(self) -> None:
+        """Stop scheduling passes and wait out any pass already in flight.
+
+        On return no optimizer pass is running and none will start until
+        :meth:`resume` — the quiescence a live shard migration needs before
+        pinning segment offsets.  Idempotent.
+        """
+        self._paused.set()
+        # An in-flight pass holds _pass_lock for its whole duration; taking
+        # and releasing it here is the barrier.
+        with self._pass_lock:
+            pass
+
+    def resume(self) -> None:
+        """Re-enable passes (and kick once to catch up on skipped work)."""
+        if self._paused.is_set():
+            self._paused.clear()
+            self._wake.set()
+
+    @property
+    def is_paused(self) -> bool:
+        return self._paused.is_set()
+
     # -- pacing --------------------------------------------------------------
 
     def kick(self) -> None:
@@ -150,7 +179,10 @@ class MaintenanceDriver:
         background thread on the collection's maintenance mutex.
         """
         self._wake.clear()
-        return self.collection.run_maintenance_pass()
+        with self._pass_lock:
+            if self._paused.is_set():
+                return OptimizerReport()
+            return self.collection.run_maintenance_pass()
 
     def run_once(self) -> OptimizerReport:
         """One synchronous pass, recorded in this driver's stats."""
@@ -167,13 +199,16 @@ class MaintenanceDriver:
             self._run_once_guarded()
 
     def _run_once_guarded(self, *, reraise: bool = False) -> OptimizerReport:
-        t0 = monotonic()
-        try:
-            report = self.collection.run_maintenance_pass()
-        except Exception:
-            self.stats.record_error()
-            if reraise:
-                raise
-            return OptimizerReport()
-        self.stats.record(report, monotonic() - t0)
-        return report
+        with self._pass_lock:
+            if self._paused.is_set():
+                return OptimizerReport()
+            t0 = monotonic()
+            try:
+                report = self.collection.run_maintenance_pass()
+            except Exception:
+                self.stats.record_error()
+                if reraise:
+                    raise
+                return OptimizerReport()
+            self.stats.record(report, monotonic() - t0)
+            return report

@@ -119,6 +119,10 @@ class PlacementPlan:
     shard_number: int
     replication_factor: int = 1
     assignments: dict[int, list[str]] = field(default_factory=dict)
+    #: Per-shard plan generation.  Bumped by :meth:`apply_move` every time a
+    #: shard's holder set changes, so readers can detect a concurrent cutover
+    #: without comparing whole assignment lists.
+    shard_epochs: dict[int, int] = field(default_factory=dict)
 
     def __post_init__(self):
         if not self.worker_ids:
@@ -154,6 +158,30 @@ class PlacementPlan:
     def replica_count(self, shard_id: int) -> int:
         return len(self.assignments[shard_id])
 
+    def epoch(self, shard_id: int) -> int:
+        """Current plan generation for one shard (0 until its first move)."""
+        return self.shard_epochs.get(shard_id, 0)
+
+    # -- live mutation ------------------------------------------------------
+
+    def apply_move(self, shard_id: int, holders: list[str]) -> int:
+        """Atomically swap one shard's holder set and bump its epoch.
+
+        This is the per-shard cutover primitive used by live resharding: the
+        plan object's identity is stable (readers hold references), only the
+        one shard's assignment changes.  Returns the new epoch.
+        """
+        holders = list(holders)
+        if not holders:
+            raise ClusterConfigError(f"shard {shard_id} must keep at least one holder")
+        self.assignments[shard_id] = holders
+        for w in holders:
+            if w not in self.worker_ids:
+                self.worker_ids.append(w)
+        new_epoch = self.shard_epochs.get(shard_id, 0) + 1
+        self.shard_epochs[shard_id] = new_epoch
+        return new_epoch
+
     def load(self) -> dict[str, int]:
         """Shard-replica count per worker (balance diagnostic)."""
         counts = {w: 0 for w in self.worker_ids}
@@ -164,12 +192,19 @@ class PlacementPlan:
 
     # -- rebalancing ------------------------------------------------------------
 
-    def rebalance(self, new_worker_ids: list[str]) -> tuple["PlacementPlan", list[ShardMove]]:
+    def rebalance(
+        self, new_worker_ids: list[str], *, balance: bool = False
+    ) -> tuple["PlacementPlan", list[ShardMove]]:
         """Produce a plan for a changed worker set, minimising data movement.
 
         Replicas on surviving workers stay put; replicas on departed workers
         (and the deficit created by their loss) are re-assigned to the
-        least-loaded new workers.  Returns the new plan and the moves.
+        least-loaded new workers.  With ``balance=True`` the plan additionally
+        relocates replicas from the most- to the least-loaded worker until the
+        per-worker replica spread is <= 1 — the scale-*out* case, where a
+        freshly added worker would otherwise receive nothing.  Returns the new
+        plan and the moves, sorted by ``(shard_id, target)`` so identical
+        inputs always yield an identical migration schedule.
         """
         if self.replication_factor > len(new_worker_ids):
             raise ClusterConfigError(
@@ -199,10 +234,48 @@ class PlacementPlan:
                 current.append(target)
                 load[target] += 1
                 moves.append(ShardMove(shard_id=shard, source=source, target=target))
+        if balance:
+            moves.extend(self._balance_load(new_worker_ids, new_assignments, load))
+        moves.sort(key=lambda m: (m.shard_id, m.target))
         plan = PlacementPlan(
             worker_ids=list(new_worker_ids),
             shard_number=self.shard_number,
             replication_factor=self.replication_factor,
             assignments=new_assignments,
+            shard_epochs=dict(self.shard_epochs),
         )
         return plan, moves
+
+    @staticmethod
+    def _balance_load(
+        worker_ids: list[str],
+        assignments: dict[int, list[str]],
+        load: dict[str, int],
+    ) -> list[ShardMove]:
+        """Relocate replicas until the per-worker spread is <= 1.
+
+        Deterministic greedy: donor = most-loaded worker, recipient =
+        least-loaded (worker-id tie-breaks), shard = lowest id on the donor
+        not already replicated on the recipient.  Each relocation replaces
+        the donor in that shard's holder list, preserving replica order.
+        """
+        moves: list[ShardMove] = []
+        for _ in range(len(worker_ids) * max(len(assignments), 1)):
+            donor = max(worker_ids, key=lambda w: (load[w], w))
+            recipient = min(worker_ids, key=lambda w: (load[w], w))
+            if load[donor] - load[recipient] <= 1:
+                break
+            candidates = sorted(
+                shard
+                for shard, holders in assignments.items()
+                if donor in holders and recipient not in holders
+            )
+            if not candidates:  # pragma: no cover - degenerate overlap
+                break
+            shard = candidates[0]
+            holders = assignments[shard]
+            holders[holders.index(donor)] = recipient
+            load[donor] -= 1
+            load[recipient] += 1
+            moves.append(ShardMove(shard_id=shard, source=donor, target=recipient))
+        return moves

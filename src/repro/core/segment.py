@@ -304,6 +304,23 @@ class Segment:
         payloads = [self._payloads.get(pid) for pid in ids]
         return ids, vectors, payloads
 
+    def pin_live_offsets(self) -> np.ndarray:
+        """Live offsets right now — the pinned cursor space for chunked export."""
+        return self._ids.live_offsets()
+
+    def export_rows(self, offsets: np.ndarray) -> tuple[list[PointId], np.ndarray, list]:
+        """``(ids, vectors, payloads)`` for a pinned offset slice.
+
+        Offsets may have been tombstoned since they were pinned: the id
+        tracker keeps tombstoned entries resolvable, so the row still
+        exports (a mutation journal replays the delete afterwards).
+        """
+        offsets = np.asarray(offsets, dtype=np.int64)
+        ids = [self._ids.id_at(int(off)) for off in offsets]
+        vectors = self._arena.take(offsets)
+        payloads = [self._payloads.get(pid) for pid in ids]
+        return ids, vectors, payloads
+
     def rewrite_live(self) -> "Segment":
         """Copy-on-write rewrite: live points only, into a fresh segment.
 

@@ -36,6 +36,7 @@ __all__ = [
     "IngestTelemetry",
     "FailoverTelemetry",
     "CoalesceTelemetry",
+    "ReshardTelemetry",
     "TelemetrySnapshot",
     "collect",
 ]
@@ -208,6 +209,7 @@ class FailoverTelemetry:
     breaker_opens: int = 0
     breaker_half_opens: int = 0
     breaker_closes: int = 0
+    migration_reads: int = 0
     breaker_state: tuple[tuple[str, str], ...] = ()
 
     def minus(self, earlier: "FailoverTelemetry") -> "FailoverTelemetry":
@@ -219,6 +221,7 @@ class FailoverTelemetry:
             breaker_opens=self.breaker_opens - earlier.breaker_opens,
             breaker_half_opens=self.breaker_half_opens - earlier.breaker_half_opens,
             breaker_closes=self.breaker_closes - earlier.breaker_closes,
+            migration_reads=self.migration_reads - earlier.migration_reads,
             breaker_state=self.breaker_state,
         )
 
@@ -259,6 +262,56 @@ class CoalesceTelemetry:
         )
 
 
+@dataclass(frozen=True)
+class ReshardTelemetry:
+    """Live-resharding counters (from :class:`~.resharding.ReshardStats`).
+
+    ``lossy_moves`` counts moves that found no surviving donor replica —
+    the only case where live resharding loses data.  ``cutovers`` counts
+    fenced plan swaps (one per three-phase move that completed without a
+    bulk fallback).  Copy-phase latency percentiles live in the
+    ``reshard.*`` histograms of :attr:`TelemetrySnapshot.histograms`.  All
+    zero when no coordinator is attached.
+    """
+
+    jobs: int = 0
+    moves_started: int = 0
+    moves_completed: int = 0
+    moves_failed: int = 0
+    fallback_moves: int = 0
+    lossy_moves: int = 0
+    rows_copied: int = 0
+    bytes_copied: int = 0
+    chunks_sent: int = 0
+    journal_replayed: int = 0
+    cutovers: int = 0
+    copy_seconds: float = 0.0
+    throttle_sleep_seconds: float = 0.0
+
+    @property
+    def copy_bytes_per_second(self) -> float:
+        return 0.0 if self.copy_seconds <= 0 else self.bytes_copied / self.copy_seconds
+
+    def minus(self, earlier: "ReshardTelemetry") -> "ReshardTelemetry":
+        return ReshardTelemetry(
+            jobs=self.jobs - earlier.jobs,
+            moves_started=self.moves_started - earlier.moves_started,
+            moves_completed=self.moves_completed - earlier.moves_completed,
+            moves_failed=self.moves_failed - earlier.moves_failed,
+            fallback_moves=self.fallback_moves - earlier.fallback_moves,
+            lossy_moves=self.lossy_moves - earlier.lossy_moves,
+            rows_copied=self.rows_copied - earlier.rows_copied,
+            bytes_copied=self.bytes_copied - earlier.bytes_copied,
+            chunks_sent=self.chunks_sent - earlier.chunks_sent,
+            journal_replayed=self.journal_replayed - earlier.journal_replayed,
+            cutovers=self.cutovers - earlier.cutovers,
+            copy_seconds=self.copy_seconds - earlier.copy_seconds,
+            throttle_sleep_seconds=(
+                self.throttle_sleep_seconds - earlier.throttle_sleep_seconds
+            ),
+        )
+
+
 @dataclass
 class TelemetrySnapshot:
     """All workers' counters, plus cluster-level aggregates."""
@@ -268,6 +321,7 @@ class TelemetrySnapshot:
     ingest: IngestTelemetry = field(default_factory=IngestTelemetry)
     failover: FailoverTelemetry = field(default_factory=FailoverTelemetry)
     coalesce: CoalesceTelemetry = field(default_factory=CoalesceTelemetry)
+    reshard: ReshardTelemetry = field(default_factory=ReshardTelemetry)
     #: Aggregated over every shard-collection's last parallel build pass:
     #: pool utilization is ``busy / (wall * workers)``.
     build_wall_seconds: float = 0.0
@@ -382,6 +436,7 @@ class TelemetrySnapshot:
         out.ingest = self.ingest.minus(earlier.ingest)
         out.failover = self.failover.minus(earlier.failover)
         out.coalesce = self.coalesce.minus(earlier.coalesce)
+        out.reshard = self.reshard.minus(earlier.reshard)
         out.build_wall_seconds = self.build_wall_seconds - earlier.build_wall_seconds
         out.build_busy_seconds = self.build_busy_seconds - earlier.build_busy_seconds
         out.build_pool_workers = self.build_pool_workers
@@ -425,6 +480,7 @@ def collect(cluster: Cluster) -> TelemetrySnapshot:
         breaker_opens=fo["breaker_opens"],
         breaker_half_opens=fo["breaker_half_opens"],
         breaker_closes=fo["breaker_closes"],
+        migration_reads=fo["migration_reads"],
         breaker_state=tuple(
             sorted((wid, state.value) for wid, state in cluster.health.states().items())
         ),
@@ -439,12 +495,30 @@ def collect(cluster: Cluster) -> TelemetrySnapshot:
             solo_batches=cs["solo_batches"],
             bypasses=cs["bypasses"],
         )
+    resharder = getattr(cluster, "_resharder", None)
+    if resharder is not None:
+        rs = resharder.stats.snapshot()
+        snapshot.reshard = ReshardTelemetry(
+            jobs=rs["jobs"],
+            moves_started=rs["moves_started"],
+            moves_completed=rs["moves_completed"],
+            moves_failed=rs["moves_failed"],
+            fallback_moves=rs["fallback_moves"],
+            lossy_moves=rs["lossy_moves"],
+            rows_copied=rs["rows_copied"],
+            bytes_copied=rs["bytes_copied"],
+            chunks_sent=rs["chunks_sent"],
+            journal_replayed=rs["journal_replayed"],
+            cutovers=rs["cutovers"],
+            copy_seconds=rs["copy_seconds"],
+            throttle_sleep_seconds=rs["throttle_sleep_seconds"],
+        )
     snapshot.histograms = cluster.metrics.snapshot_histograms()
     # Quantized-path and maintenance latency histograms live on the *global*
     # registry (the segment/collection hot paths cannot know which cluster
     # owns them); overlay them.
     for name, hist in get_registry().snapshot_histograms().items():
-        if name.startswith(("quant.", "maint.")) and name not in snapshot.histograms:
+        if name.startswith(("quant.", "maint.", "reshard.")) and name not in snapshot.histograms:
             snapshot.histograms[name] = hist
     tracer = get_tracer()
     snapshot.spans_recorded = tracer.span_count

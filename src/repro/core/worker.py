@@ -180,6 +180,76 @@ class Worker:
                 self.stats.vectors_inserted += len(points)
         return len(points)
 
+    # -- live shard migration RPCs --------------------------------------------
+    #
+    # Source-side protocol: ``begin_shard_migration`` pauses the shard's
+    # maintenance driver (pins must survive the copy), pins a row snapshot
+    # and opens the mutation journal; ``transfer_shard_out_columnar`` streams
+    # one pinned chunk; ``drain_shard_journal`` hands over mid-copy
+    # mutations; ``end_shard_migration`` releases pins and resumes
+    # maintenance.  Target-side: ``transfer_shard_in_chunk`` imports one
+    # columnar chunk idempotently, ``apply_shard_journal`` replays a drain.
+
+    def begin_shard_migration(self, collection: str, shard_id: int) -> dict:
+        shard = self._shard(collection, shard_id)
+        driver = self._maintenance.get((collection, shard_id))
+        if driver is not None:
+            driver.pause()
+        try:
+            rows = shard.begin_migration()
+        except BaseException:
+            if driver is not None:
+                driver.resume()
+            raise
+        return {"rows": rows}
+
+    def transfer_shard_out_columnar(
+        self, collection: str, shard_id: int, cursor: int, max_rows: int
+    ) -> dict:
+        """Export one chunk of the pinned migration snapshot."""
+        return self._shard(collection, shard_id).migration_chunk(cursor, max_rows)
+
+    def drain_shard_journal(self, collection: str, shard_id: int) -> list[tuple]:
+        return self._shard(collection, shard_id).drain_migration_journal()
+
+    def end_shard_migration(
+        self, collection: str, shard_id: int, *, retire: bool = False
+    ) -> dict:
+        shard = self._shard(collection, shard_id)
+        out = shard.end_migration(retire=retire)
+        driver = self._maintenance.get((collection, shard_id))
+        if driver is not None:
+            driver.resume()
+        return out
+
+    def transfer_shard_in_chunk(
+        self, collection: str, shard_id: int, config: CollectionConfig,
+        ids, vectors, payloads,
+    ) -> int:
+        """Import one columnar migration chunk (idempotent: re-sent chunks
+        after a transport retry overwrite rather than duplicate)."""
+        from .batch import Batch
+
+        if not self.has_shard(collection, shard_id):
+            self.create_shard(collection, shard_id, config)
+        n = len(ids)
+        if n == 0:
+            return 0
+        batch = Batch.from_arrays(ids, vectors, payloads)
+        self._shard(collection, shard_id).upsert_columnar(batch)
+        with self._stats_lock:
+            self.stats.vectors_inserted += n
+        return n
+
+    def apply_shard_journal(
+        self, collection: str, shard_id: int, entries: list[tuple]
+    ) -> int:
+        """Replay drained journal entries on the migration target."""
+        return self._shard(collection, shard_id).apply_migration_entries(entries)
+
+    def migration_stats(self, collection: str, shard_id: int) -> dict:
+        return self._shard(collection, shard_id).migration_stats()
+
     # -- writes -------------------------------------------------------------
 
     def upsert(self, collection: str, shard_id: int, points: Sequence[PointStruct]):

@@ -79,6 +79,49 @@ class TestRoundtrip:
         assert manifest["collection"] == "c"
 
 
+class TestPlacement:
+    def test_manifest_records_placement(self, tmp_path):
+        cluster = populated_cluster()
+        path = save_cluster_snapshot(cluster, "c", str(tmp_path / "snap"))
+        manifest = json.load(open(os.path.join(path, "manifest.json")))
+        plan = cluster.placement("c")
+        assert set(manifest["worker_ids"]) == set(plan.worker_ids)
+        assert manifest["replication_factor"] == plan.replication_factor
+        assert sorted(int(s) for s in manifest["placement"]) == list(
+            range(plan.shard_number)
+        )
+
+    def test_same_worker_set_restores_exact_layout(self, tmp_path):
+        cluster = populated_cluster()
+        path = save_cluster_snapshot(cluster, "c", str(tmp_path / "snap"))
+        fresh = Cluster.with_workers(4)
+        load_cluster_snapshot(fresh, path)
+        orig, restored = cluster.placement("c"), fresh.placement("c")
+        assert restored.shard_number == orig.shard_number
+        assert restored.assignments == orig.assignments
+
+    def test_restore_onto_smaller_cluster_clamps_replication(self, tmp_path):
+        cluster = Cluster.with_workers(4)
+        cfg = CollectionConfig(
+            "c", VectorParams(size=DIM, distance=Distance.COSINE),
+            optimizer=OptimizerConfig(indexing_threshold=0),
+            replication_factor=2,
+        )
+        cluster.create_collection(cfg)
+        rng = np.random.default_rng(0)
+        cluster.upsert("c", [
+            PointStruct(id=i, vector=rng.normal(size=DIM), payload={"i": i})
+            for i in range(120)
+        ])
+        path = save_cluster_snapshot(cluster, "c", str(tmp_path / "snap"))
+        # A 1-worker cluster cannot honour rf=2: the restore degrades to
+        # rf=1 instead of failing.
+        small = Cluster.with_workers(1)
+        load_cluster_snapshot(small, path)
+        assert small.count("c") == 120
+        assert small.placement("c").replication_factor == 1
+
+
 class TestErrors:
     def test_missing_manifest(self, tmp_path):
         with pytest.raises(SnapshotError):
