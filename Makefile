@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction.
 
-.PHONY: install test test-maint-stress bench bench-micro bench-insert bench-insert-smoke bench-fault bench-fault-smoke bench-query bench-query-smoke bench-quant bench-quant-smoke bench-maint bench-maint-smoke bench-reshard bench-reshard-smoke paper examples clean
+.PHONY: install test test-maint-stress bench bench-micro bench-insert bench-insert-smoke bench-fault bench-fault-smoke bench-query bench-query-smoke bench-quant bench-quant-smoke bench-maint bench-maint-smoke bench-reshard bench-reshard-smoke bench-cache bench-cache-smoke paper examples clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -68,6 +68,15 @@ bench-reshard:
 
 bench-reshard-smoke:
 	REPRO_BENCH_SMOKE=1 PYTHONPATH=src python -m pytest benchmarks/test_resharding.py -q
+
+# Result-cache bench: Zipf-skewed term-query replay with and without the
+# generation-fenced cache — >=3x p50 speedup at >=60% hit rate, <5% p50
+# overhead at 0% hit rate, bit-identity after write invalidation.
+bench-cache:
+	PYTHONPATH=src python -m pytest benchmarks/test_query_cache.py -q
+
+bench-cache-smoke:
+	REPRO_BENCH_SMOKE=1 PYTHONPATH=src python -m pytest benchmarks/test_query_cache.py -q
 
 # Concurrent maintenance stress: writers + searchers + vacuum/merge swaps,
 # with a full no-lost-points invariant sweep at the end.

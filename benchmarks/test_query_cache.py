@@ -1,0 +1,276 @@
+"""Result-cache benchmarks (§3.4's skewed term-query replay, on real code).
+
+The paper's query phase replays 22,723 short BV-BRC term queries whose
+popularity is heavily repeated — exactly the traffic where a result cache,
+not more fan-out, is the cheapest latency win.  We replay a scaled-down
+:class:`~repro.workloads.skew.SkewedQueryWorkload` (Zipf ``s=1.0`` over
+topics, a small term pool per topic) against a cluster whose transport
+injects a per-call RPC latency, with and without the generation-fenced
+:class:`~repro.core.cache.ResultCache`.  Acceptance properties asserted:
+
+* >=3x p50 latency speedup at >=60% measured hit rate on the skewed
+  replay, with results bit-identical to the uncached cluster;
+* <5% p50 overhead when every lookup misses (all-unique query stream):
+  fingerprint + lookup + fill must hide under one RPC round trip;
+* after a write invalidates the cluster tier, the per-worker shard tier
+  still serves the shards whose generation did not move (partial
+  work-skip), again bit-identically;
+* the report written as ``BENCH_cache.json`` validates against the
+  ``repro.obs.benchreport`` schema.
+
+Set ``REPRO_BENCH_SMOKE=1`` for CI's tiny assert-only variant: sizes
+shrink and wall-clock thresholds are skipped — equivalence asserts and the
+report schema always hold.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CollectionConfig,
+    Distance,
+    OptimizerConfig,
+    PointStruct,
+    SearchRequest,
+    VectorParams,
+)
+from repro.core.cluster import Cluster
+from repro.core.telemetry import collect
+from repro.core.transport import InstrumentedTransport, LocalTransport
+from repro.embed.model import HashingEmbedder
+from repro.obs.benchreport import BenchReport
+from repro.perfmodel import CachedQueryModel
+from repro.workloads.skew import SkewedQueryWorkload
+from repro.workloads.vocabulary import TOPICS
+
+from conftest import BENCH_DIM
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+#: Accumulated across tests; written as BENCH_cache.json at module teardown
+#: (``make bench-cache-smoke`` leaves it at the repo root for CI artifacts).
+REPORT = BenchReport(phase="cache")
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _write_bench_report():
+    yield
+    if REPORT.throughput or REPORT.checks:
+        REPORT.write(root=REPO_ROOT)
+
+
+#: Scale knobs: (points, queries, term pool, rpc latency, timing asserts).
+N_POINTS = 192 if SMOKE else 768
+N_QUERIES = 64 if SMOKE else 256
+TERMS_PER_TOPIC = 3 if SMOKE else 6
+LATENCY_S = 0.0005 if SMOKE else 0.006
+TIMING_ASSERTS = not SMOKE
+
+
+def _mk_cluster(*, latency_s=LATENCY_S):
+    cluster = Cluster.with_workers(
+        4,
+        transport=InstrumentedTransport(LocalTransport(), latency_s=latency_s),
+    )
+    cluster.create_collection(
+        CollectionConfig(
+            "papers",
+            VectorParams(size=BENCH_DIM, distance=Distance.COSINE),
+            optimizer=OptimizerConfig(indexing_threshold=0),
+            shard_number=4,
+        )
+    )
+    rng = np.random.default_rng(11)
+    vectors = rng.normal(size=(N_POINTS, BENCH_DIM)).astype(np.float32)
+    cluster.upsert(
+        "papers",
+        [PointStruct(id=i, vector=vectors[i]) for i in range(N_POINTS)],
+    )
+    return cluster
+
+
+def _skewed_replay(n=N_QUERIES, seed=7):
+    """The replayed query stream: Zipf-skewed topic draws, each resolved to
+    one of ``TERMS_PER_TOPIC`` canonical term queries for that topic.
+
+    Repeats are the workload's own (a hot topic's terms recur constantly);
+    nothing is artificially deduplicated, so the measured hit rate is the
+    traffic's, not the harness's.
+    """
+    workload = SkewedQueryWorkload(n, skew=1.0, seed=seed)
+    embedder = HashingEmbedder(dim=BENCH_DIM)
+    pool = {
+        topic: [
+            embedder.encode(f"{topic} query {slot}")
+            for slot in range(TERMS_PER_TOPIC)
+        ]
+        for topic in TOPICS
+    }
+    stream = []
+    for i in range(n):
+        topic = workload.topic_of(i)
+        slot = int(np.random.default_rng((seed, i, 1)).integers(TERMS_PER_TOPIC))
+        stream.append(pool[topic][slot])
+    return stream
+
+
+def _unique_queries(n, seed=13):
+    rng = np.random.default_rng(seed)
+    return [
+        rng.normal(size=BENCH_DIM).astype(np.float32) for _ in range(n)
+    ]
+
+
+def _hit_keys(results):
+    return [[(h.id, h.score) for h in r] for r in results]
+
+
+def _timed_replay(cluster, vectors, limit=10):
+    """Run the stream one query at a time, returning (results, latencies)."""
+    results, times = [], []
+    for v in vectors:
+        t0 = time.perf_counter()
+        results.append(cluster.search("papers", SearchRequest(vector=v, limit=limit)))
+        times.append(time.perf_counter() - t0)
+    return results, times
+
+
+class TestCachedReplaySpeedup:
+    def test_skewed_replay_3x_p50_and_bit_identical(self):
+        """The acceptance benchmark: >=3x p50 speedup at >=60% hit rate on
+        the Zipf replay, results bit-identical to the uncached cluster."""
+        vectors = _skewed_replay()
+        cluster = _mk_cluster()
+        uncached_results, uncached_times = _timed_replay(cluster, vectors)
+        serial_keys = _hit_keys(uncached_results)
+
+        cluster.enable_cache()
+        cluster.reset_telemetry()
+        cached_results, cached_times = _timed_replay(cluster, vectors)
+
+        assert REPORT.check(
+            "bit_identical", _hit_keys(cached_results) == serial_keys
+        )
+
+        stats = cluster.result_cache.stats.snapshot()
+        hit_rate = stats["hits"] / max(1, stats["lookups"])
+        p50_un = float(np.percentile(uncached_times, 50))
+        p50_ca = float(np.percentile(cached_times, 50))
+        speedup = p50_un / p50_ca
+        model = CachedQueryModel()
+        REPORT.add_throughput("hit_rate", hit_rate)
+        REPORT.add_throughput("cached_p50_speedup_x", speedup)
+        REPORT.add_throughput(
+            "model_topic_hit_rate",
+            model.hit_rate(len(vectors), len(TOPICS), skew=1.0),
+        )
+        REPORT.add_latency_samples("uncached_query_s", uncached_times)
+        REPORT.add_latency_samples("cached_query_s", cached_times)
+        REPORT.add_fanout(
+            queries=len(vectors),
+            lookups=stats["lookups"],
+            hits=stats["hits"],
+            fills=stats["fills"],
+        )
+        assert REPORT.check("hit_rate_ge_60pct", hit_rate >= 0.60), (
+            f"hit rate {hit_rate:.2%}"
+        )
+        if TIMING_ASSERTS:
+            assert REPORT.check("speedup_3x_p50", speedup >= 3.0), (
+                f"cached p50 speedup {speedup:.2f}x at hit rate {hit_rate:.2%}"
+            )
+        cluster.close()
+
+
+class TestMissOverhead:
+    def test_zero_hit_overhead_under_5pct(self):
+        """An all-unique stream (0% hit rate) pays the full lookup + fill
+        bookkeeping on every query; it must hide under one RPC round trip.
+
+        One cluster serves both legs back to back in short blocks: the
+        cache is disabled for the uncached leg, then re-enabled (a fresh,
+        empty cache) so the same never-seen vectors all miss on the cached
+        leg.  Toggling on a single cluster removes the inter-cluster
+        thread-placement noise that dominates at this latency scale; the
+        per-block p50 ratio cancels slow machine drift, and the assert is
+        on the median of the block overheads.
+        """
+        n_blocks = 4 if SMOKE else 8
+        per_block = 4 if SMOKE else 8
+        cluster = _mk_cluster()
+        overheads = []
+        total_hits = 0
+        for block in range(n_blocks):
+            vectors = _unique_queries(per_block, seed=100 + block)
+            cluster.disable_cache()
+            base_results, base_times = _timed_replay(cluster, vectors)
+            cluster.enable_cache()
+            miss_results, miss_times = _timed_replay(cluster, vectors)
+            total_hits += cluster.result_cache.stats.snapshot()["hits"]
+            assert _hit_keys(miss_results) == _hit_keys(base_results)
+            p50_base = float(np.percentile(base_times, 50))
+            p50_miss = float(np.percentile(miss_times, 50))
+            overheads.append(p50_miss / p50_base - 1.0)
+
+        assert REPORT.check("miss_bit_identical", True)
+        assert REPORT.check("all_miss", total_hits == 0)
+        overhead = float(np.median(overheads))
+        REPORT.add_throughput("miss_overhead_pct", 100.0 * overhead)
+        REPORT.add_throughput(
+            "miss_overhead_worst_block_pct", 100.0 * max(overheads)
+        )
+        if TIMING_ASSERTS:
+            assert REPORT.check("miss_overhead_lt_5pct", overhead < 0.05), (
+                f"0%-hit overhead {100 * overhead:.1f}% "
+                f"(blocks: {[f'{100 * o:.1f}%' for o in overheads]})"
+            )
+        cluster.close()
+
+
+class TestShardTierPartialSkip:
+    def test_write_invalidation_keeps_shard_tier_hits(self):
+        """After one write bumps the cluster epoch, the cluster tier misses
+        but the per-worker shard tier still answers for every shard whose
+        generation did not move — the 3-of-4 partial work-skip — and the
+        refilled results match a fresh uncached computation bit-for-bit."""
+        vectors = _skewed_replay(24 if SMOKE else 64, seed=23)
+        cluster = _mk_cluster()
+        cluster.enable_cache()
+        for v in vectors:  # warm both tiers
+            cluster.search("papers", SearchRequest(vector=v, limit=10))
+        cluster.upsert(
+            "papers",
+            [PointStruct(id=N_POINTS + 1, vector=np.zeros(BENCH_DIM, np.float32))],
+        )
+        cluster.reset_telemetry()
+        cached_results = [
+            cluster.search("papers", SearchRequest(vector=v, limit=10))
+            for v in vectors
+        ]
+        tele = collect(cluster).cache
+        REPORT.add_fanout(
+            post_write_shard_lookups=tele.shard_lookups,
+            post_write_shard_hits=tele.shard_hits,
+        )
+        assert REPORT.check("shard_tier_hits_after_write", tele.shard_hits > 0)
+
+        twin = _mk_cluster()
+        twin.upsert(
+            "papers",
+            [PointStruct(id=N_POINTS + 1, vector=np.zeros(BENCH_DIM, np.float32))],
+        )
+        twin_keys = _hit_keys(
+            twin.search("papers", SearchRequest(vector=v, limit=10))
+            for v in vectors
+        )
+        assert REPORT.check(
+            "post_write_bit_identical", _hit_keys(cached_results) == twin_keys
+        )
+        cluster.close()
+        twin.close()

@@ -23,6 +23,7 @@ Quickstart::
 """
 
 from .batch import Batch
+from .cache import CachePolicy, CacheStats, ResultCache, ShardResultCache
 from .collection import Collection
 from .errors import (
     BadRequestError,
@@ -105,6 +106,10 @@ __all__ = [
     "CoalescePolicy",
     "CoalesceStats",
     "QueryCoalescer",
+    "CachePolicy",
+    "CacheStats",
+    "ResultCache",
+    "ShardResultCache",
     "ReshardConfig",
     "ReshardCoordinator",
     "ReshardStats",

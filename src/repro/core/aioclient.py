@@ -74,12 +74,18 @@ class AsyncClient:
     awaits the coalescer's future directly (``asyncio.wrap_future``), so
     an in-flight query costs no executor thread — concurrency is then
     bounded by the coalescer's batching, not by ``max_channels``.
+
+    ``cache=True`` (or a :class:`~repro.core.cache.CachePolicy`) enables
+    the cluster's generation-fenced result cache — see
+    :class:`~repro.core.client.SyncClient`.
     """
 
     def __init__(self, cluster: Cluster, collection: str, *, max_channels: int = 16,
-                 coalesce: bool = False, coalescer=None):
+                 coalesce: bool = False, coalescer=None, cache=None):
         self.cluster = cluster
         self.collection = collection
+        if cache is not None and cache is not False:
+            cluster.enable_cache(None if cache is True else cache)
         # The executor models the async channel: in-flight requests travel
         # concurrently (like an async gRPC channel); any serialization then
         # comes from the server side or the CPU-bound conversion on the

@@ -99,14 +99,23 @@ class SyncClient:
     scheduler module).  Pass ``coalescer`` to use a specific instance
     (e.g. one with a custom :class:`~repro.core.scheduler.CoalescePolicy`);
     otherwise the cluster's shared one is created on first use.
+
+    ``cache=True`` (or a :class:`~repro.core.cache.CachePolicy`) enables
+    the cluster's generation-fenced result cache
+    (:meth:`~repro.core.cluster.Cluster.enable_cache`): repeated queries
+    are served from cached reduced results, invalidated the instant any
+    write makes them stale, so results stay bit-identical to an uncached
+    search.
     """
 
     def __init__(self, cluster: Cluster, collection: str, *,
-                 coalesce: bool = False, coalescer=None):
+                 coalesce: bool = False, coalescer=None, cache=None):
         self.cluster = cluster
         self.collection = collection
         self.upload_timings = BatchTimings()
         self.query_timings = BatchTimings()
+        if cache is not None and cache is not False:
+            cluster.enable_cache(None if cache is True else cache)
         if coalescer is not None:
             self.coalescer = coalescer
         elif coalesce:

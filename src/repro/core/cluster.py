@@ -53,6 +53,7 @@ from .errors import (
     TransportError,
     WorkerUnavailableError,
 )
+from .cache import CachePolicy, ResultCache
 from .failover import BreakerState, FailoverStats, HealthTracker, RetryPolicy
 from .router import PlacementPlan, ShardMove, ShardRouter
 from .transport import LocalTransport, Transport
@@ -242,6 +243,7 @@ class Cluster:
         retry_policy: RetryPolicy | None = None,
         health: HealthTracker | None = None,
         metrics: MetricsRegistry | None = None,
+        cache: "ResultCache | CachePolicy | bool | None" = None,
     ):
         self.transport = transport or LocalTransport()
         self._workers: dict[str, Worker] = {}
@@ -262,6 +264,11 @@ class Cluster:
         self._hist_query_batch = self.metrics.histogram("cluster.query_batch_s")
         self._hist_upsert = self.metrics.histogram("cluster.upsert_s")
         self._hist_rpc = self.metrics.histogram("cluster.rpc_s")
+        self._hist_cache_lookup = self.metrics.histogram("cache.lookup_s")
+        #: Generation-fenced result cache (:mod:`repro.core.cache`), or None.
+        self.result_cache: ResultCache | None = None
+        if cache is not None and cache is not False:
+            self.enable_cache(None if cache is True else cache)
         self.retry_policy = retry_policy or RetryPolicy()
         self.health = health or HealthTracker(stats=self.failover_stats)
         if self.health.stats is None:
@@ -281,6 +288,15 @@ class Cluster:
         #: it to fail over onto a caught-up migration target.
         self._migrations: dict[tuple[str, int], Any] = {}
         self._migrations_lock = threading.Lock()
+        #: Tickets for gated writes currently in flight.  A migration's
+        #: cutover snapshots this set after the plan swap and waits for it
+        #: to drain before the final journal hand-off, so a write whose
+        #: replica chain was built against the pre-swap plan lands on the
+        #: source while its journal is still open (see
+        #: :meth:`await_inflight_writes`).
+        self._inflight_writes: set[int] = set()
+        self._inflight_cv = threading.Condition(threading.Lock())
+        self._write_ticket_seq = 0
         #: Lazily constructed :class:`~repro.core.resharding.ReshardCoordinator`.
         self._resharder = None
 
@@ -584,42 +600,89 @@ class Cluster:
         width = len(pending)
         done: dict[int, Any] = {}
         last: CollectionNotFoundError | None = None
-        for _ in range(3):
-            entered, extra = self._enter_migration_gates(name, pending)
-            try:
-                shard_calls: dict[int, list[tuple]] = {}
-                for shard_id in pending:
-                    holders = state.plan.workers_for(shard_id)
-                    target = extra.get(shard_id)
-                    if target is not None and target not in holders:
-                        holders.append(target)  # double-write to move target
-                    shard_calls[shard_id] = make_calls(shard_id, holders)
-                outcomes = self._write_fanout(
-                    shard_calls, tolerate=(CollectionNotFoundError,)
-                )
-            finally:
-                self._exit_migration_gates(entered)
-            failed: list[int] = []
-            for shard_id, outcome in zip(sorted(shard_calls), outcomes):
-                if isinstance(outcome, CollectionNotFoundError):
-                    failed.append(shard_id)
-                    last = outcome
-                else:
-                    done[shard_id] = outcome
-            if not failed:
-                return [done[s] for s in sorted(done)], width
-            pending = failed
-        raise last
+        ticket = self._enter_write_ticket()
+        try:
+            for _ in range(3):
+                entered, extra = self._enter_migration_gates(name, pending)
+                try:
+                    shard_calls: dict[int, list[tuple]] = {}
+                    for shard_id in pending:
+                        holders = state.plan.workers_for(shard_id)
+                        target = extra.get(shard_id)
+                        if target is not None and target not in holders:
+                            holders.append(target)  # double-write to move target
+                        shard_calls[shard_id] = make_calls(shard_id, holders)
+                    outcomes = self._write_fanout(
+                        shard_calls, tolerate=(CollectionNotFoundError,)
+                    )
+                finally:
+                    self._exit_migration_gates(entered)
+                failed: list[int] = []
+                for shard_id, outcome in zip(sorted(shard_calls), outcomes):
+                    if isinstance(outcome, CollectionNotFoundError):
+                        failed.append(shard_id)
+                        last = outcome
+                    else:
+                        done[shard_id] = outcome
+                if not failed:
+                    return [done[s] for s in sorted(done)], width
+                pending = failed
+            raise last
+        finally:
+            self._exit_write_ticket(ticket)
+
+    def _enter_write_ticket(self) -> int:
+        with self._inflight_cv:
+            self._write_ticket_seq += 1
+            ticket = self._write_ticket_seq
+            self._inflight_writes.add(ticket)
+            return ticket
+
+    def _exit_write_ticket(self, ticket: int) -> None:
+        with self._inflight_cv:
+            self._inflight_writes.discard(ticket)
+            self._inflight_cv.notify_all()
+
+    def await_inflight_writes(self, timeout: float = 2.0) -> bool:
+        """Block until every gated write in flight *right now* has landed.
+
+        A writer registers its ticket before it reads the migration
+        registry or the placement plan, so after a cutover swaps the plan,
+        the tickets present here are a superset of the writers that could
+        have built a replica chain from the pre-swap plan.  The reshard
+        coordinator waits on this barrier between the plan swap and the
+        final source-journal drain: any straggler still lands on the source
+        while its journal is open and gets replayed onto the target,
+        instead of silently diverging the replicas.  Later writers read the
+        post-swap plan and need no barrier.  Returns False on timeout
+        (callers degrade to today's behaviour rather than deadlock).
+        """
+        with self._inflight_cv:
+            snapshot = set(self._inflight_writes)
+            if not snapshot:
+                return True
+            deadline = monotonic() + timeout
+            while snapshot & self._inflight_writes:
+                remaining = deadline - monotonic()
+                if remaining <= 0:
+                    return False
+                self._inflight_cv.wait(remaining)
+            return True
 
     # -- live migration plumbing ---------------------------------------------
 
     def _register_migration(self, mig) -> None:
         with self._migrations_lock:
             self._migrations[(mig.collection, mig.shard_id)] = mig
+        # Conservative cache fence: a live migration changes which replica
+        # serves the shard mid-flight, so cached fan-outs stop being served.
+        self._bump_cache_epoch(mig.collection)
 
     def _unregister_migration(self, mig) -> None:
         with self._migrations_lock:
             self._migrations.pop((mig.collection, mig.shard_id), None)
+        # Fence again at cutover/abort: post-migration holders answer next.
+        self._bump_cache_epoch(mig.collection)
 
     def _migration_for(self, name: str, shard_id: int):
         if not self._migrations:  # hot-path fast exit, no lock
@@ -673,6 +736,53 @@ class Cluster:
 
             ReshardCoordinator(self)  # attaches itself to self._resharder
         return self._resharder
+
+    # -- result cache ---------------------------------------------------------
+
+    def enable_cache(
+        self, cache: "ResultCache | CachePolicy | None" = None
+    ) -> ResultCache:
+        """Turn on the generation-fenced result cache (idempotent).
+
+        ``cache`` may be a ready :class:`~repro.core.cache.ResultCache`, a
+        :class:`~repro.core.cache.CachePolicy`, or None for defaults.  When
+        the policy enables the shard tier, every current worker gets a
+        :class:`~repro.core.cache.ShardResultCache` too (workers added
+        later are wired up in :meth:`add_worker`).
+        """
+        if self.result_cache is None:
+            if isinstance(cache, ResultCache):
+                self.result_cache = cache
+            else:
+                self.result_cache = ResultCache(cache)
+            self.result_cache.bind_metrics(self.metrics)
+        policy = self.result_cache.policy
+        if policy.shard_tier:
+            for worker_id in list(self._workers):
+                try:
+                    self._call_with_retry(
+                        worker_id, "enable_shard_cache", policy
+                    )
+                except TransportError:
+                    continue
+        return self.result_cache
+
+    def disable_cache(self) -> None:
+        """Drop both cache tiers (no-op when caching is off)."""
+        if self.result_cache is None:
+            return
+        self.result_cache = None
+        for worker_id in list(self._workers):
+            try:
+                self._call_with_retry(worker_id, "disable_shard_cache")
+            except TransportError:
+                continue
+
+    def _bump_cache_epoch(self, name: str) -> None:
+        """Fence the result cache after one cluster-level mutation."""
+        cache = self.result_cache
+        if cache is not None:
+            cache.bump_epoch(name)
 
     def close(self) -> None:
         """Shut down the coalescer and fan-out pools (idempotent)."""
@@ -734,6 +844,13 @@ class Cluster:
             base = getattr(self.transport, "inner", None)
             if isinstance(base, LocalTransport):
                 base.register(worker.worker_id, worker)
+        if self.result_cache is not None and self.result_cache.policy.shard_tier:
+            try:
+                self._call_with_retry(
+                    worker.worker_id, "enable_shard_cache", self.result_cache.policy
+                )
+            except TransportError:
+                pass
         moves: list[ShardMove] = []
         if rebalance:
             # Live scale-out: spread existing replicas onto the newcomer with
@@ -838,6 +955,7 @@ class Cluster:
                     except TransportError:
                         continue  # dead replica: its shard dies with it
         del self._collections[name]
+        self._bump_cache_epoch(name)
 
     def _state(self, name: str) -> ClusterCollectionState:
         try:
@@ -912,6 +1030,7 @@ class Cluster:
             wall=wall,
         )
         self._hist_upsert.observe(wall)
+        self._bump_cache_epoch(name)
         return self._aggregate_update(results)
 
     def upsert_columnar(self, name: str, batch) -> UpdateResult:
@@ -947,6 +1066,7 @@ class Cluster:
             wall=wall,
         )
         self._hist_upsert.observe(wall)
+        self._bump_cache_epoch(name)
         return self._aggregate_update(results)
 
     def delete(self, name: str, point_ids: Sequence[PointId]) -> UpdateResult:
@@ -977,6 +1097,7 @@ class Cluster:
             wall=monotonic() - t0,
             op="delete",
         )
+        self._bump_cache_epoch(name)
         return self._aggregate_update(results)
 
     def set_payload(
@@ -992,6 +1113,7 @@ class Cluster:
             ]
 
         results, _ = self._gated_write(name, state, (shard_id,), make_calls)
+        self._bump_cache_epoch(name)
         return self._aggregate_update(results)
 
     # -- reads -------------------------------------------------------------------------------
@@ -1192,6 +1314,9 @@ class Cluster:
             if not shard_ids:
                 # e.g. an empty HasId predicate: nothing to fan out to.
                 result = SearchResult([], shards_total=0)
+            elif self.result_cache is not None:
+                sp.set_attr("shards", len(shard_ids))
+                result = self._search_cached(name, state, request, shard_ids)
             else:
                 sp.set_attr("shards", len(shard_ids))
                 partials, answered = self._failover_read(
@@ -1203,6 +1328,54 @@ class Cluster:
                     hits, shards_total=len(shard_ids), shards_answered=len(answered)
                 )
         self._hist_query.observe(monotonic() - t0)
+        return result
+
+    def _search_cached(
+        self,
+        name: str,
+        state: ClusterCollectionState,
+        request: SearchRequest,
+        shard_ids: Sequence[int],
+    ) -> SearchResult:
+        """:meth:`search`'s fan-out, fronted by the result cache.
+
+        The collection's write epoch is read *before* the fan-out so a
+        write landing mid-flight refuses the fill; the fenced worker RPC
+        returns each shard's observed generation, which both feeds the
+        cluster tier's staleness tracking and fences the new entry.  A
+        degraded result (missing shards) is served but never cached.
+        """
+        cache = self.result_cache
+        fingerprint = request.fingerprint(name)
+        shard_set = frozenset(shard_ids)
+        epoch = cache.epoch(name)
+        t_lookup = monotonic()
+        cached = cache.lookup(fingerprint, collection=name, shard_set=shard_set)
+        self._hist_cache_lookup.observe(monotonic() - t_lookup)
+        if cached is not None:
+            return cached
+        partials, answered = self._failover_read(
+            name, state, shard_ids, "search_fenced", (request, fingerprint),
+            allow_partial=request.allow_partial,
+        )
+        gen_map: dict[int, int] = {}
+        hit_lists: list[list[ScoredPoint]] = []
+        for hits, gens in partials:
+            hit_lists.append(hits)
+            for shard_id, gen in gens.items():
+                if gen > gen_map.get(shard_id, -1):
+                    gen_map[shard_id] = gen
+        result = SearchResult(
+            self._reduce(state, hit_lists, request.limit),
+            shards_total=len(shard_ids),
+            shards_answered=len(answered),
+        )
+        cache.observe_generations(name, gen_map)
+        if len(answered) == len(shard_ids) and all(s in gen_map for s in shard_ids):
+            cache.fill(
+                fingerprint, result, collection=name, shard_set=shard_set,
+                epoch=epoch, gen_vector={s: gen_map[s] for s in shard_ids},
+            )
         return result
 
     def recommend(self, name: str, request) -> list[ScoredPoint]:
@@ -1385,6 +1558,12 @@ class Cluster:
                 self._query_shards(state, self._predicated_shards(state, r))
                 for r in requests
             ]
+            if self.result_cache is not None:
+                out = self._demux_cached(name, state, requests, per_request_shards)
+                wall = monotonic() - t0
+                self._hist_query_batch.observe(wall)
+                self._hist_query.observe(wall / len(requests))
+                return out
             union: list[int] = sorted({s for ids in per_request_shards for s in ids})
             if union:
                 # Never raise mid-batch: gather what answers, then apply
@@ -1417,6 +1596,78 @@ class Cluster:
         wall = monotonic() - t0
         self._hist_query_batch.observe(wall)
         self._hist_query.observe(wall / len(requests))
+        return out
+
+    def _demux_cached(
+        self,
+        name: str,
+        state: ClusterCollectionState,
+        requests: Sequence[SearchRequest],
+        per_request_shards: Sequence[Sequence[int]],
+    ) -> list["SearchResult | Exception"]:
+        """:meth:`search_batch_demux`'s body with the result cache in front.
+
+        Each request is looked up individually; only the misses are fanned
+        out (over the union of *their* shards — a batch whose hot queries
+        all hit touches no worker at all), and each miss fills the cache on
+        the way back out under the same fences as :meth:`_search_cached`.
+        """
+        cache = self.result_cache
+        fingerprints = [r.fingerprint(name) for r in requests]
+        epoch = cache.epoch(name)
+        out: list[SearchResult | Exception | None] = [None] * len(requests)
+        miss: list[int] = []
+        for qi, shard_ids in enumerate(per_request_shards):
+            if not shard_ids:
+                out[qi] = SearchResult([], shards_total=0)
+                continue
+            t_lookup = monotonic()
+            cached = cache.lookup(
+                fingerprints[qi], collection=name, shard_set=frozenset(shard_ids)
+            )
+            self._hist_cache_lookup.observe(monotonic() - t_lookup)
+            if cached is not None:
+                out[qi] = cached
+            else:
+                miss.append(qi)
+        if not miss:
+            return out
+        union = sorted({s for qi in miss for s in per_request_shards[qi]})
+        miss_requests = [requests[qi] for qi in miss]
+        miss_fingerprints = [fingerprints[qi] for qi in miss]
+        per_worker, answered = self._failover_read(
+            name, state, union, "search_batch_fenced",
+            (miss_requests, miss_fingerprints),
+            allow_partial=True,
+        )
+        gen_map: dict[int, int] = {}
+        worker_hits: list[list[list[ScoredPoint]]] = []
+        for hits_lists, gens in per_worker:
+            worker_hits.append(hits_lists)
+            for shard_id, gen in gens.items():
+                if gen > gen_map.get(shard_id, -1):
+                    gen_map[shard_id] = gen
+        cache.observe_generations(name, gen_map)
+        for mi, qi in enumerate(miss):
+            request = requests[qi]
+            shard_ids = per_request_shards[qi]
+            missing = set(shard_ids) - answered
+            if missing and not request.allow_partial:
+                out[qi] = NoReplicaAvailableError(min(missing))
+                continue
+            partials = [hits_lists[mi] for hits_lists in worker_hits]
+            result = SearchResult(
+                self._reduce(state, partials, request.limit),
+                shards_total=len(shard_ids),
+                shards_answered=len(set(shard_ids) & answered),
+            )
+            out[qi] = result
+            if not missing and all(s in gen_map for s in shard_ids):
+                cache.fill(
+                    fingerprints[qi], result, collection=name,
+                    shard_set=frozenset(shard_ids), epoch=epoch,
+                    gen_vector={s: gen_map[s] for s in shard_ids},
+                )
         return out
 
     @staticmethod
@@ -1508,6 +1759,10 @@ class Cluster:
         self.failover_stats.reset()
         if self.coalescer is not None:
             self.coalescer.stats.reset()
+        if self.result_cache is not None:
+            # Counters only: cached entries (and the fence state that keeps
+            # them honest) survive a telemetry reset.
+            self.result_cache.stats.reset()
         if workers:
             for worker in self.workers():
                 worker.reset_stats()

@@ -227,6 +227,18 @@ class Collection:
     def contains(self, point_id: PointId) -> bool:
         return point_id in self._id_to_segment
 
+    @property
+    def generation(self) -> int:
+        """Monotonic mutation epoch used for cache fencing.
+
+        Advances on every state change that can alter search results: each
+        mutating operation (upsert / delete / set_payload), every maintenance
+        swap (inline or fenced copy-on-write), and the reshard cutover that
+        retires the shard.  A search result computed at generation ``g`` is
+        valid exactly as long as ``generation == g`` still holds.
+        """
+        return self._generation
+
     # -- write path ------------------------------------------------------------------
 
     def _appendable_segment(self) -> Segment:
@@ -332,6 +344,7 @@ class Collection:
                         )
                     )
             self._maybe_optimize()
+            self._generation += 1
             self._operation_counter += 1
             return UpdateResult(self._operation_counter, UpdateStatus.COMPLETED)
 
@@ -395,6 +408,7 @@ class Collection:
                         )
                     )
             self._maybe_optimize()
+            self._generation += 1
             self._operation_counter += 1
             return UpdateResult(self._operation_counter, UpdateStatus.COMPLETED)
 
@@ -423,6 +437,7 @@ class Collection:
                 if not self._apply_delete(pid):
                     raise PointNotFoundError(pid)
             self._maybe_optimize()
+            self._generation += 1
             self._operation_counter += 1
             return UpdateResult(self._operation_counter, UpdateStatus.COMPLETED)
 
@@ -444,6 +459,7 @@ class Collection:
             self._check_retired()
             self._log("set_payload", (point_id, dict(payload) if payload else None))
             self._apply_set_payload(point_id, payload)
+            self._generation += 1
             self._operation_counter += 1
             return UpdateResult(self._operation_counter, UpdateStatus.COMPLETED)
 
@@ -487,6 +503,9 @@ class Collection:
             return
         plan = self._optimizer.plan(self._segments, generation=self._generation)
         self._apply_plan_locked(plan)
+        if plan.did_work:
+            # Inline vacuum/merge swapped segments: fence cached results.
+            self._generation += 1
         self._last_report = plan.report
 
     def _begin_maintenance_locked(self) -> MaintenanceSnapshot | None:
@@ -748,7 +767,10 @@ class Collection:
             mig = self._migration
             self._migration = None
             if retire:
+                # Reshard cutover: the shard's contents now live elsewhere,
+                # so any cached result fenced on this shard is stale.
                 self._retired = True
+                self._generation += 1
             if mig is None:
                 return {
                     "rows_total": 0,

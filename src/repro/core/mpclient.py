@@ -100,10 +100,18 @@ class ParallelQueryReport:
     #: Coalescer counters accumulated during the run (empty when the run
     #: was uncoalesced): batches formed, widths, bypasses.
     coalesce: dict = field(default_factory=dict)
+    #: Result-cache counters accumulated during the run (empty when the
+    #: run was uncached): lookups, hits, fills, invalidations.
+    cache: dict = field(default_factory=dict)
 
     @property
     def throughput_qps(self) -> float:
         return self.queries / self.total_s if self.total_s > 0 else float("inf")
+
+    @property
+    def cache_hit_rate(self) -> float:
+        lookups = self.cache.get("lookups", 0)
+        return self.cache.get("hits", 0) / lookups if lookups else 0.0
 
     @property
     def mean_batch_width(self) -> float:
@@ -242,6 +250,7 @@ class ParallelClientPool:
         limit: int = 10,
         clients: int | None = None,
         coalesce: bool = True,
+        cache: bool = False,
         allow_partial: bool = False,
     ) -> tuple[list, ParallelQueryReport]:
         """Independent concurrent query clients over one shared coalescer.
@@ -253,7 +262,10 @@ class ParallelClientPool:
         queries that arrive together merge into amortized fan-outs —
         without the clients ever exchanging batches.  ``coalesce=False``
         gives the uncoalesced baseline (each query pays a full fan-out).
-        Results preserve input order and are identical either way.
+        ``cache=True`` additionally enables the cluster's generation-fenced
+        result cache, so repeated vectors skip the fan-out entirely (cache
+        counters accumulated during the run land on the report).  Results
+        preserve input order and are identical either way.
         """
         from .scheduler import QueryCoalescer
         from .types import SearchRequest
@@ -261,6 +273,12 @@ class ParallelClientPool:
         vectors = list(vectors)
         n_clients = clients if clients is not None else max(1, len(self.cluster.workers()))
         n_clients = min(n_clients, len(vectors)) or 1
+        if cache:
+            self.cluster.enable_cache()
+        result_cache = self.cluster.result_cache
+        cache_before = (
+            result_cache.stats.snapshot() if result_cache is not None else {}
+        )
         coalescer = QueryCoalescer.for_cluster(self.cluster) if coalesce else None
         before = coalescer.stats.snapshot() if coalescer is not None else {}
         results: list = [None] * len(vectors)
@@ -298,4 +316,9 @@ class ParallelClientPool:
             report.coalesce = {k: after[k] - before.get(k, 0) for k in after}
             # High-water mark, not a counter — a diff would underreport it.
             report.coalesce["max_width"] = after["max_width"]
+        if result_cache is not None:
+            cache_after = result_cache.stats.snapshot()
+            report.cache = {
+                k: cache_after[k] - cache_before.get(k, 0) for k in cache_after
+            }
         return results, report

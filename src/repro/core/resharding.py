@@ -589,13 +589,21 @@ class ReshardCoordinator:
                 self._hist_cutover.observe(cutover_seconds)
                 # Straggler closure: a writer that resolved the shard before
                 # the migration registered may still journal on the source
-                # after fence 2.  ``end_shard_migration`` hands back the
+                # after fence 2.  First drain the in-flight write barrier —
+                # any write whose replica chain was built from the pre-swap
+                # plan lands on the source *now*, while its journal is still
+                # open.  Then ``end_shard_migration`` hands back the
                 # residual journal under the source's write lock and (when
                 # the source leaves the replica set) retires the shard in
                 # the same critical section, so a stale-plan writer landing
                 # later gets CollectionNotFoundError — which the cluster
                 # write path treats as "re-resolve and retry" — instead of
-                # an acknowledged-but-lost row.
+                # an acknowledged-but-lost row.  The barrier closes the
+                # non-retiring case (source stays a holder): there the
+                # retire fence never fires, so a post-drain straggler on the
+                # source would otherwise be acknowledged but never replayed
+                # onto the new replica.
+                cluster.await_inflight_writes()
                 out = cluster._call_with_retry(  # noqa: SLF001
                     source, "end_shard_migration", name, shard_id,
                     retire=source not in desired,

@@ -129,6 +129,9 @@ class CoalesceStats:
     max_width: int = 0
     solo_batches: int = 0
     bypasses: int = 0
+    #: Queries answered by another in-flight identical query (same canonical
+    #: fingerprint) without executing — the in-flight dedupe at dispatch.
+    deduped: int = 0
 
     def __post_init__(self):
         self._lock = threading.Lock()
@@ -150,6 +153,10 @@ class CoalesceStats:
         with self._lock:
             self.bypasses += 1
 
+    def record_deduped(self, n: int) -> None:
+        with self._lock:
+            self.deduped += n
+
     def snapshot(self) -> dict:
         """Consistent copy of every counter (see ``FanoutStats.snapshot``)."""
         with self._lock:
@@ -160,6 +167,7 @@ class CoalesceStats:
                 "max_width": self.max_width,
                 "solo_batches": self.solo_batches,
                 "bypasses": self.bypasses,
+                "deduped": self.deduped,
             }
 
     def reset(self) -> None:
@@ -170,6 +178,7 @@ class CoalesceStats:
             self.max_width = 0
             self.solo_batches = 0
             self.bypasses = 0
+            self.deduped = 0
 
 
 class _Pending:
@@ -403,9 +412,28 @@ class QueryCoalescer:
                 {"collection": collection, "width": width}
                 if tracer.enabled else None,
             ):
-                outcomes = self.cluster.search_batch_demux(
-                    collection, [p.request for p in batch]
+                # In-flight dedupe: identical queries (same canonical
+                # fingerprint — alias-resolved collection, exact vector
+                # bytes, order-insensitive filter clauses) execute once and
+                # fan the one result out to every waiting caller.  The
+                # fingerprint, not object identity, decides equality, so
+                # two callers whose filters list the same clauses in a
+                # different order still share a single execution — and a
+                # single cache fill.
+                name = batch[0].key[0]  # alias-resolved by compat_key
+                fingerprints = [p.request.fingerprint(name) for p in batch]
+                slot: dict[str, int] = {}
+                unique: list[_Pending] = []
+                for pending, fp in zip(batch, fingerprints):
+                    if fp not in slot:
+                        slot[fp] = len(unique)
+                        unique.append(pending)
+                if len(unique) < width:
+                    self.stats.record_deduped(width - len(unique))
+                unique_out = self.cluster.search_batch_demux(
+                    collection, [p.request for p in unique]
                 )
+                outcomes = [unique_out[slot[fp]] for fp in fingerprints]
         except BaseException as exc:  # noqa: BLE001 - fan one failure out to all
             outcomes = [exc] * len(batch)
         # Drop the in-flight count *before* waking callers: a solo caller

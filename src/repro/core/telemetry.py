@@ -36,6 +36,7 @@ __all__ = [
     "IngestTelemetry",
     "FailoverTelemetry",
     "CoalesceTelemetry",
+    "CacheTelemetry",
     "ReshardTelemetry",
     "TelemetrySnapshot",
     "collect",
@@ -246,6 +247,7 @@ class CoalesceTelemetry:
     max_width: int = 0
     solo_batches: int = 0
     bypasses: int = 0
+    deduped: int = 0
 
     @property
     def mean_width(self) -> float:
@@ -259,6 +261,66 @@ class CoalesceTelemetry:
             max_width=self.max_width,
             solo_batches=self.solo_batches - earlier.solo_batches,
             bypasses=self.bypasses - earlier.bypasses,
+            deduped=self.deduped - earlier.deduped,
+        )
+
+
+@dataclass(frozen=True)
+class CacheTelemetry:
+    """Result-cache counters (from :class:`~.cache.CacheStats`).
+
+    The cluster-tier fields describe the fingerprint-keyed result cache
+    (``hit_rate`` = hits / lookups); the ``shard_*`` fields aggregate every
+    worker's shard-result cache, whose hits skip per-shard search work on a
+    cluster-tier miss.  ``invalidations`` counts entries dropped by the
+    generation fence — correctness at work, not a fault.  ``entries`` /
+    ``bytes`` are current occupancy gauges, kept (not subtracted) by
+    ``minus``.  All zero when caching is disabled.  Lookup latency
+    percentiles live in the ``cache.lookup_s`` histogram of
+    :attr:`TelemetrySnapshot.histograms`.
+    """
+
+    lookups: int = 0
+    hits: int = 0
+    misses: int = 0
+    fills: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+    rejected: int = 0
+    entries: int = 0
+    bytes: int = 0
+    shard_lookups: int = 0
+    shard_hits: int = 0
+    shard_invalidations: int = 0
+    shard_entries: int = 0
+    shard_bytes: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        return 0.0 if self.lookups == 0 else self.hits / self.lookups
+
+    @property
+    def shard_hit_rate(self) -> float:
+        return 0.0 if self.shard_lookups == 0 else self.shard_hits / self.shard_lookups
+
+    def minus(self, earlier: "CacheTelemetry") -> "CacheTelemetry":
+        return CacheTelemetry(
+            lookups=self.lookups - earlier.lookups,
+            hits=self.hits - earlier.hits,
+            misses=self.misses - earlier.misses,
+            fills=self.fills - earlier.fills,
+            evictions=self.evictions - earlier.evictions,
+            invalidations=self.invalidations - earlier.invalidations,
+            rejected=self.rejected - earlier.rejected,
+            entries=self.entries,
+            bytes=self.bytes,
+            shard_lookups=self.shard_lookups - earlier.shard_lookups,
+            shard_hits=self.shard_hits - earlier.shard_hits,
+            shard_invalidations=(
+                self.shard_invalidations - earlier.shard_invalidations
+            ),
+            shard_entries=self.shard_entries,
+            shard_bytes=self.shard_bytes,
         )
 
 
@@ -321,6 +383,7 @@ class TelemetrySnapshot:
     ingest: IngestTelemetry = field(default_factory=IngestTelemetry)
     failover: FailoverTelemetry = field(default_factory=FailoverTelemetry)
     coalesce: CoalesceTelemetry = field(default_factory=CoalesceTelemetry)
+    cache: CacheTelemetry = field(default_factory=CacheTelemetry)
     reshard: ReshardTelemetry = field(default_factory=ReshardTelemetry)
     #: Aggregated over every shard-collection's last parallel build pass:
     #: pool utilization is ``busy / (wall * workers)``.
@@ -436,6 +499,7 @@ class TelemetrySnapshot:
         out.ingest = self.ingest.minus(earlier.ingest)
         out.failover = self.failover.minus(earlier.failover)
         out.coalesce = self.coalesce.minus(earlier.coalesce)
+        out.cache = self.cache.minus(earlier.cache)
         out.reshard = self.reshard.minus(earlier.reshard)
         out.build_wall_seconds = self.build_wall_seconds - earlier.build_wall_seconds
         out.build_busy_seconds = self.build_busy_seconds - earlier.build_busy_seconds
@@ -494,6 +558,36 @@ def collect(cluster: Cluster) -> TelemetrySnapshot:
             max_width=cs["max_width"],
             solo_batches=cs["solo_batches"],
             bypasses=cs["bypasses"],
+            deduped=cs["deduped"],
+        )
+    if cluster.result_cache is not None:
+        cc = cluster.result_cache.snapshot()
+        shard_lookups = shard_hits = shard_invalidations = 0
+        shard_entries = shard_bytes = 0
+        for worker in cluster.workers():
+            ws = worker.shard_cache_snapshot()
+            if ws is None:
+                continue
+            shard_lookups += ws["lookups"]
+            shard_hits += ws["hits"]
+            shard_invalidations += ws["invalidations"]
+            shard_entries += ws["entries"]
+            shard_bytes += ws["bytes"]
+        snapshot.cache = CacheTelemetry(
+            lookups=cc["lookups"],
+            hits=cc["hits"],
+            misses=cc["misses"],
+            fills=cc["fills"],
+            evictions=cc["evictions"],
+            invalidations=cc["invalidations"],
+            rejected=cc["rejected"],
+            entries=cc["entries"],
+            bytes=cc["bytes"],
+            shard_lookups=shard_lookups,
+            shard_hits=shard_hits,
+            shard_invalidations=shard_invalidations,
+            shard_entries=shard_entries,
+            shard_bytes=shard_bytes,
         )
     resharder = getattr(cluster, "_resharder", None)
     if resharder is not None:

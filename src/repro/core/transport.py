@@ -21,6 +21,7 @@ import numpy as np
 
 from ..obs.trace import get_tracer
 from .errors import TransportError, WorkerUnavailableError
+from .types import ScoredPoint
 
 __all__ = [
     "Transport",
@@ -34,6 +35,105 @@ __all__ = [
 
 #: Elements inspected at each end of a long sequence before extrapolating.
 _HOMOGENEOUS_SAMPLE = 8
+
+
+#: Per-class ``__slots__`` layout (MRO-merged, dunders dropped) so the
+#: exact sizing walk below does not re-derive it point by point.
+_SLOT_LAYOUT_CACHE: dict[type, tuple[str, ...]] = {}
+
+#: The pristine ``ScoredPoint.__init__`` attribute layout and its total
+#: utf-8 key length, for the exact walk's fixed-layout fast path.
+_SCORED_POINT_KEYS = frozenset(("id", "score", "payload", "vector", "shard_id"))
+_SCORED_POINT_KEY_BYTES = sum(len(k) for k in _SCORED_POINT_KEYS)
+
+
+def _slot_layout(klass: type) -> tuple[str, ...]:
+    layout = _SLOT_LAYOUT_CACHE.get(klass)
+    if layout is None:
+        seen: list[str] = []
+        for base in klass.__mro__:
+            slots = getattr(base, "__slots__", ())
+            if isinstance(slots, str):
+                slots = (slots,)
+            for slot in slots:
+                if slot not in seen and slot not in ("__dict__", "__weakref__"):
+                    seen.append(slot)
+        layout = _SLOT_LAYOUT_CACHE[klass] = tuple(seen)
+    return layout
+
+
+def _exact_scored_points_bytes(seq) -> int:
+    """Exact byte total of a ``ScoredPoint`` sequence — never sampled.
+
+    The result cache budgets entries with this number, and an extrapolated
+    estimate would let a skewed payload distribution blow the byte budget
+    (the sampled head/tail of a hit list rarely matches its middle once
+    payloads vary).  Each point is walked through its ``__dict__`` plus
+    every ``__slots__`` declaration in the MRO, so the accounting stays
+    exact even if ``ScoredPoint`` (or a subclass) is slotted later.
+
+    This runs on every cache fill (cluster tier plus one per shard), so the
+    common field types are dispatched inline — exact-type checks matching
+    :func:`estimate_payload_bytes`'s conventions value for value — and only
+    unusual types fall back to the full recursion.
+    """
+    attr_bytes = _attr_bytes
+    total = 0
+    for point in seq:
+        attrs = getattr(point, "__dict__", None)
+        if (
+            type(point) is ScoredPoint
+            and attrs.keys() == _SCORED_POINT_KEYS
+            and type(point.score) is float
+        ):
+            # The dominant case: an unsubclassed point with the pristine
+            # ``__init__`` layout (id, score, payload, vector, shard_id).
+            # Key bytes are the constant 28; each field dispatches inline.
+            # Value-equal to the generic walk below, just without the dict
+            # iteration.
+            total += _SCORED_POINT_KEY_BYTES + 8  # five keys + float score
+            total += attr_bytes(point.id)
+            total += attr_bytes(point.payload)
+            total += attr_bytes(point.vector)
+            total += attr_bytes(point.shard_id)
+            continue
+        if attrs is not None:
+            for key, value in attrs.items():
+                total += (
+                    len(key)
+                    if key.isascii()
+                    else len(key.encode("utf-8", errors="ignore"))
+                )
+                total += attr_bytes(value)
+        for slot in _slot_layout(type(point)):
+            try:
+                total += attr_bytes(getattr(point, slot))
+            except AttributeError:
+                continue  # slot declared but never assigned
+    return total
+
+
+def _attr_bytes(value) -> int:
+    """One field of the exact walk: inline exact-type dispatch, value-equal
+    to :func:`estimate_payload_bytes` on every type it short-circuits."""
+    if value is None:
+        return 0
+    t = type(value)
+    if t is float or t is int:
+        return 8
+    if t is np.ndarray:
+        return int(value.nbytes)
+    if t is str:
+        return (
+            len(value)
+            if value.isascii()
+            else len(value.encode("utf-8", errors="ignore"))
+        )
+    if t is dict:
+        return sum(_attr_bytes(k) + _attr_bytes(v) for k, v in value.items())
+    if t is bool:
+        return 1
+    return estimate_payload_bytes(value)
 
 
 def estimate_payload_bytes(obj: Any) -> int:
@@ -73,6 +173,11 @@ def estimate_payload_bytes(obj: Any) -> int:
         # common columnar cases (every element the same size) and keeps the
         # estimate O(1) in the batch width; heterogeneous (mixed-type)
         # sequences still take the exact path, as do small ones.
+        if n and isinstance(obj, (list, tuple)) and isinstance(obj[0], ScoredPoint):
+            # Search-result lists take the exact path regardless of length:
+            # the cache's byte-budgeted LRU depends on it (see helper).
+            if all(isinstance(x, ScoredPoint) for x in obj):
+                return _exact_scored_points_bytes(obj)
         if n > _HOMOGENEOUS_SAMPLE * 4 and isinstance(obj, (list, tuple)):
             head_type = type(obj[0])
             if all(type(x) is head_type for x in obj[: _HOMOGENEOUS_SAMPLE]) and all(

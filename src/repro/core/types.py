@@ -16,7 +16,9 @@ in one deferred pass after all data has been inserted.
 
 from __future__ import annotations
 
+import dataclasses
 import enum
+import hashlib
 import math
 from dataclasses import dataclass, field, replace
 from typing import Any, Mapping, Sequence
@@ -43,6 +45,7 @@ __all__ = [
     "UpdateStatus",
     "CollectionInfo",
     "CollectionStatus",
+    "canonical_filter_key",
 ]
 
 #: Point identifiers are non-negative integers (Qdrant also allows UUIDs; an
@@ -271,6 +274,38 @@ class SearchParams:
     quantization_rescore: bool | None = None
 
 
+def _canonical(value: Any) -> Any:
+    """Recursively canonicalize a filter-tree value into a hashable form.
+
+    ``Filter.must`` / ``should`` / ``must_not`` are conjunctions/disjunctions
+    and the member collections of conditions (``HasId.ids``, ``FieldIn.values``)
+    are membership tests, so element order never changes semantics anywhere in
+    the DSL; every sequence and set is therefore sorted into a deterministic
+    order.  Dataclasses collapse to ``(class name, (field, value), ...)``.
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return (type(value).__name__,) + tuple(
+            (f.name, _canonical(getattr(value, f.name)))
+            for f in dataclasses.fields(value)
+        )
+    if isinstance(value, (frozenset, set, tuple, list)):
+        return tuple(sorted((_canonical(v) for v in value), key=repr))
+    if isinstance(value, Mapping):
+        return tuple(sorted(((k, _canonical(v)) for k, v in value.items()), key=repr))
+    return value
+
+
+def canonical_filter_key(flt: Any) -> Any:
+    """Order-insensitive canonical key for an optional filter tree.
+
+    Two semantically identical filters written with clauses (or ``HasId`` /
+    ``FieldIn`` members) in different orders map to the same key — the
+    property both the result cache and the coalescer's compatibility
+    grouping rely on.  ``None`` (no filter) canonicalizes to ``None``.
+    """
+    return None if flt is None else _canonical(flt)
+
+
 @dataclass
 class SearchRequest:
     """A top-``limit`` nearest-neighbour query."""
@@ -293,6 +328,44 @@ class SearchRequest:
         if vec.ndim != 1:
             raise ValueError(f"query vector must be 1-D, got shape {vec.shape}")
         return vec
+
+    def fingerprint(self, collection: str = "") -> str:
+        """Canonical fingerprint of this query's full semantics.
+
+        A stable hex digest over the *resolved* collection name (callers must
+        pass the canonical name, not an alias), the float-exact query-vector
+        bytes, and every knob that changes the answer: limit, filter (in
+        order-insensitive canonical form, see :func:`canonical_filter_key`),
+        search params, score threshold, payload/vector projection and the
+        partial-read mode.  Two requests with equal fingerprints are
+        guaranteed to produce bit-identical results against the same
+        collection state — the key contract of the result cache and the
+        coalescer's request grouping.
+        """
+        h = hashlib.blake2b(digest_size=16)
+        h.update(collection.encode("utf-8"))
+        h.update(b"\x00")
+        h.update(self.as_array().tobytes())
+        params = self.params
+        h.update(
+            repr(
+                (
+                    self.limit,
+                    canonical_filter_key(self.filter),
+                    # SearchParams flattened to scalars: repr() of the
+                    # dataclass itself costs ~half the fingerprint.
+                    params.hnsw_ef,
+                    params.exact,
+                    params.ivf_nprobe,
+                    params.quantization_rescore,
+                    self.with_payload,
+                    self.with_vector,
+                    self.score_threshold,
+                    self.allow_partial,
+                )
+            ).encode("utf-8")
+        )
+        return h.hexdigest()
 
 
 class SearchResult(list):

@@ -24,6 +24,7 @@ from typing import Any, Mapping, Sequence
 
 from ..obs.clock import monotonic
 from ..obs.trace import get_tracer
+from .cache import CachePolicy, ShardResultCache
 from .collection import Collection
 from .errors import BadRequestError, CollectionNotFoundError
 from .filters import Condition
@@ -107,6 +108,8 @@ class Worker:
         self._shards: dict[tuple[str, int], Collection] = {}
         # (collection_name, shard_id) -> background maintenance driver
         self._maintenance: dict[tuple[str, int], MaintenanceDriver] = {}
+        # Per-shard result cache (second cache tier); enabled by the cluster.
+        self._shard_cache: ShardResultCache | None = None
 
     # -- stats ---------------------------------------------------------------
 
@@ -116,6 +119,7 @@ class Worker:
         half-zeroed struct (the race a bare ``stats.reset()`` allows)."""
         with self._stats_lock:
             self.stats.reset()
+        self.reset_shard_cache_stats()
 
     def snapshot_stats(self) -> dict:
         """Consistent copy of the counters, taken under the stats lock."""
@@ -138,6 +142,8 @@ class Worker:
         if driver is not None:
             driver.stop()
         self._shards.pop((collection, shard_id), None)
+        if self._shard_cache is not None:
+            self._shard_cache.drop_shard(collection, shard_id)
 
     def has_shard(self, collection: str, shard_id: int) -> bool:
         return (collection, shard_id) in self._shards
@@ -359,6 +365,123 @@ class Worker:
             self.stats.queries_served += len(requests)
             self.stats.search_seconds += monotonic() - t0
         return out
+
+    # -- fenced (cacheable) reads ---------------------------------------------
+
+    def enable_shard_cache(self, policy: CachePolicy | None = None) -> bool:
+        """Create this worker's shard-result cache (idempotent)."""
+        if self._shard_cache is not None:
+            return False
+        self._shard_cache = ShardResultCache(policy)
+        return True
+
+    def disable_shard_cache(self) -> bool:
+        cache, self._shard_cache = self._shard_cache, None
+        return cache is not None
+
+    def shard_cache_snapshot(self) -> dict | None:
+        """Counters of the shard-result cache, or None when disabled."""
+        cache = self._shard_cache
+        return None if cache is None else cache.snapshot()
+
+    def reset_shard_cache_stats(self) -> None:
+        cache = self._shard_cache
+        if cache is not None:
+            cache.stats.reset()
+
+    def _search_shard_fenced(
+        self, collection: str, shard_id: int, request: SearchRequest,
+        fingerprint: str, gens: dict[int, int],
+    ) -> list[ScoredPoint]:
+        """Search one shard through the shard-result cache.
+
+        The generation is read before and after the actual search: the
+        result is cached only if the shard did not mutate underneath it
+        (otherwise the hits may reflect a state no generation names), and
+        the generation reported upward is always one the hits are valid
+        *at or before* — a concurrently landed write yields a newer
+        generation, which correctly fences the cluster-tier entry.
+        """
+        shard = self._shard(collection, shard_id)
+        cache = self._shard_cache
+        gen = shard.generation
+        if cache is not None:
+            cached = cache.lookup(collection, shard_id, fingerprint, gen)
+            if cached is not None:
+                gens[shard_id] = gen
+                return cached
+        shard_hits = shard.search(request)
+        for h in shard_hits:
+            h.shard_id = shard_id
+        gen_after = shard.generation
+        if cache is not None and gen_after == gen:
+            cache.fill(collection, shard_id, fingerprint, shard_hits, gen)
+        gens[shard_id] = gen_after
+        return shard_hits
+
+    def search_fenced(
+        self, collection: str, shard_ids: Sequence[int],
+        payload: tuple[SearchRequest, str],
+    ) -> tuple[list[ScoredPoint], dict[int, int]]:
+        """Like :meth:`search`, but consults the shard-result cache and
+        returns the observed ``{shard_id: generation}`` vector alongside
+        the hits so the cluster tier can fence its own cache entry."""
+        request, fingerprint = payload
+        tracer = get_tracer()
+        t0 = monotonic()
+        gens: dict[int, int] = {}
+        with tracer.span(
+            "worker.search_fenced",
+            {"worker": self.worker_id, "shards": len(shard_ids)}
+            if tracer.enabled else None,
+        ):
+            hits: list[ScoredPoint] = []
+            for shard_id in shard_ids:
+                hits.extend(
+                    self._search_shard_fenced(
+                        collection, shard_id, request, fingerprint, gens
+                    )
+                )
+        with self._stats_lock:
+            self.stats.searches_served += 1
+            self.stats.queries_served += 1
+            self.stats.search_seconds += monotonic() - t0
+        return hits, gens
+
+    def search_batch_fenced(
+        self, collection: str, shard_ids: Sequence[int],
+        payload: tuple[Sequence[SearchRequest], Sequence[str]],
+    ) -> tuple[list[list[ScoredPoint]], dict[int, int]]:
+        """Batched :meth:`search_fenced`: per-request hit lists plus one
+        merged ``{shard_id: generation}`` vector (the max generation each
+        shard was observed at across the batch)."""
+        requests, fingerprints = payload
+        tracer = get_tracer()
+        t0 = monotonic()
+        gens: dict[int, int] = {}
+        with tracer.span(
+            "worker.search_batch_fenced",
+            {"worker": self.worker_id, "shards": len(shard_ids),
+             "requests": len(requests)}
+            if tracer.enabled else None,
+        ):
+            out: list[list[ScoredPoint]] = [[] for _ in requests]
+            for shard_id in shard_ids:
+                shard_gens: dict[int, int] = {}
+                for qi, request in enumerate(requests):
+                    out[qi].extend(
+                        self._search_shard_fenced(
+                            collection, shard_id, request,
+                            fingerprints[qi], shard_gens,
+                        )
+                    )
+                    if shard_gens[shard_id] > gens.get(shard_id, -1):
+                        gens[shard_id] = shard_gens[shard_id]
+        with self._stats_lock:
+            self.stats.searches_served += 1
+            self.stats.queries_served += len(requests)
+            self.stats.search_seconds += monotonic() - t0
+        return out, gens
 
     def retrieve(self, collection: str, shard_id: int, point_id: PointId,
                  *, with_vector: bool = False, with_payload: bool = True) -> Record:

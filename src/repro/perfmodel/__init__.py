@@ -26,6 +26,7 @@ from .gpu_indexing import GpuIndexBuildModel
 from .indexing import IndexBuildModel
 from .insertion import BatchSizeModel, ConcurrencyModel, WorkerScalingModel
 from .query import (
+    CachedQueryModel,
     QuantizedScanModel,
     QueryBatchModel,
     QueryConcurrencyModel,
@@ -54,6 +55,7 @@ __all__ = [
     "BatchSizeModel",
     "ConcurrencyModel",
     "WorkerScalingModel",
+    "CachedQueryModel",
     "QuantizedScanModel",
     "QueryBatchModel",
     "QueryConcurrencyModel",

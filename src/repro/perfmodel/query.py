@@ -28,6 +28,7 @@ __all__ = [
     "QueryConcurrencyModel",
     "QueryScalingModel",
     "QuantizedScanModel",
+    "CachedQueryModel",
 ]
 
 
@@ -139,6 +140,75 @@ class QuantizedScanModel:
         ``BENCH_quant.json`` measures."""
         return self.decode_scan_s(n_vectors, dim) / self.quantized_scan_s(
             n_vectors, dim, batch=batch, rescore_rows=rescore_rows
+        )
+
+
+@dataclass(frozen=True)
+class CachedQueryModel:
+    """Hit-rate-dependent speedup of the generation-fenced result cache.
+
+    The paper's query phase replays BV-BRC term queries whose popularity
+    follows a heavy Zipf skew, so a fingerprint-keyed result cache turns
+    most of the replay into O(1) lookups.  Per query::
+
+        t_cached = t_lookup + (1 − h)·(t_base + t_fill)
+
+    where ``h`` is the hit rate.  For a replay of ``n`` queries drawn from
+    ``k`` topics with Zipf exponent ``s``, the expected hit rate (with an
+    unbounded, write-free cache) is ``1 − E[unique]/n`` where the expected
+    number of distinct topics drawn is ``Σ_i (1 − (1 − w_i)^n)`` over the
+    Zipf weights ``w_i`` — the quantity ``BENCH_cache.json`` measures
+    against.  ``invalidation_rate`` models writers: the fraction of
+    would-be hits lost to generation fencing.
+    """
+
+    #: Cluster-tier lookup cost (fingerprint hash + LRU probe), seconds.
+    lookup_s: float = 5e-6
+    #: Fill cost on a miss (exact byte accounting + LRU insert), seconds.
+    fill_s: float = 10e-6
+
+    def hit_rate(
+        self, n_queries: int, n_topics: int, *, skew: float = 1.0,
+        invalidation_rate: float = 0.0,
+    ) -> float:
+        """Expected hit rate of a Zipf-skewed replay against a cold cache."""
+        if n_queries < 1:
+            raise ValueError("n_queries must be >= 1")
+        if n_topics < 1:
+            raise ValueError("n_topics must be >= 1")
+        if not 0.0 <= invalidation_rate <= 1.0:
+            raise ValueError("invalidation_rate must be in [0, 1]")
+        from ..workloads.skew import zipf_weights
+
+        weights = zipf_weights(n_topics, skew)
+        expected_unique = float(
+            sum(1.0 - (1.0 - w) ** n_queries for w in weights)
+        )
+        base = max(0.0, 1.0 - expected_unique / n_queries)
+        return base * (1.0 - invalidation_rate)
+
+    def query_s(self, base_query_s: float, hit_rate: float) -> float:
+        """Mean per-query cost at hit rate ``h`` (base = uncached fan-out)."""
+        if not 0.0 <= hit_rate <= 1.0:
+            raise ValueError("hit_rate must be in [0, 1]")
+        return self.lookup_s + (1.0 - hit_rate) * (base_query_s + self.fill_s)
+
+    def speedup(self, base_query_s: float, hit_rate: float) -> float:
+        """Uncached-over-cached ratio — what ``BENCH_cache.json`` asserts
+        is ≥3× on the skewed workload."""
+        return base_query_s / self.query_s(base_query_s, hit_rate)
+
+    def speedup_from_skew(
+        self, base_query_s: float, n_queries: int, n_topics: int, *,
+        skew: float = 1.0, invalidation_rate: float = 0.0,
+    ) -> float:
+        """Predicted replay speedup straight from the workload shape."""
+        return self.speedup(
+            base_query_s,
+            self.hit_rate(
+                n_queries, n_topics, skew=skew,
+                invalidation_rate=invalidation_rate,
+            ),
         )
 
 

@@ -1,0 +1,187 @@
+"""Property: a cached cluster is bit-identical to an uncached twin.
+
+Two clusters are built from the same seed and driven through the same
+interleaved upsert / delete / search sequence — one with the multi-tier
+result cache enabled, one without.  Every search must return exactly the
+same ``(id, score)`` list and shard accounting on both, whatever mix of
+repeated queries, overwrites and deletes the sequence contains.  The
+deterministic tests extend the same invariant across a
+:class:`MaintenanceDriver` pass over every shard and a live reshard
+cutover (``add_worker(rebalance=True)``), the two swap protocols the
+generation fence has to survive."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    CollectionConfig,
+    Distance,
+    OptimizerConfig,
+    PointStruct,
+    SearchRequest,
+    VectorParams,
+)
+from repro.core.cluster import Cluster
+from repro.core.maintenance import MaintenanceDriver
+from repro.core.worker import Worker
+
+DIM = 8
+N_SEED_POINTS = 40
+ID_POOL = 64
+QUERY_POOL = 8
+
+_RNG = np.random.default_rng(11)
+_VECTORS = _RNG.normal(size=(ID_POOL, 4, DIM)).astype(np.float32)  # id x version
+_QUERIES = _RNG.normal(size=(QUERY_POOL, DIM)).astype(np.float32)
+
+
+def config(name="papers", **kwargs):
+    defaults = dict(optimizer=OptimizerConfig(indexing_threshold=0), shard_number=4)
+    defaults.update(kwargs)
+    return CollectionConfig(
+        name, VectorParams(size=DIM, distance=Distance.COSINE), **defaults
+    )
+
+
+def seed_points():
+    return [
+        PointStruct(id=i, vector=_VECTORS[i][0], payload={"i": i})
+        for i in range(N_SEED_POINTS)
+    ]
+
+
+def make_pair(**kwargs):
+    pair = []
+    for cached in (True, False):
+        cluster = Cluster.with_workers(2)
+        cluster.create_collection(config(**kwargs))
+        cluster.upsert("papers", seed_points())
+        if cached:
+            cluster.enable_cache()
+        pair.append(cluster)
+    return pair
+
+
+def hit_keys(result):
+    return [(h.id, h.score) for h in result]
+
+
+def assert_same_answer(cached, plain, request):
+    want = plain.search("papers", request)
+    have = cached.search("papers", request)
+    assert hit_keys(have) == hit_keys(want)
+    assert (have.shards_total, have.shards_answered) == (
+        want.shards_total, want.shards_answered,
+    )
+
+
+# -- the hypothesis sweep -----------------------------------------------------
+
+ops = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("upsert"),
+            st.integers(0, ID_POOL - 1),
+            st.integers(0, _VECTORS.shape[1] - 1),
+        ),
+        st.tuples(st.just("delete"), st.integers(0, ID_POOL - 1)),
+        st.tuples(
+            st.just("search"),
+            st.integers(0, QUERY_POOL - 1),
+            st.integers(1, 10),
+        ),
+    ),
+    min_size=1,
+    max_size=30,
+)
+
+
+@given(ops=ops)
+@settings(max_examples=15, deadline=None)
+def test_property_cached_cluster_bit_identical_to_uncached_twin(ops):
+    cached, plain = make_pair()
+    live = set(range(N_SEED_POINTS))
+    try:
+        for op in ops:
+            if op[0] == "upsert":
+                _, pid, version = op
+                point = [PointStruct(id=pid, vector=_VECTORS[pid][version])]
+                cached.upsert("papers", list(point))
+                plain.upsert("papers", list(point))
+                live.add(pid)
+            elif op[0] == "delete":
+                if op[1] not in live:
+                    continue  # deleting a missing id raises by contract
+                live.discard(op[1])
+                cached.delete("papers", [op[1]])
+                plain.delete("papers", [op[1]])
+            else:
+                _, qi, limit = op
+                request = SearchRequest(vector=_QUERIES[qi], limit=limit)
+                assert_same_answer(cached, plain, request)
+        # Final sweep: every pooled query, after all mutations settled.
+        for qi in range(QUERY_POOL):
+            assert_same_answer(
+                cached, plain, SearchRequest(vector=_QUERIES[qi], limit=10)
+            )
+        stats = cached.result_cache.stats.snapshot()
+        assert stats["lookups"] >= QUERY_POOL
+    finally:
+        cached.close()
+        plain.close()
+
+
+# -- deterministic fence crossings -------------------------------------------
+
+
+def test_cache_survives_maintenance_driver_pass():
+    """A maintenance pass swaps segments behind the cache's back.  The swap
+    is result-preserving, so answers must stay bit-identical — whether the
+    cache kept serving (cluster tier, epoch unchanged) or re-validated
+    (shard tier sees the new generation)."""
+    cached, plain = make_pair(shard_number=4)
+    try:
+        # Deletes leave vacuum work for the maintenance pass to pick up.
+        doomed = list(range(0, N_SEED_POINTS, 3))
+        cached.delete("papers", list(doomed))
+        plain.delete("papers", list(doomed))
+        requests = [SearchRequest(vector=_QUERIES[qi], limit=10) for qi in range(4)]
+        for request in requests:
+            assert_same_answer(cached, plain, request)  # warm the cache
+        for cluster in (cached, plain):
+            for worker in cluster.workers():
+                for shard_id in worker.shard_ids("papers"):
+                    driver = MaintenanceDriver(worker._shard("papers", shard_id))  # noqa: SLF001
+                    driver.run_once()
+                    assert driver.stats.snapshot()["errors"] == 0
+        for request in requests:
+            assert_same_answer(cached, plain, request)
+    finally:
+        cached.close()
+        plain.close()
+
+
+def test_cache_survives_live_reshard_cutover():
+    """Mid-sweep scale-out: warm cache, migrate shards to a new worker,
+    keep writing, and stay bit-identical with the uncached twin."""
+    cached, plain = make_pair(shard_number=8)
+    try:
+        requests = [SearchRequest(vector=_QUERIES[qi], limit=10) for qi in range(4)]
+        for request in requests:
+            assert_same_answer(cached, plain, request)  # warm
+        for cluster in (cached, plain):
+            moves = cluster.add_worker(Worker("w-new"), rebalance=True)
+            assert moves
+        for request in requests:
+            assert_same_answer(cached, plain, request)
+        # Post-cutover writes keep fencing correctly on the new topology.
+        fresh = [PointStruct(id=900 + i, vector=_QUERIES[i]) for i in range(4)]
+        cached.upsert("papers", list(fresh))
+        plain.upsert("papers", list(fresh))
+        for i, request in enumerate(requests):
+            assert_same_answer(cached, plain, request)
+            assert cached.search("papers", request)[0].id == 900 + i
+    finally:
+        cached.close()
+        plain.close()

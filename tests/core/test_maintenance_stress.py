@@ -1,7 +1,10 @@
 """Concurrent stress: writers + searchers + maintenance, with a full
 invariant sweep at the end (no lost points, consistent id map, counts
 add up).  Exercises both the explicit ``optimize()`` path and the
-background :class:`MaintenanceDriver`."""
+background :class:`MaintenanceDriver`.  A cached searcher thread rides
+along, validating the generation fence under the same churn: a
+shard-cache hit whose generation is still current must be bit-identical
+to a live search."""
 
 import threading
 import time
@@ -9,6 +12,7 @@ import time
 import numpy as np
 import pytest
 
+from repro.core.cache import ShardResultCache
 from repro.core.collection import Collection
 from repro.core.maintenance import MaintenanceDriver
 from repro.core.types import (
@@ -117,8 +121,45 @@ def run_stress(col, *, explicit_optimize):
         except Exception as exc:  # pragma: no cover
             errors.append(exc)
 
+    def cached_searcher():
+        """Generation-fenced caching under full churn.
+
+        Mirrors the worker shard tier: fill only when the generation did
+        not move across the search, serve only at the exact fill-time
+        generation.  Whenever a hit's generation is *still* current after
+        an immediate recompute, the two must agree bit for bit — writers,
+        overwrites, deletes and maintenance swaps notwithstanding.
+        """
+        cache = ShardResultCache()
+        rng = np.random.default_rng(1234)
+        queries = rng.normal(size=(8, DIM)).astype(np.float32)
+        name = col.config.name
+        verified = 0
+        try:
+            while not stop.is_set():
+                request = SearchRequest(
+                    vector=queries[int(rng.integers(len(queries)))], limit=10
+                )
+                fp = request.fingerprint(name)
+                gen = col.generation
+                hit = cache.lookup(name, 0, fp, gen)
+                if hit is not None:
+                    fresh = col.search(request)
+                    if col.generation == gen:
+                        assert [(h.id, h.score) for h in hit] == [
+                            (h.id, h.score) for h in fresh
+                        ], "stale cached result served at a current generation"
+                        verified += 1
+                    continue
+                hits = col.search(request)
+                if col.generation == gen:  # unchanged across the search
+                    cache.fill(name, 0, fp, list(hits), generation=gen)
+        except Exception as exc:  # pragma: no cover
+            errors.append(exc)
+
     threads = [threading.Thread(target=writer, args=(s,)) for s in states]
     threads.append(threading.Thread(target=searcher))
+    threads.append(threading.Thread(target=cached_searcher))
     if explicit_optimize:
         threads.append(threading.Thread(target=optimizer_loop))
     for t in threads:

@@ -102,6 +102,7 @@ class TestCoalesceStats:
         assert stats.snapshot() == {
             "batches": 0, "coalesced": 0, "total_width": 0,
             "max_width": 0, "solo_batches": 0, "bypasses": 0,
+            "deduped": 0,
         }
 
 

@@ -1,0 +1,70 @@
+"""CachedQueryModel: the cache term of the query perf model."""
+
+import pytest
+
+from repro.perfmodel import CachedQueryModel
+
+
+class TestHitRate:
+    def test_bounds_and_monotonic_in_repeats(self):
+        m = CachedQueryModel()
+        rates = [m.hit_rate(n, 100, skew=1.0) for n in (1, 10, 100, 10_000)]
+        assert all(0.0 <= r <= 1.0 for r in rates)
+        assert rates == sorted(rates)  # more replay → more repeats → more hits
+        assert rates[0] == 0.0  # a single cold query cannot hit
+
+    def test_skew_raises_hit_rate(self):
+        m = CachedQueryModel()
+        flat = m.hit_rate(1000, 500, skew=0.0)
+        skewed = m.hit_rate(1000, 500, skew=1.5)
+        assert skewed > flat
+
+    def test_invalidation_scales_down(self):
+        m = CachedQueryModel()
+        full = m.hit_rate(1000, 10, skew=1.0)
+        half = m.hit_rate(1000, 10, skew=1.0, invalidation_rate=0.5)
+        assert half == pytest.approx(full / 2)
+        assert m.hit_rate(1000, 10, invalidation_rate=1.0) == 0.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(n_queries=0, n_topics=10),
+            dict(n_queries=10, n_topics=0),
+            dict(n_queries=10, n_topics=10, invalidation_rate=1.5),
+        ],
+    )
+    def test_rejects_bad_args(self, kwargs):
+        with pytest.raises(ValueError):
+            CachedQueryModel().hit_rate(**kwargs)
+
+
+class TestQueryTime:
+    def test_limits(self):
+        m = CachedQueryModel()
+        base = 2e-3
+        # All hits: only the lookup remains.  No hits: lookup + fill overhead.
+        assert m.query_s(base, 1.0) == pytest.approx(m.lookup_s)
+        assert m.query_s(base, 0.0) == pytest.approx(m.lookup_s + base + m.fill_s)
+
+    def test_speedup_grows_with_hit_rate(self):
+        m = CachedQueryModel()
+        base = 2e-3
+        ups = [m.speedup(base, h) for h in (0.0, 0.3, 0.6, 0.9)]
+        assert ups == sorted(ups)
+        assert ups[0] < 1.0  # pure overhead at 0% hits
+        assert m.speedup(base, 0.6) >= 2.0  # the bench regime, conservatively
+
+    def test_rejects_bad_hit_rate(self):
+        with pytest.raises(ValueError):
+            CachedQueryModel().query_s(1e-3, 1.1)
+
+    def test_speedup_from_skew_composes(self):
+        m = CachedQueryModel()
+        direct = m.speedup_from_skew(2e-3, 10_000, 200, skew=1.0)
+        h = m.hit_rate(10_000, 200, skew=1.0)
+        assert direct == pytest.approx(m.speedup(2e-3, h))
+        # The bench workload shape (Zipf s=1.0, many repeats) predicts the
+        # ≥3× acceptance bar with room to spare at fan-out-scale base costs.
+        assert h >= 0.6
+        assert direct >= 3.0
